@@ -1,0 +1,200 @@
+// Command adidas-bench regenerates the tables and figures of the paper's
+// evaluation (§V) and the ablations described in DESIGN.md.
+//
+// Usage:
+//
+//	adidas-bench -exp all
+//	adidas-bench -exp fig6a -sizes 50,100,200,300,500
+//	adidas-bench -exp fig7b
+//	adidas-bench -exp ablation-baselines -sizes 50,100 -measure 60
+//
+// Experiments: table1, fig3b, fig6a, fig6b, fig7a, fig7b, fig8,
+// ablation-multicast, ablation-baselines, ablation-batch,
+// ablation-adaptive, ablation-hierarchy, ablation-resilience,
+// ablation-treehops, ablation-bandwidth, ablation-substrates, all.
+//
+// Every experiment is deterministic for a fixed -seed. Sweeps run one
+// simulation per parameter point, in parallel across -workers goroutines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"streamdex/internal/experiments"
+	"streamdex/internal/sim"
+	"streamdex/internal/workload"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment to run (see package doc)")
+		sizes   = flag.String("sizes", "", "comma-separated node counts (default: the paper's)")
+		seed    = flag.Int64("seed", 1, "root random seed")
+		warmup  = flag.Int("warmup", 40, "warm-up interval, seconds of virtual time")
+		measure = flag.Int("measure", 100, "measurement interval, seconds of virtual time")
+		workers = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		radius  = flag.Float64("radius", 0.1, "similarity query radius for load/hop experiments")
+	)
+	flag.Parse()
+
+	base := workload.DefaultConfig(0)
+	base.Seed = *seed
+	base.Warmup = sim.Time(*warmup) * sim.Second
+	base.Measure = sim.Time(*measure) * sim.Second
+	base.Radius = *radius
+
+	if err := run(*exp, *sizes, base, *workers); err != nil {
+		fmt.Fprintf(os.Stderr, "adidas-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, sizesFlag string, base workload.Config, workers int) error {
+	paperSizes := experiments.PaperSizes
+	overheadSizes := experiments.OverheadSizes
+	if sizesFlag != "" {
+		parsed, err := parseSizes(sizesFlag)
+		if err != nil {
+			return err
+		}
+		paperSizes, overheadSizes = parsed, parsed
+	}
+
+	show := func(t *experiments.Table) {
+		fmt.Println(t.String())
+	}
+
+	want := func(name string) bool { return exp == "all" || exp == name }
+	ran := false
+
+	if want("table1") {
+		show(experiments.TableI())
+		ran = true
+	}
+	if want("fig3b") {
+		show(experiments.Fig3b(128, 3, 20000, base.Seed))
+		ran = true
+	}
+	if want("fig6a") {
+		rows, err := experiments.LoadVsNodes(paperSizes, base, workers)
+		if err != nil {
+			return err
+		}
+		show(experiments.Fig6a(rows))
+		ran = true
+	}
+	if want("fig6b") {
+		d, err := experiments.LoadDistribution(200, 8, base)
+		if err != nil {
+			return err
+		}
+		show(experiments.Fig6b(d))
+		ran = true
+	}
+	if want("fig7a") {
+		rows, err := experiments.Overhead(overheadSizes, base, 0.1, workers)
+		if err != nil {
+			return err
+		}
+		show(experiments.Fig7("a", 0.1, rows))
+		ran = true
+	}
+	if want("fig7b") {
+		rows, err := experiments.Overhead(overheadSizes, base, 0.2, workers)
+		if err != nil {
+			return err
+		}
+		show(experiments.Fig7("b", 0.2, rows))
+		ran = true
+	}
+	if want("fig8") {
+		rows, err := experiments.Hops(paperSizes, base, workers)
+		if err != nil {
+			return err
+		}
+		show(experiments.Fig8(rows))
+		ran = true
+	}
+	if want("ablation-multicast") {
+		show(experiments.AblationMulticast(256, []int{2, 4, 8, 16, 32, 64}))
+		ran = true
+	}
+	if want("ablation-baselines") {
+		sizes := overheadSizes
+		if exp == "all" {
+			sizes = []int{50, 100, 200} // the strawmen get expensive fast
+		}
+		rows, err := experiments.Baselines(sizes, base, workers)
+		if err != nil {
+			return err
+		}
+		show(experiments.AblationBaselines(rows))
+		ran = true
+	}
+	if want("ablation-batch") {
+		show(experiments.AblationBatch(experiments.BatchSweep([]int{1, 5, 10, 25, 50}, base.Radius, base.Seed), base.Radius))
+		ran = true
+	}
+	if want("ablation-adaptive") {
+		show(experiments.AblationAdaptive(experiments.AdaptiveComparison(32, base.Radius, base.Seed), base.Radius))
+		ran = true
+	}
+	if want("ablation-hierarchy") {
+		radii := []float64{0.05, 0.1, 0.2, 0.4, 0.8}
+		show(experiments.AblationHierarchy(512, experiments.HierarchyComparison(512, radii, 16)))
+		ran = true
+	}
+	if want("ablation-resilience") {
+		rows, err := experiments.Resilience(100, []int{0, 5, 10, 20}, base, workers)
+		if err != nil {
+			return err
+		}
+		show(experiments.AblationResilience(rows))
+		ran = true
+	}
+	if want("ablation-treehops") {
+		rows, err := experiments.TreeHops(paperSizes, base, workers)
+		if err != nil {
+			return err
+		}
+		show(experiments.AblationTreeHops(rows))
+		ran = true
+	}
+	if want("ablation-bandwidth") {
+		rows, err := experiments.Bandwidth(100, []int{1, 5, 10, 25, 50}, base, workers)
+		if err != nil {
+			return err
+		}
+		show(experiments.AblationBandwidth(100, rows))
+		ran = true
+	}
+	if want("ablation-substrates") {
+		sizes := []int{100, 300}
+		rows, err := experiments.Substrates(sizes, base, workers)
+		if err != nil {
+			return err
+		}
+		show(experiments.AblationSubstrates(rows))
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

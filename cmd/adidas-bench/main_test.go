@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+
+	"streamdex/internal/sim"
+	"streamdex/internal/workload"
+)
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("50, 100,200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{50, 100, 200}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseSizes = %v", got)
+		}
+	}
+	for _, bad := range []string{"", "abc", "1", "50,,100"} {
+		if _, err := parseSizes(bad); err == nil {
+			t.Errorf("parseSizes(%q) accepted", bad)
+		}
+	}
+}
+
+func fastBase() workload.Config {
+	cfg := workload.DefaultConfig(0)
+	cfg.Warmup = 5 * sim.Second
+	cfg.Measure = 10 * sim.Second
+	cfg.Core.WindowSize = 32
+	cfg.Core.Beta = 5
+	return cfg
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("no-such-exp", "", fastBase(), 1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunSingleExperiments(t *testing.T) {
+	// Exercise the cheap experiment paths end to end (output goes to
+	// stdout; we only assert absence of errors).
+	for _, exp := range []string{"table1", "fig3b", "ablation-batch", "ablation-adaptive", "ablation-hierarchy"} {
+		if err := run(exp, "", fastBase(), 1); err != nil {
+			t.Fatalf("run(%s): %v", exp, err)
+		}
+	}
+}
+
+func TestRunSweepExperimentWithCustomSizes(t *testing.T) {
+	if err := run("fig6a", "8,16", fastBase(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("fig6a", "bogus", fastBase(), 1); err == nil {
+		t.Fatal("bogus sizes accepted")
+	}
+}

@@ -1,0 +1,70 @@
+// Command tracegen emits synthetic traces in the formats the evaluation
+// substitutes for the paper's datasets (see DESIGN.md §5):
+//
+//   - stock: S&P500-style daily records (date, ticker, open, high, low,
+//     close, volume — one record per line), generated from correlated
+//     geometric random walks;
+//   - hostload: a CMU-host-load-style 1 Hz load trace, one value per line;
+//   - walk: the paper's bounded random-walk synthetic stream.
+//
+// Usage:
+//
+//	tracegen -kind stock -tickers INTC,AAPL,IBM -days 250 > sp500.txt
+//	tracegen -kind hostload -n 86400 > axp0.load
+//	tracegen -kind walk -n 10000 > walk.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"streamdex/internal/sim"
+	"streamdex/internal/stream"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "stock", "trace kind: stock, hostload, walk")
+		tickers = flag.String("tickers", "INTC,AAPL,IBM,GE,XOM", "comma-separated tickers (stock)")
+		days    = flag.Int("days", 250, "trading days to generate (stock)")
+		n       = flag.Int("n", 10000, "number of samples (hostload, walk)")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	rng := sim.NewRand(*seed)
+
+	switch *kind {
+	case "stock":
+		syms := strings.Split(*tickers, ",")
+		for i := range syms {
+			syms[i] = strings.TrimSpace(syms[i])
+		}
+		m := stream.NewMarket(rng, syms)
+		if err := stream.WriteRecords(out, m.Generate(*days)); err != nil {
+			fail(err)
+		}
+	case "hostload":
+		g := stream.DefaultHostLoad(rng)
+		for i := 0; i < *n; i++ {
+			fmt.Fprintf(out, "%.6f\n", g.Next())
+		}
+	case "walk":
+		g := stream.DefaultRandomWalk(rng)
+		for i := 0; i < *n; i++ {
+			fmt.Fprintf(out, "%.6f\n", g.Next())
+		}
+	default:
+		fail(fmt.Errorf("unknown kind %q", *kind))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,45 @@
+// Package streamdex is a from-scratch reproduction of "Distributed Data
+// Streams Indexing using Content-based Routing Paradigm" (Bulut, Vitenberg,
+// Singh — IPPS/IPDPS 2005): an adaptive, scalable middleware that indexes
+// live data streams across a set of data centers by routing stream
+// summaries over a Chord-style content-based routing substrate.
+//
+// # What it does
+//
+// Every data center sources sliding-window streams. Each window is
+// normalized and summarized by its first few DFT coefficients, maintained
+// incrementally in O(k) per arriving value. The summary's leading
+// coefficient is mapped onto the DHT identifier ring (Eq. 6 of the paper),
+// so similar content lands on the same or neighboring nodes; consecutive
+// summaries are batched into MBRs to save bandwidth. Similarity queries
+// (find streams within distance r of a pattern) are routed to the key
+// range covering [q-r, q+r] and matched with a lower-bounding test that
+// admits false positives but never false dismissals; candidates funnel to
+// the range's middle node, which pushes aggregated responses to the
+// client. Inner-product queries resolve the stream's source through a
+// DHT-based location service and receive periodic values reconstructed
+// from the retained coefficients.
+//
+// # Layout
+//
+// This root package is the stable public facade: a Cluster wraps the
+// discrete-event simulation engine, the Chord overlay and the middleware
+// into one object with a small API. The building blocks live under
+// internal/ (sim, dht, chord, dsp, stream, summary, query, core, metrics,
+// workload, experiments, baseline, adaptive, hierarchy) — see DESIGN.md
+// for the system inventory and EXPERIMENTS.md for the reproduced
+// evaluation.
+//
+// # Quickstart
+//
+//	cl, _ := streamdex.NewCluster(streamdex.ClusterOptions{Nodes: 16})
+//	node := cl.Nodes()[0]
+//	cl.AddStream(node, "temps", myGenerator, 200*time.Millisecond)
+//	cl.Run(30 * time.Second)
+//	id, _ := cl.SimilarityQuery(cl.Nodes()[3], pattern, 0.1, time.Minute)
+//	cl.Run(10 * time.Second)
+//	for _, m := range cl.Matches(id) { ... }
+//
+// Three runnable examples live under examples/ (quickstart, stockmonitor,
+// sensornet, netmonitor) and the evaluation binaries under cmd/.
+package streamdex

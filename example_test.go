@@ -1,0 +1,79 @@
+package streamdex_test
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"streamdex"
+	"streamdex/internal/sim"
+	"streamdex/internal/stream"
+)
+
+// Example indexes two identical streams planted among noise and finds the
+// pair with a continuous similarity query — the library's core loop in a
+// dozen lines. Output is deterministic because the whole system runs on a
+// seeded virtual clock.
+func Example() {
+	cluster, err := streamdex.NewCluster(streamdex.ClusterOptions{
+		Nodes:       12,
+		WindowSize:  64,
+		BatchFactor: 2, // tight summaries so the tight radius below is selective
+		PushPeriod:  time.Second,
+		Seed:        7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	nodes := cluster.Nodes()
+
+	// Two data centers observe the same phenomenon...
+	cluster.AddStreamPrefilled(nodes[0], "twin-a", stream.DefaultRandomWalk(sim.NewRand(99)), 100*time.Millisecond)
+	cluster.AddStreamPrefilled(nodes[7], "twin-b", stream.DefaultRandomWalk(sim.NewRand(99)), 100*time.Millisecond)
+	// ...and two observe unrelated ones.
+	cluster.AddStreamPrefilled(nodes[3], "noise-1", stream.DefaultRandomWalk(sim.NewRand(1)), 100*time.Millisecond)
+	cluster.AddStreamPrefilled(nodes[9], "noise-2", stream.DefaultRandomWalk(sim.NewRand(2)), 100*time.Millisecond)
+	cluster.Run(10 * time.Second)
+
+	// "What currently looks like twin-a?" — tight radius: only the twin.
+	qid, err := cluster.SimilarityQueryToStream(nodes[0], "twin-a", 0.03, 30*time.Second)
+	if err != nil {
+		panic(err)
+	}
+	cluster.Run(15 * time.Second)
+
+	matched := cluster.MatchedStreams(qid)
+	sort.Strings(matched)
+	fmt.Println(matched)
+	// Output: [twin-a twin-b]
+}
+
+// ExampleCluster_AverageQuery subscribes to a windowed average — the
+// paper's "average closing price for the last month" — answered from the
+// stream's DFT summary and pushed periodically.
+func ExampleCluster_AverageQuery() {
+	cluster, err := streamdex.NewCluster(streamdex.ClusterOptions{
+		Nodes:       8,
+		WindowSize:  32,
+		BatchFactor: 5,
+		PushPeriod:  time.Second,
+		Seed:        3,
+	})
+	if err != nil {
+		panic(err)
+	}
+	nodes := cluster.Nodes()
+	// A constant stream makes the expected average obvious.
+	cluster.AddStreamPrefilled(nodes[2], "steady",
+		streamdex.GeneratorFunc(func() float64 { return 42 }), 100*time.Millisecond)
+	cluster.Run(5 * time.Second)
+
+	qid, err := cluster.AverageQuery(nodes[6], "steady", 8, 10*time.Second)
+	if err != nil {
+		panic(err)
+	}
+	cluster.Run(6 * time.Second)
+	vals := cluster.Values(qid)
+	fmt.Printf("pushes=%t last=%.1f\n", len(vals) > 0, vals[len(vals)-1].Value)
+	// Output: pushes=true last=42.0
+}

@@ -1,0 +1,130 @@
+// Stockmonitor: the paper's stock-market scenario end to end.
+//
+//	go run ./examples/stockmonitor
+//
+// A synthetic S&P-style market of 24 tickers (correlated geometric random
+// walks) feeds one closing-price stream per data center. The example then
+// answers the paper's two motivating stock queries:
+//
+//   - "Find all pairs of companies whose closing prices over the last
+//     month correlate within a threshold" — a similarity query per ticker
+//     in Correlation mode (§III-B.2).
+//   - "What is the average closing price of INTC for the last month?" —
+//     an inner-product query (§III-B.1).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"streamdex"
+	"streamdex/internal/sim"
+	"streamdex/internal/stream"
+)
+
+func main() {
+	const window = 64 // "a month" of intraday samples in this demo
+
+	tickers := []string{
+		"INTC", "AAPL", "IBM", "MSFT", "ORCL", "CSCO", "TXN", "AMD",
+		"GE", "F", "GM", "BA", "CAT", "MMM", "HON", "UTX",
+		"XOM", "CVX", "COP", "SLB", "KO", "PEP", "MCD", "WMT",
+	}
+	cluster, err := streamdex.NewCluster(streamdex.ClusterOptions{
+		Nodes:         len(tickers),
+		WindowSize:    window,
+		BatchFactor:   5,
+		Normalization: streamdex.Correlation,
+		PushPeriod:    time.Second,
+		Seed:          1997,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodes := cluster.Nodes()
+
+	market := stream.NewMarket(sim.NewRand(1997), tickers)
+	for i := range tickers {
+		gen := market.CloseGenerator(i)
+		must(cluster.AddStreamPrefilled(nodes[i], tickers[i], gen, 150*time.Millisecond))
+	}
+
+	fmt.Println("indexing", len(tickers), "price streams...")
+	cluster.Run(12 * time.Second)
+
+	// Correlation scan: one similarity query per ticker, posed where the
+	// ticker lives; matches are other tickers whose normalized price
+	// windows sit within the radius.
+	const radius = 0.35
+	queries := make(map[string]streamdex.QueryID, len(tickers))
+	for i, sym := range tickers {
+		qid, err := cluster.SimilarityQueryToStream(nodes[i], sym, radius, 30*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		queries[sym] = qid
+	}
+	cluster.Run(10 * time.Second)
+
+	type pair struct{ a, b string }
+	seen := map[pair]bool{}
+	var pairs []pair
+	for _, sym := range tickers {
+		for _, other := range cluster.MatchedStreams(queries[sym]) {
+			if other == sym {
+				continue
+			}
+			p := pair{sym, other}
+			if p.b < p.a {
+				p.a, p.b = p.b, p.a
+			}
+			if !seen[p] {
+				seen[p] = true
+				pairs = append(pairs, p)
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+	fmt.Printf("\ncorrelated pairs (radius %.2f): %d\n", radius, len(pairs))
+	for _, p := range pairs {
+		fmt.Printf("  %-5s ~ %-5s  (betas %.2f / %.2f)\n",
+			p.a, p.b, market.Beta(indexOf(tickers, p.a)), market.Beta(indexOf(tickers, p.b)))
+	}
+
+	// Windowed average of INTC, answered from its DFT summary.
+	avg, err := cluster.AverageQuery(nodes[5], "INTC", window/2, 8*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster.Run(6 * time.Second)
+	vals := cluster.Values(avg)
+	if len(vals) > 0 {
+		fmt.Printf("\nINTC average closing price (last %d samples): %.2f (approximate, from %d pushes)\n",
+			window/2, vals[len(vals)-1].Value, len(vals))
+	}
+
+	s := cluster.Stats()
+	fmt.Printf("\ntraffic: %.2f msgs/node/s over %v\n", s.MessagesPerNodePerSecond, cluster.Now())
+}
+
+func indexOf(xs []string, x string) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module streamdex
+
+go 1.22

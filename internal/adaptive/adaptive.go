@@ -1,0 +1,116 @@
+// Package adaptive implements the paper's first future-work extension
+// (§VI-A): adaptive precision setting for MBRs.
+//
+// Grouping every beta feature vectors into an MBR is a data-independent
+// reduction: a fixed beta produces tight rectangles on calm streams and
+// huge, imprecise rectangles on volatile ones. Following the adaptive
+// interval-caching idea of Olston et al. [20] that the paper proposes to
+// adopt, the controller here adjusts the batching factor per stream so the
+// rectangle's extent tracks a target precision:
+//
+//   - when a finished MBR is wider than the target, the factor shrinks
+//     multiplicatively (precision recovers quickly);
+//   - when it is comfortably tighter than the target, the factor grows
+//     additively (bandwidth is reclaimed cautiously).
+//
+// The target is naturally tied to the query radius: a rectangle much wider
+// than the radius makes nearly every query a candidate match (false
+// positives), while one much tighter wastes update messages.
+package adaptive
+
+import (
+	"fmt"
+
+	"streamdex/internal/summary"
+)
+
+// Controller adapts the MBR batching factor of one stream.
+type Controller struct {
+	min, max int
+	target   float64
+	// grow is the additive increase per tight MBR; shrink the
+	// multiplicative decrease factor per wide MBR.
+	grow   int
+	shrink float64
+
+	beta int
+}
+
+// NewController creates a controller bounded to [min, max] aiming for MBRs
+// whose longest side stays near target.
+func NewController(min, max int, target float64) *Controller {
+	if min < 1 || max < min {
+		panic(fmt.Sprintf("adaptive: invalid factor bounds [%d,%d]", min, max))
+	}
+	if target <= 0 {
+		panic("adaptive: non-positive precision target")
+	}
+	return &Controller{
+		min:    min,
+		max:    max,
+		target: target,
+		grow:   1,
+		shrink: 0.5,
+		beta:   min,
+	}
+}
+
+// TargetForRadius returns the standard precision target for a workload
+// whose similarity queries use the given radius: half the radius, so an
+// MBR's own extent cannot dominate the candidate test.
+func TargetForRadius(radius float64) float64 {
+	if radius <= 0 {
+		panic("adaptive: non-positive radius")
+	}
+	return radius / 2
+}
+
+// Beta returns the current batching factor.
+func (c *Controller) Beta() int { return c.beta }
+
+// Observe feeds back a finished MBR and returns the factor to use for the
+// next batch.
+func (c *Controller) Observe(b *summary.MBR) int {
+	side := b.MaxSide()
+	switch {
+	case side > c.target:
+		c.beta = int(float64(c.beta) * c.shrink)
+		if c.beta < c.min {
+			c.beta = c.min
+		}
+	case side < 0.5*c.target:
+		c.beta += c.grow
+		if c.beta > c.max {
+			c.beta = c.max
+		}
+	}
+	return c.beta
+}
+
+// Batcher couples a summary.Batcher with a Controller: every finished MBR
+// adjusts the factor of the next batch.
+type Batcher struct {
+	inner *summary.Batcher
+	ctl   *Controller
+}
+
+// NewBatcher creates an adaptive batcher for the stream.
+func NewBatcher(streamID string, ctl *Controller) *Batcher {
+	return &Batcher{inner: summary.NewBatcher(streamID, ctl.Beta()), ctl: ctl}
+}
+
+// Add folds a feature vector in, returning a finished MBR or nil; finished
+// MBRs drive the adaptation.
+func (b *Batcher) Add(f summary.Feature) *summary.MBR {
+	done := b.inner.Add(f)
+	if done != nil {
+		b.inner.SetBeta(b.ctl.Observe(done))
+	}
+	return done
+}
+
+// Flush returns any in-progress MBR.
+func (b *Batcher) Flush() *summary.MBR { return b.inner.Flush() }
+
+// Beta returns the factor the next batch will use.
+func (b *Batcher) Beta() int { return b.inner.Beta() }

@@ -1,0 +1,149 @@
+package adaptive
+
+import (
+	"testing"
+
+	"streamdex/internal/dsp"
+	"streamdex/internal/sim"
+	"streamdex/internal/stream"
+	"streamdex/internal/summary"
+)
+
+func TestControllerValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewController(0, 10, 0.1) },
+		func() { NewController(5, 4, 0.1) },
+		func() { NewController(1, 10, 0) },
+		func() { TargetForRadius(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTargetForRadius(t *testing.T) {
+	if TargetForRadius(0.2) != 0.1 {
+		t.Fatal("target should be half the radius")
+	}
+}
+
+func wideMBR(side float64) *summary.MBR {
+	b := summary.NewMBR("s", 0, summary.Feature{0, 0})
+	b.Extend(summary.Feature{side, side / 2})
+	return b
+}
+
+func TestControllerShrinksOnWideMBR(t *testing.T) {
+	c := NewController(1, 64, 0.1)
+	c.beta = 32
+	got := c.Observe(wideMBR(0.5))
+	if got != 16 {
+		t.Fatalf("beta after wide MBR = %d, want 16 (halved)", got)
+	}
+	// Repeated wide MBRs floor at min.
+	for i := 0; i < 10; i++ {
+		got = c.Observe(wideMBR(0.5))
+	}
+	if got != 1 {
+		t.Fatalf("beta floored at %d, want 1", got)
+	}
+}
+
+func TestControllerGrowsOnTightMBR(t *testing.T) {
+	c := NewController(1, 8, 0.1)
+	var got int
+	for i := 0; i < 20; i++ {
+		got = c.Observe(wideMBR(0.01))
+	}
+	if got != 8 {
+		t.Fatalf("beta capped at %d, want 8", got)
+	}
+}
+
+func TestControllerHoldsInDeadBand(t *testing.T) {
+	c := NewController(1, 64, 0.1)
+	c.beta = 10
+	// Side in [target/2, target]: neither grow nor shrink.
+	if got := c.Observe(wideMBR(0.07)); got != 10 {
+		t.Fatalf("beta moved to %d inside dead band", got)
+	}
+}
+
+func TestAdaptiveBatcherTracksVolatility(t *testing.T) {
+	// A calm regime should settle on a larger factor than a volatile one.
+	run := func(step float64) float64 {
+		rng := sim.NewRand(42)
+		walk := stream.NewRandomWalk(rng, 500, step, 0, 1000)
+		sd := newFeatureSource(walk)
+		ctl := NewController(1, 64, 0.05)
+		bt := NewBatcher("s", ctl)
+		var sum, n float64
+		for i := 0; i < 6000; i++ {
+			f := sd.next()
+			if f == nil {
+				continue
+			}
+			if bt.Add(f) != nil {
+				sum += float64(bt.Beta())
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatal("no MBRs produced")
+		}
+		return sum / n
+	}
+	calm := run(0.2)
+	volatile := run(20)
+	if calm <= volatile {
+		t.Fatalf("calm avg beta %.1f <= volatile %.1f; adaptation not working", calm, volatile)
+	}
+}
+
+// featureSource turns a generator into a feature stream via the standard
+// pipeline (32-point windows, z-normalization, 3 feature dims).
+type featureSource struct {
+	gen  stream.Generator
+	sdft *dsp.SlidingDFT
+}
+
+func newFeatureSource(gen stream.Generator) *featureSource {
+	return &featureSource{gen: gen, sdft: dsp.NewSlidingDFT(32, 3)}
+}
+
+// next returns the current feature, or nil while the window is filling.
+func (f *featureSource) next() summary.Feature {
+	f.sdft.Push(f.gen.Next())
+	if !f.sdft.Full() {
+		return nil
+	}
+	return summary.FromCoeffs(f.sdft.NormalizedCoeffs(dsp.ZNorm), 3, true)
+}
+
+func TestAdaptiveBatcherMBRsRespectBounds(t *testing.T) {
+	rng := sim.NewRand(7)
+	walk := stream.DefaultRandomWalk(rng)
+	src := newFeatureSource(walk)
+	ctl := NewController(2, 16, 0.05)
+	bt := NewBatcher("s", ctl)
+	for i := 0; i < 4000; i++ {
+		f := src.next()
+		if f == nil {
+			continue
+		}
+		if b := bt.Add(f); b != nil {
+			if b.Count < 2 || b.Count > 16 {
+				t.Fatalf("MBR count %d outside [2,16]", b.Count)
+			}
+		}
+	}
+	if left := bt.Flush(); left != nil && left.Count > 16 {
+		t.Fatalf("flushed MBR count %d", left.Count)
+	}
+}

@@ -1,0 +1,122 @@
+package baseline
+
+import (
+	"testing"
+
+	"streamdex/internal/metrics"
+	"streamdex/internal/sim"
+)
+
+func fastConfig(mode Mode, nodes int) Config {
+	cfg := DefaultConfig(mode, nodes)
+	cfg.WindowSize = 32
+	cfg.Beta = 5
+	cfg.Warmup = 15 * sim.Second
+	cfg.Measure = 30 * sim.Second
+	return cfg
+}
+
+func TestModeString(t *testing.T) {
+	if Centralized.String() != "centralized" || Flooding.String() != "flooding" || Mode(9).String() != "unknown" {
+		t.Fatal("Mode.String mismatch")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Config{Nodes: 1}); err == nil {
+		t.Fatal("1-node system accepted")
+	}
+}
+
+func TestCentralizedHotspot(t *testing.T) {
+	// The defining pathology: the center's load is far above the mean.
+	cfg := fastConfig(Centralized, 24)
+	s, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Execute()
+	_, max := rep.MaxLoadNode()
+	var sum float64
+	for _, l := range rep.NodeLoad {
+		sum += l
+	}
+	mean := sum / float64(len(rep.NodeLoad))
+	if max < 4*mean {
+		t.Fatalf("center load %.2f only %.1fx the mean %.2f; expected a hotspot", max, max/mean, mean)
+	}
+}
+
+func TestFloodingQueryCostLinear(t *testing.T) {
+	// Every query must reach all N nodes: the per-query message count is
+	// at least N-1.
+	cfg := fastConfig(Flooding, 24)
+	s, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Execute()
+	perQuery := rep.Overhead(metrics.QueryRange, metrics.EventQuery) +
+		rep.Overhead(metrics.QueryInitial, metrics.EventQuery) +
+		rep.Overhead(metrics.QueryTransit, metrics.EventQuery)
+	if perQuery < float64(cfg.Nodes-1) {
+		t.Fatalf("flooding sends %.1f query messages per query, want >= %d", perQuery, cfg.Nodes-1)
+	}
+}
+
+func TestCentralizedSummariesReachCenter(t *testing.T) {
+	cfg := fastConfig(Centralized, 12)
+	s, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Execute()
+	centerID, _ := s.net.OracleSuccessor(s.centerKey)
+	center := s.nodes[centerID]
+	if len(center.mbrs) == 0 {
+		t.Fatal("center holds no summaries")
+	}
+	// Non-center nodes hold only their local pipeline output (none: in
+	// centralized mode summaries are not stored locally).
+	for id, n := range s.nodes {
+		if id == centerID {
+			continue
+		}
+		if len(n.mbrs) != 0 {
+			t.Fatalf("node %d holds %d summaries in centralized mode", id, len(n.mbrs))
+		}
+	}
+}
+
+func TestFloodingKeepsSummariesLocal(t *testing.T) {
+	cfg := fastConfig(Flooding, 12)
+	s, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Execute()
+	rep := s.col.Snapshot(s.eng.Now(), s.ids)
+	if rep.TotalByCategory[metrics.MBRSource] != 0 || rep.TotalByCategory[metrics.MBRTransit] != 0 {
+		t.Fatal("flooding mode sent summary messages")
+	}
+	local := 0
+	for _, n := range s.nodes {
+		local += len(n.mbrs)
+	}
+	if local == 0 {
+		t.Fatal("no summaries stored locally")
+	}
+}
+
+func TestBaselineDeterminism(t *testing.T) {
+	run := func() [metrics.NumCategories]int64 {
+		s, err := Build(fastConfig(Centralized, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Execute().TotalByCategory
+	}
+	if run() != run() {
+		t.Fatal("baseline runs are not deterministic")
+	}
+}

@@ -1,0 +1,53 @@
+package chord
+
+import (
+	"fmt"
+	"sort"
+
+	"streamdex/internal/dht"
+)
+
+// UniformIDs returns n distinct node identifiers obtained by consistent
+// hashing of synthetic node names ("node-0", "node-1", ...), the way Chord
+// assigns identifiers from IP addresses. Collisions — astronomically rare
+// for m = 32 and n <= a few thousand — are resolved by re-labelling.
+func UniformIDs(s dht.Space, n int) []dht.Key {
+	if n <= 0 {
+		panic("chord: UniformIDs with n <= 0")
+	}
+	seen := make(map[dht.Key]bool, n)
+	out := make([]dht.Key, 0, n)
+	for i := 0; len(out) < n; i++ {
+		id := s.HashString(fmt.Sprintf("node-%d", i))
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, id)
+	}
+	return out
+}
+
+// EquidistantIDs returns n identifiers evenly spaced around the ring — the
+// idealized placement used to isolate load-mapping effects from placement
+// randomness in ablations.
+func EquidistantIDs(s dht.Space, n int) []dht.Key {
+	if n <= 0 {
+		panic("chord: EquidistantIDs with n <= 0")
+	}
+	if uint64(n) > s.Size() {
+		panic("chord: more nodes than identifiers")
+	}
+	out := make([]dht.Key, n)
+	step := s.Size() / uint64(n)
+	for i := range out {
+		out[i] = dht.Key(uint64(i) * step)
+	}
+	return out
+}
+
+// SortKeys sorts identifiers ascending, in place, and returns the slice.
+func SortKeys(ids []dht.Key) []dht.Key {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

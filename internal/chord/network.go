@@ -1,0 +1,345 @@
+package chord
+
+import (
+	"fmt"
+	"sort"
+
+	"streamdex/internal/dht"
+	"streamdex/internal/sim"
+)
+
+// Config carries the simulation and protocol parameters.
+type Config struct {
+	// Space is the identifier universe; the evaluation uses m = 32.
+	Space dht.Space
+	// HopDelay is the constant network latency per overlay hop. The Chord
+	// simulator the paper links against "simulates a constant 50 ms delay
+	// per hop when routing a message to the destination" (§V).
+	HopDelay sim.Time
+	// SuccListLen is the successor-list length for failure tolerance.
+	SuccListLen int
+	// StabilizeEvery is the period of the stabilize/notify maintenance
+	// task. Zero disables periodic maintenance (useful for static
+	// experiments where the ring is constructed perfectly up front, which
+	// keeps the event count proportional to the measured traffic).
+	StabilizeEvery sim.Time
+	// FixFingersEvery is the period of the finger-repair task; one finger
+	// is refreshed per firing. Defaults to StabilizeEvery when zero and
+	// stabilization is enabled.
+	FixFingersEvery sim.Time
+}
+
+// DefaultConfig returns the evaluation configuration: a 32-bit ring and the
+// 50 ms per-hop delay, with periodic maintenance enabled.
+func DefaultConfig() Config {
+	return Config{
+		Space:           dht.NewSpace(32),
+		HopDelay:        50 * sim.Millisecond,
+		SuccListLen:     8,
+		StabilizeEvery:  500 * sim.Millisecond,
+		FixFingersEvery: 250 * sim.Millisecond,
+	}
+}
+
+// Network simulates a Chord overlay: it owns the nodes, routes data-plane
+// messages hop by hop on the event engine, and reports traffic to the
+// observer. It implements dht.Network.
+type Network struct {
+	eng   *sim.Engine
+	cfg   Config
+	space dht.Space
+
+	nodes map[dht.Key]*Node
+	// aliveSorted caches the sorted identifiers of live nodes; it backs
+	// the test oracle and perfect-ring construction, never routing.
+	aliveSorted []dht.Key
+
+	obs dht.Observer
+
+	dropped int64
+}
+
+// New creates an empty overlay on the given engine. cfg.Space must be set.
+func New(eng *sim.Engine, cfg Config) *Network {
+	if cfg.Space.M == 0 {
+		panic("chord: config without identifier space")
+	}
+	if cfg.HopDelay < 0 {
+		panic("chord: negative hop delay")
+	}
+	if cfg.SuccListLen <= 0 {
+		cfg.SuccListLen = 8
+	}
+	if cfg.StabilizeEvery > 0 && cfg.FixFingersEvery == 0 {
+		cfg.FixFingersEvery = cfg.StabilizeEvery
+	}
+	return &Network{
+		eng:   eng,
+		cfg:   cfg,
+		space: cfg.Space,
+		nodes: make(map[dht.Key]*Node),
+		obs:   dht.NopObserver{},
+	}
+}
+
+// SetObserver installs the traffic observer (nil restores the no-op).
+func (net *Network) SetObserver(o dht.Observer) {
+	if o == nil {
+		net.obs = dht.NopObserver{}
+		return
+	}
+	net.obs = o
+}
+
+// Engine returns the simulation engine the overlay runs on.
+func (net *Network) Engine() *sim.Engine { return net.eng }
+
+// Space implements dht.Network.
+func (net *Network) Space() dht.Space { return net.space }
+
+// Config returns the network configuration.
+func (net *Network) Config() Config { return net.cfg }
+
+// Dropped returns the number of data-plane messages lost because no live
+// next hop existed or a node failed with messages in flight toward it.
+func (net *Network) Dropped() int64 { return net.dropped }
+
+// Node returns the node with the given identifier, or nil.
+func (net *Network) Node(id dht.Key) *Node { return net.nodes[id] }
+
+// NodeIDs returns the identifiers of all live nodes in ring order.
+func (net *Network) NodeIDs() []dht.Key {
+	out := make([]dht.Key, len(net.aliveSorted))
+	copy(out, net.aliveSorted)
+	return out
+}
+
+// Len returns the number of live nodes.
+func (net *Network) Len() int { return len(net.aliveSorted) }
+
+func (net *Network) isAlive(id dht.Key) bool {
+	n := net.nodes[id]
+	return n != nil && n.alive
+}
+
+// Alive implements dht.Substrate.
+func (net *Network) Alive(id dht.Key) bool { return net.isAlive(id) }
+
+// addNode registers a fresh node object (not yet wired into the ring).
+func (net *Network) addNode(id dht.Key, app dht.App) *Node {
+	id = net.space.Wrap(id)
+	if _, exists := net.nodes[id]; exists {
+		panic(fmt.Sprintf("chord: duplicate node id %d", id))
+	}
+	m := int(net.space.M)
+	n := &Node{
+		id:       id,
+		net:      net,
+		app:      app,
+		alive:    true,
+		finger:   make([]dht.Key, m),
+		fingerOK: make([]bool, m),
+	}
+	net.nodes[id] = n
+	net.insertAlive(id)
+	return n
+}
+
+func (net *Network) insertAlive(id dht.Key) {
+	i := sort.Search(len(net.aliveSorted), func(i int) bool { return net.aliveSorted[i] >= id })
+	net.aliveSorted = append(net.aliveSorted, 0)
+	copy(net.aliveSorted[i+1:], net.aliveSorted[i:])
+	net.aliveSorted[i] = id
+}
+
+func (net *Network) removeAlive(id dht.Key) {
+	i := sort.Search(len(net.aliveSorted), func(i int) bool { return net.aliveSorted[i] >= id })
+	if i < len(net.aliveSorted) && net.aliveSorted[i] == id {
+		net.aliveSorted = append(net.aliveSorted[:i], net.aliveSorted[i+1:]...)
+	}
+}
+
+// OracleSuccessor returns the true successor node of key given current live
+// membership. It is the reference the protocol is tested against and the
+// basis of perfect-ring construction; routing never consults it.
+func (net *Network) OracleSuccessor(key dht.Key) (dht.Key, bool) {
+	if len(net.aliveSorted) == 0 {
+		return 0, false
+	}
+	key = net.space.Wrap(key)
+	i := sort.Search(len(net.aliveSorted), func(i int) bool { return net.aliveSorted[i] >= key })
+	if i == len(net.aliveSorted) {
+		i = 0
+	}
+	return net.aliveSorted[i], true
+}
+
+// BuildStable creates len(ids) nodes and wires a perfect ring — correct
+// successors, predecessors, successor lists and finger tables — in one
+// step, the standard warm start for scalability experiments. Apps[i] is
+// the application for ids[i]; a nil slice or nil entry installs a no-op app.
+// When cfg.StabilizeEvery > 0 maintenance tickers are started with phases
+// staggered across nodes.
+func (net *Network) BuildStable(ids []dht.Key, apps []dht.App) {
+	if len(ids) == 0 {
+		panic("chord: BuildStable with no nodes")
+	}
+	for i, id := range ids {
+		var app dht.App = dht.AppFunc(func(dht.Key, *dht.Message) {})
+		if apps != nil && apps[i] != nil {
+			app = apps[i]
+		}
+		net.addNode(id, app)
+	}
+	net.rewireAll()
+	if net.cfg.StabilizeEvery > 0 {
+		rng := sim.NewRand(0x5eed)
+		for _, id := range net.aliveSorted {
+			net.startMaintenance(net.nodes[id], rng)
+		}
+	}
+}
+
+// rewireAll rebuilds every live node's pointers from the oracle.
+func (net *Network) rewireAll() {
+	for _, id := range net.aliveSorted {
+		net.rewireNode(net.nodes[id])
+	}
+}
+
+func (net *Network) rewireNode(n *Node) {
+	ring := net.aliveSorted
+	sz := len(ring)
+	pos := sort.Search(sz, func(i int) bool { return ring[i] >= n.id })
+	if pos == sz || ring[pos] != n.id {
+		panic("chord: rewire of unregistered node")
+	}
+	// Successor list.
+	n.succList = n.succList[:0]
+	for k := 1; k <= net.cfg.SuccListLen && k < sz+1; k++ {
+		s := ring[(pos+k)%sz]
+		if s == n.id {
+			break
+		}
+		n.succList = append(n.succList, s)
+	}
+	if len(n.succList) == 0 {
+		n.succList = append(n.succList, n.id)
+	}
+	// Predecessor.
+	n.pred = ring[(pos-1+sz)%sz]
+	n.hasPred = true
+	// Fingers: finger[i] = successor(id + 2^i).
+	for i := range n.finger {
+		target := net.space.Add(n.id, 1<<uint(i))
+		s, _ := net.OracleSuccessor(target)
+		n.finger[i] = s
+		n.fingerOK[i] = true
+	}
+}
+
+// SetApp replaces the application of an existing node (used by middleware
+// construction, which needs node objects before apps exist).
+func (net *Network) SetApp(id dht.Key, app dht.App) {
+	n := net.nodes[id]
+	if n == nil {
+		panic(fmt.Sprintf("chord: SetApp on unknown node %d", id))
+	}
+	n.app = app
+}
+
+// --- Data plane -----------------------------------------------------------
+
+// Send implements dht.Network: it initializes bookkeeping and routes msg
+// from node `from` to the node covering `key`.
+func (net *Network) Send(from dht.Key, key dht.Key, msg *dht.Message) {
+	msg.Src = from
+	msg.Key = net.space.Wrap(key)
+	msg.Hops = 0
+	msg.SentAt = net.eng.Now()
+	net.process(from, msg)
+}
+
+// Forward implements dht.Network: it re-routes an in-flight message toward
+// a new key, preserving cumulative hop count and origin.
+func (net *Network) Forward(from dht.Key, key dht.Key, msg *dht.Message) {
+	msg.Key = net.space.Wrap(key)
+	net.process(from, msg)
+}
+
+// process executes one routing step at node `at`.
+func (net *Network) process(at dht.Key, msg *dht.Message) {
+	n := net.nodes[at]
+	if n == nil || !n.alive {
+		net.dropped++
+		return
+	}
+	if n.covers(msg.Key) {
+		net.obs.OnDeliver(at, msg)
+		n.app.Deliver(at, msg)
+		return
+	}
+	next, ok := n.nextHop(msg.Key)
+	if !ok || next == at {
+		net.dropped++
+		return
+	}
+	net.transmit(at, next, msg, true)
+}
+
+// transmit delivers msg to `to` after the hop delay. When route is true the
+// receiving node continues Chord routing; otherwise the message is for the
+// neighbor itself and is delivered directly.
+func (net *Network) transmit(from, to dht.Key, msg *dht.Message, route bool) {
+	net.eng.Schedule(net.cfg.HopDelay, func() {
+		if !net.isAlive(to) {
+			net.dropped++
+			return
+		}
+		msg.Hops++
+		net.obs.OnTransmit(from, to, msg)
+		if route {
+			net.process(to, msg)
+			return
+		}
+		n := net.nodes[to]
+		net.obs.OnDeliver(to, msg)
+		n.app.Deliver(to, msg)
+	})
+}
+
+// SendToSuccessor implements dht.Network: one hop along the ring.
+func (net *Network) SendToSuccessor(from dht.Key, msg *dht.Message) {
+	n := net.nodes[from]
+	if n == nil || !n.alive {
+		net.dropped++
+		return
+	}
+	succ, ok := n.aliveSuccessor()
+	if !ok || succ == from {
+		net.dropped++
+		return
+	}
+	net.transmit(from, succ, msg, false)
+}
+
+// SendToPredecessor implements dht.Network: one hop counter-clockwise.
+func (net *Network) SendToPredecessor(from dht.Key, msg *dht.Message) {
+	n := net.nodes[from]
+	if n == nil || !n.alive {
+		net.dropped++
+		return
+	}
+	pred, ok := n.alivePredecessor()
+	if !ok || pred == from {
+		net.dropped++
+		return
+	}
+	net.transmit(from, pred, msg, false)
+}
+
+// Covers implements dht.Network.
+func (net *Network) Covers(id dht.Key, key dht.Key) bool {
+	n := net.nodes[id]
+	return n != nil && n.alive && n.covers(net.space.Wrap(key))
+}

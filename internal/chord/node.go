@@ -1,0 +1,165 @@
+// Package chord implements the Chord content-based routing protocol
+// (Stoica et al., SIGCOMM 2001) as a discrete-event simulation, standing in
+// for the publicly available Chord simulator the paper's prototype was
+// linked against (§V).
+//
+// It provides:
+//
+//   - the identifier circle with consistent hashing (package dht),
+//   - per-node finger tables giving O(log N) lookups (paper §II-B.1,
+//     Fig. 1),
+//   - successor lists and the join/stabilize/notify/fix-fingers maintenance
+//     protocol, so nodes can join, leave gracefully, or crash while the ring
+//     self-repairs,
+//   - a simulated network that routes application messages hop by hop with
+//     a constant per-hop delay (50 ms in the paper's configuration) and
+//     reports every transmission and delivery to an observer for the
+//     evaluation's message accounting.
+//
+// Control-plane maintenance (stabilization RPCs) reads peer state directly
+// but only through liveness-checked accessors; the data plane — everything
+// the paper measures — is fully event-driven and pays the per-hop delay.
+package chord
+
+import (
+	"fmt"
+
+	"streamdex/internal/dht"
+	"streamdex/internal/sim"
+)
+
+// Node is one simulated Chord node (a data center / sensor proxy in the
+// paper's architecture).
+type Node struct {
+	id  dht.Key
+	net *Network
+	app dht.App
+
+	alive bool
+
+	// pred is the ring predecessor; hasPred distinguishes "unknown".
+	pred    dht.Key
+	hasPred bool
+
+	// succList[0] is the immediate successor; the tail provides failure
+	// tolerance (Chord's successor-list technique).
+	succList []dht.Key
+
+	// finger[i] is the successor of id + 2^i (mod 2^m); fingerOK marks
+	// entries that have been populated. finger[0] duplicates the
+	// immediate successor.
+	finger     []dht.Key
+	fingerOK   []bool
+	nextFinger int
+
+	tickers []*sim.Ticker
+}
+
+// ID returns the node's ring identifier.
+func (n *Node) ID() dht.Key { return n.id }
+
+// Alive reports whether the node is up.
+func (n *Node) Alive() bool { return n.alive }
+
+// Successor returns the node's immediate successor pointer.
+func (n *Node) Successor() dht.Key {
+	if len(n.succList) == 0 {
+		return n.id
+	}
+	return n.succList[0]
+}
+
+// Predecessor returns the predecessor pointer and whether it is known.
+func (n *Node) Predecessor() (dht.Key, bool) { return n.pred, n.hasPred }
+
+// Finger returns entry i of the finger table (the successor of id + 2^i)
+// and whether it has been populated.
+func (n *Node) Finger(i int) (dht.Key, bool) {
+	if i < 0 || i >= len(n.finger) {
+		return 0, false
+	}
+	return n.finger[i], n.fingerOK[i]
+}
+
+// covers reports whether this node is the successor node of key, i.e.
+// whether key lies in (predecessor, id]. A node with no known predecessor
+// only covers its own identifier (conservative: routing will pass the
+// message to a stabilized neighbor instead).
+func (n *Node) covers(key dht.Key) bool {
+	if !n.hasPred {
+		return key == n.id
+	}
+	return n.net.space.BetweenIncl(key, n.pred, n.id)
+}
+
+// aliveSuccessor returns the first live entry of the successor list, or
+// (0, false) if all known successors are down.
+func (n *Node) aliveSuccessor() (dht.Key, bool) {
+	for _, s := range n.succList {
+		if n.net.isAlive(s) {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// alivePredecessor returns the predecessor if known and live.
+func (n *Node) alivePredecessor() (dht.Key, bool) {
+	if n.hasPred && n.net.isAlive(n.pred) {
+		return n.pred, true
+	}
+	return 0, false
+}
+
+// closestPrecedingAlive returns the live node from this node's routing
+// state (fingers and successor list) that most immediately precedes key,
+// or (0, false) when none precedes it. This is Chord's
+// closest_preceding_finger, hardened against failed entries.
+func (n *Node) closestPrecedingAlive(key dht.Key) (dht.Key, bool) {
+	sp := n.net.space
+	best := dht.Key(0)
+	found := false
+	consider := func(c dht.Key) {
+		if c == n.id || !n.net.isAlive(c) {
+			return
+		}
+		if !sp.Between(c, n.id, key) {
+			return
+		}
+		if !found || sp.Between(best, n.id, c) {
+			best, found = c, true
+		}
+	}
+	for i := len(n.finger) - 1; i >= 0; i-- {
+		if n.fingerOK[i] {
+			consider(n.finger[i])
+		}
+	}
+	for _, s := range n.succList {
+		consider(s)
+	}
+	return best, found
+}
+
+// nextHop picks the forwarding target for a message addressed to key, per
+// Chord's routing rule: if key lies between this node and its successor the
+// successor is final; otherwise forward to the closest preceding live
+// finger (Fig. 1(b)).
+func (n *Node) nextHop(key dht.Key) (dht.Key, bool) {
+	succ, ok := n.aliveSuccessor()
+	if !ok {
+		return 0, false
+	}
+	if n.net.space.BetweenIncl(key, n.id, succ) {
+		return succ, true
+	}
+	if c, ok := n.closestPrecedingAlive(key); ok {
+		return c, true
+	}
+	return succ, true
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (n *Node) String() string {
+	return fmt.Sprintf("chord.Node(%d alive=%v succ=%d)", n.id, n.alive, n.Successor())
+}

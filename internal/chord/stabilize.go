@@ -1,0 +1,278 @@
+package chord
+
+import (
+	"fmt"
+
+	"streamdex/internal/dht"
+	"streamdex/internal/sim"
+)
+
+// Membership and ring maintenance (paper §II-B.1; Stoica et al. §IV-E).
+//
+// Join, graceful leave and crash failures are modelled, together with the
+// three periodic maintenance tasks of the Chord protocol:
+//
+//   - stabilize: ask the successor for its predecessor, adopt it when it
+//     sits between us and the successor, then notify the successor of our
+//     existence; also refresh the successor list from the successor's.
+//   - fix fingers: refresh one finger-table entry per firing.
+//   - check predecessor: clear the predecessor pointer when it has failed.
+//
+// Maintenance reads remote node state through liveness-checked accessors
+// (a zero-latency control plane), which is the same simplification the
+// original Chord simulator makes; every message the evaluation *measures*
+// travels on the delayed data plane.
+
+// maxLookupSteps bounds control-plane successor searches so a pathological
+// half-stabilized ring cannot wedge the simulator.
+const maxLookupSteps = 4096
+
+// Join adds a new node to the overlay through a live bootstrap node and
+// returns it. The node learns its successor immediately (the outcome of
+// Chord's join lookup) and acquires its predecessor, successor list and
+// fingers through subsequent stabilization rounds.
+func (net *Network) Join(id dht.Key, app dht.App, bootstrap dht.Key) (*Node, error) {
+	b := net.nodes[bootstrap]
+	if b == nil || !b.alive {
+		return nil, fmt.Errorf("chord: bootstrap node %d not alive", bootstrap)
+	}
+	if app == nil {
+		app = dht.AppFunc(func(dht.Key, *dht.Message) {})
+	}
+	id = net.space.Wrap(id)
+	succ, ok := net.findSuccessorFrom(b, id)
+	if !ok {
+		return nil, fmt.Errorf("chord: join lookup for %d failed", id)
+	}
+	n := net.addNode(id, app)
+	n.succList = append(n.succList, succ)
+	n.hasPred = false
+	if net.cfg.StabilizeEvery > 0 {
+		net.startMaintenance(n, sim.NewRand(int64(id)^0x9e3779b9))
+	}
+	return n, nil
+}
+
+// CreateFirst bootstraps a brand-new ring with a single node.
+func (net *Network) CreateFirst(id dht.Key, app dht.App) *Node {
+	if len(net.aliveSorted) != 0 {
+		panic("chord: CreateFirst on a non-empty overlay")
+	}
+	if app == nil {
+		app = dht.AppFunc(func(dht.Key, *dht.Message) {})
+	}
+	n := net.addNode(id, app)
+	n.succList = append(n.succList, n.id)
+	n.pred = n.id
+	n.hasPred = true
+	if net.cfg.StabilizeEvery > 0 {
+		net.startMaintenance(n, sim.NewRand(int64(id)^0x9e3779b9))
+	}
+	return n
+}
+
+// Leave removes a node gracefully: it splices its neighbors together before
+// departing, so the ring never observes a gap. Stored application state is
+// soft (summaries and subscriptions expire), so no transfer is needed —
+// exactly the paper's fault-tolerance stance.
+func (net *Network) Leave(id dht.Key) {
+	n := net.nodes[id]
+	if n == nil || !n.alive {
+		return
+	}
+	if succ, ok := n.aliveSuccessor(); ok && succ != id {
+		s := net.nodes[succ]
+		if pred, okP := n.alivePredecessor(); okP && pred != id {
+			s.pred, s.hasPred = pred, true
+			p := net.nodes[pred]
+			// Splice the successor list of the predecessor.
+			p.succList = append([]dht.Key{succ}, trimSelf(s.succList, pred, net.cfg.SuccListLen-1)...)
+		} else {
+			s.hasPred = false
+		}
+	}
+	net.deactivate(n)
+}
+
+// Fail crashes a node abruptly: neighbors discover the failure only through
+// their maintenance tasks, and in-flight messages addressed to it are lost.
+func (net *Network) Fail(id dht.Key) {
+	n := net.nodes[id]
+	if n == nil || !n.alive {
+		return
+	}
+	net.deactivate(n)
+}
+
+func (net *Network) deactivate(n *Node) {
+	n.alive = false
+	for _, t := range n.tickers {
+		t.Stop()
+	}
+	n.tickers = nil
+	net.removeAlive(n.id)
+}
+
+func trimSelf(list []dht.Key, self dht.Key, max int) []dht.Key {
+	out := make([]dht.Key, 0, max)
+	for _, k := range list {
+		if k == self {
+			break
+		}
+		out = append(out, k)
+		if len(out) == max {
+			break
+		}
+	}
+	return out
+}
+
+// startMaintenance launches the periodic tasks with randomized phases so
+// nodes do not stabilize in lock-step.
+func (net *Network) startMaintenance(n *Node, rng *sim.Rand) {
+	stab := net.eng.EveryAfter(rng.UniformTime(0, net.cfg.StabilizeEvery), net.cfg.StabilizeEvery, func() {
+		n.stabilize()
+		n.checkPredecessor()
+	})
+	fix := net.eng.EveryAfter(rng.UniformTime(0, net.cfg.FixFingersEvery), net.cfg.FixFingersEvery, func() {
+		n.fixNextFinger()
+	})
+	n.tickers = append(n.tickers, stab, fix)
+}
+
+// stabilize implements Chord's n.stabilize(): learn about nodes that joined
+// between us and our successor, and keep the successor list fresh.
+func (n *Node) stabilize() {
+	if !n.alive {
+		return
+	}
+	succID, ok := n.aliveSuccessor()
+	if !ok {
+		// Every known successor failed; fall back to the predecessor or
+		// to self (ring of one survivor).
+		if pred, okP := n.alivePredecessor(); okP {
+			n.succList = []dht.Key{pred}
+		} else {
+			n.succList = []dht.Key{n.id}
+		}
+		succID, _ = n.aliveSuccessor()
+	}
+	succ := n.net.nodes[succID]
+	// Ask the successor for its predecessor and adopt it when it sits
+	// between us and the successor. When the successor is still ourselves
+	// (ring bootstrap), the interval (n, n) is the whole ring, so the
+	// first node that notified us becomes our successor — this is how a
+	// one-node ring grows, per the Chord paper.
+	if x, ok := succ.alivePredecessor(); ok && x != n.id && n.net.space.Between(x, n.id, succID) {
+		succID = x
+		succ = n.net.nodes[succID]
+	}
+	if succID == n.id {
+		// Genuinely alone: close the ring on ourselves.
+		n.succList = []dht.Key{n.id}
+		n.pred, n.hasPred = n.id, true
+		n.finger[0], n.fingerOK[0] = n.id, true
+		return
+	}
+	// Adopt successor and extend the list with the successor's own list.
+	newList := append([]dht.Key{succID}, trimSelf(succ.succList, n.id, n.net.cfg.SuccListLen-1)...)
+	n.succList = dedupKeys(newList, n.net.cfg.SuccListLen)
+	n.finger[0], n.fingerOK[0] = succID, true
+	succ.notify(n.id)
+}
+
+// notify implements Chord's n.notify(p): p believes it might be our
+// predecessor.
+func (n *Node) notify(p dht.Key) {
+	if !n.alive || p == n.id {
+		return
+	}
+	if pred, ok := n.alivePredecessor(); !ok || n.net.space.Between(p, pred, n.id) {
+		n.pred, n.hasPred = p, true
+	}
+}
+
+// checkPredecessor clears a failed predecessor pointer.
+func (n *Node) checkPredecessor() {
+	if n.hasPred && !n.net.isAlive(n.pred) {
+		n.hasPred = false
+	}
+}
+
+// fixNextFinger refreshes one finger-table entry per firing, cycling
+// through the table as Chord prescribes.
+func (n *Node) fixNextFinger() {
+	if !n.alive {
+		return
+	}
+	i := n.nextFinger
+	n.nextFinger = (n.nextFinger + 1) % len(n.finger)
+	target := n.net.space.Add(n.id, 1<<uint(i))
+	if s, ok := n.net.findSuccessorFrom(n, target); ok {
+		n.finger[i], n.fingerOK[i] = s, true
+	} else {
+		n.fingerOK[i] = false
+	}
+}
+
+func dedupKeys(list []dht.Key, max int) []dht.Key {
+	seen := make(map[dht.Key]bool, len(list))
+	out := list[:0]
+	for _, k := range list {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, k)
+		if len(out) == max {
+			break
+		}
+	}
+	return out
+}
+
+// findSuccessorFrom walks the overlay's routing state from `start` to find
+// the successor node of key — the control-plane analogue of the data-plane
+// routing in network.go, used by join and finger repair.
+func (net *Network) findSuccessorFrom(start *Node, key dht.Key) (dht.Key, bool) {
+	cur := start
+	for steps := 0; steps < maxLookupSteps; steps++ {
+		if !cur.alive {
+			return 0, false
+		}
+		succ, ok := cur.aliveSuccessor()
+		if !ok {
+			return 0, false
+		}
+		if succ == cur.id {
+			return cur.id, true
+		}
+		if net.space.BetweenIncl(key, cur.id, succ) {
+			return succ, true
+		}
+		nxt, ok := cur.closestPrecedingAlive(key)
+		if !ok || nxt == cur.id {
+			// Degenerate routing state: crawl via the successor.
+			nxt = succ
+		}
+		cur = net.nodes[nxt]
+		if cur == nil {
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// Lookup resolves the successor node of key starting from node `from`,
+// returning the resolved node id and the number of control steps taken.
+// It is exposed for tests and tools; the data plane routes messages instead.
+func (net *Network) Lookup(from dht.Key, key dht.Key) (dht.Key, bool) {
+	n := net.nodes[from]
+	if n == nil || !n.alive {
+		return 0, false
+	}
+	if n.covers(net.space.Wrap(key)) {
+		return n.id, true
+	}
+	return net.findSuccessorFrom(n, net.space.Wrap(key))
+}

@@ -1,0 +1,223 @@
+package chord
+
+import (
+	"testing"
+
+	"streamdex/internal/dht"
+	"streamdex/internal/sim"
+)
+
+func dynConfig(m uint) Config {
+	return Config{
+		Space:           dht.NewSpace(m),
+		HopDelay:        5 * sim.Millisecond,
+		SuccListLen:     4,
+		StabilizeEvery:  100 * sim.Millisecond,
+		FixFingersEvery: 50 * sim.Millisecond,
+	}
+}
+
+// ringConsistent checks that every live node's successor and predecessor
+// pointers agree with the oracle ring.
+func ringConsistent(t *testing.T, net *Network) {
+	t.Helper()
+	ids := net.NodeIDs()
+	sz := len(ids)
+	for i, id := range ids {
+		n := net.Node(id)
+		wantSucc := ids[(i+1)%sz]
+		if got := n.Successor(); got != wantSucc {
+			t.Fatalf("node %d successor = %d, want %d", id, got, wantSucc)
+		}
+		wantPred := ids[(i-1+sz)%sz]
+		if pred, ok := n.Predecessor(); !ok || pred != wantPred {
+			t.Fatalf("node %d predecessor = %d (ok=%v), want %d", id, pred, ok, wantPred)
+		}
+	}
+}
+
+func TestIncrementalJoinStabilizes(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, dynConfig(16))
+	ids := UniformIDs(net.Space(), 24)
+	net.CreateFirst(ids[0], nil)
+	for _, id := range ids[1:] {
+		if _, err := net.Join(id, nil, ids[0]); err != nil {
+			t.Fatalf("join %d: %v", id, err)
+		}
+		eng.RunFor(400 * sim.Millisecond) // a few stabilization rounds
+	}
+	eng.RunFor(5 * sim.Second)
+	ringConsistent(t, net)
+}
+
+func TestMassJoinThenStabilize(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, dynConfig(16))
+	ids := UniformIDs(net.Space(), 32)
+	net.CreateFirst(ids[0], nil)
+	// All nodes join nearly simultaneously through the same bootstrap.
+	for _, id := range ids[1:] {
+		if _, err := net.Join(id, nil, ids[0]); err != nil {
+			t.Fatalf("join %d: %v", id, err)
+		}
+	}
+	eng.RunFor(20 * sim.Second)
+	ringConsistent(t, net)
+}
+
+func TestGracefulLeaveSplicesRing(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, dynConfig(16))
+	ids := SortKeys(UniformIDs(net.Space(), 16))
+	net.BuildStable(ids, nil)
+	// Remove every third node gracefully.
+	for i := 0; i < len(ids); i += 3 {
+		net.Leave(ids[i])
+	}
+	eng.RunFor(5 * sim.Second)
+	ringConsistent(t, net)
+}
+
+func TestCrashFailureRepairs(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, dynConfig(16))
+	ids := SortKeys(UniformIDs(net.Space(), 20))
+	net.BuildStable(ids, nil)
+	// Crash 5 random-ish nodes abruptly: no splicing, neighbors must
+	// detect the failure through stabilization.
+	for _, i := range []int{1, 6, 7, 12, 19} {
+		net.Fail(ids[i])
+	}
+	eng.RunFor(20 * sim.Second)
+	ringConsistent(t, net)
+	if net.Len() != 15 {
+		t.Fatalf("live nodes = %d, want 15", net.Len())
+	}
+}
+
+func TestRoutingWorksAfterChurn(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, dynConfig(16))
+	ids := SortKeys(UniformIDs(net.Space(), 20))
+	net.BuildStable(ids, nil)
+	net.Fail(ids[3])
+	net.Fail(ids[11])
+	net.Leave(ids[17])
+	eng.RunFor(20 * sim.Second)
+
+	delivered := map[dht.Key]dht.Key{}
+	for _, id := range net.NodeIDs() {
+		net.SetApp(id, dht.AppFunc(func(self dht.Key, msg *dht.Message) {
+			delivered[msg.Key] = self
+		}))
+	}
+	rng := sim.NewRand(21)
+	keys := make([]dht.Key, 100)
+	live := net.NodeIDs()
+	for i := range keys {
+		keys[i] = dht.Key(rng.Int63()) & net.Space().Mask()
+		net.Send(live[rng.Intn(len(live))], keys[i], &dht.Message{})
+	}
+	eng.RunFor(30 * sim.Second)
+	for _, k := range keys {
+		want, _ := net.OracleSuccessor(k)
+		if delivered[k] != want {
+			t.Fatalf("post-churn: key %d delivered at %d, oracle %d", k, delivered[k], want)
+		}
+	}
+}
+
+func TestFingerTablesConvergeAfterJoin(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, dynConfig(12))
+	ids := UniformIDs(net.Space(), 12)
+	net.CreateFirst(ids[0], nil)
+	for _, id := range ids[1:] {
+		if _, err := net.Join(id, nil, ids[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Enough rounds for fix-fingers to cycle the whole table (m=12
+	// entries at one per 50 ms -> 600 ms per full cycle).
+	eng.RunFor(30 * sim.Second)
+	for _, id := range net.NodeIDs() {
+		n := net.Node(id)
+		for i := 0; i < int(net.Space().M); i++ {
+			got, ok := n.Finger(i)
+			if !ok {
+				t.Fatalf("node %d finger[%d] unpopulated", id, i)
+			}
+			want, _ := net.OracleSuccessor(net.Space().Add(id, 1<<uint(i)))
+			if got != want {
+				t.Fatalf("node %d finger[%d] = %d, want %d", id, i, got, want)
+			}
+		}
+	}
+}
+
+func TestJoinRequiresLiveBootstrap(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, dynConfig(12))
+	ids := UniformIDs(net.Space(), 3)
+	net.CreateFirst(ids[0], nil)
+	net.Fail(ids[0])
+	if _, err := net.Join(ids[1], nil, ids[0]); err == nil {
+		t.Fatal("join through a dead bootstrap should fail")
+	}
+}
+
+func TestSingleNodeRingCoversEverything(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, dynConfig(12))
+	id := net.Space().HashString("only")
+	net.CreateFirst(id, nil)
+	count := 0
+	net.SetApp(id, dht.AppFunc(func(self dht.Key, msg *dht.Message) { count++ }))
+	for k := uint64(0); k < 50; k++ {
+		net.Send(id, dht.Key(k*81), &dht.Message{})
+	}
+	eng.RunFor(sim.Second)
+	if count != 50 {
+		t.Fatalf("single node delivered %d of 50 messages", count)
+	}
+}
+
+func TestMessagesToFailedRegionRerouteAfterRepair(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, dynConfig(16))
+	ids := SortKeys(UniformIDs(net.Space(), 10))
+	net.BuildStable(ids, nil)
+	victim := ids[4]
+	net.Fail(victim)
+	eng.RunFor(20 * sim.Second) // let the ring heal
+
+	// A key previously covered by the victim must now be delivered to the
+	// victim's successor.
+	key := victim // the node's own id was covered by it
+	var deliveredAt dht.Key
+	for _, id := range net.NodeIDs() {
+		net.SetApp(id, dht.AppFunc(func(self dht.Key, msg *dht.Message) { deliveredAt = self }))
+	}
+	net.Send(ids[0], key, &dht.Message{})
+	eng.RunFor(10 * sim.Second)
+	want, _ := net.OracleSuccessor(key)
+	if deliveredAt != want {
+		t.Fatalf("key %d delivered at %d after repair, want %d", key, deliveredAt, want)
+	}
+}
+
+func TestLeaveIsIdempotent(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, dynConfig(12))
+	ids := UniformIDs(net.Space(), 4)
+	net.BuildStable(ids, nil)
+	net.Leave(ids[0])
+	net.Leave(ids[0]) // no-op
+	net.Fail(ids[1])
+	net.Fail(ids[1]) // no-op
+	eng.RunFor(2 * sim.Second)
+	if net.Len() != 2 {
+		t.Fatalf("live = %d, want 2", net.Len())
+	}
+}

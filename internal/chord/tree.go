@@ -1,0 +1,84 @@
+package chord
+
+import (
+	"sort"
+
+	"streamdex/internal/dht"
+)
+
+// DelegateRange implements dht.RangeDelegator: tree-structured range
+// dissemination over the finger table (in the style of structured-overlay
+// broadcast), providing the "efficient native support of multicast to a
+// range of keys" the paper identifies as the cure for the linear
+// propagation delay of sequential range coverage (§IV-C, §VI-B).
+//
+// The node splits its remaining arc (self, RangeEnd] among its live
+// fingers inside the arc: each finger receives the message together with
+// a sub-range ending just before the next finger, and recurses. Because
+// fingers are exponentially spaced, the dissemination depth is
+// O(log(covered nodes)) while the total message count stays one per
+// covered node — the same cost as the sequential walk at a fraction of
+// the delay (measured by ablation A1).
+func (net *Network) DelegateRange(self dht.Key, msg *dht.Message) int {
+	n := net.nodes[self]
+	if n == nil || !n.alive {
+		net.dropped++
+		return 0
+	}
+	hi := msg.RangeEnd
+	// Collect the distinct live routing-state entries inside (self, hi].
+	seen := make(map[dht.Key]bool)
+	var kids []dht.Key
+	consider := func(c dht.Key) {
+		if c == self || seen[c] || !net.isAlive(c) {
+			return
+		}
+		if !net.space.BetweenIncl(c, self, hi) {
+			return
+		}
+		seen[c] = true
+		kids = append(kids, c)
+	}
+	for i := range n.finger {
+		if n.fingerOK[i] {
+			consider(n.finger[i])
+		}
+	}
+	for _, s := range n.succList {
+		consider(s)
+	}
+	if len(kids) == 0 {
+		// No routing entry inside the arc. The keys left in (self, hi]
+		// belong to the node succeeding them: reach it only on the
+		// rightmost path — interior subtrees' parents already delivered
+		// to the sibling that covers these keys.
+		if !msg.RangeTail {
+			return 0
+		}
+		c := msg.Clone()
+		c.Dir = +1
+		net.SendToSuccessor(self, c)
+		return 1
+	}
+	// Ring order away from self: ascending clockwise distance.
+	sort.Slice(kids, func(i, j int) bool {
+		return net.space.Distance(self, kids[i]) < net.space.Distance(self, kids[j])
+	})
+	for j, kid := range kids {
+		c := msg.Clone()
+		c.Dir = +1
+		if j+1 < len(kids) {
+			// This child's subtree ends just before the next child and
+			// never owns the tail.
+			c.RangeEnd = net.space.Add(kids[j+1], net.space.Size()-1)
+			c.RangeTail = false
+		}
+		// The last child inherits the parent's tail ownership (already
+		// carried in the clone).
+		net.transmit(self, kid, c, false)
+	}
+	return len(kids)
+}
+
+// Compile-time check.
+var _ dht.RangeDelegator = (*Network)(nil)

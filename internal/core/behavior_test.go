@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+
+	"streamdex/internal/chord"
+	"streamdex/internal/dht"
+	"streamdex/internal/dsp"
+	"streamdex/internal/metrics"
+	"streamdex/internal/sim"
+	"streamdex/internal/stream"
+	"streamdex/internal/summary"
+)
+
+// Focused behavior tests beyond the main integration suite: range-multicast
+// mode, normalization mode, notify relaying, and post-deployment joins.
+
+func TestBidirectionalModeEndToEnd(t *testing.T) {
+	cfg := testConfig()
+	cfg.RangeMode = dht.RangeBidirectional
+	eng, _, mw, ids := testCluster(t, 16, cfg, false)
+
+	twinA := stream.Stream{ID: "twinA", Gen: stream.DefaultRandomWalk(sim.NewRand(55)), Period: 100 * sim.Millisecond}
+	twinB := stream.Stream{ID: "twinB", Gen: stream.DefaultRandomWalk(sim.NewRand(55)), Period: 100 * sim.Millisecond}
+	if err := mw.DataCenter(ids[1]).RegisterStream(twinA); err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.DataCenter(ids[9]).RegisterStream(twinB); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(12 * sim.Second)
+	f := mw.DataCenter(ids[1]).StreamFeature("twinA")
+	qid, err := mw.PostSimilarity(ids[4], f, 0.15, 20*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(12 * sim.Second)
+	found := map[string]bool{}
+	for _, sid := range mw.MatchedStreams(qid) {
+		found[sid] = true
+	}
+	if !found["twinB"] {
+		t.Fatalf("twin not found in bidirectional mode: %v", mw.MatchedStreams(qid))
+	}
+	// Bidirectional continuation legs must exist in both ring
+	// directions: Dir=-1 legs only occur in this mode.
+	rep := mw.Collector().Snapshot(eng.Now(), ids)
+	if rep.TotalByCategory[metrics.QueryRange]+rep.TotalByCategory[metrics.MBRRange] == 0 {
+		t.Fatal("no range continuation traffic observed")
+	}
+}
+
+func TestUnitNormModeEndToEnd(t *testing.T) {
+	cfg := testConfig()
+	cfg.Norm = dsp.UnitNorm
+	cfg.FeatureDims = 3 // includes the DC coordinate under unit norm
+	eng, _, mw, ids := testCluster(t, 12, cfg, false)
+
+	// Plant a periodic pattern stream; under unit-norm subsequence
+	// matching, a query with the same shape AND scale profile matches.
+	gen := func() stream.Generator { return stream.NewSine(nil, 5, 16, 20, 0) }
+	st := stream.Stream{ID: "pattern", Gen: gen(), Period: 100 * sim.Millisecond}
+	if err := mw.DataCenter(ids[2]).RegisterStream(st); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(10 * sim.Second)
+
+	series := make([]float64, cfg.WindowSize)
+	g := gen()
+	for i := range series {
+		series[i] = g.Next()
+	}
+	qid, err := mw.PostSimilaritySeries(ids[7], series, 0.25, 20*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(12 * sim.Second)
+	found := false
+	for _, sid := range mw.MatchedStreams(qid) {
+		if sid == "pattern" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unit-norm pattern not matched: %v", mw.MatchedStreams(qid))
+	}
+}
+
+func TestNotifyRelayReachesDistantMiddle(t *testing.T) {
+	// A candidate detected at the far end of a wide query range must
+	// reach the middle node through successive neighbor pushes, one hop
+	// per period.
+	cfg := testConfig()
+	eng, net, mw, ids := testCluster(t, 16, cfg, false)
+	eng.RunFor(12 * sim.Second)
+
+	// A very wide query: radius 0.9 covers most of the ring, so range
+	// ends are many hops from the middle.
+	qid, err := mw.PostSimilarity(ids[0], summary.Feature{0, 0, 0}, 0.9, 40*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(30 * sim.Second)
+	if len(mw.SimilarityMatches(qid)) == 0 {
+		t.Fatal("wide query produced no matches despite covering most of the feature space")
+	}
+	// Matches must include candidates detected at nodes that do NOT
+	// cover the middle key (i.e. they traveled via relay).
+	lo, hi := mw.Mapper().QueryRange(0, 0.9)
+	middle := cfg.Space.Midpoint(lo, hi)
+	sawRemote := false
+	for _, m := range mw.SimilarityMatches(qid) {
+		if !net.Covers(m.Node, middle) {
+			sawRemote = true
+			break
+		}
+	}
+	if !sawRemote {
+		t.Fatal("all matches originated at the middle node; relay path unexercised")
+	}
+}
+
+func TestJoinAfterDeploymentParticipates(t *testing.T) {
+	// A node joining a running system is attached to the middleware and
+	// starts covering content.
+	cfg := testConfig()
+	eng, net, mw, ids := testCluster(t, 10, cfg, true)
+	eng.RunFor(8 * sim.Second)
+
+	newID := cfg.Space.HashString("latecomer")
+	if _, err := net.Join(newID, nil, ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	dc := mw.AttachNode(newID)
+	if dc == nil {
+		t.Fatal("attach failed")
+	}
+	st := stream.Stream{ID: "late-stream", Gen: stream.DefaultRandomWalk(sim.NewRand(77)), Period: 100 * sim.Millisecond}
+	if err := dc.RegisterStream(st); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(25 * sim.Second) // stabilize + window fill + MBRs flow
+
+	// The latecomer must now hold index state (MBRs routed to its arc)
+	// or at least source its own summaries.
+	if dc.Store().Len() == 0 {
+		t.Fatal("latecomer holds no index state after joining")
+	}
+	// And a query against its stream must be answerable.
+	f := dc.StreamFeature("late-stream")
+	if f == nil {
+		t.Fatal("latecomer stream window never filled")
+	}
+	qid, err := mw.PostSimilarity(ids[3], f, 0.3, 20*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(12 * sim.Second)
+	found := false
+	for _, sid := range mw.MatchedStreams(qid) {
+		if sid == "late-stream" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("latecomer's stream not found: %v", mw.MatchedStreams(qid))
+	}
+}
+
+func TestMessagesCarryWireSizes(t *testing.T) {
+	cfg := testConfig()
+	eng, net, mw, ids := testCluster(t, 10, cfg, false)
+	var sized, unsized int
+	net.SetObserver(obsCheck{onTransmit: func(msg *dht.Message) {
+		if msg.Bytes > 0 {
+			sized++
+		} else {
+			unsized++
+		}
+	}})
+	eng.RunFor(10 * sim.Second)
+	if _, err := mw.PostSimilarity(ids[0], summary.Feature{0, 0, 0}, 0.2, 5*sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(5 * sim.Second)
+	if sized == 0 {
+		t.Fatal("no sized messages observed")
+	}
+	if unsized > 0 {
+		t.Fatalf("%d middleware messages lack wire sizes", unsized)
+	}
+}
+
+type obsCheck struct {
+	onTransmit func(*dht.Message)
+}
+
+func (o obsCheck) OnTransmit(from, to dht.Key, msg *dht.Message) { o.onTransmit(msg) }
+func (o obsCheck) OnDeliver(at dht.Key, msg *dht.Message)        {}
+
+// Guard against accidental import cycle breaks in the test helpers.
+var _ = chord.SortKeys

@@ -1,0 +1,521 @@
+package core
+
+import (
+	"fmt"
+
+	"streamdex/internal/dht"
+	"streamdex/internal/dsp"
+	"streamdex/internal/metrics"
+	"streamdex/internal/query"
+	"streamdex/internal/sim"
+	"streamdex/internal/stream"
+	"streamdex/internal/summary"
+)
+
+// DataCenter is the middleware instance running on one overlay node — a
+// sensor proxy / base station in the paper's architecture. It implements
+// dht.App; all its state is manipulated exclusively from the simulation
+// event loop.
+type DataCenter struct {
+	id dht.Key
+	mw *Middleware
+
+	// streams this node is the source of.
+	streams map[string]*localStream
+
+	// store is the index partition: MBRs this node covers by content.
+	store *Store
+
+	// subs are the similarity subscriptions whose key range covers this
+	// node; aggs the queries for which this node is the middle node.
+	subs map[query.ID]*simSub
+	aggs map[query.ID]*aggregator
+
+	// ipSubs are inner-product subscriptions on local streams.
+	ipSubs map[query.ID]*ipSubState
+
+	// locTable is this node's partition of the location service
+	// (stream id -> source node for ids hashing here); locCache caches
+	// resolutions this node obtained as a client ("remembers the mapping
+	// so that next time it does not need to retrieve it").
+	locTable map[string]dht.Key
+	locCache map[string]dht.Key
+	// pendingIP holds inner-product queries awaiting location
+	// resolution.
+	pendingIP map[string][]*query.InnerProduct
+
+	// relay buffers notify items received from neighbors, to be moved
+	// one further ring hop toward their middle node on the next period.
+	relay []notifyItem
+
+	ticker *sim.Ticker
+}
+
+// localStream is one stream this data center sources.
+type localStream struct {
+	st      stream.Stream
+	sdft    *dsp.SlidingDFT
+	batcher *summary.Batcher
+	ticker  *sim.Ticker
+}
+
+func newDataCenter(id dht.Key, mw *Middleware) *DataCenter {
+	return &DataCenter{
+		id:        id,
+		mw:        mw,
+		streams:   make(map[string]*localStream),
+		store:     NewStore(),
+		subs:      make(map[query.ID]*simSub),
+		aggs:      make(map[query.ID]*aggregator),
+		ipSubs:    make(map[query.ID]*ipSubState),
+		locTable:  make(map[string]dht.Key),
+		locCache:  make(map[string]dht.Key),
+		pendingIP: make(map[string][]*query.InnerProduct),
+	}
+}
+
+// ID returns the data center's overlay identifier.
+func (dc *DataCenter) ID() dht.Key { return dc.id }
+
+// Store exposes the index partition (read-mostly; used by tests and the
+// hierarchy extension).
+func (dc *DataCenter) Store() *Store { return dc.store }
+
+// SubCount returns the number of similarity subscriptions registered here.
+func (dc *DataCenter) SubCount() int { return len(dc.subs) }
+
+// HasAggregator reports whether this node is the middle node of the query.
+func (dc *DataCenter) HasAggregator(id query.ID) bool {
+	_, ok := dc.aggs[id]
+	return ok
+}
+
+// StreamIDs lists the streams sourced here.
+func (dc *DataCenter) StreamIDs() []string {
+	out := make([]string, 0, len(dc.streams))
+	for sid := range dc.streams {
+		out = append(out, sid)
+	}
+	return out
+}
+
+// StreamWindow returns a copy of the stream's current raw window (ground
+// truth for tests), or nil when unknown or not yet full.
+func (dc *DataCenter) StreamWindow(sid string) []float64 {
+	ls := dc.streams[sid]
+	if ls == nil || !ls.sdft.Full() {
+		return nil
+	}
+	return ls.sdft.Window()
+}
+
+// StreamFeature returns the stream's current feature vector, or nil before
+// the window fills.
+func (dc *DataCenter) StreamFeature(sid string) summary.Feature {
+	ls := dc.streams[sid]
+	if ls == nil || !ls.sdft.Full() {
+		return nil
+	}
+	cfg := dc.mw.cfg
+	return summary.FromCoeffs(ls.sdft.NormalizedCoeffs(cfg.Norm), cfg.FeatureDims, cfg.skipDC())
+}
+
+// alive reports whether the underlying overlay node is up.
+func (dc *DataCenter) alive() bool {
+	return dc.mw.net.Alive(dc.id)
+}
+
+// RegisterStream makes this data center the source of st: new values are
+// summarized incrementally on the stream's period, batched into MBRs and
+// routed by content; the (sid -> source) pair is "put" into the location
+// service at h2(sid) (§IV-D).
+func (dc *DataCenter) RegisterStream(st stream.Stream) error {
+	if err := st.Validate(); err != nil {
+		return err
+	}
+	if _, dup := dc.streams[st.ID]; dup {
+		return fmt.Errorf("core: stream %q already registered at node %d", st.ID, dc.id)
+	}
+	cfg := dc.mw.cfg
+	ls := &localStream{
+		st:      st,
+		sdft:    dsp.NewSlidingDFT(cfg.WindowSize, cfg.Coeffs),
+		batcher: summary.NewBatcher(st.ID, cfg.Beta),
+	}
+	dc.streams[st.ID] = ls
+	if st.Prefill {
+		// Prime the window with pre-deployment history; summaries are
+		// not published for it (the index starts at the first live
+		// value), but the first live value immediately yields a
+		// feature.
+		for i := 0; i < cfg.WindowSize; i++ {
+			ls.sdft.Push(st.Gen.Next())
+		}
+	}
+	phase := dc.mw.rng.UniformTime(0, st.Period)
+	ls.ticker = dc.mw.eng.EveryAfter(phase, st.Period, func() { dc.streamTick(ls) })
+
+	// Location-service registration.
+	key := dc.mw.locKey(st.ID)
+	msg := sized(&dht.Message{Kind: KindLocPut, Payload: locPut{StreamID: st.ID, Source: dc.id}})
+	dc.mw.net.Send(dc.id, key, msg)
+	return nil
+}
+
+// streamTick processes one new stream value.
+func (dc *DataCenter) streamTick(ls *localStream) {
+	if !dc.alive() {
+		ls.ticker.Stop()
+		return
+	}
+	ls.sdft.Push(ls.st.Gen.Next())
+	if !ls.sdft.Full() {
+		return
+	}
+	cfg := dc.mw.cfg
+	f := summary.FromCoeffs(ls.sdft.NormalizedCoeffs(cfg.Norm), cfg.FeatureDims, cfg.skipDC())
+	if mbr := ls.batcher.Add(f); mbr != nil {
+		dc.publishMBR(mbr)
+	}
+}
+
+// publishMBR stamps, stores, matches and routes a finished MBR by content
+// (§IV-G): it is replicated at every node that succeeds a key in
+// [h(L1), h(H1)].
+func (dc *DataCenter) publishMBR(b *summary.MBR) {
+	now := dc.mw.eng.Now()
+	b.Created = now
+	b.Expiry = now + dc.mw.cfg.MBRLifespan
+	dc.mw.col.CountEvent(metrics.EventMBR)
+
+	// The summary is also stored locally (§IV-A) and matched against
+	// subscriptions this node already covers.
+	dc.store.Put(b)
+	dc.matchNewMBR(b)
+
+	lo, hi := b.KeyRange(dc.mw.mapper)
+	msg := sized(&dht.Message{Kind: KindMBR, Payload: mbrUpdate{MBR: b}})
+	dht.SendRange(dc.mw.net, dc.id, lo, hi, msg, dc.mw.cfg.RangeMode)
+}
+
+// matchNewMBR tests a just-arrived MBR against every registered
+// subscription.
+func (dc *DataCenter) matchNewMBR(b *summary.MBR) {
+	now := dc.mw.eng.Now()
+	for _, sub := range dc.subs {
+		if now >= sub.q.Expiry() {
+			continue
+		}
+		if d, ok := MatchMBR(b, sub.q.Feature, sub.q.Radius); ok {
+			sub.add(query.Match{
+				StreamID: b.StreamID,
+				Seq:      b.Seq,
+				DistLB:   d,
+				FoundAt:  now,
+				Node:     dc.id,
+			})
+		}
+	}
+}
+
+// Deliver implements dht.App: the application upcall of the content-based
+// routing substrate.
+func (dc *DataCenter) Deliver(self dht.Key, msg *dht.Message) {
+	switch msg.Kind {
+	case KindMBR:
+		dc.onMBR(msg)
+	case KindQuery:
+		dc.onQuery(msg)
+	case KindNotify:
+		dc.onNotify(msg)
+	case KindResponse:
+		p := msg.Payload.(responseMsg)
+		dc.mw.deliverSimilarity(dc.id, p)
+	case KindLocPut:
+		p := msg.Payload.(locPut)
+		dc.locTable[p.StreamID] = p.Source
+	case KindLocGet:
+		dc.onLocGet(msg)
+	case KindLocReply:
+		dc.onLocReply(msg)
+	case KindIPSub:
+		dc.onIPSub(msg)
+	case KindIPResp:
+		p := msg.Payload.(ipResp)
+		dc.mw.deliverIP(dc.id, p)
+	default:
+		dc.mw.unclassified++
+	}
+}
+
+// onMBR stores a replicated summary, matches it, and keeps the range
+// multicast going.
+func (dc *DataCenter) onMBR(msg *dht.Message) {
+	b := msg.Payload.(mbrUpdate).MBR
+	if !b.Expired(dc.mw.eng.Now()) {
+		dc.store.Put(b)
+		dc.matchNewMBR(b)
+	}
+	dht.ContinueRange(dc.mw.net, dc.id, msg)
+}
+
+// onQuery registers a similarity subscription at a covering node, scans
+// the local index for immediate candidates, installs the aggregator when
+// this node covers the middle key, and continues the range multicast.
+func (dc *DataCenter) onQuery(msg *dht.Message) {
+	p := msg.Payload.(simQuery)
+	now := dc.mw.eng.Now()
+	if now < p.Q.Expiry() {
+		if _, dup := dc.subs[p.Q.ID]; !dup {
+			sub := newSimSub(p.Q, p.MiddleKey)
+			for _, m := range dc.store.Candidates(p.Q.Feature, p.Q.Radius, now, dc.id) {
+				sub.add(m)
+			}
+			dc.subs[p.Q.ID] = sub
+			if dc.mw.net.Covers(dc.id, p.MiddleKey) {
+				if _, ok := dc.aggs[p.Q.ID]; !ok {
+					dc.aggs[p.Q.ID] = newAggregator(p.Q.ID, p.Q.Origin, p.Q.Expiry())
+				}
+			}
+		}
+	}
+	dht.ContinueRange(dc.mw.net, dc.id, msg)
+}
+
+// onNotify absorbs items destined for this node's aggregators and buffers
+// the rest for the next relay period.
+func (dc *DataCenter) onNotify(msg *dht.Message) {
+	p := msg.Payload.(notifyBatch)
+	for _, item := range p.Items {
+		dc.absorbOrRelay(item)
+	}
+}
+
+func (dc *DataCenter) absorbOrRelay(item notifyItem) {
+	now := dc.mw.eng.Now()
+	if now >= sim.Time(item.Expiry) {
+		return // stale query: drop
+	}
+	if dc.mw.net.Covers(dc.id, item.MiddleKey) {
+		agg := dc.aggs[item.QueryID]
+		if agg == nil {
+			// Ring ownership shifted (churn): adopt the aggregation
+			// duty; the item carries everything needed.
+			agg = newAggregator(item.QueryID, item.ClientKey, sim.Time(item.Expiry))
+			dc.aggs[item.QueryID] = agg
+		}
+		agg.absorb(item.Matches)
+		return
+	}
+	dc.relay = append(dc.relay, item)
+}
+
+// onLocGet answers a location-service lookup.
+func (dc *DataCenter) onLocGet(msg *dht.Message) {
+	p := msg.Payload.(locGet)
+	src, found := dc.locTable[p.StreamID]
+	reply := sized(&dht.Message{Kind: KindLocReply, Payload: locReply{StreamID: p.StreamID, Source: src, Found: found}})
+	dc.mw.net.Send(dc.id, p.Requester, reply)
+}
+
+// onLocReply caches the resolution and dispatches the inner-product
+// queries that were waiting for it.
+func (dc *DataCenter) onLocReply(msg *dht.Message) {
+	p := msg.Payload.(locReply)
+	waiting := dc.pendingIP[p.StreamID]
+	delete(dc.pendingIP, p.StreamID)
+	if !p.Found {
+		dc.mw.failIP(waiting)
+		return
+	}
+	dc.locCache[p.StreamID] = p.Source
+	for _, q := range waiting {
+		dc.sendIPSub(p.Source, q)
+	}
+}
+
+func (dc *DataCenter) sendIPSub(source dht.Key, q *query.InnerProduct) {
+	// A subscription on a locally sourced stream needs no network trip.
+	if source == dc.id {
+		dc.registerIPSub(q)
+		return
+	}
+	msg := sized(&dht.Message{Kind: KindIPSub, Payload: ipSub{Q: q}})
+	dc.mw.net.Send(dc.id, source, msg)
+}
+
+// onIPSub registers an inner-product subscription at the stream source.
+func (dc *DataCenter) onIPSub(msg *dht.Message) {
+	dc.registerIPSub(msg.Payload.(ipSub).Q)
+}
+
+func (dc *DataCenter) registerIPSub(q *query.InnerProduct) {
+	if _, local := dc.streams[q.StreamID]; !local {
+		dc.mw.failIP([]*query.InnerProduct{q})
+		return
+	}
+	dc.ipSubs[q.ID] = &ipSubState{q: q}
+}
+
+// startTicker launches the periodic push/sweep process (NPER).
+func (dc *DataCenter) startTicker() {
+	period := dc.mw.cfg.PushPeriod
+	phase := dc.mw.rng.UniformTime(0, period)
+	dc.ticker = dc.mw.eng.EveryAfter(phase, period, dc.periodTick)
+}
+
+// periodTick runs once per push period: sweep soft state, funnel
+// similarity information one hop toward middle nodes, push aggregated
+// responses to clients, and push inner-product values.
+func (dc *DataCenter) periodTick() {
+	if !dc.alive() {
+		dc.ticker.Stop()
+		return
+	}
+	now := dc.mw.eng.Now()
+	dc.sweep(now)
+	dc.flushNotifies(now)
+	dc.pushResponses(now)
+	dc.pushInnerProducts(now)
+}
+
+// sweep drops expired soft state.
+func (dc *DataCenter) sweep(now sim.Time) {
+	dc.store.Sweep(now)
+	for id, sub := range dc.subs {
+		if now >= sub.q.Expiry() {
+			delete(dc.subs, id)
+		}
+	}
+	for id, agg := range dc.aggs {
+		if now >= agg.expiry {
+			delete(dc.aggs, id)
+		}
+	}
+	for id, st := range dc.ipSubs {
+		if now >= st.q.Expiry() {
+			delete(dc.ipSubs, id)
+		}
+	}
+}
+
+// flushNotifies sends at most one KindNotify per ring direction, carrying
+// the aggregated similarity information of all local subscriptions plus
+// relayed items, one hop toward the respective middle nodes (§IV-F). The
+// periodic per-direction message is sent whenever the node participates in
+// at least one query range in that direction, matching the constant
+// neighbor-exchange load component of Fig. 6(a).
+func (dc *DataCenter) flushNotifies(now sim.Time) {
+	var toSucc, toPred []notifyItem
+	dirSucc, dirPred := false, false
+
+	bucket := func(item notifyItem) {
+		if dc.toSuccessor(item.MiddleKey) {
+			toSucc = append(toSucc, item)
+		} else {
+			toPred = append(toPred, item)
+		}
+	}
+
+	for _, item := range dc.relay {
+		if now >= sim.Time(item.Expiry) {
+			continue
+		}
+		bucket(item)
+	}
+	dc.relay = nil
+
+	for id, sub := range dc.subs {
+		if now >= sub.q.Expiry() {
+			continue
+		}
+		pending := sub.takePending()
+		if dc.mw.net.Covers(dc.id, sub.middleKey) {
+			// This node is the middle node: its own candidates go
+			// straight into the aggregator.
+			if agg := dc.aggs[id]; agg != nil {
+				agg.absorb(pending)
+			}
+			continue
+		}
+		// Participating in the range keeps the periodic heartbeat
+		// flowing in this direction even with nothing detected.
+		if dc.toSuccessor(sub.middleKey) {
+			dirSucc = true
+		} else {
+			dirPred = true
+		}
+		if len(pending) == 0 {
+			continue
+		}
+		bucket(notifyItem{
+			QueryID:   id,
+			MiddleKey: sub.middleKey,
+			ClientKey: sub.q.Origin,
+			Expiry:    int64(sub.q.Expiry()),
+			Matches:   pending,
+		})
+	}
+
+	if len(toSucc) > 0 || dirSucc {
+		msg := sized(&dht.Message{Kind: KindNotify, Src: dc.id, SentAt: now, Payload: notifyBatch{Items: toSucc}})
+		dc.mw.net.SendToSuccessor(dc.id, msg)
+	}
+	if len(toPred) > 0 || dirPred {
+		msg := sized(&dht.Message{Kind: KindNotify, Src: dc.id, SentAt: now, Payload: notifyBatch{Items: toPred}})
+		dc.mw.net.SendToPredecessor(dc.id, msg)
+	}
+}
+
+// toSuccessor reports whether the middle key is reached faster clockwise.
+func (dc *DataCenter) toSuccessor(middle dht.Key) bool {
+	sp := dc.mw.net.Space()
+	return sp.Distance(dc.id, middle) <= sp.Distance(middle, dc.id)
+}
+
+// pushResponses sends each aggregator's periodic response to its client —
+// one message per active query per period, so the total response rate is
+// linearly proportional to the number of queries (§V).
+func (dc *DataCenter) pushResponses(now sim.Time) {
+	for id, agg := range dc.aggs {
+		if now >= agg.expiry {
+			continue
+		}
+		dc.mw.col.CountEvent(metrics.EventResponse)
+		payload := responseMsg{QueryID: id, Matches: agg.takePending()}
+		if agg.client == dc.id {
+			// Client co-located with the middle node: local delivery.
+			dc.mw.deliverSimilarity(dc.id, payload)
+			continue
+		}
+		msg := sized(&dht.Message{Kind: KindResponse, Payload: payload})
+		dc.mw.net.Send(dc.id, agg.client, msg)
+	}
+}
+
+// pushInnerProducts reconstructs each subscribed stream from its retained
+// coefficients (inverse transform, Eq. 7) and pushes the weighted inner
+// product to the client (§IV-D).
+func (dc *DataCenter) pushInnerProducts(now sim.Time) {
+	for id, st := range dc.ipSubs {
+		ls := dc.streams[st.q.StreamID]
+		if ls == nil || !ls.sdft.Full() {
+			continue
+		}
+		approx := dsp.Reconstruct(ls.sdft.Coeffs(), dc.mw.cfg.WindowSize)
+		var v float64
+		for j, idx := range st.q.Index {
+			if idx >= len(approx) {
+				continue // window shorter than the index vector assumes
+			}
+			v += st.q.Weights[j] * approx[idx]
+		}
+		payload := ipResp{QueryID: id, Value: query.IPValue{Value: v, At: now, Approx: true}}
+		if st.q.Origin == dc.id {
+			dc.mw.deliverIP(dc.id, payload)
+			continue
+		}
+		msg := sized(&dht.Message{Kind: KindIPResp, Payload: payload})
+		dc.mw.net.Send(dc.id, st.q.Origin, msg)
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"streamdex/internal/dht"
+	"streamdex/internal/metrics"
+	"streamdex/internal/query"
+	"streamdex/internal/summary"
+	"streamdex/internal/wire"
+)
+
+// Message kinds of the middleware protocol.
+const (
+	// KindMBR replicates a stream's MBR summary over its key range
+	// ("put" in DHT terms, §IV-B/G).
+	KindMBR dht.Kind = iota
+	// KindQuery disseminates a similarity query over its key range
+	// ("get", §IV-E).
+	KindQuery
+	// KindNotify carries detected-similarity information one ring hop
+	// toward a query's middle node (§IV-F).
+	KindNotify
+	// KindResponse carries aggregated results from a middle node to the
+	// client that posed the query (§IV-F).
+	KindResponse
+	// KindLocPut registers a (stream id -> source node) pair at the
+	// location-service node h2(sid) (§IV-D).
+	KindLocPut
+	// KindLocGet asks the location-service node to resolve a stream id.
+	KindLocGet
+	// KindLocReply returns the resolution to the requester.
+	KindLocReply
+	// KindIPSub delivers an inner-product subscription to the stream's
+	// source node.
+	KindIPSub
+	// KindIPResp carries a periodic inner-product value to the client.
+	KindIPResp
+)
+
+// Payload types carried by the messages above.
+
+// mbrUpdate is the payload of KindMBR.
+type mbrUpdate struct {
+	MBR *summary.MBR
+}
+
+// simQuery is the payload of KindQuery. MiddleKey is precomputed by the
+// origin so every covering node agrees on the aggregation point.
+type simQuery struct {
+	Q         *query.Similarity
+	MiddleKey dht.Key
+}
+
+// notifyItem carries the candidates a node collected for one query, moving
+// one ring hop per push period toward the query's middle node.
+type notifyItem struct {
+	QueryID   query.ID
+	MiddleKey dht.Key
+	ClientKey dht.Key
+	Expiry    int64 // sim.Time; kept numeric so the payload stays flat
+	Matches   []query.Match
+}
+
+// notifyBatch is the payload of KindNotify: all items traveling in the
+// same ring direction, aggregated ("these messages contain aggregated
+// similarities for all queries that the node knows about").
+type notifyBatch struct {
+	Items []notifyItem
+}
+
+// responseMsg is the payload of KindResponse.
+type responseMsg struct {
+	QueryID query.ID
+	Matches []query.Match // may be empty: periodic "no new similarities"
+}
+
+// locPut is the payload of KindLocPut.
+type locPut struct {
+	StreamID string
+	Source   dht.Key
+}
+
+// locGet is the payload of KindLocGet.
+type locGet struct {
+	StreamID  string
+	Requester dht.Key
+}
+
+// locReply is the payload of KindLocReply.
+type locReply struct {
+	StreamID string
+	Source   dht.Key
+	Found    bool
+}
+
+// ipSub is the payload of KindIPSub.
+type ipSub struct {
+	Q *query.InnerProduct
+}
+
+// ipResp is the payload of KindIPResp.
+type ipResp struct {
+	QueryID query.ID
+	Value   query.IPValue
+}
+
+// classifier maps middleware messages onto the evaluation's traffic
+// categories and hop classes. It implements metrics.Classifier.
+type classifier struct{}
+
+// Classify implements metrics.Classifier. Continuation legs of a range
+// multicast carry Dir != 0; the first transmission of a routed message has
+// Hops == 1 and leaves the origin.
+func (classifier) Classify(from dht.Key, msg *dht.Message) metrics.Category {
+	origin := msg.Hops == 1 && from == msg.Src && msg.Dir == 0
+	switch msg.Kind {
+	case KindMBR:
+		switch {
+		case msg.Dir != 0:
+			return metrics.MBRRange
+		case origin:
+			return metrics.MBRSource
+		default:
+			return metrics.MBRTransit
+		}
+	case KindQuery:
+		switch {
+		case msg.Dir != 0:
+			return metrics.QueryRange
+		case origin:
+			return metrics.QueryInitial
+		default:
+			return metrics.QueryTransit
+		}
+	case KindNotify:
+		return metrics.NeighborNotify
+	case KindResponse:
+		if origin {
+			return metrics.ResponseClient
+		}
+		return metrics.ResponseTransit
+	case KindLocPut, KindLocGet, KindLocReply:
+		return metrics.Location
+	case KindIPSub, KindIPResp:
+		return metrics.InnerProduct
+	default:
+		return metrics.Other
+	}
+}
+
+// ClassifyHops implements metrics.Classifier, grouping deliveries into the
+// five classes of Fig. 8.
+func (classifier) ClassifyHops(msg *dht.Message) metrics.HopClass {
+	switch msg.Kind {
+	case KindMBR:
+		if msg.Dir != 0 {
+			return metrics.HopMBRInternal
+		}
+		return metrics.HopMBR
+	case KindQuery:
+		if msg.Dir != 0 {
+			return metrics.HopQueryInternal
+		}
+		return metrics.HopQuery
+	case KindResponse, KindIPResp:
+		return metrics.HopResponse
+	default:
+		return metrics.HopOther
+	}
+}
+
+// sized stamps a message with its estimated wire size (envelope +
+// payload) so traffic observers can account bandwidth (§IV-G's actual
+// claim is about communication volume, not message counts).
+func sized(msg *dht.Message) *dht.Message {
+	msg.Bytes = wire.Sizeof(msg.Payload)
+	return msg
+}

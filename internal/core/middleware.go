@@ -1,0 +1,296 @@
+package core
+
+import (
+	"fmt"
+
+	"streamdex/internal/dht"
+	"streamdex/internal/dsp"
+	"streamdex/internal/metrics"
+	"streamdex/internal/query"
+	"streamdex/internal/sim"
+	"streamdex/internal/summary"
+)
+
+// Middleware is one deployment of the distributed stream index: it owns a
+// DataCenter per overlay node, the content-to-key mapper, the traffic
+// collector, and the client-facing query API (the paper's "application
+// view", Fig. 5).
+type Middleware struct {
+	cfg    Config
+	eng    *sim.Engine
+	net    dht.Substrate
+	mapper summary.Mapper
+	col    *metrics.Collector
+	rng    *sim.Rand
+
+	dcs map[dht.Key]*DataCenter
+
+	nextQueryID query.ID
+
+	// Client-side result tracking.
+	simMatches  map[query.ID][]query.Match
+	simSeen     map[query.ID]map[string]map[uint64]bool
+	simResponse map[query.ID]int
+	ipValues    map[query.ID][]query.IPValue
+	ipFailed    map[query.ID]bool
+
+	// OnSimilarity, when non-nil, is invoked at each response delivery
+	// with the newly reported matches (possibly none).
+	OnSimilarity func(id query.ID, matches []query.Match)
+	// OnInnerProduct, when non-nil, is invoked at each periodic value
+	// push.
+	OnInnerProduct func(id query.ID, v query.IPValue)
+
+	unclassified int64
+}
+
+// New attaches the middleware to every live node of an existing overlay —
+// any dht.Substrate implementation (Chord, Pastry-style, ...). The
+// collector is installed as the network's traffic observer.
+func New(eng *sim.Engine, net dht.Substrate, cfg Config) (*Middleware, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Space != net.Space() {
+		return nil, fmt.Errorf("core: middleware space m=%d differs from overlay m=%d", cfg.Space.M, net.Space().M)
+	}
+	mw := &Middleware{
+		cfg:         cfg,
+		eng:         eng,
+		net:         net,
+		mapper:      summary.NewMapper(cfg.Space),
+		col:         metrics.NewCollector(classifier{}),
+		rng:         sim.NewRand(cfg.Seed).Fork("middleware"),
+		dcs:         make(map[dht.Key]*DataCenter),
+		simMatches:  make(map[query.ID][]query.Match),
+		simSeen:     make(map[query.ID]map[string]map[uint64]bool),
+		simResponse: make(map[query.ID]int),
+		ipValues:    make(map[query.ID][]query.IPValue),
+		ipFailed:    make(map[query.ID]bool),
+	}
+	net.SetObserver(mw.col)
+	for _, id := range net.NodeIDs() {
+		mw.AttachNode(id)
+	}
+	return mw, nil
+}
+
+// AttachNode creates (or returns) the DataCenter for an overlay node —
+// called automatically for nodes present at construction, and manually
+// after later joins.
+func (mw *Middleware) AttachNode(id dht.Key) *DataCenter {
+	if dc, ok := mw.dcs[id]; ok {
+		return dc
+	}
+	dc := newDataCenter(id, mw)
+	mw.dcs[id] = dc
+	mw.net.SetApp(id, dc)
+	dc.startTicker()
+	return dc
+}
+
+// DataCenter returns the middleware instance on node id, or nil.
+func (mw *Middleware) DataCenter(id dht.Key) *DataCenter { return mw.dcs[id] }
+
+// Config returns the middleware configuration.
+func (mw *Middleware) Config() Config { return mw.cfg }
+
+// Collector exposes the traffic statistics collector.
+func (mw *Middleware) Collector() *metrics.Collector { return mw.col }
+
+// Mapper exposes the content-to-key mapping function h.
+func (mw *Middleware) Mapper() summary.Mapper { return mw.mapper }
+
+// Engine returns the simulation engine.
+func (mw *Middleware) Engine() *sim.Engine { return mw.eng }
+
+// Network returns the routing substrate.
+func (mw *Middleware) Network() dht.Substrate { return mw.net }
+
+// locKey is h2: the location-service key of a stream identifier (§IV-D).
+func (mw *Middleware) locKey(sid string) dht.Key {
+	return mw.cfg.Space.HashString("loc:" + sid)
+}
+
+// ExtractFeature computes the feature vector of a raw series of exactly
+// WindowSize points, using the middleware's normalization — the same
+// pipeline stream summaries go through, applied to a client's query
+// sequence.
+func (mw *Middleware) ExtractFeature(series []float64) (summary.Feature, error) {
+	if len(series) != mw.cfg.WindowSize {
+		return nil, fmt.Errorf("core: query series of %d points, want window size %d", len(series), mw.cfg.WindowSize)
+	}
+	sdft := newSeriesDFT(series, mw.cfg)
+	return summary.FromCoeffs(sdft, mw.cfg.FeatureDims, mw.cfg.skipDC()), nil
+}
+
+// PostSimilarity poses a continuous similarity query (Q, radius, lifespan)
+// at the given origin node, with Q given directly as a feature vector. It
+// returns the query id results are tracked under.
+func (mw *Middleware) PostSimilarity(origin dht.Key, f summary.Feature, radius float64, lifespan sim.Time) (query.ID, error) {
+	if mw.dcs[origin] == nil {
+		return 0, fmt.Errorf("core: unknown origin node %d", origin)
+	}
+	if len(f) != mw.cfg.FeatureDims {
+		return 0, fmt.Errorf("core: feature of %d dims, want %d", len(f), mw.cfg.FeatureDims)
+	}
+	q := &query.Similarity{
+		ID:       mw.newQueryID(),
+		Origin:   origin,
+		Feature:  f.Clone(),
+		Radius:   radius,
+		Norm:     mw.cfg.Norm,
+		Posted:   mw.eng.Now(),
+		Lifespan: lifespan,
+	}
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	mw.col.CountEvent(metrics.EventQuery)
+	lo, hi := mw.mapper.QueryRange(f.Routing(), radius)
+	middle := mw.cfg.Space.Midpoint(lo, hi)
+	msg := sized(&dht.Message{Kind: KindQuery, Payload: simQuery{Q: q, MiddleKey: middle}})
+	dht.SendRange(mw.net, origin, lo, hi, msg, mw.cfg.RangeMode)
+	return q.ID, nil
+}
+
+// PostSimilaritySeries is PostSimilarity for a raw query sequence of
+// WindowSize points: the feature vector is extracted first, exactly as
+// §IV-E prescribes.
+func (mw *Middleware) PostSimilaritySeries(origin dht.Key, series []float64, radius float64, lifespan sim.Time) (query.ID, error) {
+	f, err := mw.ExtractFeature(series)
+	if err != nil {
+		return 0, err
+	}
+	return mw.PostSimilarity(origin, f, radius, lifespan)
+}
+
+// PostInnerProduct poses a continuous inner-product query at the origin
+// node. The stream source is resolved through the location service (with
+// client-side caching) and the subscription is delivered to it; the source
+// pushes reconstructed values every push period.
+func (mw *Middleware) PostInnerProduct(origin dht.Key, sid string, index []int, weights []float64, lifespan sim.Time) (query.ID, error) {
+	dc := mw.dcs[origin]
+	if dc == nil {
+		return 0, fmt.Errorf("core: unknown origin node %d", origin)
+	}
+	q := &query.InnerProduct{
+		ID:       mw.newQueryID(),
+		Origin:   origin,
+		StreamID: sid,
+		Index:    append([]int(nil), index...),
+		Weights:  append([]float64(nil), weights...),
+		Posted:   mw.eng.Now(),
+		Lifespan: lifespan,
+	}
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	switch {
+	case dc.streams[sid] != nil:
+		// Locally sourced stream: subscribe directly.
+		dc.registerIPSub(q)
+	case hasKey(dc.locCache, sid):
+		dc.sendIPSub(dc.locCache[sid], q)
+	default:
+		pending := dc.pendingIP[sid]
+		dc.pendingIP[sid] = append(pending, q)
+		if len(pending) == 0 {
+			// First query for this stream: resolve the source.
+			msg := sized(&dht.Message{Kind: KindLocGet, Payload: locGet{StreamID: sid, Requester: origin}})
+			mw.net.Send(origin, mw.locKey(sid), msg)
+		}
+	}
+	return q.ID, nil
+}
+
+func hasKey(m map[string]dht.Key, k string) bool {
+	_, ok := m[k]
+	return ok
+}
+
+func (mw *Middleware) newQueryID() query.ID {
+	mw.nextQueryID++
+	return mw.nextQueryID
+}
+
+// deliverSimilarity records a response arriving at the client node.
+func (mw *Middleware) deliverSimilarity(at dht.Key, p responseMsg) {
+	mw.simResponse[p.QueryID]++
+	var fresh []query.Match
+	seen := mw.simSeen[p.QueryID]
+	if seen == nil {
+		seen = make(map[string]map[uint64]bool)
+		mw.simSeen[p.QueryID] = seen
+	}
+	for _, m := range p.Matches {
+		seqs := seen[m.StreamID]
+		if seqs == nil {
+			seqs = make(map[uint64]bool)
+			seen[m.StreamID] = seqs
+		}
+		if seqs[m.Seq] {
+			continue
+		}
+		seqs[m.Seq] = true
+		fresh = append(fresh, m)
+	}
+	mw.simMatches[p.QueryID] = append(mw.simMatches[p.QueryID], fresh...)
+	if mw.OnSimilarity != nil {
+		mw.OnSimilarity(p.QueryID, fresh)
+	}
+	_ = at
+}
+
+// deliverIP records an inner-product value arriving at the client node.
+func (mw *Middleware) deliverIP(at dht.Key, p ipResp) {
+	mw.ipValues[p.QueryID] = append(mw.ipValues[p.QueryID], p.Value)
+	if mw.OnInnerProduct != nil {
+		mw.OnInnerProduct(p.QueryID, p.Value)
+	}
+	_ = at
+}
+
+// failIP marks inner-product queries as unresolvable (unknown stream id).
+func (mw *Middleware) failIP(qs []*query.InnerProduct) {
+	for _, q := range qs {
+		mw.ipFailed[q.ID] = true
+	}
+}
+
+// SimilarityMatches returns the deduplicated matches reported to the
+// client so far.
+func (mw *Middleware) SimilarityMatches(id query.ID) []query.Match {
+	return append([]query.Match(nil), mw.simMatches[id]...)
+}
+
+// MatchedStreams returns the distinct stream ids reported for the query.
+func (mw *Middleware) MatchedStreams(id query.ID) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, m := range mw.simMatches[id] {
+		if !seen[m.StreamID] {
+			seen[m.StreamID] = true
+			out = append(out, m.StreamID)
+		}
+	}
+	return out
+}
+
+// ResponseCount returns how many periodic responses (including empty ones)
+// the client received for the query.
+func (mw *Middleware) ResponseCount(id query.ID) int { return mw.simResponse[id] }
+
+// InnerProductValues returns the periodic values received for the query.
+func (mw *Middleware) InnerProductValues(id query.ID) []query.IPValue {
+	return append([]query.IPValue(nil), mw.ipValues[id]...)
+}
+
+// InnerProductFailed reports whether the query could not be resolved.
+func (mw *Middleware) InnerProductFailed(id query.ID) bool { return mw.ipFailed[id] }
+
+// newSeriesDFT computes the first Coeffs normalized coefficients of a
+// complete series in one shot (query-side feature extraction).
+func newSeriesDFT(series []float64, cfg Config) []complex128 {
+	return dsp.GoertzelBins(dsp.Normalize(series, cfg.Norm), cfg.Coeffs)
+}

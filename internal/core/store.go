@@ -1,0 +1,163 @@
+package core
+
+import (
+	"streamdex/internal/dht"
+	"streamdex/internal/query"
+	"streamdex/internal/sim"
+	"streamdex/internal/summary"
+)
+
+// Store is the per-node index partition: the MBR summaries this data center
+// covers by content. Entries are soft state with a lifespan (BSPAN) "in
+// order to prevent cluttering of storage space and to eliminate query
+// responses that contain stale information" (§V).
+type Store struct {
+	byStream map[string][]*summary.MBR
+	count    int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{byStream: make(map[string][]*summary.MBR)}
+}
+
+// Len returns the number of live MBRs held.
+func (s *Store) Len() int { return s.count }
+
+// Put inserts an MBR.
+func (s *Store) Put(b *summary.MBR) {
+	s.byStream[b.StreamID] = append(s.byStream[b.StreamID], b)
+	s.count++
+}
+
+// Sweep drops expired MBRs; it returns how many were removed.
+func (s *Store) Sweep(now sim.Time) int {
+	removed := 0
+	for sid, list := range s.byStream {
+		kept := list[:0]
+		for _, b := range list {
+			if b.Expired(now) {
+				removed++
+				continue
+			}
+			kept = append(kept, b)
+		}
+		if len(kept) == 0 {
+			delete(s.byStream, sid)
+		} else {
+			s.byStream[sid] = kept
+		}
+	}
+	s.count -= removed
+	return removed
+}
+
+// Candidates scans the store for MBRs whose minimum distance to the query
+// feature is within the radius — the no-false-dismissal candidate test.
+// Expired entries are skipped.
+func (s *Store) Candidates(q summary.Feature, radius float64, now sim.Time, node dht.Key) []query.Match {
+	var out []query.Match
+	for _, list := range s.byStream {
+		for _, b := range list {
+			if b.Expired(now) {
+				continue
+			}
+			if d := b.MinDist(q); d <= radius {
+				out = append(out, query.Match{
+					StreamID: b.StreamID,
+					Seq:      b.Seq,
+					DistLB:   d,
+					FoundAt:  now,
+					Node:     node,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// MatchMBR tests a single, just-arrived MBR against a query feature.
+func MatchMBR(b *summary.MBR, q summary.Feature, radius float64) (float64, bool) {
+	d := b.MinDist(q)
+	return d, d <= radius
+}
+
+// simSub is one similarity subscription registered at a covering node.
+type simSub struct {
+	q         *query.Similarity
+	middleKey dht.Key
+	// seen deduplicates candidates per (stream, seq) so a re-stored or
+	// re-matched MBR is reported once by this node.
+	seen map[string]map[uint64]bool
+	// pending are candidates detected since the last push-period flush.
+	pending []query.Match
+}
+
+func newSimSub(q *query.Similarity, middle dht.Key) *simSub {
+	return &simSub{q: q, middleKey: middle, seen: make(map[string]map[uint64]bool)}
+}
+
+// add records a candidate unless it was already reported.
+func (s *simSub) add(m query.Match) bool {
+	seqs := s.seen[m.StreamID]
+	if seqs == nil {
+		seqs = make(map[uint64]bool)
+		s.seen[m.StreamID] = seqs
+	}
+	if seqs[m.Seq] {
+		return false
+	}
+	seqs[m.Seq] = true
+	s.pending = append(s.pending, m)
+	return true
+}
+
+// takePending returns and clears the pending candidates.
+func (s *simSub) takePending() []query.Match {
+	out := s.pending
+	s.pending = nil
+	return out
+}
+
+// aggregator is the middle-node state of one similarity query: it absorbs
+// candidates funneled along the ring and periodically pushes them to the
+// client (§IV-F).
+type aggregator struct {
+	queryID query.ID
+	client  dht.Key
+	expiry  sim.Time
+	// seen deduplicates across the whole range (several nodes may store
+	// replicas of the same MBR and report it independently).
+	seen    map[string]map[uint64]bool
+	pending []query.Match
+}
+
+func newAggregator(id query.ID, client dht.Key, expiry sim.Time) *aggregator {
+	return &aggregator{queryID: id, client: client, expiry: expiry, seen: make(map[string]map[uint64]bool)}
+}
+
+func (a *aggregator) absorb(ms []query.Match) {
+	for _, m := range ms {
+		seqs := a.seen[m.StreamID]
+		if seqs == nil {
+			seqs = make(map[uint64]bool)
+			a.seen[m.StreamID] = seqs
+		}
+		if seqs[m.Seq] {
+			continue
+		}
+		seqs[m.Seq] = true
+		a.pending = append(a.pending, m)
+	}
+}
+
+func (a *aggregator) takePending() []query.Match {
+	out := a.pending
+	a.pending = nil
+	return out
+}
+
+// ipSubState is one inner-product subscription at the stream's source.
+type ipSubState struct {
+	q *query.InnerProduct
+}

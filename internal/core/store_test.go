@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"streamdex/internal/query"
+	"streamdex/internal/sim"
+	"streamdex/internal/summary"
+)
+
+func mbrAt(sid string, seq uint64, lo, hi summary.Feature, expiry sim.Time) *summary.MBR {
+	b := summary.NewMBR(sid, seq, lo)
+	b.Extend(hi)
+	b.Expiry = expiry
+	return b
+}
+
+func TestStorePutSweep(t *testing.T) {
+	s := NewStore()
+	s.Put(mbrAt("a", 0, summary.Feature{0}, summary.Feature{0.1}, 5*sim.Second))
+	s.Put(mbrAt("a", 1, summary.Feature{0}, summary.Feature{0.1}, 10*sim.Second))
+	s.Put(mbrAt("b", 0, summary.Feature{0.5}, summary.Feature{0.6}, 5*sim.Second))
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if removed := s.Sweep(5 * sim.Second); removed != 2 {
+		t.Fatalf("Sweep removed %d, want 2", removed)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len after sweep = %d", s.Len())
+	}
+	// Stream b's bucket must be gone entirely.
+	if len(s.byStream) != 1 {
+		t.Fatalf("byStream buckets = %d, want 1", len(s.byStream))
+	}
+}
+
+func TestStoreCandidates(t *testing.T) {
+	s := NewStore()
+	s.Put(mbrAt("near", 3, summary.Feature{0.1}, summary.Feature{0.15}, 0))
+	s.Put(mbrAt("far", 1, summary.Feature{0.8}, summary.Feature{0.9}, 0))
+	s.Put(mbrAt("expired", 2, summary.Feature{0.1}, summary.Feature{0.12}, sim.Second))
+	got := s.Candidates(summary.Feature{0.12}, 0.05, 2*sim.Second, 42)
+	if len(got) != 1 {
+		t.Fatalf("candidates = %v, want only 'near'", got)
+	}
+	m := got[0]
+	if m.StreamID != "near" || m.Seq != 3 || m.Node != 42 || m.FoundAt != 2*sim.Second {
+		t.Fatalf("match = %+v", m)
+	}
+	if m.DistLB != 0 {
+		t.Fatalf("DistLB = %v, query point inside MBR", m.DistLB)
+	}
+}
+
+func TestSimSubDedup(t *testing.T) {
+	q := &query.Similarity{ID: 1, Lifespan: sim.Second}
+	sub := newSimSub(q, 0)
+	m := query.Match{StreamID: "s", Seq: 7}
+	if !sub.add(m) {
+		t.Fatal("first add rejected")
+	}
+	if sub.add(m) {
+		t.Fatal("duplicate accepted")
+	}
+	if !sub.add(query.Match{StreamID: "s", Seq: 8}) {
+		t.Fatal("new seq rejected")
+	}
+	got := sub.takePending()
+	if len(got) != 2 {
+		t.Fatalf("pending = %d", len(got))
+	}
+	if len(sub.takePending()) != 0 {
+		t.Fatal("takePending did not clear")
+	}
+}
+
+func TestAggregatorDedupAcrossNodes(t *testing.T) {
+	a := newAggregator(1, 9, 100*sim.Second)
+	a.absorb([]query.Match{{StreamID: "s", Seq: 1, Node: 10}})
+	a.absorb([]query.Match{{StreamID: "s", Seq: 1, Node: 11}}) // replica reported by another node
+	a.absorb([]query.Match{{StreamID: "s", Seq: 2, Node: 11}})
+	got := a.takePending()
+	if len(got) != 2 {
+		t.Fatalf("aggregated = %d, want 2 (replica dedup)", len(got))
+	}
+}
+
+func TestMatchMBR(t *testing.T) {
+	b := mbrAt("s", 0, summary.Feature{0.2, 0}, summary.Feature{0.3, 0.1}, 0)
+	if _, ok := MatchMBR(b, summary.Feature{0.25, 0.05}, 0.01); !ok {
+		t.Fatal("inside point did not match")
+	}
+	if _, ok := MatchMBR(b, summary.Feature{0.9, 0.9}, 0.1); ok {
+		t.Fatal("far point matched")
+	}
+	d, ok := MatchMBR(b, summary.Feature{0.4, 0.05}, 0.1+1e-9)
+	if !ok || math.Abs(d-0.1) > 1e-9 {
+		t.Fatalf("boundary match d=%v ok=%v", d, ok)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(c *Config){
+		func(c *Config) { c.Space.M = 0 },
+		func(c *Config) { c.WindowSize = 1 },
+		func(c *Config) { c.Coeffs = 0 },
+		func(c *Config) { c.Coeffs = c.WindowSize },
+		func(c *Config) { c.FeatureDims = 0 },
+		func(c *Config) { c.FeatureDims = 99 },
+		func(c *Config) { c.Beta = 0 },
+		func(c *Config) { c.MBRLifespan = 0 },
+		func(c *Config) { c.PushPeriod = 0 },
+	}
+	for i, mut := range bad {
+		c := DefaultConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestConfigFeatureDimsZNormBudget(t *testing.T) {
+	// With ZNorm and 3 coefficients, the DC term is dropped: 4 usable
+	// coordinates remain.
+	c := DefaultConfig()
+	c.FeatureDims = 4
+	if err := c.Validate(); err != nil {
+		t.Fatalf("4 dims should fit: %v", err)
+	}
+	c.FeatureDims = 5
+	if err := c.Validate(); err == nil {
+		t.Fatal("5 dims should not fit 2 non-DC coefficients")
+	}
+}

@@ -1,0 +1,108 @@
+// Package dht defines the content-based routing abstraction the middleware
+// is written against: an m-bit circular key space, a message model, and the
+// standard interface virtually all content-based routing schemes share
+// (paper §II-B) —
+//
+//   - send: route a message to the node covering a key,
+//   - join/leave: membership operations,
+//   - deliver: the application upcall on message arrival.
+//
+// The paper's middleware deliberately depends only on this interface (plus
+// the ability to address a node's ring successor and predecessor, used to
+// build range multicast, §IV-C) rather than on Chord specifically, so that
+// it ports to CAN, Pastry or Tapestry. Package chord provides the simulated
+// implementation used by the evaluation.
+package dht
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+)
+
+// Key is an identifier on the ring: both node identifiers and content keys
+// live in the same m-bit universe, the defining trait of consistent hashing.
+// Only the low Space.M bits are meaningful.
+type Key uint64
+
+// Space describes an m-bit circular identifier space (the "Chord ring",
+// identifiers ordered modulo 2^m).
+type Space struct {
+	// M is the number of identifier bits, 1 <= M <= 63. The paper's
+	// examples use m = 5; the evaluation configuration uses m = 32.
+	M uint
+}
+
+// NewSpace returns an identifier space with m bits, panicking on an invalid
+// width (the simulator treats a bad configuration as a programming error).
+func NewSpace(m uint) Space {
+	if m < 1 || m > 63 {
+		panic(fmt.Sprintf("dht: invalid identifier width m=%d", m))
+	}
+	return Space{M: m}
+}
+
+// Size returns 2^m, the number of identifiers.
+func (s Space) Size() uint64 { return 1 << s.M }
+
+// Mask returns 2^m - 1.
+func (s Space) Mask() Key { return Key(s.Size() - 1) }
+
+// Wrap reduces k modulo 2^m.
+func (s Space) Wrap(k Key) Key { return k & s.Mask() }
+
+// Add returns (k + d) mod 2^m; d may exceed the space size.
+func (s Space) Add(k Key, d uint64) Key { return s.Wrap(k + Key(d)) }
+
+// Between reports whether x lies in the circular open interval (a, b).
+// When a == b the interval is the whole ring minus {a}, matching Chord's
+// treatment of a single-node ring.
+func (s Space) Between(x, a, b Key) bool {
+	x, a, b = s.Wrap(x), s.Wrap(a), s.Wrap(b)
+	if a < b {
+		return a < x && x < b
+	}
+	return x > a || x < b
+}
+
+// BetweenIncl reports whether x lies in the circular half-open interval
+// (a, b]. This is the "covers" test: the successor node of key k is the
+// first node n with k in (predecessor(n), n].
+func (s Space) BetweenIncl(x, a, b Key) bool {
+	x, a, b = s.Wrap(x), s.Wrap(a), s.Wrap(b)
+	if x == b {
+		return true
+	}
+	return s.Between(x, a, b)
+}
+
+// Distance returns the clockwise distance from a to b, i.e. the number of
+// identifier steps needed to reach b from a moving in increasing-id
+// direction.
+func (s Space) Distance(a, b Key) uint64 {
+	a, b = s.Wrap(a), s.Wrap(b)
+	if b >= a {
+		return uint64(b - a)
+	}
+	return s.Size() - uint64(a-b)
+}
+
+// Midpoint returns the key halfway along the clockwise arc from lo to hi.
+// The middle node of a query range (paper §IV-F) covers this key.
+func (s Space) Midpoint(lo, hi Key) Key {
+	return s.Add(lo, s.Distance(lo, hi)/2)
+}
+
+// HashString maps an arbitrary string (node name, stream identifier) to a
+// key using SHA-1 truncated to m bits, exactly as Chord assigns identifiers
+// with consistent hashing (paper §II-B.1; SHA-1 per FIPS 180-1 [1]).
+func (s Space) HashString(v string) Key {
+	sum := sha1.Sum([]byte(v))
+	return s.Wrap(Key(binary.BigEndian.Uint64(sum[:8])))
+}
+
+// HashBytes is HashString for raw bytes.
+func (s Space) HashBytes(v []byte) Key {
+	sum := sha1.Sum(v)
+	return s.Wrap(Key(binary.BigEndian.Uint64(sum[:8])))
+}

@@ -1,0 +1,211 @@
+package dht
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSpaceValidation(t *testing.T) {
+	for _, m := range []uint{0, 64, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSpace(%d) did not panic", m)
+				}
+			}()
+			NewSpace(m)
+		}()
+	}
+	s := NewSpace(5)
+	if s.Size() != 32 || s.Mask() != 31 {
+		t.Fatalf("m=5: size=%d mask=%d", s.Size(), s.Mask())
+	}
+}
+
+func TestWrapAdd(t *testing.T) {
+	s := NewSpace(5)
+	if got := s.Wrap(33); got != 1 {
+		t.Fatalf("Wrap(33) = %d", got)
+	}
+	if got := s.Add(30, 5); got != 3 {
+		t.Fatalf("Add(30,5) = %d", got)
+	}
+	if got := s.Add(3, 64); got != 3 {
+		t.Fatalf("Add(3,64) = %d, want 3 (two full turns)", got)
+	}
+}
+
+func TestBetween(t *testing.T) {
+	s := NewSpace(5)
+	cases := []struct {
+		x, a, b Key
+		want    bool
+	}{
+		{5, 3, 8, true},
+		{3, 3, 8, false},  // open at a
+		{8, 3, 8, false},  // open at b
+		{30, 28, 2, true}, // wraps
+		{1, 28, 2, true},  // wraps
+		{5, 28, 2, false},
+		{10, 7, 7, true}, // a==b: whole ring minus {a}
+		{7, 7, 7, false},
+	}
+	for _, c := range cases {
+		if got := s.Between(c.x, c.a, c.b); got != c.want {
+			t.Errorf("Between(%d,%d,%d) = %v, want %v", c.x, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBetweenIncl(t *testing.T) {
+	s := NewSpace(5)
+	if !s.BetweenIncl(8, 3, 8) {
+		t.Fatal("b must be included")
+	}
+	if s.BetweenIncl(3, 3, 8) {
+		t.Fatal("a must be excluded")
+	}
+	// Paper Fig. 1(a): key 26 is assigned to node 1 on a ring with nodes
+	// {1, 8, 11, 14, 20, 23}: 26 in (23, 1].
+	if !s.BetweenIncl(26, 23, 1) {
+		t.Fatal("key 26 should belong to node 1 (successor after 23)")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	s := NewSpace(5)
+	if got := s.Distance(3, 8); got != 5 {
+		t.Fatalf("Distance(3,8) = %d", got)
+	}
+	if got := s.Distance(30, 2); got != 4 {
+		t.Fatalf("Distance(30,2) = %d", got)
+	}
+	if got := s.Distance(7, 7); got != 0 {
+		t.Fatalf("Distance(7,7) = %d", got)
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	s := NewSpace(5)
+	if got := s.Midpoint(4, 10); got != 7 {
+		t.Fatalf("Midpoint(4,10) = %d", got)
+	}
+	if got := s.Midpoint(30, 4); got != 1 {
+		t.Fatalf("Midpoint(30,4) = %d (wrapping arc)", got)
+	}
+}
+
+func TestHashStringStableAndInRange(t *testing.T) {
+	s := NewSpace(32)
+	a, b := s.HashString("stream-7"), s.HashString("stream-7")
+	if a != b {
+		t.Fatal("hash not deterministic")
+	}
+	if a > s.Mask() {
+		t.Fatal("hash exceeds mask")
+	}
+	if s.HashString("stream-7") == s.HashString("stream-8") {
+		t.Fatal("suspicious collision between adjacent labels")
+	}
+	if s.HashBytes([]byte("stream-7")) != a {
+		t.Fatal("HashBytes disagrees with HashString")
+	}
+}
+
+// Property: Between relates to clockwise distance: x in (a,b) iff
+// 0 < dist(a,x) < dist(a,b) (for a != b).
+func TestBetweenDistanceProperty(t *testing.T) {
+	s := NewSpace(16)
+	f := func(x, a, b uint16) bool {
+		xk, ak, bk := Key(x), Key(a), Key(b)
+		if ak == bk {
+			return true
+		}
+		got := s.Between(xk, ak, bk)
+		want := s.Distance(ak, xk) > 0 && s.Distance(ak, xk) < s.Distance(ak, bk)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: exactly one of x in (a,b], x in (b,a], or a==b and x==a... —
+// more simply, for a != b, (a,b] and (b,a] partition the ring.
+func TestIntervalPartitionProperty(t *testing.T) {
+	s := NewSpace(16)
+	f := func(x, a, b uint16) bool {
+		xk, ak, bk := Key(x), Key(a), Key(b)
+		if ak == bk {
+			return true
+		}
+		in1 := s.BetweenIncl(xk, ak, bk)
+		in2 := s.BetweenIncl(xk, bk, ak)
+		return in1 != in2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Distance(a,b) + Distance(b,a) == Size (mod the a==b case).
+func TestDistanceAntisymmetryProperty(t *testing.T) {
+	s := NewSpace(16)
+	f := func(a, b uint16) bool {
+		ak, bk := Key(a), Key(b)
+		if ak == bk {
+			return s.Distance(ak, bk) == 0
+		}
+		return s.Distance(ak, bk)+s.Distance(bk, ak) == s.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Midpoint lies within the closed arc and splits it near-evenly.
+func TestMidpointProperty(t *testing.T) {
+	s := NewSpace(16)
+	f := func(a, b uint16) bool {
+		ak, bk := Key(a), Key(b)
+		m := s.Midpoint(ak, bk)
+		d1, d2 := s.Distance(ak, m), s.Distance(m, bk)
+		return d1+d2 == s.Distance(ak, bk) && (d1 == d2 || d1+1 == d2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageClone(t *testing.T) {
+	m := &Message{Kind: 3, Key: 9, Payload: "p", Hops: 4, HasRange: true, RangeEnd: 12}
+	c := m.Clone()
+	c.Hops = 99
+	c.Dir = 1
+	if m.Hops != 4 || m.Dir != 0 {
+		t.Fatal("clone aliases original")
+	}
+	if c.Payload != m.Payload {
+		t.Fatal("clone should share payload")
+	}
+}
+
+func TestAppFunc(t *testing.T) {
+	var gotSelf Key
+	var gotMsg *Message
+	f := AppFunc(func(self Key, msg *Message) { gotSelf, gotMsg = self, msg })
+	m := &Message{Kind: 1}
+	f.Deliver(5, m)
+	if gotSelf != 5 || gotMsg != m {
+		t.Fatal("AppFunc did not forward arguments")
+	}
+}
+
+func TestRangeModeString(t *testing.T) {
+	if RangeSequential.String() != "sequential" || RangeBidirectional.String() != "bidirectional" {
+		t.Fatal("RangeMode.String mismatch")
+	}
+	if RangeMode(9).String() != "unknown" {
+		t.Fatal("unknown mode string")
+	}
+}

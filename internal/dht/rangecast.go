@@ -1,0 +1,76 @@
+package dht
+
+// Range multicast (paper §IV-C).
+//
+// The middleware frequently sends one logical message to *all* nodes whose
+// interval intersects a key range [lo, hi] — MBR replication (§IV-G) and
+// similarity-query dissemination (§IV-E) both do. No popular content-based
+// routing scheme natively multicasts to a key range, so the paper layers it
+// on the one primitive every scheme has: sending to a ring neighbor.
+//
+//   - Sequential: route to the lowest key; every covering node delivers
+//     locally and forwards to its successor until the whole range is
+//     covered. One message per covered node, but propagation is sequential,
+//     which hurts wide ranges in large systems (shown in Fig. 8).
+//   - Bidirectional: route to the middle key; the middle node forwards to
+//     both its successor and predecessor, roughly halving the delay. Needs
+//     predecessor support from the substrate (§IV-C, §VI).
+
+// SendRange initiates a range multicast of msg over the circular key arc
+// from lo clockwise to hi. The message is delivered to every node covering
+// a key in [lo, hi]; each receiving application must call ContinueRange to
+// keep the propagation going.
+func SendRange(net Network, from Key, lo, hi Key, msg *Message, mode RangeMode) {
+	s := net.Space()
+	msg.HasRange = true
+	msg.RangeStart = s.Wrap(lo)
+	msg.RangeEnd = s.Wrap(hi)
+	msg.Dir = 0
+	switch mode {
+	case RangeSequential, RangeTree:
+		msg.Mode = mode
+		msg.RangeTail = mode == RangeTree
+		net.Send(from, msg.RangeStart, msg)
+	case RangeBidirectional:
+		msg.Mode = RangeBidirectional
+		net.Send(from, s.Midpoint(msg.RangeStart, msg.RangeEnd), msg)
+	default:
+		panic("dht: unknown range mode")
+	}
+}
+
+// ContinueRange propagates a just-delivered ranged message to the remaining
+// covering nodes and returns the number of continuation legs sent (0, 1, or
+// 2). Applications call it from Deliver after processing the message
+// locally; it is a no-op for non-ranged messages.
+func ContinueRange(net Network, self Key, msg *Message) int {
+	if !msg.HasRange {
+		return 0
+	}
+	// Tree dissemination: delegate the remaining arc to the node's
+	// long-range links when the substrate supports it.
+	if msg.Mode == RangeTree && !net.Covers(self, msg.RangeEnd) {
+		if d, ok := net.(RangeDelegator); ok {
+			return d.DelegateRange(self, msg)
+		}
+		// Fallback: sequential walk.
+	}
+	legs := 0
+	// Walk toward the high boundary unless this node already covers it.
+	if msg.Dir >= 0 && !net.Covers(self, msg.RangeEnd) {
+		c := msg.Clone()
+		c.Dir = +1
+		net.SendToSuccessor(self, c)
+		legs++
+	}
+	// Walk toward the low boundary (bidirectional mode only). The node
+	// covering the low boundary is by definition the last one that holds
+	// any key of the range, so the walk stops there.
+	if msg.Mode == RangeBidirectional && msg.Dir <= 0 && !net.Covers(self, msg.RangeStart) {
+		c := msg.Clone()
+		c.Dir = -1
+		net.SendToPredecessor(self, c)
+		legs++
+	}
+	return legs
+}

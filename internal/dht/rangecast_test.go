@@ -1,0 +1,157 @@
+package dht
+
+import (
+	"testing"
+)
+
+// mockNet is a minimal in-memory Network over a fixed sorted ring,
+// delivering synchronously — it unit-tests the range-multicast logic
+// against the interface contract alone, independent of any routing
+// protocol implementation.
+type mockNet struct {
+	space Space
+	ring  []Key // sorted
+	apps  map[Key]App
+
+	transmissions int
+}
+
+func newMockNet(m uint, ring []Key) *mockNet {
+	n := &mockNet{space: NewSpace(m), ring: ring, apps: make(map[Key]App)}
+	return n
+}
+
+func (n *mockNet) Space() Space { return n.space }
+
+func (n *mockNet) successorOf(key Key) Key {
+	for _, id := range n.ring {
+		if id >= key {
+			return id
+		}
+	}
+	return n.ring[0]
+}
+
+func (n *mockNet) position(id Key) int {
+	for i, r := range n.ring {
+		if r == id {
+			return i
+		}
+	}
+	panic("mock: unknown node")
+}
+
+func (n *mockNet) Send(from Key, key Key, msg *Message) {
+	msg.Src = from
+	msg.Key = n.space.Wrap(key)
+	dst := n.successorOf(msg.Key)
+	if dst != from {
+		n.transmissions++
+		msg.Hops++
+	}
+	n.deliver(dst, msg)
+}
+
+func (n *mockNet) Forward(from Key, key Key, msg *Message) { n.Send(from, key, msg) }
+
+func (n *mockNet) SendToSuccessor(from Key, msg *Message) {
+	n.transmissions++
+	msg.Hops++
+	n.deliver(n.ring[(n.position(from)+1)%len(n.ring)], msg)
+}
+
+func (n *mockNet) SendToPredecessor(from Key, msg *Message) {
+	n.transmissions++
+	msg.Hops++
+	n.deliver(n.ring[(n.position(from)-1+len(n.ring))%len(n.ring)], msg)
+}
+
+func (n *mockNet) Covers(id Key, key Key) bool {
+	return n.successorOf(n.space.Wrap(key)) == id
+}
+
+func (n *mockNet) deliver(at Key, msg *Message) {
+	if app := n.apps[at]; app != nil {
+		app.Deliver(at, msg)
+	}
+}
+
+func TestSendRangeSequentialOnMock(t *testing.T) {
+	net := newMockNet(8, []Key{10, 50, 100, 150, 200, 250})
+	var visited []Key
+	for _, id := range net.ring {
+		net.apps[id] = AppFunc(func(self Key, msg *Message) {
+			visited = append(visited, self)
+			ContinueRange(net, self, msg)
+		})
+	}
+	SendRange(net, 10, 60, 180, &Message{}, RangeSequential)
+	want := []Key{100, 150, 200}
+	if len(visited) != len(want) {
+		t.Fatalf("visited %v, want %v", visited, want)
+	}
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Fatalf("visited %v, want %v", visited, want)
+		}
+	}
+}
+
+func TestSendRangeBidirectionalOnMock(t *testing.T) {
+	net := newMockNet(8, []Key{10, 50, 100, 150, 200, 250})
+	var order []Key
+	for _, id := range net.ring {
+		net.apps[id] = AppFunc(func(self Key, msg *Message) {
+			order = append(order, self)
+			ContinueRange(net, self, msg)
+		})
+	}
+	SendRange(net, 10, 60, 220, &Message{}, RangeBidirectional)
+	// Midpoint of [60,220] = 140 -> successor 150 delivers first, then
+	// spreads to 100 and 200, then 250 (covers 220).
+	if order[0] != 150 {
+		t.Fatalf("first delivery at %d, want middle node 150", order[0])
+	}
+	seen := map[Key]bool{}
+	for _, id := range order {
+		if seen[id] {
+			t.Fatalf("duplicate delivery at %d", id)
+		}
+		seen[id] = true
+	}
+	for _, want := range []Key{100, 150, 200, 250} {
+		if !seen[want] {
+			t.Fatalf("node %d missed; order %v", want, order)
+		}
+	}
+	if len(order) != 4 {
+		t.Fatalf("visited %v", order)
+	}
+}
+
+func TestContinueRangeNoopForPlainMessages(t *testing.T) {
+	net := newMockNet(8, []Key{10, 200})
+	if legs := ContinueRange(net, 10, &Message{}); legs != 0 {
+		t.Fatalf("plain message produced %d legs", legs)
+	}
+}
+
+func TestSendRangeUnknownModePanics(t *testing.T) {
+	net := newMockNet(8, []Key{10, 200})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SendRange(net, 10, 0, 100, &Message{}, RangeMode(9))
+}
+
+func TestHashBytesAndNopObserver(t *testing.T) {
+	s := NewSpace(16)
+	if s.HashBytes([]byte("x")) != s.HashString("x") {
+		t.Fatal("HashBytes != HashString")
+	}
+	var o NopObserver
+	o.OnTransmit(1, 2, &Message{})
+	o.OnDeliver(1, &Message{})
+}

@@ -1,0 +1,32 @@
+package dht
+
+import "streamdex/internal/sim"
+
+// Substrate is the full contract the middleware needs from a content-based
+// routing implementation: the message-plane Network operations plus
+// deployment plumbing (application attachment, traffic observation,
+// membership introspection).
+//
+// The paper's middleware "relies on the standard distributed hashing table
+// interface provided by content-based routing schemes rather than on a
+// particular implementation", so that it can run "on top of virtually any
+// existing content-based routing implementation". This interface is that
+// boundary: package chord provides the primary implementation (with full
+// join/leave/failure dynamics), package pastry a second, prefix-routing
+// one that demonstrates the portability claim.
+type Substrate interface {
+	Network
+
+	// Engine returns the simulation engine the overlay schedules on.
+	Engine() *sim.Engine
+	// SetApp installs the application upcall for a node.
+	SetApp(id Key, app App)
+	// SetObserver installs the traffic observer (nil resets to no-op).
+	SetObserver(o Observer)
+	// NodeIDs returns the live node identifiers in ring order.
+	NodeIDs() []Key
+	// Alive reports whether the node is up.
+	Alive(id Key) bool
+	// Dropped returns the number of data-plane messages lost so far.
+	Dropped() int64
+}

@@ -1,0 +1,97 @@
+package dsp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the signal-processing hot paths. The headline
+// numbers the paper's computation model depends on: a sliding-DFT push is
+// O(k) and independent of the window length, while recomputing from
+// scratch is O(N log N) or O(Nk).
+
+func benchSignal(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func BenchmarkSlidingDFTPush(b *testing.B) {
+	for _, n := range []int{128, 1024, 4096} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			s := NewSlidingDFT(n, 3)
+			for _, v := range benchSignal(n) {
+				s.Push(v)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Push(float64(i % 17))
+			}
+		})
+	}
+}
+
+func BenchmarkSlidingDFTNormalizedCoeffs(b *testing.B) {
+	s := NewSlidingDFT(4096, 3)
+	for _, v := range benchSignal(4096) {
+		s.Push(v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.NormalizedCoeffs(ZNorm)
+	}
+}
+
+func BenchmarkFFTRadix2(b *testing.B) {
+	for _, n := range []int{256, 4096} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			x := benchSignal(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = FFTReal(x)
+			}
+		})
+	}
+}
+
+func BenchmarkFFTBluestein(b *testing.B) {
+	x := benchSignal(1000) // non-power-of-two
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = FFTReal(x)
+	}
+}
+
+func BenchmarkPartialDFT(b *testing.B) {
+	x := benchSignal(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = PartialDFT(x, 3)
+	}
+}
+
+func BenchmarkReconstruct(b *testing.B) {
+	coeffs := FFTReal(benchSignal(4096))[:3]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Reconstruct(coeffs, 4096)
+	}
+}
+
+func sizeName(n int) string {
+	switch n {
+	case 128:
+		return "n128"
+	case 256:
+		return "n256"
+	case 1024:
+		return "n1024"
+	case 4096:
+		return "n4096"
+	default:
+		return "n"
+	}
+}

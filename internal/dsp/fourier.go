@@ -1,0 +1,236 @@
+// Package dsp provides the signal-processing substrate of the middleware
+// (paper §III-C): the discrete Fourier transform used to compute stream
+// features, its fast O(N log N) variants, the O(1)-per-coefficient
+// incremental update over sliding windows (paper Eq. 5), the stream
+// normalizations of §III-B (Eq. 1 and 2), and approximate signal
+// reconstruction from the retained coefficients (Eq. 7).
+//
+// The DFT convention is unitary — both directions carry a 1/sqrt(N)
+// factor — so that the transform is orthogonal and preserves the energy of
+// the signal exactly as the paper states (Parseval), which in turn gives
+// the lower-bounding property the index relies on for correctness.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// DFT computes the unitary discrete Fourier transform of a real signal by
+// the O(N^2) definition (paper Eq. 3). It is the reference implementation
+// the fast paths are tested against and the fallback for tiny inputs.
+func DFT(x []float64) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	if n == 0 {
+		return out
+	}
+	scale := 1 / math.Sqrt(float64(n))
+	for h := 0; h < n; h++ {
+		var sum complex128
+		for i := 0; i < n; i++ {
+			angle := -2 * math.Pi * float64(h) * float64(i) / float64(n)
+			sum += complex(x[i], 0) * cmplx.Exp(complex(0, angle))
+		}
+		out[h] = sum * complex(scale, 0)
+	}
+	return out
+}
+
+// InverseDFT computes the unitary inverse by the O(N^2) definition
+// (paper Eq. 4), returning the real part of the reconstruction.
+func InverseDFT(X []complex128) []float64 {
+	n := len(X)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	scale := 1 / math.Sqrt(float64(n))
+	for i := 0; i < n; i++ {
+		var sum complex128
+		for h := 0; h < n; h++ {
+			angle := 2 * math.Pi * float64(h) * float64(i) / float64(n)
+			sum += X[h] * cmplx.Exp(complex(0, angle))
+		}
+		out[i] = real(sum) * scale
+	}
+	return out
+}
+
+// FFT computes the unitary DFT of a complex signal of arbitrary length:
+// radix-2 Cooley-Tukey for powers of two, Bluestein's chirp-z algorithm
+// otherwise — both O(N log N).
+func FFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlace(out, false)
+	scale := complex(1/math.Sqrt(float64(len(x))), 0)
+	for i := range out {
+		out[i] *= scale
+	}
+	return out
+}
+
+// IFFT computes the unitary inverse FFT.
+func IFFT(X []complex128) []complex128 {
+	out := make([]complex128, len(X))
+	copy(out, X)
+	fftInPlace(out, true)
+	scale := complex(1/math.Sqrt(float64(len(X))), 0)
+	for i := range out {
+		out[i] *= scale
+	}
+	return out
+}
+
+// FFTReal computes the unitary DFT of a real signal via FFT.
+func FFTReal(x []float64) []complex128 {
+	buf := make([]complex128, len(x))
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	fftInPlace(buf, false)
+	scale := complex(1/math.Sqrt(float64(len(x))), 0)
+	for i := range buf {
+		buf[i] *= scale
+	}
+	return buf
+}
+
+// fftInPlace runs an unnormalized transform (forward or inverse) in place,
+// dispatching on the input length.
+func fftInPlace(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if n&(n-1) == 0 {
+		radix2(x, inverse)
+		return
+	}
+	bluestein(x, inverse)
+}
+
+// radix2 is the iterative Cooley-Tukey transform for power-of-two lengths,
+// unnormalized.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	// Bit-reversal permutation.
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := cmplx.Exp(complex(0, sign*2*math.Pi/float64(size)))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= step
+			}
+		}
+	}
+}
+
+// bluestein evaluates an arbitrary-length DFT as a convolution, which is
+// computed with power-of-two FFTs (chirp-z transform), unnormalized.
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp: w[k] = exp(sign * i*pi*k^2/n). Use k^2 mod 2n to keep the
+	// angle argument small and precise for large k.
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		chirp[k] = cmplx.Exp(complex(0, sign*math.Pi*float64(kk)/float64(n)))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	inv := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * inv * chirp[k]
+	}
+}
+
+// Energy returns the squared L2 norm of a complex vector. For a unitary
+// transform Energy(DFT(x)) equals the energy of x (Parseval).
+func Energy(v []complex128) float64 {
+	var e float64
+	for _, c := range v {
+		e += real(c)*real(c) + imag(c)*imag(c)
+	}
+	return e
+}
+
+// EnergyReal returns the squared L2 norm of a real vector.
+func EnergyReal(x []float64) float64 {
+	var e float64
+	for _, v := range x {
+		e += v * v
+	}
+	return e
+}
+
+// Reconstruct approximates the original length-n real signal from its first
+// k+1 unitary DFT coefficients X[0..k] (paper Eq. 7). Conjugate symmetry of
+// real signals is exploited: each retained coefficient h >= 1 contributes
+// together with its mirror X[n-h] = conj(X[h]), so the reconstruction is
+// real and captures twice the energy a one-sided sum would.
+func Reconstruct(coeffs []complex128, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	k := len(coeffs)
+	if k > n/2+1 {
+		panic(fmt.Sprintf("dsp: Reconstruct with %d coefficients for n=%d; symmetry would double-count", k, n))
+	}
+	out := make([]float64, n)
+	scale := 1 / math.Sqrt(float64(n))
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for h := 0; h < k; h++ {
+			angle := 2 * math.Pi * float64(h) * float64(i) / float64(n)
+			re := real(coeffs[h])*math.Cos(angle) - imag(coeffs[h])*math.Sin(angle)
+			if h == 0 || (n%2 == 0 && h == n/2) {
+				sum += re
+			} else {
+				sum += 2 * re // mirror coefficient contributes its conjugate
+			}
+		}
+		out[i] = sum * scale
+	}
+	return out
+}

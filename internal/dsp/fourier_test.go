@@ -1,0 +1,228 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func randomSignal(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func complexClose(a, b []complex128, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(real(a[i])-real(b[i])) > tol || math.Abs(imag(a[i])-imag(b[i])) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func realClose(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDFTKnownValues(t *testing.T) {
+	// DFT of a constant signal: all energy in the DC coefficient.
+	x := []float64{2, 2, 2, 2}
+	X := DFT(x)
+	if math.Abs(real(X[0])-4) > eps || math.Abs(imag(X[0])) > eps {
+		t.Fatalf("X[0] = %v, want 4 (= 2*sqrt(4))", X[0])
+	}
+	for h := 1; h < 4; h++ {
+		if cmplxAbs(X[h]) > eps {
+			t.Fatalf("X[%d] = %v, want 0", h, X[h])
+		}
+	}
+}
+
+func cmplxAbs(c complex128) float64 {
+	return math.Hypot(real(c), imag(c))
+}
+
+func TestFFTMatchesDFTPowerOfTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		x := randomSignal(rng, n)
+		if !complexClose(FFTReal(x), DFT(x), 1e-9) {
+			t.Fatalf("FFT != DFT for n=%d", n)
+		}
+	}
+}
+
+func TestFFTMatchesDFTArbitraryLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{3, 5, 6, 7, 12, 100, 129} {
+		x := randomSignal(rng, n)
+		if !complexClose(FFTReal(x), DFT(x), 1e-8) {
+			t.Fatalf("Bluestein FFT != DFT for n=%d", n)
+		}
+	}
+}
+
+func TestFFTInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{4, 16, 33, 100} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		back := IFFT(FFT(x))
+		if !complexClose(back, x, 1e-8) {
+			t.Fatalf("IFFT(FFT(x)) != x for n=%d", n)
+		}
+	}
+}
+
+func TestInverseDFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := randomSignal(rng, 32)
+	if !realClose(InverseDFT(DFT(x)), x, 1e-9) {
+		t.Fatal("InverseDFT(DFT(x)) != x")
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// The unitary DFT preserves signal energy (paper: "DFT is an
+	// orthogonal transformation; hence, it preserves the energy").
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%120 + 1
+		_ = seed
+		x := randomSignal(rng, n)
+		return math.Abs(EnergyReal(x)-Energy(FFTReal(x))) < 1e-7*(1+EnergyReal(x))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 64
+	x, y := randomSignal(rng, n), randomSignal(rng, n)
+	sum := make([]float64, n)
+	for i := range sum {
+		sum[i] = 2*x[i] + 3*y[i]
+	}
+	X, Y, S := FFTReal(x), FFTReal(y), FFTReal(sum)
+	comb := make([]complex128, n)
+	for i := range comb {
+		comb[i] = 2*X[i] + 3*Y[i]
+	}
+	if !complexClose(S, comb, 1e-9) {
+		t.Fatal("DFT not linear")
+	}
+}
+
+func TestConjugateSymmetryOfRealSignals(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := randomSignal(rng, 50)
+	X := FFTReal(x)
+	for h := 1; h < 50; h++ {
+		m := X[50-h]
+		if math.Abs(real(X[h])-real(m)) > 1e-9 || math.Abs(imag(X[h])+imag(m)) > 1e-9 {
+			t.Fatalf("X[%d] and X[%d] not conjugate", h, 50-h)
+		}
+	}
+}
+
+func TestReconstructExactWithAllCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{8, 9, 16, 31} {
+		x := randomSignal(rng, n)
+		X := FFTReal(x)
+		got := Reconstruct(X[:n/2+1], n)
+		if !realClose(got, x, 1e-8) {
+			t.Fatalf("full reconstruction failed for n=%d", n)
+		}
+	}
+}
+
+func TestReconstructApproximationImprovesWithK(t *testing.T) {
+	// A smooth (random-walk) signal concentrates energy in low
+	// frequencies, so reconstruction error must fall as k grows — the
+	// premise of the paper's feature extraction.
+	rng := rand.New(rand.NewSource(9))
+	n := 64
+	x := make([]float64, n)
+	for i := 1; i < n; i++ {
+		x[i] = x[i-1] + rng.NormFloat64()
+	}
+	X := FFTReal(x)
+	prevErr := math.Inf(1)
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		rec := Reconstruct(X[:k], n)
+		var errE float64
+		for i := range x {
+			d := x[i] - rec[i]
+			errE += d * d
+		}
+		if errE > prevErr+1e-9 {
+			t.Fatalf("reconstruction error grew from %.4f to %.4f at k=%d", prevErr, errE, k)
+		}
+		prevErr = errE
+	}
+	if prevErr > 0.2*EnergyReal(x) {
+		t.Fatalf("16 of 64 coefficients retain too little energy: residual %.2f of %.2f", prevErr, EnergyReal(x))
+	}
+}
+
+func TestReconstructRejectsTooManyCoeffs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Reconstruct(make([]complex128, 6), 8)
+}
+
+func TestPartialDFTMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	x := randomSignal(rng, 100)
+	full := DFT(x)
+	part := PartialDFT(x, 7)
+	if !complexClose(part, full[:7], 1e-9) {
+		t.Fatal("PartialDFT disagrees with DFT")
+	}
+}
+
+func TestEnergyHelpers(t *testing.T) {
+	if Energy([]complex128{3 + 4i}) != 25 {
+		t.Fatal("Energy(3+4i) != 25")
+	}
+	if EnergyReal([]float64{3, 4}) != 25 {
+		t.Fatal("EnergyReal(3,4) != 25")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if len(DFT(nil)) != 0 || len(InverseDFT(nil)) != 0 {
+		t.Fatal("empty DFT should be empty")
+	}
+	if len(FFT(nil)) != 0 {
+		t.Fatal("empty FFT should be empty")
+	}
+	if Reconstruct(nil, 0) != nil {
+		t.Fatal("empty reconstruction")
+	}
+}

@@ -1,0 +1,50 @@
+package dsp
+
+import (
+	"math"
+)
+
+// Goertzel evaluates a single DFT coefficient with the Goertzel recurrence
+// — O(N) with one real multiply per sample, measurably cheaper than the
+// naive inner product and much cheaper than a full FFT when only a handful
+// of coefficients are needed, which is exactly the index's regime (k <= 3
+// coefficients per window).
+//
+// The result matches the unitary convention used everywhere in this
+// package: X_h = (1/sqrt(N)) * sum_i x_i e^{-j 2 pi h i / N}.
+func Goertzel(x []float64, h int) complex128 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	if h < 0 || h >= n {
+		panic("dsp: Goertzel bin out of range")
+	}
+	w := 2 * math.Pi * float64(h) / float64(n)
+	cos, sin := math.Cos(w), math.Sin(w)
+	coeff := 2 * cos
+	var s0, s1, s2 float64
+	for _, v := range x {
+		s0 = v + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	// Goertzel closing step: for DFT bins (w = 2 pi h / N) the e^{jwN}
+	// phase factor is unity and the recurrence closes to exactly
+	// sum_i x_i e^{-j w i} = (s1*cos(w) - s2) + j*s1*sin(w).
+	re := s1*cos - s2
+	im := s1 * sin
+	scale := 1 / math.Sqrt(float64(n))
+	return complex(re*scale, im*scale)
+}
+
+// GoertzelBins evaluates the first k coefficients via Goertzel — a drop-in
+// replacement for PartialDFT used by the sliding transform's periodic
+// exact recompute.
+func GoertzelBins(x []float64, k int) []complex128 {
+	out := make([]complex128, k)
+	for h := 0; h < k && h < len(x); h++ {
+		out[h] = Goertzel(x, h)
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package dsp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGoertzelMatchesDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for _, n := range []int{4, 7, 32, 100, 255} {
+		x := randomSignal(rng, n)
+		full := DFT(x)
+		for h := 0; h < n && h < 8; h++ {
+			got := Goertzel(x, h)
+			if cmplxAbs(got-full[h]) > 1e-8 {
+				t.Fatalf("n=%d h=%d: Goertzel %v != DFT %v", n, h, got, full[h])
+			}
+		}
+	}
+}
+
+func TestGoertzelMatchesDFTQuick(t *testing.T) {
+	f := func(seed int64, hRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 48
+		x := randomSignal(rng, n)
+		h := int(hRaw) % n
+		return cmplxAbs(Goertzel(x, h)-DFT(x)[h]) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGoertzelBinsMatchPartialDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	x := randomSignal(rng, 128)
+	got := GoertzelBins(x, 5)
+	want := PartialDFT(x, 5)
+	if !complexClose(got, want, 1e-8) {
+		t.Fatal("GoertzelBins != PartialDFT")
+	}
+}
+
+func TestGoertzelEdgeCases(t *testing.T) {
+	if Goertzel(nil, 0) != 0 {
+		t.Fatal("empty input should be zero")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range bin should panic")
+		}
+	}()
+	Goertzel([]float64{1, 2}, 2)
+}
+
+func BenchmarkGoertzelVsPartialDFT(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	x := randomSignal(rng, 4096)
+	b.Run("goertzel-k3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = GoertzelBins(x, 3)
+		}
+	})
+	b.Run("partialdft-k3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = PartialDFT(x, 3)
+		}
+	})
+}

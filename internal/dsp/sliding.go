@@ -1,0 +1,324 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Mode selects the stream normalization applied before feature extraction
+// (paper §III-B).
+type Mode int
+
+const (
+	// ZNorm subtracts the window mean and scales to unit L2 norm
+	// (paper Eq. 1) — the normalization used for correlation queries,
+	// since the correlation of two streams reduces to the Euclidean
+	// distance between their z-normalized series.
+	ZNorm Mode = iota
+	// UnitNorm scales the raw window to unit L2 norm (paper Eq. 2),
+	// mapping it onto the unit hyper-sphere — used for subsequence
+	// queries.
+	UnitNorm
+	// Raw applies no normalization; used for inner-product reconstruction
+	// where actual magnitudes matter.
+	Raw
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ZNorm:
+		return "znorm"
+	case UnitNorm:
+		return "unitnorm"
+	case Raw:
+		return "raw"
+	default:
+		return "unknown"
+	}
+}
+
+// DefaultRecomputeEvery bounds floating-point drift: after this many
+// incremental slides the coefficients and moments are recomputed exactly
+// from the window. The drift per slide is O(machine epsilon), so 4096
+// slides stay far below any tolerance the index cares about (verified in
+// the tests).
+const DefaultRecomputeEvery = 4096
+
+// SlidingDFT maintains the first k unitary DFT coefficients of a
+// fixed-length sliding window in O(k) time per arriving point, using the
+// paper's incremental update (Eq. 5):
+//
+//	X'_h = e^{+j 2 pi h / n} * (X_h + (x_new - x_old)/sqrt(n))
+//
+// It also tracks the window's running sum and sum of squares, from which
+// the coefficients of the *normalized* window are derived in O(k) without
+// touching the window again:
+//
+//   - z-normalization (Eq. 1) subtracts the mean and divides by the
+//     centered norm; since the DFT of a constant vector vanishes for h >= 1,
+//     Z_h = X_h / s for h >= 1 and Z_0 = 0.
+//   - unit-normalization (Eq. 2) divides by the norm: U_h = X_h / ||x||.
+//
+// This is what makes per-item processing cost independent of the window
+// length, the property the paper's computation model demands.
+type SlidingDFT struct {
+	n, k int
+
+	buf   []float64
+	head  int // index of the oldest element once full
+	count int
+
+	coeffs  []complex128 // raw unitary coefficients 0..k-1
+	twiddle []complex128 // e^{+j 2 pi h / n}
+
+	sum, sumsq float64
+
+	slides         int
+	recomputeEvery int
+}
+
+// NewSlidingDFT creates a sliding transform over windows of length
+// windowSize retaining k coefficients, 1 <= k <= windowSize.
+func NewSlidingDFT(windowSize, k int) *SlidingDFT {
+	if windowSize <= 0 {
+		panic(fmt.Sprintf("dsp: window size %d", windowSize))
+	}
+	if k < 1 || k > windowSize {
+		panic(fmt.Sprintf("dsp: k=%d outside [1,%d]", k, windowSize))
+	}
+	s := &SlidingDFT{
+		n:              windowSize,
+		k:              k,
+		buf:            make([]float64, windowSize),
+		coeffs:         make([]complex128, k),
+		twiddle:        make([]complex128, k),
+		recomputeEvery: DefaultRecomputeEvery,
+	}
+	for h := 0; h < k; h++ {
+		s.twiddle[h] = cmplx.Exp(complex(0, 2*math.Pi*float64(h)/float64(windowSize)))
+	}
+	return s
+}
+
+// SetRecomputeEvery overrides the drift-control interval; v <= 0 disables
+// periodic exact recomputation (used by tests that measure raw drift).
+func (s *SlidingDFT) SetRecomputeEvery(v int) { s.recomputeEvery = v }
+
+// N returns the window length.
+func (s *SlidingDFT) N() int { return s.n }
+
+// K returns the number of retained coefficients.
+func (s *SlidingDFT) K() int { return s.k }
+
+// Len returns how many points the window currently holds.
+func (s *SlidingDFT) Len() int { return s.count }
+
+// Full reports whether the window has filled; coefficients are undefined
+// before that.
+func (s *SlidingDFT) Full() bool { return s.count == s.n }
+
+// Push appends a new point. While the window is filling it only
+// accumulates; the first fill computes the coefficients exactly; afterwards
+// each Push slides the window in O(k).
+func (s *SlidingDFT) Push(x float64) {
+	if s.count < s.n {
+		s.buf[s.count] = x
+		s.count++
+		s.sum += x
+		s.sumsq += x * x
+		if s.count == s.n {
+			s.recompute()
+		}
+		return
+	}
+	old := s.buf[s.head]
+	s.buf[s.head] = x
+	s.head = (s.head + 1) % s.n
+	s.sum += x - old
+	s.sumsq += x*x - old*old
+	delta := complex((x-old)/math.Sqrt(float64(s.n)), 0)
+	for h := 0; h < s.k; h++ {
+		s.coeffs[h] = (s.coeffs[h] + delta) * s.twiddle[h]
+	}
+	s.slides++
+	if s.recomputeEvery > 0 && s.slides >= s.recomputeEvery {
+		s.recompute()
+	}
+}
+
+// recompute rebuilds coefficients and moments exactly from the buffer,
+// using the Goertzel recurrence (one multiply per sample per coefficient).
+func (s *SlidingDFT) recompute() {
+	w := s.Window()
+	copy(s.coeffs, GoertzelBins(w, s.k))
+	s.sum, s.sumsq = 0, 0
+	for _, v := range w {
+		s.sum += v
+		s.sumsq += v * v
+	}
+	s.slides = 0
+}
+
+// Window returns the current window contents oldest-first. The slice is a
+// copy.
+func (s *SlidingDFT) Window() []float64 {
+	out := make([]float64, s.count)
+	if s.count < s.n {
+		copy(out, s.buf[:s.count])
+		return out
+	}
+	for i := 0; i < s.n; i++ {
+		out[i] = s.buf[(s.head+i)%s.n]
+	}
+	return out
+}
+
+// Mean returns the window mean.
+func (s *SlidingDFT) Mean() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.sum / float64(s.count)
+}
+
+// Norm returns the window's L2 norm.
+func (s *SlidingDFT) Norm() float64 {
+	if s.sumsq < 0 {
+		return 0
+	}
+	return math.Sqrt(s.sumsq)
+}
+
+// CenteredNorm returns sqrt(sum (x_i - mean)^2), the z-normalization
+// denominator of Eq. 1.
+func (s *SlidingDFT) CenteredNorm() float64 {
+	c := s.sumsq - s.sum*s.sum/float64(s.n)
+	if c < 0 {
+		c = 0 // floating-point guard for near-constant windows
+	}
+	return math.Sqrt(c)
+}
+
+// Coeffs returns a copy of the first k raw unitary coefficients.
+func (s *SlidingDFT) Coeffs() []complex128 {
+	out := make([]complex128, s.k)
+	copy(out, s.coeffs)
+	return out
+}
+
+// NormalizedCoeffs returns the first k coefficients of the window after the
+// given normalization, derived in O(k) from the raw coefficients and the
+// running moments. A degenerate window (zero norm) yields all-zero
+// coefficients.
+func (s *SlidingDFT) NormalizedCoeffs(mode Mode) []complex128 {
+	out := make([]complex128, s.k)
+	switch mode {
+	case Raw:
+		copy(out, s.coeffs)
+	case UnitNorm:
+		norm := s.Norm()
+		if norm == 0 {
+			return out
+		}
+		inv := complex(1/norm, 0)
+		for h := 0; h < s.k; h++ {
+			out[h] = s.coeffs[h] * inv
+		}
+	case ZNorm:
+		cn := s.CenteredNorm()
+		if cn == 0 {
+			return out
+		}
+		inv := complex(1/cn, 0)
+		// The DC coefficient of a mean-subtracted window is zero; the
+		// others are unaffected by the shift.
+		for h := 1; h < s.k; h++ {
+			out[h] = s.coeffs[h] * inv
+		}
+	default:
+		panic("dsp: unknown normalization mode")
+	}
+	return out
+}
+
+// PartialDFT computes the first k unitary DFT coefficients of x directly in
+// O(len(x) * k) — cheaper than a full FFT when k is a small constant, as in
+// the index (k <= a handful).
+func PartialDFT(x []float64, k int) []complex128 {
+	n := len(x)
+	out := make([]complex128, k)
+	if n == 0 {
+		return out
+	}
+	scale := 1 / math.Sqrt(float64(n))
+	for h := 0; h < k; h++ {
+		var re, im float64
+		for i := 0; i < n; i++ {
+			angle := -2 * math.Pi * float64(h) * float64(i) / float64(n)
+			sin, cos := math.Sincos(angle)
+			re += x[i] * cos
+			im += x[i] * sin
+		}
+		out[h] = complex(re*scale, im*scale)
+	}
+	return out
+}
+
+// Normalize returns a normalized copy of x under the given mode (the batch
+// analogue of NormalizedCoeffs, used by query-side feature extraction and
+// ground-truth checks). A degenerate window returns all zeros.
+func Normalize(x []float64, mode Mode) []float64 {
+	out := make([]float64, len(x))
+	switch mode {
+	case Raw:
+		copy(out, x)
+	case UnitNorm:
+		n := math.Sqrt(EnergyReal(x))
+		if n == 0 {
+			return out
+		}
+		for i, v := range x {
+			out[i] = v / n
+		}
+	case ZNorm:
+		if len(x) == 0 {
+			return out
+		}
+		var sum float64
+		for _, v := range x {
+			sum += v
+		}
+		mean := sum / float64(len(x))
+		var cn float64
+		for _, v := range x {
+			d := v - mean
+			cn += d * d
+		}
+		cn = math.Sqrt(cn)
+		if cn == 0 {
+			return out
+		}
+		for i, v := range x {
+			out[i] = (v - mean) / cn
+		}
+	default:
+		panic("dsp: unknown normalization mode")
+	}
+	return out
+}
+
+// EuclideanDistance returns the L2 distance between two equal-length
+// vectors.
+func EuclideanDistance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("dsp: distance between different lengths")
+	}
+	var d float64
+	for i := range a {
+		diff := a[i] - b[i]
+		d += diff * diff
+	}
+	return math.Sqrt(d)
+}

@@ -1,0 +1,301 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSlidingMatchesBatchAfterEverySlide(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	n, k := 32, 5
+	s := NewSlidingDFT(n, k)
+	s.SetRecomputeEvery(0) // measure the pure incremental path
+	var series []float64
+	for i := 0; i < n; i++ {
+		v := rng.NormFloat64()
+		series = append(series, v)
+		s.Push(v)
+	}
+	if !s.Full() {
+		t.Fatal("window should be full")
+	}
+	for step := 0; step < 200; step++ {
+		v := rng.NormFloat64()
+		series = append(series, v)
+		s.Push(v)
+		window := series[len(series)-n:]
+		want := PartialDFT(window, k)
+		if !complexClose(s.Coeffs(), want, 1e-9) {
+			t.Fatalf("slide %d: incremental coefficients diverged", step)
+		}
+	}
+}
+
+func TestSlidingMomentsTrackWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n := 16
+	s := NewSlidingDFT(n, 3)
+	var series []float64
+	for i := 0; i < 100; i++ {
+		v := rng.Float64()*10 - 5
+		series = append(series, v)
+		s.Push(v)
+		if i < n-1 {
+			continue
+		}
+		window := series[len(series)-n:]
+		var sum, sumsq float64
+		for _, w := range window {
+			sum += w
+			sumsq += w * w
+		}
+		if math.Abs(s.Mean()-sum/float64(n)) > 1e-9 {
+			t.Fatalf("mean diverged at %d", i)
+		}
+		if math.Abs(s.Norm()-math.Sqrt(sumsq)) > 1e-9 {
+			t.Fatalf("norm diverged at %d", i)
+		}
+	}
+}
+
+func TestWindowReturnsOldestFirst(t *testing.T) {
+	s := NewSlidingDFT(4, 2)
+	for _, v := range []float64{1, 2, 3, 4, 5, 6} {
+		s.Push(v)
+	}
+	got := s.Window()
+	want := []float64{3, 4, 5, 6}
+	if !realClose(got, want, 0) {
+		t.Fatalf("Window() = %v, want %v", got, want)
+	}
+}
+
+func TestWindowWhileFilling(t *testing.T) {
+	s := NewSlidingDFT(4, 2)
+	s.Push(1)
+	s.Push(2)
+	if s.Full() {
+		t.Fatal("not full yet")
+	}
+	if got := s.Window(); !realClose(got, []float64{1, 2}, 0) {
+		t.Fatalf("Window() = %v", got)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len() = %d", s.Len())
+	}
+}
+
+func TestNormalizedCoeffsMatchBatchNormalization(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	n, k := 24, 4
+	for _, mode := range []Mode{ZNorm, UnitNorm, Raw} {
+		s := NewSlidingDFT(n, k)
+		var series []float64
+		for i := 0; i < n+77; i++ {
+			v := rng.NormFloat64()*3 + 1
+			series = append(series, v)
+			s.Push(v)
+		}
+		window := series[len(series)-n:]
+		want := PartialDFT(Normalize(window, mode), k)
+		got := s.NormalizedCoeffs(mode)
+		if !complexClose(got, want, 1e-9) {
+			t.Fatalf("mode %v: O(k) normalized coefficients != batch", mode)
+		}
+	}
+}
+
+func TestZNormDCCoefficientIsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	s := NewSlidingDFT(16, 3)
+	for i := 0; i < 40; i++ {
+		s.Push(rng.Float64() * 100)
+	}
+	z := s.NormalizedCoeffs(ZNorm)
+	if cmplxAbs(z[0]) != 0 {
+		t.Fatalf("z-normalized DC coefficient = %v, want exactly 0", z[0])
+	}
+}
+
+func TestNormalizedCoeffsUnitEnergyBound(t *testing.T) {
+	// A normalized window has unit energy, so by Parseval every
+	// coefficient magnitude is <= 1 — the bound that makes Eq. 6 map
+	// features into the ring (paper §IV-B).
+	rng := rand.New(rand.NewSource(24))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := NewSlidingDFT(16, 4)
+		for i := 0; i < 16+int(seed%32+32); i++ {
+			s.Push(r.NormFloat64() * 10)
+		}
+		for _, mode := range []Mode{ZNorm, UnitNorm} {
+			for _, c := range s.NormalizedCoeffs(mode) {
+				if cmplxAbs(c) > 1+1e-9 {
+					return false
+				}
+			}
+		}
+		_ = rng
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegenerateConstantWindow(t *testing.T) {
+	s := NewSlidingDFT(8, 3)
+	for i := 0; i < 20; i++ {
+		s.Push(5)
+	}
+	for _, mode := range []Mode{ZNorm, UnitNorm} {
+		_ = mode
+	}
+	z := s.NormalizedCoeffs(ZNorm)
+	for _, c := range z {
+		if cmplxAbs(c) != 0 {
+			t.Fatalf("constant window z-norm coefficients = %v, want zeros", z)
+		}
+	}
+	u := s.NormalizedCoeffs(UnitNorm)
+	if cmplxAbs(u[0]) == 0 {
+		t.Fatal("constant non-zero window has non-degenerate unit normalization")
+	}
+}
+
+func TestZeroWindowUnitNorm(t *testing.T) {
+	s := NewSlidingDFT(8, 2)
+	for i := 0; i < 8; i++ {
+		s.Push(0)
+	}
+	for _, c := range s.NormalizedCoeffs(UnitNorm) {
+		if cmplxAbs(c) != 0 {
+			t.Fatal("all-zero window should normalize to zeros")
+		}
+	}
+}
+
+func TestDriftStaysBoundedWithRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	n, k := 64, 4
+	s := NewSlidingDFT(n, k)
+	s.SetRecomputeEvery(1000)
+	var series []float64
+	for i := 0; i < n+100_000; i++ {
+		v := rng.NormFloat64() * 100
+		series = append(series, v)
+		s.Push(v)
+	}
+	window := series[len(series)-n:]
+	want := PartialDFT(window, k)
+	if !complexClose(s.Coeffs(), want, 1e-6) {
+		t.Fatal("coefficients drifted beyond tolerance despite periodic recompute")
+	}
+}
+
+func TestLowerBoundingProperty(t *testing.T) {
+	// Distance computed on the first k DFT coefficients lower-bounds the
+	// true Euclidean distance between the normalized sequences
+	// (paper Eq. 9) — the guarantee that similarity search over features
+	// yields false positives but never false dismissals.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, k := 32, 3
+		x, y := make([]float64, n), make([]float64, n)
+		x[0], y[0] = r.NormFloat64(), r.NormFloat64()
+		for i := 1; i < n; i++ {
+			x[i] = x[i-1] + r.NormFloat64()
+			y[i] = y[i-1] + r.NormFloat64()
+		}
+		xn, yn := Normalize(x, ZNorm), Normalize(y, ZNorm)
+		trueDist := EuclideanDistance(xn, yn)
+		X, Y := PartialDFT(xn, k), PartialDFT(yn, k)
+		var featDistSq float64
+		for h := 0; h < k; h++ {
+			d := X[h] - Y[h]
+			featDistSq += real(d)*real(d) + imag(d)*imag(d)
+		}
+		return math.Sqrt(featDistSq) <= trueDist+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	x := randomSignal(rng, 40)
+	for i := range x {
+		x[i] = x[i]*7 + 3
+	}
+	z := Normalize(x, ZNorm)
+	var sum float64
+	for _, v := range z {
+		sum += v
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Fatalf("z-normalized mean = %v, want 0", sum/float64(len(z)))
+	}
+	if math.Abs(EnergyReal(z)-1) > 1e-9 {
+		t.Fatalf("z-normalized energy = %v, want 1", EnergyReal(z))
+	}
+	u := Normalize(x, UnitNorm)
+	if math.Abs(EnergyReal(u)-1) > 1e-9 {
+		t.Fatalf("unit-normalized energy = %v, want 1", EnergyReal(u))
+	}
+	raw := Normalize(x, Raw)
+	if !realClose(raw, x, 0) {
+		t.Fatal("Raw normalization must copy")
+	}
+}
+
+func TestCorrelationReducesToDistance(t *testing.T) {
+	// Paper §III-B: correlation of two sequences reduces to the Euclidean
+	// distance of their z-normalized series: corr = 1 - d^2/2.
+	rng := rand.New(rand.NewSource(27))
+	n := 64
+	x := randomSignal(rng, n)
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = 0.8*x[i] + 0.2*rng.NormFloat64()
+	}
+	xn, yn := Normalize(x, ZNorm), Normalize(y, ZNorm)
+	var dot float64
+	for i := range xn {
+		dot += xn[i] * yn[i]
+	}
+	d := EuclideanDistance(xn, yn)
+	if math.Abs((1-d*d/2)-dot) > 1e-9 {
+		t.Fatalf("corr %v != 1 - d^2/2 = %v", dot, 1-d*d/2)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	for _, c := range []struct{ n, k int }{{0, 1}, {8, 0}, {8, 9}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSlidingDFT(%d,%d) did not panic", c.n, c.k)
+				}
+			}()
+			NewSlidingDFT(c.n, c.k)
+		}()
+	}
+}
+
+func TestEuclideanDistanceMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EuclideanDistance([]float64{1}, []float64{1, 2})
+}
+
+func TestModeString(t *testing.T) {
+	if ZNorm.String() != "znorm" || UnitNorm.String() != "unitnorm" || Raw.String() != "raw" || Mode(9).String() != "unknown" {
+		t.Fatal("Mode.String mismatch")
+	}
+}

@@ -1,0 +1,362 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"streamdex/internal/dsp"
+	"streamdex/internal/metrics"
+	"streamdex/internal/sim"
+	"streamdex/internal/stream"
+	"streamdex/internal/summary"
+	"streamdex/internal/workload"
+)
+
+// PaperSizes are the system sizes of the paper's scalability experiments.
+var PaperSizes = []int{50, 100, 200, 300, 500}
+
+// OverheadSizes are the sizes of the message-overhead figures (Fig. 7).
+var OverheadSizes = []int{50, 100, 200, 300}
+
+// Sweep runs the Table I workload at every size (one simulation per size,
+// in parallel across workers) and returns the per-size traffic reports.
+func Sweep(sizes []int, base workload.Config, workers int) ([]*metrics.Report, error) {
+	jobs := make([]func() sweepResult, len(sizes))
+	for i, n := range sizes {
+		cfg := base
+		cfg.Nodes = n
+		jobs[i] = func() sweepResult {
+			rep, err := workload.RunOnce(cfg)
+			return sweepResult{rep, err}
+		}
+	}
+	results := Parallel(workers, jobs)
+	out := make([]*metrics.Report, len(sizes))
+	for i, r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("experiments: size %d: %w", sizes[i], r.err)
+		}
+		out[i] = r.rep
+	}
+	return out, nil
+}
+
+type sweepResult struct {
+	rep *metrics.Report
+	err error
+}
+
+// --- Table I ---------------------------------------------------------------
+
+// TableI renders the workload parameter table exactly as the paper lists
+// it.
+func TableI() *Table {
+	cfg := workload.DefaultConfig(200)
+	t := NewTable("Table I: parameters used in different experiments",
+		"PMIN", "PMAX", "BSPAN", "QRATE", "QMIN", "QMAX", "NPER")
+	t.AddRow(
+		fmt.Sprintf("%.0fms", cfg.PMin.Millis()),
+		fmt.Sprintf("%.0fms", cfg.PMax.Millis()),
+		fmt.Sprintf("%.0fms", cfg.Core.MBRLifespan.Millis()),
+		fmt.Sprintf("%dq/sec", int(1/cfg.QueryGap.Seconds())),
+		fmt.Sprintf("%.0fsec", cfg.QMin.Seconds()),
+		fmt.Sprintf("%.0fsec", cfg.QMax.Seconds()),
+		fmt.Sprintf("%.0fsec", cfg.Core.PushPeriod.Seconds()),
+	)
+	return t
+}
+
+// --- Figure 3(b): Fourier locality ------------------------------------------
+
+// LocalityResult quantifies the temporal correlation of consecutive
+// feature vectors on a host-load trace.
+type LocalityResult struct {
+	// ConsecutiveMean is the mean feature-space distance between
+	// summaries computed one time unit apart.
+	ConsecutiveMean float64
+	// RandomMean is the mean distance between random summary pairs of
+	// the same trace.
+	RandomMean float64
+	// Ratio = ConsecutiveMean / RandomMean; << 1 is "Fourier locality".
+	Ratio float64
+	// Points holds sample feature vectors (1st coeff, Re 2nd, Im 2nd)
+	// for scatter plotting.
+	Points []summary.Feature
+}
+
+// FourierLocality reproduces the Fig. 3(b) analysis on a synthetic
+// host-load trace: windows of size w summarized by dims feature
+// coordinates; samples consecutive summaries over the trace.
+func FourierLocality(w, dims, samples int, seed int64) LocalityResult {
+	rng := sim.NewRand(seed)
+	gen := stream.DefaultHostLoad(rng.Fork("hostload"))
+	sdft := dsp.NewSlidingDFT(w, dims/2+2)
+	var feats []summary.Feature
+	for len(feats) < samples {
+		sdft.Push(gen.Next())
+		if !sdft.Full() {
+			continue
+		}
+		feats = append(feats, summary.FromCoeffs(sdft.NormalizedCoeffs(dsp.ZNorm), dims, true))
+	}
+	var consec float64
+	for i := 1; i < len(feats); i++ {
+		consec += feats[i].Dist(feats[i-1])
+	}
+	consec /= float64(len(feats) - 1)
+	var random float64
+	pairRng := rng.Fork("pairs")
+	pairs := len(feats)
+	for i := 0; i < pairs; i++ {
+		a := pairRng.Intn(len(feats))
+		b := pairRng.Intn(len(feats))
+		random += feats[a].Dist(feats[b])
+	}
+	random /= float64(pairs)
+	ratio := math.Inf(1)
+	if random > 0 {
+		ratio = consec / random
+	}
+	step := len(feats) / 64
+	if step < 1 {
+		step = 1
+	}
+	var pts []summary.Feature
+	for i := 0; i < len(feats); i += step {
+		pts = append(pts, feats[i])
+	}
+	return LocalityResult{ConsecutiveMean: consec, RandomMean: random, Ratio: ratio, Points: pts}
+}
+
+// Fig3b renders the locality analysis.
+func Fig3b(w, dims, samples int, seed int64) *Table {
+	r := FourierLocality(w, dims, samples, seed)
+	t := NewTable("Figure 3(b): locality of summaries computed on a host-load trace",
+		"consecutive-dist", "random-pair-dist", "ratio")
+	t.AddRow(fmt.Sprintf("%.5f", r.ConsecutiveMean), fmt.Sprintf("%.5f", r.RandomMean), fmt.Sprintf("%.4f", r.Ratio))
+	t.AddNote("ratio << 1 confirms the strong temporal correlation (\"Fourier locality\") that MBR batching exploits")
+	t.AddNote("%d sample feature points retained for scatter plotting (1st coeff, Re/Im of 2nd)", len(r.Points))
+	return t
+}
+
+// --- Figure 6(a): average load per node --------------------------------------
+
+// LoadRow is one point of Fig. 6(a): the seven load components at one
+// system size, in messages per node per second.
+type LoadRow struct {
+	Nodes              int
+	MBRs               float64 // a) MBRs originated by stream sources
+	MBRsInternal       float64 // b) MBR key range spanning multiple nodes
+	MBRsInTransit      float64 // c) MBR messages forwarded by intermediate nodes
+	Queries            float64 // d) all query messages
+	Responses          float64 // e) responses from the notifying node to the client
+	ResponsesInternal  float64 // f) neighbor information exchange
+	ResponsesInTransit float64 // g) responses forwarded by intermediate nodes
+	Total              float64
+}
+
+// loadRow extracts a Fig. 6(a) row from a traffic report.
+func loadRow(nodes int, rep *metrics.Report) LoadRow {
+	lc := rep.LoadByCategory
+	row := LoadRow{
+		Nodes:              nodes,
+		MBRs:               lc[metrics.MBRSource],
+		MBRsInternal:       lc[metrics.MBRRange],
+		MBRsInTransit:      lc[metrics.MBRTransit],
+		Queries:            lc[metrics.QueryInitial] + lc[metrics.QueryRange] + lc[metrics.QueryTransit],
+		Responses:          lc[metrics.ResponseClient],
+		ResponsesInternal:  lc[metrics.NeighborNotify],
+		ResponsesInTransit: lc[metrics.ResponseTransit],
+	}
+	row.Total = row.MBRs + row.MBRsInternal + row.MBRsInTransit + row.Queries +
+		row.Responses + row.ResponsesInternal + row.ResponsesInTransit
+	return row
+}
+
+// LoadVsNodes reproduces Fig. 6(a): the average per-node message load per
+// second, broken into the figure's seven components, for each system size.
+func LoadVsNodes(sizes []int, base workload.Config, workers int) ([]LoadRow, error) {
+	reps, err := Sweep(sizes, base, workers)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]LoadRow, len(sizes))
+	for i, rep := range reps {
+		rows[i] = loadRow(sizes[i], rep)
+	}
+	return rows, nil
+}
+
+// Fig6a renders the load table.
+func Fig6a(rows []LoadRow) *Table {
+	t := NewTable("Figure 6(a): average load of messages on a node (per second)",
+		"nodes", "MBRs", "MBRs-internal", "MBRs-transit", "queries",
+		"responses", "responses-internal", "responses-transit", "total")
+	for _, r := range rows {
+		t.AddRow(r.Nodes, r.MBRs, r.MBRsInternal, r.MBRsInTransit, r.Queries,
+			r.Responses, r.ResponsesInternal, r.ResponsesInTransit, r.Total)
+	}
+	t.AddNote("expected shape: only MBRs-transit grows with N (logarithmically, overlay routing);")
+	t.AddNote("responses to clients decrease ~1/N; source MBR rate and neighbor exchange stay constant")
+	return t
+}
+
+// --- Figure 6(b): load distribution -------------------------------------------
+
+// Distribution is the Fig. 6(b) histogram of per-node load.
+type Distribution struct {
+	Nodes     int
+	Bounds    []float64
+	Counts    []int
+	Quantiles []float64 // p50, p90, p99, max
+}
+
+// LoadDistribution reproduces Fig. 6(b) at one size (the paper uses 200
+// nodes).
+func LoadDistribution(nodes, buckets int, base workload.Config) (Distribution, error) {
+	cfg := base
+	cfg.Nodes = nodes
+	rep, err := workload.RunOnce(cfg)
+	if err != nil {
+		return Distribution{}, err
+	}
+	bounds, counts := rep.LoadDistribution(buckets)
+	qs := rep.LoadQuantiles(0.5, 0.9, 0.99, 1)
+	return Distribution{Nodes: nodes, Bounds: bounds, Counts: counts, Quantiles: qs}, nil
+}
+
+// Fig6b renders the histogram.
+func Fig6b(d Distribution) *Table {
+	t := NewTable(fmt.Sprintf("Figure 6(b): distribution of load across %d nodes", d.Nodes),
+		"load<=msgs/s", "nodes")
+	for i := range d.Bounds {
+		t.AddRow(fmt.Sprintf("%.2f", d.Bounds[i]), d.Counts[i])
+	}
+	t.AddNote("p50=%.2f p90=%.2f p99=%.2f max=%.2f — not heavy-tailed: the load is distributed evenly",
+		d.Quantiles[0], d.Quantiles[1], d.Quantiles[2], d.Quantiles[3])
+	return t
+}
+
+// --- Figure 7: message overhead per input event -------------------------------
+
+// OverheadRow is one point of Fig. 7: extra messages the system sends per
+// input event of the relevant type.
+type OverheadRow struct {
+	Nodes             int
+	MBRMessages       float64 // MBR range continuation per MBR event
+	MBRInTransit      float64 // MBR transit per MBR event
+	QueryMessages     float64 // query range continuation per query event
+	QueryInTransit    float64 // query transit per query event
+	ResponseMessages  float64 // neighbor similarity exchange per response event
+	ResponseInTransit float64 // response transit per response event
+}
+
+func overheadRow(nodes int, rep *metrics.Report) OverheadRow {
+	return OverheadRow{
+		Nodes:             nodes,
+		MBRMessages:       rep.Overhead(metrics.MBRRange, metrics.EventMBR),
+		MBRInTransit:      rep.Overhead(metrics.MBRTransit, metrics.EventMBR),
+		QueryMessages:     rep.Overhead(metrics.QueryRange, metrics.EventQuery),
+		QueryInTransit:    rep.Overhead(metrics.QueryTransit, metrics.EventQuery),
+		ResponseMessages:  rep.Overhead(metrics.NeighborNotify, metrics.EventResponse),
+		ResponseInTransit: rep.Overhead(metrics.ResponseTransit, metrics.EventResponse),
+	}
+}
+
+// Overhead reproduces Fig. 7 at the given radius (0.1 for 7(a), 0.2 for
+// 7(b)).
+func Overhead(sizes []int, base workload.Config, radius float64, workers int) ([]OverheadRow, error) {
+	cfg := base
+	cfg.Radius = radius
+	reps, err := Sweep(sizes, cfg, workers)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]OverheadRow, len(sizes))
+	for i, rep := range reps {
+		rows[i] = overheadRow(sizes[i], rep)
+	}
+	return rows, nil
+}
+
+// Fig7 renders an overhead table.
+func Fig7(label string, radius float64, rows []OverheadRow) *Table {
+	t := NewTable(fmt.Sprintf("Figure 7(%s): message overhead, query radius=%.1f", label, radius),
+		"nodes", "MBR-msgs", "MBR-in-transit", "query-msgs", "query-in-transit",
+		"response-msgs", "response-in-transit")
+	for _, r := range rows {
+		t.AddRow(r.Nodes, r.MBRMessages, r.MBRInTransit, r.QueryMessages, r.QueryInTransit,
+			r.ResponseMessages, r.ResponseInTransit)
+	}
+	t.AddNote("expected shape: query-msgs (range coverage) grows linearly with N and ~doubles from r=0.1 to r=0.2;")
+	t.AddNote("transit components grow O(log N); all others stay near-constant")
+	return t
+}
+
+// --- Figure 8: hops per message ------------------------------------------------
+
+// HopsRow is one point of Fig. 8: the average number of hops a message of
+// each class traverses before being processed.
+type HopsRow struct {
+	Nodes         int
+	MBR           float64
+	MBRInternal   float64
+	Query         float64
+	QueryInternal float64
+	Response      float64
+}
+
+func hopsRow(nodes int, rep *metrics.Report) HopsRow {
+	return HopsRow{
+		Nodes:         nodes,
+		MBR:           rep.HopMean[metrics.HopMBR],
+		MBRInternal:   rep.HopMean[metrics.HopMBRInternal],
+		Query:         rep.HopMean[metrics.HopQuery],
+		QueryInternal: rep.HopMean[metrics.HopQueryInternal],
+		Response:      rep.HopMean[metrics.HopResponse],
+	}
+}
+
+// Hops reproduces Fig. 8 across system sizes.
+func Hops(sizes []int, base workload.Config, workers int) ([]HopsRow, error) {
+	reps, err := Sweep(sizes, base, workers)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]HopsRow, len(sizes))
+	for i, rep := range reps {
+		rows[i] = hopsRow(sizes[i], rep)
+	}
+	return rows, nil
+}
+
+// Fig8 renders the hop table.
+func Fig8(rows []HopsRow) *Table {
+	t := NewTable("Figure 8: average number of hops traversed by a request",
+		"nodes", "MBR", "internal-MBR", "query", "internal-query", "response")
+	for _, r := range rows {
+		t.AddRow(r.Nodes, r.MBR, r.MBRInternal, r.Query, r.QueryInternal, r.Response)
+	}
+	t.AddNote("expected shape: routed classes grow O(log N); internal-query grows linearly (sequential range")
+	t.AddNote("coverage) and dominates — the motivation for the efficient range routing of §VI-B")
+	return t
+}
+
+// FullEvaluation runs one sweep and extracts Fig. 6(a), Fig. 7 (at the
+// sweep's radius) and Fig. 8 from the same reports — the cheapest way to
+// regenerate the whole evaluation.
+func FullEvaluation(sizes []int, base workload.Config, workers int) ([]LoadRow, []OverheadRow, []HopsRow, error) {
+	reps, err := Sweep(sizes, base, workers)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	loads := make([]LoadRow, len(sizes))
+	overheads := make([]OverheadRow, len(sizes))
+	hops := make([]HopsRow, len(sizes))
+	for i, rep := range reps {
+		loads[i] = loadRow(sizes[i], rep)
+		overheads[i] = overheadRow(sizes[i], rep)
+		hops[i] = hopsRow(sizes[i], rep)
+	}
+	return loads, overheads, hops, nil
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel executes jobs concurrently on up to workers goroutines (default
+// GOMAXPROCS when workers <= 0) and returns their results in job order.
+// Each simulation is single-threaded and deterministic; sweeps over system
+// sizes or parameters are embarrassingly parallel, so this is where the
+// harness uses the machine's cores.
+func Parallel[T any](workers int, jobs []func() T) []T {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]T, len(jobs))
+	if workers <= 1 {
+		for i, job := range jobs {
+			results[i] = job()
+		}
+		return results
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = jobs[i]()
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+
+	"streamdex/internal/metrics"
+	"streamdex/internal/sim"
+	"streamdex/internal/workload"
+)
+
+// --- Ablation A6: resilience under node failures ----------------------------
+
+// ResilienceRow reports one failure scenario.
+type ResilienceRow struct {
+	Nodes     int
+	Failed    int
+	Dropped   int64   // messages lost during detection + repair
+	Responses float64 // response pushes per second during the measured interval
+	MBRs      float64 // MBR events per second (index keeps being fed)
+}
+
+// Resilience quantifies the paper's adaptivity claim: "the underlying
+// communication stratum accommodates dynamic changes such as data center
+// failures ... without the need to temporarily block the normal system
+// operation". It runs the Table I workload, crashes `fail` random nodes
+// shortly after warm-up, and measures whether summaries and responses keep
+// flowing while the ring self-repairs.
+func Resilience(nodes int, failCounts []int, base workload.Config, workers int) ([]ResilienceRow, error) {
+	type res struct {
+		row ResilienceRow
+		err error
+	}
+	jobs := make([]func() res, len(failCounts))
+	for i, fc := range failCounts {
+		fc := fc
+		cfg := base
+		cfg.Nodes = nodes
+		if fc > 0 {
+			cfg.FailAt = 5 * sim.Second
+			cfg.FailCount = fc
+		}
+		jobs[i] = func() res {
+			r, err := workload.Build(cfg)
+			if err != nil {
+				return res{err: err}
+			}
+			rep := r.Execute()
+			secs := rep.Duration.Seconds()
+			return res{row: ResilienceRow{
+				Nodes:     nodes,
+				Failed:    len(r.Failed),
+				Dropped:   r.Net.Dropped(),
+				Responses: float64(rep.Events[metrics.EventResponse]) / secs,
+				MBRs:      float64(rep.Events[metrics.EventMBR]) / secs,
+			}}
+		}
+	}
+	rows := make([]ResilienceRow, len(failCounts))
+	for i, r := range Parallel(workers, jobs) {
+		if r.err != nil {
+			return nil, r.err
+		}
+		rows[i] = r.row
+	}
+	return rows, nil
+}
+
+// AblationResilience renders the A6 table.
+func AblationResilience(rows []ResilienceRow) *Table {
+	t := NewTable(fmt.Sprintf("Ablation A6: service continuity under node failures (%d nodes)", rows[0].Nodes),
+		"failed-nodes", "dropped-msgs", "responses/s", "MBRs/s")
+	for _, r := range rows {
+		t.AddRow(r.Failed, fmt.Sprint(r.Dropped), r.Responses, r.MBRs)
+	}
+	t.AddNote("failures cost a bounded burst of dropped messages while stabilization repairs the ring;")
+	t.AddNote("summary publication and query responses continue throughout (soft state regenerates)")
+	return t
+}
+
+// --- Ablation A7: routing-substrate comparison -------------------------------
+
+// SubstrateRow compares the middleware on two routing substrates.
+type SubstrateRow struct {
+	Nodes     int
+	Substrate string
+	MBRHops   float64
+	QueryHops float64
+	TotalLoad float64
+}
+
+// Substrates runs the identical Table I workload on the Chord substrate
+// and the Pastry-style prefix-routing substrate — the paper's portability
+// claim, measured: delivery outcomes agree (asserted by the core tests)
+// while routing costs differ with each protocol's stride.
+func Substrates(sizes []int, base workload.Config, workers int) ([]SubstrateRow, error) {
+	type res struct {
+		row SubstrateRow
+		err error
+	}
+	var jobs []func() res
+	for _, n := range sizes {
+		for _, sub := range []string{"chord", "pastry"} {
+			n, sub := n, sub
+			cfg := base
+			cfg.Nodes = n
+			cfg.Substrate = sub
+			jobs = append(jobs, func() res {
+				rep, err := workload.RunOnce(cfg)
+				if err != nil {
+					return res{err: err}
+				}
+				return res{row: SubstrateRow{
+					Nodes:     n,
+					Substrate: sub,
+					MBRHops:   rep.HopMean[metrics.HopMBR],
+					QueryHops: rep.HopMean[metrics.HopQuery],
+					TotalLoad: rep.TotalLoad,
+				}}
+			})
+		}
+	}
+	var rows []SubstrateRow
+	for _, r := range Parallel(workers, jobs) {
+		if r.err != nil {
+			return nil, r.err
+		}
+		rows = append(rows, r.row)
+	}
+	return rows, nil
+}
+
+// AblationSubstrates renders the A7 table.
+func AblationSubstrates(rows []SubstrateRow) *Table {
+	t := NewTable("Ablation A7: Chord vs. Pastry-style prefix routing under the same middleware",
+		"nodes", "substrate", "MBR-hops", "query-hops", "total-load/s")
+	for _, r := range rows {
+		t.AddRow(r.Nodes, r.Substrate, r.MBRHops, r.QueryHops, r.TotalLoad)
+	}
+	t.AddNote("identical query semantics on both substrates (portability, §II-B); prefix routing takes")
+	t.AddNote("O(log_16 N) strides vs. Chord's O(log_2 N) fingers, so routed hops and transit load drop")
+	return t
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResilienceAblation(t *testing.T) {
+	rows, err := Resilience(20, []int{0, 2, 4}, fastBase(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatal("row count")
+	}
+	clean, light, heavy := rows[0], rows[1], rows[2]
+	if clean.Failed != 0 || light.Failed != 2 || heavy.Failed > 4 || heavy.Failed < 3 {
+		t.Fatalf("failure counts off: %+v", rows)
+	}
+	if clean.Dropped != 0 {
+		t.Fatalf("clean run dropped %d messages", clean.Dropped)
+	}
+	if light.Dropped == 0 {
+		t.Fatal("failures caused no drops (suspicious: nothing was in flight?)")
+	}
+	// Service continues: responses and MBRs keep flowing after failures,
+	// within 2x of the clean run's rate per surviving node.
+	if heavy.Responses <= 0 || heavy.MBRs <= 0 {
+		t.Fatalf("service stopped after failures: %+v", heavy)
+	}
+	survivingFrac := float64(20-heavy.Failed) / 20
+	if heavy.MBRs < 0.5*clean.MBRs*survivingFrac {
+		t.Fatalf("MBR rate collapsed: %.1f vs clean %.1f", heavy.MBRs, clean.MBRs)
+	}
+	if !strings.Contains(AblationResilience(rows).String(), "Ablation A6") {
+		t.Fatal("A6 table missing title")
+	}
+}
+
+func TestSubstrateAblation(t *testing.T) {
+	rows, err := Substrates([]int{32}, fastBase(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatal("row count")
+	}
+	byName := map[string]SubstrateRow{}
+	for _, r := range rows {
+		byName[r.Substrate] = r
+	}
+	ch, pa := byName["chord"], byName["pastry"]
+	if ch.MBRHops <= 0 || pa.MBRHops <= 0 {
+		t.Fatalf("missing hop data: %+v", rows)
+	}
+	// Prefix routing takes wider strides: fewer routed hops than Chord.
+	if pa.MBRHops >= ch.MBRHops {
+		t.Fatalf("pastry MBR hops %.2f not below chord %.2f", pa.MBRHops, ch.MBRHops)
+	}
+	if !strings.Contains(AblationSubstrates(rows).String(), "Ablation A7") {
+		t.Fatal("A7 table missing title")
+	}
+}
+
+func TestBandwidthAblation(t *testing.T) {
+	rows, err := Bandwidth(24, []int{1, 5, 25}, fastBase(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatal("row count")
+	}
+	// Batching must cut both message rate and byte volume monotonically.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MBRMsgs >= rows[i-1].MBRMsgs {
+			t.Fatalf("messages not decreasing with beta: %+v", rows)
+		}
+		if rows[i].MBRBytes >= rows[i-1].MBRBytes {
+			t.Fatalf("bytes not decreasing with beta: %+v", rows)
+		}
+	}
+	// The saving is substantial: beta=25 uses far less than half the
+	// bandwidth of individual propagation.
+	if rows[2].MBRBytes > 0.5*rows[0].MBRBytes {
+		t.Fatalf("beta=25 bytes %.0f not well below beta=1 bytes %.0f", rows[2].MBRBytes, rows[0].MBRBytes)
+	}
+	if rows[0].TotalBytes <= 0 {
+		t.Fatal("no bandwidth recorded")
+	}
+	if !strings.Contains(AblationBandwidth(24, rows).String(), "Ablation A8") {
+		t.Fatal("A8 table missing title")
+	}
+}
+
+func TestTreeHopsAblation(t *testing.T) {
+	rows, err := TreeHops([]int{16, 64}, fastBase(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatal("row count")
+	}
+	small, big := rows[0], rows[1]
+	// Sequential internal hops grow with N; tree hops must grow much
+	// slower (the linear-vs-logarithmic contrast of §VI-B) and sit below
+	// sequential at the larger size.
+	if big.SeqQueryInternal <= small.SeqQueryInternal {
+		t.Fatalf("sequential internal hops did not grow: %+v", rows)
+	}
+	if big.TreeQueryInternal >= big.SeqQueryInternal {
+		t.Fatalf("tree internal hops %.2f not below sequential %.2f",
+			big.TreeQueryInternal, big.SeqQueryInternal)
+	}
+	seqGrowth := big.SeqQueryInternal - small.SeqQueryInternal
+	treeGrowth := big.TreeQueryInternal - small.TreeQueryInternal
+	if treeGrowth > 0.6*seqGrowth {
+		t.Fatalf("tree hop growth %.2f not well below sequential growth %.2f", treeGrowth, seqGrowth)
+	}
+	if !strings.Contains(AblationTreeHops(rows).String(), "Ablation A9") {
+		t.Fatal("A9 table missing title")
+	}
+}

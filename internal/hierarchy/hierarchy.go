@@ -1,0 +1,325 @@
+// Package hierarchy implements the paper's second future-work extension
+// (§VI-B): a hierarchical feature-space partitioning for queries with
+// varying selectivity.
+//
+// Wide similarity queries stress the flat design: a query of radius r
+// covers a fraction ~r of the ring, so the range multicast touches ~r*N
+// nodes. The paper proposes organizing data centers into a hierarchy of
+// clusters (as in application-layer multicast [4]): bottom-level clusters
+// of a small constant size elect leaders, leaders cluster recursively, and
+// each leader aggregates the summaries of its subtree. A query whose
+// interest volume exceeds what the receiving center covers climbs the
+// leader chain until the covered feature volume suffices, then descends
+// only into children whose aggregates intersect the query.
+//
+// The paper also sketches the consistency refinement: a center reporting to
+// its leader widens the reported bounding box by a precision slack, so
+// upper levels need updates only when a child's true box escapes the
+// reported one — "nodes at the upper levels of the hierarchy need to be
+// updated less frequently at the expense of having less precise
+// information".
+//
+// The model here works on the one-dimensional routing coordinate (the
+// feature axis the flat index maps onto the ring), which is exactly the
+// dimension on which flat range multicast pays its linear cost; the
+// aggregate of a subtree is therefore an interval.
+package hierarchy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a closed interval on the feature axis [-1, +1].
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether x lies inside the interval.
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }
+
+// ContainsInterval reports whether other lies fully inside.
+func (iv Interval) ContainsInterval(other Interval) bool {
+	return iv.Lo <= other.Lo && other.Hi <= iv.Hi
+}
+
+// Intersects reports whether the intervals overlap.
+func (iv Interval) Intersects(other Interval) bool {
+	return iv.Lo <= other.Hi && other.Lo <= iv.Hi
+}
+
+// Width returns the interval length.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Widen returns the interval expanded by eps on both sides.
+func (iv Interval) Widen(eps float64) Interval {
+	return Interval{Lo: iv.Lo - eps, Hi: iv.Hi + eps}
+}
+
+// Empty is the canonical empty interval.
+var Empty = Interval{Lo: math.Inf(1), Hi: math.Inf(-1)}
+
+// IsEmpty reports whether the interval holds no points.
+func (iv Interval) IsEmpty() bool { return iv.Lo > iv.Hi }
+
+// Union returns the smallest interval containing both.
+func (iv Interval) Union(other Interval) Interval {
+	if iv.IsEmpty() {
+		return other
+	}
+	if other.IsEmpty() {
+		return iv
+	}
+	return Interval{Lo: math.Min(iv.Lo, other.Lo), Hi: math.Max(iv.Hi, other.Hi)}
+}
+
+// Config parameterizes the hierarchy.
+type Config struct {
+	// ClusterSize is the constant size of bottom-level clusters (and of
+	// leader clusters at every level above).
+	ClusterSize int
+	// Epsilon is the per-level widening applied to reported boxes: the
+	// precision slack that suppresses upward updates.
+	Epsilon float64
+}
+
+// DefaultConfig uses clusters of 4 and a 0.02 slack.
+func DefaultConfig() Config { return Config{ClusterSize: 4, Epsilon: 0.02} }
+
+// Hierarchy is the cluster tree over n data centers (identified by their
+// ring-order index 0..n-1).
+type Hierarchy struct {
+	cfg Config
+	n   int
+
+	// reported[l][i] is the box node i of level l last reported to its
+	// level-l leader (widened), indexed by member position. Level 0
+	// members are the leaves; level l+1 members are level-l leaders.
+	// leaders[l][c] is the member index (at level l) leading cluster c.
+	levels int
+	// boxAt[l][j]: current aggregate box of member j at level l (for
+	// leaves, their true summary box).
+	boxAt [][]Interval
+	// reportedAt[l][j]: the widened box member j last pushed to its
+	// leader.
+	reportedAt [][]Interval
+
+	// Counters.
+	UpdateMsgs int64
+	QueryMsgs  int64
+}
+
+// New builds the hierarchy for n leaves.
+func New(n int, cfg Config) *Hierarchy {
+	if n < 1 {
+		panic("hierarchy: no leaves")
+	}
+	if cfg.ClusterSize < 2 {
+		panic("hierarchy: cluster size < 2")
+	}
+	if cfg.Epsilon < 0 {
+		panic("hierarchy: negative epsilon")
+	}
+	h := &Hierarchy{cfg: cfg, n: n}
+	// Members at level 0 are the n leaves; each level has
+	// ceil(members/ClusterSize) clusters whose leaders form the next
+	// level, up to and including a single-member root level.
+	members := n
+	for {
+		h.boxAt = append(h.boxAt, emptyBoxes(members))
+		h.reportedAt = append(h.reportedAt, emptyBoxes(members))
+		if members == 1 {
+			break
+		}
+		members = (members + cfg.ClusterSize - 1) / cfg.ClusterSize
+	}
+	h.levels = len(h.boxAt)
+	return h
+}
+
+// coverageOf returns the feature-axis interval the subtree of member j at
+// level l is responsible for: leaves are laid out in ring order over
+// [-1, +1], and a level-l subtree spans ClusterSize^l consecutive leaves.
+func (h *Hierarchy) coverageOf(level, member int) Interval {
+	span := 1
+	for i := 0; i < level; i++ {
+		span *= h.cfg.ClusterSize
+	}
+	lo := member * span
+	hi := lo + span
+	if hi > h.n {
+		hi = h.n
+	}
+	return Interval{
+		Lo: -1 + 2*float64(lo)/float64(h.n),
+		Hi: -1 + 2*float64(hi)/float64(h.n),
+	}
+}
+
+func emptyBoxes(n int) []Interval {
+	out := make([]Interval, n)
+	for i := range out {
+		out[i] = Empty
+	}
+	return out
+}
+
+// Levels returns the number of levels below the root.
+func (h *Hierarchy) Levels() int { return h.levels }
+
+// Leaves returns the leaf count.
+func (h *Hierarchy) Leaves() int { return h.n }
+
+// clusterOf returns the cluster index of member j.
+func (h *Hierarchy) clusterOf(j int) int { return j / h.cfg.ClusterSize }
+
+// leaderOf returns the leader's member index for cluster c (its first
+// member).
+func (h *Hierarchy) leaderOf(c int) int { return c * h.cfg.ClusterSize }
+
+// membersAt returns the member count at level l.
+func (h *Hierarchy) membersAt(l int) int { return len(h.boxAt[l]) }
+
+// Update installs the current summary box of a leaf and propagates it up
+// the leader chain, suppressing levels whose reported (widened) box still
+// contains the new aggregate. It returns the number of upward messages
+// sent.
+func (h *Hierarchy) Update(leaf int, box Interval) int {
+	if leaf < 0 || leaf >= h.n {
+		panic(fmt.Sprintf("hierarchy: leaf %d of %d", leaf, h.n))
+	}
+	msgs := 0
+	h.boxAt[0][leaf] = box
+	member := leaf
+	for l := 0; l < h.levels; l++ {
+		cluster := h.clusterOf(member)
+		// The member reports to its leader when its aggregate escapes
+		// the box it last reported.
+		cur := h.boxAt[l][member]
+		if h.reportedAt[l][member].ContainsInterval(cur) {
+			break // suppressed: nothing above needs to change
+		}
+		widened := cur.Widen(h.cfg.Epsilon * float64(l+1))
+		h.reportedAt[l][member] = widened
+		// Leaders do not message themselves; a leader whose own box
+		// changed still recomputes its aggregate below.
+		if member != h.leaderOf(cluster) {
+			msgs++
+		}
+		if l+1 >= h.levels {
+			break
+		}
+		// Recompute the leader's aggregate at the next level: union of
+		// the reported boxes of its cluster members.
+		agg := Empty
+		lo := cluster * h.cfg.ClusterSize
+		hi := lo + h.cfg.ClusterSize
+		if hi > h.membersAt(l) {
+			hi = h.membersAt(l)
+		}
+		for j := lo; j < hi; j++ {
+			agg = agg.Union(h.reportedAt[l][j])
+		}
+		h.boxAt[l+1][cluster] = agg
+		member = cluster
+	}
+	h.UpdateMsgs += int64(msgs)
+	return msgs
+}
+
+// QueryResult summarizes one hierarchical query execution.
+type QueryResult struct {
+	// Msgs is the total number of messages (upward climb + downward
+	// fan-out).
+	Msgs int
+	// ClimbLevels is how far the query climbed before its volume fit.
+	ClimbLevels int
+	// Leaves are the leaf indices whose summaries are candidate matches.
+	Leaves []int
+}
+
+// Query executes a similarity query with the given feature interval,
+// entering at the given leaf. The query climbs until the subtree coverage
+// width is at least the query width (or the root is reached), then
+// descends into children whose reported boxes intersect the interval.
+func (h *Hierarchy) Query(enter int, q Interval) QueryResult {
+	if enter < 0 || enter >= h.n {
+		panic("hierarchy: bad entry leaf")
+	}
+	res := QueryResult{}
+	// Clamp the interest volume to the feature space so the root always
+	// covers it.
+	if q.Lo < -1 {
+		q.Lo = -1
+	}
+	if q.Hi > 1 {
+		q.Hi = 1
+	}
+	// Climb: forward to the next-level leader until the subtree's
+	// covered feature space contains the whole interest volume — "this
+	// process recursively proceeds until we reach the root of the
+	// hierarchy" (§VI-B).
+	level := 0
+	member := enter
+	for level < h.levels-1 && !h.coverageOf(level, member).ContainsInterval(q) {
+		cluster := h.clusterOf(member)
+		if member != h.leaderOf(cluster) {
+			res.Msgs++ // forward to the cluster leader
+		}
+		member = cluster
+		level++
+	}
+	res.ClimbLevels = level
+	// Descend from (level, member) into intersecting children.
+	res.Leaves = h.descend(level, member, q, &res.Msgs)
+	h.QueryMsgs += int64(res.Msgs)
+	return res
+}
+
+// descend recursively visits children whose reported boxes intersect q.
+func (h *Hierarchy) descend(level, member int, q Interval, msgs *int) []int {
+	if level == 0 {
+		if h.boxAt[0][member].Intersects(q) {
+			return []int{member}
+		}
+		return nil
+	}
+	var out []int
+	lo := member * h.cfg.ClusterSize
+	hi := lo + h.cfg.ClusterSize
+	if hi > h.membersAt(level-1) {
+		hi = h.membersAt(level - 1)
+	}
+	for j := lo; j < hi; j++ {
+		if !h.reportedAt[level-1][j].Intersects(q) {
+			continue
+		}
+		// One message per child contacted. The first member of the
+		// cluster is the leader itself (the same data center the query
+		// already sits on), so descending into it is free.
+		if j != member*h.cfg.ClusterSize {
+			*msgs++
+		}
+		out = append(out, h.descend(level-1, j, q, msgs)...)
+	}
+	return out
+}
+
+// FlatCost estimates the message cost of the same query under the flat
+// design of §IV: an O(log2 N) routed leg to reach the range plus one
+// continuation message per additional covered node (sequential multicast).
+func FlatCost(n int, q Interval) int {
+	frac := q.Width() / 2
+	if frac > 1 {
+		frac = 1
+	}
+	covered := int(frac * float64(n))
+	if covered < 1 {
+		covered = 1
+	}
+	route := int(math.Ceil(math.Log2(float64(n)) / 2))
+	if route < 1 {
+		route = 1
+	}
+	return route + covered - 1
+}

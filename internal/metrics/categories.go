@@ -1,0 +1,156 @@
+// Package metrics implements the message accounting of the paper's
+// evaluation (§V): per-node send/receive counters broken into the exact
+// traffic components of Figures 6(a) and 7, per-node load distributions
+// (Fig. 6(b)), hop statistics per message class (Fig. 8), and input-event
+// counters used to normalize message overhead per event.
+package metrics
+
+import "fmt"
+
+// Category is the fine-grained traffic class of one network transmission.
+// The categories mirror the legends of the paper's figures:
+//
+//	Fig. 6(a) load components        Fig. 7 overhead components
+//	a) MBRSource                     MBRRange      (per MBR event)
+//	b) MBRRange                      MBRTransit    (per MBR event)
+//	c) MBRTransit                    QueryRange    (per query event)
+//	d) QueryInitial+QueryRange+      QueryTransit  (per query event)
+//	   QueryTransit ("all query")    NeighborNotify(per response event)
+//	e) ResponseClient                ResponseTransit(per response event)
+//	f) NeighborNotify
+//	g) ResponseTransit
+type Category int
+
+// Traffic categories.
+const (
+	// MBRSource: the first transmission of an MBR update by the stream's
+	// own data center.
+	MBRSource Category = iota
+	// MBRRange: continuation legs replicating an MBR over the nodes of
+	// its key range (§IV-G).
+	MBRRange
+	// MBRTransit: MBR messages forwarded by intermediate nodes on the
+	// overlay route from the source to the storing node.
+	MBRTransit
+	// QueryInitial: the first transmission of a similarity query by the
+	// posing node.
+	QueryInitial
+	// QueryRange: continuation legs replicating a query over the nodes
+	// covered by its radius (§IV-E).
+	QueryRange
+	// QueryTransit: query messages forwarded by intermediate nodes.
+	QueryTransit
+	// ResponseClient: response messages originated by the aggregating
+	// (middle) node toward the client.
+	ResponseClient
+	// ResponseTransit: response messages forwarded by intermediate nodes.
+	ResponseTransit
+	// NeighborNotify: periodic information exchange about detected
+	// similarities between neighbor nodes in a query range (§IV-F).
+	NeighborNotify
+	// Location: location-service traffic for inner-product queries
+	// (put/get/reply, §IV-D).
+	Location
+	// InnerProduct: inner-product subscriptions and periodic result
+	// pushes.
+	InnerProduct
+	// Other: anything unclassified.
+	Other
+
+	// NumCategories is the number of traffic categories.
+	NumCategories
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case MBRSource:
+		return "mbr-source"
+	case MBRRange:
+		return "mbr-range"
+	case MBRTransit:
+		return "mbr-transit"
+	case QueryInitial:
+		return "query"
+	case QueryRange:
+		return "query-range"
+	case QueryTransit:
+		return "query-transit"
+	case ResponseClient:
+		return "response"
+	case ResponseTransit:
+		return "response-transit"
+	case NeighborNotify:
+		return "neighbor-notify"
+	case Location:
+		return "location"
+	case InnerProduct:
+		return "inner-product"
+	case Other:
+		return "other"
+	default:
+		return fmt.Sprintf("category(%d)", int(c))
+	}
+}
+
+// HopClass groups delivered messages for the hop-count analysis of Fig. 8.
+type HopClass int
+
+// Hop classes, matching the figure's legend.
+const (
+	HopMBR           HopClass = iota // MBR routed from source to the first range node
+	HopMBRInternal                   // MBR continuation legs within the range
+	HopQuery                         // query routed from client to the range
+	HopQueryInternal                 // query continuation legs within the range
+	HopResponse                      // responses routed back to the client
+	HopOther
+
+	NumHopClasses
+)
+
+// String implements fmt.Stringer.
+func (h HopClass) String() string {
+	switch h {
+	case HopMBR:
+		return "mbr"
+	case HopMBRInternal:
+		return "mbr-internal"
+	case HopQuery:
+		return "query"
+	case HopQueryInternal:
+		return "query-internal"
+	case HopResponse:
+		return "response"
+	case HopOther:
+		return "other"
+	default:
+		return fmt.Sprintf("hopclass(%d)", int(h))
+	}
+}
+
+// EventType identifies input events the system handles; Fig. 7 reports the
+// number of extra messages the system sends per event of each type.
+type EventType int
+
+// Input event types.
+const (
+	EventMBR      EventType = iota // a new MBR produced by a stream source
+	EventQuery                     // a new client query posted
+	EventResponse                  // a periodic response pushed to a client
+
+	NumEventTypes
+)
+
+// String implements fmt.Stringer.
+func (e EventType) String() string {
+	switch e {
+	case EventMBR:
+		return "mbr"
+	case EventQuery:
+		return "query"
+	case EventResponse:
+		return "response"
+	default:
+		return fmt.Sprintf("event(%d)", int(e))
+	}
+}

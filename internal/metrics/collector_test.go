@@ -1,0 +1,199 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"streamdex/internal/dht"
+	"streamdex/internal/sim"
+)
+
+// kindClassifier treats msg.Kind as the Category directly and Dir != 0 as
+// "internal" for hop classification — a minimal stand-in for the
+// middleware's classifier.
+type kindClassifier struct{}
+
+func (kindClassifier) Classify(from dht.Key, msg *dht.Message) Category {
+	return Category(msg.Kind)
+}
+
+func (kindClassifier) ClassifyHops(msg *dht.Message) HopClass {
+	if msg.Dir != 0 {
+		return HopQueryInternal
+	}
+	return HopQuery
+}
+
+func TestCollectorLoadAccounting(t *testing.T) {
+	c := NewCollector(kindClassifier{})
+	c.Reset(0)
+	msg := &dht.Message{Kind: dht.Kind(MBRSource)}
+	// Two transmissions: 1 -> 2 -> 3.
+	c.OnTransmit(1, 2, msg)
+	c.OnTransmit(2, 3, msg)
+	rep := c.Snapshot(10*sim.Second, []dht.Key{1, 2, 3})
+	// Node 1 sent 1, node 2 sent 1 + received 1, node 3 received 1:
+	// total 4 message endpoints over 3 nodes over 10 s.
+	wantAvg := 4.0 / 10.0 / 3.0
+	if math.Abs(rep.LoadByCategory[MBRSource]-wantAvg) > 1e-12 {
+		t.Fatalf("avg load = %v, want %v", rep.LoadByCategory[MBRSource], wantAvg)
+	}
+	if math.Abs(rep.NodeLoad[2]-0.2) > 1e-12 {
+		t.Fatalf("node 2 load = %v, want 0.2", rep.NodeLoad[2])
+	}
+	if rep.TotalByCategory[MBRSource] != 2 {
+		t.Fatalf("raw transmissions = %d, want 2", rep.TotalByCategory[MBRSource])
+	}
+}
+
+func TestCollectorHopStats(t *testing.T) {
+	c := NewCollector(kindClassifier{})
+	c.Reset(0)
+	c.OnDeliver(1, &dht.Message{Hops: 3})
+	c.OnDeliver(1, &dht.Message{Hops: 5})
+	c.OnDeliver(1, &dht.Message{Hops: 7, Dir: 1})
+	rep := c.Snapshot(sim.Second, []dht.Key{1})
+	if rep.HopMean[HopQuery] != 4 {
+		t.Fatalf("mean hops = %v, want 4", rep.HopMean[HopQuery])
+	}
+	if rep.HopMax[HopQuery] != 5 || rep.HopCount[HopQuery] != 2 {
+		t.Fatalf("max/count = %d/%d", rep.HopMax[HopQuery], rep.HopCount[HopQuery])
+	}
+	if rep.HopMean[HopQueryInternal] != 7 {
+		t.Fatalf("internal mean = %v", rep.HopMean[HopQueryInternal])
+	}
+}
+
+func TestCollectorEventsAndOverhead(t *testing.T) {
+	c := NewCollector(kindClassifier{})
+	c.Reset(0)
+	for i := 0; i < 4; i++ {
+		c.CountEvent(EventMBR)
+	}
+	msg := &dht.Message{Kind: dht.Kind(MBRTransit)}
+	for i := 0; i < 10; i++ {
+		c.OnTransmit(1, 2, msg)
+	}
+	rep := c.Snapshot(sim.Second, []dht.Key{1, 2})
+	if got := rep.Overhead(MBRTransit, EventMBR); got != 2.5 {
+		t.Fatalf("overhead = %v, want 2.5", got)
+	}
+	if got := rep.Overhead(MBRTransit, EventQuery); got != 0 {
+		t.Fatalf("overhead with zero events = %v, want 0", got)
+	}
+	if c.Events(EventMBR) != 4 {
+		t.Fatalf("Events = %d", c.Events(EventMBR))
+	}
+}
+
+func TestCollectorReset(t *testing.T) {
+	c := NewCollector(kindClassifier{})
+	c.Reset(0)
+	c.OnTransmit(1, 2, &dht.Message{})
+	c.CountEvent(EventQuery)
+	c.OnDeliver(2, &dht.Message{Hops: 9})
+	c.Reset(5 * sim.Second)
+	rep := c.Snapshot(15*sim.Second, []dht.Key{1, 2})
+	if rep.TotalLoad != 0 || rep.Events[EventQuery] != 0 || rep.HopCount[HopQuery] != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+	if rep.Duration != 10*sim.Second {
+		t.Fatalf("duration = %v, want 10s", rep.Duration)
+	}
+}
+
+func TestLoadDistribution(t *testing.T) {
+	r := &Report{NodeLoad: map[dht.Key]float64{
+		1: 1, 2: 2, 3: 3, 4: 4, 5: 10,
+	}}
+	bounds, counts := r.LoadDistribution(5)
+	if len(bounds) != 5 || len(counts) != 5 {
+		t.Fatal("wrong bucket count")
+	}
+	if bounds[4] != 10 {
+		t.Fatalf("top bound = %v, want 10", bounds[4])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 5 {
+		t.Fatalf("histogram holds %d nodes, want 5", total)
+	}
+	if counts[4] != 1 {
+		t.Fatalf("top bucket = %d, want 1 (the outlier)", counts[4])
+	}
+}
+
+func TestLoadDistributionAllZero(t *testing.T) {
+	r := &Report{NodeLoad: map[dht.Key]float64{1: 0, 2: 0}}
+	_, counts := r.LoadDistribution(4)
+	if counts[0] != 2 {
+		t.Fatalf("zero loads should fall into the first bucket: %v", counts)
+	}
+}
+
+func TestLoadQuantilesAndMax(t *testing.T) {
+	r := &Report{NodeLoad: map[dht.Key]float64{}}
+	for i := 1; i <= 100; i++ {
+		r.NodeLoad[dht.Key(i)] = float64(i)
+	}
+	qs := r.LoadQuantiles(0, 0.5, 1)
+	if qs[0] != 1 || qs[2] != 100 {
+		t.Fatalf("quantiles = %v", qs)
+	}
+	if qs[1] < 45 || qs[1] > 55 {
+		t.Fatalf("median = %v", qs[1])
+	}
+	id, l := r.MaxLoadNode()
+	if id != 100 || l != 100 {
+		t.Fatalf("max = (%d,%v)", id, l)
+	}
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	c := NewCollector(kindClassifier{})
+	c.Reset(0)
+	rep := c.Snapshot(0, nil)
+	if rep.TotalLoad != 0 || rep.Nodes != 0 {
+		t.Fatal("empty snapshot not zero")
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	for c := Category(0); c < NumCategories; c++ {
+		if c.String() == "" {
+			t.Fatalf("category %d has empty name", c)
+		}
+	}
+	for h := HopClass(0); h < NumHopClasses; h++ {
+		if h.String() == "" {
+			t.Fatalf("hop class %d has empty name", h)
+		}
+	}
+	for e := EventType(0); e < NumEventTypes; e++ {
+		if e.String() == "" {
+			t.Fatalf("event type %d has empty name", e)
+		}
+	}
+}
+
+func TestCollectorByteAccounting(t *testing.T) {
+	c := NewCollector(kindClassifier{})
+	c.Reset(0)
+	msg := &dht.Message{Kind: dht.Kind(MBRSource), Bytes: 100}
+	c.OnTransmit(1, 2, msg)
+	c.OnTransmit(2, 3, msg)
+	unsized := &dht.Message{Kind: dht.Kind(MBRSource)}
+	c.OnTransmit(1, 3, unsized)
+	rep := c.Snapshot(10*sim.Second, []dht.Key{1, 2, 3})
+	if rep.BytesByCategory[MBRSource] != 200 {
+		t.Fatalf("BytesByCategory = %d, want 200", rep.BytesByCategory[MBRSource])
+	}
+	// 2 transmissions x 100 B, each counted at both endpoints -> 400 B
+	// total over 3 nodes over 10 s.
+	want := 400.0 / 10 / 3
+	if math.Abs(rep.BandwidthPerNode-want) > 1e-9 {
+		t.Fatalf("BandwidthPerNode = %v, want %v", rep.BandwidthPerNode, want)
+	}
+}

@@ -1,0 +1,42 @@
+package query
+
+import (
+	"fmt"
+	"math"
+)
+
+// Correlation <-> distance conversions (paper §III-B.2 / [28]).
+//
+// For z-normalized series x and y (zero mean, unit L2 norm), the Pearson
+// correlation equals their inner product, and
+//
+//	||x - y||^2 = 2 - 2*corr(x, y)   =>   corr = 1 - d^2/2.
+//
+// A similarity query with radius epsilon therefore answers "find all
+// streams correlating with the pattern at least 1 - epsilon^2/2" — the
+// exact reduction the paper uses for correlation queries.
+
+// CorrelationFromDistance converts a Euclidean distance between
+// z-normalized series to the corresponding correlation coefficient.
+func CorrelationFromDistance(d float64) float64 {
+	return 1 - d*d/2
+}
+
+// RadiusForCorrelation converts a minimum correlation threshold in
+// (-1, 1] to the similarity radius that captures exactly the streams
+// meeting it.
+func RadiusForCorrelation(minCorr float64) float64 {
+	if minCorr <= -1 || minCorr > 1 {
+		panic(fmt.Sprintf("query: correlation threshold %v outside (-1, 1]", minCorr))
+	}
+	return math.Sqrt(2 * (1 - minCorr))
+}
+
+// CorrelationBound returns the *upper* bound on this match's correlation
+// implied by its feature-space lower-bound distance: the true distance is
+// at least DistLB, so the true correlation is at most this value. (Being
+// a candidate guarantees nothing more until the exact series are
+// compared; the bound is what the index can assert without them.)
+func (m Match) CorrelationBound() float64 {
+	return CorrelationFromDistance(m.DistLB)
+}

@@ -1,0 +1,94 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCorrelationDistanceRoundTrip(t *testing.T) {
+	f := func(raw uint8) bool {
+		minCorr := float64(raw)/255*1.99 - 0.99 // (-0.99, 1.0]
+		r := RadiusForCorrelation(minCorr)
+		back := CorrelationFromDistance(r)
+		return math.Abs(back-minCorr) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorrelationKnownValues(t *testing.T) {
+	if got := CorrelationFromDistance(0); got != 1 {
+		t.Fatalf("identical series: corr = %v", got)
+	}
+	if got := CorrelationFromDistance(math.Sqrt2); math.Abs(got) > 1e-12 {
+		t.Fatalf("orthogonal series: corr = %v", got)
+	}
+	if got := CorrelationFromDistance(2); got != -1 {
+		t.Fatalf("opposite series: corr = %v", got)
+	}
+	if got := RadiusForCorrelation(1); got != 0 {
+		t.Fatalf("corr 1 needs radius %v", got)
+	}
+}
+
+func TestRadiusForCorrelationValidation(t *testing.T) {
+	for _, c := range []float64{-1, -1.5, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("threshold %v accepted", c)
+				}
+			}()
+			RadiusForCorrelation(c)
+		}()
+	}
+}
+
+func TestCorrelationIdentityOnRealSeries(t *testing.T) {
+	// Verify corr = 1 - d^2/2 numerically on z-normalized random series.
+	rng := rand.New(rand.NewSource(1))
+	n := 64
+	x, y := make([]float64, n), make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = 0.6*x[i] + 0.4*rng.NormFloat64()
+	}
+	zx, zy := znorm(x), znorm(y)
+	var dot, dsq float64
+	for i := range zx {
+		dot += zx[i] * zy[i]
+		diff := zx[i] - zy[i]
+		dsq += diff * diff
+	}
+	if math.Abs(CorrelationFromDistance(math.Sqrt(dsq))-dot) > 1e-12 {
+		t.Fatalf("identity violated: corr %v vs 1-d^2/2 %v", dot, CorrelationFromDistance(math.Sqrt(dsq)))
+	}
+}
+
+func znorm(x []float64) []float64 {
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(len(x))
+	var norm float64
+	for _, v := range x {
+		norm += (v - mean) * (v - mean)
+	}
+	norm = math.Sqrt(norm)
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = (v - mean) / norm
+	}
+	return out
+}
+
+func TestMatchCorrelationBound(t *testing.T) {
+	m := Match{DistLB: 0.2}
+	if got := m.CorrelationBound(); math.Abs(got-0.98) > 1e-12 {
+		t.Fatalf("bound = %v, want 0.98", got)
+	}
+}

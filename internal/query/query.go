@@ -1,0 +1,192 @@
+// Package query defines the two continuous query categories of the paper's
+// stream query model (§III-B): inner-product queries and similarity queries
+// (correlation and subsequence), together with their result types.
+//
+// Queries are continuous: "posed once, and run for a certain period of time
+// called lifespan".
+package query
+
+import (
+	"fmt"
+
+	"streamdex/internal/dht"
+	"streamdex/internal/dsp"
+	"streamdex/internal/sim"
+	"streamdex/internal/summary"
+)
+
+// ID identifies one posted query within a middleware instance.
+type ID uint64
+
+// Similarity is a continuous similarity query, formally the triplet
+// (Q, epsilon, Delta): all stream (sub)sequences within Euclidean distance
+// epsilon of the normalized query sequence Q are reported during Delta time
+// units (§III-B.2).
+type Similarity struct {
+	ID ID
+	// Origin is the node where the client posed the query and to which
+	// responses flow.
+	Origin dht.Key
+	// Feature is the query sequence's feature vector in the unit feature
+	// space (extracted exactly like stream summaries).
+	Feature summary.Feature
+	// Radius is the similarity threshold epsilon.
+	Radius float64
+	// Norm records the normalization the query targets: ZNorm for
+	// correlation queries, UnitNorm for subsequence/pattern queries.
+	Norm dsp.Mode
+	// Posted and Lifespan delimit the query's activity window.
+	Posted   sim.Time
+	Lifespan sim.Time
+}
+
+// Expiry returns the instant the query stops being active.
+func (q *Similarity) Expiry() sim.Time { return q.Posted + q.Lifespan }
+
+// Validate reports a malformed query.
+func (q *Similarity) Validate() error {
+	if len(q.Feature) == 0 {
+		return fmt.Errorf("similarity query %d: empty feature", q.ID)
+	}
+	if !q.Feature.Valid() {
+		return fmt.Errorf("similarity query %d: feature outside unit space: %v", q.ID, q.Feature)
+	}
+	if q.Radius < 0 {
+		return fmt.Errorf("similarity query %d: negative radius", q.ID)
+	}
+	if q.Lifespan <= 0 {
+		return fmt.Errorf("similarity query %d: non-positive lifespan", q.ID)
+	}
+	return nil
+}
+
+// InnerProduct is a continuous inner-product query, formally the quadruple
+// (sid, I, W, Delta): sid names the stream, I indexes the data items of
+// interest within the stream's sliding window (0 = oldest), W holds the
+// corresponding weights, and Delta is the lifespan (§III-B.1). Point and
+// range queries are expressible in this form.
+type InnerProduct struct {
+	ID       ID
+	Origin   dht.Key
+	StreamID string
+	Index    []int
+	Weights  []float64
+	Posted   sim.Time
+	Lifespan sim.Time
+}
+
+// Expiry returns the instant the query stops being active.
+func (q *InnerProduct) Expiry() sim.Time { return q.Posted + q.Lifespan }
+
+// Validate reports a malformed query.
+func (q *InnerProduct) Validate() error {
+	if q.StreamID == "" {
+		return fmt.Errorf("inner-product query %d: empty stream id", q.ID)
+	}
+	if len(q.Index) == 0 || len(q.Index) != len(q.Weights) {
+		return fmt.Errorf("inner-product query %d: index/weight vectors of lengths %d/%d",
+			q.ID, len(q.Index), len(q.Weights))
+	}
+	for _, i := range q.Index {
+		if i < 0 {
+			return fmt.Errorf("inner-product query %d: negative index %d", q.ID, i)
+		}
+	}
+	if q.Lifespan <= 0 {
+		return fmt.Errorf("inner-product query %d: non-positive lifespan", q.ID)
+	}
+	return nil
+}
+
+// Average returns an inner-product query computing the arithmetic mean of
+// the window's last n values — "what is the average closing price of Intel
+// for the last month?" is AveragE over a month-long window.
+func Average(sid string, windowSize, n int, lifespan sim.Time) *InnerProduct {
+	if n <= 0 || n > windowSize {
+		panic("query: average over invalid span")
+	}
+	idx := make([]int, n)
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		idx[i] = windowSize - n + i // the most recent n items
+		w[i] = 1 / float64(n)
+	}
+	return &InnerProduct{StreamID: sid, Index: idx, Weights: w, Lifespan: lifespan}
+}
+
+// Point returns an inner-product query selecting the single value at window
+// position i.
+func Point(sid string, i int, lifespan sim.Time) *InnerProduct {
+	return &InnerProduct{StreamID: sid, Index: []int{i}, Weights: []float64{1}, Lifespan: lifespan}
+}
+
+// RangeSum returns an inner-product query summing the window positions
+// [from, to) — the paper's "simple point and range queries can be
+// expressed as inner product queries".
+func RangeSum(sid string, from, to int, lifespan sim.Time) *InnerProduct {
+	if from < 0 || to <= from {
+		panic("query: invalid range")
+	}
+	idx := make([]int, to-from)
+	w := make([]float64, to-from)
+	for i := range idx {
+		idx[i] = from + i
+		w[i] = 1
+	}
+	return &InnerProduct{StreamID: sid, Index: idx, Weights: w, Lifespan: lifespan}
+}
+
+// Weighted returns an inner-product query with explicit decay weights over
+// the most recent n values, newest weighted heaviest — the paper's
+// "weighted average of last 20 body temperature measurements" alarm shape.
+// decay in (0, 1] is the per-step multiplier going back in time; weights
+// are normalized to sum to 1.
+func Weighted(sid string, windowSize, n int, decay float64, lifespan sim.Time) *InnerProduct {
+	if n <= 0 || n > windowSize {
+		panic("query: weighted span outside window")
+	}
+	if decay <= 0 || decay > 1 {
+		panic("query: decay outside (0, 1]")
+	}
+	idx := make([]int, n)
+	w := make([]float64, n)
+	weight := 1.0
+	var sum float64
+	for i := n - 1; i >= 0; i-- {
+		idx[i] = windowSize - n + i
+		w[i] = weight
+		sum += weight
+		weight *= decay
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return &InnerProduct{StreamID: sid, Index: idx, Weights: w, Lifespan: lifespan}
+}
+
+// Match is one similarity candidate: a stored MBR of a stream whose minimum
+// distance to the query feature is within the radius. Because the feature
+// distance lower-bounds the true distance (Eq. 9), matches form a superset
+// with false positives but no false dismissals.
+type Match struct {
+	StreamID string
+	Seq      uint64
+	// DistLB is the lower bound on the true distance (the MINDIST in
+	// feature space).
+	DistLB float64
+	// FoundAt is the virtual time the candidate was detected at the
+	// storing node.
+	FoundAt sim.Time
+	// Node is the data center that detected the candidate.
+	Node dht.Key
+}
+
+// IPValue is one periodic inner-product result push.
+type IPValue struct {
+	Value float64
+	At    sim.Time
+	// Approx reports that the value was reconstructed from the retained
+	// DFT coefficients rather than the raw window (always true in the
+	// middleware; ground-truth checks compute the exact value locally).
+	Approx bool
+}

@@ -1,0 +1,161 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"streamdex/internal/dsp"
+	"streamdex/internal/sim"
+	"streamdex/internal/summary"
+)
+
+func TestSimilarityValidate(t *testing.T) {
+	good := &Similarity{ID: 1, Feature: summary.Feature{0.1, 0.2}, Radius: 0.1, Norm: dsp.ZNorm, Lifespan: sim.Second}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid query rejected: %v", err)
+	}
+	bad := []*Similarity{
+		{Feature: nil, Radius: 0.1, Lifespan: sim.Second},
+		{Feature: summary.Feature{2}, Radius: 0.1, Lifespan: sim.Second},
+		{Feature: summary.Feature{0}, Radius: -1, Lifespan: sim.Second},
+		{Feature: summary.Feature{0}, Radius: 0.1, Lifespan: 0},
+	}
+	for i, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Errorf("bad query %d accepted", i)
+		}
+	}
+}
+
+func TestSimilarityExpiry(t *testing.T) {
+	q := &Similarity{Posted: 10 * sim.Second, Lifespan: 20 * sim.Second}
+	if q.Expiry() != 30*sim.Second {
+		t.Fatalf("Expiry = %v", q.Expiry())
+	}
+}
+
+func TestInnerProductValidate(t *testing.T) {
+	good := &InnerProduct{ID: 1, StreamID: "s", Index: []int{0, 1}, Weights: []float64{0.5, 0.5}, Lifespan: sim.Second}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid query rejected: %v", err)
+	}
+	bad := []*InnerProduct{
+		{StreamID: "", Index: []int{0}, Weights: []float64{1}, Lifespan: sim.Second},
+		{StreamID: "s", Index: nil, Weights: nil, Lifespan: sim.Second},
+		{StreamID: "s", Index: []int{0}, Weights: []float64{1, 2}, Lifespan: sim.Second},
+		{StreamID: "s", Index: []int{-1}, Weights: []float64{1}, Lifespan: sim.Second},
+		{StreamID: "s", Index: []int{0}, Weights: []float64{1}, Lifespan: 0},
+	}
+	for i, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Errorf("bad query %d accepted", i)
+		}
+	}
+}
+
+func TestAverageBuilder(t *testing.T) {
+	q := Average("intc", 128, 30, sim.Minute)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Index) != 30 {
+		t.Fatalf("len(Index) = %d", len(q.Index))
+	}
+	if q.Index[0] != 98 || q.Index[29] != 127 {
+		t.Fatalf("Index spans [%d,%d], want [98,127]", q.Index[0], q.Index[29])
+	}
+	var sum float64
+	for _, w := range q.Weights {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+}
+
+func TestAverageValidation(t *testing.T) {
+	for _, n := range []int{0, 129} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Average with n=%d did not panic", n)
+				}
+			}()
+			Average("s", 128, n, sim.Second)
+		}()
+	}
+}
+
+func TestRangeSumBuilder(t *testing.T) {
+	q := RangeSum("s", 10, 14, sim.Second)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Index) != 4 || q.Index[0] != 10 || q.Index[3] != 13 {
+		t.Fatalf("Index = %v", q.Index)
+	}
+	for _, w := range q.Weights {
+		if w != 1 {
+			t.Fatalf("Weights = %v", q.Weights)
+		}
+	}
+	for _, fn := range []func(){
+		func() { RangeSum("s", -1, 3, sim.Second) },
+		func() { RangeSum("s", 5, 5, sim.Second) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWeightedBuilder(t *testing.T) {
+	q := Weighted("s", 128, 20, 0.9, sim.Second)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Index) != 20 || q.Index[0] != 108 || q.Index[19] != 127 {
+		t.Fatalf("Index spans [%d,%d]", q.Index[0], q.Index[19])
+	}
+	var sum float64
+	for _, w := range q.Weights {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+	// Newest value weighted heaviest.
+	if q.Weights[19] <= q.Weights[0] {
+		t.Fatalf("weights not increasing toward the newest: %v ... %v", q.Weights[0], q.Weights[19])
+	}
+	for _, fn := range []func(){
+		func() { Weighted("s", 10, 11, 0.9, sim.Second) },
+		func() { Weighted("s", 10, 0, 0.9, sim.Second) },
+		func() { Weighted("s", 10, 5, 0, sim.Second) },
+		func() { Weighted("s", 10, 5, 1.5, sim.Second) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPointBuilder(t *testing.T) {
+	q := Point("s", 5, sim.Second)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Index) != 1 || q.Index[0] != 5 || q.Weights[0] != 1 {
+		t.Fatalf("Point = %+v", q)
+	}
+}

@@ -1,0 +1,235 @@
+// Package sim implements the discrete-event simulation engine that underlies
+// the Chord network simulator and the stream-indexing middleware evaluation.
+//
+// The engine replays timed events on a virtual clock, mirroring the publicly
+// available Chord simulator the paper links against: input events (new stream
+// values, new client queries) and internal events (message hops, periodic
+// maintenance) are all executed in virtual-time order.
+//
+// The event loop is strictly deterministic: events fire in (time, scheduling
+// sequence) order, and all randomness is injected through explicitly seeded
+// generators (see rand.go). Running the same configuration with the same seed
+// therefore produces bit-identical simulation results, which the test suite
+// relies on for regression checks. Parallelism belongs one level up: whole
+// simulations are independent and are fanned out across goroutines by the
+// experiment harness.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a virtual-time instant or duration, measured in microseconds since
+// the start of the simulation. Microsecond resolution comfortably expresses
+// every interval the paper's evaluation uses (50 ms hops, 150-250 ms stream
+// periods, 2 s push periods, 5 s MBR lifespans) while leaving headroom for
+// sub-millisecond experimentation.
+type Time int64
+
+// Convenient duration units for building Time values.
+const (
+	Microsecond Time = 1
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+)
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis reports t as a floating-point number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the time with adaptive units for logs and test failures.
+func (t Time) String() string {
+	switch {
+	case t >= Second || t <= -Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond || t <= -Millisecond:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	default:
+		return fmt.Sprintf("%dus", int64(t))
+	}
+}
+
+// event is a single scheduled callback.
+type event struct {
+	at     Time
+	seq    uint64 // tie-breaker: FIFO among events at the same instant
+	fn     func()
+	index  int // heap index, -1 once popped or cancelled
+	cancel bool
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event executor. The zero value is not
+// usable; construct with NewEngine. Engine methods must not be called
+// concurrently: all model code runs inside event callbacks on one goroutine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	// executed counts events that have run, for introspection and tests.
+	executed uint64
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of scheduled events not yet executed or
+// cancelled. Cancelled events still in the heap are excluded.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.cancel {
+			n++
+		}
+	}
+	return n
+}
+
+// Timer is a handle to a scheduled event that can be cancelled before firing.
+type Timer struct {
+	eng *Engine
+	ev  *event
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled timer is a no-op. It reports whether the event was
+// actually descheduled by this call.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.cancel || t.ev.index == -1 {
+		return false
+	}
+	t.ev.cancel = true
+	return true
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool {
+	return t != nil && t.ev != nil && !t.ev.cancel && t.ev.index != -1
+}
+
+// Schedule runs fn after delay d (which may be zero but not negative).
+// It returns a Timer that can cancel the callback.
+func (e *Engine) Schedule(d Time, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.ScheduleAt(e.now+d, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time t, which must not be in the
+// past.
+func (e *Engine) ScheduleAt(t Time, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{eng: e, ev: ev}
+}
+
+// Step executes the single next event, advancing the clock to its timestamp.
+// It reports false when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t and then sets the clock to t.
+// Events scheduled exactly at t do run. Stop aborts the loop early.
+func (e *Engine) RunUntil(t Time) {
+	e.stopped = false
+	for !e.stopped {
+		next, ok := e.peek()
+		if !ok || next > t {
+			break
+		}
+		e.Step()
+	}
+	if !e.stopped && e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by duration d (see RunUntil).
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+// Stop aborts a Run/RunUntil in progress after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// peek returns the timestamp of the next non-cancelled event.
+func (e *Engine) peek() (Time, bool) {
+	for len(e.events) > 0 {
+		if e.events[0].cancel {
+			heap.Pop(&e.events)
+			continue
+		}
+		return e.events[0].at, true
+	}
+	return 0, false
+}

@@ -1,0 +1,420 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1_000_000*Microsecond {
+		t.Fatalf("Second = %d us", int64(Second))
+	}
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Fatalf("Seconds() = %v, want 1.5", got)
+	}
+	if got := (2500 * Microsecond).Millis(); got != 2.5 {
+		t.Fatalf("Millis() = %v, want 2.5", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{2 * Second, "2.000s"},
+		{50 * Millisecond, "50.000ms"},
+		{7 * Microsecond, "7us"},
+		{-3 * Second, "-3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30*Millisecond, func() { order = append(order, 3) })
+	e.Schedule(10*Millisecond, func() { order = append(order, 1) })
+	e.Schedule(20*Millisecond, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("execution order = %v", order)
+	}
+	if e.Now() != 30*Millisecond {
+		t.Fatalf("final clock = %v", e.Now())
+	}
+}
+
+func TestFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(Millisecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []Time
+	e.Schedule(Millisecond, func() {
+		hits = append(hits, e.Now())
+		e.Schedule(2*Millisecond, func() {
+			hits = append(hits, e.Now())
+		})
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != Millisecond || hits[1] != 3*Millisecond {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestZeroDelayRunsAtCurrentInstant(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(5*Millisecond, func() {
+		e.Schedule(0, func() {
+			ran = true
+			if e.Now() != 5*Millisecond {
+				t.Errorf("zero-delay event at %v", e.Now())
+			}
+		})
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("zero-delay event did not run")
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative delay")
+		}
+	}()
+	NewEngine().Schedule(-1, func() {})
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10*Millisecond, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for past timestamp")
+		}
+	}()
+	e.ScheduleAt(5*Millisecond, func() {})
+}
+
+func TestNilEventPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil fn")
+		}
+	}()
+	NewEngine().Schedule(0, nil)
+}
+
+func TestTimerCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	timer := e.Schedule(Millisecond, func() { ran = true })
+	if !timer.Active() {
+		t.Fatal("timer should be active before firing")
+	}
+	if !timer.Cancel() {
+		t.Fatal("first Cancel should report true")
+	}
+	if timer.Cancel() {
+		t.Fatal("second Cancel should report false")
+	}
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if timer.Active() {
+		t.Fatal("cancelled timer reports active")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	e := NewEngine()
+	timer := e.Schedule(Millisecond, func() {})
+	e.Run()
+	if timer.Active() {
+		t.Fatal("fired timer reports active")
+	}
+	if timer.Cancel() {
+		t.Fatal("Cancel after firing should report false")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, d := range []Time{Millisecond, 2 * Millisecond, 3 * Millisecond} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(2 * Millisecond)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want exactly events <= 2ms (inclusive)", fired)
+	}
+	if e.Now() != 2*Millisecond {
+		t.Fatalf("clock = %v, want 2ms", e.Now())
+	}
+	// The remaining event is still pending.
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.RunFor(Millisecond)
+	if len(fired) != 3 {
+		t.Fatalf("fired after RunFor = %v", fired)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(7 * Second)
+	if e.Now() != 7*Second {
+		t.Fatalf("idle clock = %v, want 7s", e.Now())
+	}
+}
+
+func TestStopAbortsRun(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i)*Millisecond, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("events after Stop: count = %d, want 3", count)
+	}
+}
+
+func TestExecutedAndPendingCounters(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.Schedule(Time(i+1)*Millisecond, func() {})
+	}
+	cancelled := e.Schedule(10*Millisecond, func() {})
+	cancelled.Cancel()
+	if e.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", e.Pending())
+	}
+	e.Run()
+	if e.Executed() != 5 {
+		t.Fatalf("executed = %d, want 5", e.Executed())
+	}
+}
+
+func TestTickerPeriodAndStop(t *testing.T) {
+	e := NewEngine()
+	var at []Time
+	tick := e.Every(10*Millisecond, func() { at = append(at, e.Now()) })
+	e.RunUntil(35 * Millisecond)
+	tick.Stop()
+	e.RunUntil(100 * Millisecond)
+	want := []Time{10 * Millisecond, 20 * Millisecond, 30 * Millisecond}
+	if len(at) != len(want) {
+		t.Fatalf("firings = %v, want %v", at, want)
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("firings = %v, want %v", at, want)
+		}
+	}
+	if tick.Fires() != 3 {
+		t.Fatalf("Fires() = %d", tick.Fires())
+	}
+	if tick.Active() {
+		t.Fatal("stopped ticker reports active")
+	}
+}
+
+func TestTickerInitialDelay(t *testing.T) {
+	e := NewEngine()
+	var first Time = -1
+	e.EveryAfter(3*Millisecond, 10*Millisecond, func() {
+		if first < 0 {
+			first = e.Now()
+		}
+	})
+	e.RunUntil(30 * Millisecond)
+	if first != 3*Millisecond {
+		t.Fatalf("first firing at %v, want 3ms", first)
+	}
+}
+
+func TestTickerUntilHorizon(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Every(10*Millisecond, func() { n++ }).Until(45 * Millisecond)
+	e.Run()
+	if n != 4 { // fires at 10,20,30,40; 50 > horizon
+		t.Fatalf("firings = %d, want 4", n)
+	}
+}
+
+func TestTickerStopsItselfFromCallback(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var tk *Ticker
+	tk = e.Every(Millisecond, func() {
+		n++
+		if n == 2 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if n != 2 {
+		t.Fatalf("firings = %d, want 2", n)
+	}
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEngine().Every(0, func() {})
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	// Forks labelled identically off identically seeded parents must agree,
+	// and differently labelled forks must differ.
+	a := NewRand(7).Fork("streams")
+	b := NewRand(7).Fork("streams")
+	c := NewRand(7).Fork("queries")
+	same, diff := true, false
+	for i := 0; i < 50; i++ {
+		av := a.Int63()
+		if av != b.Int63() {
+			same = false
+		}
+		if av != c.Int63() {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("identically labelled forks diverged")
+	}
+	if !diff {
+		t.Fatal("differently labelled forks coincided")
+	}
+}
+
+func TestUniformTimeBounds(t *testing.T) {
+	r := NewRand(1)
+	lo, hi := 150*Millisecond, 250*Millisecond
+	for i := 0; i < 1000; i++ {
+		d := r.UniformTime(lo, hi)
+		if d < lo || d > hi {
+			t.Fatalf("UniformTime out of bounds: %v", d)
+		}
+	}
+	if r.UniformTime(lo, lo) != lo {
+		t.Fatal("degenerate interval should return lo")
+	}
+}
+
+func TestUniformTimeQuickBounds(t *testing.T) {
+	r := NewRand(3)
+	f := func(a, b uint32) bool {
+		lo, hi := Time(a), Time(a)+Time(b)
+		d := r.UniformTime(lo, hi)
+		return d >= lo && d <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpTimeMean(t *testing.T) {
+	r := NewRand(99)
+	mean := 500 * Millisecond
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += float64(r.ExpTime(mean))
+	}
+	got := sum / n
+	if math.Abs(got-float64(mean)) > 0.05*float64(mean) {
+		t.Fatalf("empirical mean %v, want ~%v", Time(got), mean)
+	}
+}
+
+func TestPoissonProcessRate(t *testing.T) {
+	e := NewEngine()
+	r := NewRand(5)
+	// Paper workload: 2 queries per second on average.
+	p := e.Poisson(r, 500*Millisecond, func() {})
+	e.RunUntil(200 * Second)
+	p.Stop()
+	got := float64(p.Fires()) / 200.0
+	if got < 1.7 || got > 2.3 {
+		t.Fatalf("Poisson rate = %.2f/s, want ~2/s", got)
+	}
+}
+
+func TestPoissonStop(t *testing.T) {
+	e := NewEngine()
+	r := NewRand(6)
+	n := 0
+	var p *PoissonProc
+	p = e.Poisson(r, 10*Millisecond, func() {
+		n++
+		if n == 5 {
+			p.Stop()
+		}
+	})
+	e.RunUntil(10 * Second)
+	if n != 5 {
+		t.Fatalf("arrivals after Stop: %d, want 5", n)
+	}
+}
+
+func TestEngineDeterminismRegression(t *testing.T) {
+	run := func() (uint64, Time) {
+		e := NewEngine()
+		r := NewRand(123)
+		var last Time
+		e.Poisson(r, 20*Millisecond, func() { last = e.Now() })
+		e.Every(7*Millisecond, func() {}).Until(3 * Second)
+		e.RunUntil(3 * Second)
+		return e.Executed(), last
+	}
+	e1, l1 := run()
+	e2, l2 := run()
+	if e1 != e2 || l1 != l2 {
+		t.Fatalf("non-deterministic run: (%d,%v) vs (%d,%v)", e1, l1, e2, l2)
+	}
+}

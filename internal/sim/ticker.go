@@ -1,0 +1,75 @@
+package sim
+
+// Ticker drives a periodic process: fn runs every period until Stop is
+// called or, if a horizon was set, until the horizon passes. The paper's
+// evaluation is built almost entirely from such processes — streams produce
+// a value every 150-250 ms, nodes exchange similarity information every
+// NPER = 2 s, and stored state is swept on the same timers.
+type Ticker struct {
+	eng     *Engine
+	period  Time
+	fn      func()
+	timer   *Timer
+	stopped bool
+	until   Time // 0 means no horizon
+	fires   uint64
+}
+
+// Every schedules fn to run every period, with the first firing after one
+// full period. The period must be positive.
+func (e *Engine) Every(period Time, fn func()) *Ticker {
+	return e.EveryAfter(period, period, fn)
+}
+
+// EveryAfter schedules fn to first run after initial delay and then every
+// period. A zero initial delay fires fn as the next event at the current
+// instant. Staggering the initial delay across nodes avoids the lock-step
+// artifacts a shared phase would create.
+func (e *Engine) EveryAfter(initial, period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	t := &Ticker{eng: e, period: period, fn: fn}
+	t.timer = e.Schedule(initial, t.tick)
+	return t
+}
+
+// Until sets an absolute horizon after which the ticker stops rescheduling.
+// A firing scheduled exactly at the horizon still runs. It returns the
+// ticker for chaining.
+func (t *Ticker) Until(horizon Time) *Ticker {
+	t.until = horizon
+	return t
+}
+
+// Fires returns how many times the ticker has fired.
+func (t *Ticker) Fires() uint64 { return t.fires }
+
+// Stop cancels the ticker; the callback will not run again.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.timer.Cancel()
+}
+
+// Active reports whether the ticker will fire again.
+func (t *Ticker) Active() bool { return !t.stopped && t.timer.Active() }
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fires++
+	t.fn()
+	if t.stopped { // fn may stop its own ticker
+		return
+	}
+	next := t.eng.Now() + t.period
+	if t.until != 0 && next > t.until {
+		t.stopped = true
+		return
+	}
+	t.timer = t.eng.Schedule(t.period, t.tick)
+}

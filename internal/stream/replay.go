@@ -1,0 +1,94 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Replay generators feed recorded traces through the indexing pipeline —
+// the counterpart of cmd/tracegen, closing the loop for users who want to
+// index their own datasets (or the real S&P500 / CMU host-load files the
+// paper used, once obtained).
+
+// Replay replays a fixed series. After the series is exhausted it either
+// loops (Loop true) or holds the last value forever, so a stream never
+// runs dry mid-simulation.
+type Replay struct {
+	values []float64
+	pos    int
+	Loop   bool
+}
+
+// NewReplay creates a replay generator over a copy of values.
+func NewReplay(values []float64, loop bool) *Replay {
+	if len(values) == 0 {
+		panic("stream: replay of empty series")
+	}
+	return &Replay{values: append([]float64(nil), values...), Loop: loop}
+}
+
+// Len returns the length of the underlying series.
+func (r *Replay) Len() int { return len(r.values) }
+
+// Next implements Generator.
+func (r *Replay) Next() float64 {
+	v := r.values[r.pos]
+	if r.pos < len(r.values)-1 {
+		r.pos++
+	} else if r.Loop {
+		r.pos = 0
+	}
+	return v
+}
+
+// ReadSeries parses a one-value-per-line trace (the tracegen hostload/walk
+// format). Blank lines and '#' comments are skipped.
+func ReadSeries(rd io.Reader) ([]float64, error) {
+	sc := bufio.NewScanner(rd)
+	var out []float64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("stream: trace line %d: %v", line, err)
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("stream: empty trace")
+	}
+	return out, nil
+}
+
+// WriteSeries writes a one-value-per-line trace.
+func WriteSeries(w io.Writer, values []float64) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range values {
+		if _, err := fmt.Fprintf(bw, "%.6f\n", v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReplayCloses builds a replay generator over a ticker's closing prices
+// from parsed stock records (see ReadRecords), looping so the simulated
+// stream never ends.
+func ReplayCloses(recs []Record, ticker string) (*Replay, error) {
+	closes := Closes(recs, ticker)
+	if len(closes) == 0 {
+		return nil, fmt.Errorf("stream: no records for ticker %q", ticker)
+	}
+	return NewReplay(closes, true), nil
+}

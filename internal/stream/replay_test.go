@@ -1,0 +1,116 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"streamdex/internal/sim"
+)
+
+func TestReplayHoldsLastValue(t *testing.T) {
+	r := NewReplay([]float64{1, 2, 3}, false)
+	got := []float64{r.Next(), r.Next(), r.Next(), r.Next(), r.Next()}
+	want := []float64{1, 2, 3, 3, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReplayLoops(t *testing.T) {
+	r := NewReplay([]float64{1, 2}, true)
+	got := []float64{r.Next(), r.Next(), r.Next(), r.Next()}
+	want := []float64{1, 2, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestReplayEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewReplay(nil, false)
+}
+
+func TestSeriesRoundTrip(t *testing.T) {
+	vals := []float64{1.5, -2.25, 0, 1e6}
+	var buf bytes.Buffer
+	if err := WriteSeries(&buf, vals); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSeries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(vals) {
+		t.Fatalf("read %d values", len(back))
+	}
+	for i := range vals {
+		if back[i] != vals[i] {
+			t.Fatalf("value %d: %v != %v", i, back[i], vals[i])
+		}
+	}
+}
+
+func TestReadSeriesSkipsCommentsAndErrors(t *testing.T) {
+	good := "# header\n\n1.0\n2.0\n"
+	vals, err := ReadSeries(strings.NewReader(good))
+	if err != nil || len(vals) != 2 {
+		t.Fatalf("vals=%v err=%v", vals, err)
+	}
+	if _, err := ReadSeries(strings.NewReader("abc\n")); err == nil {
+		t.Fatal("bad line accepted")
+	}
+	if _, err := ReadSeries(strings.NewReader("# only comments\n")); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestReplayCloses(t *testing.T) {
+	m := NewMarket(sim.NewRand(1), []string{"A", "B"})
+	recs := m.Generate(5)
+	r, err := ReplayCloses(recs, "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if _, err := ReplayCloses(recs, "ZZZ"); err == nil {
+		t.Fatal("unknown ticker accepted")
+	}
+}
+
+func TestReplayThroughTracegenFormat(t *testing.T) {
+	// End-to-end: generate a host-load trace in the tracegen format,
+	// read it back, and replay it.
+	g := DefaultHostLoad(sim.NewRand(9))
+	orig := make([]float64, 100)
+	for i := range orig {
+		orig[i] = g.Next()
+	}
+	var buf bytes.Buffer
+	if err := WriteSeries(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := ReadSeries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReplay(vals, true)
+	for i := 0; i < 100; i++ {
+		if got := r.Next(); got < orig[i]-1e-6 || got > orig[i]+1e-6 {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, got, orig[i])
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"streamdex/internal/sim"
+)
+
+// S&P500-style stock data (paper §V).
+//
+// "S&P500 Stock Exchange Historical Data consists of data for different
+// stocks. The file for a single stock contains one record per line of text
+// corresponding to the data for that date. The record is arranged into
+// fields representing the date, ticker, open, high, low, close, and volume
+// for that day."
+//
+// The original archive is no longer available, so this package both
+// generates statistically similar series (correlated geometric random
+// walks, so correlation queries have real structure to find) and implements
+// the record layout itself with a writer and parser, making file-based
+// workflows work end to end.
+
+// Record is one daily quote line.
+type Record struct {
+	Date   string // YYYYMMDD
+	Ticker string
+	Open   float64
+	High   float64
+	Low    float64
+	Close  float64
+	Volume int64
+}
+
+// String renders the record in the historical one-line format.
+func (r Record) String() string {
+	return fmt.Sprintf("%s,%s,%.4f,%.4f,%.4f,%.4f,%d",
+		r.Date, r.Ticker, r.Open, r.High, r.Low, r.Close, r.Volume)
+}
+
+// ParseRecord parses one line of the stock file format.
+func ParseRecord(line string) (Record, error) {
+	fields := strings.Split(strings.TrimSpace(line), ",")
+	if len(fields) != 7 {
+		return Record{}, fmt.Errorf("stock record: %d fields, want 7: %q", len(fields), line)
+	}
+	var r Record
+	r.Date = fields[0]
+	r.Ticker = fields[1]
+	var err error
+	parse := func(i int) float64 {
+		if err != nil {
+			return 0
+		}
+		var v float64
+		v, err = strconv.ParseFloat(fields[i], 64)
+		return v
+	}
+	r.Open, r.High, r.Low, r.Close = parse(2), parse(3), parse(4), parse(5)
+	if err == nil {
+		r.Volume, err = strconv.ParseInt(fields[6], 10, 64)
+	}
+	if err != nil {
+		return Record{}, fmt.Errorf("stock record %q: %v", line, err)
+	}
+	if r.High < r.Low {
+		return Record{}, fmt.Errorf("stock record %q: high < low", line)
+	}
+	return r, nil
+}
+
+// WriteRecords writes records one per line.
+func WriteRecords(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range recs {
+		if _, err := fmt.Fprintln(bw, r.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRecords parses a whole stock file.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	var out []Record
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := ParseRecord(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, sc.Err()
+}
+
+// Closes extracts the closing-price series of one ticker in date order —
+// the signal the examples and benchmarks index ("average closing price of
+// Intel for the last month" is the paper's first motivating query).
+func Closes(recs []Record, ticker string) []float64 {
+	var mine []Record
+	for _, r := range recs {
+		if r.Ticker == ticker {
+			mine = append(mine, r)
+		}
+	}
+	sort.Slice(mine, func(i, j int) bool { return mine[i].Date < mine[j].Date })
+	out := make([]float64, len(mine))
+	for i, r := range mine {
+		out[i] = r.Close
+	}
+	return out
+}
+
+// Market generates correlated daily series for a set of tickers. Each
+// stock's log-return is beta * market_return + idiosyncratic noise, so
+// pairs of stocks with similar betas genuinely correlate — giving the
+// paper's correlation queries ("find all pairs of companies whose closing
+// prices over the last month correlate within a threshold") structure to
+// detect.
+type Market struct {
+	rng     *sim.Rand
+	tickers []string
+	beta    []float64
+	price   []float64
+	volBase []float64
+	sigmaM  float64 // market volatility per day
+	sigmaI  float64 // idiosyncratic volatility per day
+	day     int
+	// history caches per-day closing prices for CloseGenerator replay.
+	history [][]float64
+}
+
+// NewMarket creates a market of len(tickers) stocks.
+func NewMarket(rng *sim.Rand, tickers []string) *Market {
+	if len(tickers) == 0 {
+		panic("stream: market with no tickers")
+	}
+	m := &Market{
+		rng:     rng,
+		tickers: append([]string(nil), tickers...),
+		beta:    make([]float64, len(tickers)),
+		price:   make([]float64, len(tickers)),
+		volBase: make([]float64, len(tickers)),
+		sigmaM:  0.01,
+		sigmaI:  0.008,
+	}
+	for i := range tickers {
+		m.beta[i] = rng.Uniform(0.4, 1.6)
+		m.price[i] = rng.Uniform(20, 300)
+		m.volBase[i] = rng.Uniform(1e5, 5e6)
+	}
+	return m
+}
+
+// Step advances one trading day and returns the day's records.
+func (m *Market) Step() []Record {
+	marketRet := m.rng.NormFloat64() * m.sigmaM
+	recs := make([]Record, len(m.tickers))
+	date := tradingDate(m.day)
+	for i := range m.tickers {
+		ret := m.beta[i]*marketRet + m.rng.NormFloat64()*m.sigmaI
+		open := m.price[i]
+		close := open * math.Exp(ret)
+		hi := math.Max(open, close) * (1 + math.Abs(m.rng.NormFloat64())*0.004)
+		lo := math.Min(open, close) * (1 - math.Abs(m.rng.NormFloat64())*0.004)
+		recs[i] = Record{
+			Date:   date,
+			Ticker: m.tickers[i],
+			Open:   open,
+			High:   hi,
+			Low:    lo,
+			Close:  close,
+			Volume: int64(m.volBase[i] * (1 + math.Abs(ret)*50)),
+		}
+		m.price[i] = close
+	}
+	m.day++
+	return recs
+}
+
+// Generate produces days' worth of records for all tickers.
+func (m *Market) Generate(days int) []Record {
+	out := make([]Record, 0, days*len(m.tickers))
+	for d := 0; d < days; d++ {
+		out = append(out, m.Step()...)
+	}
+	return out
+}
+
+// CloseGenerator returns a Generator producing the closing-price stream of
+// ticker index i. All generators of one Market share its day history: a
+// generator that runs ahead advances the market lazily, and the others
+// replay the same days, so cross-ticker correlation is preserved no matter
+// how the middleware interleaves the streams.
+func (m *Market) CloseGenerator(i int) Generator {
+	if i < 0 || i >= len(m.tickers) {
+		panic("stream: ticker index out of range")
+	}
+	cursor := 0
+	return GeneratorFunc(func() float64 {
+		for cursor >= len(m.history) {
+			recs := m.Step()
+			closes := make([]float64, len(recs))
+			for j, r := range recs {
+				closes[j] = r.Close
+			}
+			m.history = append(m.history, closes)
+		}
+		v := m.history[cursor][i]
+		cursor++
+		return v
+	})
+}
+
+// Tickers returns the market's ticker symbols.
+func (m *Market) Tickers() []string {
+	return append([]string(nil), m.tickers...)
+}
+
+// Beta returns the market sensitivity of ticker index i (exposed so tests
+// can pick genuinely correlated pairs).
+func (m *Market) Beta(i int) float64 { return m.beta[i] }
+
+// tradingDate formats day counter d as a synthetic YYYYMMDD date starting
+// 1997-01-01, skipping nothing (calendar realism is irrelevant to the
+// index).
+func tradingDate(d int) string {
+	year := 1997 + d/360
+	month := (d%360)/30 + 1
+	day := d%30 + 1
+	return fmt.Sprintf("%04d%02d%02d", year, month, day)
+}

@@ -1,0 +1,174 @@
+// Package stream implements the paper's stream data model (§III-A) and the
+// workload data sources of the evaluation (§V):
+//
+//   - bounded-range sliding-window streams,
+//   - the synthetic random-walk generator ("the value at time t equals
+//     x_{t-1} + delta with delta uniform"),
+//   - an S&P500-style historical stock series generator plus a reader and
+//     writer for the record layout the paper describes (date, ticker, open,
+//     high, low, close, volume — one record per line),
+//   - a CMU Host-Load-style trace generator used to demonstrate "Fourier
+//     locality" (Fig. 3(b)).
+//
+// Real S&P500 files and the 1997 CMU host-load traces are not shipped with
+// this reproduction; the generators synthesize statistically similar series
+// that exercise the identical code paths (see DESIGN.md §5).
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"streamdex/internal/sim"
+)
+
+// Generator produces successive stream values.
+type Generator interface {
+	// Next returns the next data point of the stream.
+	Next() float64
+}
+
+// GeneratorFunc adapts a function to the Generator interface.
+type GeneratorFunc func() float64
+
+// Next calls f.
+func (f GeneratorFunc) Next() float64 { return f() }
+
+// Stream describes one registered data stream: an identifier, a value
+// source and the period at which the source emits. In the evaluation each
+// node is the source of exactly one stream and "a stream is simulated as a
+// periodic process such that the period for each stream is chosen randomly
+// in the range of 150-250 ms" (§V).
+type Stream struct {
+	ID     string
+	Gen    Generator
+	Period sim.Time
+	// Prefill, when true, primes the registering data center's sliding
+	// window with one window's worth of history drawn from Gen at
+	// registration time — modelling a stream that existed before the
+	// middleware was deployed, so summaries flow from the first period.
+	Prefill bool
+}
+
+// Validate reports a configuration error, if any.
+func (s *Stream) Validate() error {
+	if s.ID == "" {
+		return fmt.Errorf("stream: empty id")
+	}
+	if s.Gen == nil {
+		return fmt.Errorf("stream %s: nil generator", s.ID)
+	}
+	if s.Period <= 0 {
+		return fmt.Errorf("stream %s: non-positive period %v", s.ID, s.Period)
+	}
+	return nil
+}
+
+// RandomWalk is the paper's synthetic stream model: x_t = x_{t-1} + delta
+// with delta uniform in [-step, +step], clamped to the bounded range
+// [Lo, Hi] required by the data model of §III-A.
+type RandomWalk struct {
+	rng    *sim.Rand
+	x      float64
+	step   float64
+	lo, hi float64
+}
+
+// NewRandomWalk creates a bounded random walk starting at start.
+func NewRandomWalk(rng *sim.Rand, start, step, lo, hi float64) *RandomWalk {
+	if hi <= lo {
+		panic("stream: random walk with hi <= lo")
+	}
+	if step <= 0 {
+		panic("stream: random walk with non-positive step")
+	}
+	if start < lo || start > hi {
+		panic("stream: random walk start outside bounds")
+	}
+	return &RandomWalk{rng: rng, x: start, step: step, lo: lo, hi: hi}
+}
+
+// DefaultRandomWalk matches the evaluation's synthetic data: values start
+// mid-range in [0, 1000] and move by uniform steps in [-1, 1].
+func DefaultRandomWalk(rng *sim.Rand) *RandomWalk {
+	return NewRandomWalk(rng, 500, 1, 0, 1000)
+}
+
+// Next implements Generator.
+func (w *RandomWalk) Next() float64 {
+	w.x += w.rng.Uniform(-w.step, w.step)
+	if w.x < w.lo {
+		w.x = 2*w.lo - w.x // reflect at the boundary
+	}
+	if w.x > w.hi {
+		w.x = 2*w.hi - w.x
+	}
+	return w.x
+}
+
+// HostLoad generates a CPU-load-like trace: a mean-reverting AR(1) process
+// with occasional regime shifts, mimicking the smooth-with-bursts character
+// of the CMU host-load traces used for Fig. 3(b). Values are non-negative.
+type HostLoad struct {
+	rng   *sim.Rand
+	level float64 // current regime mean
+	x     float64
+	phi   float64 // AR coefficient, close to 1 -> smooth
+	noise float64
+	shift float64 // per-step probability of a regime change
+}
+
+// NewHostLoad creates a host-load generator. phi in (0,1) controls
+// smoothness; shiftProb is the per-step regime-change probability.
+func NewHostLoad(rng *sim.Rand, phi, noise, shiftProb float64) *HostLoad {
+	if phi <= 0 || phi >= 1 {
+		panic("stream: host load phi outside (0,1)")
+	}
+	return &HostLoad{rng: rng, level: 1.0, x: 1.0, phi: phi, noise: noise, shift: shiftProb}
+}
+
+// DefaultHostLoad uses the smoothness regime under which consecutive
+// feature vectors exhibit the strong temporal correlation of Fig. 3(b).
+func DefaultHostLoad(rng *sim.Rand) *HostLoad {
+	return NewHostLoad(rng, 0.98, 0.05, 0.002)
+}
+
+// Next implements Generator.
+func (h *HostLoad) Next() float64 {
+	if h.rng.Float64() < h.shift {
+		h.level = h.rng.Uniform(0.2, 4.0)
+	}
+	h.x = h.phi*h.x + (1-h.phi)*h.level + h.rng.NormFloat64()*h.noise
+	if h.x < 0 {
+		h.x = 0
+	}
+	return h.x
+}
+
+// Sine generates a deterministic sinusoid with additive noise — the planted
+// pattern used by integration tests and the sensor examples.
+type Sine struct {
+	rng              *sim.Rand
+	t                int
+	Amp, Period, Off float64
+	Noise            float64
+	Phase            float64
+}
+
+// NewSine creates a sinusoid generator with period in samples.
+func NewSine(rng *sim.Rand, amp, period, offset, noise float64) *Sine {
+	if period <= 0 {
+		panic("stream: sine with non-positive period")
+	}
+	return &Sine{rng: rng, Amp: amp, Period: period, Off: offset, Noise: noise}
+}
+
+// Next implements Generator.
+func (s *Sine) Next() float64 {
+	v := s.Off + s.Amp*math.Sin(2*math.Pi*(float64(s.t)/s.Period)+s.Phase)
+	s.t++
+	if s.Noise > 0 && s.rng != nil {
+		v += s.rng.NormFloat64() * s.Noise
+	}
+	return v
+}

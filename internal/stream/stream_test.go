@@ -1,0 +1,315 @@
+package stream
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"streamdex/internal/sim"
+)
+
+func TestStreamValidate(t *testing.T) {
+	gen := GeneratorFunc(func() float64 { return 1 })
+	cases := []struct {
+		s  Stream
+		ok bool
+	}{
+		{Stream{ID: "s", Gen: gen, Period: sim.Second}, true},
+		{Stream{ID: "", Gen: gen, Period: sim.Second}, false},
+		{Stream{ID: "s", Gen: nil, Period: sim.Second}, false},
+		{Stream{ID: "s", Gen: gen, Period: 0}, false},
+	}
+	for i, c := range cases {
+		if err := c.s.Validate(); (err == nil) != c.ok {
+			t.Errorf("case %d: Validate() = %v, ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestRandomWalkBounded(t *testing.T) {
+	rng := sim.NewRand(1)
+	w := NewRandomWalk(rng, 500, 10, 0, 1000)
+	for i := 0; i < 100_000; i++ {
+		v := w.Next()
+		if v < 0 || v > 1000 {
+			t.Fatalf("value %v escaped [0,1000] at step %d", v, i)
+		}
+	}
+}
+
+func TestRandomWalkStepBound(t *testing.T) {
+	rng := sim.NewRand(2)
+	w := NewRandomWalk(rng, 500, 1, 0, 1000)
+	prev := w.Next()
+	for i := 0; i < 10_000; i++ {
+		v := w.Next()
+		if math.Abs(v-prev) > 1+1e-12 {
+			t.Fatalf("step %v exceeds bound 1", math.Abs(v-prev))
+		}
+		prev = v
+	}
+}
+
+func TestRandomWalkValidation(t *testing.T) {
+	rng := sim.NewRand(3)
+	for _, fn := range []func(){
+		func() { NewRandomWalk(rng, 0, 1, 5, 3) },   // hi <= lo
+		func() { NewRandomWalk(rng, 0, 0, 0, 10) },  // step <= 0
+		func() { NewRandomWalk(rng, 50, 1, 0, 10) }, // start outside
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRandomWalkDeterministic(t *testing.T) {
+	a := DefaultRandomWalk(sim.NewRand(7))
+	b := DefaultRandomWalk(sim.NewRand(7))
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed produced different walks")
+		}
+	}
+}
+
+func TestHostLoadSmoothness(t *testing.T) {
+	// The host-load trace must be smooth: the lag-1 autocorrelation of a
+	// long sample should be very high, the property Fig. 3(b)'s locality
+	// claim rests on.
+	rng := sim.NewRand(4)
+	h := DefaultHostLoad(rng)
+	n := 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = h.Next()
+	}
+	if autocorr1(xs) < 0.95 {
+		t.Fatalf("lag-1 autocorrelation %.3f, want > 0.95", autocorr1(xs))
+	}
+	for _, v := range xs {
+		if v < 0 {
+			t.Fatal("host load went negative")
+		}
+	}
+}
+
+func autocorr1(xs []float64) float64 {
+	n := len(xs)
+	var mean float64
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(n)
+	var num, den float64
+	for i := 0; i < n-1; i++ {
+		num += (xs[i] - mean) * (xs[i+1] - mean)
+	}
+	for _, v := range xs {
+		den += (v - mean) * (v - mean)
+	}
+	return num / den
+}
+
+func TestHostLoadValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for phi >= 1")
+		}
+	}()
+	NewHostLoad(sim.NewRand(1), 1.0, 0.1, 0.01)
+}
+
+func TestSinePeriodicity(t *testing.T) {
+	s := NewSine(nil, 2, 32, 5, 0)
+	first := make([]float64, 32)
+	for i := range first {
+		first[i] = s.Next()
+	}
+	for i := 0; i < 32; i++ {
+		if math.Abs(s.Next()-first[i]) > 1e-9 {
+			t.Fatalf("sine not periodic at sample %d", i)
+		}
+	}
+	// Mean offset and amplitude.
+	var lo, hi float64 = math.Inf(1), math.Inf(-1)
+	for _, v := range first {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	if math.Abs(hi-7) > 1e-6 || math.Abs(lo-3) > 1e-6 {
+		t.Fatalf("sine range [%v,%v], want [3,7]", lo, hi)
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	rec := Record{Date: "19970812", Ticker: "INTC", Open: 95.5, High: 97.25, Low: 94.75, Close: 96.875, Volume: 12345678}
+	parsed, err := ParseRecord(rec.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != rec {
+		t.Fatalf("round trip: %+v != %+v", parsed, rec)
+	}
+}
+
+func TestParseRecordErrors(t *testing.T) {
+	bad := []string{
+		"19970812,INTC,95.5,97.25,94.75,96.875",          // 6 fields
+		"19970812,INTC,xx,97.25,94.75,96.875,100",        // bad float
+		"19970812,INTC,95.5,97.25,94.75,96.875,notanint", // bad volume
+		"19970812,INTC,95.5,90.0,94.75,96.875,100",       // high < low
+	}
+	for _, line := range bad {
+		if _, err := ParseRecord(line); err == nil {
+			t.Errorf("ParseRecord(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestWriteReadRecords(t *testing.T) {
+	m := NewMarket(sim.NewRand(5), []string{"AAA", "BBB", "CCC"})
+	recs := m.Generate(30)
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("read %d records, wrote %d", len(back), len(recs))
+	}
+	for i := range recs {
+		if back[i].Ticker != recs[i].Ticker || math.Abs(back[i].Close-recs[i].Close) > 1e-3 {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, back[i], recs[i])
+		}
+	}
+}
+
+func TestReadRecordsSkipsCommentsAndBlanks(t *testing.T) {
+	input := "# header\n\n19970812,INTC,95.5,97.25,94.75,96.875,100\n"
+	recs, err := ReadRecords(strings.NewReader(input))
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("recs=%v err=%v", recs, err)
+	}
+}
+
+func TestClosesFiltersAndSorts(t *testing.T) {
+	recs := []Record{
+		{Date: "19970103", Ticker: "A", Close: 3, High: 1, Low: 0},
+		{Date: "19970101", Ticker: "A", Close: 1, High: 1, Low: 0},
+		{Date: "19970102", Ticker: "B", Close: 9, High: 1, Low: 0},
+		{Date: "19970102", Ticker: "A", Close: 2, High: 1, Low: 0},
+	}
+	got := Closes(recs, "A")
+	want := []float64{1, 2, 3}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("Closes = %v, want %v", got, want)
+	}
+}
+
+func TestMarketRecordsWellFormed(t *testing.T) {
+	m := NewMarket(sim.NewRand(6), []string{"X", "Y"})
+	f := func(daysRaw uint8) bool {
+		days := int(daysRaw)%20 + 1
+		for _, r := range m.Generate(days) {
+			if r.High < r.Low || r.High < r.Close || r.Low > r.Close ||
+				r.High < r.Open || r.Low > r.Open || r.Volume <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarketCorrelationStructure(t *testing.T) {
+	// Stocks driven by the same market factor must correlate positively;
+	// their correlation should clearly exceed what an idiosyncratic pair
+	// of independent walks would show.
+	m := NewMarket(sim.NewRand(8), []string{"A", "B"})
+	days := 2000
+	a := make([]float64, days)
+	b := make([]float64, days)
+	ga, gb := m.CloseGenerator(0), m.CloseGenerator(1)
+	for i := 0; i < days; i++ {
+		a[i] = ga.Next()
+		b[i] = gb.Next()
+	}
+	// Correlate daily log returns.
+	ra, rb := logReturns(a), logReturns(b)
+	if c := corr(ra, rb); c < 0.3 {
+		t.Fatalf("return correlation %.3f, want > 0.3 (shared market factor)", c)
+	}
+}
+
+func logReturns(p []float64) []float64 {
+	out := make([]float64, len(p)-1)
+	for i := 1; i < len(p); i++ {
+		out[i-1] = math.Log(p[i] / p[i-1])
+	}
+	return out
+}
+
+func corr(a, b []float64) float64 {
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma, mb = ma/n, mb/n
+	var num, da, db float64
+	for i := range a {
+		num += (a[i] - ma) * (b[i] - mb)
+		da += (a[i] - ma) * (a[i] - ma)
+		db += (b[i] - mb) * (b[i] - mb)
+	}
+	return num / math.Sqrt(da*db)
+}
+
+func TestCloseGeneratorsShareHistory(t *testing.T) {
+	m := NewMarket(sim.NewRand(9), []string{"A", "B"})
+	ga := m.CloseGenerator(0)
+	// Run A far ahead, then read B: B must replay the same days.
+	aVals := make([]float64, 10)
+	for i := range aVals {
+		aVals[i] = ga.Next()
+	}
+	gb := m.CloseGenerator(1)
+	_ = gb.Next() // day 0 for B
+	ga2 := m.CloseGenerator(0)
+	for i := range aVals {
+		if got := ga2.Next(); got != aVals[i] {
+			t.Fatalf("history replay mismatch at day %d: %v vs %v", i, got, aVals[i])
+		}
+	}
+}
+
+func TestTradingDateFormat(t *testing.T) {
+	if got := tradingDate(0); got != "19970101" {
+		t.Fatalf("tradingDate(0) = %s", got)
+	}
+	if got := tradingDate(360); got != "19980101" {
+		t.Fatalf("tradingDate(360) = %s", got)
+	}
+	m := NewMarket(sim.NewRand(10), []string{"A"})
+	prev := ""
+	for d := 0; d < 400; d++ {
+		rec := m.Step()[0]
+		if rec.Date <= prev {
+			t.Fatalf("dates not strictly increasing: %s after %s", rec.Date, prev)
+		}
+		prev = rec.Date
+	}
+}

@@ -1,0 +1,156 @@
+// Package summary implements the feature extraction and content-to-key
+// mapping at the heart of the distributed index (paper §IV-B, §IV-G):
+//
+//   - Feature vectors: the first DFT coefficients of a normalized stream
+//     window, unpacked into real coordinates of the unit feature space.
+//   - The mapping function h (Eq. 6) that scales a feature coordinate from
+//     [-1, +1] onto the m-bit Chord identifier ring, so that summaries with
+//     similar content map to the same or neighboring data centers.
+//   - Minimum bounding rectangles (MBRs) that batch consecutive feature
+//     vectors (§IV-G), exploiting the strong temporal correlation between
+//     successive summaries ("Fourier locality", Fig. 3(b)) to cut
+//     communication.
+package summary
+
+import (
+	"fmt"
+	"math"
+
+	"streamdex/internal/dht"
+)
+
+// Feature is a point in the k-dimensional unit feature space. Coordinates
+// unpack the retained complex DFT coefficients of the normalized window as
+// [Re X_1, Im X_1, Re X_2, Im X_2, ...] (for z-normalized streams the DC
+// coefficient X_0 is identically zero and is skipped; for unit-normalized
+// streams it is kept first). Each coordinate lies in [-1, +1] because the
+// normalized window has unit energy.
+type Feature []float64
+
+// FromCoeffs unpacks complex coefficients into a feature vector with the
+// given number of real dimensions. skipDC drops the first coefficient
+// (z-normalized streams). It panics when the coefficients cannot fill the
+// requested dimensionality.
+func FromCoeffs(coeffs []complex128, dims int, skipDC bool) Feature {
+	if skipDC {
+		if len(coeffs) == 0 {
+			panic("summary: no coefficients")
+		}
+		coeffs = coeffs[1:]
+	}
+	if dims <= 0 || dims > 2*len(coeffs) {
+		panic(fmt.Sprintf("summary: %d dims from %d coefficients", dims, len(coeffs)))
+	}
+	f := make(Feature, dims)
+	for i := 0; i < dims; i++ {
+		c := coeffs[i/2]
+		if i%2 == 0 {
+			f[i] = real(c)
+		} else {
+			f[i] = imag(c)
+		}
+	}
+	return f
+}
+
+// Clone returns an independent copy.
+func (f Feature) Clone() Feature {
+	return append(Feature(nil), f...)
+}
+
+// Dist returns the Euclidean distance to g (same dimensionality).
+func (f Feature) Dist(g Feature) float64 {
+	if len(f) != len(g) {
+		panic("summary: feature dimensionality mismatch")
+	}
+	var d float64
+	for i := range f {
+		diff := f[i] - g[i]
+		d += diff * diff
+	}
+	return math.Sqrt(d)
+}
+
+// Routing returns the routing coordinate — the first feature dimension,
+// the real part of the first retained coefficient, which §IV-B designates
+// as the value the mapping function h hashes.
+func (f Feature) Routing() float64 {
+	if len(f) == 0 {
+		panic("summary: empty feature")
+	}
+	return f[0]
+}
+
+// Valid reports whether every coordinate is finite and within the unit
+// bound (with a small numerical allowance).
+func (f Feature) Valid() bool {
+	for _, v := range f {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < -1-1e-9 || v > 1+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// Mapper implements the mapping function h of Eq. 6, scaling a feature
+// value x in [-1, +1] onto the identifier ring:
+//
+//	h(x) = floor((x + 1) / 2 * 2^m)
+//
+// with the result clamped to 2^m - 1 so that x = +1 maps to the highest
+// identifier rather than wrapping to 0 (the paper maps -1, 0, +1 to 0,
+// 2^(m-1) and 2^m - 1). Inputs outside [-1, +1] (possible only through
+// query radii extending past the space) are clamped first, so key ranges
+// built from [q - r, q + r] never wrap around the ring.
+type Mapper struct {
+	space dht.Space
+}
+
+// NewMapper creates a mapper onto the given identifier space.
+func NewMapper(space dht.Space) Mapper { return Mapper{space: space} }
+
+// Space returns the identifier space the mapper targets.
+func (m Mapper) Space() dht.Space { return m.space }
+
+// Key maps a feature vector to its ring identifier via the routing
+// coordinate.
+func (m Mapper) Key(f Feature) dht.Key { return m.KeyOf(f.Routing()) }
+
+// KeyOf maps a single feature value to a ring identifier per Eq. 6.
+func (m Mapper) KeyOf(x float64) dht.Key {
+	if math.IsNaN(x) {
+		panic("summary: NaN feature value")
+	}
+	if x < -1 {
+		x = -1
+	}
+	if x > 1 {
+		x = 1
+	}
+	scaled := (x + 1) / 2 * float64(m.space.Size())
+	k := uint64(scaled)
+	if k >= m.space.Size() {
+		k = m.space.Size() - 1
+	}
+	return dht.Key(k)
+}
+
+// Range maps a feature interval [lo, hi] to the ring key range
+// [KeyOf(lo), KeyOf(hi)]. Since KeyOf is monotone and clamped, the result
+// is a proper (non-wrapping) arc.
+func (m Mapper) Range(lo, hi float64) (dht.Key, dht.Key) {
+	if hi < lo {
+		panic(fmt.Sprintf("summary: inverted feature range [%v,%v]", lo, hi))
+	}
+	return m.KeyOf(lo), m.KeyOf(hi)
+}
+
+// QueryRange maps a similarity query with routing coordinate q and radius r
+// to the key range covering [q - r, q + r] (paper Eq. 8: any candidate's
+// first coefficient must lie within r of the query's).
+func (m Mapper) QueryRange(q, r float64) (dht.Key, dht.Key) {
+	if r < 0 {
+		panic("summary: negative query radius")
+	}
+	return m.Range(q-r, q+r)
+}

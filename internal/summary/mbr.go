@@ -1,0 +1,208 @@
+package summary
+
+import (
+	"fmt"
+	"math"
+
+	"streamdex/internal/dht"
+	"streamdex/internal/sim"
+)
+
+// MBR is a minimum bounding rectangle in the k-dimensional feature space
+// (paper §IV-G): the unit of communication between data centers. Instead of
+// propagating each of the beta consecutive feature vectors of a stream
+// individually, the source groups them into one MBR and routes that,
+// exploiting the temporal correlation of successive summaries.
+//
+// An MBR is specified by two corner points Lo and Hi such that
+// Lo[d] <= f[d] <= Hi[d] for every contained feature f and dimension d
+// (Eq. 10).
+type MBR struct {
+	Lo, Hi Feature
+
+	// StreamID identifies the summarized stream; Seq orders the MBRs of
+	// one stream.
+	StreamID string
+	Seq      uint64
+
+	// Count is how many feature vectors the MBR aggregates.
+	Count int
+
+	// Created and Expiry delimit the MBR's lifespan at storing nodes:
+	// "every MBR ... is stored at nodes only for a certain life span
+	// after which it is removed" (§V, BSPAN = 5 s).
+	Created sim.Time
+	Expiry  sim.Time
+}
+
+// NewMBR starts an MBR from a first feature vector.
+func NewMBR(streamID string, seq uint64, f Feature) *MBR {
+	return &MBR{
+		Lo:       f.Clone(),
+		Hi:       f.Clone(),
+		StreamID: streamID,
+		Seq:      seq,
+		Count:    1,
+	}
+}
+
+// Extend grows the rectangle to contain f.
+func (b *MBR) Extend(f Feature) {
+	if len(f) != len(b.Lo) {
+		panic("summary: extending MBR with mismatched dimensionality")
+	}
+	for d := range f {
+		if f[d] < b.Lo[d] {
+			b.Lo[d] = f[d]
+		}
+		if f[d] > b.Hi[d] {
+			b.Hi[d] = f[d]
+		}
+	}
+	b.Count++
+}
+
+// Contains reports whether f lies inside the rectangle.
+func (b *MBR) Contains(f Feature) bool {
+	if len(f) != len(b.Lo) {
+		return false
+	}
+	for d := range f {
+		if f[d] < b.Lo[d] || f[d] > b.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// MinDist returns the minimum Euclidean distance from point q to the
+// rectangle (zero when q is inside). Because every contained feature is at
+// least this far from q, MinDist(q) <= r is the no-false-dismissal
+// candidate test for a similarity query with radius r.
+func (b *MBR) MinDist(q Feature) float64 {
+	if len(q) != len(b.Lo) {
+		panic("summary: MinDist with mismatched dimensionality")
+	}
+	var sum float64
+	for d := range q {
+		switch {
+		case q[d] < b.Lo[d]:
+			diff := b.Lo[d] - q[d]
+			sum += diff * diff
+		case q[d] > b.Hi[d]:
+			diff := q[d] - b.Hi[d]
+			sum += diff * diff
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// Center returns the rectangle's center point.
+func (b *MBR) Center() Feature {
+	c := make(Feature, len(b.Lo))
+	for d := range c {
+		c[d] = (b.Lo[d] + b.Hi[d]) / 2
+	}
+	return c
+}
+
+// Volume returns the rectangle's volume (product of side lengths); a
+// degenerate rectangle has volume zero.
+func (b *MBR) Volume() float64 {
+	v := 1.0
+	for d := range b.Lo {
+		v *= b.Hi[d] - b.Lo[d]
+	}
+	return v
+}
+
+// MaxSide returns the longest side length — the precision measure the
+// adaptive batching extension controls.
+func (b *MBR) MaxSide() float64 {
+	var m float64
+	for d := range b.Lo {
+		if s := b.Hi[d] - b.Lo[d]; s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// KeyRange maps the MBR's routing-coordinate extent [Lo[0], Hi[0]] to the
+// ring arc the rectangle must be replicated over: every node that succeeds
+// a key in [h(L_1), h(H_1)] stores a copy, so no similarity query routed by
+// content can miss it (§IV-G).
+func (b *MBR) KeyRange(m Mapper) (dht.Key, dht.Key) {
+	return m.Range(b.Lo[0], b.Hi[0])
+}
+
+// Expired reports whether the MBR's lifespan has passed at time now.
+func (b *MBR) Expired(now sim.Time) bool {
+	return b.Expiry != 0 && now >= b.Expiry
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (b *MBR) String() string {
+	return fmt.Sprintf("MBR(%s#%d count=%d lo=%v hi=%v)", b.StreamID, b.Seq, b.Count, b.Lo, b.Hi)
+}
+
+// Batcher accumulates consecutive feature vectors of one stream into MBRs
+// of beta vectors each (§IV-G: "we group every beta of the feature vectors
+// into an MBR and route this MBR instead of propagating individual feature
+// vectors").
+type Batcher struct {
+	streamID string
+	beta     int
+	seq      uint64
+	cur      *MBR
+	// curTarget freezes the factor the in-progress MBR was started with,
+	// so SetBeta only affects subsequent batches.
+	curTarget int
+}
+
+// NewBatcher creates a batcher with batching factor beta >= 1.
+func NewBatcher(streamID string, beta int) *Batcher {
+	if beta < 1 {
+		panic("summary: batching factor < 1")
+	}
+	return &Batcher{streamID: streamID, beta: beta}
+}
+
+// Beta returns the current batching factor.
+func (bt *Batcher) Beta() int { return bt.beta }
+
+// SetBeta adjusts the batching factor for subsequent MBRs (used by the
+// adaptive-precision extension, §VI-A). The MBR currently being built is
+// finished at its original factor.
+func (bt *Batcher) SetBeta(beta int) {
+	if beta < 1 {
+		panic("summary: batching factor < 1")
+	}
+	bt.beta = beta
+}
+
+// Add folds the next feature vector in; when the batch is complete it
+// returns the finished MBR (and starts a fresh one), otherwise nil.
+func (bt *Batcher) Add(f Feature) *MBR {
+	if bt.cur == nil {
+		bt.cur = NewMBR(bt.streamID, bt.seq, f)
+		bt.curTarget = bt.beta
+		bt.seq++
+	} else {
+		bt.cur.Extend(f)
+	}
+	if bt.cur.Count >= bt.curTarget {
+		done := bt.cur
+		bt.cur = nil
+		return done
+	}
+	return nil
+}
+
+// Flush returns the in-progress MBR (possibly containing fewer than beta
+// vectors), or nil when empty.
+func (bt *Batcher) Flush() *MBR {
+	done := bt.cur
+	bt.cur = nil
+	return done
+}

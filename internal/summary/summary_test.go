@@ -1,0 +1,395 @@
+package summary
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streamdex/internal/dht"
+	"streamdex/internal/dsp"
+	"streamdex/internal/sim"
+)
+
+func TestFromCoeffsPacking(t *testing.T) {
+	coeffs := []complex128{1 + 2i, 3 + 4i, 5 + 6i}
+	f := FromCoeffs(coeffs, 3, false)
+	want := Feature{1, 2, 3}
+	for i := range want {
+		if f[i] != want[i] {
+			t.Fatalf("f = %v, want %v", f, want)
+		}
+	}
+	z := FromCoeffs(coeffs, 4, true) // skip DC
+	wantZ := Feature{3, 4, 5, 6}
+	for i := range wantZ {
+		if z[i] != wantZ[i] {
+			t.Fatalf("z = %v, want %v", z, wantZ)
+		}
+	}
+}
+
+func TestFromCoeffsValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { FromCoeffs(nil, 1, false) },
+		func() { FromCoeffs([]complex128{1}, 3, false) },
+		func() { FromCoeffs([]complex128{1}, 1, true) },
+		func() { FromCoeffs([]complex128{1}, 0, false) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFeatureDistAndClone(t *testing.T) {
+	a := Feature{0, 0}
+	b := Feature{3, 4}
+	if a.Dist(b) != 5 {
+		t.Fatalf("Dist = %v", a.Dist(b))
+	}
+	c := b.Clone()
+	c[0] = 99
+	if b[0] != 3 {
+		t.Fatal("Clone aliases")
+	}
+}
+
+func TestFeatureValid(t *testing.T) {
+	if !(Feature{0.5, -1, 1}).Valid() {
+		t.Fatal("valid feature rejected")
+	}
+	if (Feature{1.5}).Valid() || (Feature{math.NaN()}).Valid() || (Feature{math.Inf(1)}).Valid() {
+		t.Fatal("invalid feature accepted")
+	}
+}
+
+func TestMapperEquation6(t *testing.T) {
+	// Paper: with the Eq. 6 scaling, -1, 0 and +1 map to 0, 2^(m-1) and
+	// 2^m - 1.
+	m := NewMapper(dht.NewSpace(5))
+	if got := m.KeyOf(-1); got != 0 {
+		t.Fatalf("h(-1) = %d, want 0", got)
+	}
+	if got := m.KeyOf(0); got != 16 {
+		t.Fatalf("h(0) = %d, want 16", got)
+	}
+	if got := m.KeyOf(1); got != 31 {
+		t.Fatalf("h(+1) = %d, want 31", got)
+	}
+}
+
+func TestMapperPaperExample(t *testing.T) {
+	// §IV-B: the feature vector X = [0.40 0.09] maps to key 22 on the
+	// m=5 ring of Figure 2: floor((0.40+1)/2 * 32) = 22.
+	m := NewMapper(dht.NewSpace(5))
+	f := Feature{0.40, 0.09}
+	if got := m.Key(f); got != 22 {
+		t.Fatalf("h([0.40 0.09]) = %d, want 22", got)
+	}
+	// And Y = [0.42 0.11] from the same figure also hashes to 22,
+	// illustrating that similar content maps to the same data center.
+	if got := m.Key(Feature{0.42, 0.11}); got != 22 {
+		t.Fatalf("h([0.42 0.11]) = %d, want 22", got)
+	}
+}
+
+func TestMapperFigure3Example(t *testing.T) {
+	// §IV-E / Fig. 3(a): query X = [-0.08 0.12] with radius 0.29 spans
+	// boundaries -0.37 and 0.21, hashing to keys 10 and 19 on the m=5
+	// ring.
+	m := NewMapper(dht.NewSpace(5))
+	lo, hi := m.QueryRange(-0.08, 0.29)
+	if lo != 10 || hi != 19 {
+		t.Fatalf("query range keys = [%d,%d], want [10,19]", lo, hi)
+	}
+}
+
+func TestMapperMonotoneProperty(t *testing.T) {
+	m := NewMapper(dht.NewSpace(32))
+	f := func(a, b float64) bool {
+		a = math.Mod(a, 1)
+		b = math.Mod(b, 1)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return m.KeyOf(a) <= m.KeyOf(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapperClampsOutOfRange(t *testing.T) {
+	m := NewMapper(dht.NewSpace(8))
+	if m.KeyOf(-5) != 0 {
+		t.Fatal("below -1 should clamp to key 0")
+	}
+	if m.KeyOf(5) != 255 {
+		t.Fatal("above +1 should clamp to the top key")
+	}
+	lo, hi := m.QueryRange(0.95, 0.2)
+	if hi != 255 || lo > hi {
+		t.Fatalf("clamped range [%d,%d] invalid", lo, hi)
+	}
+}
+
+func TestMapperUniformLoadProperty(t *testing.T) {
+	// Under the paper's uniformity assumption (§IV-B), uniformly
+	// distributed feature values must spread keys roughly evenly across
+	// the ring: check quartile counts.
+	m := NewMapper(dht.NewSpace(32))
+	rng := rand.New(rand.NewSource(42))
+	quarter := uint64(1) << 30
+	counts := make([]int, 4)
+	n := 40000
+	for i := 0; i < n; i++ {
+		k := uint64(m.KeyOf(rng.Float64()*2 - 1))
+		counts[k/quarter]++
+	}
+	for q, c := range counts {
+		ratio := float64(c) / float64(n)
+		if math.Abs(ratio-0.25) > 0.02 {
+			t.Fatalf("quartile %d holds %.3f of keys, want ~0.25", q, ratio)
+		}
+	}
+}
+
+func TestRangeValidation(t *testing.T) {
+	m := NewMapper(dht.NewSpace(8))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for inverted range")
+		}
+	}()
+	m.Range(0.5, 0.2)
+}
+
+func TestNegativeRadiusPanics(t *testing.T) {
+	m := NewMapper(dht.NewSpace(8))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.QueryRange(0, -0.1)
+}
+
+func TestMBRExtendContains(t *testing.T) {
+	b := NewMBR("s1", 0, Feature{0.1, 0.2})
+	b.Extend(Feature{0.3, -0.1})
+	b.Extend(Feature{0.2, 0.0})
+	if b.Count != 3 {
+		t.Fatalf("Count = %d", b.Count)
+	}
+	if !b.Contains(Feature{0.2, 0.1}) {
+		t.Fatal("interior point not contained")
+	}
+	if b.Contains(Feature{0.4, 0.0}) {
+		t.Fatal("exterior point contained")
+	}
+	if b.Lo[0] != 0.1 || b.Lo[1] != -0.1 || b.Hi[0] != 0.3 || b.Hi[1] != 0.2 {
+		t.Fatalf("bounds lo=%v hi=%v", b.Lo, b.Hi)
+	}
+}
+
+func TestMBRMinDist(t *testing.T) {
+	b := NewMBR("s", 0, Feature{0, 0})
+	b.Extend(Feature{1, 1})
+	if d := b.MinDist(Feature{0.5, 0.5}); d != 0 {
+		t.Fatalf("inside MinDist = %v", d)
+	}
+	if d := b.MinDist(Feature{2, 1}); d != 1 {
+		t.Fatalf("MinDist = %v, want 1", d)
+	}
+	if d := b.MinDist(Feature{2, 2}); math.Abs(d-math.Sqrt2) > 1e-12 {
+		t.Fatalf("corner MinDist = %v, want sqrt(2)", d)
+	}
+}
+
+// Property: MinDist lower-bounds the distance to every contained point
+// (the no-false-dismissal axiom of the index).
+func TestMinDistLowerBoundsContainedPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dims := 3
+		pts := make([]Feature, 5)
+		for i := range pts {
+			pts[i] = make(Feature, dims)
+			for d := range pts[i] {
+				pts[i][d] = r.Float64()*2 - 1
+			}
+		}
+		b := NewMBR("s", 0, pts[0])
+		for _, p := range pts[1:] {
+			b.Extend(p)
+		}
+		q := make(Feature, dims)
+		for d := range q {
+			q[d] = r.Float64()*4 - 2
+		}
+		md := b.MinDist(q)
+		for _, p := range pts {
+			if !b.Contains(p) {
+				return false
+			}
+			if md > q.Dist(p)+1e-12 {
+				return false
+			}
+		}
+		_ = rng
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMBRGeometryHelpers(t *testing.T) {
+	b := NewMBR("s", 0, Feature{0, 0})
+	b.Extend(Feature{0.4, 0.2})
+	c := b.Center()
+	if c[0] != 0.2 || c[1] != 0.1 {
+		t.Fatalf("Center = %v", c)
+	}
+	if math.Abs(b.Volume()-0.08) > 1e-12 {
+		t.Fatalf("Volume = %v", b.Volume())
+	}
+	if math.Abs(b.MaxSide()-0.4) > 1e-12 {
+		t.Fatalf("MaxSide = %v", b.MaxSide())
+	}
+}
+
+func TestMBRKeyRangePaperExample(t *testing.T) {
+	// §IV-G / Fig. 4: the MBR with low coordinate 0.09 and high
+	// coordinate 0.21 in the first dimension hashes to keys 17 and 19 on
+	// the m=5 ring, so it is replicated on nodes 20 (and any other
+	// successor in [17,19]).
+	m := NewMapper(dht.NewSpace(5))
+	b := NewMBR("s", 0, Feature{0.09, 0.12})
+	b.Extend(Feature{0.21, 0.40})
+	lo, hi := b.KeyRange(m)
+	if lo != 17 || hi != 19 {
+		t.Fatalf("MBR key range = [%d,%d], want [17,19]", lo, hi)
+	}
+}
+
+func TestMBRExpiry(t *testing.T) {
+	b := NewMBR("s", 0, Feature{0})
+	b.Expiry = 5 * sim.Second
+	if b.Expired(4 * sim.Second) {
+		t.Fatal("expired early")
+	}
+	if !b.Expired(5 * sim.Second) {
+		t.Fatal("not expired at deadline")
+	}
+	b2 := NewMBR("s", 0, Feature{0})
+	if b2.Expired(100 * sim.Second) {
+		t.Fatal("zero expiry must mean no expiry")
+	}
+}
+
+func TestBatcherProducesEveryBeta(t *testing.T) {
+	bt := NewBatcher("s", 3)
+	var done []*MBR
+	for i := 0; i < 10; i++ {
+		if b := bt.Add(Feature{float64(i) / 10}); b != nil {
+			done = append(done, b)
+		}
+	}
+	if len(done) != 3 {
+		t.Fatalf("MBRs = %d, want 3", len(done))
+	}
+	for i, b := range done {
+		if b.Count != 3 {
+			t.Fatalf("MBR %d count = %d", i, b.Count)
+		}
+		if b.Seq != uint64(i) {
+			t.Fatalf("MBR %d seq = %d", i, b.Seq)
+		}
+	}
+	last := bt.Flush()
+	if last == nil || last.Count != 1 {
+		t.Fatalf("Flush = %v", last)
+	}
+	if bt.Flush() != nil {
+		t.Fatal("second Flush should be nil")
+	}
+}
+
+func TestBatcherBoundsCoverAllFeatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	bt := NewBatcher("s", 5)
+	var feats []Feature
+	var out *MBR
+	for out == nil {
+		f := Feature{rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+		feats = append(feats, f)
+		out = bt.Add(f)
+	}
+	for _, f := range feats {
+		if !out.Contains(f) {
+			t.Fatalf("MBR %v does not contain %v", out, f)
+		}
+	}
+}
+
+func TestBatcherSetBeta(t *testing.T) {
+	bt := NewBatcher("s", 2)
+	bt.Add(Feature{0})
+	bt.SetBeta(4)
+	if b := bt.Add(Feature{0.1}); b == nil {
+		t.Fatal("in-progress MBR should finish at original factor")
+	}
+	// Next batch uses the new factor.
+	for i := 0; i < 3; i++ {
+		if b := bt.Add(Feature{0}); b != nil {
+			t.Fatal("finished early under new factor")
+		}
+	}
+	if b := bt.Add(Feature{0}); b == nil || b.Count != 4 {
+		t.Fatal("new factor not honored")
+	}
+}
+
+func TestBatcherValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBatcher("s", 0)
+}
+
+func TestEndToEndFeatureFromSlidingDFT(t *testing.T) {
+	// Pipeline check: stream window -> sliding DFT -> normalized
+	// coefficients -> feature -> key, all within bounds.
+	s := dsp.NewSlidingDFT(32, 4)
+	rng := rand.New(rand.NewSource(3))
+	m := NewMapper(dht.NewSpace(32))
+	x := 0.0
+	for i := 0; i < 200; i++ {
+		x += rng.NormFloat64()
+		s.Push(x)
+		if !s.Full() {
+			continue
+		}
+		f := FromCoeffs(s.NormalizedCoeffs(dsp.ZNorm), 3, true)
+		if !f.Valid() {
+			t.Fatalf("invalid feature %v at step %d", f, i)
+		}
+		k := m.Key(f)
+		if uint64(k) >= m.Space().Size() {
+			t.Fatalf("key %d outside space", k)
+		}
+	}
+}

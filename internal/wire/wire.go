@@ -1,0 +1,49 @@
+// Package wire estimates on-the-wire message sizes so the evaluation can
+// account *bandwidth*, not just message counts. The paper's §IV-G argues
+// MBR batching "reduces the communication overhead"; messages alone
+// understate the claim (an MBR is bigger than a single feature vector but
+// replaces beta of them), so the bandwidth ablation (A8 in DESIGN.md)
+// measures bytes.
+//
+// Sizes come from actually serializing the payload with encoding/gob plus
+// a fixed per-message header covering the routing envelope (kind, key,
+// source, hop metadata). gob's self-describing type preamble is amortized
+// away in a long-running connection, so Sizeof subtracts it by encoding
+// two copies and measuring the marginal size of the second.
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// HeaderBytes models the routing envelope carried by every message:
+// kind (1) + destination key (8) + source (8) + range bounds (16) +
+// flags/hops (4) + virtual timestamp (8).
+const HeaderBytes = 45
+
+// Sizeof returns the estimated wire size in bytes of a message carrying
+// the given payload: HeaderBytes plus the marginal gob encoding of the
+// payload. A nil payload costs only the header. Payload types must be
+// gob-encodable (exported fields); errors indicate a programming mistake
+// and panic.
+func Sizeof(payload any) int {
+	if payload == nil {
+		return HeaderBytes
+	}
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(payload); err != nil {
+		panic(fmt.Sprintf("wire: unencodable payload %T: %v", payload, err))
+	}
+	first := buf.Len() // includes the type descriptor preamble
+	if err := enc.Encode(payload); err != nil {
+		panic(fmt.Sprintf("wire: unencodable payload %T: %v", payload, err))
+	}
+	marginal := buf.Len() - first
+	if marginal <= 0 {
+		marginal = first // degenerate tiny payloads
+	}
+	return HeaderBytes + marginal
+}

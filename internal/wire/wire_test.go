@@ -1,0 +1,72 @@
+package wire
+
+import (
+	"testing"
+
+	"streamdex/internal/summary"
+)
+
+type smallPayload struct {
+	A int
+	B string
+}
+
+type vectorPayload struct {
+	Values []float64
+}
+
+func TestNilPayloadCostsHeaderOnly(t *testing.T) {
+	if got := Sizeof(nil); got != HeaderBytes {
+		t.Fatalf("Sizeof(nil) = %d, want %d", got, HeaderBytes)
+	}
+}
+
+func TestSizeofGrowsWithContent(t *testing.T) {
+	small := Sizeof(vectorPayload{Values: make([]float64, 3)})
+	big := Sizeof(vectorPayload{Values: make([]float64, 100)})
+	if big <= small {
+		t.Fatalf("100 floats (%d B) not bigger than 3 floats (%d B)", big, small)
+	}
+	// 97 extra float64s should cost roughly 8 bytes each (gob packs
+	// small-magnitude floats tighter; zeros compress to 1 byte).
+	if big-small < 90 {
+		t.Fatalf("marginal cost %d B for 97 extra floats", big-small)
+	}
+}
+
+func TestSizeofDeterministic(t *testing.T) {
+	p := smallPayload{A: 42, B: "hello"}
+	if Sizeof(p) != Sizeof(p) {
+		t.Fatal("Sizeof not deterministic")
+	}
+}
+
+func TestSizeofMBRPayload(t *testing.T) {
+	// An MBR's wire size must not depend on how many feature vectors it
+	// aggregated — only two corner points travel. That is the §IV-G
+	// saving.
+	mk := func(count int) *summary.MBR {
+		b := summary.NewMBR("stream-1", 7, summary.Feature{0.1, 0.2, 0.3})
+		for i := 1; i < count; i++ {
+			b.Extend(summary.Feature{0.1, 0.2, 0.3})
+		}
+		return b
+	}
+	s1 := Sizeof(mk(1))
+	s50 := Sizeof(mk(50))
+	if s1 != s50 {
+		t.Fatalf("MBR size depends on batch count: %d vs %d", s1, s50)
+	}
+	if s1 <= HeaderBytes {
+		t.Fatalf("MBR payload size %d suspiciously small", s1)
+	}
+}
+
+func TestSizeofUnencodablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unencodable payload")
+		}
+	}()
+	Sizeof(func() {}) // functions cannot be gob-encoded
+}

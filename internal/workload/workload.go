@@ -1,0 +1,268 @@
+// Package workload drives full-system simulations with the evaluation
+// configuration of the paper (§V, Table I):
+//
+//	PMIN  150 ms   minimum stream period
+//	PMAX  250 ms   maximum stream period
+//	BSPAN 5000 ms  MBR lifespan
+//	QRATE 2 q/s    Poisson query arrival rate
+//	QMIN  20 s     minimum query lifespan
+//	QMAX  100 s    maximum query lifespan
+//	NPER  2 s      period of responses and neighbor exchanges
+//
+// Every node is the source of exactly one stream; every query is issued by
+// a random node; query features are drawn uniformly; the default query
+// radius is 0.1 (0.2 for the Fig. 7(b) variant).
+package workload
+
+import (
+	"fmt"
+
+	"streamdex/internal/chord"
+	"streamdex/internal/core"
+	"streamdex/internal/dht"
+	"streamdex/internal/metrics"
+	"streamdex/internal/pastry"
+	"streamdex/internal/sim"
+	"streamdex/internal/stream"
+	"streamdex/internal/summary"
+)
+
+// Config is the full workload and runtime configuration.
+type Config struct {
+	// Nodes is the system size; the paper sweeps 50..500.
+	Nodes int
+
+	// PMin/PMax bound the per-stream period (Table I: 150-250 ms).
+	PMin, PMax sim.Time
+	// QueryRate is the Poisson arrival rate of similarity queries
+	// (Table I: 2 q/s), expressed as the mean gap = 1/rate.
+	QueryGap sim.Time
+	// QMin/QMax bound query lifespans (Table I: 20-100 s).
+	QMin, QMax sim.Time
+	// Radius is the similarity query radius (0.1 for most experiments).
+	Radius float64
+
+	// Warmup runs before counters reset; Measure is the accounted
+	// interval.
+	Warmup, Measure sim.Time
+
+	// HopDelay is the simulated per-hop latency (50 ms).
+	HopDelay sim.Time
+
+	// Core carries the middleware parameters (window, coefficients,
+	// batching, BSPAN, NPER, range-multicast mode).
+	Core core.Config
+
+	// Seed drives every random choice in the run.
+	Seed int64
+
+	// Placement selects node placement: false = consistent hashing
+	// (default), true = idealized equidistant identifiers.
+	Equidistant bool
+
+	// Substrate selects the routing layer: "chord" (default) or
+	// "pastry" — the middleware runs unmodified on either (§II-B: the
+	// solution "can use virtually any P2P routing protocol").
+	Substrate string
+
+	// FailAt, when positive, crashes FailCount random nodes at that
+	// instant (after warm-up) — the resilience experiment. Requires the
+	// chord substrate with maintenance, which is enabled automatically.
+	FailAt    sim.Time
+	FailCount int
+}
+
+// DefaultConfig returns the Table I workload at the given system size.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:    nodes,
+		PMin:     150 * sim.Millisecond,
+		PMax:     250 * sim.Millisecond,
+		QueryGap: 500 * sim.Millisecond, // 2 queries per second
+		QMin:     20 * sim.Second,
+		QMax:     100 * sim.Second,
+		Radius:   0.1,
+		Warmup:   40 * sim.Second,
+		Measure:  100 * sim.Second,
+		HopDelay: 50 * sim.Millisecond,
+		Core:     core.DefaultConfig(),
+		Seed:     1,
+	}
+}
+
+// Validate reports a configuration error.
+func (c Config) Validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("workload: %d nodes", c.Nodes)
+	}
+	if c.PMin <= 0 || c.PMax < c.PMin {
+		return fmt.Errorf("workload: stream period bounds [%v,%v]", c.PMin, c.PMax)
+	}
+	if c.QueryGap <= 0 {
+		return fmt.Errorf("workload: non-positive query gap")
+	}
+	if c.QMin <= 0 || c.QMax < c.QMin {
+		return fmt.Errorf("workload: query lifespan bounds [%v,%v]", c.QMin, c.QMax)
+	}
+	if c.Radius < 0 || c.Radius > 1 {
+		return fmt.Errorf("workload: radius %v", c.Radius)
+	}
+	if c.Warmup < 0 || c.Measure <= 0 {
+		return fmt.Errorf("workload: warmup/measure intervals")
+	}
+	switch c.Substrate {
+	case "", "chord", "pastry":
+	default:
+		return fmt.Errorf("workload: unknown substrate %q", c.Substrate)
+	}
+	if c.FailAt > 0 && c.Substrate == "pastry" {
+		return fmt.Errorf("workload: failure injection requires the chord substrate")
+	}
+	if c.FailAt > 0 && c.FailCount <= 0 {
+		return fmt.Errorf("workload: FailAt set without FailCount")
+	}
+	return c.Core.Validate()
+}
+
+// Run is a fully constructed simulation ready to execute.
+type Run struct {
+	Cfg Config
+	Eng *sim.Engine
+	Net dht.Substrate
+	MW  *core.Middleware
+	IDs []dht.Key
+
+	// Failed lists the nodes crashed by the failure-injection schedule.
+	Failed []dht.Key
+
+	queries *sim.PoissonProc
+}
+
+// Build constructs the overlay, middleware, streams and query process, but
+// does not execute anything yet.
+func Build(cfg Config) (*Run, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.Core.Seed = cfg.Seed
+	eng := sim.NewEngine()
+	var ids []dht.Key
+	if cfg.Equidistant {
+		ids = chord.EquidistantIDs(cfg.Core.Space, cfg.Nodes)
+	} else {
+		ids = chord.SortKeys(chord.UniformIDs(cfg.Core.Space, cfg.Nodes))
+	}
+	var net dht.Substrate
+	var chordNet *chord.Network
+	switch cfg.Substrate {
+	case "", "chord":
+		ccfg := chord.Config{
+			Space:       cfg.Core.Space,
+			HopDelay:    cfg.HopDelay,
+			SuccListLen: 8,
+			// Static experiments run without maintenance so every
+			// simulated event is accounted traffic; failure injection
+			// turns the self-repair protocol on.
+		}
+		if cfg.FailAt > 0 {
+			ccfg.StabilizeEvery = 250 * sim.Millisecond
+			ccfg.FixFingersEvery = 125 * sim.Millisecond
+		}
+		chordNet = chord.New(eng, ccfg)
+		chordNet.BuildStable(ids, nil)
+		net = chordNet
+	case "pastry":
+		pn := pastry.New(eng, pastry.Config{
+			Space:    cfg.Core.Space,
+			HopDelay: cfg.HopDelay,
+			LeafSize: 16,
+		})
+		pn.BuildStable(ids, nil)
+		net = pn
+	}
+	mw, err := core.New(eng, net, cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+
+	root := sim.NewRand(cfg.Seed)
+	streamRng := root.Fork("streams")
+	periodRng := root.Fork("periods")
+	// One stream per node (§V: "each node is a source of exactly one
+	// stream").
+	for i, id := range ids {
+		gen := stream.DefaultRandomWalk(streamRng.Fork(fmt.Sprintf("walk-%d", i)))
+		st := stream.Stream{
+			ID:      fmt.Sprintf("stream-%d", i),
+			Gen:     gen,
+			Period:  periodRng.UniformTime(cfg.PMin, cfg.PMax),
+			Prefill: true, // streams predate the deployment (§V warm-up)
+		}
+		if err := mw.DataCenter(id).RegisterStream(st); err != nil {
+			return nil, err
+		}
+	}
+
+	r := &Run{Cfg: cfg, Eng: eng, Net: net, MW: mw, IDs: ids}
+
+	// Failure injection: crash FailCount random nodes at warm-up +
+	// FailAt; the ring repairs itself through stabilization while the
+	// workload keeps running.
+	if cfg.FailAt > 0 {
+		failRng := root.Fork("failures")
+		eng.ScheduleAt(cfg.Warmup+cfg.FailAt, func() {
+			for i := 0; i < cfg.FailCount; i++ {
+				victims := chordNet.NodeIDs()
+				if len(victims) <= 2 {
+					break
+				}
+				v := victims[failRng.Intn(len(victims))]
+				chordNet.Fail(v)
+				r.Failed = append(r.Failed, v)
+			}
+		})
+	}
+
+	// Query process: Poisson arrivals at random nodes with uniform
+	// feature vectors and uniform lifespans.
+	queryRng := root.Fork("queries")
+	r.queries = eng.Poisson(queryRng, cfg.QueryGap, func() {
+		origin := ids[queryRng.Intn(len(ids))]
+		f := make(summary.Feature, cfg.Core.FeatureDims)
+		f[0] = queryRng.Uniform(-1, 1)
+		for d := 1; d < len(f); d++ {
+			f[d] = queryRng.Uniform(-0.3, 0.3)
+		}
+		life := queryRng.UniformTime(cfg.QMin, cfg.QMax)
+		// Post errors cannot occur for well-formed generated queries.
+		if _, err := mw.PostSimilarity(origin, f, cfg.Radius, life); err != nil {
+			panic(fmt.Sprintf("workload: generated query rejected: %v", err))
+		}
+	})
+	return r, nil
+}
+
+// Execute runs warm-up, resets the collector, runs the measurement
+// interval and returns the traffic report.
+func (r *Run) Execute() *metrics.Report {
+	r.Eng.RunFor(r.Cfg.Warmup)
+	r.MW.Collector().Reset(r.Eng.Now())
+	r.Eng.RunFor(r.Cfg.Measure)
+	return r.MW.Collector().Snapshot(r.Eng.Now(), r.IDs)
+}
+
+// Stop halts the query arrival process (used when a caller wants to keep
+// simulating without new queries).
+func (r *Run) Stop() { r.queries.Stop() }
+
+// Queries returns the number of queries posted so far.
+func (r *Run) Queries() uint64 { return r.queries.Fires() }
+
+// RunOnce builds and executes a workload in one call.
+func RunOnce(cfg Config) (*metrics.Report, error) {
+	r, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.Execute(), nil
+}

@@ -1,0 +1,257 @@
+package workload
+
+import (
+	"testing"
+
+	"streamdex/internal/metrics"
+	"streamdex/internal/sim"
+)
+
+// smallConfig shrinks everything for fast tests.
+func smallConfig(nodes int) Config {
+	cfg := DefaultConfig(nodes)
+	cfg.Warmup = 20 * sim.Second
+	cfg.Measure = 30 * sim.Second
+	cfg.Core.WindowSize = 32
+	cfg.Core.Coeffs = 3
+	cfg.Core.FeatureDims = 3
+	cfg.Core.Beta = 5
+	return cfg
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig(50).Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(c *Config){
+		func(c *Config) { c.Nodes = 1 },
+		func(c *Config) { c.PMin = 0 },
+		func(c *Config) { c.PMax = c.PMin - 1 },
+		func(c *Config) { c.QueryGap = 0 },
+		func(c *Config) { c.QMin = 0 },
+		func(c *Config) { c.QMax = c.QMin - 1 },
+		func(c *Config) { c.Radius = -1 },
+		func(c *Config) { c.Radius = 2 },
+		func(c *Config) { c.Measure = 0 },
+		func(c *Config) { c.Core.Beta = 0 },
+	}
+	for i, mut := range bad {
+		c := DefaultConfig(50)
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestTableIDefaults(t *testing.T) {
+	c := DefaultConfig(100)
+	if c.PMin != 150*sim.Millisecond || c.PMax != 250*sim.Millisecond {
+		t.Fatal("PMIN/PMAX do not match Table I")
+	}
+	if c.QueryGap != 500*sim.Millisecond {
+		t.Fatal("QRATE does not match Table I (2 q/s)")
+	}
+	if c.QMin != 20*sim.Second || c.QMax != 100*sim.Second {
+		t.Fatal("QMIN/QMAX do not match Table I")
+	}
+	if c.Core.MBRLifespan != 5*sim.Second {
+		t.Fatal("BSPAN does not match Table I")
+	}
+	if c.Core.PushPeriod != 2*sim.Second {
+		t.Fatal("NPER does not match Table I")
+	}
+	if c.HopDelay != 50*sim.Millisecond {
+		t.Fatal("hop delay does not match the Chord simulator's 50 ms")
+	}
+}
+
+func TestSmallRunProducesAllTrafficClasses(t *testing.T) {
+	cfg := smallConfig(20)
+	rep, err := RunOnce(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nodes != 20 {
+		t.Fatalf("nodes = %d", rep.Nodes)
+	}
+	for _, cat := range []metrics.Category{
+		metrics.MBRSource, metrics.MBRTransit,
+		metrics.QueryInitial, metrics.ResponseClient, metrics.NeighborNotify,
+	} {
+		if rep.TotalByCategory[cat] == 0 {
+			t.Errorf("no traffic in category %v", cat)
+		}
+	}
+	if rep.Events[metrics.EventMBR] == 0 || rep.Events[metrics.EventQuery] == 0 || rep.Events[metrics.EventResponse] == 0 {
+		t.Fatalf("missing input events: %v", rep.Events)
+	}
+	if rep.TotalLoad <= 0 {
+		t.Fatal("zero total load")
+	}
+}
+
+func TestMBREventRateMatchesBatching(t *testing.T) {
+	// Each node produces one feature per period (~200 ms) and one MBR
+	// per Beta features: expected MBR rate per node ~ 1/(Beta * period).
+	cfg := smallConfig(16)
+	rep, err := RunOnce(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs := rep.Duration.Seconds()
+	perNode := float64(rep.Events[metrics.EventMBR]) / secs / float64(cfg.Nodes)
+	// Period mean 200 ms, Beta 5 -> 1 MBR per second per node.
+	if perNode < 0.7 || perNode > 1.3 {
+		t.Fatalf("MBR rate per node = %.2f/s, want ~1.0", perNode)
+	}
+}
+
+func TestQueryRateMatchesPoisson(t *testing.T) {
+	cfg := smallConfig(16)
+	rep, err := RunOnce(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(rep.Events[metrics.EventQuery]) / rep.Duration.Seconds()
+	if rate < 1.2 || rate > 2.8 {
+		t.Fatalf("query rate = %.2f/s, want ~2/s", rate)
+	}
+}
+
+func TestNoDroppedMessagesOnStableRing(t *testing.T) {
+	cfg := smallConfig(16)
+	r, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Execute()
+	if r.Net.Dropped() != 0 {
+		t.Fatalf("dropped %d messages on a stable ring", r.Net.Dropped())
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	cfg := smallConfig(12)
+	rep1, err := RunOnce(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := RunOnce(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.TotalByCategory != rep2.TotalByCategory {
+		t.Fatalf("non-deterministic totals:\n%v\n%v", rep1.TotalByCategory, rep2.TotalByCategory)
+	}
+	if rep1.Events != rep2.Events {
+		t.Fatalf("non-deterministic events: %v vs %v", rep1.Events, rep2.Events)
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	cfg := smallConfig(12)
+	rep1, err := RunOnce(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 99
+	rep2, err := RunOnce(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.TotalByCategory == rep2.TotalByCategory {
+		t.Fatal("different seeds produced identical traffic (suspicious)")
+	}
+}
+
+func TestEquidistantPlacement(t *testing.T) {
+	cfg := smallConfig(12)
+	cfg.Equidistant = true
+	rep, err := RunOnce(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalLoad <= 0 {
+		t.Fatal("no traffic under equidistant placement")
+	}
+}
+
+func TestPastrySubstrateRun(t *testing.T) {
+	cfg := smallConfig(16)
+	cfg.Substrate = "pastry"
+	rep, err := RunOnce(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalLoad <= 0 {
+		t.Fatal("no traffic on pastry substrate")
+	}
+	// Routed hops on pastry (prefix strides) stay below chord's.
+	cfg2 := smallConfig(16)
+	rep2, err := RunOnce(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HopMean[metrics.HopMBR] >= rep2.HopMean[metrics.HopMBR] {
+		t.Fatalf("pastry MBR hops %.2f not below chord %.2f",
+			rep.HopMean[metrics.HopMBR], rep2.HopMean[metrics.HopMBR])
+	}
+}
+
+func TestFailureInjection(t *testing.T) {
+	cfg := smallConfig(16)
+	cfg.FailAt = 3 * sim.Second
+	cfg.FailCount = 3
+	r, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := r.Execute()
+	if len(r.Failed) != 3 {
+		t.Fatalf("failed %d nodes, want 3", len(r.Failed))
+	}
+	if r.Net.Dropped() == 0 {
+		t.Fatal("failure injection caused no drops (nothing in flight?)")
+	}
+	// Per-survivor MBR production continues.
+	if rep.Events[metrics.EventMBR] == 0 {
+		t.Fatal("no MBR events after failures")
+	}
+}
+
+func TestSubstrateAndFailureValidation(t *testing.T) {
+	cfg := smallConfig(8)
+	cfg.Substrate = "bogus"
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("bogus substrate accepted")
+	}
+	cfg = smallConfig(8)
+	cfg.Substrate = "pastry"
+	cfg.FailAt = sim.Second
+	cfg.FailCount = 1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("failure injection on pastry accepted")
+	}
+	cfg = smallConfig(8)
+	cfg.FailAt = sim.Second
+	cfg.FailCount = 0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("FailAt without FailCount accepted")
+	}
+}
+
+func TestStopHaltsQueries(t *testing.T) {
+	cfg := smallConfig(8)
+	r, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Eng.RunFor(10 * sim.Second)
+	n := r.Queries()
+	r.Stop()
+	r.Eng.RunFor(10 * sim.Second)
+	if r.Queries() != n {
+		t.Fatalf("queries kept arriving after Stop: %d -> %d", n, r.Queries())
+	}
+}
