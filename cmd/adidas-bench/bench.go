@@ -1,0 +1,196 @@
+package main
+
+// Machine-readable benchmark mode. `adidas-bench -bench out.json` times the
+// figure-generating pipelines with testing.Benchmark — the same work as the
+// BenchmarkFig* functions in the repo root — and writes ns/op, allocs/op,
+// bytes/op and simulated events/second per figure benchmark as JSON, for
+// regression tracking and benchstat-style before/after comparisons (the
+// committed BENCH_1.json at the repo root is built from two of these runs).
+//
+// The configuration mirrors bench_test.go: warm-up 20 s / measurement 60 s
+// of virtual time at the paper's system sizes, shrunk under BENCH_FAST=1 to
+// 10 s / 20 s at sizes {25, 50} so a smoke run finishes in seconds. Only
+// -seed is honored from the shared flags, keeping JSON runs comparable with
+// `go test -bench` output by construction.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"streamdex/internal/experiments"
+	"streamdex/internal/sim"
+	"streamdex/internal/workload"
+)
+
+type benchResult struct {
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	EventsPerOp  uint64  `json:"events_per_op,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+type benchReport struct {
+	Schema     string        `json:"schema"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Fast       bool          `json:"fast"`
+	Sizes      []int         `json:"sizes"`
+	WarmupSec  int           `json:"warmup_sec"`
+	MeasureSec int           `json:"measure_sec"`
+	Seed       int64         `json:"seed"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func runBenchJSON(outPath string, seed int64, workers int) error {
+	// Fail on an unwritable destination before spending minutes
+	// benchmarking, not after.
+	if outPath != "-" {
+		f, err := os.OpenFile(outPath, os.O_WRONLY|os.O_CREATE, 0o644)
+		if err != nil {
+			return err
+		}
+		f.Close()
+	}
+	fast := os.Getenv("BENCH_FAST") != ""
+	cfg := workload.DefaultConfig(0)
+	cfg.Seed = seed
+	cfg.Warmup = 20 * sim.Second
+	cfg.Measure = 60 * sim.Second
+	sizes := experiments.PaperSizes
+	overheadSizes := experiments.OverheadSizes
+	if fast {
+		cfg.Warmup = 10 * sim.Second
+		cfg.Measure = 20 * sim.Second
+		sizes = []int{25, 50}
+		overheadSizes = sizes
+	}
+
+	rep := benchReport{
+		Schema:     "streamdex-bench/1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Fast:       fast,
+		Sizes:      sizes,
+		WarmupSec:  int(cfg.Warmup / sim.Second),
+		MeasureSec: int(cfg.Measure / sim.Second),
+		Seed:       seed,
+	}
+
+	// sweepEvents sums the simulator events behind one benchmark op, from
+	// an extra un-timed sweep (deterministic, so identical to the timed
+	// ones).
+	sweepEvents := func(szs []int, c workload.Config) (uint64, error) {
+		reps, err := experiments.Sweep(szs, c, workers)
+		if err != nil {
+			return 0, err
+		}
+		var n uint64
+		for _, r := range reps {
+			n += r.EngineEvents
+		}
+		return n, nil
+	}
+
+	type spec struct {
+		name   string
+		events func() (uint64, error)
+		body   func(b *testing.B)
+	}
+	t1cfg := cfg
+	t1cfg.Nodes = 50
+	r7cfg := cfg
+	r7cfg.Radius = 0.1
+	specs := []spec{
+		{
+			name:   "Table1Workload",
+			events: func() (uint64, error) { return sweepEvents([]int{50}, t1cfg) },
+			body: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := workload.RunOnce(t1cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			name: "Fig3bFourierLocality",
+			body: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_ = experiments.FourierLocality(128, 3, 20000, seed)
+				}
+			},
+		},
+		{
+			name:   "Fig6aLoad",
+			events: func() (uint64, error) { return sweepEvents(sizes, cfg) },
+			body: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := experiments.LoadVsNodes(sizes, cfg, workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			name:   "Fig7aOverhead",
+			events: func() (uint64, error) { return sweepEvents(overheadSizes, r7cfg) },
+			body: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := experiments.Overhead(overheadSizes, cfg, 0.1, workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			name:   "Fig8Hops",
+			events: func() (uint64, error) { return sweepEvents(sizes, cfg) },
+			body: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := experiments.Hops(sizes, cfg, workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+	}
+
+	for _, s := range specs {
+		res := testing.Benchmark(s.body)
+		br := benchResult{
+			Name:        s.name,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		if s.events != nil {
+			ev, err := s.events()
+			if err != nil {
+				return fmt.Errorf("bench %s: %w", s.name, err)
+			}
+			br.EventsPerOp = ev
+			if br.NsPerOp > 0 {
+				br.EventsPerSec = float64(ev) / (br.NsPerOp * 1e-9)
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, br)
+		fmt.Fprintf(os.Stderr, "%-22s %14.0f ns/op %10d allocs/op %12.0f events/sec\n",
+			s.name, br.NsPerOp, br.AllocsPerOp, br.EventsPerSec)
+	}
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if outPath == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(outPath, out, 0o644)
+}

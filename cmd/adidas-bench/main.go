@@ -7,6 +7,7 @@
 //	adidas-bench -exp fig6a -sizes 50,100,200,300,500
 //	adidas-bench -exp fig7b
 //	adidas-bench -exp ablation-baselines -sizes 50,100 -measure 60
+//	adidas-bench -bench BENCH_1.json     # machine-readable figure benchmarks
 //
 // Experiments: table1, fig3b, fig6a, fig6b, fig7a, fig7b, fig8,
 // ablation-multicast, ablation-baselines, ablation-batch,
@@ -38,8 +39,17 @@ func main() {
 		measure = flag.Int("measure", 100, "measurement interval, seconds of virtual time")
 		workers = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 		radius  = flag.Float64("radius", 0.1, "similarity query radius for load/hop experiments")
+		bench   = flag.String("bench", "", "time the figure pipelines and write JSON results to this path ('-' = stdout)")
 	)
 	flag.Parse()
+
+	if *bench != "" {
+		if err := runBenchJSON(*bench, *seed, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "adidas-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	base := workload.DefaultConfig(0)
 	base.Seed = *seed

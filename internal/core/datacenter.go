@@ -48,6 +48,10 @@ type DataCenter struct {
 	// one further ring hop toward their middle node on the next period.
 	relay []notifyItem
 
+	// scratch is reused across store candidate walks to avoid a per-query
+	// allocation.
+	scratch []query.Match
+
 	ticker *sim.Ticker
 }
 
@@ -147,10 +151,14 @@ func (dc *DataCenter) RegisterStream(st stream.Stream) error {
 		// Prime the window with pre-deployment history; summaries are
 		// not published for it (the index starts at the first live
 		// value), but the first live value immediately yields a
-		// feature.
-		for i := 0; i < cfg.WindowSize; i++ {
-			ls.sdft.Push(st.Gen.Next())
+		// feature. The window advances by a full window's worth of
+		// points here, so the batch push path amortizes the transform
+		// bookkeeping.
+		hist := make([]float64, cfg.WindowSize)
+		for i := range hist {
+			hist[i] = st.Gen.Next()
 		}
+		ls.sdft.PushBatch(hist)
 	}
 	phase := dc.mw.rng.UniformTime(0, st.Period)
 	ls.ticker = dc.mw.eng.EveryAfter(phase, st.Period, func() { dc.streamTick(ls) })
@@ -268,7 +276,8 @@ func (dc *DataCenter) onQuery(msg *dht.Message) {
 	if now < p.Q.Expiry() {
 		if _, dup := dc.subs[p.Q.ID]; !dup {
 			sub := newSimSub(p.Q, p.MiddleKey)
-			for _, m := range dc.store.Candidates(p.Q.Feature, p.Q.Radius, now, dc.id) {
+			dc.scratch = dc.store.AppendCandidates(dc.scratch[:0], p.Q.Feature, p.Q.Radius, now, dc.id)
+			for _, m := range dc.scratch {
 				sub.add(m)
 			}
 			dc.subs[p.Q.ID] = sub

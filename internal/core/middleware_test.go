@@ -77,19 +77,17 @@ func TestMBRsStoredAtContentSuccessor(t *testing.T) {
 	// that intersects its holder's responsibility.
 	for _, id := range ids {
 		dc := mw.DataCenter(id)
-		for _, list := range dc.store.byStream {
-			for _, b := range list {
-				lo, hi := b.KeyRange(mw.Mapper())
-				// The holder must cover some key in [lo,hi], or be the
-				// MBR's own source (local copy). A node intersects the
-				// arc iff it covers either boundary (successor(lo) and
-				// successor(hi) both own part of it) or its identifier
-				// lies inside [lo,hi].
-				ok := net.Covers(id, lo) || net.Covers(id, hi) ||
-					(uint64(id) >= uint64(lo) && uint64(id) <= uint64(hi))
-				if !ok && !sourcesStream(dc, b.StreamID) {
-					t.Fatalf("node %d holds MBR %v outside its arc [%d,%d]", id, b, lo, hi)
-				}
+		for _, b := range dc.store.entries {
+			lo, hi := b.KeyRange(mw.Mapper())
+			// The holder must cover some key in [lo,hi], or be the
+			// MBR's own source (local copy). A node intersects the
+			// arc iff it covers either boundary (successor(lo) and
+			// successor(hi) both own part of it) or its identifier
+			// lies inside [lo,hi].
+			ok := net.Covers(id, lo) || net.Covers(id, hi) ||
+				(uint64(id) >= uint64(lo) && uint64(id) <= uint64(hi))
+			if !ok && !sourcesStream(dc, b.StreamID) {
+				t.Fatalf("node %d holds MBR %v outside its arc [%d,%d]", id, b, lo, hi)
 			}
 		}
 	}

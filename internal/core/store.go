@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"streamdex/internal/dht"
 	"streamdex/internal/query"
 	"streamdex/internal/sim"
@@ -11,59 +13,97 @@ import (
 // covers by content. Entries are soft state with a lifespan (BSPAN) "in
 // order to prevent cluttering of storage space and to eliminate query
 // responses that contain stale information" (§V).
+//
+// Entries are kept sorted by the first-coefficient lower corner L₁. A
+// similarity query (Q, r) can only match MBRs whose first-coefficient
+// interval [L₁, H₁] overlaps [q₁−r, q₁+r] — the same Fourier-locality fact
+// Eq. 6 routes on — so Candidates binary-searches into the sorted order and
+// walks only the overlapping band instead of scanning every entry. maxWidth
+// (an upper bound on H₁−L₁ over live entries) turns the one-sided sort key
+// into a conservative two-sided window.
 type Store struct {
-	byStream map[string][]*summary.MBR
-	count    int
+	entries  []*summary.MBR // sorted ascending by Lo[0]
+	maxWidth float64        // upper bound on Hi[0]-Lo[0]; tightened on Sweep
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{byStream: make(map[string][]*summary.MBR)}
+	return &Store{}
 }
 
-// Len returns the number of live MBRs held.
-func (s *Store) Len() int { return s.count }
+// Len returns the number of MBRs held (lazily dropped expired entries may
+// linger until a Candidates walk or Sweep touches them).
+func (s *Store) Len() int { return len(s.entries) }
 
-// Put inserts an MBR.
+// Put inserts an MBR at its sorted position.
 func (s *Store) Put(b *summary.MBR) {
-	s.byStream[b.StreamID] = append(s.byStream[b.StreamID], b)
-	s.count++
+	l1 := b.Lo[0]
+	i := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].Lo[0] > l1 })
+	s.entries = append(s.entries, nil)
+	copy(s.entries[i+1:], s.entries[i:])
+	s.entries[i] = b
+	if w := b.Hi[0] - b.Lo[0]; w > s.maxWidth {
+		s.maxWidth = w
+	}
 }
 
-// Sweep drops expired MBRs; it returns how many were removed.
+// Sweep drops expired MBRs and re-tightens the width bound; it returns how
+// many entries were removed.
 func (s *Store) Sweep(now sim.Time) int {
-	removed := 0
-	for sid, list := range s.byStream {
-		kept := list[:0]
-		for _, b := range list {
-			if b.Expired(now) {
-				removed++
-				continue
-			}
-			kept = append(kept, b)
+	kept := s.entries[:0]
+	width := 0.0
+	for _, b := range s.entries {
+		if b.Expired(now) {
+			continue
 		}
-		if len(kept) == 0 {
-			delete(s.byStream, sid)
-		} else {
-			s.byStream[sid] = kept
+		if w := b.Hi[0] - b.Lo[0]; w > width {
+			width = w
 		}
+		kept = append(kept, b)
 	}
-	s.count -= removed
+	removed := len(s.entries) - len(kept)
+	for i := len(kept); i < len(s.entries); i++ {
+		s.entries[i] = nil
+	}
+	s.entries = kept
+	s.maxWidth = width
 	return removed
 }
 
 // Candidates scans the store for MBRs whose minimum distance to the query
 // feature is within the radius — the no-false-dismissal candidate test.
-// Expired entries are skipped.
+// Expired entries encountered during the walk are dropped in place, so
+// long-lived nodes do not rescan dead entries while waiting for the next
+// Sweep.
 func (s *Store) Candidates(q summary.Feature, radius float64, now sim.Time, node dht.Key) []query.Match {
-	var out []query.Match
-	for _, list := range s.byStream {
-		for _, b := range list {
-			if b.Expired(now) {
-				continue
-			}
+	return s.AppendCandidates(nil, q, radius, now, node)
+}
+
+// AppendCandidates is Candidates appending into dst, for callers that reuse
+// a scratch buffer across queries.
+func (s *Store) AppendCandidates(dst []query.Match, q summary.Feature, radius float64, now sim.Time, node dht.Key) []query.Match {
+	if len(s.entries) == 0 {
+		return dst
+	}
+	q1 := q[0]
+	// Only entries with Lo[0] in [q1-r-maxWidth, q1+r] can have a
+	// first-coefficient interval overlapping [q1-r, q1+r].
+	lo := q1 - radius - s.maxWidth
+	hi := q1 + radius
+	start := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].Lo[0] >= lo })
+	w := start // write cursor for in-place expiry compaction
+	j := start
+	for ; j < len(s.entries); j++ {
+		b := s.entries[j]
+		if b.Lo[0] > hi {
+			break
+		}
+		if b.Expired(now) {
+			continue // dropped: not copied back
+		}
+		if b.Hi[0] >= q1-radius { // cheap interval pre-test before MinDist
 			if d := b.MinDist(q); d <= radius {
-				out = append(out, query.Match{
+				dst = append(dst, query.Match{
 					StreamID: b.StreamID,
 					Seq:      b.Seq,
 					DistLB:   d,
@@ -72,8 +112,17 @@ func (s *Store) Candidates(q summary.Feature, radius float64, now sim.Time, node
 				})
 			}
 		}
+		s.entries[w] = b
+		w++
 	}
-	return out
+	if w != j {
+		n := copy(s.entries[w:], s.entries[j:])
+		for k := w + n; k < len(s.entries); k++ {
+			s.entries[k] = nil
+		}
+		s.entries = s.entries[:w+n]
+	}
+	return dst
 }
 
 // MatchMBR tests a single, just-arrived MBR against a query feature.

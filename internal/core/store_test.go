@@ -30,9 +30,71 @@ func TestStorePutSweep(t *testing.T) {
 	if s.Len() != 1 {
 		t.Fatalf("Len after sweep = %d", s.Len())
 	}
-	// Stream b's bucket must be gone entirely.
-	if len(s.byStream) != 1 {
-		t.Fatalf("byStream buckets = %d, want 1", len(s.byStream))
+	if len(s.entries) != 1 || s.entries[0].StreamID != "a" || s.entries[0].Seq != 1 {
+		t.Fatalf("surviving entry = %v", s.entries)
+	}
+}
+
+func TestStoreSortedByFirstCoefficient(t *testing.T) {
+	s := NewStore()
+	for _, l1 := range []float64{0.5, -0.2, 0.9, 0.1, -0.7, 0.1} {
+		s.Put(mbrAt("s", uint64(len(s.entries)), summary.Feature{l1}, summary.Feature{l1 + 0.05}, 0))
+	}
+	for i := 1; i < len(s.entries); i++ {
+		if s.entries[i-1].Lo[0] > s.entries[i].Lo[0] {
+			t.Fatalf("entries out of order at %d: %v > %v", i, s.entries[i-1].Lo[0], s.entries[i].Lo[0])
+		}
+	}
+	// A query radius only reaches entries whose L1 interval overlaps it.
+	got := s.Candidates(summary.Feature{0.1}, 0.05, 0, 7)
+	if len(got) != 2 {
+		t.Fatalf("candidates = %v, want the two entries at L1=0.1", got)
+	}
+}
+
+func TestStoreCandidatesDropsExpiredInPlace(t *testing.T) {
+	s := NewStore()
+	// Five entries near the query point, three of which expire at 1s.
+	s.Put(mbrAt("live1", 0, summary.Feature{0.10}, summary.Feature{0.12}, 0))
+	s.Put(mbrAt("dead1", 1, summary.Feature{0.11}, summary.Feature{0.13}, sim.Second))
+	s.Put(mbrAt("dead2", 2, summary.Feature{0.12}, summary.Feature{0.14}, sim.Second))
+	s.Put(mbrAt("live2", 3, summary.Feature{0.13}, summary.Feature{0.15}, 0))
+	s.Put(mbrAt("dead3", 4, summary.Feature{0.14}, summary.Feature{0.16}, sim.Second))
+	// One far entry outside the walk, also expired: stays until Sweep.
+	s.Put(mbrAt("deadFar", 5, summary.Feature{0.9}, summary.Feature{0.95}, sim.Second))
+
+	got := s.Candidates(summary.Feature{0.12}, 0.05, 2*sim.Second, 1)
+	if len(got) != 2 {
+		t.Fatalf("candidates = %v, want live1+live2", got)
+	}
+	// The walk must have dropped the three expired entries it touched —
+	// storage shrinks without an explicit Sweep.
+	if s.Len() != 3 {
+		t.Fatalf("Len after candidate walk = %d, want 3 (expired dropped in place)", s.Len())
+	}
+	for i := 1; i < len(s.entries); i++ {
+		if s.entries[i-1].Lo[0] > s.entries[i].Lo[0] {
+			t.Fatalf("compaction broke sort order: %v", s.entries)
+		}
+	}
+	// The untouched far entry goes on the next sweep.
+	if removed := s.Sweep(2 * sim.Second); removed != 1 {
+		t.Fatalf("Sweep removed %d, want 1", removed)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len after sweep = %d", s.Len())
+	}
+}
+
+func TestStoreWidthBoundCoversWideMBRs(t *testing.T) {
+	s := NewStore()
+	// A wide rectangle whose Lo[0] is far below the query window but whose
+	// interval still overlaps it: the maxWidth bound must keep it visible.
+	s.Put(mbrAt("wide", 0, summary.Feature{-0.8}, summary.Feature{0.5}, 0))
+	s.Put(mbrAt("narrow", 1, summary.Feature{0.4}, summary.Feature{0.45}, 0))
+	got := s.Candidates(summary.Feature{0.42}, 0.05, 0, 1)
+	if len(got) != 2 {
+		t.Fatalf("candidates = %v, want wide+narrow", got)
 	}
 }
 

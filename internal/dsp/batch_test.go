@@ -1,0 +1,91 @@
+package dsp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPushBatchBitwiseEqualsSequentialPush pins the batch-push contract:
+// PushBatch(xs) must leave the sliding DFT in a state bitwise identical to
+// calling Push for each element in order — including the fill→slide
+// transition and periodic drift-control recomputes landing mid-batch.
+// Figure reproductions prefill whole windows through this path, so "close
+// enough" is not enough; determinism of the figure rows requires exact
+// equality.
+func TestPushBatchBitwiseEqualsSequentialPush(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n, k := 32, 4
+	xs := make([]float64, n+5000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 10
+	}
+	for _, every := range []int{0, 7, 64, 4096} {
+		seq := NewSlidingDFT(n, k)
+		seq.SetRecomputeEvery(every)
+		bat := NewSlidingDFT(n, k)
+		bat.SetRecomputeEvery(every)
+
+		for _, v := range xs {
+			seq.Push(v)
+		}
+		// Exercise uneven chunk sizes so batches straddle both the
+		// fill/slide boundary and recompute boundaries.
+		for i := 0; i < len(xs); {
+			sz := 1 + (i*7+3)%97
+			if i+sz > len(xs) {
+				sz = len(xs) - i
+			}
+			bat.PushBatch(xs[i : i+sz])
+			i += sz
+		}
+
+		sc, bc := seq.Coeffs(), bat.Coeffs()
+		for h := range sc {
+			if sc[h] != bc[h] {
+				t.Fatalf("recomputeEvery=%d: coefficient %d differs: Push=%v PushBatch=%v", every, h, sc[h], bc[h])
+			}
+		}
+		if seq.Mean() != bat.Mean() || seq.Norm() != bat.Norm() {
+			t.Fatalf("recomputeEvery=%d: moments differ", every)
+		}
+		sw, bw := seq.Window(), bat.Window()
+		for i := range sw {
+			if sw[i] != bw[i] {
+				t.Fatalf("recomputeEvery=%d: window differs at %d", every, i)
+			}
+		}
+	}
+}
+
+// TestPushZeroAllocs guards the steady-state allocation contract of the
+// incremental update: a slide touches only the preallocated re/im/twiddle
+// slices, and even the periodic drift-control recompute reuses its scratch
+// window.
+func TestPushZeroAllocs(t *testing.T) {
+	s := NewSlidingDFT(64, 4)
+	s.SetRecomputeEvery(16) // force recomputes inside the measured runs
+	for i := 0; i < 128; i++ {
+		s.Push(float64(i))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			s.Push(float64(i))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Push allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestPushBatchZeroAllocs: the batch path shares the same preallocated state.
+func TestPushBatchZeroAllocs(t *testing.T) {
+	s := NewSlidingDFT(64, 4)
+	xs := benchSignal(256)
+	s.PushBatch(xs)
+	allocs := testing.AllocsPerRun(100, func() {
+		s.PushBatch(xs)
+	})
+	if allocs != 0 {
+		t.Fatalf("PushBatch allocated %.1f objects per run, want 0", allocs)
+	}
+}

@@ -34,6 +34,21 @@ func BenchmarkSlidingDFTPush(b *testing.B) {
 	}
 }
 
+func BenchmarkSlidingDFTPushBatch(b *testing.B) {
+	for _, n := range []int{128, 1024, 4096} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			s := NewSlidingDFT(n, 3)
+			xs := benchSignal(n)
+			s.PushBatch(xs)
+			b.SetBytes(int64(8 * len(xs)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.PushBatch(xs)
+			}
+		})
+	}
+}
+
 func BenchmarkSlidingDFTNormalizedCoeffs(b *testing.B) {
 	s := NewSlidingDFT(4096, 3)
 	for _, v := range benchSignal(4096) {

@@ -70,13 +70,22 @@ type SlidingDFT struct {
 	head  int // index of the oldest element once full
 	count int
 
-	coeffs  []complex128 // raw unitary coefficients 0..k-1
-	twiddle []complex128 // e^{+j 2 pi h / n}
+	// Coefficient state is kept as separate real/imaginary float64 slices
+	// (rather than []complex128) with matching precomputed twiddle tables,
+	// so the per-point update compiles to plain fused float loops. The
+	// arithmetic is exactly the expansion of the complex multiply, so
+	// results are bitwise-identical to the complex128 formulation.
+	re, im     []float64 // raw unitary coefficients 0..k-1
+	twRe, twIm []float64 // e^{+j 2 pi h / n}
+
+	sqrtN float64 // sqrt(n), the unitary scale divisor
 
 	sum, sumsq float64
 
 	slides         int
 	recomputeEvery int
+
+	scratch []float64 // reused linearized window for exact recomputes
 }
 
 // NewSlidingDFT creates a sliding transform over windows of length
@@ -92,12 +101,17 @@ func NewSlidingDFT(windowSize, k int) *SlidingDFT {
 		n:              windowSize,
 		k:              k,
 		buf:            make([]float64, windowSize),
-		coeffs:         make([]complex128, k),
-		twiddle:        make([]complex128, k),
+		re:             make([]float64, k),
+		im:             make([]float64, k),
+		twRe:           make([]float64, k),
+		twIm:           make([]float64, k),
+		sqrtN:          math.Sqrt(float64(windowSize)),
 		recomputeEvery: DefaultRecomputeEvery,
 	}
 	for h := 0; h < k; h++ {
-		s.twiddle[h] = cmplx.Exp(complex(0, 2*math.Pi*float64(h)/float64(windowSize)))
+		tw := cmplx.Exp(complex(0, 2*math.Pi*float64(h)/float64(windowSize)))
+		s.twRe[h] = real(tw)
+		s.twIm[h] = imag(tw)
 	}
 	return s
 }
@@ -124,35 +138,114 @@ func (s *SlidingDFT) Full() bool { return s.count == s.n }
 // each Push slides the window in O(k).
 func (s *SlidingDFT) Push(x float64) {
 	if s.count < s.n {
-		s.buf[s.count] = x
-		s.count++
-		s.sum += x
-		s.sumsq += x * x
-		if s.count == s.n {
-			s.recompute()
-		}
+		s.fill(x)
 		return
 	}
-	old := s.buf[s.head]
-	s.buf[s.head] = x
-	s.head = (s.head + 1) % s.n
-	s.sum += x - old
-	s.sumsq += x*x - old*old
-	delta := complex((x-old)/math.Sqrt(float64(s.n)), 0)
-	for h := 0; h < s.k; h++ {
-		s.coeffs[h] = (s.coeffs[h] + delta) * s.twiddle[h]
-	}
-	s.slides++
+	s.slide(x)
 	if s.recomputeEvery > 0 && s.slides >= s.recomputeEvery {
 		s.recompute()
 	}
 }
 
+// PushBatch appends a block of points, amortizing the per-point
+// bookkeeping (field loads, bounds checks, drift-control tests) across the
+// block. It is exactly equivalent to calling Push for each element in
+// order — including the timing of periodic exact recomputes — so results
+// are bitwise-identical.
+func (s *SlidingDFT) PushBatch(xs []float64) {
+	// Filling phase, until the window is complete.
+	for len(xs) > 0 && s.count < s.n {
+		s.fill(xs[0])
+		xs = xs[1:]
+	}
+	for len(xs) > 0 {
+		// Process up to the next drift-control recompute in one fused
+		// pass over the block.
+		chunk := len(xs)
+		if s.recomputeEvery > 0 {
+			if room := s.recomputeEvery - s.slides; room < chunk {
+				chunk = room
+			}
+		}
+		buf, re, im, twRe, twIm := s.buf, s.re, s.im, s.twRe, s.twIm
+		head, n, sqrtN := s.head, s.n, s.sqrtN
+		sum, sumsq := s.sum, s.sumsq
+		for _, x := range xs[:chunk] {
+			old := buf[head]
+			buf[head] = x
+			head++
+			if head == n {
+				head = 0
+			}
+			sum += x - old
+			sumsq += x*x - old*old
+			d := (x - old) / sqrtN
+			for h := range re {
+				ar := re[h] + d
+				ai := im[h]
+				re[h] = ar*twRe[h] - ai*twIm[h]
+				im[h] = ar*twIm[h] + ai*twRe[h]
+			}
+		}
+		s.head = head
+		s.sum, s.sumsq = sum, sumsq
+		s.slides += chunk
+		if s.recomputeEvery > 0 && s.slides >= s.recomputeEvery {
+			s.recompute()
+		}
+		xs = xs[chunk:]
+	}
+}
+
+// fill accumulates a point while the window is still filling; the first
+// complete fill computes the coefficients exactly.
+func (s *SlidingDFT) fill(x float64) {
+	s.buf[s.count] = x
+	s.count++
+	s.sum += x
+	s.sumsq += x * x
+	if s.count == s.n {
+		s.recompute()
+	}
+}
+
+// slide advances the full window by one point in O(k): the incremental
+// update of Eq. 5, expanded into real arithmetic.
+func (s *SlidingDFT) slide(x float64) {
+	old := s.buf[s.head]
+	s.buf[s.head] = x
+	s.head++
+	if s.head == s.n {
+		s.head = 0
+	}
+	s.sum += x - old
+	s.sumsq += x*x - old*old
+	d := (x - old) / s.sqrtN
+	re, im, twRe, twIm := s.re, s.im, s.twRe, s.twIm
+	for h := range re {
+		ar := re[h] + d
+		ai := im[h]
+		re[h] = ar*twRe[h] - ai*twIm[h]
+		im[h] = ar*twIm[h] + ai*twRe[h]
+	}
+	s.slides++
+}
+
 // recompute rebuilds coefficients and moments exactly from the buffer,
 // using the Goertzel recurrence (one multiply per sample per coefficient).
+// It reuses an internal scratch buffer, so steady-state pushes stay
+// allocation-free.
 func (s *SlidingDFT) recompute() {
-	w := s.Window()
-	copy(s.coeffs, GoertzelBins(w, s.k))
+	if s.scratch == nil {
+		s.scratch = make([]float64, s.n)
+	}
+	w := s.scratch[:s.count]
+	s.windowInto(w)
+	for h := 0; h < s.k; h++ {
+		c := Goertzel(w, h)
+		s.re[h] = real(c)
+		s.im[h] = imag(c)
+	}
 	s.sum, s.sumsq = 0, 0
 	for _, v := range w {
 		s.sum += v
@@ -161,17 +254,22 @@ func (s *SlidingDFT) recompute() {
 	s.slides = 0
 }
 
+// windowInto copies the current window contents oldest-first into dst,
+// which must have length Len().
+func (s *SlidingDFT) windowInto(dst []float64) {
+	if s.count < s.n {
+		copy(dst, s.buf[:s.count])
+		return
+	}
+	m := copy(dst, s.buf[s.head:])
+	copy(dst[m:], s.buf[:s.head])
+}
+
 // Window returns the current window contents oldest-first. The slice is a
 // copy.
 func (s *SlidingDFT) Window() []float64 {
 	out := make([]float64, s.count)
-	if s.count < s.n {
-		copy(out, s.buf[:s.count])
-		return out
-	}
-	for i := 0; i < s.n; i++ {
-		out[i] = s.buf[(s.head+i)%s.n]
-	}
+	s.windowInto(out)
 	return out
 }
 
@@ -204,7 +302,9 @@ func (s *SlidingDFT) CenteredNorm() float64 {
 // Coeffs returns a copy of the first k raw unitary coefficients.
 func (s *SlidingDFT) Coeffs() []complex128 {
 	out := make([]complex128, s.k)
-	copy(out, s.coeffs)
+	for h := range out {
+		out[h] = complex(s.re[h], s.im[h])
+	}
 	return out
 }
 
@@ -216,26 +316,28 @@ func (s *SlidingDFT) NormalizedCoeffs(mode Mode) []complex128 {
 	out := make([]complex128, s.k)
 	switch mode {
 	case Raw:
-		copy(out, s.coeffs)
+		for h := range out {
+			out[h] = complex(s.re[h], s.im[h])
+		}
 	case UnitNorm:
 		norm := s.Norm()
 		if norm == 0 {
 			return out
 		}
-		inv := complex(1/norm, 0)
+		inv := 1 / norm
 		for h := 0; h < s.k; h++ {
-			out[h] = s.coeffs[h] * inv
+			out[h] = complex(s.re[h]*inv, s.im[h]*inv)
 		}
 	case ZNorm:
 		cn := s.CenteredNorm()
 		if cn == 0 {
 			return out
 		}
-		inv := complex(1/cn, 0)
+		inv := 1 / cn
 		// The DC coefficient of a mean-subtracted window is zero; the
 		// others are unaffected by the shift.
 		for h := 1; h < s.k; h++ {
-			out[h] = s.coeffs[h] * inv
+			out[h] = complex(s.re[h]*inv, s.im[h]*inv)
 		}
 	default:
 		panic("dsp: unknown normalization mode")

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"streamdex/internal/sim"
+	"streamdex/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenConfig is a scaled-down Table I workload used by the determinism
+// regression tests. The exact values matter only in that they must never
+// change: the golden file was generated from the pre-optimization engine,
+// store and DFT implementations, so a diff against it proves the optimized
+// hot paths are bitwise-compatible (same seed -> same figure rows).
+func goldenConfig() workload.Config {
+	cfg := workload.DefaultConfig(0)
+	cfg.Seed = 7
+	cfg.Warmup = 5 * sim.Second
+	cfg.Measure = 10 * sim.Second
+	return cfg
+}
+
+// figureLines regenerates a representative slice of the paper's evaluation
+// (Fig. 6(a), Fig. 7, Fig. 8 rows, the Fourier-locality analysis and the
+// serialized-bandwidth ablation) and formats every floating-point field at
+// full precision, so any bitwise divergence shows up.
+func figureLines(t *testing.T, workers int) []string {
+	t.Helper()
+	cfg := goldenConfig()
+	sizes := []int{12, 20}
+	loads, overheads, hops, err := FullEvaluation(sizes, cfg, workers)
+	if err != nil {
+		t.Fatalf("FullEvaluation: %v", err)
+	}
+	var lines []string
+	add := func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	for _, r := range loads {
+		add("fig6a n=%d mbr=%.17g mbrInt=%.17g mbrTransit=%.17g q=%.17g resp=%.17g respInt=%.17g respTransit=%.17g total=%.17g",
+			r.Nodes, r.MBRs, r.MBRsInternal, r.MBRsInTransit, r.Queries,
+			r.Responses, r.ResponsesInternal, r.ResponsesInTransit, r.Total)
+	}
+	for _, r := range overheads {
+		add("fig7 n=%d mbr=%.17g mbrT=%.17g q=%.17g qT=%.17g resp=%.17g respT=%.17g",
+			r.Nodes, r.MBRMessages, r.MBRInTransit, r.QueryMessages,
+			r.QueryInTransit, r.ResponseMessages, r.ResponseInTransit)
+	}
+	for _, r := range hops {
+		add("fig8 n=%d mbr=%.17g mbrInt=%.17g q=%.17g qInt=%.17g resp=%.17g",
+			r.Nodes, r.MBR, r.MBRInternal, r.Query, r.QueryInternal, r.Response)
+	}
+	loc := FourierLocality(64, 3, 2000, cfg.Seed)
+	add("fig3b consec=%.17g random=%.17g ratio=%.17g", loc.ConsecutiveMean, loc.RandomMean, loc.Ratio)
+	bw, err := Bandwidth(12, []int{1, 5}, cfg, workers)
+	if err != nil {
+		t.Fatalf("Bandwidth: %v", err)
+	}
+	for _, r := range bw {
+		add("bandwidth beta=%d msgs=%.17g mbrBytes=%.17g totalBytes=%.17g",
+			r.Beta, r.MBRMsgs, r.MBRBytes, r.TotalBytes)
+	}
+	return lines
+}
+
+// TestFigureRowsGolden pins the figure rows of a fixed-seed evaluation to a
+// golden file generated before the hot-path optimizations (typed event
+// queue, indexed MBR store, split-state sliding DFT, cached wire sizing).
+// Any implementation change that alters simulation results — event
+// ordering, candidate sets, DFT coefficients, message sizes — fails here.
+func TestFigureRowsGolden(t *testing.T) {
+	got := strings.Join(figureLines(t, 1), "\n") + "\n"
+	path := filepath.Join("testdata", "figure_rows.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d lines)", path, strings.Count(got, "\n"))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("figure rows diverged from pre-optimization golden:\n%s",
+			diffLines(string(want), got))
+	}
+}
+
+// TestSerialParallelDeterminism verifies that fanning simulations out
+// across the worker pool cannot change any figure row: the same seeds must
+// yield bitwise-identical results whether the sweep runs on one goroutine
+// or several (guards both event-queue ordering and the pool).
+func TestSerialParallelDeterminism(t *testing.T) {
+	serial := figureLines(t, 1)
+	parallel := figureLines(t, 4)
+	if len(serial) != len(parallel) {
+		t.Fatalf("row counts differ: serial=%d parallel=%d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("row %d differs:\nserial:   %s\nparallel: %s", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// diffLines renders a minimal line diff for golden mismatches.
+func diffLines(want, got string) string {
+	ws, gs := strings.Split(want, "\n"), strings.Split(got, "\n")
+	var b strings.Builder
+	n := len(ws)
+	if len(gs) > n {
+		n = len(gs)
+	}
+	for i := 0; i < n; i++ {
+		var w, g string
+		if i < len(ws) {
+			w = ws[i]
+		}
+		if i < len(gs) {
+			g = gs[i]
+		}
+		if w != g {
+			fmt.Fprintf(&b, "line %d:\n  want: %s\n  got:  %s\n", i+1, w, g)
+		}
+	}
+	return b.String()
+}

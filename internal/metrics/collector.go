@@ -136,6 +136,12 @@ type Report struct {
 	// Events holds input-event counts by type.
 	Events [NumEventTypes]int64
 
+	// EngineEvents is the total number of simulator events executed to
+	// produce this report (warm-up included). Filled by the workload
+	// harness, not the collector; benchmark tooling divides it by wall
+	// time to report simulated events per second.
+	EngineEvents uint64
+
 	// OverheadPerEvent is transmissions of a category divided by the
 	// number of events of the associated type (Fig. 7), filled by
 	// Overhead().

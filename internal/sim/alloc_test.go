@@ -1,0 +1,50 @@
+package sim
+
+import "testing"
+
+// TestScheduleStepZeroAllocs pins the hot-path allocation contract of the
+// event queue: once the heap and timer-slot arrays have grown to their
+// working size, Schedule+Step must not allocate. Events live inline in the
+// heap slice and timer slots come off the free-list, so steady-state
+// scheduling is churn-free no matter how many events flow through.
+func TestScheduleStepZeroAllocs(t *testing.T) {
+	eng := NewEngine()
+	fn := func() {}
+	// Warm up: grow events/slots/free to steady-state capacity.
+	for i := 0; i < 64; i++ {
+		eng.Schedule(Time(i), fn)
+	}
+	for eng.Step() {
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			eng.Schedule(Time(i), fn)
+		}
+		for eng.Step() {
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Schedule+Step allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestCancelZeroAllocs: Timer is a value type; Cancel just flips a slot flag.
+func TestCancelZeroAllocs(t *testing.T) {
+	eng := NewEngine()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		eng.Schedule(Time(i), fn).Cancel()
+	}
+	for eng.Step() {
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		tm := eng.Schedule(10, fn)
+		tm.Cancel()
+		for eng.Step() {
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Schedule+Cancel allocated %.1f objects per run, want 0", allocs)
+	}
+}

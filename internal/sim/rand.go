@@ -91,7 +91,7 @@ type PoissonProc struct {
 	rng     *Rand
 	mean    Time
 	fn      func()
-	timer   *Timer
+	timer   Timer
 	stopped bool
 	fires   uint64
 }

@@ -16,7 +16,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -53,56 +52,50 @@ func (t Time) String() string {
 	}
 }
 
-// event is a single scheduled callback.
+// event is a single scheduled callback, stored inline in the engine's heap
+// slice. No per-event heap allocation occurs: scheduling appends a value,
+// firing copies it out.
 type event struct {
-	at     Time
-	seq    uint64 // tie-breaker: FIFO among events at the same instant
-	fn     func()
-	index  int // heap index, -1 once popped or cancelled
-	cancel bool
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among events at the same instant
+	fn   func()
+	slot int32 // free-list slot backing the cancellation handle
 }
 
-// eventHeap orders events by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders events by (at, seq); seq is unique, so the order is total and
+// firing order is fully deterministic.
+func (a *event) less(b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+// timerSlot is the free-list record behind one Timer handle. The generation
+// counter invalidates stale handles: it is bumped when the event leaves the
+// heap, so a Timer whose generation no longer matches refers to an event
+// that already fired (or was cancelled and collected).
+type timerSlot struct {
+	gen       uint32
+	cancelled bool
 }
 
 // Engine is a single-threaded discrete-event executor. The zero value is not
 // usable; construct with NewEngine. Engine methods must not be called
 // concurrently: all model code runs inside event callbacks on one goroutine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
+	now Time
+	seq uint64
+	// events is a 4-ary min-heap of inline event structs ordered by
+	// (at, seq). A 4-ary layout halves the tree depth of a binary heap and
+	// keeps the four children of a node on one cache line, which is where
+	// a discrete-event simulator spends its bookkeeping time.
+	events []event
+	// slots and free implement the timer free-list; live counts pending
+	// non-cancelled events.
+	slots   []timerSlot
+	free    []int32
+	live    int
 	stopped bool
 	// executed counts events that have run, for introspection and tests.
 	executed uint64
@@ -121,41 +114,46 @@ func (e *Engine) Executed() uint64 { return e.executed }
 
 // Pending returns the number of scheduled events not yet executed or
 // cancelled. Cancelled events still in the heap are excluded.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if !ev.cancel {
-			n++
-		}
-	}
-	return n
-}
+func (e *Engine) Pending() int { return e.live }
 
-// Timer is a handle to a scheduled event that can be cancelled before firing.
+// Timer is a handle to a scheduled event that can be cancelled before
+// firing. It is a small value; the zero Timer is inert (Cancel and Active
+// return false).
 type Timer struct {
-	eng *Engine
-	ev  *event
+	eng  *Engine
+	slot int32
+	gen  uint32
 }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled timer is a no-op. It reports whether the event was
-// actually descheduled by this call.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.cancel || t.ev.index == -1 {
+// actually descheduled by this call. The cancelled event stays in the heap
+// and is discarded (and its slot recycled) when it reaches the front.
+func (t Timer) Cancel() bool {
+	if t.eng == nil {
 		return false
 	}
-	t.ev.cancel = true
+	s := &t.eng.slots[t.slot]
+	if s.gen != t.gen || s.cancelled {
+		return false
+	}
+	s.cancelled = true
+	t.eng.live--
 	return true
 }
 
 // Active reports whether the timer is still pending.
-func (t *Timer) Active() bool {
-	return t != nil && t.ev != nil && !t.ev.cancel && t.ev.index != -1
+func (t Timer) Active() bool {
+	if t.eng == nil {
+		return false
+	}
+	s := &t.eng.slots[t.slot]
+	return s.gen == t.gen && !s.cancelled
 }
 
 // Schedule runs fn after delay d (which may be zero but not negative).
 // It returns a Timer that can cancel the callback.
-func (e *Engine) Schedule(d Time, fn func()) *Timer {
+func (e *Engine) Schedule(d Time, fn func()) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
@@ -164,33 +162,55 @@ func (e *Engine) Schedule(d Time, fn func()) *Timer {
 
 // ScheduleAt runs fn at absolute virtual time t, which must not be in the
 // past.
-func (e *Engine) ScheduleAt(t Time, fn func()) *Timer {
+func (e *Engine) ScheduleAt(t Time, fn func()) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	var slot int32
+	if n := len(e.free); n > 0 {
+		slot = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.slots = append(e.slots, timerSlot{gen: 1})
+		slot = int32(len(e.slots) - 1)
+	}
+	gen := e.slots[slot].gen
+	e.heapPush(event{at: t, seq: e.seq, fn: fn, slot: slot})
 	e.seq++
-	heap.Push(&e.events, ev)
-	return &Timer{eng: e, ev: ev}
+	e.live++
+	return Timer{eng: e, slot: slot, gen: gen}
 }
 
 // Step executes the single next event, advancing the clock to its timestamp.
 // It reports false when no events remain.
 func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.cancel {
+		ev := e.heapPop()
+		cancelled := e.releaseSlot(ev.slot)
+		if cancelled {
 			continue
 		}
+		e.live--
 		e.now = ev.at
 		e.executed++
 		ev.fn()
 		return true
 	}
 	return false
+}
+
+// releaseSlot retires the slot of an event leaving the heap, invalidating
+// outstanding handles, and reports whether the event had been cancelled.
+func (e *Engine) releaseSlot(slot int32) bool {
+	s := &e.slots[slot]
+	cancelled := s.cancelled
+	s.cancelled = false
+	s.gen++
+	e.free = append(e.free, slot)
+	return cancelled
 }
 
 // Run executes events until the queue is empty or Stop is called.
@@ -222,14 +242,77 @@ func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
 // Stop aborts a Run/RunUntil in progress after the current event returns.
 func (e *Engine) Stop() { e.stopped = true }
 
-// peek returns the timestamp of the next non-cancelled event.
+// peek returns the timestamp of the next non-cancelled event, discarding
+// cancelled entries that have reached the front.
 func (e *Engine) peek() (Time, bool) {
 	for len(e.events) > 0 {
-		if e.events[0].cancel {
-			heap.Pop(&e.events)
+		if e.slots[e.events[0].slot].cancelled {
+			ev := e.heapPop()
+			e.releaseSlot(ev.slot)
 			continue
 		}
 		return e.events[0].at, true
 	}
 	return 0, false
+}
+
+// --- 4-ary min-heap over inline events -------------------------------------
+
+// heapPush appends ev and restores the heap order by sifting it up.
+func (e *Engine) heapPush(ev event) {
+	e.events = append(e.events, ev)
+	h := e.events
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !ev.less(&h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+}
+
+// heapPop removes and returns the minimum event.
+func (e *Engine) heapPop() event {
+	h := e.events
+	root := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // drop the fn reference so the closure can be collected
+	e.events = h[:n]
+	if n > 0 {
+		e.siftDown(last)
+	}
+	return root
+}
+
+// siftDown re-inserts ev starting from the root after a pop.
+func (e *Engine) siftDown(ev event) {
+	h := e.events
+	n := len(h)
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c // index of the smallest child
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if h[j].less(&h[m]) {
+				m = j
+			}
+		}
+		if !h[m].less(&ev) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = ev
 }

@@ -9,7 +9,7 @@ type Ticker struct {
 	eng     *Engine
 	period  Time
 	fn      func()
-	timer   *Timer
+	timer   Timer
 	stopped bool
 	until   Time // 0 means no horizon
 	fires   uint64

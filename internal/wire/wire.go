@@ -8,20 +8,44 @@
 // Sizes come from actually serializing the payload with encoding/gob plus
 // a fixed per-message header covering the routing envelope (kind, key,
 // source, hop metadata). gob's self-describing type preamble is amortized
-// away in a long-running connection, so Sizeof subtracts it by encoding
-// two copies and measuring the marginal size of the second.
+// away in a long-running connection, so Sizeof reports only the marginal
+// value encoding.
+//
+// Sizeof sits on the simulator's message hot path (every middleware send
+// stamps its wire size), so it keeps a pool of warmed encoders per concrete
+// payload type: the type-descriptor preamble — by far the expensive part,
+// a reflective walk of the type graph — is paid once per type instead of
+// once per message. gob emits descriptors from the static type on an
+// encoder's first Encode, so a warmed encoder produces exactly the marginal
+// value bytes on every later Encode, and the reported sizes are identical
+// to encoding two copies on a fresh encoder and measuring the second.
 package wire
 
 import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"reflect"
+	"sync"
 )
 
 // HeaderBytes models the routing envelope carried by every message:
 // kind (1) + destination key (8) + source (8) + range bounds (16) +
 // flags/hops (4) + virtual timestamp (8).
 const HeaderBytes = 45
+
+// sizer is one warmed encoder: its stream has already carried the type
+// descriptors of its dedicated payload type, so each further Encode
+// appends only the value bytes.
+type sizer struct {
+	buf bytes.Buffer
+	enc *gob.Encoder
+}
+
+// sizers maps reflect.Type to a *sync.Pool of warmed *sizer values. A pool
+// per type keeps concurrent simulations (the experiment harness fans whole
+// runs out across goroutines) from contending on one encoder.
+var sizers sync.Map
 
 // Sizeof returns the estimated wire size in bytes of a message carrying
 // the given payload: HeaderBytes plus the marginal gob encoding of the
@@ -32,18 +56,32 @@ func Sizeof(payload any) int {
 	if payload == nil {
 		return HeaderBytes
 	}
-	var buf bytes.Buffer
-	enc := gob.NewEncoder(&buf)
-	if err := enc.Encode(payload); err != nil {
+	t := reflect.TypeOf(payload)
+	pv, ok := sizers.Load(t)
+	if !ok {
+		pv, _ = sizers.LoadOrStore(t, &sync.Pool{})
+	}
+	pool := pv.(*sync.Pool)
+	s, _ := pool.Get().(*sizer)
+	if s == nil {
+		s = &sizer{}
+		s.enc = gob.NewEncoder(&s.buf)
+		// First encode of this type on this stream: swallow the
+		// descriptor preamble (plus one value copy) so later encodes
+		// measure only the marginal bytes.
+		if err := s.enc.Encode(payload); err != nil {
+			panic(fmt.Sprintf("wire: unencodable payload %T: %v", payload, err))
+		}
+	}
+	s.buf.Reset()
+	if err := s.enc.Encode(payload); err != nil {
 		panic(fmt.Sprintf("wire: unencodable payload %T: %v", payload, err))
 	}
-	first := buf.Len() // includes the type descriptor preamble
-	if err := enc.Encode(payload); err != nil {
-		panic(fmt.Sprintf("wire: unencodable payload %T: %v", payload, err))
-	}
-	marginal := buf.Len() - first
+	marginal := s.buf.Len()
+	pool.Put(s)
 	if marginal <= 0 {
-		marginal = first // degenerate tiny payloads
+		// Defensive: gob always emits at least a length byte.
+		marginal = 1
 	}
 	return HeaderBytes + marginal
 }

@@ -248,7 +248,9 @@ func (r *Run) Execute() *metrics.Report {
 	r.Eng.RunFor(r.Cfg.Warmup)
 	r.MW.Collector().Reset(r.Eng.Now())
 	r.Eng.RunFor(r.Cfg.Measure)
-	return r.MW.Collector().Snapshot(r.Eng.Now(), r.IDs)
+	rep := r.MW.Collector().Snapshot(r.Eng.Now(), r.IDs)
+	rep.EngineEvents = r.Eng.Executed()
+	return rep
 }
 
 // Stop halts the query arrival process (used when a caller wants to keep

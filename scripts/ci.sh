@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# CI gate for streamdex. Runs the full hygiene + correctness + smoke-perf
+# pipeline; any failure fails the script. Usage: scripts/ci.sh
+#
+#   1. gofmt      — no unformatted files
+#   2. go vet     — static checks
+#   3. go build   — everything compiles
+#   4. go test -race   — full suite under the race detector (also covers
+#                        the serial-vs-parallel determinism regression)
+#   5. smoke bench     — BENCH_FAST=1 figure benchmarks, one iteration,
+#                        so an accidental O(N) regression in the hot paths
+#                        shows up as a CI timeout / obvious slowdown
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== smoke bench (BENCH_FAST=1) =="
+BENCH_FAST=1 go test -run '^$' \
+    -bench 'BenchmarkTable1Workload$|BenchmarkFig6aLoad$|BenchmarkFig7aOverhead$|BenchmarkFig8Hops$' \
+    -benchmem -benchtime 1x .
+BENCH_FAST=1 go test -run '^$' -bench 'SlidingDFTPush' -benchtime 100x ./internal/dsp
+
+echo "CI OK"
