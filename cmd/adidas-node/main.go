@@ -1,0 +1,270 @@
+// Command adidas-node runs one live node of the distributed stream index:
+// a TCP transport endpoint (internal/transport) hosting the full middleware
+// (internal/core), sourcing locally generated streams and answering
+// similarity queries over a line-oriented client protocol.
+//
+// A cluster is built exactly like the paper's deployment story: start the
+// first node with just -listen, then start every further node with
+// -join pointing at any running node. Ring maintenance is continuous;
+// nodes can come up in any order after the first.
+//
+//	adidas-node -listen 127.0.0.1:7001 -api 127.0.0.1:8001 -streams 2
+//	adidas-node -listen 127.0.0.1:7002 -api 127.0.0.1:8002 -streams 2 \
+//	            -join 127.0.0.1:7001
+//
+// The client API (telnet-friendly, one command per line):
+//
+//	QUERY <radius> <lifespan-seconds> <v1,v2,...>   post a similarity query
+//	    -> OK <query-id>
+//	MATCHES <query-id>                              matches received so far
+//	    -> MATCH <stream> <seq> <distLB>  (repeated)
+//	    -> END <count>
+//	RING                                            ring pointers
+//	STREAMS                                         locally sourced streams
+//	QUIT                                            close the connection
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"streamdex/internal/core"
+	"streamdex/internal/dht"
+	"streamdex/internal/query"
+	"streamdex/internal/sim"
+	"streamdex/internal/stream"
+	"streamdex/internal/summary"
+	"streamdex/internal/transport"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:7001", "transport listen address")
+		api     = flag.String("api", "", "client API listen address (default: transport port + 1000)")
+		join    = flag.String("join", "", "bootstrap address of a running node (empty: create a new ring)")
+		idFlag  = flag.Uint64("id", 0, "ring identifier (default: hash of the listen address)")
+		mBits   = flag.Uint("m", 32, "identifier bits of the ring (must match across the cluster)")
+		streams = flag.Int("streams", 1, "number of random-walk streams to source locally")
+		window  = flag.Int("window", 256, "sliding window size (points)")
+		beta    = flag.Int("beta", 10, "MBR batching factor")
+		period  = flag.Duration("period", 200*time.Millisecond, "stream sampling period")
+		push    = flag.Duration("push", 2*time.Second, "push period (notify/response cycle)")
+		seed    = flag.Int64("seed", 1, "seed for stream generators and tick staggering")
+	)
+	flag.Parse()
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+	log.SetPrefix("adidas-node ")
+
+	if err := run(*listen, *api, *join, *idFlag, *mBits, *streams, *window, *beta, *period, *push, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(listen, api, join string, idFlag uint64, mBits uint, streams, window, beta int,
+	period, push time.Duration, seed int64) error {
+	if streams < 0 || window < 2 || beta < 1 || period <= 0 || push <= 0 {
+		return fmt.Errorf("invalid stream/window/beta/period configuration")
+	}
+	space := dht.NewSpace(mBits)
+	id := dht.Key(idFlag)
+	if idFlag == 0 {
+		id = space.HashString("node:" + listen)
+	}
+	if api == "" {
+		var err error
+		if api, err = deriveAPIAddr(listen); err != nil {
+			return err
+		}
+	}
+
+	tcfg := transport.DefaultConfig(id, listen)
+	tcfg.Space = space
+	node, err := transport.New(tcfg)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	log.Printf("node %d listening on %s", node.Self().ID, node.Addr())
+
+	if join == "" {
+		node.Create()
+		log.Printf("created new ring")
+	} else {
+		if err := node.Join(join, 30*time.Second); err != nil {
+			return err
+		}
+		log.Printf("joined ring via %s", join)
+	}
+
+	ccfg := core.DefaultConfig()
+	ccfg.Space = space
+	ccfg.WindowSize = window
+	ccfg.Beta = beta
+	ccfg.PushPeriod = sim.Time(push / time.Microsecond)
+	ccfg.Seed = seed
+
+	var mw *core.Middleware
+	node.Do(func() { mw, err = core.New(node, ccfg) })
+	if err != nil {
+		return err
+	}
+
+	// Source local streams: bounded random walks, the evaluation's
+	// synthetic workload.
+	rng := sim.NewRand(seed).Fork(fmt.Sprintf("node-%d", node.Self().ID))
+	for i := 0; i < streams; i++ {
+		st := stream.Stream{
+			ID:     fmt.Sprintf("n%d-s%d", node.Self().ID, i),
+			Gen:    stream.DefaultRandomWalk(rng.Fork(fmt.Sprintf("walk-%d", i))),
+			Period: sim.Time(period / time.Microsecond),
+		}
+		node.Do(func() { err = mw.DataCenter(node.Self().ID).RegisterStream(st) })
+		if err != nil {
+			return err
+		}
+		log.Printf("sourcing stream %s (period %v)", st.ID, period)
+	}
+
+	apiLn, err := net.Listen("tcp", api)
+	if err != nil {
+		return fmt.Errorf("api listen %s: %w", api, err)
+	}
+	defer apiLn.Close()
+	log.Printf("client API on %s", apiLn.Addr())
+
+	go serveAPI(apiLn, node, mw)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	s := <-sigc
+	log.Printf("received %v, shutting down", s)
+	return nil
+}
+
+// deriveAPIAddr defaults the API port to the transport port + 1000.
+func deriveAPIAddr(listen string) (string, error) {
+	host, portStr, err := net.SplitHostPort(listen)
+	if err != nil {
+		return "", fmt.Errorf("cannot derive -api from -listen %q: %v", listen, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil || port == 0 {
+		return "", fmt.Errorf("cannot derive -api from -listen %q: give -api explicitly", listen)
+	}
+	return net.JoinHostPort(host, strconv.Itoa(port+1000)), nil
+}
+
+func serveAPI(ln net.Listener, node *transport.Node, mw *core.Middleware) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go serveConn(conn, node, mw)
+	}
+}
+
+func serveConn(conn net.Conn, node *transport.Node, mw *core.Middleware) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	reply := func(format string, args ...any) {
+		fmt.Fprintf(w, format+"\n", args...)
+		w.Flush()
+	}
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch strings.ToUpper(fields[0]) {
+		case "QUERY":
+			id, err := handleQuery(node, mw, fields[1:])
+			if err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			reply("OK %d", id)
+		case "MATCHES":
+			if len(fields) != 2 {
+				reply("ERR usage: MATCHES <query-id>")
+				continue
+			}
+			qid, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				reply("ERR bad query id %q", fields[1])
+				continue
+			}
+			var matches []query.Match
+			node.Do(func() { matches = mw.SimilarityMatches(query.ID(qid)) })
+			for _, m := range matches {
+				reply("MATCH %s %d %g", m.StreamID, m.Seq, m.DistLB)
+			}
+			reply("END %d", len(matches))
+		case "RING":
+			info := node.Ring()
+			reply("SELF %d %s", info.Self.ID, info.Self.Addr)
+			if info.Pred != nil {
+				reply("PRED %d %s", info.Pred.ID, info.Pred.Addr)
+			}
+			for _, s := range info.SuccList {
+				reply("SUCC %d %s", s.ID, s.Addr)
+			}
+			reply("END")
+		case "STREAMS":
+			var sids []string
+			node.Do(func() { sids = mw.DataCenter(node.Self().ID).StreamIDs() })
+			for _, sid := range sids {
+				reply("STREAM %s", sid)
+			}
+			reply("END %d", len(sids))
+		case "QUIT":
+			reply("BYE")
+			return
+		default:
+			reply("ERR unknown command %q", fields[0])
+		}
+	}
+}
+
+// handleQuery parses "QUERY <radius> <lifespan-seconds> <v1,v2,...>" and
+// posts the similarity query at this node.
+func handleQuery(node *transport.Node, mw *core.Middleware, args []string) (query.ID, error) {
+	if len(args) != 3 {
+		return 0, fmt.Errorf("usage: QUERY <radius> <lifespan-seconds> <v1,v2,...>")
+	}
+	radius, err := strconv.ParseFloat(args[0], 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad radius %q", args[0])
+	}
+	lifeSecs, err := strconv.ParseFloat(args[1], 64)
+	if err != nil || lifeSecs <= 0 {
+		return 0, fmt.Errorf("bad lifespan %q", args[1])
+	}
+	parts := strings.Split(args[2], ",")
+	dims := mw.Config().FeatureDims
+	if len(parts) != dims {
+		return 0, fmt.Errorf("feature has %d dims, middleware uses %d", len(parts), dims)
+	}
+	f := make(summary.Feature, dims)
+	for i, p := range parts {
+		if f[i], err = strconv.ParseFloat(strings.TrimSpace(p), 64); err != nil {
+			return 0, fmt.Errorf("bad feature coordinate %q", p)
+		}
+	}
+	var qid query.ID
+	var qerr error
+	node.Do(func() {
+		qid, qerr = mw.PostSimilarity(node.Self().ID, f, radius, sim.Time(lifeSecs*float64(sim.Second)))
+	})
+	return qid, qerr
+}

@@ -36,6 +36,33 @@ func main() {
 	)
 	flag.Parse()
 
+	// Validate every flag up front so a bad invocation fails with a clear
+	// message instead of surfacing as a panic or a half-built workload.
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "adidas-sim: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if *nodes < 1 {
+		fail("-nodes must be at least 1, got %d", *nodes)
+	}
+	if *warmup < 0 {
+		fail("-warmup must be non-negative, got %d", *warmup)
+	}
+	if *measure < 0 {
+		fail("-measure must be non-negative, got %d", *measure)
+	}
+	if *beta < 1 {
+		fail("-beta must be positive, got %d", *beta)
+	}
+	if *window < 2 {
+		fail("-window must be at least 2, got %d", *window)
+	}
+	switch *substrate {
+	case "chord", "pastry":
+	default:
+		fail("unknown substrate %q (want chord or pastry)", *substrate)
+	}
+
 	cfg := workload.DefaultConfig(*nodes)
 	cfg.Seed = *seed
 	cfg.Warmup = sim.Time(*warmup) * sim.Second
@@ -52,8 +79,7 @@ func main() {
 	case "tree":
 		cfg.Core.RangeMode = dht.RangeTree
 	default:
-		fmt.Fprintf(os.Stderr, "adidas-sim: unknown range mode %q\n", *rangeMode)
-		os.Exit(1)
+		fail("unknown range mode %q (want seq, bidi or tree)", *rangeMode)
 	}
 
 	r, err := workload.Build(cfg)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"streamdex/internal/clock"
 	"streamdex/internal/dht"
 	"streamdex/internal/sim"
 )
@@ -43,9 +44,11 @@ func DefaultConfig() Config {
 
 // Network simulates a Chord overlay: it owns the nodes, routes data-plane
 // messages hop by hop on the event engine, and reports traffic to the
-// observer. It implements dht.Network.
+// observer. It implements dht.Network. All timing goes through the clock
+// abstraction (a virtual view of the engine), so the protocol logic is
+// shared verbatim with clock-agnostic deployments.
 type Network struct {
-	eng   *sim.Engine
+	clk   clock.Clock
 	cfg   Config
 	space dht.Space
 
@@ -74,7 +77,7 @@ func New(eng *sim.Engine, cfg Config) *Network {
 		cfg.FixFingersEvery = cfg.StabilizeEvery
 	}
 	return &Network{
-		eng:   eng,
+		clk:   clock.Virtual(eng),
 		cfg:   cfg,
 		space: cfg.Space,
 		nodes: make(map[dht.Key]*Node),
@@ -91,8 +94,8 @@ func (net *Network) SetObserver(o dht.Observer) {
 	net.obs = o
 }
 
-// Engine returns the simulation engine the overlay runs on.
-func (net *Network) Engine() *sim.Engine { return net.eng }
+// Clock implements dht.Substrate: the clock the overlay schedules on.
+func (net *Network) Clock() clock.Clock { return net.clk }
 
 // Space implements dht.Network.
 func (net *Network) Space() dht.Space { return net.space }
@@ -256,7 +259,7 @@ func (net *Network) Send(from dht.Key, key dht.Key, msg *dht.Message) {
 	msg.Src = from
 	msg.Key = net.space.Wrap(key)
 	msg.Hops = 0
-	msg.SentAt = net.eng.Now()
+	msg.SentAt = net.clk.Now()
 	net.process(from, msg)
 }
 
@@ -291,7 +294,7 @@ func (net *Network) process(at dht.Key, msg *dht.Message) {
 // receiving node continues Chord routing; otherwise the message is for the
 // neighbor itself and is delivered directly.
 func (net *Network) transmit(from, to dht.Key, msg *dht.Message, route bool) {
-	net.eng.Schedule(net.cfg.HopDelay, func() {
+	net.clk.Schedule(net.cfg.HopDelay, func() {
 		if !net.isAlive(to) {
 			net.dropped++
 			return

@@ -24,8 +24,8 @@ package chord
 import (
 	"fmt"
 
+	"streamdex/internal/clock"
 	"streamdex/internal/dht"
-	"streamdex/internal/sim"
 )
 
 // Node is one simulated Chord node (a data center / sensor proxy in the
@@ -52,7 +52,7 @@ type Node struct {
 	fingerOK   []bool
 	nextFinger int
 
-	tickers []*sim.Ticker
+	tickers []clock.Ticker
 }
 
 // ID returns the node's ring identifier.

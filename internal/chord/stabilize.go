@@ -130,11 +130,11 @@ func trimSelf(list []dht.Key, self dht.Key, max int) []dht.Key {
 // startMaintenance launches the periodic tasks with randomized phases so
 // nodes do not stabilize in lock-step.
 func (net *Network) startMaintenance(n *Node, rng *sim.Rand) {
-	stab := net.eng.EveryAfter(rng.UniformTime(0, net.cfg.StabilizeEvery), net.cfg.StabilizeEvery, func() {
+	stab := net.clk.EveryAfter(rng.UniformTime(0, net.cfg.StabilizeEvery), net.cfg.StabilizeEvery, func() {
 		n.stabilize()
 		n.checkPredecessor()
 	})
-	fix := net.eng.EveryAfter(rng.UniformTime(0, net.cfg.FixFingersEvery), net.cfg.FixFingersEvery, func() {
+	fix := net.clk.EveryAfter(rng.UniformTime(0, net.cfg.FixFingersEvery), net.cfg.FixFingersEvery, func() {
 		n.fixNextFinger()
 	})
 	n.tickers = append(n.tickers, stab, fix)

@@ -1,0 +1,60 @@
+// Package clock abstracts time and timers behind one small interface so the
+// middleware and the Chord protocol logic run unchanged in two worlds:
+//
+//   - the discrete-event simulator (package sim), where time is virtual and
+//     the whole system executes deterministically on one goroutine, and
+//   - a real deployment (package transport / cmd/adidas-node), where time is
+//     the wall clock and events arrive from sockets and OS timers.
+//
+// The unit of time stays sim.Time (microseconds): configuration values such
+// as "stabilize every 500 ms" mean virtual milliseconds under the simulator
+// and real milliseconds on hardware, without conversion at the call sites.
+//
+// Both implementations preserve the execution model the protocol code was
+// written for: callbacks never run concurrently with each other. Virtual
+// delegates to the single-threaded event engine; Wall serializes timer
+// callbacks (and any externally posted work, e.g. decoded network frames)
+// onto one run-loop goroutine.
+package clock
+
+import "streamdex/internal/sim"
+
+// Timer is a handle to a scheduled one-shot callback. The sim.Timer value
+// type implements it directly.
+type Timer interface {
+	// Cancel prevents the callback from firing; it reports whether this
+	// call descheduled it (false if already fired or cancelled).
+	Cancel() bool
+	// Active reports whether the callback is still pending.
+	Active() bool
+}
+
+// Ticker is a handle to a periodic callback. *sim.Ticker implements it
+// directly.
+type Ticker interface {
+	// Stop cancels the ticker; the callback will not run again.
+	Stop()
+	// Active reports whether the ticker will fire again.
+	Active() bool
+	// Fires returns how many times the ticker has fired.
+	Fires() uint64
+}
+
+// Clock is the scheduling surface the protocol layers depend on. All
+// callbacks run serialized: an implementation never invokes two callbacks
+// concurrently, so protocol state needs no locking.
+type Clock interface {
+	// Now returns the current time: virtual microseconds since simulation
+	// start, or wall microseconds since the clock was created.
+	Now() sim.Time
+	// Schedule runs fn once after delay d (>= 0).
+	Schedule(d sim.Time, fn func()) Timer
+	// EveryAfter runs fn first after the initial delay and then every
+	// period (> 0).
+	EveryAfter(initial, period sim.Time, fn func()) Ticker
+}
+
+// Every schedules fn on c every period, first firing after one full period.
+func Every(c Clock, period sim.Time, fn func()) Ticker {
+	return c.EveryAfter(period, period, fn)
+}

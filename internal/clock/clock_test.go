@@ -1,0 +1,176 @@
+package clock
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streamdex/internal/sim"
+)
+
+// TestVirtualDelegates checks that the virtual clock is a transparent view
+// of the engine: same now, same firing order, working cancellation.
+func TestVirtualDelegates(t *testing.T) {
+	eng := sim.NewEngine()
+	c := Virtual(eng)
+
+	var order []int
+	c.Schedule(20*sim.Millisecond, func() { order = append(order, 2) })
+	c.Schedule(10*sim.Millisecond, func() { order = append(order, 1) })
+	cancelled := c.Schedule(15*sim.Millisecond, func() { order = append(order, 99) })
+	if !cancelled.Cancel() {
+		t.Fatal("first Cancel should deschedule")
+	}
+	if cancelled.Cancel() {
+		t.Fatal("second Cancel should be a no-op")
+	}
+
+	tk := Every(c, 5*sim.Millisecond, func() {})
+	eng.RunUntil(22 * sim.Millisecond)
+	tk.Stop()
+
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("firing order %v, want [1 2]", order)
+	}
+	if got := tk.Fires(); got != 4 {
+		t.Fatalf("ticker fired %d times in 22ms at 5ms period, want 4", got)
+	}
+	if c.Now() != eng.Now() {
+		t.Fatalf("clock now %v != engine now %v", c.Now(), eng.Now())
+	}
+}
+
+// TestWallSerializes posts work from many goroutines and checks that
+// callbacks never overlap (the loop guarantee protocol code relies on).
+func TestWallSerializes(t *testing.T) {
+	w := NewWall()
+	defer w.Close()
+
+	var inside atomic.Int32
+	var overlaps atomic.Int32
+	var ran atomic.Int32
+	const posts = 200
+	for i := 0; i < posts; i++ {
+		go w.Post(func() {
+			if inside.Add(1) > 1 {
+				overlaps.Add(1)
+			}
+			inside.Add(-1)
+			ran.Add(1)
+		})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for ran.Load() < posts && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if ran.Load() < posts {
+		t.Fatalf("only %d/%d posted callbacks ran", ran.Load(), posts)
+	}
+	if overlaps.Load() != 0 {
+		t.Fatalf("%d overlapping callbacks", overlaps.Load())
+	}
+}
+
+// TestWallTimerAndTicker exercises scheduling, cancellation and periodic
+// firing against real time.
+func TestWallTimerAndTicker(t *testing.T) {
+	w := NewWall()
+	defer w.Close()
+
+	fired := make(chan struct{})
+	w.Schedule(time1ms(), func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("one-shot timer never fired")
+	}
+
+	var cancelledRan atomic.Bool
+	tm := w.Schedule(50*sim.Millisecond, func() { cancelledRan.Store(true) })
+	if !tm.Cancel() {
+		t.Fatal("Cancel of pending timer should succeed")
+	}
+	if tm.Active() {
+		t.Fatal("cancelled timer still active")
+	}
+
+	tick := make(chan struct{}, 64)
+	tk := w.EveryAfter(0, time1ms(), func() { tick <- struct{}{} })
+	for i := 0; i < 3; i++ {
+		select {
+		case <-tick:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("ticker stalled after %d fires", i)
+		}
+	}
+	tk.Stop()
+	if tk.Active() {
+		t.Fatal("stopped ticker still active")
+	}
+	if tk.Fires() < 3 {
+		t.Fatalf("ticker fired %d times, want >= 3", tk.Fires())
+	}
+
+	time.Sleep(80 * time.Millisecond)
+	if cancelledRan.Load() {
+		t.Fatal("cancelled timer callback ran")
+	}
+}
+
+// TestWallTickerStopsItself checks the sim.Ticker contract that fn may stop
+// its own ticker.
+func TestWallTickerStopsItself(t *testing.T) {
+	w := NewWall()
+	defer w.Close()
+
+	done := make(chan uint64, 1)
+	var tk Ticker
+	w.Do(func() {
+		tk = w.EveryAfter(0, time1ms(), func() {
+			if tk.Fires() == 2 {
+				tk.Stop()
+				done <- tk.Fires()
+			}
+		})
+	})
+	select {
+	case n := <-done:
+		if n != 2 {
+			t.Fatalf("self-stopped after %d fires, want 2", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("self-stopping ticker never stopped")
+	}
+	fires := tk.Fires()
+	time.Sleep(20 * time.Millisecond)
+	if tk.Fires() != fires {
+		t.Fatal("ticker kept firing after stopping itself")
+	}
+}
+
+// TestWallDoAndClose checks Do round-trips and that Close is idempotent and
+// releases pending posts.
+func TestWallDoAndClose(t *testing.T) {
+	w := NewWall()
+	v := 0
+	w.Do(func() { v = 42 })
+	if v != 42 {
+		t.Fatalf("Do result %d, want 42", v)
+	}
+	if now := w.Now(); now < 0 {
+		t.Fatalf("negative wall now %v", now)
+	}
+	w.Close()
+	w.Close() // idempotent
+	if w.Post(func() {}) {
+		t.Fatal("Post after Close should report false")
+	}
+	// Do after close runs inline.
+	v = 0
+	w.Do(func() { v = 7 })
+	if v != 7 {
+		t.Fatal("Do after Close should run inline")
+	}
+}
+
+func time1ms() sim.Time { return sim.Millisecond }

@@ -1,0 +1,36 @@
+package clock
+
+import "streamdex/internal/sim"
+
+// virtual adapts a *sim.Engine to the Clock interface. It is a zero-cost
+// wrapper: sim.Timer and *sim.Ticker already satisfy Timer and Ticker, and
+// scheduling order is exactly the engine's, so simulations behave (and
+// reproduce) bit-identically to scheduling on the engine directly.
+type virtual struct {
+	eng *sim.Engine
+}
+
+// Virtual returns a Clock backed by the simulation engine.
+func Virtual(eng *sim.Engine) Clock {
+	if eng == nil {
+		panic("clock: Virtual with nil engine")
+	}
+	return virtual{eng: eng}
+}
+
+// Now implements Clock.
+func (v virtual) Now() sim.Time { return v.eng.Now() }
+
+// Schedule implements Clock.
+func (v virtual) Schedule(d sim.Time, fn func()) Timer { return v.eng.Schedule(d, fn) }
+
+// EveryAfter implements Clock.
+func (v virtual) EveryAfter(initial, period sim.Time, fn func()) Ticker {
+	return v.eng.EveryAfter(initial, period, fn)
+}
+
+// Compile-time interface checks against the sim types.
+var (
+	_ Timer  = sim.Timer{}
+	_ Ticker = (*sim.Ticker)(nil)
+)

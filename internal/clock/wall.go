@@ -1,0 +1,228 @@
+package clock
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamdex/internal/sim"
+)
+
+// Wall is the real-time Clock: one sim.Time microsecond equals one wall
+// microsecond. It owns a run loop — a single goroutine that executes every
+// timer callback and every function handed to Post — so code written for
+// the simulator's serialized execution model runs unchanged on it. The
+// live transport posts decoded network frames into the same loop, which is
+// what makes per-node protocol state lock-free in a real deployment.
+type Wall struct {
+	epoch time.Time
+
+	tasks chan func()
+	quit  chan struct{}
+	done  chan struct{}
+
+	closing  atomic.Bool
+	quitOnce sync.Once
+}
+
+// NewWall creates a wall clock and starts its run loop.
+func NewWall() *Wall {
+	w := &Wall{
+		epoch: time.Now(),
+		tasks: make(chan func(), 4096),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go w.loop()
+	return w
+}
+
+func (w *Wall) loop() {
+	defer close(w.done)
+	for {
+		select {
+		case fn := <-w.tasks:
+			fn()
+		case <-w.quit:
+			// Drain tasks already queued so Post callers blocked on a
+			// full channel are released, then stop without running them.
+			for {
+				select {
+				case <-w.tasks:
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Now implements Clock: microseconds of wall time since the clock was
+// created.
+func (w *Wall) Now() sim.Time {
+	return sim.Time(time.Since(w.epoch) / time.Microsecond)
+}
+
+// Duration converts a sim.Time span to a wall-clock duration.
+func Duration(d sim.Time) time.Duration {
+	return time.Duration(d) * time.Microsecond
+}
+
+// Post enqueues fn onto the run loop and returns immediately. It reports
+// false (and drops fn) once the clock is closed. Post blocks only when the
+// loop has fallen a full queue behind; it must not be called from inside a
+// loop callback in that state, so loop callbacks should call fn directly
+// instead of posting to themselves.
+func (w *Wall) Post(fn func()) bool {
+	if w.closing.Load() {
+		return false
+	}
+	select {
+	case w.tasks <- fn:
+		return true
+	case <-w.quit:
+		return false
+	}
+}
+
+// Do runs fn on the loop and waits for it to finish. After Close it runs
+// fn inline (the loop is gone, so there is nothing to race with). It must
+// not be called from inside a loop callback — call fn directly there.
+func (w *Wall) Do(fn func()) {
+	ran := make(chan struct{})
+	if !w.Post(func() { fn(); close(ran) }) {
+		fn()
+		return
+	}
+	select {
+	case <-ran:
+	case <-w.done:
+		// Closed while queued; the drain dropped the task.
+	}
+}
+
+// Close stops the run loop and waits for it to exit. Pending and future
+// callbacks are discarded. Close is idempotent.
+func (w *Wall) Close() {
+	w.closing.Store(true)
+	w.quitOnce.Do(func() { close(w.quit) })
+	<-w.done
+}
+
+// --- timers ----------------------------------------------------------------
+
+const (
+	timerPending int32 = iota
+	timerFired
+	timerCancelled
+)
+
+type wallTimer struct {
+	w     *Wall
+	state atomic.Int32
+	t     *time.Timer
+}
+
+// Schedule implements Clock. The callback runs on the loop.
+func (w *Wall) Schedule(d sim.Time, fn func()) Timer {
+	if d < 0 {
+		panic("clock: negative delay")
+	}
+	if fn == nil {
+		panic("clock: nil timer function")
+	}
+	t := &wallTimer{w: w}
+	t.t = time.AfterFunc(Duration(d), func() {
+		w.Post(func() {
+			if t.state.CompareAndSwap(timerPending, timerFired) {
+				fn()
+			}
+		})
+	})
+	return t
+}
+
+// Cancel implements Timer.
+func (t *wallTimer) Cancel() bool {
+	if t.state.CompareAndSwap(timerPending, timerCancelled) {
+		t.t.Stop()
+		return true
+	}
+	return false
+}
+
+// Active implements Timer.
+func (t *wallTimer) Active() bool { return t.state.Load() == timerPending }
+
+type wallTicker struct {
+	w      *Wall
+	period sim.Time
+	fn     func()
+
+	stopped atomic.Bool
+	fires   atomic.Uint64
+
+	mu sync.Mutex
+	t  *time.Timer
+}
+
+// EveryAfter implements Clock. The callback runs on the loop; as in the
+// simulator, the next firing is scheduled only after the callback returns,
+// so a slow callback delays the train instead of stacking up.
+func (w *Wall) EveryAfter(initial, period sim.Time, fn func()) Ticker {
+	if period <= 0 {
+		panic("clock: non-positive ticker period")
+	}
+	if fn == nil {
+		panic("clock: nil ticker function")
+	}
+	tk := &wallTicker{w: w, period: period, fn: fn}
+	tk.arm(initial)
+	return tk
+}
+
+func (tk *wallTicker) arm(d sim.Time) {
+	tk.mu.Lock()
+	defer tk.mu.Unlock()
+	if tk.stopped.Load() {
+		return
+	}
+	tk.t = time.AfterFunc(Duration(d), func() {
+		tk.w.Post(tk.run)
+	})
+}
+
+func (tk *wallTicker) run() {
+	if tk.stopped.Load() {
+		return
+	}
+	tk.fires.Add(1)
+	tk.fn()
+	if tk.stopped.Load() { // fn may stop its own ticker
+		return
+	}
+	tk.arm(tk.period)
+}
+
+// Stop implements Ticker.
+func (tk *wallTicker) Stop() {
+	tk.stopped.Store(true)
+	tk.mu.Lock()
+	if tk.t != nil {
+		tk.t.Stop()
+	}
+	tk.mu.Unlock()
+}
+
+// Active implements Ticker.
+func (tk *wallTicker) Active() bool { return !tk.stopped.Load() }
+
+// Fires implements Ticker.
+func (tk *wallTicker) Fires() uint64 { return tk.fires.Load() }
+
+// Compile-time interface checks.
+var (
+	_ Clock  = (*Wall)(nil)
+	_ Timer  = (*wallTimer)(nil)
+	_ Ticker = (*wallTicker)(nil)
+)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"streamdex/internal/clock"
 	"streamdex/internal/dht"
 	"streamdex/internal/dsp"
 	"streamdex/internal/metrics"
@@ -46,13 +47,13 @@ type DataCenter struct {
 
 	// relay buffers notify items received from neighbors, to be moved
 	// one further ring hop toward their middle node on the next period.
-	relay []notifyItem
+	relay []NotifyItem
 
 	// scratch is reused across store candidate walks to avoid a per-query
 	// allocation.
 	scratch []query.Match
 
-	ticker *sim.Ticker
+	ticker clock.Ticker
 }
 
 // localStream is one stream this data center sources.
@@ -60,7 +61,7 @@ type localStream struct {
 	st      stream.Stream
 	sdft    *dsp.SlidingDFT
 	batcher *summary.Batcher
-	ticker  *sim.Ticker
+	ticker  clock.Ticker
 }
 
 func newDataCenter(id dht.Key, mw *Middleware) *DataCenter {
@@ -161,11 +162,11 @@ func (dc *DataCenter) RegisterStream(st stream.Stream) error {
 		ls.sdft.PushBatch(hist)
 	}
 	phase := dc.mw.rng.UniformTime(0, st.Period)
-	ls.ticker = dc.mw.eng.EveryAfter(phase, st.Period, func() { dc.streamTick(ls) })
+	ls.ticker = dc.mw.clk.EveryAfter(phase, st.Period, func() { dc.streamTick(ls) })
 
 	// Location-service registration.
 	key := dc.mw.locKey(st.ID)
-	msg := sized(&dht.Message{Kind: KindLocPut, Payload: locPut{StreamID: st.ID, Source: dc.id}})
+	msg := sized(&dht.Message{Kind: KindLocPut, Payload: LocPut{StreamID: st.ID, Source: dc.id}})
 	dc.mw.net.Send(dc.id, key, msg)
 	return nil
 }
@@ -191,7 +192,7 @@ func (dc *DataCenter) streamTick(ls *localStream) {
 // (§IV-G): it is replicated at every node that succeeds a key in
 // [h(L1), h(H1)].
 func (dc *DataCenter) publishMBR(b *summary.MBR) {
-	now := dc.mw.eng.Now()
+	now := dc.mw.clk.Now()
 	b.Created = now
 	b.Expiry = now + dc.mw.cfg.MBRLifespan
 	dc.mw.col.CountEvent(metrics.EventMBR)
@@ -202,14 +203,14 @@ func (dc *DataCenter) publishMBR(b *summary.MBR) {
 	dc.matchNewMBR(b)
 
 	lo, hi := b.KeyRange(dc.mw.mapper)
-	msg := sized(&dht.Message{Kind: KindMBR, Payload: mbrUpdate{MBR: b}})
+	msg := sized(&dht.Message{Kind: KindMBR, Payload: MBRUpdate{MBR: b}})
 	dht.SendRange(dc.mw.net, dc.id, lo, hi, msg, dc.mw.cfg.RangeMode)
 }
 
 // matchNewMBR tests a just-arrived MBR against every registered
 // subscription.
 func (dc *DataCenter) matchNewMBR(b *summary.MBR) {
-	now := dc.mw.eng.Now()
+	now := dc.mw.clk.Now()
 	for _, sub := range dc.subs {
 		if now >= sub.q.Expiry() {
 			continue
@@ -237,10 +238,10 @@ func (dc *DataCenter) Deliver(self dht.Key, msg *dht.Message) {
 	case KindNotify:
 		dc.onNotify(msg)
 	case KindResponse:
-		p := msg.Payload.(responseMsg)
+		p := msg.Payload.(ResponseMsg)
 		dc.mw.deliverSimilarity(dc.id, p)
 	case KindLocPut:
-		p := msg.Payload.(locPut)
+		p := msg.Payload.(LocPut)
 		dc.locTable[p.StreamID] = p.Source
 	case KindLocGet:
 		dc.onLocGet(msg)
@@ -249,7 +250,7 @@ func (dc *DataCenter) Deliver(self dht.Key, msg *dht.Message) {
 	case KindIPSub:
 		dc.onIPSub(msg)
 	case KindIPResp:
-		p := msg.Payload.(ipResp)
+		p := msg.Payload.(IPResp)
 		dc.mw.deliverIP(dc.id, p)
 	default:
 		dc.mw.unclassified++
@@ -259,8 +260,8 @@ func (dc *DataCenter) Deliver(self dht.Key, msg *dht.Message) {
 // onMBR stores a replicated summary, matches it, and keeps the range
 // multicast going.
 func (dc *DataCenter) onMBR(msg *dht.Message) {
-	b := msg.Payload.(mbrUpdate).MBR
-	if !b.Expired(dc.mw.eng.Now()) {
+	b := msg.Payload.(MBRUpdate).MBR
+	if !b.Expired(dc.mw.clk.Now()) {
 		dc.store.Put(b)
 		dc.matchNewMBR(b)
 	}
@@ -271,8 +272,8 @@ func (dc *DataCenter) onMBR(msg *dht.Message) {
 // the local index for immediate candidates, installs the aggregator when
 // this node covers the middle key, and continues the range multicast.
 func (dc *DataCenter) onQuery(msg *dht.Message) {
-	p := msg.Payload.(simQuery)
-	now := dc.mw.eng.Now()
+	p := msg.Payload.(SimQuery)
+	now := dc.mw.clk.Now()
 	if now < p.Q.Expiry() {
 		if _, dup := dc.subs[p.Q.ID]; !dup {
 			sub := newSimSub(p.Q, p.MiddleKey)
@@ -294,14 +295,14 @@ func (dc *DataCenter) onQuery(msg *dht.Message) {
 // onNotify absorbs items destined for this node's aggregators and buffers
 // the rest for the next relay period.
 func (dc *DataCenter) onNotify(msg *dht.Message) {
-	p := msg.Payload.(notifyBatch)
+	p := msg.Payload.(NotifyBatch)
 	for _, item := range p.Items {
 		dc.absorbOrRelay(item)
 	}
 }
 
-func (dc *DataCenter) absorbOrRelay(item notifyItem) {
-	now := dc.mw.eng.Now()
+func (dc *DataCenter) absorbOrRelay(item NotifyItem) {
+	now := dc.mw.clk.Now()
 	if now >= sim.Time(item.Expiry) {
 		return // stale query: drop
 	}
@@ -321,16 +322,16 @@ func (dc *DataCenter) absorbOrRelay(item notifyItem) {
 
 // onLocGet answers a location-service lookup.
 func (dc *DataCenter) onLocGet(msg *dht.Message) {
-	p := msg.Payload.(locGet)
+	p := msg.Payload.(LocGet)
 	src, found := dc.locTable[p.StreamID]
-	reply := sized(&dht.Message{Kind: KindLocReply, Payload: locReply{StreamID: p.StreamID, Source: src, Found: found}})
+	reply := sized(&dht.Message{Kind: KindLocReply, Payload: LocReply{StreamID: p.StreamID, Source: src, Found: found}})
 	dc.mw.net.Send(dc.id, p.Requester, reply)
 }
 
 // onLocReply caches the resolution and dispatches the inner-product
 // queries that were waiting for it.
 func (dc *DataCenter) onLocReply(msg *dht.Message) {
-	p := msg.Payload.(locReply)
+	p := msg.Payload.(LocReply)
 	waiting := dc.pendingIP[p.StreamID]
 	delete(dc.pendingIP, p.StreamID)
 	if !p.Found {
@@ -349,13 +350,13 @@ func (dc *DataCenter) sendIPSub(source dht.Key, q *query.InnerProduct) {
 		dc.registerIPSub(q)
 		return
 	}
-	msg := sized(&dht.Message{Kind: KindIPSub, Payload: ipSub{Q: q}})
+	msg := sized(&dht.Message{Kind: KindIPSub, Payload: IPSub{Q: q}})
 	dc.mw.net.Send(dc.id, source, msg)
 }
 
 // onIPSub registers an inner-product subscription at the stream source.
 func (dc *DataCenter) onIPSub(msg *dht.Message) {
-	dc.registerIPSub(msg.Payload.(ipSub).Q)
+	dc.registerIPSub(msg.Payload.(IPSub).Q)
 }
 
 func (dc *DataCenter) registerIPSub(q *query.InnerProduct) {
@@ -370,7 +371,7 @@ func (dc *DataCenter) registerIPSub(q *query.InnerProduct) {
 func (dc *DataCenter) startTicker() {
 	period := dc.mw.cfg.PushPeriod
 	phase := dc.mw.rng.UniformTime(0, period)
-	dc.ticker = dc.mw.eng.EveryAfter(phase, period, dc.periodTick)
+	dc.ticker = dc.mw.clk.EveryAfter(phase, period, dc.periodTick)
 }
 
 // periodTick runs once per push period: sweep soft state, funnel
@@ -381,7 +382,7 @@ func (dc *DataCenter) periodTick() {
 		dc.ticker.Stop()
 		return
 	}
-	now := dc.mw.eng.Now()
+	now := dc.mw.clk.Now()
 	dc.sweep(now)
 	dc.flushNotifies(now)
 	dc.pushResponses(now)
@@ -415,10 +416,10 @@ func (dc *DataCenter) sweep(now sim.Time) {
 // at least one query range in that direction, matching the constant
 // neighbor-exchange load component of Fig. 6(a).
 func (dc *DataCenter) flushNotifies(now sim.Time) {
-	var toSucc, toPred []notifyItem
+	var toSucc, toPred []NotifyItem
 	dirSucc, dirPred := false, false
 
-	bucket := func(item notifyItem) {
+	bucket := func(item NotifyItem) {
 		if dc.toSuccessor(item.MiddleKey) {
 			toSucc = append(toSucc, item)
 		} else {
@@ -457,7 +458,7 @@ func (dc *DataCenter) flushNotifies(now sim.Time) {
 		if len(pending) == 0 {
 			continue
 		}
-		bucket(notifyItem{
+		bucket(NotifyItem{
 			QueryID:   id,
 			MiddleKey: sub.middleKey,
 			ClientKey: sub.q.Origin,
@@ -467,11 +468,11 @@ func (dc *DataCenter) flushNotifies(now sim.Time) {
 	}
 
 	if len(toSucc) > 0 || dirSucc {
-		msg := sized(&dht.Message{Kind: KindNotify, Src: dc.id, SentAt: now, Payload: notifyBatch{Items: toSucc}})
+		msg := sized(&dht.Message{Kind: KindNotify, Src: dc.id, SentAt: now, Payload: NotifyBatch{Items: toSucc}})
 		dc.mw.net.SendToSuccessor(dc.id, msg)
 	}
 	if len(toPred) > 0 || dirPred {
-		msg := sized(&dht.Message{Kind: KindNotify, Src: dc.id, SentAt: now, Payload: notifyBatch{Items: toPred}})
+		msg := sized(&dht.Message{Kind: KindNotify, Src: dc.id, SentAt: now, Payload: NotifyBatch{Items: toPred}})
 		dc.mw.net.SendToPredecessor(dc.id, msg)
 	}
 }
@@ -491,7 +492,7 @@ func (dc *DataCenter) pushResponses(now sim.Time) {
 			continue
 		}
 		dc.mw.col.CountEvent(metrics.EventResponse)
-		payload := responseMsg{QueryID: id, Matches: agg.takePending()}
+		payload := ResponseMsg{QueryID: id, Matches: agg.takePending()}
 		if agg.client == dc.id {
 			// Client co-located with the middle node: local delivery.
 			dc.mw.deliverSimilarity(dc.id, payload)
@@ -519,7 +520,7 @@ func (dc *DataCenter) pushInnerProducts(now sim.Time) {
 			}
 			v += st.q.Weights[j] * approx[idx]
 		}
-		payload := ipResp{QueryID: id, Value: query.IPValue{Value: v, At: now, Approx: true}}
+		payload := IPResp{QueryID: id, Value: query.IPValue{Value: v, At: now, Approx: true}}
 		if st.q.Origin == dc.id {
 			dc.mw.deliverIP(dc.id, payload)
 			continue

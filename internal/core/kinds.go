@@ -36,23 +36,37 @@ const (
 	KindIPResp
 )
 
-// Payload types carried by the messages above.
+// Payload types carried by the messages above. Every type is registered
+// with the wire codec so the live transport can gob-encode them through
+// dht.Message's interface-typed Payload field.
 
-// mbrUpdate is the payload of KindMBR.
-type mbrUpdate struct {
+func init() {
+	wire.RegisterPayload(MBRUpdate{})
+	wire.RegisterPayload(SimQuery{})
+	wire.RegisterPayload(NotifyBatch{})
+	wire.RegisterPayload(ResponseMsg{})
+	wire.RegisterPayload(LocPut{})
+	wire.RegisterPayload(LocGet{})
+	wire.RegisterPayload(LocReply{})
+	wire.RegisterPayload(IPSub{})
+	wire.RegisterPayload(IPResp{})
+}
+
+// MBRUpdate is the payload of KindMBR.
+type MBRUpdate struct {
 	MBR *summary.MBR
 }
 
-// simQuery is the payload of KindQuery. MiddleKey is precomputed by the
+// SimQuery is the payload of KindQuery. MiddleKey is precomputed by the
 // origin so every covering node agrees on the aggregation point.
-type simQuery struct {
+type SimQuery struct {
 	Q         *query.Similarity
 	MiddleKey dht.Key
 }
 
-// notifyItem carries the candidates a node collected for one query, moving
+// NotifyItem carries the candidates a node collected for one query, moving
 // one ring hop per push period toward the query's middle node.
-type notifyItem struct {
+type NotifyItem struct {
 	QueryID   query.ID
 	MiddleKey dht.Key
 	ClientKey dht.Key
@@ -60,45 +74,45 @@ type notifyItem struct {
 	Matches   []query.Match
 }
 
-// notifyBatch is the payload of KindNotify: all items traveling in the
+// NotifyBatch is the payload of KindNotify: all items traveling in the
 // same ring direction, aggregated ("these messages contain aggregated
 // similarities for all queries that the node knows about").
-type notifyBatch struct {
-	Items []notifyItem
+type NotifyBatch struct {
+	Items []NotifyItem
 }
 
-// responseMsg is the payload of KindResponse.
-type responseMsg struct {
+// ResponseMsg is the payload of KindResponse.
+type ResponseMsg struct {
 	QueryID query.ID
 	Matches []query.Match // may be empty: periodic "no new similarities"
 }
 
-// locPut is the payload of KindLocPut.
-type locPut struct {
+// LocPut is the payload of KindLocPut.
+type LocPut struct {
 	StreamID string
 	Source   dht.Key
 }
 
-// locGet is the payload of KindLocGet.
-type locGet struct {
+// LocGet is the payload of KindLocGet.
+type LocGet struct {
 	StreamID  string
 	Requester dht.Key
 }
 
-// locReply is the payload of KindLocReply.
-type locReply struct {
+// LocReply is the payload of KindLocReply.
+type LocReply struct {
 	StreamID string
 	Source   dht.Key
 	Found    bool
 }
 
-// ipSub is the payload of KindIPSub.
-type ipSub struct {
+// IPSub is the payload of KindIPSub.
+type IPSub struct {
 	Q *query.InnerProduct
 }
 
-// ipResp is the payload of KindIPResp.
-type ipResp struct {
+// IPResp is the payload of KindIPResp.
+type IPResp struct {
 	QueryID query.ID
 	Value   query.IPValue
 }

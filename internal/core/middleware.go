@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"streamdex/internal/clock"
 	"streamdex/internal/dht"
 	"streamdex/internal/dsp"
 	"streamdex/internal/metrics"
@@ -17,7 +18,7 @@ import (
 // view", Fig. 5).
 type Middleware struct {
 	cfg    Config
-	eng    *sim.Engine
+	clk    clock.Clock
 	net    dht.Substrate
 	mapper summary.Mapper
 	col    *metrics.Collector
@@ -45,9 +46,11 @@ type Middleware struct {
 }
 
 // New attaches the middleware to every live node of an existing overlay —
-// any dht.Substrate implementation (Chord, Pastry-style, ...). The
+// any dht.Substrate implementation (simulated Chord, Pastry-style, or the
+// live TCP transport). All periodic processes are scheduled on the
+// substrate's clock, so the same code runs in virtual and wall time. The
 // collector is installed as the network's traffic observer.
-func New(eng *sim.Engine, net dht.Substrate, cfg Config) (*Middleware, error) {
+func New(net dht.Substrate, cfg Config) (*Middleware, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -56,7 +59,7 @@ func New(eng *sim.Engine, net dht.Substrate, cfg Config) (*Middleware, error) {
 	}
 	mw := &Middleware{
 		cfg:         cfg,
-		eng:         eng,
+		clk:         net.Clock(),
 		net:         net,
 		mapper:      summary.NewMapper(cfg.Space),
 		col:         metrics.NewCollector(classifier{}),
@@ -101,8 +104,8 @@ func (mw *Middleware) Collector() *metrics.Collector { return mw.col }
 // Mapper exposes the content-to-key mapping function h.
 func (mw *Middleware) Mapper() summary.Mapper { return mw.mapper }
 
-// Engine returns the simulation engine.
-func (mw *Middleware) Engine() *sim.Engine { return mw.eng }
+// Clock returns the clock the middleware schedules on.
+func (mw *Middleware) Clock() clock.Clock { return mw.clk }
 
 // Network returns the routing substrate.
 func (mw *Middleware) Network() dht.Substrate { return mw.net }
@@ -140,7 +143,7 @@ func (mw *Middleware) PostSimilarity(origin dht.Key, f summary.Feature, radius f
 		Feature:  f.Clone(),
 		Radius:   radius,
 		Norm:     mw.cfg.Norm,
-		Posted:   mw.eng.Now(),
+		Posted:   mw.clk.Now(),
 		Lifespan: lifespan,
 	}
 	if err := q.Validate(); err != nil {
@@ -149,7 +152,7 @@ func (mw *Middleware) PostSimilarity(origin dht.Key, f summary.Feature, radius f
 	mw.col.CountEvent(metrics.EventQuery)
 	lo, hi := mw.mapper.QueryRange(f.Routing(), radius)
 	middle := mw.cfg.Space.Midpoint(lo, hi)
-	msg := sized(&dht.Message{Kind: KindQuery, Payload: simQuery{Q: q, MiddleKey: middle}})
+	msg := sized(&dht.Message{Kind: KindQuery, Payload: SimQuery{Q: q, MiddleKey: middle}})
 	dht.SendRange(mw.net, origin, lo, hi, msg, mw.cfg.RangeMode)
 	return q.ID, nil
 }
@@ -180,7 +183,7 @@ func (mw *Middleware) PostInnerProduct(origin dht.Key, sid string, index []int, 
 		StreamID: sid,
 		Index:    append([]int(nil), index...),
 		Weights:  append([]float64(nil), weights...),
-		Posted:   mw.eng.Now(),
+		Posted:   mw.clk.Now(),
 		Lifespan: lifespan,
 	}
 	if err := q.Validate(); err != nil {
@@ -197,7 +200,7 @@ func (mw *Middleware) PostInnerProduct(origin dht.Key, sid string, index []int, 
 		dc.pendingIP[sid] = append(pending, q)
 		if len(pending) == 0 {
 			// First query for this stream: resolve the source.
-			msg := sized(&dht.Message{Kind: KindLocGet, Payload: locGet{StreamID: sid, Requester: origin}})
+			msg := sized(&dht.Message{Kind: KindLocGet, Payload: LocGet{StreamID: sid, Requester: origin}})
 			mw.net.Send(origin, mw.locKey(sid), msg)
 		}
 	}
@@ -215,7 +218,7 @@ func (mw *Middleware) newQueryID() query.ID {
 }
 
 // deliverSimilarity records a response arriving at the client node.
-func (mw *Middleware) deliverSimilarity(at dht.Key, p responseMsg) {
+func (mw *Middleware) deliverSimilarity(at dht.Key, p ResponseMsg) {
 	mw.simResponse[p.QueryID]++
 	var fresh []query.Match
 	seen := mw.simSeen[p.QueryID]
@@ -243,7 +246,7 @@ func (mw *Middleware) deliverSimilarity(at dht.Key, p responseMsg) {
 }
 
 // deliverIP records an inner-product value arriving at the client node.
-func (mw *Middleware) deliverIP(at dht.Key, p ipResp) {
+func (mw *Middleware) deliverIP(at dht.Key, p IPResp) {
 	mw.ipValues[p.QueryID] = append(mw.ipValues[p.QueryID], p.Value)
 	if mw.OnInnerProduct != nil {
 		mw.OnInnerProduct(p.QueryID, p.Value)

@@ -38,7 +38,7 @@ func testCluster(t *testing.T, n int, cfg Config, withMaintenance bool) (*sim.En
 	net := chord.New(eng, ccfg)
 	ids := chord.SortKeys(chord.UniformIDs(cfg.Space, n))
 	net.BuildStable(ids, nil)
-	mw, err := New(eng, net, cfg)
+	mw, err := New(net, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -507,7 +507,7 @@ func TestMiddlewareSpaceMismatch(t *testing.T) {
 	net := chord.New(eng, chord.Config{Space: dht.NewSpace(16), SuccListLen: 2})
 	net.BuildStable([]dht.Key{1, 100}, nil)
 	cfg := testConfig() // m = 32
-	if _, err := New(eng, net, cfg); err == nil {
+	if _, err := New(net, cfg); err == nil {
 		t.Fatal("space mismatch accepted")
 	}
 }

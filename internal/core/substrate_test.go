@@ -22,7 +22,7 @@ func pastryCluster(t *testing.T, n int, cfg Config) (*sim.Engine, *pastry.Networ
 	net := pastry.New(eng, pastry.Config{Space: cfg.Space, HopDelay: 50 * sim.Millisecond, LeafSize: 8})
 	ids := chord.SortKeys(chord.UniformIDs(cfg.Space, n))
 	net.BuildStable(ids, nil)
-	mw, err := New(eng, net, cfg)
+	mw, err := New(net, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func testClusterBare(t *testing.T, n int, cfg Config) (*sim.Engine, *chord.Netwo
 	net := chord.New(eng, chord.Config{Space: cfg.Space, HopDelay: 50 * sim.Millisecond, SuccListLen: 4})
 	ids := chord.SortKeys(chord.UniformIDs(cfg.Space, n))
 	net.BuildStable(ids, nil)
-	mw, err := New(eng, net, cfg)
+	mw, err := New(net, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

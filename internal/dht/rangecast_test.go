@@ -155,3 +155,88 @@ func TestHashBytesAndNopObserver(t *testing.T) {
 	o.OnTransmit(1, 2, &Message{})
 	o.OnDeliver(1, &Message{})
 }
+
+// collectVisits wires every ring node to record deliveries and continue
+// the multicast, returning the shared visit log.
+func collectVisits(net *mockNet) *[]Key {
+	visited := &[]Key{}
+	for _, id := range net.ring {
+		net.apps[id] = AppFunc(func(self Key, msg *Message) {
+			*visited = append(*visited, self)
+			ContinueRange(net, self, msg)
+		})
+	}
+	return visited
+}
+
+func assertVisitedSet(t *testing.T, visited []Key, want []Key) {
+	t.Helper()
+	seen := map[Key]bool{}
+	for _, id := range visited {
+		if seen[id] {
+			t.Fatalf("duplicate delivery at %d; visits %v", id, visited)
+		}
+		seen[id] = true
+	}
+	if len(visited) != len(want) {
+		t.Fatalf("visited %v, want set %v", visited, want)
+	}
+	for _, id := range want {
+		if !seen[id] {
+			t.Fatalf("node %d missed; visits %v", id, visited)
+		}
+	}
+}
+
+// A single-node ring covers every key itself: the multicast must deliver
+// exactly once and terminate without any continuation leg, in both modes.
+func TestSendRangeSingleNodeRing(t *testing.T) {
+	for _, mode := range []RangeMode{RangeSequential, RangeBidirectional} {
+		net := newMockNet(8, []Key{42})
+		visited := collectVisits(net)
+		SendRange(net, 42, 100, 200, &Message{}, mode)
+		assertVisitedSet(t, *visited, []Key{42})
+		if net.transmissions != 0 {
+			t.Fatalf("%v: %d transmissions on a one-node ring, want 0", mode, net.transmissions)
+		}
+	}
+}
+
+// A range wrapping the origin of the identifier circle ([240, 30] on an
+// 8-bit ring) must reach every node whose interval intersects either side
+// of the wrap, exactly once.
+func TestSendRangeWrappedAcrossOrigin(t *testing.T) {
+	want := []Key{250, 10, 50}
+	for _, mode := range []RangeMode{RangeSequential, RangeBidirectional} {
+		net := newMockNet(8, []Key{10, 50, 100, 150, 200, 250})
+		visited := collectVisits(net)
+		SendRange(net, 100, 240, 30, &Message{}, mode)
+		assertVisitedSet(t, *visited, want)
+	}
+}
+
+// A degenerate single-key range (lo == hi) is delivered to exactly the one
+// covering node; no continuation leg may fire in either mode.
+func TestSendRangeSingleKey(t *testing.T) {
+	for _, mode := range []RangeMode{RangeSequential, RangeBidirectional} {
+		net := newMockNet(8, []Key{10, 50, 100, 150, 200, 250})
+		visited := collectVisits(net)
+		SendRange(net, 10, 120, 120, &Message{}, mode)
+		assertVisitedSet(t, *visited, []Key{150})
+		if net.transmissions != 1 {
+			t.Fatalf("%v: %d transmissions for a single-key range, want 1 (the routed leg)", mode, net.transmissions)
+		}
+	}
+}
+
+// The same wrapped range must also work when the originating node itself
+// lies inside the range (the continuation must still stop at the boundary
+// and not lap the ring).
+func TestSendRangeWrappedFromInsideNode(t *testing.T) {
+	for _, mode := range []RangeMode{RangeSequential, RangeBidirectional} {
+		net := newMockNet(8, []Key{10, 50, 100, 150, 200, 250})
+		visited := collectVisits(net)
+		SendRange(net, 250, 240, 30, &Message{}, mode)
+		assertVisitedSet(t, *visited, []Key{250, 10, 50})
+	}
+}

@@ -1,6 +1,6 @@
 package dht
 
-import "streamdex/internal/sim"
+import "streamdex/internal/clock"
 
 // Substrate is the full contract the middleware needs from a content-based
 // routing implementation: the message-plane Network operations plus
@@ -11,14 +11,17 @@ import "streamdex/internal/sim"
 // interface provided by content-based routing schemes rather than on a
 // particular implementation", so that it can run "on top of virtually any
 // existing content-based routing implementation". This interface is that
-// boundary: package chord provides the primary implementation (with full
-// join/leave/failure dynamics), package pastry a second, prefix-routing
-// one that demonstrates the portability claim.
+// boundary: package chord provides the primary simulated implementation
+// (with full join/leave/failure dynamics), package pastry a second,
+// prefix-routing one that demonstrates the portability claim, and package
+// transport a live TCP implementation where every node is a real process.
 type Substrate interface {
 	Network
 
-	// Engine returns the simulation engine the overlay schedules on.
-	Engine() *sim.Engine
+	// Clock returns the clock the overlay schedules on: virtual time under
+	// the simulator, wall time in a live deployment. The middleware runs
+	// all of its periodic processes on it.
+	Clock() clock.Clock
 	// SetApp installs the application upcall for a node.
 	SetApp(id Key, app App)
 	// SetObserver installs the traffic observer (nil resets to no-op).

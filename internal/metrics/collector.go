@@ -164,6 +164,16 @@ func (c *Collector) Snapshot(now sim.Time, nodes []dht.Key) *Report {
 	}
 	secs := dur.Seconds()
 	if secs <= 0 || len(nodes) == 0 {
+		// Degenerate snapshot: a zero-length (or backwards) measurement
+		// interval, or no live nodes. Every rate is defined as zero —
+		// never NaN or ±Inf from a division by zero — and NodeLoad still
+		// carries one entry per requested node so lookups and quantiles
+		// over the report behave uniformly.
+		for _, id := range nodes {
+			r.NodeLoad[id] = 0
+		}
+		r.TotalByCategory = c.totalByCat
+		r.BytesByCategory = c.bytesByCat
 		return r
 	}
 	var catTotals [NumCategories]int64

@@ -197,3 +197,76 @@ func TestCollectorByteAccounting(t *testing.T) {
 		t.Fatalf("BandwidthPerNode = %v, want %v", rep.BandwidthPerNode, want)
 	}
 }
+
+// noNaN fails the test if v is NaN or infinite.
+func noNaN(t *testing.T, name string, v float64) {
+	t.Helper()
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("%s = %v, want a finite number", name, v)
+	}
+}
+
+func TestSnapshotZeroIntervalIsAllZeros(t *testing.T) {
+	c := NewCollector(kindClassifier{})
+	c.Reset(5 * sim.Second)
+	msg := &dht.Message{Kind: dht.Kind(MBRSource), Bytes: 64}
+	c.OnTransmit(1, 2, msg)
+	nodes := []dht.Key{1, 2, 3}
+
+	// Zero-length and backwards measurement intervals: every rate must
+	// come back zero, never NaN/Inf, and NodeLoad must still carry one
+	// entry per node.
+	for _, now := range []sim.Time{5 * sim.Second, 4 * sim.Second} {
+		rep := c.Snapshot(now, nodes)
+		noNaN(t, "TotalLoad", rep.TotalLoad)
+		noNaN(t, "BandwidthPerNode", rep.BandwidthPerNode)
+		if rep.TotalLoad != 0 || rep.BandwidthPerNode != 0 {
+			t.Fatalf("zero-interval snapshot has non-zero rates: %v, %v", rep.TotalLoad, rep.BandwidthPerNode)
+		}
+		if len(rep.NodeLoad) != len(nodes) {
+			t.Fatalf("NodeLoad has %d entries, want %d", len(rep.NodeLoad), len(nodes))
+		}
+		for id, l := range rep.NodeLoad {
+			noNaN(t, "NodeLoad", l)
+			if l != 0 {
+				t.Fatalf("node %d load = %v, want 0", id, l)
+			}
+		}
+		// Raw counters are interval-independent and must survive the guard.
+		if rep.TotalByCategory[MBRSource] != 1 || rep.BytesByCategory[MBRSource] != 64 {
+			t.Fatalf("raw counters lost in degenerate snapshot: %+v", rep.TotalByCategory)
+		}
+	}
+}
+
+func TestSnapshotNoNodesIsAllZeros(t *testing.T) {
+	c := NewCollector(kindClassifier{})
+	c.Reset(0)
+	rep := c.Snapshot(10*sim.Second, nil)
+	noNaN(t, "TotalLoad", rep.TotalLoad)
+	noNaN(t, "BandwidthPerNode", rep.BandwidthPerNode)
+	if len(rep.NodeLoad) != 0 {
+		t.Fatalf("NodeLoad has %d entries for an empty node set", len(rep.NodeLoad))
+	}
+	qs := rep.LoadQuantiles(0, 0.5, 1)
+	for i, q := range qs {
+		noNaN(t, "LoadQuantiles", q)
+		if q != 0 {
+			t.Fatalf("quantile %d = %v on an empty report, want 0", i, q)
+		}
+	}
+}
+
+func TestLoadQuantilesEmptyReport(t *testing.T) {
+	r := &Report{NodeLoad: map[dht.Key]float64{}}
+	got := r.LoadQuantiles(0, 0.25, 0.5, 0.99, 1)
+	if len(got) != 5 {
+		t.Fatalf("got %d quantiles, want 5", len(got))
+	}
+	for i, q := range got {
+		noNaN(t, "LoadQuantiles", q)
+		if q != 0 {
+			t.Fatalf("quantile %d = %v on an empty NodeLoad, want 0", i, q)
+		}
+	}
+}

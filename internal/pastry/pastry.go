@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"sort"
 
+	"streamdex/internal/clock"
 	"streamdex/internal/dht"
 	"streamdex/internal/sim"
 )
@@ -83,7 +84,7 @@ type tableEntry struct {
 
 // Network is the simulated overlay. It implements dht.Substrate.
 type Network struct {
-	eng   *sim.Engine
+	clk   clock.Clock
 	cfg   Config
 	space dht.Space
 
@@ -106,7 +107,7 @@ func New(eng *sim.Engine, cfg Config) *Network {
 	}
 	digits := (int(cfg.Space.M) + digitBits - 1) / digitBits
 	return &Network{
-		eng:    eng,
+		clk:    clock.Virtual(eng),
 		cfg:    cfg,
 		space:  cfg.Space,
 		nodes:  make(map[dht.Key]*node),
@@ -206,8 +207,8 @@ func (net *Network) sharedDigits(a, b dht.Key) int {
 // Space implements dht.Network.
 func (net *Network) Space() dht.Space { return net.space }
 
-// Engine implements dht.Substrate.
-func (net *Network) Engine() *sim.Engine { return net.eng }
+// Clock implements dht.Substrate.
+func (net *Network) Clock() clock.Clock { return net.clk }
 
 // SetApp implements dht.Substrate.
 func (net *Network) SetApp(id dht.Key, app dht.App) {
@@ -265,7 +266,7 @@ func (net *Network) Send(from dht.Key, key dht.Key, msg *dht.Message) {
 	msg.Src = from
 	msg.Key = net.space.Wrap(key)
 	msg.Hops = 0
-	msg.SentAt = net.eng.Now()
+	msg.SentAt = net.clk.Now()
 	net.process(from, msg)
 }
 
@@ -368,7 +369,7 @@ func ringAbs(sp dht.Space, a, b dht.Key) uint64 {
 
 // transmit delivers msg to `to` after the hop delay.
 func (net *Network) transmit(from, to dht.Key, msg *dht.Message, route bool) {
-	net.eng.Schedule(net.cfg.HopDelay, func() {
+	net.clk.Schedule(net.cfg.HopDelay, func() {
 		n := net.nodes[to]
 		if n == nil {
 			net.dropped++

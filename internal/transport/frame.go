@@ -1,0 +1,62 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Stream framing: every frame on a connection is
+//
+//	uint32 big-endian body length | 1 byte frame type | body
+//
+// The type byte distinguishes the data plane from the control plane:
+//
+//   - frameRouted / frameDirect carry a wire.Marshal-encoded dht.Message.
+//     A routed frame is addressed to a key and keeps hopping until it
+//     reaches the covering node; a direct frame is for the receiving
+//     neighbor itself (the SendToSuccessor/SendToPredecessor primitives).
+//   - frameControl carries a gob-encoded control record (ring
+//     maintenance: find/stabilize/notify/ping).
+//
+// The length prefix covers the type byte plus body, so a reader can skip
+// frames of unknown type without understanding them.
+const (
+	frameRouted byte = iota + 1
+	frameDirect
+	frameControl
+)
+
+// maxFrameBytes bounds a single frame so a corrupt or hostile length
+// prefix cannot make a reader allocate unboundedly.
+const maxFrameBytes = 16 << 20
+
+// appendFrame encodes one frame into a fresh byte slice ready for a single
+// net.Conn write.
+func appendFrame(typ byte, body []byte) []byte {
+	out := make([]byte, 4+1+len(body))
+	binary.BigEndian.PutUint32(out, uint32(1+len(body)))
+	out[4] = typ
+	copy(out[5:], body)
+	return out
+}
+
+// readFrame reads one frame, returning its type and body.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 1 {
+		return 0, nil, fmt.Errorf("transport: empty frame")
+	}
+	if n > maxFrameBytes {
+		return 0, nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}

@@ -1,0 +1,187 @@
+package transport
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// peer is the outbound half of a connection to one remote address: a
+// bounded queue of encoded frames drained by a dedicated writer goroutine
+// that dials lazily and redials with jittered exponential backoff. Peers
+// never share connections with the inbound side — a node accepts inbound
+// connections read-only and dials outbound connections write-only, which
+// avoids connection-identity handshakes entirely.
+type peer struct {
+	addr string
+	out  chan []byte
+
+	quit chan struct{}
+	done chan struct{}
+
+	// onDrop is invoked (from any goroutine) for every frame lost to a
+	// full queue or to shutdown with frames still buffered.
+	onDrop func()
+}
+
+const (
+	dialTimeout  = 3 * time.Second
+	writeTimeout = 5 * time.Second
+	backoffBase  = 50 * time.Millisecond
+	backoffMax   = 3 * time.Second
+)
+
+func newPeer(addr string, queueLen int, onDrop func()) *peer {
+	p := &peer{
+		addr:   addr,
+		out:    make(chan []byte, queueLen),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+		onDrop: onDrop,
+	}
+	go p.writeLoop()
+	return p
+}
+
+// enqueue hands a frame to the writer, dropping it when the queue is full
+// (a slow or dead peer must not stall the event loop).
+func (p *peer) enqueue(frame []byte) {
+	select {
+	case p.out <- frame:
+	default:
+		p.onDrop()
+	}
+}
+
+// close stops the writer. Queued frames not yet written are dropped.
+func (p *peer) close() {
+	close(p.quit)
+	<-p.done
+}
+
+// backoff returns the jittered delay for the given consecutive-failure
+// count: base*2^n truncated to the max, then uniformly jittered in
+// [d/2, d) so a cohort of reconnecting peers does not thunder in phase.
+func backoff(failures int) time.Duration {
+	d := backoffBase << uint(min(failures, 10))
+	if d > backoffMax {
+		d = backoffMax
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)))
+}
+
+// writeLoop dials on demand and drains the queue. Any write or dial error
+// closes the connection; the next frame triggers a redial after backoff.
+func (p *peer) writeLoop() {
+	defer close(p.done)
+	var conn net.Conn
+	failures := 0
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+		// Account frames abandoned in the queue at shutdown.
+		for {
+			select {
+			case <-p.out:
+				p.onDrop()
+			default:
+				return
+			}
+		}
+	}()
+	for {
+		var frame []byte
+		select {
+		case <-p.quit:
+			return
+		case frame = <-p.out:
+		}
+		for {
+			if conn == nil {
+				c, err := net.DialTimeout("tcp", p.addr, dialTimeout)
+				if err != nil {
+					failures++
+					select {
+					case <-p.quit:
+						p.onDrop() // the frame in hand
+						return
+					case <-time.After(backoff(failures)):
+						continue
+					}
+				}
+				conn = c
+				failures = 0
+			}
+			conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+			if _, err := conn.Write(frame); err != nil {
+				conn.Close()
+				conn = nil
+				failures++
+				select {
+				case <-p.quit:
+					p.onDrop()
+					return
+				case <-time.After(backoff(failures)):
+					continue
+				}
+			}
+			break
+		}
+	}
+}
+
+// peerSet is the per-node connection manager. All access happens on the
+// node's event loop except close, which runs at shutdown after the loop
+// has stopped accepting work.
+type peerSet struct {
+	mu       sync.Mutex
+	peers    map[string]*peer
+	queueLen int
+	onDrop   func()
+	closed   bool
+}
+
+func newPeerSet(queueLen int, onDrop func()) *peerSet {
+	return &peerSet{
+		peers:    make(map[string]*peer),
+		queueLen: queueLen,
+		onDrop:   onDrop,
+	}
+}
+
+// send enqueues a frame toward addr, creating the peer lazily.
+func (ps *peerSet) send(addr string, frame []byte) {
+	ps.mu.Lock()
+	if ps.closed {
+		ps.mu.Unlock()
+		ps.onDrop()
+		return
+	}
+	p := ps.peers[addr]
+	if p == nil {
+		p = newPeer(addr, ps.queueLen, ps.onDrop)
+		ps.peers[addr] = p
+	}
+	ps.mu.Unlock()
+	p.enqueue(frame)
+}
+
+// close stops every writer and rejects further sends.
+func (ps *peerSet) close() {
+	ps.mu.Lock()
+	if ps.closed {
+		ps.mu.Unlock()
+		return
+	}
+	ps.closed = true
+	peers := make([]*peer, 0, len(ps.peers))
+	for _, p := range ps.peers {
+		peers = append(peers, p)
+	}
+	ps.mu.Unlock()
+	for _, p := range peers {
+		p.close()
+	}
+}

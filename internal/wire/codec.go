@@ -1,0 +1,163 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+
+	"streamdex/internal/dht"
+	"streamdex/internal/sim"
+)
+
+// Real framing for the live transport. A marshalled message is the fixed
+// binary envelope (exactly HeaderBytes long, matching the size model the
+// simulator has always charged) followed by the gob encoding of the payload
+// box. The envelope is encoded by hand with encoding/binary so the
+// header cost on real sockets is byte-for-byte the HeaderBytes constant
+// the bandwidth evaluation assumes; only the payload rides gob.
+//
+// Envelope layout (big-endian):
+//
+//	off len field
+//	  0   1 Kind
+//	  1   8 Key
+//	  9   8 Src
+//	 17   8 RangeStart
+//	 25   8 RangeEnd
+//	 33   1 flags: bit0 HasRange, bit1 RangeTail, bit2 payload present,
+//	          bits 3-4 Mode, bits 5-6 Dir (0/1/2 for 0/+1/-1)
+//	 34   3 Hops (unsigned, saturating)
+//	 37   8 SentAt
+//
+// Bytes is not transmitted: the receiver recomputes it as len(frame), which
+// is also what the sender's observer should charge.
+
+const (
+	flagHasRange  = 1 << 0
+	flagRangeTail = 1 << 1
+	flagPayload   = 1 << 2
+	modeShift     = 3
+	dirShift      = 5
+	maxHops       = 1<<24 - 1
+)
+
+// payloadBox wraps the message payload so gob encodes the dynamic type
+// through a single interface-typed field. Payload types must be registered
+// with RegisterPayload on both ends of a connection.
+type payloadBox struct {
+	P any
+}
+
+// RegisterPayload records a concrete payload type with gob so it can travel
+// through Marshal/Unmarshal. It must be called (typically from an init
+// function of the package defining the payloads) before any message
+// carrying the type crosses a connection.
+func RegisterPayload(v any) { gob.Register(v) }
+
+// Marshal encodes a message into a self-contained frame body: the fixed
+// envelope followed by the gob-encoded payload (if any).
+func Marshal(msg *dht.Message) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(HeaderBytes + 64)
+
+	var env [HeaderBytes]byte
+	env[0] = byte(msg.Kind)
+	binary.BigEndian.PutUint64(env[1:9], uint64(msg.Key))
+	binary.BigEndian.PutUint64(env[9:17], uint64(msg.Src))
+	binary.BigEndian.PutUint64(env[17:25], uint64(msg.RangeStart))
+	binary.BigEndian.PutUint64(env[25:33], uint64(msg.RangeEnd))
+
+	var flags byte
+	if msg.HasRange {
+		flags |= flagHasRange
+	}
+	if msg.RangeTail {
+		flags |= flagRangeTail
+	}
+	if msg.Payload != nil {
+		flags |= flagPayload
+	}
+	if msg.Mode < 0 || msg.Mode > 3 {
+		return nil, fmt.Errorf("wire: range mode %d out of envelope bounds", msg.Mode)
+	}
+	flags |= byte(msg.Mode) << modeShift
+	switch msg.Dir {
+	case 0:
+	case 1:
+		flags |= 1 << dirShift
+	case -1:
+		flags |= 2 << dirShift
+	default:
+		return nil, fmt.Errorf("wire: direction %d out of envelope bounds", msg.Dir)
+	}
+	env[33] = flags
+
+	hops := msg.Hops
+	if hops < 0 {
+		return nil, fmt.Errorf("wire: negative hop count %d", hops)
+	}
+	if hops > maxHops {
+		hops = maxHops
+	}
+	env[34] = byte(hops >> 16)
+	env[35] = byte(hops >> 8)
+	env[36] = byte(hops)
+	binary.BigEndian.PutUint64(env[37:45], uint64(msg.SentAt))
+
+	buf.Write(env[:])
+	if msg.Payload != nil {
+		if err := gob.NewEncoder(&buf).Encode(payloadBox{P: msg.Payload}); err != nil {
+			return nil, fmt.Errorf("wire: encoding %T payload: %w", msg.Payload, err)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes a frame body produced by Marshal. The returned
+// message's Bytes field is set to the frame length, so observers on the
+// receiving side account exactly what crossed the socket.
+func Unmarshal(frame []byte) (*dht.Message, error) {
+	if len(frame) < HeaderBytes {
+		return nil, fmt.Errorf("wire: frame of %d bytes, envelope needs %d", len(frame), HeaderBytes)
+	}
+	msg := &dht.Message{
+		Kind:       dht.Kind(frame[0]),
+		Key:        dht.Key(binary.BigEndian.Uint64(frame[1:9])),
+		Src:        dht.Key(binary.BigEndian.Uint64(frame[9:17])),
+		RangeStart: dht.Key(binary.BigEndian.Uint64(frame[17:25])),
+		RangeEnd:   dht.Key(binary.BigEndian.Uint64(frame[25:33])),
+		Bytes:      len(frame),
+	}
+	flags := frame[33]
+	msg.HasRange = flags&flagHasRange != 0
+	msg.RangeTail = flags&flagRangeTail != 0
+	msg.Mode = dht.RangeMode(flags >> modeShift & 3)
+	switch flags >> dirShift & 3 {
+	case 0:
+		msg.Dir = 0
+	case 1:
+		msg.Dir = 1
+	case 2:
+		msg.Dir = -1
+	default:
+		return nil, fmt.Errorf("wire: reserved direction bits set")
+	}
+	msg.Hops = int(frame[34])<<16 | int(frame[35])<<8 | int(frame[36])
+	msg.SentAt = sim.Time(binary.BigEndian.Uint64(frame[37:45]))
+
+	hasPayload := flags&flagPayload != 0
+	body := frame[HeaderBytes:]
+	if !hasPayload {
+		if len(body) != 0 {
+			return nil, fmt.Errorf("wire: %d trailing bytes on a payload-less frame", len(body))
+		}
+		return msg, nil
+	}
+	var box payloadBox
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&box); err != nil {
+		return nil, fmt.Errorf("wire: decoding payload of kind %d: %w", msg.Kind, err)
+	}
+	msg.Payload = box.P
+	return msg, nil
+}

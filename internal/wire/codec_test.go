@@ -1,0 +1,153 @@
+package wire_test
+
+import (
+	"reflect"
+	"testing"
+
+	"streamdex/internal/core"
+	"streamdex/internal/dht"
+	"streamdex/internal/query"
+	"streamdex/internal/summary"
+	"streamdex/internal/wire"
+)
+
+// mbr builds a non-trivial MBR with every field populated.
+func mbr() *summary.MBR {
+	b := summary.NewMBR("s-42", 7, summary.Feature{0.1, -0.2, 0.3, 0.05})
+	b.Extend(summary.Feature{0.15, -0.1, 0.25, 0.0})
+	b.Created = 1_000_000
+	b.Expiry = 6_000_000
+	return b
+}
+
+func matches() []query.Match {
+	return []query.Match{
+		{StreamID: "s-1", Seq: 3, DistLB: 0.125, FoundAt: 2_500_000, Node: 17},
+		{StreamID: "s-9", Seq: 11, DistLB: 0.0, FoundAt: 2_750_000, Node: 63},
+	}
+}
+
+// roundTripCases covers every message payload kind of the middleware
+// protocol, each with non-zero envelope metadata so the fixed header
+// encoding is exercised too.
+func roundTripCases() []*dht.Message {
+	return []*dht.Message{
+		{
+			Kind: core.KindMBR, Key: 100, Src: 3, Hops: 4, SentAt: 1_234_567,
+			RangeStart: 90, RangeEnd: 140, HasRange: true, Mode: dht.RangeTree, RangeTail: true,
+			Payload: core.MBRUpdate{MBR: mbr()},
+		},
+		{
+			Kind: core.KindQuery, Key: 200, Src: 5, Hops: 1, SentAt: 2_000_000,
+			RangeStart: 180, RangeEnd: 260, HasRange: true, Mode: dht.RangeBidirectional, Dir: -1,
+			Payload: core.SimQuery{
+				Q: &query.Similarity{
+					ID: 9, Origin: 5,
+					Feature: summary.Feature{0.4, 0.1, -0.3, 0.2},
+					Radius:  0.25, Posted: 1_900_000, Lifespan: 30_000_000,
+				},
+				MiddleKey: 220,
+			},
+		},
+		{
+			Kind: core.KindNotify, Key: 42, Src: 40, Hops: 2, SentAt: 3_100_000, Dir: 1,
+			Payload: core.NotifyBatch{Items: []core.NotifyItem{
+				{QueryID: 9, MiddleKey: 220, ClientKey: 5, Expiry: 31_900_000, Matches: matches()},
+			}},
+		},
+		{
+			Kind: core.KindResponse, Key: 5, Src: 220, Hops: 6, SentAt: 3_200_000,
+			Payload: core.ResponseMsg{QueryID: 9, Matches: matches()},
+		},
+		{
+			Kind: core.KindLocPut, Key: 77, Src: 12, Hops: 3, SentAt: 400_000,
+			Payload: core.LocPut{StreamID: "s-42", Source: 12},
+		},
+		{
+			Kind: core.KindLocGet, Key: 77, Src: 30, Hops: 2, SentAt: 500_000,
+			Payload: core.LocGet{StreamID: "s-42", Requester: 30},
+		},
+		{
+			Kind: core.KindLocReply, Key: 30, Src: 77, Hops: 5, SentAt: 600_000,
+			Payload: core.LocReply{StreamID: "s-42", Source: 12, Found: true},
+		},
+		{
+			Kind: core.KindIPSub, Key: 12, Src: 30, Hops: 4, SentAt: 700_000,
+			Payload: core.IPSub{Q: &query.InnerProduct{
+				ID: 21, Origin: 30, StreamID: "s-42",
+				Index: []int{0, 3, 5}, Weights: []float64{1.0, -0.5, 0.25},
+				Posted: 650_000, Lifespan: 20_000_000,
+			}},
+		},
+		{
+			Kind: core.KindIPResp, Key: 30, Src: 12, Hops: 4, SentAt: 800_000,
+			Payload: core.IPResp{QueryID: 21, Value: query.IPValue{Value: 3.5, At: 790_000, Approx: true}},
+		},
+		// Envelope-only frame: the routing layer may carry payload-less
+		// control messages.
+		{Kind: core.KindResponse, Key: 1, Src: 2, Hops: 1, SentAt: 1},
+	}
+}
+
+func TestMarshalRoundTripAllKinds(t *testing.T) {
+	for _, want := range roundTripCases() {
+		frame, err := wire.Marshal(want)
+		if err != nil {
+			t.Fatalf("Marshal(kind %d): %v", want.Kind, err)
+		}
+		got, err := wire.Unmarshal(frame)
+		if err != nil {
+			t.Fatalf("Unmarshal(kind %d): %v", want.Kind, err)
+		}
+		// Bytes is recomputed on decode as the frame length; align the
+		// expectation before the deep comparison.
+		want.Bytes = len(frame)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("kind %d round trip:\n got %#v\nwant %#v", want.Kind, got, want)
+		}
+	}
+}
+
+func TestMarshalEnvelopeIsHeaderBytes(t *testing.T) {
+	frame, err := wire.Marshal(&dht.Message{Kind: core.KindLocGet, Key: 1, Src: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) != wire.HeaderBytes {
+		t.Fatalf("payload-less frame is %d bytes, want HeaderBytes=%d", len(frame), wire.HeaderBytes)
+	}
+}
+
+func TestUnmarshalRejectsMalformed(t *testing.T) {
+	if _, err := wire.Unmarshal(make([]byte, wire.HeaderBytes-1)); err == nil {
+		t.Error("short frame: want error")
+	}
+	frame, err := wire.Marshal(&dht.Message{Kind: core.KindLocGet, Key: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.Unmarshal(append(frame, 0xff)); err == nil {
+		t.Error("trailing bytes on payload-less frame: want error")
+	}
+	bad := &dht.Message{Kind: core.KindMBR, Dir: 2}
+	if _, err := wire.Marshal(bad); err == nil {
+		t.Error("out-of-range Dir: want error")
+	}
+}
+
+func TestMarshalPreservesDirections(t *testing.T) {
+	for _, dir := range []int{-1, 0, 1} {
+		m := &dht.Message{Kind: core.KindNotify, Key: 9, Src: 8, Dir: dir}
+		frame, err := wire.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := wire.Unmarshal(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Dir != dir {
+			t.Errorf("Dir %d round-tripped to %d", dir, got.Dir)
+		}
+	}
+}

@@ -180,7 +180,7 @@ func Build(cfg Config) (*Run, error) {
 		pn.BuildStable(ids, nil)
 		net = pn
 	}
-	mw, err := core.New(eng, net, cfg.Core)
+	mw, err := core.New(net, cfg.Core)
 	if err != nil {
 		return nil, err
 	}

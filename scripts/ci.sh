@@ -30,6 +30,13 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== live transport loopback (race) =="
+# Explicitly exercise the 5-node TCP loopback cluster against the
+# simulator under the race detector, so the live data path stays covered
+# even if the suite above ever starts running in -short mode.
+go test -race -count=1 -run 'TestLoopbackClusterMatchesSimulator|TestRingConvergence' \
+    ./internal/transport
+
 echo "== smoke bench (BENCH_FAST=1) =="
 BENCH_FAST=1 go test -run '^$' \
     -bench 'BenchmarkTable1Workload$|BenchmarkFig6aLoad$|BenchmarkFig7aOverhead$|BenchmarkFig8Hops$' \

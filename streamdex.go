@@ -166,7 +166,7 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 	default:
 		return nil, fmt.Errorf("streamdex: unknown substrate %q", opts.Substrate)
 	}
-	mw, err := core.New(eng, net, cfg)
+	mw, err := core.New(net, cfg)
 	if err != nil {
 		return nil, err
 	}
