@@ -32,6 +32,17 @@ type benchResult struct {
 	BytesPerOp   int64   `json:"bytes_per_op"`
 	EventsPerOp  uint64  `json:"events_per_op,omitempty"`
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// Extra carries b.ReportMetric values (e.g. the transport's
+	// frames/write coalescing factor and frames/sec throughput).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// spec is one benchmark in the JSON report: a body for testing.Benchmark
+// plus an optional events counter for events/sec derivation.
+type spec struct {
+	name   string
+	events func() (uint64, error)
+	body   func(b *testing.B)
 }
 
 type benchReport struct {
@@ -96,11 +107,6 @@ func runBenchJSON(outPath string, seed int64, workers int) error {
 		return n, nil
 	}
 
-	type spec struct {
-		name   string
-		events func() (uint64, error)
-		body   func(b *testing.B)
-	}
 	t1cfg := cfg
 	t1cfg.Nodes = 50
 	r7cfg := cfg
@@ -159,6 +165,7 @@ func runBenchJSON(outPath string, seed int64, workers int) error {
 			},
 		},
 	}
+	specs = append(specs, codecBenchSpecs()...)
 
 	for _, s := range specs {
 		res := testing.Benchmark(s.body)
@@ -167,6 +174,12 @@ func runBenchJSON(outPath string, seed int64, workers int) error {
 			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
 			AllocsPerOp: res.AllocsPerOp(),
 			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		if len(res.Extra) > 0 {
+			br.Extra = make(map[string]float64, len(res.Extra))
+			for k, v := range res.Extra {
+				br.Extra[k] = v
+			}
 		}
 		if s.events != nil {
 			ev, err := s.events()

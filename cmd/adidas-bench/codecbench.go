@@ -1,0 +1,276 @@
+package main
+
+// Wire-codec and live-transport benchmarks for the JSON report. These
+// mirror the BenchmarkMarshal*/BenchmarkUnmarshal* pairs in internal/wire
+// and BenchmarkLoopbackThroughput in internal/transport, but live here so
+// `adidas-bench -bench` captures codec and socket performance in the same
+// BENCH_*.json as the figure pipelines. The sample messages below are
+// representative frames of all nine middleware payload kinds (test
+// fixtures are not importable from a main package).
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streamdex/internal/core"
+	"streamdex/internal/dht"
+	"streamdex/internal/dsp"
+	"streamdex/internal/query"
+	"streamdex/internal/summary"
+	"streamdex/internal/transport"
+	"streamdex/internal/wire"
+)
+
+// codecSampleMessages returns one representative message per payload kind,
+// with realistic field sizes (4-dim features, a couple of matches per
+// notify item) so per-frame costs resemble the live data path.
+func codecSampleMessages() []*dht.Message {
+	mbr := summary.NewMBR("stream-42", 7, summary.Feature{0.11, -0.52, 0.33, 0.04})
+	mbr.Extend(summary.Feature{0.18, -0.44, 0.29, -0.02})
+	mbr.Created = 2_000_000
+	mbr.Expiry = 62_000_000
+
+	matches := []query.Match{
+		{StreamID: "stream-42", Seq: 7, DistLB: 0.12, FoundAt: 3_000_000, Node: 9000},
+		{StreamID: "stream-17", Seq: 31, DistLB: 0.27, FoundAt: 3_100_000, Node: 21000},
+	}
+
+	base := func(kind dht.Kind, payload any) *dht.Message {
+		return &dht.Message{
+			Kind:    kind,
+			Key:     40_000,
+			Src:     10_000,
+			Hops:    2,
+			SentAt:  5_000_000,
+			Payload: payload,
+		}
+	}
+	return []*dht.Message{
+		base(core.KindMBR, core.MBRUpdate{MBR: mbr}),
+		base(core.KindQuery, core.SimQuery{
+			Q: &query.Similarity{
+				ID:       3,
+				Origin:   10_000,
+				Feature:  summary.Feature{0.0, 0.1, -0.1, 0.2},
+				Radius:   0.3,
+				Norm:     dsp.ZNorm,
+				Posted:   2_000_000,
+				Lifespan: 60_000_000,
+			},
+			MiddleKey: 33_000,
+		}),
+		base(core.KindNotify, core.NotifyBatch{Items: []core.NotifyItem{{
+			QueryID:   3,
+			MiddleKey: 33_000,
+			ClientKey: 10_000,
+			Expiry:    62_000_000,
+			Matches:   matches,
+		}}}),
+		base(core.KindResponse, core.ResponseMsg{QueryID: 3, Matches: matches}),
+		base(core.KindLocPut, core.LocPut{StreamID: "stream-42", Source: 9000}),
+		base(core.KindLocGet, core.LocGet{StreamID: "stream-42", Requester: 10_000}),
+		base(core.KindLocReply, core.LocReply{StreamID: "stream-42", Source: 9000, Found: true}),
+		base(core.KindIPSub, core.IPSub{Q: &query.InnerProduct{
+			ID:       4,
+			Origin:   10_000,
+			StreamID: "stream-42",
+			Index:    []int{0, 3, 7, 12},
+			Weights:  []float64{0.5, -0.25, 0.125, 1.0},
+			Posted:   2_000_000,
+			Lifespan: 60_000_000,
+		}}),
+		base(core.KindIPResp, core.IPResp{QueryID: 4, Value: query.IPValue{
+			Value: 1.75, At: 4_000_000, Approx: true,
+		}}),
+	}
+}
+
+// gobPayloadBox mirrors the gob fallback's interface-typed payload box,
+// reproducing the retired PR 2 payload path for the baseline benchmarks.
+type gobPayloadBox struct {
+	P any
+}
+
+// codecBenchSpecs returns the codec comparison benchmarks: packed codec v2
+// versus the per-message gob baseline, both directions.
+func codecBenchSpecs() []spec {
+	msgs := codecSampleMessages()
+	return []spec{
+		{
+			name: "WireMarshalPacked",
+			body: func(b *testing.B) {
+				dst := make([]byte, 0, 4096)
+				for i := 0; i < b.N; i++ {
+					for _, msg := range msgs {
+						var err error
+						dst, err = wire.AppendMarshal(dst[:0], msg)
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			},
+		},
+		{
+			name: "WireMarshalGob",
+			body: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					for _, msg := range msgs {
+						var buf bytes.Buffer
+						buf.Grow(wire.HeaderBytes + 64)
+						buf.Write(make([]byte, wire.HeaderBytes))
+						if err := gob.NewEncoder(&buf).Encode(gobPayloadBox{P: msg.Payload}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			},
+		},
+		{
+			name: "WireUnmarshalPacked",
+			body: func(b *testing.B) {
+				var frames [][]byte
+				for _, msg := range msgs {
+					frame, err := wire.Marshal(msg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					frames = append(frames, frame)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, frame := range frames {
+						if _, err := wire.Unmarshal(frame); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			},
+		},
+		{
+			name: "WireUnmarshalGob",
+			body: func(b *testing.B) {
+				var bodies [][]byte
+				for _, msg := range msgs {
+					var buf bytes.Buffer
+					if err := gob.NewEncoder(&buf).Encode(gobPayloadBox{P: msg.Payload}); err != nil {
+						b.Fatal(err)
+					}
+					bodies = append(bodies, buf.Bytes())
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, body := range bodies {
+						var box gobPayloadBox
+						if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&box); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			},
+		},
+		{
+			name: "LoopbackThroughput",
+			body: benchLoopbackThroughput,
+		},
+	}
+}
+
+// benchLoopbackThroughput boots a two-node TCP cluster on 127.0.0.1 and
+// pumps MBR updates from one node at the other's identifier, reporting the
+// write-coalescing factor (frames per vectored write) and delivered
+// frames/sec as benchmark extras.
+func benchLoopbackThroughput(b *testing.B) {
+	space := dht.NewSpace(16)
+	ids := []dht.Key{10_000, 40_000}
+	nodes := make([]*transport.Node, len(ids))
+	for i, id := range ids {
+		tc := transport.DefaultConfig(id, "127.0.0.1:0")
+		tc.Space = space
+		tc.StabilizeEvery = 50_000
+		tc.FixFingersEvery = 50_000
+		tc.QueueLen = 4096
+		n, err := transport.New(tc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer n.Close()
+		nodes[i] = n
+	}
+	nodes[0].Create()
+	if err := nodes[1].Join(nodes[0].Addr(), 10*time.Second); err != nil {
+		b.Fatal(err)
+	}
+	if err := waitTwoNodeRing(nodes, ids); err != nil {
+		b.Fatal(err)
+	}
+
+	var delivered atomic.Int64
+	nodes[1].Do(func() {
+		nodes[1].SetApp(ids[1], dht.AppFunc(func(dht.Key, *dht.Message) {
+			delivered.Add(1)
+		}))
+	})
+
+	mbr := summary.NewMBR("bench-stream", 1, summary.Feature{0.1, -0.2, 0.3, 0.05})
+	mbr.Extend(summary.Feature{0.15, -0.1, 0.25, 0.0})
+	mbr.Created = 1_000_000
+	mbr.Expiry = 6_000_000
+	payload := core.MBRUpdate{MBR: mbr}
+
+	dropped := func() int64 { return nodes[0].Dropped() + nodes[1].Dropped() }
+	const chunk = 256
+	sent := 0
+	start := time.Now()
+	b.ResetTimer()
+	for sent < b.N {
+		k := min(chunk, b.N-sent)
+		nodes[0].Do(func() {
+			for i := 0; i < k; i++ {
+				msg := &dht.Message{Kind: core.KindMBR, Payload: payload}
+				nodes[0].Send(ids[0], ids[1], msg)
+			}
+		})
+		sent += k
+		for delivered.Load()+dropped() < int64(sent) {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	b.StopTimer()
+	frames, flushes := nodes[0].WriteStats()
+	if flushes > 0 {
+		b.ReportMetric(float64(frames)/float64(flushes), "frames/write")
+	}
+	if el := time.Since(start).Seconds(); el > 0 {
+		b.ReportMetric(float64(delivered.Load())/el, "frames/sec")
+	}
+}
+
+// waitTwoNodeRing polls until both nodes see each other as successor and
+// predecessor.
+func waitTwoNodeRing(nodes []*transport.Node, ids []dht.Key) error {
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		converged := true
+		for i, n := range nodes {
+			other := ids[1-i]
+			info := n.Ring()
+			if len(info.SuccList) == 0 || info.SuccList[0].ID != other ||
+				info.Pred == nil || info.Pred.ID != other {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("two-node ring did not converge within 15s")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

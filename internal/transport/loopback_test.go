@@ -162,8 +162,9 @@ func liveCluster(t *testing.T, cfg core.Config) ([]*transport.Node, []*core.Midd
 }
 
 // waitRingConverged polls until every node's successor and predecessor
-// match the ideal ring over ids.
-func waitRingConverged(t *testing.T, nodes []*transport.Node, ids []dht.Key) {
+// match the ideal ring over ids. Takes testing.TB so the loopback
+// throughput benchmark shares it.
+func waitRingConverged(t testing.TB, nodes []*transport.Node, ids []dht.Key) {
 	t.Helper()
 	sorted := append([]dht.Key(nil), ids...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })

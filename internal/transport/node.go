@@ -10,11 +10,15 @@
 //
 //   - Message plane: length-prefixed frames (frame.go). Application
 //     messages travel as wire.Marshal bodies — fixed 45-byte envelope plus
-//     gob payload; ring-maintenance traffic as gob control records.
+//     hand-packed payload (wire codec v2; gob only for unregistered
+//     types); ring-maintenance traffic as gob control records. Frames are
+//     built in pooled buffers, so the steady-state encode path is
+//     allocation-free.
 //   - Connections: unidirectional. A node accepts inbound connections
 //     read-only and dials outbound connections write-only (peer.go), with
-//     bounded queues and jittered exponential-backoff redial, so no
-//     connection-identity handshake is needed.
+//     bounded queues, write coalescing (one vectored write per burst) and
+//     jittered exponential-backoff redial, so no connection-identity
+//     handshake is needed.
 //   - Concurrency: all protocol and application state is confined to the
 //     node's clock.Wall loop. Reader goroutines only decode bytes and post
 //     closures; writer goroutines only drain their queue. The middleware's
@@ -334,19 +338,34 @@ func (n *Node) nextHop(key dht.Key) (Ref, bool) {
 	return succ, true
 }
 
-// transmitApp encodes msg and hands it to the peer writer. The hop counter
-// is incremented before encoding so it travels with the frame, mirroring
-// the simulator's transmit; the observer is charged the actual frame size.
+// transmitApp encodes msg straight into a pooled frame buffer and hands it
+// to the peer writer, which recycles the buffer once the bytes are on the
+// socket — the steady-state encode path performs no allocations. The hop
+// counter is incremented before encoding so it travels with the frame,
+// mirroring the simulator's transmit; the observer is charged the wire
+// body length (envelope + payload), exactly what Sizeof charges the
+// simulator for the same payload.
 func (n *Node) transmitApp(to Ref, msg *dht.Message, typ byte) {
 	msg.Hops++
-	body, err := wire.Marshal(msg)
+	f := newFrame(typ)
+	body, err := wire.AppendMarshal(f.b, msg)
 	if err != nil {
+		f.recycle()
 		n.dropped.Add(1)
 		return
 	}
-	msg.Bytes = len(body)
+	f.b = body
+	f.finish()
+	msg.Bytes = len(f.b) - frameOverhead
 	n.obs.OnTransmit(n.self.ID, to.ID, msg)
-	n.peers.send(to.Addr, appendFrame(typ, body))
+	n.peers.send(to.Addr, f)
+}
+
+// WriteStats reports cumulative data-plane writer activity: frames fully
+// written to sockets and the vectored write calls (writev batches) that
+// carried them. frames/flushes is the write-coalescing factor.
+func (n *Node) WriteStats() (frames, flushes int64) {
+	return n.peers.stats.frames.Load(), n.peers.stats.flushes.Load()
 }
 
 // --- inbound ---
@@ -364,11 +383,15 @@ func (n *Node) acceptLoop() {
 
 // readLoop decodes frames off one inbound connection and posts their
 // handling to the event loop. Decoding happens off-loop (it builds fresh
-// objects, no shared state); all interpretation happens on-loop.
+// objects, no shared state); all interpretation happens on-loop. The
+// reader reuses one buffered reader and one body buffer for the whole
+// connection — decoders copy what they keep, so the buffer is free again
+// by the next frame.
 func (n *Node) readLoop(conn net.Conn) {
 	defer conn.Close()
+	fr := newFrameReader(conn)
 	for {
-		typ, body, err := readFrame(conn)
+		typ, body, err := fr.next()
 		if err != nil {
 			return
 		}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -13,9 +14,14 @@ import (
 // never share connections with the inbound side — a node accepts inbound
 // connections read-only and dials outbound connections write-only, which
 // avoids connection-identity handshakes entirely.
+//
+// The writer coalesces: after blocking for the first frame of a burst it
+// greedily drains whatever else is queued (up to maxWriteBatch) and
+// flushes the whole batch with one vectored write (net.Buffers → writev),
+// so a deep queue costs one syscall per burst instead of one per frame.
 type peer struct {
 	addr string
-	out  chan []byte
+	out  chan *frameBuf
 
 	quit chan struct{}
 	done chan struct{}
@@ -23,6 +29,22 @@ type peer struct {
 	// onDrop is invoked (from any goroutine) for every frame lost to a
 	// full queue or to shutdown with frames still buffered.
 	onDrop func()
+
+	// stats aggregates frames/flushes across the owning peerSet.
+	stats *ioStats
+
+	// rng drives backoff jitter. Each peer owns its source so a cohort of
+	// reconnecting writers does not serialize on math/rand's global lock.
+	rng *rand.Rand
+}
+
+// ioStats counts data-plane writer activity for a whole peerSet.
+type ioStats struct {
+	// frames is the number of frames fully written to sockets.
+	frames atomic.Int64
+	// flushes is the number of vectored write calls that carried them;
+	// frames/flushes is the coalescing factor (≥ 1).
+	flushes atomic.Int64
 }
 
 const (
@@ -30,15 +52,21 @@ const (
 	writeTimeout = 5 * time.Second
 	backoffBase  = 50 * time.Millisecond
 	backoffMax   = 3 * time.Second
+
+	// maxWriteBatch bounds one vectored write, staying well under the
+	// kernel's IOV_MAX (1024) so net.Buffers flushes in a single writev.
+	maxWriteBatch = 64
 )
 
-func newPeer(addr string, queueLen int, onDrop func()) *peer {
+func newPeer(addr string, queueLen int, onDrop func(), stats *ioStats) *peer {
 	p := &peer{
 		addr:   addr,
-		out:    make(chan []byte, queueLen),
+		out:    make(chan *frameBuf, queueLen),
 		quit:   make(chan struct{}),
 		done:   make(chan struct{}),
 		onDrop: onDrop,
+		stats:  stats,
+		rng:    rand.New(rand.NewSource(rand.Int63())),
 	}
 	go p.writeLoop()
 	return p
@@ -46,11 +74,12 @@ func newPeer(addr string, queueLen int, onDrop func()) *peer {
 
 // enqueue hands a frame to the writer, dropping it when the queue is full
 // (a slow or dead peer must not stall the event loop).
-func (p *peer) enqueue(frame []byte) {
+func (p *peer) enqueue(f *frameBuf) {
 	select {
-	case p.out <- frame:
+	case p.out <- f:
 	default:
 		p.onDrop()
+		f.recycle()
 	}
 }
 
@@ -63,51 +92,73 @@ func (p *peer) close() {
 // backoff returns the jittered delay for the given consecutive-failure
 // count: base*2^n truncated to the max, then uniformly jittered in
 // [d/2, d) so a cohort of reconnecting peers does not thunder in phase.
-func backoff(failures int) time.Duration {
+// Only the writer goroutine calls it, so the unsynchronized rng is safe.
+func (p *peer) backoff(failures int) time.Duration {
 	d := backoffBase << uint(min(failures, 10))
 	if d > backoffMax {
 		d = backoffMax
 	}
-	return d/2 + time.Duration(rand.Int63n(int64(d/2)))
+	return d/2 + time.Duration(p.rng.Int63n(int64(d/2)))
 }
 
-// writeLoop dials on demand and drains the queue. Any write or dial error
-// closes the connection; the next frame triggers a redial after backoff.
+// writeLoop dials on demand and drains the queue in batches. Any write or
+// dial error closes the connection; the pending batch redials after
+// backoff. A frame cut short by a dying connection is resent whole on the
+// next one — the receiver discards the truncated copy with the dead
+// connection, so frames never tear across connections.
 func (p *peer) writeLoop() {
 	defer close(p.done)
 	var conn net.Conn
 	failures := 0
+	batch := make([]*frameBuf, 0, maxWriteBatch)
+	bufs := make(net.Buffers, 0, maxWriteBatch)
 	defer func() {
 		if conn != nil {
 			conn.Close()
 		}
-		// Account frames abandoned in the queue at shutdown.
+		// Account the batch in hand and frames abandoned in the queue at
+		// shutdown.
+		for _, f := range batch {
+			p.onDrop()
+			f.recycle()
+		}
 		for {
 			select {
-			case <-p.out:
+			case f := <-p.out:
 				p.onDrop()
+				f.recycle()
 			default:
 				return
 			}
 		}
 	}()
 	for {
-		var frame []byte
+		// Block for the first frame of a burst...
 		select {
 		case <-p.quit:
 			return
-		case frame = <-p.out:
+		case f := <-p.out:
+			batch = append(batch, f)
 		}
-		for {
+		// ...then greedily take whatever else is already queued.
+	drain:
+		for len(batch) < maxWriteBatch {
+			select {
+			case f := <-p.out:
+				batch = append(batch, f)
+			default:
+				break drain
+			}
+		}
+		for len(batch) > 0 {
 			if conn == nil {
 				c, err := net.DialTimeout("tcp", p.addr, dialTimeout)
 				if err != nil {
 					failures++
 					select {
 					case <-p.quit:
-						p.onDrop() // the frame in hand
 						return
-					case <-time.After(backoff(failures)):
+					case <-time.After(p.backoff(failures)):
 						continue
 					}
 				}
@@ -115,19 +166,36 @@ func (p *peer) writeLoop() {
 				failures = 0
 			}
 			conn.SetWriteDeadline(time.Now().Add(writeTimeout))
-			if _, err := conn.Write(frame); err != nil {
+			bufs = bufs[:0]
+			for _, f := range batch {
+				bufs = append(bufs, f.b)
+			}
+			n, err := bufs.WriteTo(conn)
+			p.stats.flushes.Add(1)
+			// Retire fully-written frames even on error; a partially
+			// written one stays first in the batch for the next conn.
+			written := 0
+			for written < len(batch) && n >= int64(len(batch[written].b)) {
+				n -= int64(len(batch[written].b))
+				written++
+			}
+			if written > 0 {
+				p.stats.frames.Add(int64(written))
+				for _, f := range batch[:written] {
+					f.recycle()
+				}
+				batch = append(batch[:0], batch[written:]...)
+			}
+			if err != nil {
 				conn.Close()
 				conn = nil
 				failures++
 				select {
 				case <-p.quit:
-					p.onDrop()
 					return
-				case <-time.After(backoff(failures)):
-					continue
+				case <-time.After(p.backoff(failures)):
 				}
 			}
-			break
 		}
 	}
 }
@@ -140,6 +208,7 @@ type peerSet struct {
 	peers    map[string]*peer
 	queueLen int
 	onDrop   func()
+	stats    ioStats
 	closed   bool
 }
 
@@ -152,20 +221,21 @@ func newPeerSet(queueLen int, onDrop func()) *peerSet {
 }
 
 // send enqueues a frame toward addr, creating the peer lazily.
-func (ps *peerSet) send(addr string, frame []byte) {
+func (ps *peerSet) send(addr string, f *frameBuf) {
 	ps.mu.Lock()
 	if ps.closed {
 		ps.mu.Unlock()
 		ps.onDrop()
+		f.recycle()
 		return
 	}
 	p := ps.peers[addr]
 	if p == nil {
-		p = newPeer(addr, ps.queueLen, ps.onDrop)
+		p = newPeer(addr, ps.queueLen, ps.onDrop, &ps.stats)
 		ps.peers[addr] = p
 	}
 	ps.mu.Unlock()
-	p.enqueue(frame)
+	p.enqueue(f)
 }
 
 // close stops every writer and rejects further sends.

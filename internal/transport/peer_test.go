@@ -1,0 +1,59 @@
+package transport
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBackoffBounds pins the reconnect-delay policy: base*2^n capped at
+// backoffMax, uniformly jittered in [d/2, d). The jitter keeps a cohort
+// of peers reconnecting to the same dead node from thundering in phase;
+// the cap keeps a long outage from pushing redial latency past seconds.
+func TestBackoffBounds(t *testing.T) {
+	p := &peer{rng: rand.New(rand.NewSource(1))}
+	for failures := 0; failures <= 20; failures++ {
+		want := backoffBase << uint(min(failures, 10))
+		if want > backoffMax {
+			want = backoffMax
+		}
+		for i := 0; i < 200; i++ {
+			d := p.backoff(failures)
+			if d < want/2 || d >= want {
+				t.Fatalf("backoff(%d) = %v, want in [%v, %v)", failures, d, want/2, want)
+			}
+		}
+	}
+}
+
+// TestBackoffCapped checks the shift can't overflow past the cap for
+// absurd failure counts.
+func TestBackoffCapped(t *testing.T) {
+	p := &peer{rng: rand.New(rand.NewSource(2))}
+	for _, failures := range []int{11, 63, 1 << 20} {
+		if d := p.backoff(failures); d >= backoffMax {
+			t.Errorf("backoff(%d) = %v, want < %v", failures, d, backoffMax)
+		}
+	}
+}
+
+// TestBackoffJitterVaries ensures per-peer rngs actually jitter: two
+// peers with different sources should not produce identical delay
+// sequences (the point of dropping the global math/rand lock was not to
+// also drop the jitter).
+func TestBackoffJitterVaries(t *testing.T) {
+	a := &peer{rng: rand.New(rand.NewSource(3))}
+	b := &peer{rng: rand.New(rand.NewSource(4))}
+	same := true
+	var seqA, seqB []time.Duration
+	for i := 0; i < 16; i++ {
+		da, db := a.backoff(5), b.backoff(5)
+		seqA, seqB = append(seqA, da), append(seqB, db)
+		if da != db {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("two differently-seeded peers produced identical backoff sequences: %v vs %v", seqA, seqB)
+	}
+}

@@ -79,10 +79,15 @@ func decodeControl(body []byte) (*control, error) {
 	return &c, nil
 }
 
-// sendControl frames and enqueues a control record toward addr.
+// sendControl frames and enqueues a control record toward addr. Control
+// records ride the same pooled frame buffers as the data plane, so they
+// coalesce into the writer's vectored flushes too.
 func (n *Node) sendControl(addr string, c *control) {
 	c.From = n.self
-	n.peers.send(addr, appendFrame(frameControl, encodeControl(c)))
+	f := newFrame(frameControl)
+	f.b = append(f.b, encodeControl(c)...)
+	f.finish()
+	n.peers.send(addr, f)
 }
 
 // missThreshold is how many consecutive unanswered maintenance rounds a

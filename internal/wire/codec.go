@@ -12,10 +12,13 @@ import (
 
 // Real framing for the live transport. A marshalled message is the fixed
 // binary envelope (exactly HeaderBytes long, matching the size model the
-// simulator has always charged) followed by the gob encoding of the payload
+// simulator has always charged) followed by the payload encoding: for
+// types with a registered packed codec (packed.go) a one-byte codec tag
+// plus the hand-packed bytes, otherwise the gob encoding of the payload
 // box. The envelope is encoded by hand with encoding/binary so the
 // header cost on real sockets is byte-for-byte the HeaderBytes constant
-// the bandwidth evaluation assumes; only the payload rides gob.
+// the bandwidth evaluation assumes; registered payloads are likewise
+// byte-for-byte what Sizeof charges.
 //
 // Envelope layout (big-endian):
 //
@@ -26,7 +29,8 @@ import (
 //	 17   8 RangeStart
 //	 25   8 RangeEnd
 //	 33   1 flags: bit0 HasRange, bit1 RangeTail, bit2 payload present,
-//	          bits 3-4 Mode, bits 5-6 Dir (0/1/2 for 0/+1/-1)
+//	          bits 3-4 Mode, bits 5-6 Dir (0/1/2 for 0/+1/-1),
+//	          bit7 payload packed (codec v2) vs gob fallback
 //	 34   3 Hops (unsigned, saturating)
 //	 37   8 SentAt
 //
@@ -39,27 +43,44 @@ const (
 	flagPayload   = 1 << 2
 	modeShift     = 3
 	dirShift      = 5
+	flagPacked    = 1 << 7
 	maxHops       = 1<<24 - 1
 )
 
 // payloadBox wraps the message payload so gob encodes the dynamic type
-// through a single interface-typed field. Payload types must be registered
-// with RegisterPayload on both ends of a connection.
+// through a single interface-typed field. Payload types without a packed
+// codec must be registered with RegisterPayload on both ends of a
+// connection.
 type payloadBox struct {
 	P any
 }
 
 // RegisterPayload records a concrete payload type with gob so it can travel
-// through Marshal/Unmarshal. It must be called (typically from an init
-// function of the package defining the payloads) before any message
-// carrying the type crosses a connection.
+// through Marshal/Unmarshal via the fallback path. It must be called
+// (typically from an init function of the package defining the payloads)
+// before any message carrying the type crosses a connection. Types with a
+// packed codec (RegisterPackedPayload) never hit this path, but staying
+// gob-registered too keeps them usable nested inside third-party payloads.
 func RegisterPayload(v any) { gob.Register(v) }
 
-// Marshal encodes a message into a self-contained frame body: the fixed
-// envelope followed by the gob-encoded payload (if any).
+// Marshal encodes a message into a freshly allocated self-contained frame
+// body. Steady-state senders should prefer AppendMarshal with a reused
+// buffer; Marshal remains for one-shot callers and tests.
 func Marshal(msg *dht.Message) ([]byte, error) {
-	var buf bytes.Buffer
-	buf.Grow(HeaderBytes + 64)
+	return AppendMarshal(make([]byte, 0, HeaderBytes+64), msg)
+}
+
+// AppendMarshal appends the frame body for msg to dst and returns the
+// extended slice: the fixed envelope followed by the payload encoding (if
+// any). With a registered packed payload and sufficient capacity in dst it
+// performs no allocations, which is what lets the transport run its encode
+// path entirely out of a sync.Pool.
+func AppendMarshal(dst []byte, msg *dht.Message) ([]byte, error) {
+	var entry packedEntry
+	packed := false
+	if msg.Payload != nil {
+		entry, packed = packedFor(msg.Payload)
+	}
 
 	var env [HeaderBytes]byte
 	env[0] = byte(msg.Kind)
@@ -77,6 +98,9 @@ func Marshal(msg *dht.Message) ([]byte, error) {
 	}
 	if msg.Payload != nil {
 		flags |= flagPayload
+	}
+	if packed {
+		flags |= flagPacked
 	}
 	if msg.Mode < 0 || msg.Mode > 3 {
 		return nil, fmt.Errorf("wire: range mode %d out of envelope bounds", msg.Mode)
@@ -105,18 +129,31 @@ func Marshal(msg *dht.Message) ([]byte, error) {
 	env[36] = byte(hops)
 	binary.BigEndian.PutUint64(env[37:45], uint64(msg.SentAt))
 
-	buf.Write(env[:])
-	if msg.Payload != nil {
+	dst = append(dst, env[:]...)
+	switch {
+	case msg.Payload == nil:
+	case packed:
+		dst = append(dst, entry.tag)
+		var err error
+		dst, err = entry.codec.Append(dst, msg.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("wire: packing %T payload: %w", msg.Payload, err)
+		}
+	default:
+		var buf bytes.Buffer
 		if err := gob.NewEncoder(&buf).Encode(payloadBox{P: msg.Payload}); err != nil {
 			return nil, fmt.Errorf("wire: encoding %T payload: %w", msg.Payload, err)
 		}
+		dst = append(dst, buf.Bytes()...)
 	}
-	return buf.Bytes(), nil
+	return dst, nil
 }
 
 // Unmarshal decodes a frame body produced by Marshal. The returned
 // message's Bytes field is set to the frame length, so observers on the
-// receiving side account exactly what crossed the socket.
+// receiving side account exactly what crossed the socket. The frame slice
+// is not retained: packed codecs and gob both copy what they keep, so
+// callers may reuse the buffer for the next frame.
 func Unmarshal(frame []byte) (*dht.Message, error) {
 	if len(frame) < HeaderBytes {
 		return nil, fmt.Errorf("wire: frame of %d bytes, envelope needs %d", len(frame), HeaderBytes)
@@ -149,9 +186,28 @@ func Unmarshal(frame []byte) (*dht.Message, error) {
 	hasPayload := flags&flagPayload != 0
 	body := frame[HeaderBytes:]
 	if !hasPayload {
+		if flags&flagPacked != 0 {
+			return nil, fmt.Errorf("wire: packed flag on a payload-less frame")
+		}
 		if len(body) != 0 {
 			return nil, fmt.Errorf("wire: %d trailing bytes on a payload-less frame", len(body))
 		}
+		return msg, nil
+	}
+	if flags&flagPacked != 0 {
+		if len(body) < 1 {
+			return nil, fmt.Errorf("wire: packed payload without codec tag")
+		}
+		tag := body[0]
+		codec := packedByTag[tag]
+		if codec == nil {
+			return nil, fmt.Errorf("wire: no codec registered for packed payload tag %d", tag)
+		}
+		p, err := codec.Decode(body[1:])
+		if err != nil {
+			return nil, fmt.Errorf("wire: decoding packed payload of kind %d: %w", msg.Kind, err)
+		}
+		msg.Payload = p
 		return msg, nil
 	}
 	var box payloadBox

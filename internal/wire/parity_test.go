@@ -1,0 +1,46 @@
+package wire_test
+
+import (
+	"testing"
+
+	"streamdex/internal/wire"
+)
+
+// TestPackedSizeParity pins the invariant the bandwidth evaluation rests
+// on: for every registered payload kind, the byte count the simulator is
+// charged (wire.Sizeof, stamped on every middleware send) equals the byte
+// count a live socket carries (len of the Marshal frame, which receivers
+// recompute as Bytes). With the packed codecs this holds exactly — not via
+// gob's marginal-encoding approximation — so live-vs-sim byte accounting
+// can never silently drift.
+func TestPackedSizeParity(t *testing.T) {
+	for _, msg := range roundTripCases() {
+		frame, err := wire.Marshal(msg)
+		if err != nil {
+			t.Fatalf("Marshal(kind %d): %v", msg.Kind, err)
+		}
+		if got, want := wire.Sizeof(msg.Payload), len(frame); got != want {
+			t.Errorf("kind %d payload %T: Sizeof charges %d B, live frame is %d B",
+				msg.Kind, msg.Payload, got, want)
+		}
+	}
+}
+
+// TestAppendMarshalMatchesMarshal guards the two encode entry points
+// against drifting apart: the pooled-buffer path the transport uses must
+// produce byte-identical frames to the allocating one.
+func TestAppendMarshalMatchesMarshal(t *testing.T) {
+	for _, msg := range roundTripCases() {
+		frame, err := wire.Marshal(msg)
+		if err != nil {
+			t.Fatalf("Marshal(kind %d): %v", msg.Kind, err)
+		}
+		appended, err := wire.AppendMarshal(make([]byte, 0, 16), msg)
+		if err != nil {
+			t.Fatalf("AppendMarshal(kind %d): %v", msg.Kind, err)
+		}
+		if string(frame) != string(appended) {
+			t.Errorf("kind %d: Marshal and AppendMarshal frames differ", msg.Kind)
+		}
+	}
+}

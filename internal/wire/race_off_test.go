@@ -1,0 +1,9 @@
+//go:build !race
+
+package wire_test
+
+// raceEnabled reports whether the race detector is active. Pool-backed
+// zero-alloc guards are skipped under -race: the runtime deliberately
+// randomizes sync.Pool hits there to widen race coverage, so pooled
+// paths allocate nondeterministically.
+const raceEnabled = false

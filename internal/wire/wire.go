@@ -5,20 +5,26 @@
 // replaces beta of them), so the bandwidth ablation (A8 in DESIGN.md)
 // measures bytes.
 //
-// Sizes come from actually serializing the payload with encoding/gob plus
-// a fixed per-message header covering the routing envelope (kind, key,
-// source, hop metadata). gob's self-describing type preamble is amortized
-// away in a long-running connection, so Sizeof reports only the marginal
-// value encoding.
+// Sizes come from actually serializing the payload plus a fixed
+// per-message header covering the routing envelope (kind, key, source, hop
+// metadata). Payload types with a registered packed codec (wire codec v2,
+// packed.go) are charged their exact packed encoding — one tag byte plus
+// the hand-packed bytes, byte-for-byte what Marshal puts on a socket, so
+// live and simulated byte accounting can never drift. Types without a
+// codec fall back to gob, whose self-describing type preamble is amortized
+// away in a long-running connection, so the fallback reports only the
+// marginal value encoding.
 //
 // Sizeof sits on the simulator's message hot path (every middleware send
-// stamps its wire size), so it keeps a pool of warmed encoders per concrete
-// payload type: the type-descriptor preamble — by far the expensive part,
-// a reflective walk of the type graph — is paid once per type instead of
-// once per message. gob emits descriptors from the static type on an
-// encoder's first Encode, so a warmed encoder produces exactly the marginal
-// value bytes on every later Encode, and the reported sizes are identical
-// to encoding two copies on a fresh encoder and measuring the second.
+// stamps its wire size). The packed path encodes into a pooled scratch
+// buffer, so steady state is allocation-free. The gob fallback keeps a
+// pool of warmed encoders per concrete payload type: the type-descriptor
+// preamble — by far the expensive part, a reflective walk of the type
+// graph — is paid once per type instead of once per message. gob emits
+// descriptors from the static type on an encoder's first Encode, so a
+// warmed encoder produces exactly the marginal value bytes on every later
+// Encode, and the reported sizes are identical to encoding two copies on a
+// fresh encoder and measuring the second.
 package wire
 
 import (
@@ -47,14 +53,33 @@ type sizer struct {
 // runs out across goroutines) from contending on one encoder.
 var sizers sync.Map
 
-// Sizeof returns the estimated wire size in bytes of a message carrying
-// the given payload: HeaderBytes plus the marginal gob encoding of the
-// payload. A nil payload costs only the header. Payload types must be
-// gob-encodable (exported fields); errors indicate a programming mistake
-// and panic.
+// scratchBuf is a pooled encode buffer for packed size measurement.
+type scratchBuf struct {
+	b []byte
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratchBuf) }}
+
+// Sizeof returns the wire size in bytes of a message carrying the given
+// payload: HeaderBytes plus the payload encoding — exact (tag byte plus
+// packed bytes, equal to len(Marshal(msg))) for types with a registered
+// packed codec, the marginal gob encoding otherwise. A nil payload costs
+// only the header. Fallback payload types must be gob-encodable (exported
+// fields); errors indicate a programming mistake and panic.
 func Sizeof(payload any) int {
 	if payload == nil {
 		return HeaderBytes
+	}
+	if e, ok := packedFor(payload); ok {
+		sb := scratchPool.Get().(*scratchBuf)
+		b, err := e.codec.Append(sb.b[:0], payload)
+		if err != nil {
+			panic(fmt.Sprintf("wire: unpackable payload %T: %v", payload, err))
+		}
+		n := len(b)
+		sb.b = b
+		scratchPool.Put(sb)
+		return HeaderBytes + 1 + n // codec tag byte + packed payload
 	}
 	t := reflect.TypeOf(payload)
 	pv, ok := sizers.Load(t)

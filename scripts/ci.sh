@@ -7,7 +7,10 @@
 #   3. go build   — everything compiles
 #   4. go test -race   — full suite under the race detector (also covers
 #                        the serial-vs-parallel determinism regression)
-#   5. smoke bench     — BENCH_FAST=1 figure benchmarks, one iteration,
+#   5. fuzz smoke      — short native-fuzz run of the wire codec decoder
+#                        (seeded with all nine payload kinds), catching
+#                        panics / runaway allocations on malformed frames
+#   6. smoke bench     — BENCH_FAST=1 figure benchmarks, one iteration,
 #                        so an accidental O(N) regression in the hot paths
 #                        shows up as a CI timeout / obvious slowdown
 set -euo pipefail
@@ -36,6 +39,12 @@ echo "== live transport loopback (race) =="
 # even if the suite above ever starts running in -short mode.
 go test -race -count=1 -run 'TestLoopbackClusterMatchesSimulator|TestRingConvergence' \
     ./internal/transport
+
+echo "== fuzz smoke (FuzzUnmarshal, 10s) =="
+# Mutate frames against the codec v2 decoder for a few seconds. The corpus
+# seeds every registered packed payload kind plus malformed shapes; any
+# panic or round-trip asymmetry fails CI. FUZZ_TIME overrides the budget.
+go test -run '^$' -fuzz 'FuzzUnmarshal' -fuzztime "${FUZZ_TIME:-10s}" ./internal/wire
 
 echo "== smoke bench (BENCH_FAST=1) =="
 BENCH_FAST=1 go test -run '^$' \
