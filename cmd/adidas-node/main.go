@@ -20,6 +20,7 @@
 //	    -> MATCH <stream> <seq> <distLB>  (repeated)
 //	    -> END <count>
 //	RING                                            ring pointers
+//	RINGSTATS                                       ring-maintenance counters
 //	STREAMS                                         locally sourced streams
 //	QUIT                                            close the connection
 package main
@@ -219,6 +220,20 @@ func serveConn(conn net.Conn, node *transport.Node, mw *core.Middleware) {
 			for _, s := range info.SuccList {
 				reply("SUCC %d %s", s.ID, s.Addr)
 			}
+			reply("END")
+		case "RINGSTATS":
+			// Control-plane health: how hard maintenance is working and
+			// what it has had to repair (stabilize rounds/misses, successor
+			// rotations, predecessor drops, finger repairs, stale or
+			// TTL-dropped lookups).
+			s := node.RingStats()
+			reply("STABILIZE-ROUNDS %d", s.StabilizeRounds)
+			reply("STABILIZE-MISSES %d", s.StabilizeMisses)
+			reply("SUCC-ROTATIONS %d", s.SuccRotations)
+			reply("PRED-DROPS %d", s.PredDrops)
+			reply("FINGER-REPAIRS %d", s.FingerRepairs)
+			reply("STALE-FIND-RESPS %d", s.StaleFindResps)
+			reply("FIND-DROPS %d", s.FindDrops)
 			reply("END")
 		case "STREAMS":
 			var sids []string

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sort"
 
+	"streamdex/internal/chord/protocol"
 	"streamdex/internal/clock"
 	"streamdex/internal/dht"
 	"streamdex/internal/sim"
+	"streamdex/internal/wire"
 )
 
 // Config carries the simulation and protocol parameters.
@@ -128,24 +130,59 @@ func (net *Network) isAlive(id dht.Key) bool {
 // Alive implements dht.Substrate.
 func (net *Network) Alive(id dht.Key) bool { return net.isAlive(id) }
 
-// addNode registers a fresh node object (not yet wired into the ring).
+// addNode registers a fresh node object (not yet wired into the ring) and
+// builds its protocol machine on the shared event-engine clock.
 func (net *Network) addNode(id dht.Key, app dht.App) *Node {
 	id = net.space.Wrap(id)
 	if _, exists := net.nodes[id]; exists {
 		panic(fmt.Sprintf("chord: duplicate node id %d", id))
 	}
-	m := int(net.space.M)
 	n := &Node{
-		id:       id,
-		net:      net,
-		app:      app,
-		alive:    true,
-		finger:   make([]dht.Key, m),
-		fingerOK: make([]bool, m),
+		id:    id,
+		net:   net,
+		app:   app,
+		alive: true,
 	}
+	n.m = protocol.New(protocol.Config{
+		Space:           net.space,
+		SuccListLen:     net.cfg.SuccListLen,
+		StabilizeEvery:  net.cfg.StabilizeEvery,
+		FixFingersEvery: net.cfg.FixFingersEvery,
+	}, protocol.Ref{ID: id}, net.clk, func(to protocol.Ref, payload any) {
+		net.transmitControl(n, to, payload)
+	})
+	// Routing (not the maintenance protocol) may skip entries the
+	// simulation knows are dead — the historical hardening of the
+	// simulated data plane. Convergence itself stays purely message-driven.
+	n.m.SetAliveFilter(net.isAlive)
 	net.nodes[id] = n
 	net.insertAlive(id)
 	return n
+}
+
+// transmitControl delivers one control-plane message after the per-hop
+// delay, charging the observer exactly like a data-plane transmission
+// (wire.Sizeof bytes — what the message would cost on a socket). Messages
+// toward dead nodes are silently lost; the sender's miss accounting is
+// what notices, just as on a real network. Control losses do not count
+// into Dropped, which tracks the data plane the evaluation measures.
+func (net *Network) transmitControl(from *Node, to protocol.Ref, payload any) {
+	msg := &dht.Message{
+		Kind:   protocol.KindRing,
+		Key:    to.ID,
+		Src:    from.id,
+		Bytes:  wire.Sizeof(payload),
+		SentAt: net.clk.Now(),
+	}
+	net.clk.Schedule(net.cfg.HopDelay, func() {
+		tgt := net.nodes[to.ID]
+		if tgt == nil || !tgt.alive {
+			return
+		}
+		msg.Hops = 1
+		net.obs.OnTransmit(from.id, to.ID, msg)
+		tgt.m.Handle(payload)
+	})
 }
 
 func (net *Network) insertAlive(id dht.Key) {
@@ -218,27 +255,27 @@ func (net *Network) rewireNode(n *Node) {
 		panic("chord: rewire of unregistered node")
 	}
 	// Successor list.
-	n.succList = n.succList[:0]
+	succList := make([]protocol.Ref, 0, net.cfg.SuccListLen)
 	for k := 1; k <= net.cfg.SuccListLen && k < sz+1; k++ {
 		s := ring[(pos+k)%sz]
 		if s == n.id {
 			break
 		}
-		n.succList = append(n.succList, s)
+		succList = append(succList, protocol.Ref{ID: s})
 	}
-	if len(n.succList) == 0 {
-		n.succList = append(n.succList, n.id)
+	if len(succList) == 0 {
+		succList = append(succList, protocol.Ref{ID: n.id})
 	}
 	// Predecessor.
-	n.pred = ring[(pos-1+sz)%sz]
-	n.hasPred = true
+	pred := protocol.Ref{ID: ring[(pos-1+sz)%sz]}
 	// Fingers: finger[i] = successor(id + 2^i).
-	for i := range n.finger {
+	fingers := make([]protocol.Ref, net.space.M)
+	for i := range fingers {
 		target := net.space.Add(n.id, 1<<uint(i))
 		s, _ := net.OracleSuccessor(target)
-		n.finger[i] = s
-		n.fingerOK[i] = true
+		fingers[i] = protocol.Ref{ID: s}
 	}
+	n.m.InstallRing(&pred, succList, fingers)
 }
 
 // SetApp replaces the application of an existing node (used by middleware
@@ -318,7 +355,7 @@ func (net *Network) SendToSuccessor(from dht.Key, msg *dht.Message) {
 		net.dropped++
 		return
 	}
-	succ, ok := n.aliveSuccessor()
+	succ, ok := n.liveSuccessor()
 	if !ok || succ == from {
 		net.dropped++
 		return
@@ -333,7 +370,7 @@ func (net *Network) SendToPredecessor(from dht.Key, msg *dht.Message) {
 		net.dropped++
 		return
 	}
-	pred, ok := n.alivePredecessor()
+	pred, ok := n.livePredecessor()
 	if !ok || pred == from {
 		net.dropped++
 		return

@@ -16,20 +16,25 @@
 //     reports every transmission and delivery to an observer for the
 //     evaluation's message accounting.
 //
-// Control-plane maintenance (stabilization RPCs) reads peer state directly
-// but only through liveness-checked accessors; the data plane — everything
-// the paper measures — is fully event-driven and pays the per-hop delay.
+// The control plane is the shared message-driven protocol state machine
+// (internal/chord/protocol) — the same code the live TCP transport runs.
+// The simulator's adapter delivers its control messages through the event
+// engine with the per-hop delay, so maintenance traffic is observable and
+// chargeable exactly like data traffic, and churn scenarios exercise the
+// protocol that actually deploys.
 package chord
 
 import (
 	"fmt"
 
-	"streamdex/internal/clock"
+	"streamdex/internal/chord/protocol"
 	"streamdex/internal/dht"
+	"streamdex/internal/metrics"
 )
 
 // Node is one simulated Chord node (a data center / sensor proxy in the
-// paper's architecture).
+// paper's architecture). Its ring state lives in the embedded protocol
+// machine; the Node itself carries only simulation plumbing.
 type Node struct {
 	id  dht.Key
 	net *Network
@@ -37,22 +42,9 @@ type Node struct {
 
 	alive bool
 
-	// pred is the ring predecessor; hasPred distinguishes "unknown".
-	pred    dht.Key
-	hasPred bool
-
-	// succList[0] is the immediate successor; the tail provides failure
-	// tolerance (Chord's successor-list technique).
-	succList []dht.Key
-
-	// finger[i] is the successor of id + 2^i (mod 2^m); fingerOK marks
-	// entries that have been populated. finger[0] duplicates the
-	// immediate successor.
-	finger     []dht.Key
-	fingerOK   []bool
-	nextFinger int
-
-	tickers []clock.Ticker
+	// m is the node's control-plane state machine — the same code a live
+	// transport node runs, driven here through the event engine.
+	m *protocol.Machine
 }
 
 // ID returns the node's ring identifier.
@@ -61,102 +53,66 @@ func (n *Node) ID() dht.Key { return n.id }
 // Alive reports whether the node is up.
 func (n *Node) Alive() bool { return n.alive }
 
+// Protocol exposes the node's control-plane state machine for tests and
+// tools (e.g. the sim-vs-live parity harness).
+func (n *Node) Protocol() *protocol.Machine { return n.m }
+
+// RingStats returns a snapshot of the node's control-plane maintenance
+// counters — the same metrics a live transport node reports.
+func (n *Node) RingStats() metrics.Ring { return n.m.Stats() }
+
 // Successor returns the node's immediate successor pointer.
 func (n *Node) Successor() dht.Key {
-	if len(n.succList) == 0 {
-		return n.id
+	if s, ok := n.m.Successor(); ok {
+		return s.ID
 	}
-	return n.succList[0]
+	return n.id
 }
 
 // Predecessor returns the predecessor pointer and whether it is known.
-func (n *Node) Predecessor() (dht.Key, bool) { return n.pred, n.hasPred }
+func (n *Node) Predecessor() (dht.Key, bool) {
+	if p, ok := n.m.Predecessor(); ok {
+		return p.ID, true
+	}
+	return 0, false
+}
 
 // Finger returns entry i of the finger table (the successor of id + 2^i)
 // and whether it has been populated.
 func (n *Node) Finger(i int) (dht.Key, bool) {
-	if i < 0 || i >= len(n.finger) {
-		return 0, false
-	}
-	return n.finger[i], n.fingerOK[i]
-}
-
-// covers reports whether this node is the successor node of key, i.e.
-// whether key lies in (predecessor, id]. A node with no known predecessor
-// only covers its own identifier (conservative: routing will pass the
-// message to a stabilized neighbor instead).
-func (n *Node) covers(key dht.Key) bool {
-	if !n.hasPred {
-		return key == n.id
-	}
-	return n.net.space.BetweenIncl(key, n.pred, n.id)
-}
-
-// aliveSuccessor returns the first live entry of the successor list, or
-// (0, false) if all known successors are down.
-func (n *Node) aliveSuccessor() (dht.Key, bool) {
-	for _, s := range n.succList {
-		if n.net.isAlive(s) {
-			return s, true
-		}
+	if f, ok := n.m.Finger(i); ok {
+		return f.ID, true
 	}
 	return 0, false
 }
 
-// alivePredecessor returns the predecessor if known and live.
-func (n *Node) alivePredecessor() (dht.Key, bool) {
-	if n.hasPred && n.net.isAlive(n.pred) {
-		return n.pred, true
+// covers reports whether this node is the successor node of key.
+func (n *Node) covers(key dht.Key) bool { return n.m.Covers(key) }
+
+// liveSuccessor returns the first live entry of the successor list.
+func (n *Node) liveSuccessor() (dht.Key, bool) {
+	if s, ok := n.m.LiveSuccessor(); ok {
+		return s.ID, true
 	}
 	return 0, false
 }
 
-// closestPrecedingAlive returns the live node from this node's routing
-// state (fingers and successor list) that most immediately precedes key,
-// or (0, false) when none precedes it. This is Chord's
-// closest_preceding_finger, hardened against failed entries.
-func (n *Node) closestPrecedingAlive(key dht.Key) (dht.Key, bool) {
-	sp := n.net.space
-	best := dht.Key(0)
-	found := false
-	consider := func(c dht.Key) {
-		if c == n.id || !n.net.isAlive(c) {
-			return
-		}
-		if !sp.Between(c, n.id, key) {
-			return
-		}
-		if !found || sp.Between(best, n.id, c) {
-			best, found = c, true
-		}
+// livePredecessor returns the predecessor if known and live.
+func (n *Node) livePredecessor() (dht.Key, bool) {
+	if p, ok := n.m.LivePredecessor(); ok {
+		return p.ID, true
 	}
-	for i := len(n.finger) - 1; i >= 0; i-- {
-		if n.fingerOK[i] {
-			consider(n.finger[i])
-		}
-	}
-	for _, s := range n.succList {
-		consider(s)
-	}
-	return best, found
+	return 0, false
 }
 
 // nextHop picks the forwarding target for a message addressed to key, per
-// Chord's routing rule: if key lies between this node and its successor the
-// successor is final; otherwise forward to the closest preceding live
-// finger (Fig. 1(b)).
+// Chord's routing rule (Fig. 1(b)), hardened against failed entries via
+// the network's liveness filter.
 func (n *Node) nextHop(key dht.Key) (dht.Key, bool) {
-	succ, ok := n.aliveSuccessor()
-	if !ok {
-		return 0, false
+	if next, ok := n.m.NextHop(key); ok {
+		return next.ID, true
 	}
-	if n.net.space.BetweenIncl(key, n.id, succ) {
-		return succ, true
-	}
-	if c, ok := n.closestPrecedingAlive(key); ok {
-		return c, true
-	}
-	return succ, true
+	return 0, false
 }
 
 // String implements fmt.Stringer for diagnostics.

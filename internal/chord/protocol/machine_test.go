@@ -1,0 +1,259 @@
+package protocol
+
+import (
+	"testing"
+
+	"streamdex/internal/clock"
+	"streamdex/internal/dht"
+	"streamdex/internal/sim"
+)
+
+// capture records every (dest, message) pair a machine emits, standing in
+// for a substrate adapter. Tests deliver replies by calling Handle directly,
+// so every exchange is explicit and deterministic.
+type capture struct {
+	out []sent
+}
+
+type sent struct {
+	to  Ref
+	msg any
+}
+
+func (c *capture) send(to Ref, msg any) { c.out = append(c.out, sent{to, msg}) }
+
+func (c *capture) findReqs() []FindReq {
+	var reqs []FindReq
+	for _, s := range c.out {
+		if r, ok := s.msg.(FindReq); ok {
+			reqs = append(reqs, r)
+		}
+	}
+	return reqs
+}
+
+func (c *capture) reset() { c.out = c.out[:0] }
+
+func newTestMachine(cfg Config, id dht.Key) (*Machine, *capture, *sim.Engine) {
+	eng := sim.NewEngine()
+	cap := &capture{}
+	if cfg.Space.M == 0 {
+		cfg.Space = dht.NewSpace(16)
+	}
+	m := New(cfg, Ref{ID: id}, clock.Virtual(eng), cap.send)
+	return m, cap, eng
+}
+
+// TestJoinRetrySupersedesToken is the stale-token regression test: once a
+// join lookup has been re-issued, a late answer to the superseded attempt
+// must be counted stale and discarded — resolving it would install an
+// outdated successor over the fresh answer.
+func TestJoinRetrySupersedesToken(t *testing.T) {
+	cfg := Config{
+		SuccListLen:    4,
+		StabilizeEvery: 100 * sim.Millisecond,
+		JoinRetryEvery: 150 * sim.Millisecond,
+		MissThreshold:  1, // lookup expiry = 100 ms, before the 150 ms retry
+	}
+	m, cap, eng := newTestMachine(cfg, 100)
+
+	var joined []Ref
+	m.Join(Ref{ID: 200}, func(succ Ref) { joined = append(joined, succ) })
+	if reqs := cap.findReqs(); len(reqs) != 1 {
+		t.Fatalf("join issued %d FindReqs, want 1", len(reqs))
+	}
+	tok1 := cap.findReqs()[0].Token
+
+	// Past the expiry (100 ms) and the first retry (150 ms): a second
+	// lookup with a fresh token must be on the wire.
+	eng.RunFor(160 * sim.Millisecond)
+	reqs := cap.findReqs()
+	if len(reqs) != 2 {
+		t.Fatalf("after expiry+retry: %d FindReqs, want 2", len(reqs))
+	}
+	tok2 := reqs[1].Token
+	if tok2 == tok1 {
+		t.Fatal("retry reused the superseded token")
+	}
+
+	// The fresh answer wins.
+	m.Handle(FindResp{From: Ref{ID: 200}, Token: tok2, Succ: Ref{ID: 250}})
+	if s, ok := m.Successor(); !ok || s.ID != 250 {
+		t.Fatalf("successor after fresh answer = %v, want 250", s)
+	}
+	if len(joined) != 1 || joined[0].ID != 250 {
+		t.Fatalf("onJoined calls = %v, want one with 250", joined)
+	}
+
+	// The late answer to the superseded attempt is stale: dropped, counted,
+	// and must not disturb the installed successor.
+	m.Handle(FindResp{From: Ref{ID: 200}, Token: tok1, Succ: Ref{ID: 999}})
+	if s, _ := m.Successor(); s.ID != 250 {
+		t.Fatalf("stale answer installed successor %d", s.ID)
+	}
+	if got := m.Stats().StaleFindResps; got != 1 {
+		t.Fatalf("StaleFindResps = %d, want 1", got)
+	}
+	if len(joined) != 1 {
+		t.Fatalf("stale answer re-triggered onJoined: %v", joined)
+	}
+}
+
+// TestJoinRetryWaitsForExpiry pins the livelock fix: when the lookup round
+// trip is slower than the retry period, the retry tick must NOT cancel the
+// in-flight token (that would make every answer arrive stale, forever).
+func TestJoinRetryWaitsForExpiry(t *testing.T) {
+	cfg := Config{
+		SuccListLen:    4,
+		StabilizeEvery: 200 * sim.Millisecond, // expiry = 3 * 200 ms
+		JoinRetryEvery: 50 * sim.Millisecond,  // much faster than the lookup
+	}
+	m, cap, eng := newTestMachine(cfg, 100)
+	m.Join(Ref{ID: 200}, nil)
+	tok1 := cap.findReqs()[0].Token
+
+	// Several retry periods later — but still inside the expiry window —
+	// the original token must be the only one issued.
+	eng.RunFor(180 * sim.Millisecond)
+	if reqs := cap.findReqs(); len(reqs) != 1 {
+		t.Fatalf("retry cancelled an in-flight lookup: %d FindReqs", len(reqs))
+	}
+	// The slow answer still lands.
+	m.Handle(FindResp{From: Ref{ID: 200}, Token: tok1, Succ: Ref{ID: 300}})
+	if s, ok := m.Successor(); !ok || s.ID != 300 {
+		t.Fatalf("slow answer rejected: successor=%v ok=%v", s, ok)
+	}
+	if got := m.Stats().StaleFindResps; got != 0 {
+		t.Fatalf("StaleFindResps = %d, want 0", got)
+	}
+}
+
+// TestFindReqTTLExhausted: a request arriving with no TTL budget is dropped
+// outright — never answered, never forwarded.
+func TestFindReqTTLExhausted(t *testing.T) {
+	m, cap, _ := newTestMachine(Config{SuccListLen: 4}, 100)
+	pred := Ref{ID: 50}
+	m.InstallRing(&pred, []Ref{{ID: 200}}, nil)
+
+	m.Handle(FindReq{From: Ref{ID: 400}, Token: 7, Target: 150, TTL: 0, ReplyTo: Ref{ID: 400}})
+	if len(cap.out) != 0 {
+		t.Fatalf("TTL=0 request produced sends: %v", cap.out)
+	}
+	// TTL=1 may still be *answered* (no forwarding involved) ...
+	m.Handle(FindReq{From: Ref{ID: 400}, Token: 8, Target: 150, TTL: 1, ReplyTo: Ref{ID: 400}})
+	if len(cap.out) != 1 {
+		t.Fatalf("answerable TTL=1 request: %d sends, want 1", len(cap.out))
+	}
+	resp, ok := cap.out[0].msg.(FindResp)
+	if !ok || resp.Succ.ID != 200 || cap.out[0].to.ID != 400 {
+		t.Fatalf("bad answer: %+v to %v", cap.out[0].msg, cap.out[0].to)
+	}
+	cap.reset()
+	// ... but a TTL=1 request that would need another hop is dropped.
+	m.Handle(FindReq{From: Ref{ID: 400}, Token: 9, Target: 300, TTL: 1, ReplyTo: Ref{ID: 400}})
+	if len(cap.out) != 0 {
+		t.Fatalf("TTL=1 request was forwarded: %v", cap.out)
+	}
+	if got := m.Stats().FindDrops; got != 2 {
+		t.Fatalf("FindDrops = %d, want 2", got)
+	}
+	// A forwardable request is relayed with the TTL decremented and the
+	// hop-sender rewritten.
+	m.Handle(FindReq{From: Ref{ID: 400}, Token: 10, Target: 300, TTL: 5, ReplyTo: Ref{ID: 400}})
+	if len(cap.out) != 1 {
+		t.Fatalf("forwardable request: %d sends, want 1", len(cap.out))
+	}
+	fwd := cap.out[0].msg.(FindReq)
+	if fwd.TTL != 4 || fwd.From.ID != 100 || fwd.Target != 300 || fwd.ReplyTo.ID != 400 {
+		t.Fatalf("bad forward: %+v", fwd)
+	}
+}
+
+// TestMissRotation: unanswered stabilize rounds rotate the successor list
+// and eventually drop an unresponsive predecessor, with every step counted.
+func TestMissRotation(t *testing.T) {
+	cfg := Config{
+		SuccListLen:    4,
+		StabilizeEvery: 100 * sim.Millisecond,
+		MissThreshold:  2,
+	}
+	m, cap, eng := newTestMachine(cfg, 100)
+	pred := Ref{ID: 50}
+	m.InstallRing(&pred, []Ref{{ID: 200}, {ID: 300}}, nil)
+	m.StartMaintenance()
+
+	// Two silent rounds: the head is presumed dead and rotated out, and the
+	// silent predecessor is cleared.
+	eng.RunFor(250 * sim.Millisecond)
+	if s, _ := m.Successor(); s.ID != 300 {
+		t.Fatalf("successor after rotation = %d, want 300", s.ID)
+	}
+	if _, ok := m.Predecessor(); ok {
+		t.Fatal("silent predecessor survived the miss threshold")
+	}
+	st := m.Stats()
+	if st.SuccRotations != 1 || st.PredDrops != 1 || st.StabilizeMisses != 2 || st.StabilizeRounds != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The machine probes the rotated-in successor from then on.
+	last := cap.out[len(cap.out)-1]
+	if req, ok := last.msg.(StabReq); !ok || last.to.ID != 300 || req.From.ID != 100 {
+		t.Fatalf("last send = %+v to %v, want StabReq to 300", last.msg, last.to)
+	}
+}
+
+// TestStabilizeAdoptsCloserSuccessor: the successor's predecessor, when it
+// lies between us and the successor, becomes the new successor (the core
+// stabilize rule) and is notified.
+func TestStabilizeAdoptsCloserSuccessor(t *testing.T) {
+	m, cap, _ := newTestMachine(Config{SuccListLen: 4}, 100)
+	m.InstallRing(nil, []Ref{{ID: 300}}, nil)
+
+	m.Handle(StabResp{
+		From:    Ref{ID: 300},
+		HasPred: true,
+		Pred:    Ref{ID: 200},
+		SuccList: []Ref{
+			{ID: 300}, {ID: 400},
+		},
+	})
+	want := []dht.Key{200, 300, 400}
+	got := m.SuccessorList()
+	if len(got) != len(want) {
+		t.Fatalf("successor list = %v, want ids %v", got, want)
+	}
+	for i, r := range got {
+		if r.ID != want[i] {
+			t.Fatalf("successor list = %v, want ids %v", got, want)
+		}
+	}
+	last := cap.out[len(cap.out)-1]
+	if _, ok := last.msg.(Notify); !ok || last.to.ID != 200 {
+		t.Fatalf("last send = %+v to %v, want Notify to 200", last.msg, last.to)
+	}
+	// A StabResp from a node that is no longer the successor is ignored.
+	m.Handle(StabResp{From: Ref{ID: 300}, SuccList: []Ref{{ID: 300}}})
+	if s, _ := m.Successor(); s.ID != 200 {
+		t.Fatalf("stale StabResp reinstalled %d", s.ID)
+	}
+}
+
+// TestNotifyRule: a notify installs the sender as predecessor only when it
+// improves on the current one.
+func TestNotifyRule(t *testing.T) {
+	m, _, _ := newTestMachine(Config{SuccListLen: 4}, 100)
+	m.InstallRing(nil, []Ref{{ID: 300}}, nil)
+
+	m.Handle(Notify{From: Ref{ID: 150}})
+	if p, ok := m.Predecessor(); !ok || p.ID != 150 {
+		t.Fatalf("first notify: pred=%v ok=%v", p, ok)
+	}
+	m.Handle(Notify{From: Ref{ID: 120}}) // not between (150, 100): keep
+	if p, _ := m.Predecessor(); p.ID != 150 {
+		t.Fatalf("farther notify replaced pred: %d", p.ID)
+	}
+	m.Handle(Notify{From: Ref{ID: 180}}) // between (150, 100): adopt
+	if p, _ := m.Predecessor(); p.ID != 180 {
+		t.Fatalf("closer notify ignored: %d", p.ID)
+	}
+}

@@ -1,0 +1,785 @@
+// Package protocol implements the Chord control plane — join, greedy
+// find_successor routing with TTL, stabilize/notify, successor-list
+// rotation, finger repair, predecessor liveness — as one pure,
+// message-driven state machine shared verbatim by the discrete-event
+// simulator (internal/chord) and the TCP transport (internal/transport).
+//
+// The machine is substrate-blind: it consumes decoded control messages
+// (Handle) plus clock.Clock timers and emits (dest, message) pairs through
+// a send hook. It knows nothing about sockets or the event engine — the
+// simulator's adapter delivers sends after the per-hop delay through the
+// engine, the transport's adapter frames them over TCP with the packed
+// wire codec. Both substrates therefore make bit-for-bit the same ring
+// decisions on the same message trace, which is exactly the property the
+// paper's "runs on virtually any content-based routing implementation"
+// claim needs: behavior observed in simulation is the behavior deployed.
+//
+// Failure detection is deadline-free: a stabilize round that brings no
+// response before the next tick counts as a miss, and MissThreshold
+// consecutive misses rotate the successor list (or clear the predecessor).
+// Liveness short-cuts are available only through an optional alive filter
+// used for *routing* candidate selection (the simulator wires its oracle
+// in, matching its historical hardened routing); the maintenance protocol
+// itself never consults it, so control-plane convergence is driven purely
+// by messages on both substrates.
+//
+// All methods must be called from the substrate's single event-loop
+// context (the engine goroutine in simulation, the clock.Wall loop live);
+// the machine does no locking of its own.
+package protocol
+
+import (
+	"streamdex/internal/clock"
+	"streamdex/internal/dht"
+	"streamdex/internal/metrics"
+	"streamdex/internal/sim"
+)
+
+// Config carries the protocol parameters.
+type Config struct {
+	// Space is the identifier universe.
+	Space dht.Space
+	// SuccListLen is the successor-list length (failure tolerance).
+	// Defaults to 8.
+	SuccListLen int
+	// StabilizeEvery is the period of the stabilize/notify/ping maintenance
+	// task. Zero disables periodic maintenance (the machine still answers
+	// peers' messages).
+	StabilizeEvery sim.Time
+	// FixFingersEvery is the period of finger repair (one entry per
+	// firing); zero disables fingers (routing falls back to successors).
+	FixFingersEvery sim.Time
+	// JoinRetryEvery is the period at which an unanswered join lookup is
+	// re-issued. Each retry invalidates the previous lookup token, so a
+	// late answer to a superseded attempt can never install a stale
+	// successor. Defaults to StabilizeEvery, or 500 ms when maintenance is
+	// disabled.
+	JoinRetryEvery sim.Time
+	// MissThreshold is how many consecutive unanswered maintenance rounds
+	// a neighbor survives before being presumed dead. Defaults to 3.
+	MissThreshold int
+	// FindTTL bounds the greedy routing of a FindReq. Defaults to 64.
+	FindTTL int
+}
+
+// pendingFind tracks an outstanding successor lookup.
+type pendingFind struct {
+	onResp func(Ref)
+	timer  clock.Timer
+}
+
+// joinState tracks an in-flight join attempt.
+type joinState struct {
+	bootstrap Ref
+	token     uint64
+	retry     clock.Ticker
+	onJoined  func(Ref)
+}
+
+// Machine is one node's Chord control-plane state machine.
+type Machine struct {
+	cfg   Config
+	space dht.Space
+	self  Ref
+	clk   clock.Clock
+	send  func(to Ref, msg any)
+
+	// alive is the optional routing-time liveness filter; nil trusts the
+	// message-learned state (the live transport's situation).
+	alive func(dht.Key) bool
+
+	// Ring state.
+	pred       *Ref
+	succList   []Ref
+	finger     []Ref
+	fingerOK   []bool
+	fingerTok  []uint64 // outstanding repair lookup per entry (0 = none)
+	nextFinger int
+
+	// Miss accounting.
+	stabSeen   bool
+	stabMisses int
+	predSeen   bool
+	predMisses int
+
+	// Outstanding lookups.
+	nextToken uint64
+	pendFind  map[uint64]*pendingFind
+
+	join *joinState
+
+	tickers  []clock.Ticker
+	phaseSet bool
+	stabPh   sim.Time
+	fixPh    sim.Time
+
+	stopped bool
+
+	stats metrics.Ring
+}
+
+// New builds a machine for self. send is invoked synchronously (from
+// Handle and from timer callbacks) for every outgoing control message; the
+// substrate adapter owns delivery.
+func New(cfg Config, self Ref, clk clock.Clock, send func(to Ref, msg any)) *Machine {
+	if cfg.Space.M == 0 {
+		panic("protocol: config without identifier space")
+	}
+	if clk == nil || send == nil {
+		panic("protocol: machine without clock or send hook")
+	}
+	if cfg.SuccListLen <= 0 {
+		cfg.SuccListLen = 8
+	}
+	if cfg.MissThreshold <= 0 {
+		cfg.MissThreshold = 3
+	}
+	if cfg.FindTTL <= 0 {
+		cfg.FindTTL = 64
+	}
+	if cfg.JoinRetryEvery <= 0 {
+		if cfg.StabilizeEvery > 0 {
+			cfg.JoinRetryEvery = cfg.StabilizeEvery
+		} else {
+			cfg.JoinRetryEvery = 500 * sim.Millisecond
+		}
+	}
+	m := int(cfg.Space.M)
+	return &Machine{
+		cfg:       cfg,
+		space:     cfg.Space,
+		self:      Ref{ID: cfg.Space.Wrap(self.ID), Addr: self.Addr},
+		clk:       clk,
+		send:      send,
+		finger:    make([]Ref, m),
+		fingerOK:  make([]bool, m),
+		fingerTok: make([]uint64, m),
+		pendFind:  make(map[uint64]*pendingFind),
+	}
+}
+
+// SetAliveFilter installs the routing-time liveness filter (nil clears
+// it). Only next-hop candidate selection consults it; the maintenance
+// protocol never does, so filtered and unfiltered machines converge
+// through the same message exchanges.
+func (m *Machine) SetAliveFilter(alive func(dht.Key) bool) { m.alive = alive }
+
+// SetPhases fixes the initial delay of the two maintenance tickers
+// (normally the full period). Substrates use it to stagger nodes so they
+// do not stabilize in lock-step. Call before StartMaintenance.
+func (m *Machine) SetPhases(stabilize, fixFingers sim.Time) {
+	m.phaseSet = true
+	m.stabPh, m.fixPh = stabilize, fixFingers
+}
+
+// Self returns the machine's own ref.
+func (m *Machine) Self() Ref { return m.self }
+
+// Joined reports whether the machine has ring state (a successor list).
+func (m *Machine) Joined() bool { return len(m.succList) > 0 }
+
+// Stats returns a snapshot of the maintenance counters.
+func (m *Machine) Stats() metrics.Ring { return m.stats }
+
+// --- Lifecycle ---
+
+// Create bootstraps a brand-new one-node ring and starts maintenance.
+func (m *Machine) Create() {
+	if m.stopped {
+		return
+	}
+	p := m.self
+	m.pred = &p
+	m.succList = []Ref{m.self}
+	m.StartMaintenance()
+}
+
+// Join enters an existing ring through bootstrap: it asks the ring for
+// the successor of its own identifier and, once answered, adopts it,
+// starts maintenance and calls onJoined (which may be nil). Unanswered
+// lookups are retried every JoinRetryEvery; each retry cancels the
+// previous lookup token so a late FindResp to a superseded attempt is
+// counted stale and discarded rather than installed.
+func (m *Machine) Join(bootstrap Ref, onJoined func(Ref)) {
+	if m.stopped || m.Joined() || m.join != nil {
+		return
+	}
+	m.join = &joinState{bootstrap: bootstrap, onJoined: onJoined}
+	m.sendJoinFind()
+	m.join.retry = m.clk.EveryAfter(m.cfg.JoinRetryEvery, m.cfg.JoinRetryEvery, m.retryJoin)
+}
+
+// AbandonJoin cancels an in-flight join attempt (caller-side timeout).
+func (m *Machine) AbandonJoin() {
+	j := m.join
+	if j == nil {
+		return
+	}
+	m.join = nil
+	if j.retry != nil {
+		j.retry.Stop()
+	}
+	m.cancelFind(j.token)
+}
+
+// sendJoinFind issues (or re-issues) the join lookup toward the bootstrap
+// node, superseding any previous attempt's token.
+func (m *Machine) sendJoinFind() {
+	j := m.join
+	m.cancelFind(j.token)
+	tok := m.newToken()
+	pf := &pendingFind{onResp: m.completeJoin}
+	pf.timer = m.clk.Schedule(m.findExpiry(), func() { delete(m.pendFind, tok) })
+	m.pendFind[tok] = pf
+	j.token = tok
+	m.send(j.bootstrap, FindReq{
+		From: m.self, Token: tok, Target: m.self.ID, TTL: m.cfg.FindTTL, ReplyTo: m.self,
+	})
+}
+
+func (m *Machine) retryJoin() {
+	if m.join == nil {
+		return
+	}
+	if _, pending := m.pendFind[m.join.token]; pending {
+		// The previous attempt is still inside its expiry window — its
+		// answer may simply be several hops away. Re-issuing now would
+		// cancel the token and turn every in-flight answer stale, which on
+		// a slow path repeats forever (the retry period racing the lookup
+		// round trip). Retry only once the lookup has provably expired.
+		return
+	}
+	m.sendJoinFind()
+}
+
+// completeJoin adopts the successor the ring answered with.
+func (m *Machine) completeJoin(succ Ref) {
+	j := m.join
+	if j == nil {
+		return
+	}
+	m.join = nil
+	if j.retry != nil {
+		j.retry.Stop()
+	}
+	if succ.ID == m.self.ID {
+		succ = m.self
+	}
+	m.succList = []Ref{succ}
+	m.pred = nil
+	m.StartMaintenance()
+	if j.onJoined != nil {
+		j.onJoined(succ)
+	}
+}
+
+// StartMaintenance launches the periodic stabilize and fix-fingers tasks.
+// Idempotent; a no-op when StabilizeEvery is zero.
+func (m *Machine) StartMaintenance() {
+	if m.stopped || len(m.tickers) > 0 || m.cfg.StabilizeEvery <= 0 {
+		return
+	}
+	stabPh, fixPh := m.cfg.StabilizeEvery, m.cfg.FixFingersEvery
+	if m.phaseSet {
+		stabPh, fixPh = m.stabPh, m.fixPh
+	}
+	m.tickers = append(m.tickers, m.clk.EveryAfter(stabPh, m.cfg.StabilizeEvery, m.stabilizeTick))
+	if m.cfg.FixFingersEvery > 0 {
+		m.tickers = append(m.tickers, m.clk.EveryAfter(fixPh, m.cfg.FixFingersEvery, m.fixNextFinger))
+	}
+}
+
+// Stop halts maintenance and cancels outstanding lookups; the machine
+// ignores all further messages. Used for shutdown and crash simulation.
+func (m *Machine) Stop() {
+	m.stopped = true
+	for _, t := range m.tickers {
+		t.Stop()
+	}
+	m.tickers = nil
+	for tok, pf := range m.pendFind {
+		pf.timer.Cancel()
+		delete(m.pendFind, tok)
+	}
+	if m.join != nil && m.join.retry != nil {
+		m.join.retry.Stop()
+	}
+	m.join = nil
+}
+
+// --- Warm-start and splice mutators (simulator construction paths) ---
+
+// InstallRing overwrites the machine's ring state wholesale: predecessor
+// (nil clears it), successor list, and — when fingers is non-nil — the
+// full finger table. The simulator's perfect-ring warm start (BuildStable)
+// and the parity harness use it; the live protocol never does.
+func (m *Machine) InstallRing(pred *Ref, succList []Ref, fingers []Ref) {
+	if pred != nil {
+		p := *pred
+		m.pred = &p
+	} else {
+		m.pred = nil
+	}
+	m.succList = append(m.succList[:0], succList...)
+	if fingers != nil {
+		for i := range m.finger {
+			if i < len(fingers) {
+				m.finger[i] = fingers[i]
+				m.fingerOK[i] = true
+			} else {
+				m.fingerOK[i] = false
+			}
+		}
+	}
+}
+
+// AdoptPredecessor force-sets the predecessor (graceful-leave splice).
+func (m *Machine) AdoptPredecessor(p Ref) {
+	r := p
+	m.pred = &r
+	m.predSeen = true
+	m.predMisses = 0
+}
+
+// ClearPredecessor force-clears the predecessor (graceful-leave splice).
+func (m *Machine) ClearPredecessor() {
+	m.pred = nil
+	m.predMisses = 0
+}
+
+// AdoptSuccessors force-replaces the successor list (graceful-leave
+// splice).
+func (m *Machine) AdoptSuccessors(list []Ref) {
+	m.succList = append(m.succList[:0], list...)
+	m.stabMisses = 0
+}
+
+// --- Message handling ---
+
+// Handle consumes one decoded control message. The substrate calls it
+// after transport-level delivery (hop delay in simulation, socket read
+// live).
+func (m *Machine) Handle(msg any) {
+	if m.stopped {
+		return
+	}
+	switch c := msg.(type) {
+	case FindReq:
+		m.handleFindReq(c)
+	case FindResp:
+		m.handleFindResp(c)
+	case StabReq:
+		m.handleStabReq(c)
+	case StabResp:
+		m.handleStabResp(c)
+	case Notify:
+		m.considerPredecessor(c.From)
+	case PingReq:
+		m.send(c.From, PingResp{From: m.self})
+	case PingResp:
+		if m.pred != nil && c.From.ID == m.pred.ID {
+			m.predSeen = true
+		}
+	}
+}
+
+// handleFindReq answers a successor lookup when this node covers the
+// target, otherwise forwards it greedily toward the closest preceding
+// routing entry.
+func (m *Machine) handleFindReq(c FindReq) {
+	if c.TTL <= 0 {
+		// Exhausted (or corrupt) request: reject outright, never answer or
+		// forward on borrowed time.
+		m.stats.FindDrops++
+		return
+	}
+	succ, ok := m.liveSuccessor()
+	if !ok {
+		return // not in a ring yet
+	}
+	// Standard Chord find_successor: if the target lies in (self, succ],
+	// the successor is the answer.
+	if succ.ID == m.self.ID || m.space.BetweenIncl(c.Target, m.self.ID, succ.ID) {
+		answer := succ
+		if succ.ID == m.self.ID {
+			answer = m.self
+		}
+		if c.ReplyTo.ID == m.self.ID {
+			// Local lookup resolved locally.
+			m.resolveFind(c.Token, answer)
+			return
+		}
+		m.send(c.ReplyTo, FindResp{From: m.self, Token: c.Token, Succ: answer})
+		return
+	}
+	if c.TTL <= 1 {
+		m.stats.FindDrops++
+		return
+	}
+	next, ok := m.NextHop(c.Target)
+	if !ok || next.ID == m.self.ID {
+		m.stats.FindDrops++
+		return
+	}
+	c.TTL--
+	c.From = m.self
+	m.send(next, c)
+}
+
+// handleFindResp resolves the matching pending lookup; responses whose
+// token is gone (expired, superseded by a retry, duplicated) are stale
+// and must be dropped — resolving them could install an outdated
+// successor over a fresher answer.
+func (m *Machine) handleFindResp(c FindResp) {
+	if !m.resolveFind(c.Token, c.Succ) {
+		m.stats.StaleFindResps++
+	}
+}
+
+func (m *Machine) resolveFind(tok uint64, succ Ref) bool {
+	pf := m.pendFind[tok]
+	if pf == nil {
+		return false
+	}
+	delete(m.pendFind, tok)
+	pf.timer.Cancel()
+	pf.onResp(succ)
+	return true
+}
+
+// handleStabReq reports our predecessor and successor list back to the
+// requester — who believes we are its successor, which makes it a
+// predecessor candidate even before its explicit notify arrives.
+func (m *Machine) handleStabReq(c StabReq) {
+	resp := StabResp{From: m.self, SuccList: append([]Ref(nil), m.succList...)}
+	if m.pred != nil {
+		resp.HasPred, resp.Pred = true, *m.pred
+	}
+	m.send(c.From, resp)
+	m.considerPredecessor(c.From)
+}
+
+// handleStabResp applies the successor's view: adopt a closer successor
+// when its predecessor sits between us, refresh the successor list, then
+// notify.
+func (m *Machine) handleStabResp(c StabResp) {
+	succ, ok := m.Successor()
+	if !ok || c.From.ID != succ.ID {
+		return // stale response from a node no longer our successor
+	}
+	m.stabSeen = true
+	if c.HasPred && c.Pred.ID != m.self.ID && m.space.Between(c.Pred.ID, m.self.ID, succ.ID) {
+		succ = c.Pred
+	}
+	// Rebuild the list: adopted successor first, then its successor list
+	// with ourselves trimmed out.
+	list := make([]Ref, 0, m.cfg.SuccListLen)
+	list = append(list, succ)
+	for _, r := range c.SuccList {
+		if r.ID == m.self.ID {
+			break
+		}
+		dup := false
+		for _, have := range list {
+			if have.ID == r.ID {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			list = append(list, r)
+		}
+		if len(list) == m.cfg.SuccListLen {
+			break
+		}
+	}
+	m.succList = list
+	// finger[0] is the successor of self+1, i.e. the successor itself on a
+	// converged ring: keep it hot without waiting for a repair cycle.
+	if len(m.finger) > 0 && succ.ID != m.self.ID {
+		m.finger[0] = succ
+		m.fingerOK[0] = true
+	}
+	m.send(succ, Notify{From: m.self})
+}
+
+// considerPredecessor applies Chord's notify rule.
+func (m *Machine) considerPredecessor(p Ref) {
+	if p.ID == m.self.ID {
+		return
+	}
+	if m.pred == nil || m.pred.ID == m.self.ID || m.space.Between(p.ID, m.pred.ID, m.self.ID) {
+		r := p
+		m.pred = &r
+		m.predSeen = true
+		m.predMisses = 0
+	}
+}
+
+// --- Periodic maintenance ---
+
+// stabilizeTick runs one maintenance round: account the previous round's
+// (non-)responses, then probe the successor and the predecessor.
+func (m *Machine) stabilizeTick() {
+	m.stats.StabilizeRounds++
+	// Successor accounting.
+	succ, ok := m.Successor()
+	if ok && succ.ID != m.self.ID {
+		if m.stabSeen {
+			m.stabMisses = 0
+		} else {
+			m.stabMisses++
+			m.stats.StabilizeMisses++
+			if m.stabMisses >= m.cfg.MissThreshold {
+				// Presume the successor dead: rotate the list.
+				m.stabMisses = 0
+				m.stats.SuccRotations++
+				if len(m.succList) > 1 {
+					m.succList = m.succList[1:]
+				} else if m.pred != nil && m.pred.ID != m.self.ID {
+					m.succList = []Ref{*m.pred}
+				} else {
+					m.succList = []Ref{m.self}
+				}
+				succ, _ = m.Successor()
+			}
+		}
+	}
+	m.stabSeen = false
+
+	// Predecessor accounting.
+	if m.pred != nil && m.pred.ID != m.self.ID {
+		if m.predSeen {
+			m.predMisses = 0
+		} else {
+			m.predMisses++
+			if m.predMisses >= m.cfg.MissThreshold {
+				m.pred = nil
+				m.predMisses = 0
+				m.stats.PredDrops++
+			}
+		}
+	}
+	m.predSeen = false
+
+	if !ok {
+		return // not in a ring yet (join still in flight)
+	}
+	if succ.ID == m.self.ID {
+		// Ring bootstrap: while the successor is still ourselves, the
+		// first node that notified us becomes our successor — this is how
+		// a one-node ring grows, per the Chord paper.
+		if m.pred != nil && m.pred.ID != m.self.ID {
+			m.succList = []Ref{*m.pred}
+			succ = m.succList[0]
+		} else {
+			return // genuinely alone
+		}
+	}
+	m.send(succ, StabReq{From: m.self})
+	if m.pred != nil && m.pred.ID != m.self.ID {
+		m.send(*m.pred, PingReq{From: m.self})
+	}
+}
+
+// fixNextFinger refreshes one finger-table entry per firing, cycling
+// through the table as Chord prescribes. A still-outstanding lookup for
+// the same slot is superseded (its token cancelled) so a slow answer from
+// a previous cycle can never overwrite a fresher one.
+func (m *Machine) fixNextFinger() {
+	if len(m.finger) == 0 || !m.Joined() {
+		return
+	}
+	i := m.nextFinger
+	m.nextFinger = (m.nextFinger + 1) % len(m.finger)
+	if m.fingerTok[i] != 0 {
+		m.cancelFind(m.fingerTok[i])
+		m.fingerTok[i] = 0
+	}
+	target := m.space.Add(m.self.ID, 1<<uint(i))
+	m.fingerTok[i] = m.findSuccessor(target, func(succ Ref) {
+		m.fingerTok[i] = 0
+		if !m.fingerOK[i] || m.finger[i].ID != succ.ID {
+			m.stats.FingerRepairs++
+		}
+		m.finger[i] = succ
+		m.fingerOK[i] = true
+	})
+}
+
+// --- Lookups ---
+
+// FindSuccessor resolves the successor node of key and calls onResp on
+// the substrate's loop context. Unanswered lookups expire silently.
+func (m *Machine) FindSuccessor(key dht.Key, onResp func(Ref)) {
+	m.findSuccessor(m.space.Wrap(key), onResp)
+}
+
+func (m *Machine) findSuccessor(key dht.Key, onResp func(Ref)) uint64 {
+	tok := m.newToken()
+	pf := &pendingFind{onResp: onResp}
+	pf.timer = m.clk.Schedule(m.findExpiry(), func() { delete(m.pendFind, tok) })
+	m.pendFind[tok] = pf
+	m.handleFindReq(FindReq{
+		From: m.self, Token: tok, Target: key, TTL: m.cfg.FindTTL, ReplyTo: m.self,
+	})
+	return tok
+}
+
+// cancelFind forgets an outstanding lookup; a later answer carrying its
+// token is then stale by construction.
+func (m *Machine) cancelFind(tok uint64) {
+	if pf := m.pendFind[tok]; pf != nil {
+		delete(m.pendFind, tok)
+		pf.timer.Cancel()
+	}
+}
+
+func (m *Machine) newToken() uint64 {
+	m.nextToken++
+	return m.nextToken
+}
+
+// findExpiry is how long a pending lookup may stay unanswered.
+func (m *Machine) findExpiry() sim.Time {
+	p := m.cfg.StabilizeEvery
+	if p <= 0 {
+		p = m.cfg.JoinRetryEvery
+	}
+	return p * sim.Time(m.cfg.MissThreshold)
+}
+
+// --- Routing state accessors ---
+
+// Successor returns the raw head of the successor list.
+func (m *Machine) Successor() (Ref, bool) {
+	if len(m.succList) == 0 {
+		return Ref{}, false
+	}
+	return m.succList[0], true
+}
+
+// LiveSuccessor returns the first successor-list entry passing the alive
+// filter (the raw head when no filter is installed).
+func (m *Machine) LiveSuccessor() (Ref, bool) { return m.liveSuccessor() }
+
+func (m *Machine) liveSuccessor() (Ref, bool) {
+	for _, s := range m.succList {
+		if m.alive == nil || m.alive(s.ID) {
+			return s, true
+		}
+	}
+	return Ref{}, false
+}
+
+// Predecessor returns the raw predecessor pointer.
+func (m *Machine) Predecessor() (Ref, bool) {
+	if m.pred == nil {
+		return Ref{}, false
+	}
+	return *m.pred, true
+}
+
+// LivePredecessor returns the predecessor if known and passing the alive
+// filter.
+func (m *Machine) LivePredecessor() (Ref, bool) {
+	if m.pred == nil || (m.alive != nil && !m.alive(m.pred.ID)) {
+		return Ref{}, false
+	}
+	return *m.pred, true
+}
+
+// SuccessorList returns a copy of the successor list.
+func (m *Machine) SuccessorList() []Ref {
+	return append([]Ref(nil), m.succList...)
+}
+
+// Finger returns entry i of the finger table (the successor of
+// self + 2^i) and whether it has been populated.
+func (m *Machine) Finger(i int) (Ref, bool) {
+	if i < 0 || i >= len(m.finger) || !m.fingerOK[i] {
+		return Ref{}, false
+	}
+	return m.finger[i], true
+}
+
+// FingerCount returns the number of populated finger entries.
+func (m *Machine) FingerCount() int {
+	n := 0
+	for _, ok := range m.fingerOK {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// EachRoutingEntry calls fn for every populated routing-state entry:
+// finger-table entries first (ascending), then the successor list.
+// Entries may repeat; callers dedup.
+func (m *Machine) EachRoutingEntry(fn func(Ref)) {
+	for i, ok := range m.fingerOK {
+		if ok {
+			fn(m.finger[i])
+		}
+	}
+	for _, s := range m.succList {
+		fn(s)
+	}
+}
+
+// Covers reports whether this node is the successor node of key: key in
+// (pred, self]. With no predecessor the node conservatively covers only
+// its own identifier (routing passes other keys to a stabilized neighbor
+// instead).
+func (m *Machine) Covers(key dht.Key) bool {
+	if m.pred == nil {
+		return key == m.self.ID
+	}
+	return m.space.BetweenIncl(key, m.pred.ID, m.self.ID)
+}
+
+// NextHop picks the forwarding target for key, per Chord's routing rule:
+// the successor when key lies in (self, succ], otherwise the closest
+// preceding routing entry (fingers then successor list), alive-filtered.
+func (m *Machine) NextHop(key dht.Key) (Ref, bool) {
+	succ, ok := m.liveSuccessor()
+	if !ok {
+		return Ref{}, false
+	}
+	if m.space.BetweenIncl(key, m.self.ID, succ.ID) {
+		return succ, true
+	}
+	if c, ok := m.ClosestPreceding(key); ok {
+		return c, true
+	}
+	return succ, true
+}
+
+// ClosestPreceding returns the routing-state entry that most immediately
+// precedes key — Chord's closest_preceding_finger, hardened against
+// entries rejected by the alive filter.
+func (m *Machine) ClosestPreceding(key dht.Key) (Ref, bool) {
+	best := Ref{}
+	found := false
+	consider := func(c Ref) {
+		if c.ID == m.self.ID || (m.alive != nil && !m.alive(c.ID)) {
+			return
+		}
+		if !m.space.Between(c.ID, m.self.ID, key) {
+			return
+		}
+		if !found || m.space.Between(best.ID, m.self.ID, c.ID) {
+			best, found = c, true
+		}
+	}
+	for i := len(m.finger) - 1; i >= 0; i-- {
+		if m.fingerOK[i] {
+			consider(m.finger[i])
+		}
+	}
+	for _, s := range m.succList {
+		consider(s)
+	}
+	return best, found
+}

@@ -3,34 +3,30 @@ package chord
 import (
 	"fmt"
 
+	"streamdex/internal/chord/protocol"
 	"streamdex/internal/dht"
 	"streamdex/internal/sim"
 )
 
-// Membership and ring maintenance (paper §II-B.1; Stoica et al. §IV-E).
+// Membership operations (paper §II-B.1; Stoica et al. §IV-E).
 //
-// Join, graceful leave and crash failures are modelled, together with the
-// three periodic maintenance tasks of the Chord protocol:
-//
-//   - stabilize: ask the successor for its predecessor, adopt it when it
-//     sits between us and the successor, then notify the successor of our
-//     existence; also refresh the successor list from the successor's.
-//   - fix fingers: refresh one finger-table entry per firing.
-//   - check predecessor: clear the predecessor pointer when it has failed.
-//
-// Maintenance reads remote node state through liveness-checked accessors
-// (a zero-latency control plane), which is the same simplification the
-// original Chord simulator makes; every message the evaluation *measures*
-// travels on the delayed data plane.
+// Join, graceful leave and crash failures are modelled. All periodic
+// maintenance — stabilize/notify, fix-fingers, predecessor liveness —
+// lives in the shared protocol state machine (internal/chord/protocol);
+// the simulator only decides *when* messages arrive (after the per-hop
+// delay, via transmitControl) and *which* nodes are reachable. The same
+// machine, fed by TCP frames instead of engine events, runs the live
+// transport, so churn behavior observed here is the deployed behavior.
 
 // maxLookupSteps bounds control-plane successor searches so a pathological
 // half-stabilized ring cannot wedge the simulator.
 const maxLookupSteps = 4096
 
 // Join adds a new node to the overlay through a live bootstrap node and
-// returns it. The node learns its successor immediately (the outcome of
-// Chord's join lookup) and acquires its predecessor, successor list and
-// fingers through subsequent stabilization rounds.
+// returns it. The join lookup travels the ring as messages (paying the
+// hop delay); the node adopts its successor when the answer arrives and
+// acquires its predecessor, successor list and fingers through subsequent
+// stabilization rounds.
 func (net *Network) Join(id dht.Key, app dht.App, bootstrap dht.Key) (*Node, error) {
 	b := net.nodes[bootstrap]
 	if b == nil || !b.alive {
@@ -40,16 +36,9 @@ func (net *Network) Join(id dht.Key, app dht.App, bootstrap dht.Key) (*Node, err
 		app = dht.AppFunc(func(dht.Key, *dht.Message) {})
 	}
 	id = net.space.Wrap(id)
-	succ, ok := net.findSuccessorFrom(b, id)
-	if !ok {
-		return nil, fmt.Errorf("chord: join lookup for %d failed", id)
-	}
 	n := net.addNode(id, app)
-	n.succList = append(n.succList, succ)
-	n.hasPred = false
-	if net.cfg.StabilizeEvery > 0 {
-		net.startMaintenance(n, sim.NewRand(int64(id)^0x9e3779b9))
-	}
+	net.setPhases(n, sim.NewRand(int64(id)^0x9e3779b9))
+	n.m.Join(protocol.Ref{ID: bootstrap}, nil)
 	return n, nil
 }
 
@@ -62,12 +51,8 @@ func (net *Network) CreateFirst(id dht.Key, app dht.App) *Node {
 		app = dht.AppFunc(func(dht.Key, *dht.Message) {})
 	}
 	n := net.addNode(id, app)
-	n.succList = append(n.succList, n.id)
-	n.pred = n.id
-	n.hasPred = true
-	if net.cfg.StabilizeEvery > 0 {
-		net.startMaintenance(n, sim.NewRand(int64(id)^0x9e3779b9))
-	}
+	net.setPhases(n, sim.NewRand(int64(net.space.Wrap(id))^0x9e3779b9))
+	n.m.Create()
 	return n
 }
 
@@ -80,15 +65,17 @@ func (net *Network) Leave(id dht.Key) {
 	if n == nil || !n.alive {
 		return
 	}
-	if succ, ok := n.aliveSuccessor(); ok && succ != id {
-		s := net.nodes[succ]
-		if pred, okP := n.alivePredecessor(); okP && pred != id {
-			s.pred, s.hasPred = pred, true
-			p := net.nodes[pred]
+	if succ, ok := n.m.LiveSuccessor(); ok && succ.ID != id {
+		s := net.nodes[succ.ID]
+		if pred, okP := n.m.LivePredecessor(); okP && pred.ID != id {
+			s.m.AdoptPredecessor(pred)
+			p := net.nodes[pred.ID]
 			// Splice the successor list of the predecessor.
-			p.succList = append([]dht.Key{succ}, trimSelf(s.succList, pred, net.cfg.SuccListLen-1)...)
+			list := append([]protocol.Ref{succ},
+				trimSelfRefs(s.m.SuccessorList(), pred.ID, net.cfg.SuccListLen-1)...)
+			p.m.AdoptSuccessors(list)
 		} else {
-			s.hasPred = false
+			s.m.ClearPredecessor()
 		}
 	}
 	net.deactivate(n)
@@ -106,20 +93,17 @@ func (net *Network) Fail(id dht.Key) {
 
 func (net *Network) deactivate(n *Node) {
 	n.alive = false
-	for _, t := range n.tickers {
-		t.Stop()
-	}
-	n.tickers = nil
+	n.m.Stop()
 	net.removeAlive(n.id)
 }
 
-func trimSelf(list []dht.Key, self dht.Key, max int) []dht.Key {
-	out := make([]dht.Key, 0, max)
-	for _, k := range list {
-		if k == self {
+func trimSelfRefs(list []protocol.Ref, self dht.Key, max int) []protocol.Ref {
+	out := make([]protocol.Ref, 0, max)
+	for _, r := range list {
+		if r.ID == self {
 			break
 		}
-		out = append(out, k)
+		out = append(out, r)
 		if len(out) == max {
 			break
 		}
@@ -127,135 +111,50 @@ func trimSelf(list []dht.Key, self dht.Key, max int) []dht.Key {
 	return out
 }
 
-// startMaintenance launches the periodic tasks with randomized phases so
-// nodes do not stabilize in lock-step.
+// setPhases randomizes the machine's maintenance phases so nodes do not
+// stabilize in lock-step.
+func (net *Network) setPhases(n *Node, rng *sim.Rand) {
+	if net.cfg.StabilizeEvery <= 0 {
+		return
+	}
+	n.m.SetPhases(
+		rng.UniformTime(0, net.cfg.StabilizeEvery),
+		rng.UniformTime(0, net.cfg.FixFingersEvery),
+	)
+}
+
+// startMaintenance launches the periodic protocol tasks with randomized
+// phases (BuildStable's warm start shares one rng across nodes).
 func (net *Network) startMaintenance(n *Node, rng *sim.Rand) {
-	stab := net.clk.EveryAfter(rng.UniformTime(0, net.cfg.StabilizeEvery), net.cfg.StabilizeEvery, func() {
-		n.stabilize()
-		n.checkPredecessor()
-	})
-	fix := net.clk.EveryAfter(rng.UniformTime(0, net.cfg.FixFingersEvery), net.cfg.FixFingersEvery, func() {
-		n.fixNextFinger()
-	})
-	n.tickers = append(n.tickers, stab, fix)
-}
-
-// stabilize implements Chord's n.stabilize(): learn about nodes that joined
-// between us and our successor, and keep the successor list fresh.
-func (n *Node) stabilize() {
-	if !n.alive {
-		return
-	}
-	succID, ok := n.aliveSuccessor()
-	if !ok {
-		// Every known successor failed; fall back to the predecessor or
-		// to self (ring of one survivor).
-		if pred, okP := n.alivePredecessor(); okP {
-			n.succList = []dht.Key{pred}
-		} else {
-			n.succList = []dht.Key{n.id}
-		}
-		succID, _ = n.aliveSuccessor()
-	}
-	succ := n.net.nodes[succID]
-	// Ask the successor for its predecessor and adopt it when it sits
-	// between us and the successor. When the successor is still ourselves
-	// (ring bootstrap), the interval (n, n) is the whole ring, so the
-	// first node that notified us becomes our successor — this is how a
-	// one-node ring grows, per the Chord paper.
-	if x, ok := succ.alivePredecessor(); ok && x != n.id && n.net.space.Between(x, n.id, succID) {
-		succID = x
-		succ = n.net.nodes[succID]
-	}
-	if succID == n.id {
-		// Genuinely alone: close the ring on ourselves.
-		n.succList = []dht.Key{n.id}
-		n.pred, n.hasPred = n.id, true
-		n.finger[0], n.fingerOK[0] = n.id, true
-		return
-	}
-	// Adopt successor and extend the list with the successor's own list.
-	newList := append([]dht.Key{succID}, trimSelf(succ.succList, n.id, n.net.cfg.SuccListLen-1)...)
-	n.succList = dedupKeys(newList, n.net.cfg.SuccListLen)
-	n.finger[0], n.fingerOK[0] = succID, true
-	succ.notify(n.id)
-}
-
-// notify implements Chord's n.notify(p): p believes it might be our
-// predecessor.
-func (n *Node) notify(p dht.Key) {
-	if !n.alive || p == n.id {
-		return
-	}
-	if pred, ok := n.alivePredecessor(); !ok || n.net.space.Between(p, pred, n.id) {
-		n.pred, n.hasPred = p, true
-	}
-}
-
-// checkPredecessor clears a failed predecessor pointer.
-func (n *Node) checkPredecessor() {
-	if n.hasPred && !n.net.isAlive(n.pred) {
-		n.hasPred = false
-	}
-}
-
-// fixNextFinger refreshes one finger-table entry per firing, cycling
-// through the table as Chord prescribes.
-func (n *Node) fixNextFinger() {
-	if !n.alive {
-		return
-	}
-	i := n.nextFinger
-	n.nextFinger = (n.nextFinger + 1) % len(n.finger)
-	target := n.net.space.Add(n.id, 1<<uint(i))
-	if s, ok := n.net.findSuccessorFrom(n, target); ok {
-		n.finger[i], n.fingerOK[i] = s, true
-	} else {
-		n.fingerOK[i] = false
-	}
-}
-
-func dedupKeys(list []dht.Key, max int) []dht.Key {
-	seen := make(map[dht.Key]bool, len(list))
-	out := list[:0]
-	for _, k := range list {
-		if seen[k] {
-			continue
-		}
-		seen[k] = true
-		out = append(out, k)
-		if len(out) == max {
-			break
-		}
-	}
-	return out
+	net.setPhases(n, rng)
+	n.m.StartMaintenance()
 }
 
 // findSuccessorFrom walks the overlay's routing state from `start` to find
 // the successor node of key — the control-plane analogue of the data-plane
-// routing in network.go, used by join and finger repair.
+// routing in network.go, used by Lookup.
 func (net *Network) findSuccessorFrom(start *Node, key dht.Key) (dht.Key, bool) {
 	cur := start
 	for steps := 0; steps < maxLookupSteps; steps++ {
 		if !cur.alive {
 			return 0, false
 		}
-		succ, ok := cur.aliveSuccessor()
+		succ, ok := cur.m.LiveSuccessor()
 		if !ok {
 			return 0, false
 		}
-		if succ == cur.id {
+		if succ.ID == cur.id {
 			return cur.id, true
 		}
-		if net.space.BetweenIncl(key, cur.id, succ) {
-			return succ, true
+		if net.space.BetweenIncl(key, cur.id, succ.ID) {
+			return succ.ID, true
 		}
-		nxt, ok := cur.closestPrecedingAlive(key)
-		if !ok || nxt == cur.id {
+		nxt, ok := cur.m.ClosestPreceding(key)
+		if !ok || nxt.ID == cur.id {
 			// Degenerate routing state: crawl via the successor.
 			nxt = succ
 		}
-		cur = net.nodes[nxt]
+		cur = net.nodes[nxt.ID]
 		if cur == nil {
 			return 0, false
 		}

@@ -3,6 +3,7 @@ package chord
 import (
 	"sort"
 
+	"streamdex/internal/chord/protocol"
 	"streamdex/internal/dht"
 )
 
@@ -29,7 +30,8 @@ func (net *Network) DelegateRange(self dht.Key, msg *dht.Message) int {
 	// Collect the distinct live routing-state entries inside (self, hi].
 	seen := make(map[dht.Key]bool)
 	var kids []dht.Key
-	consider := func(c dht.Key) {
+	n.m.EachRoutingEntry(func(r protocol.Ref) {
+		c := r.ID
 		if c == self || seen[c] || !net.isAlive(c) {
 			return
 		}
@@ -38,15 +40,7 @@ func (net *Network) DelegateRange(self dht.Key, msg *dht.Message) int {
 		}
 		seen[c] = true
 		kids = append(kids, c)
-	}
-	for i := range n.finger {
-		if n.fingerOK[i] {
-			consider(n.finger[i])
-		}
-	}
-	for _, s := range n.succList {
-		consider(s)
-	}
+	})
 	if len(kids) == 0 {
 		// No routing entry inside the arc. The keys left in (self, hi]
 		// belong to the node succeeding them: reach it only on the

@@ -1,0 +1,151 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+
+	"streamdex/internal/chord"
+	"streamdex/internal/chord/protocol"
+	"streamdex/internal/dht"
+	"streamdex/internal/metrics"
+	"streamdex/internal/sim"
+)
+
+// TestControlPlaneParitySimVsLive is the one-control-plane acceptance test:
+// a simulated Chord node and a live transport node are two adapters around
+// the same protocol machine, so when both start from the identical ring
+// snapshot and consume the identical control-message trace, they must make
+// bit-for-bit identical successor decisions — predecessor, successor list,
+// next-hop choice and key coverage — after every single message.
+//
+// Neither machine runs maintenance here (no tickers are started); the trace
+// is the only input, so any divergence is a real decision difference
+// between the substrates, not scheduling noise.
+func TestControlPlaneParitySimVsLive(t *testing.T) {
+	space := dht.NewSpace(16)
+	ids := []dht.Key{100, 9000, 21000, 40000, 61000}
+
+	// Simulated side: a converged 5-node ring; we adopt the middle node's
+	// machine. The engine is never run, so the trace below is its sole
+	// stimulus.
+	eng := sim.NewEngine()
+	net := chord.New(eng, chord.Config{Space: space, HopDelay: sim.Millisecond, SuccListLen: 4})
+	net.BuildStable(ids, nil)
+	simM := net.Node(ids[2]).Protocol()
+
+	// Live side: one real transport node with the same identifier, given
+	// the same ring snapshot. Maintenance is configured but never started
+	// (InstallRing does not start tickers), so it too sees only the trace.
+	node, err := New(Config{
+		ID: ids[2], Listen: "127.0.0.1:0", Space: space,
+		StabilizeEvery: 500_000, FixFingersEvery: 250_000, SuccListLen: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	var pred *protocol.Ref
+	if p, ok := simM.Predecessor(); ok {
+		pp := p
+		pred = &pp
+	}
+	succList := simM.SuccessorList()
+	fingers := make([]protocol.Ref, 0, space.M)
+	for i := 0; i < int(space.M); i++ {
+		f, ok := simM.Finger(i)
+		if !ok {
+			t.Fatalf("sim finger %d unpopulated after BuildStable", i)
+		}
+		fingers = append(fingers, f)
+	}
+	node.Do(func() { node.ring.InstallRing(pred, succList, fingers) })
+
+	// Deterministic trace over ring-member refs: lookups (including TTL
+	// exhaustion), stale find answers, stabilize exchanges (some from the
+	// actual successor, some from bystanders), notifies and pings.
+	members := make([]protocol.Ref, len(ids))
+	for i, id := range ids {
+		members[i] = protocol.Ref{ID: id}
+	}
+	rnd := uint64(0x9e3779b97f4a7c15)
+	next := func(n uint64) uint64 {
+		rnd = rnd*6364136223846793005 + 1442695040888963407
+		return (rnd >> 33) % n
+	}
+	var trace []any
+	for i := 0; i < 200; i++ {
+		switch next(6) {
+		case 0:
+			trace = append(trace, protocol.FindReq{
+				From: members[next(5)], Token: 1000 + uint64(i),
+				Target: dht.Key(next(1 << 16)), TTL: int(next(8)), ReplyTo: members[next(5)],
+			})
+		case 1:
+			trace = append(trace, protocol.FindResp{From: members[next(5)], Token: next(2000), Succ: members[next(5)]})
+		case 2:
+			trace = append(trace, protocol.StabReq{From: members[next(5)]})
+		case 3:
+			sr := protocol.StabResp{
+				From:     members[next(5)],
+				SuccList: []protocol.Ref{members[next(5)], members[next(5)], members[next(5)]},
+			}
+			if next(2) == 0 {
+				sr.HasPred, sr.Pred = true, members[next(5)]
+			}
+			trace = append(trace, sr)
+		case 4:
+			trace = append(trace, protocol.Notify{From: members[next(5)]})
+		case 5:
+			if next(2) == 0 {
+				trace = append(trace, protocol.PingReq{From: members[next(5)]})
+			} else {
+				trace = append(trace, protocol.PingResp{From: members[next(5)]})
+			}
+		}
+	}
+
+	probes := []dht.Key{0, 101, 8999, 9000, 21000, 21001, 39999, 52000, 61001, 65535}
+	type snap struct{ pred, succ, hops, covers string }
+	take := func(m *protocol.Machine) snap {
+		var s snap
+		if p, ok := m.Predecessor(); ok {
+			s.pred = fmt.Sprint(p.ID)
+		}
+		for _, r := range m.SuccessorList() {
+			s.succ += fmt.Sprint(r.ID, ",")
+		}
+		for _, k := range probes {
+			if h, ok := m.NextHop(k); ok {
+				s.hops += fmt.Sprint(h.ID, ",")
+			} else {
+				s.hops += "-,"
+			}
+			s.covers += fmt.Sprint(m.Covers(k), ",")
+		}
+		return s
+	}
+
+	for i, msg := range trace {
+		simM.Handle(msg)
+		var liveSnap snap
+		m := msg
+		node.Do(func() {
+			node.ring.Handle(m)
+			liveSnap = take(node.ring)
+		})
+		if simSnap := take(simM); simSnap != liveSnap {
+			t.Fatalf("divergence after message %d (%T):\n sim  %+v\n live %+v", i, msg, simSnap, liveSnap)
+		}
+	}
+
+	// The maintenance counters the trace exercised must agree too.
+	var liveStats metrics.Ring
+	node.Do(func() { liveStats = node.ring.Stats() })
+	if simStats := simM.Stats(); simStats != liveStats {
+		t.Fatalf("stats diverged:\n sim  %+v\n live %+v", simStats, liveStats)
+	}
+	if liveStats.StaleFindResps == 0 || liveStats.FindDrops == 0 {
+		t.Fatalf("trace failed to exercise stale answers and TTL drops: %+v", liveStats)
+	}
+}

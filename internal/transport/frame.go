@@ -18,8 +18,10 @@ import (
 //     A routed frame is addressed to a key and keeps hopping until it
 //     reaches the covering node; a direct frame is for the receiving
 //     neighbor itself (the SendToSuccessor/SendToPredecessor primitives).
-//   - frameControl carries a gob-encoded control record (ring
-//     maintenance: find/stabilize/notify/ping).
+//   - frameControl also carries a wire.Marshal-encoded dht.Message, whose
+//     payload is one of the protocol package's ring-maintenance messages
+//     (find/stabilize/notify/ping) under protocol.KindRing, packed by the
+//     codec-v2 registry like any other payload.
 //
 // The length prefix covers the type byte plus body, so a reader can skip
 // frames of unknown type without understanding them.

@@ -8,12 +8,11 @@
 //
 // Architecture:
 //
-//   - Message plane: length-prefixed frames (frame.go). Application
-//     messages travel as wire.Marshal bodies — fixed 45-byte envelope plus
-//     hand-packed payload (wire codec v2; gob only for unregistered
-//     types); ring-maintenance traffic as gob control records. Frames are
-//     built in pooled buffers, so the steady-state encode path is
-//     allocation-free.
+//   - Message plane: length-prefixed frames (frame.go). Application and
+//     ring-maintenance messages alike travel as wire.Marshal bodies —
+//     fixed 45-byte envelope plus hand-packed payload (wire codec v2; gob
+//     only for unregistered types). Frames are built in pooled buffers, so
+//     the steady-state encode path is allocation-free.
 //   - Connections: unidirectional. A node accepts inbound connections
 //     read-only and dials outbound connections write-only (peer.go), with
 //     bounded queues, write coalescing (one vectored write per burst) and
@@ -23,27 +22,27 @@
 //     node's clock.Wall loop. Reader goroutines only decode bytes and post
 //     closures; writer goroutines only drain their queue. The middleware's
 //     single-threaded simulation code therefore runs unmodified.
-//   - Ring: the node maintains Chord-style successor/predecessor pointers
-//     and fingers via an asynchronous message protocol (ring.go) — the
-//     message-based analogue of the simulator's zero-latency control plane.
+//   - Ring: successor/predecessor pointers and fingers are maintained by
+//     the shared Chord protocol state machine (internal/chord/protocol) —
+//     the same code the simulator runs — adapted to sockets in ring.go.
 package transport
 
 import (
 	"fmt"
 	"net"
-	"sort"
 	"sync/atomic"
 
+	"streamdex/internal/chord/protocol"
 	"streamdex/internal/clock"
 	"streamdex/internal/dht"
+	"streamdex/internal/sim"
 	"streamdex/internal/wire"
 )
 
-// Ref identifies a remote node: its ring identifier and dial address.
-type Ref struct {
-	ID   dht.Key
-	Addr string
-}
+// Ref identifies a remote node: its ring identifier and dial address. It
+// is the protocol package's ref type — the transport routes control sends
+// by Addr, the simulator by ID.
+type Ref = protocol.Ref
 
 // Config parameterizes one transport node.
 type Config struct {
@@ -95,20 +94,9 @@ type Node struct {
 
 	peers *peerSet
 
-	// Ring state — loop-confined.
-	pred     *Ref
-	succList []Ref
-	finger   []*Ref
-	nextFing int
-
-	// Maintenance bookkeeping — loop-confined (ring.go).
-	stabSeen   bool
-	stabMisses int
-	predSeen   bool
-	predMisses int
-	nextToken  uint64
-	pendFind   map[uint64]*pendingFind
-	tickers    []clock.Ticker
+	// ring is the node's control-plane state machine — the same code the
+	// simulator drives through its event engine. Loop-confined.
+	ring *protocol.Machine
 
 	// Application attachment — loop-confined.
 	app dht.App
@@ -143,18 +131,22 @@ func New(cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen, err)
 	}
 	n := &Node{
-		cfg:      cfg,
-		space:    cfg.Space,
-		self:     Ref{ID: cfg.Space.Wrap(cfg.ID), Addr: ln.Addr().String()},
-		clk:      clock.NewWall(),
-		ln:       ln,
-		finger:   make([]*Ref, cfg.Space.M),
-		pendFind: make(map[uint64]*pendingFind),
-		app:      dht.AppFunc(func(dht.Key, *dht.Message) {}),
-		obs:      dht.NopObserver{},
-		accDone:  make(chan struct{}),
+		cfg:     cfg,
+		space:   cfg.Space,
+		self:    Ref{ID: cfg.Space.Wrap(cfg.ID), Addr: ln.Addr().String()},
+		clk:     clock.NewWall(),
+		ln:      ln,
+		app:     dht.AppFunc(func(dht.Key, *dht.Message) {}),
+		obs:     dht.NopObserver{},
+		accDone: make(chan struct{}),
 	}
 	n.peers = newPeerSet(cfg.QueueLen, func() { n.dropped.Add(1) })
+	n.ring = protocol.New(protocol.Config{
+		Space:           cfg.Space,
+		SuccListLen:     cfg.SuccListLen,
+		StabilizeEvery:  sim.Time(cfg.StabilizeEvery),
+		FixFingersEvery: sim.Time(cfg.FixFingersEvery),
+	}, n.self, n.clk, n.sendRing)
 	go n.acceptLoop()
 	return n, nil
 }
@@ -176,15 +168,7 @@ func (n *Node) Close() {
 	}
 	n.ln.Close()
 	<-n.accDone
-	n.clk.Do(func() {
-		for _, t := range n.tickers {
-			t.Stop()
-		}
-		n.tickers = nil
-		for _, p := range n.pendFind {
-			p.timer.Cancel()
-		}
-	})
+	n.clk.Do(n.ring.Stop)
 	n.peers.close()
 	n.clk.Close()
 }
@@ -273,11 +257,12 @@ func (n *Node) SendToSuccessor(from dht.Key, msg *dht.Message) {
 
 // SendToPredecessor implements dht.Network: one hop counter-clockwise.
 func (n *Node) SendToPredecessor(from dht.Key, msg *dht.Message) {
-	if n.pred == nil || n.pred.ID == n.self.ID {
+	pred, ok := n.ring.Predecessor()
+	if !ok || pred.ID == n.self.ID {
 		n.dropped.Add(1)
 		return
 	}
-	n.transmitApp(*n.pred, msg, frameDirect)
+	n.transmitApp(pred, msg, frameDirect)
 }
 
 // Covers implements dht.Network. Only answerable for the hosted node.
@@ -287,56 +272,17 @@ func (n *Node) Covers(id dht.Key, key dht.Key) bool {
 
 // covers reports whether this node is the successor node of key: key in
 // (pred, self]. With no predecessor yet the node conservatively covers
-// only its own identifier, exactly like the simulated Chord node.
-func (n *Node) covers(key dht.Key) bool {
-	if n.pred == nil {
-		return key == n.self.ID
-	}
-	return n.space.BetweenIncl(key, n.pred.ID, n.self.ID)
-}
+// only its own identifier, exactly like the simulated Chord node (both
+// delegate to the shared machine).
+func (n *Node) covers(key dht.Key) bool { return n.ring.Covers(key) }
 
 // successor returns the head of the successor list.
-func (n *Node) successor() (Ref, bool) {
-	if len(n.succList) == 0 {
-		return Ref{}, false
-	}
-	return n.succList[0], true
-}
+func (n *Node) successor() (Ref, bool) { return n.ring.Successor() }
 
 // nextHop picks the forwarding target for key: the successor when key lies
 // in (self, succ], otherwise the closest preceding node known from fingers
 // and the successor list.
-func (n *Node) nextHop(key dht.Key) (Ref, bool) {
-	succ, ok := n.successor()
-	if !ok {
-		return Ref{}, false
-	}
-	if n.space.BetweenIncl(key, n.self.ID, succ.ID) {
-		return succ, true
-	}
-	best := Ref{}
-	found := false
-	consider := func(c Ref) {
-		if c.ID == n.self.ID || !n.space.Between(c.ID, n.self.ID, key) {
-			return
-		}
-		if !found || n.space.Between(best.ID, n.self.ID, c.ID) {
-			best, found = c, true
-		}
-	}
-	for i := len(n.finger) - 1; i >= 0; i-- {
-		if n.finger[i] != nil {
-			consider(*n.finger[i])
-		}
-	}
-	for _, s := range n.succList {
-		consider(s)
-	}
-	if found {
-		return best, true
-	}
-	return succ, true
-}
+func (n *Node) nextHop(key dht.Key) (Ref, bool) { return n.ring.NextHop(key) }
 
 // transmitApp encodes msg straight into a pooled frame buffer and hands it
 // to the peer writer, which recycles the buffer once the bytes are on the
@@ -407,12 +353,13 @@ func (n *Node) readLoop(conn net.Conn) {
 				n.dropped.Add(1)
 			}
 		case frameControl:
-			ctl, err := decodeControl(body)
-			if err != nil {
+			msg, err := wire.Unmarshal(body)
+			if err != nil || msg.Kind != protocol.KindRing {
 				n.dropped.Add(1)
 				continue
 			}
-			if !n.clk.Post(func() { n.onControl(ctl) }) {
+			payload := msg.Payload
+			if !n.clk.Post(func() { n.ring.Handle(payload) }) {
 				n.dropped.Add(1)
 			}
 		default:
@@ -446,23 +393,11 @@ func (n *Node) Ring() RingInfo {
 	var info RingInfo
 	n.clk.Do(func() {
 		info.Self = n.self
-		if n.pred != nil {
-			p := *n.pred
+		if p, ok := n.ring.Predecessor(); ok {
 			info.Pred = &p
 		}
-		info.SuccList = append([]Ref(nil), n.succList...)
-		for _, f := range n.finger {
-			if f != nil {
-				info.Fingers++
-			}
-		}
+		info.SuccList = n.ring.SuccessorList()
+		info.Fingers = n.ring.FingerCount()
 	})
 	return info
-}
-
-// sortRefs orders refs clockwise starting just after base.
-func sortRefs(refs []Ref, base dht.Key, space dht.Space) {
-	sort.Slice(refs, func(i, j int) bool {
-		return space.Distance(base, refs[i].ID) < space.Distance(base, refs[j].ID)
-	})
 }

@@ -1,391 +1,96 @@
 package transport
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"time"
 
-	"streamdex/internal/clock"
+	"streamdex/internal/chord/protocol"
 	"streamdex/internal/dht"
-	"streamdex/internal/sim"
+	"streamdex/internal/metrics"
+	"streamdex/internal/wire"
 )
 
-// Ring maintenance over messages.
+// Ring maintenance adapter.
 //
-// The simulator's control plane reads peer state directly through
-// liveness-checked accessors; over sockets every exchange becomes an
-// asynchronous request/response pair:
-//
-//   - findReq/findResp: locate the successor node of a key. The request is
-//     greedily routed along the ring; the holder of the key answers
-//     directly to the requester's address. Used by Join and finger repair.
-//   - stabReq/stabResp: Chord's stabilize. The successor reports its
-//     predecessor and successor list; the requester adopts a closer
-//     successor when one appears and then notifies.
-//   - notifyMsg: "I might be your predecessor."
-//   - pingReq/pingResp: predecessor liveness probe.
-//
-// Failure detection is deadline-free: a stabilize round that brings no
-// response before the next tick counts as a miss, and missThreshold
-// consecutive misses rotate the successor list (or clear the predecessor).
-
-type ctlOp uint8
-
-const (
-	opFindReq ctlOp = iota + 1
-	opFindResp
-	opStabReq
-	opStabResp
-	opNotify
-	opPingReq
-	opPingResp
-)
-
-// control is the single gob-encoded record all maintenance traffic uses; a
-// union keeps the codec trivial and the op dispatch flat.
-type control struct {
-	Op    ctlOp
-	From  Ref // sender (identity + reply address)
-	Token uint64
-
-	// findReq
-	Target  dht.Key
-	TTL     int
-	ReplyTo Ref
-
-	// findResp
-	Succ Ref
-
-	// stabResp
-	HasPred  bool
-	Pred     Ref
-	SuccList []Ref
-}
-
-func encodeControl(c *control) []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
-		panic(fmt.Sprintf("transport: encoding control op %d: %v", c.Op, err))
-	}
-	return buf.Bytes()
-}
-
-func decodeControl(body []byte) (*control, error) {
-	var c control
-	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&c); err != nil {
-		return nil, err
-	}
-	return &c, nil
-}
-
-// sendControl frames and enqueues a control record toward addr. Control
-// records ride the same pooled frame buffers as the data plane, so they
-// coalesce into the writer's vectored flushes too.
-func (n *Node) sendControl(addr string, c *control) {
-	c.From = n.self
-	f := newFrame(frameControl)
-	f.b = append(f.b, encodeControl(c)...)
-	f.finish()
-	n.peers.send(addr, f)
-}
-
-// missThreshold is how many consecutive unanswered maintenance rounds a
-// neighbor survives before being presumed dead.
-const missThreshold = 3
-
-// findTTL bounds the greedy routing of a findReq.
-const findTTL = 64
-
-// pendingFind tracks an outstanding successor lookup.
-type pendingFind struct {
-	onResp func(Ref)
-	timer  clock.Timer
-}
+// The Chord control plane itself — join, find_successor routing,
+// stabilize/notify, successor-list rotation, finger repair, predecessor
+// liveness — lives in the shared protocol state machine
+// (internal/chord/protocol), the exact code the simulator drives through
+// its event engine. This file only adapts it to sockets: outgoing
+// (dest, message) pairs are framed with the packed wire codec v2 and
+// handed to the peer writers; inbound control frames are decoded off-loop
+// and fed to Machine.Handle on the loop. There is no transport-private
+// control record (the old gob `control` union is gone): what travels is
+// the protocol package's message types under protocol.KindRing, so the
+// bytes charged to the simulator's observer for a maintenance message are
+// the bytes a live socket carries.
 
 // Create bootstraps a brand-new one-node ring.
 func (n *Node) Create() {
-	n.clk.Do(func() {
-		n.succList = []Ref{n.self}
-		p := n.self
-		n.pred = &p
-		n.startMaintenance()
-	})
+	n.clk.Do(n.ring.Create)
 }
 
 // Join enters an existing ring through the node at bootstrapAddr: it asks
 // the ring for the successor of its own identifier, adopts it, and lets
 // stabilization acquire the rest (predecessor, successor list, fingers).
-// It blocks until the successor is known or the timeout elapses.
+// The machine retries unanswered lookups itself (invalidating superseded
+// tokens); Join blocks until the successor is known or the timeout
+// elapses.
 func (n *Node) Join(bootstrapAddr string, timeout time.Duration) error {
-	found := make(chan Ref, 1)
-	deadline := time.Now().Add(timeout)
-	attempt := func() {
-		n.clk.Do(func() {
-			tok := n.newToken()
-			n.pendFind[tok] = &pendingFind{
-				onResp: func(succ Ref) {
-					select {
-					case found <- succ:
-					default:
-					}
-				},
-				// Cleaned up by expireFind; the channel retry below drives
-				// the actual re-send.
-				timer: n.clk.Schedule(sim.Time(2*time.Second/time.Microsecond), func() { delete(n.pendFind, tok) }),
+	found := make(chan protocol.Ref, 1)
+	n.clk.Do(func() {
+		n.ring.Join(Ref{Addr: bootstrapAddr}, func(succ Ref) {
+			select {
+			case found <- succ:
+			default:
 			}
-			n.sendControl(bootstrapAddr, &control{
-				Op: opFindReq, Token: tok, Target: n.self.ID, TTL: findTTL, ReplyTo: n.self,
-			})
 		})
-	}
-	for {
-		attempt()
-		select {
-		case succ := <-found:
-			n.clk.Do(func() {
-				if succ.ID == n.self.ID {
-					succ = n.self
-				}
-				n.succList = []Ref{succ}
-				n.pred = nil
-				n.startMaintenance()
-			})
-			return nil
-		case <-time.After(500 * time.Millisecond):
-			if time.Now().After(deadline) {
-				return fmt.Errorf("transport: join via %s timed out after %v", bootstrapAddr, timeout)
-			}
-		}
+	})
+	select {
+	case <-found:
+		return nil
+	case <-time.After(timeout):
+		n.clk.Do(n.ring.AbandonJoin)
+		return fmt.Errorf("transport: join via %s timed out after %v", bootstrapAddr, timeout)
 	}
 }
 
-// startMaintenance launches the periodic stabilize and fix-fingers tasks.
-// Loop context required; idempotent.
-func (n *Node) startMaintenance() {
-	if len(n.tickers) > 0 {
+// sendRing frames one control-plane message toward to and enqueues it.
+// Control frames ride the same pooled frame buffers as the data plane, so
+// they coalesce into the writer's vectored flushes too. Loop context (the
+// machine invokes it synchronously from Handle and timer callbacks).
+func (n *Node) sendRing(to Ref, payload any) {
+	if to.Addr == "" {
+		// Ref learned without an address (possible only through harness
+		// injection, never through decoded frames): nowhere to dial.
 		return
 	}
-	stab := n.clk.EveryAfter(sim.Time(n.cfg.StabilizeEvery), sim.Time(n.cfg.StabilizeEvery), n.stabilizeTick)
-	n.tickers = append(n.tickers, stab)
-	if n.cfg.FixFingersEvery > 0 {
-		fix := n.clk.EveryAfter(sim.Time(n.cfg.FixFingersEvery), sim.Time(n.cfg.FixFingersEvery), n.fixNextFinger)
-		n.tickers = append(n.tickers, fix)
+	msg := &dht.Message{
+		Kind:    protocol.KindRing,
+		Key:     to.ID,
+		Src:     n.self.ID,
+		Payload: payload,
+		Hops:    1,
+		SentAt:  n.clk.Now(),
 	}
-}
-
-// stabilizeTick runs one maintenance round: account the previous round's
-// (non-)responses, then probe the successor and the predecessor.
-func (n *Node) stabilizeTick() {
-	// Successor accounting.
-	succ, ok := n.successor()
-	if ok && succ.ID != n.self.ID {
-		if n.stabSeen {
-			n.stabMisses = 0
-		} else {
-			n.stabMisses++
-			if n.stabMisses >= missThreshold {
-				// Presume the successor dead: rotate the list.
-				n.stabMisses = 0
-				if len(n.succList) > 1 {
-					n.succList = n.succList[1:]
-				} else if n.pred != nil && n.pred.ID != n.self.ID {
-					n.succList = []Ref{*n.pred}
-				} else {
-					n.succList = []Ref{n.self}
-				}
-				succ, _ = n.successor()
-			}
-		}
-	}
-	n.stabSeen = false
-
-	// Predecessor accounting.
-	if n.pred != nil && n.pred.ID != n.self.ID {
-		if n.predSeen {
-			n.predMisses = 0
-		} else {
-			n.predMisses++
-			if n.predMisses >= missThreshold {
-				n.pred = nil
-				n.predMisses = 0
-			}
-		}
-	}
-	n.predSeen = false
-
-	if !ok {
-		return // not in a ring yet (join still in flight)
-	}
-	if succ.ID == n.self.ID {
-		// Ring bootstrap: while the successor is still ourselves, the
-		// first node that notified us becomes our successor — this is how
-		// a one-node ring grows, exactly as in the simulated protocol.
-		if n.pred != nil && n.pred.ID != n.self.ID {
-			n.succList = []Ref{*n.pred}
-			succ = n.succList[0]
-		} else {
-			return // genuinely alone
-		}
-	}
-	n.sendControl(succ.Addr, &control{Op: opStabReq})
-	if n.pred != nil && n.pred.ID != n.self.ID {
-		n.sendControl(n.pred.Addr, &control{Op: opPingReq})
-	}
-}
-
-// fixNextFinger refreshes one finger-table entry per firing.
-func (n *Node) fixNextFinger() {
-	i := n.nextFing
-	n.nextFing = (n.nextFing + 1) % len(n.finger)
-	target := n.space.Add(n.self.ID, 1<<uint(i))
-	n.findSuccessor(target, func(succ Ref) {
-		if succ.ID == n.self.ID {
-			n.finger[i] = nil // self entries add nothing to routing
-			return
-		}
-		r := succ
-		n.finger[i] = &r
-	})
-}
-
-// findSuccessor resolves the successor node of key and calls onResp on the
-// loop. Unanswered lookups expire silently.
-func (n *Node) findSuccessor(key dht.Key, onResp func(Ref)) {
-	tok := n.newToken()
-	pf := &pendingFind{onResp: onResp}
-	pf.timer = n.clk.Schedule(sim.Time(n.cfg.StabilizeEvery)*missThreshold, func() {
-		delete(n.pendFind, tok)
-	})
-	n.pendFind[tok] = pf
-	n.handleFindReq(&control{Op: opFindReq, Token: tok, Target: key, TTL: findTTL, ReplyTo: n.self})
-}
-
-func (n *Node) newToken() uint64 {
-	n.nextToken++
-	return n.nextToken
-}
-
-// onControl dispatches a decoded control record. Runs on the loop.
-func (n *Node) onControl(c *control) {
-	switch c.Op {
-	case opFindReq:
-		n.handleFindReq(c)
-	case opFindResp:
-		if pf := n.pendFind[c.Token]; pf != nil {
-			delete(n.pendFind, c.Token)
-			pf.timer.Cancel()
-			pf.onResp(c.Succ)
-		}
-	case opStabReq:
-		resp := &control{Op: opStabResp, SuccList: append([]Ref(nil), n.succList...)}
-		if n.pred != nil {
-			resp.HasPred, resp.Pred = true, *n.pred
-		}
-		n.sendControl(c.From.Addr, resp)
-		// The requester believes we are its successor: that makes it a
-		// predecessor candidate even before its explicit notify arrives.
-		n.considerPredecessor(c.From)
-	case opStabResp:
-		n.handleStabResp(c)
-	case opNotify:
-		n.considerPredecessor(c.From)
-	case opPingReq:
-		n.sendControl(c.From.Addr, &control{Op: opPingResp})
-	case opPingResp:
-		if n.pred != nil && c.From.ID == n.pred.ID {
-			n.predSeen = true
-		}
-	}
-}
-
-// handleFindReq answers a successor lookup when this node covers the
-// target, otherwise forwards it greedily.
-func (n *Node) handleFindReq(c *control) {
-	succ, ok := n.successor()
-	if !ok {
-		return // not in a ring yet
-	}
-	// Standard Chord find_successor: if the target lies in (self, succ],
-	// the successor is the answer.
-	if succ.ID == n.self.ID || n.space.BetweenIncl(c.Target, n.self.ID, succ.ID) {
-		answer := succ
-		if succ.ID == n.self.ID {
-			answer = n.self
-		}
-		if c.ReplyTo.ID == n.self.ID {
-			// Local lookup resolved locally.
-			if pf := n.pendFind[c.Token]; pf != nil {
-				delete(n.pendFind, c.Token)
-				pf.timer.Cancel()
-				pf.onResp(answer)
-			}
-			return
-		}
-		n.sendControl(c.ReplyTo.Addr, &control{Op: opFindResp, Token: c.Token, Succ: answer})
-		return
-	}
-	if c.TTL <= 1 {
+	f := newFrame(frameControl)
+	body, err := wire.AppendMarshal(f.b, msg)
+	if err != nil {
+		f.recycle()
 		n.dropped.Add(1)
 		return
 	}
-	next, ok := n.nextHop(c.Target)
-	if !ok || next.ID == n.self.ID {
-		n.dropped.Add(1)
-		return
-	}
-	fwd := *c
-	fwd.TTL--
-	n.sendControl(next.Addr, &fwd)
+	f.b = body
+	f.finish()
+	msg.Bytes = len(f.b) - frameOverhead
+	n.obs.OnTransmit(n.self.ID, to.ID, msg)
+	n.peers.send(to.Addr, f)
 }
 
-// handleStabResp applies the successor's view: adopt a closer successor
-// when its predecessor sits between us, refresh the successor list, then
-// notify.
-func (n *Node) handleStabResp(c *control) {
-	succ, ok := n.successor()
-	if !ok || c.From.ID != succ.ID {
-		return // stale response from a node no longer our successor
-	}
-	n.stabSeen = true
-	if c.HasPred && c.Pred.ID != n.self.ID && n.space.Between(c.Pred.ID, n.self.ID, succ.ID) {
-		succ = c.Pred
-	}
-	// Rebuild the list: adopted successor first, then its successor list
-	// with ourselves trimmed out.
-	list := make([]Ref, 0, n.cfg.SuccListLen)
-	list = append(list, succ)
-	for _, r := range c.SuccList {
-		if r.ID == n.self.ID {
-			break
-		}
-		dup := false
-		for _, have := range list {
-			if have.ID == r.ID {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			list = append(list, r)
-		}
-		if len(list) == n.cfg.SuccListLen {
-			break
-		}
-	}
-	n.succList = list
-	n.sendControl(succ.Addr, &control{Op: opNotify})
-}
-
-// considerPredecessor applies Chord's notify rule.
-func (n *Node) considerPredecessor(p Ref) {
-	if p.ID == n.self.ID {
-		return
-	}
-	if n.pred == nil || n.pred.ID == n.self.ID || n.space.Between(p.ID, n.pred.ID, n.self.ID) {
-		r := p
-		n.pred = &r
-		n.predSeen = true
-		n.predMisses = 0
-	}
+// RingStats returns a snapshot of the node's control-plane maintenance
+// counters.
+func (n *Node) RingStats() metrics.Ring {
+	var s metrics.Ring
+	n.clk.Do(func() { s = n.ring.Stats() })
+	return s
 }

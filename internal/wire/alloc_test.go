@@ -74,6 +74,15 @@ func TestUnmarshalAllocBounds(t *testing.T) {
 		"core.LocReply":    3,
 		"core.IPSub":       5, // msg + InnerProduct + string + index + weights
 		"core.IPResp":      2, // msg + box
+		// Ring-control payloads: a Ref decodes to at most one string (its
+		// address), everything else is inline.
+		"protocol.FindReq":  4, // msg + box + 2 addr strings
+		"protocol.FindResp": 4,
+		"protocol.StabReq":  3, // msg + box + addr string
+		"protocol.StabResp": 8, // msg + box + list + 5 addr strings (largest fixture)
+		"protocol.Notify":   3,
+		"protocol.PingReq":  3,
+		"protocol.PingResp": 3,
 	}
 	for _, msg := range roundTripCases() {
 		frame, err := wire.Marshal(msg)

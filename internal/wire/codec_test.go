@@ -4,12 +4,19 @@ import (
 	"reflect"
 	"testing"
 
+	"streamdex/internal/chord/protocol"
 	"streamdex/internal/core"
 	"streamdex/internal/dht"
 	"streamdex/internal/query"
 	"streamdex/internal/summary"
 	"streamdex/internal/wire"
 )
+
+// ref builds a ring-control node reference with an address, as the live
+// transport carries them.
+func ref(id dht.Key) protocol.Ref {
+	return protocol.Ref{ID: id, Addr: "127.0.0.1:7001"}
+}
 
 // mbr builds a non-trivial MBR with every field populated.
 func mbr() *summary.MBR {
@@ -86,6 +93,46 @@ func roundTripCases() []*dht.Message {
 		// Envelope-only frame: the routing layer may carry payload-less
 		// control messages.
 		{Kind: core.KindResponse, Key: 1, Src: 2, Hops: 1, SentAt: 1},
+		// Ring-control messages (the unified Chord control plane): the same
+		// packed payloads travel the simulator's event engine and the TCP
+		// transport's control frames.
+		{
+			Kind: protocol.KindRing, Key: 200, Src: 100, Hops: 1, SentAt: 900_000,
+			Payload: protocol.FindReq{From: ref(100), Token: 7, Target: 450, TTL: 63, ReplyTo: ref(100)},
+		},
+		{
+			Kind: protocol.KindRing, Key: 100, Src: 300, Hops: 1, SentAt: 910_000,
+			Payload: protocol.FindResp{From: ref(300), Token: 7, Succ: ref(500)},
+		},
+		{
+			Kind: protocol.KindRing, Key: 500, Src: 100, Hops: 1, SentAt: 920_000,
+			Payload: protocol.StabReq{From: ref(100)},
+		},
+		{
+			Kind: protocol.KindRing, Key: 100, Src: 500, Hops: 1, SentAt: 930_000,
+			Payload: protocol.StabResp{
+				From: ref(500), HasPred: true, Pred: ref(100),
+				SuccList: []protocol.Ref{ref(700), ref(900), ref(100)},
+			},
+		},
+		// A predecessor-less StabResp (fresh ring) must round-trip too: the
+		// Pred field is elided on the wire.
+		{
+			Kind: protocol.KindRing, Key: 100, Src: 500, Hops: 1, SentAt: 940_000,
+			Payload: protocol.StabResp{From: ref(500), SuccList: []protocol.Ref{ref(700)}},
+		},
+		{
+			Kind: protocol.KindRing, Key: 500, Src: 100, Hops: 1, SentAt: 950_000,
+			Payload: protocol.Notify{From: ref(100)},
+		},
+		{
+			Kind: protocol.KindRing, Key: 300, Src: 100, Hops: 1, SentAt: 960_000,
+			Payload: protocol.PingReq{From: ref(100)},
+		},
+		{
+			Kind: protocol.KindRing, Key: 100, Src: 300, Hops: 1, SentAt: 970_000,
+			Payload: protocol.PingResp{From: ref(300)},
+		},
 	}
 }
 

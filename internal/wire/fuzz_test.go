@@ -10,6 +10,7 @@ import (
 // FuzzUnmarshal hammers the frame decoder — envelope parsing, the packed
 // payload codecs behind every registered tag, and the gob fallback — with
 // mutated frames. The corpus seeds cover all nine middleware payload kinds
+// and all seven ring-control payloads of the unified Chord control plane
 // (via roundTripCases) plus malformed shapes, so the fuzzer starts from
 // every codec's happy path and mutates from there.
 //

@@ -7,10 +7,13 @@
 #   3. go build   — everything compiles
 #   4. go test -race   — full suite under the race detector (also covers
 #                        the serial-vs-parallel determinism regression)
-#   5. fuzz smoke      — short native-fuzz run of the wire codec decoder
-#                        (seeded with all nine payload kinds), catching
-#                        panics / runaway allocations on malformed frames
-#   6. smoke bench     — BENCH_FAST=1 figure benchmarks, one iteration,
+#   5. churn (race)    — scripted join/leave/crash convergence of the
+#                        shared Chord protocol machine
+#   6. fuzz smoke      — short native-fuzz run of the wire codec decoder
+#                        (seeded with every payload kind, middleware and
+#                        ring-control alike), catching panics / runaway
+#                        allocations on malformed frames
+#   7. smoke bench     — BENCH_FAST=1 figure benchmarks, one iteration,
 #                        so an accidental O(N) regression in the hot paths
 #                        shows up as a CI timeout / obvious slowdown
 set -euo pipefail
@@ -32,6 +35,13 @@ go build ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== control-plane churn (race) =="
+# Deterministic scripted churn over the shared Chord protocol machine:
+# joins, a graceful leave, adjacent crashes and a late join must all
+# re-converge to the live-membership oracle. Virtual-time determinism
+# makes any race found here reproducible.
+go test -race -count=1 -run 'TestChurn' ./internal/chord/protocol
 
 echo "== live transport loopback (race) =="
 # Explicitly exercise the 5-node TCP loopback cluster against the
