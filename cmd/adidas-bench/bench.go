@@ -27,6 +27,7 @@ import (
 
 type benchResult struct {
 	Name         string  `json:"name"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
 	NsPerOp      float64 `json:"ns_per_op"`
 	AllocsPerOp  int64   `json:"allocs_per_op"`
 	BytesPerOp   int64   `json:"bytes_per_op"`
@@ -171,6 +172,7 @@ func runBenchJSON(outPath string, seed int64, workers int) error {
 		res := testing.Benchmark(s.body)
 		br := benchResult{
 			Name:        s.name,
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
 			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
 			AllocsPerOp: res.AllocsPerOp(),
 			BytesPerOp:  res.AllocedBytesPerOp(),

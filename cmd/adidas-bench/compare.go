@@ -1,0 +1,96 @@
+package main
+
+// Benchstat-style comparison of two -bench JSON reports:
+//
+//	adidas-bench -compare old.json,new.json
+//
+// Benchmarks are matched by name; the table shows ns/op, allocs/op and
+// events/sec side by side with the relative delta. The comparison is
+// informational — it never fails the process over a regression — but it
+// refuses to compare reports from different schemas or fast/full modes,
+// where the deltas would be meaningless.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func runCompare(spec string) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("-compare wants OLD.json,NEW.json")
+	}
+	oldRep, err := loadReport(parts[0])
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(parts[1])
+	if err != nil {
+		return err
+	}
+	if oldRep.Schema != newRep.Schema {
+		return fmt.Errorf("schema mismatch: %s vs %s", oldRep.Schema, newRep.Schema)
+	}
+	if oldRep.Fast != newRep.Fast {
+		return fmt.Errorf("fast/full mismatch: old fast=%v, new fast=%v — rerun with matching BENCH_FAST", oldRep.Fast, newRep.Fast)
+	}
+
+	oldBy := make(map[string]benchResult, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		oldBy[b.Name] = b
+	}
+
+	fmt.Printf("%-24s %14s %14s %9s   %14s %14s %9s\n",
+		"name", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
+	for _, nb := range newRep.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Printf("%-24s %60s\n", nb.Name, "(new benchmark, no old row)")
+			continue
+		}
+		delete(oldBy, nb.Name)
+		fmt.Printf("%-24s %14.0f %14.0f %9s   %14d %14d %9s\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, delta(ob.NsPerOp, nb.NsPerOp),
+			ob.AllocsPerOp, nb.AllocsPerOp,
+			delta(float64(ob.AllocsPerOp), float64(nb.AllocsPerOp)))
+		if ob.EventsPerSec > 0 && nb.EventsPerSec > 0 {
+			fmt.Printf("%-24s %14.0f %14.0f %9s   (events/sec, higher is better)\n",
+				"", ob.EventsPerSec, nb.EventsPerSec, delta(ob.EventsPerSec, nb.EventsPerSec))
+		}
+	}
+	for name := range oldBy {
+		fmt.Printf("%-24s %60s\n", name, "(removed benchmark, no new row)")
+	}
+	return nil
+}
+
+func delta(old, new float64) string {
+	if old == 0 {
+		if new == 0 {
+			return "~"
+		}
+		return "+inf"
+	}
+	d := (new - old) / old * 100
+	if d > -0.005 && d < 0.005 {
+		return "~"
+	}
+	return fmt.Sprintf("%+.2f%%", d)
+}
+
+func loadReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if !strings.HasPrefix(rep.Schema, "streamdex-bench/") {
+		return nil, fmt.Errorf("%s: schema %q is not a -bench report", path, rep.Schema)
+	}
+	return &rep, nil
+}

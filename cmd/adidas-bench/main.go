@@ -8,6 +8,8 @@
 //	adidas-bench -exp fig7b
 //	adidas-bench -exp ablation-baselines -sizes 50,100 -measure 60
 //	adidas-bench -bench BENCH_1.json     # machine-readable figure benchmarks
+//	adidas-bench -parallel BENCH_3.json  # data-plane parallelism (GOMAXPROCS 1 vs 4)
+//	adidas-bench -compare old.json,new.json
 //
 // Experiments: table1, fig3b, fig6a, fig6b, fig7a, fig7b, fig8,
 // ablation-multicast, ablation-baselines, ablation-batch,
@@ -32,17 +34,34 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (see package doc)")
-		sizes   = flag.String("sizes", "", "comma-separated node counts (default: the paper's)")
-		seed    = flag.Int64("seed", 1, "root random seed")
-		warmup  = flag.Int("warmup", 40, "warm-up interval, seconds of virtual time")
-		measure = flag.Int("measure", 100, "measurement interval, seconds of virtual time")
-		workers = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
-		radius  = flag.Float64("radius", 0.1, "similarity query radius for load/hop experiments")
-		bench   = flag.String("bench", "", "time the figure pipelines and write JSON results to this path ('-' = stdout)")
+		exp      = flag.String("exp", "all", "experiment to run (see package doc)")
+		sizes    = flag.String("sizes", "", "comma-separated node counts (default: the paper's)")
+		seed     = flag.Int64("seed", 1, "root random seed")
+		warmup   = flag.Int("warmup", 40, "warm-up interval, seconds of virtual time")
+		measure  = flag.Int("measure", 100, "measurement interval, seconds of virtual time")
+		workers  = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		radius   = flag.Float64("radius", 0.1, "similarity query radius for load/hop experiments")
+		bench    = flag.String("bench", "", "time the figure pipelines and write JSON results to this path ('-' = stdout)")
+		parallel = flag.String("parallel", "", "measure data-plane parallelism (GOMAXPROCS 1 vs 4) and write JSON to this path ('-' = stdout)")
+		minSpeed = flag.Float64("minspeedup", 0, "with -parallel: fail unless match/loopback speed up by this factor (skipped when the host has fewer cores than procs)")
+		compare  = flag.String("compare", "", "compare two -bench reports, given as OLD.json,NEW.json")
 	)
 	flag.Parse()
 
+	if *compare != "" {
+		if err := runCompare(*compare); err != nil {
+			fmt.Fprintf(os.Stderr, "adidas-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *parallel != "" {
+		if err := runParallelBench(*parallel, *seed, *minSpeed); err != nil {
+			fmt.Fprintf(os.Stderr, "adidas-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *bench != "" {
 		if err := runBenchJSON(*bench, *seed, *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "adidas-bench: %v\n", err)

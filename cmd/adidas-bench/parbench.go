@@ -1,0 +1,364 @@
+package main
+
+// Parallelism benchmark mode. `adidas-bench -parallel out.json` measures the
+// live node's concurrent data plane — the sharded MBR store and the
+// transport worker pool — at GOMAXPROCS 1 versus 4 and writes the rows plus
+// the derived speedups as JSON (the committed BENCH_3.json at the repo
+// root). Three workloads:
+//
+//	store-match   parallel candidate walks over a preloaded sharded store
+//	store-ingest  parallel sorted inserts into the sharded store
+//	loopback-mbr  end-to-end MBR publishes between two real TCP nodes, the
+//	              receiver matching each against live similarity
+//	              subscriptions on its data-plane workers
+//
+// Every row records the GOMAXPROCS it ran under and the report records the
+// host's CPU count: on a single-core host the 4-proc rows are still
+// measured honestly, they just cannot beat the 1-proc rows (the "note"
+// field says so). BENCH_FAST=1 shrinks the operation counts for smoke runs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"streamdex/internal/core"
+	"streamdex/internal/dht"
+	"streamdex/internal/query"
+	"streamdex/internal/sim"
+	"streamdex/internal/summary"
+	"streamdex/internal/transport"
+)
+
+type parRow struct {
+	Name       string  `json:"name"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Ops        int64   `json:"ops"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+}
+
+type parSection struct {
+	Procs    []int              `json:"procs"`
+	Rows     []parRow           `json:"rows"`
+	Speedups map[string]float64 `json:"speedups"`
+	Note     string             `json:"note,omitempty"`
+}
+
+type parReport struct {
+	Schema      string     `json:"schema"`
+	GoVersion   string     `json:"go_version"`
+	CPUs        int        `json:"cpus"`
+	Fast        bool       `json:"fast"`
+	Seed        int64      `json:"seed"`
+	Parallelism parSection `json:"parallelism"`
+}
+
+// parScale holds the operation counts of one -parallel run.
+type parScale struct {
+	preload  int // MBRs preloaded into the store before matching
+	walks    int // candidate walks (store-match ops)
+	puts     int // inserts (store-ingest ops)
+	frames   int // published MBRs (loopback-mbr ops)
+	queries  int // live subscriptions the loopback receiver matches against
+	shards   int
+	loopback bool
+}
+
+func runParallelBench(outPath string, seed int64, minSpeedup float64) error {
+	if outPath != "-" {
+		f, err := os.OpenFile(outPath, os.O_WRONLY|os.O_CREATE, 0o644)
+		if err != nil {
+			return err
+		}
+		f.Close()
+	}
+	fast := os.Getenv("BENCH_FAST") != ""
+	sc := parScale{preload: 20000, walks: 50000, puts: 200000, frames: 30000, queries: 32, shards: 16, loopback: true}
+	if fast {
+		sc = parScale{preload: 2000, walks: 5000, puts: 20000, frames: 4000, queries: 8, shards: 16, loopback: true}
+	}
+
+	procs := []int{1, 4}
+	rep := parReport{
+		Schema:    "streamdex-parbench/1",
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		Fast:      fast,
+		Seed:      seed,
+		Parallelism: parSection{
+			Procs:    procs,
+			Speedups: make(map[string]float64),
+		},
+	}
+	if rep.CPUs < procs[len(procs)-1] {
+		rep.Parallelism.Note = fmt.Sprintf(
+			"host has %d CPU(s): rows above gomaxprocs=%d share cores, so their speedup cannot exceed 1",
+			rep.CPUs, rep.CPUs)
+	}
+
+	perProc := make(map[string]map[int]float64) // name -> procs -> ops/sec
+	record := func(name string, p int, ops int64, elapsed time.Duration) {
+		r := parRow{Name: name, GOMAXPROCS: p, Ops: ops}
+		if ops > 0 {
+			r.NsPerOp = float64(elapsed.Nanoseconds()) / float64(ops)
+		}
+		if s := elapsed.Seconds(); s > 0 {
+			r.OpsPerSec = float64(ops) / s
+		}
+		rep.Parallelism.Rows = append(rep.Parallelism.Rows, r)
+		if perProc[name] == nil {
+			perProc[name] = make(map[int]float64)
+		}
+		perProc[name][p] = r.OpsPerSec
+		fmt.Fprintf(os.Stderr, "%-14s gomaxprocs=%d %12.0f ns/op %12.0f ops/sec\n",
+			name, p, r.NsPerOp, r.OpsPerSec)
+	}
+
+	for _, p := range procs {
+		prev := runtime.GOMAXPROCS(p)
+		ops, el := benchStoreMatch(sc, p, seed)
+		record("store-match", p, ops, el)
+		ops, el = benchStoreIngest(sc, p, seed)
+		record("store-ingest", p, ops, el)
+		if sc.loopback {
+			ops, el, err := benchLoopbackMBR(sc, seed)
+			if err != nil {
+				runtime.GOMAXPROCS(prev)
+				return fmt.Errorf("loopback-mbr at gomaxprocs=%d: %w", p, err)
+			}
+			record("loopback-mbr", p, ops, el)
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+
+	last := procs[len(procs)-1]
+	for name, by := range perProc {
+		if base := by[procs[0]]; base > 0 {
+			rep.Parallelism.Speedups[name] = by[last] / base
+		}
+	}
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if outPath == "-" {
+		if _, err := os.Stdout.Write(out); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(outPath, out, 0o644); err != nil {
+		return err
+	}
+
+	// -minspeedup is only meaningful where the extra procs map to real
+	// cores; an oversubscribed host records honest rows but cannot speed
+	// up, so the gate stands down (and says so).
+	if minSpeedup > 0 {
+		if rep.CPUs < last {
+			fmt.Fprintf(os.Stderr, "minspeedup %.2f not enforced: %d CPU(s) < %d procs\n", minSpeedup, rep.CPUs, last)
+			return nil
+		}
+		for _, name := range []string{"store-match", "loopback-mbr"} {
+			if s := rep.Parallelism.Speedups[name]; s < minSpeedup {
+				return fmt.Errorf("%s speedup %.2fx at gomaxprocs=%d is below the %.2fx floor", name, s, last, minSpeedup)
+			}
+		}
+	}
+	return nil
+}
+
+// randomMBRs builds n MBRs with features spread over the normalized
+// coefficient range, far-future expiries, and distinct (stream, seq) pairs.
+func randomMBRs(n int, seed int64) []*summary.MBR {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*summary.MBR, n)
+	for i := range out {
+		f := summary.Feature{rng.Float64()*2 - 1, rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+		b := summary.NewMBR(fmt.Sprintf("s%d", i%64), uint64(i), f)
+		b.Extend(summary.Feature{f[0] + 0.01, f[1] + 0.01, f[2] + 0.01})
+		b.Created = 0
+		b.Expiry = sim.Time(1) << 60
+		out[i] = b
+	}
+	return out
+}
+
+// benchStoreMatch preloads a sharded store and runs the candidate walks
+// split over one goroutine per proc, each with its own reused scratch
+// buffer — the worker pool's matching pattern.
+func benchStoreMatch(sc parScale, workers int, seed int64) (int64, time.Duration) {
+	st := core.NewShardedStore(sc.shards)
+	for _, b := range randomMBRs(sc.preload, seed) {
+		st.Put(b)
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	queries := make([]summary.Feature, sc.walks)
+	for i := range queries {
+		queries[i] = summary.Feature{rng.Float64()*2 - 1, rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var buf []query.Match
+			for i := w; i < len(queries); i += workers {
+				buf = st.AppendCandidates(buf[:0], queries[i], 0.1, 1, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return int64(sc.walks), time.Since(start)
+}
+
+// benchStoreIngest times parallel sorted inserts, one goroutine per proc
+// over pre-built MBRs.
+func benchStoreIngest(sc parScale, workers int, seed int64) (int64, time.Duration) {
+	mbrs := randomMBRs(sc.puts, seed+2)
+	st := core.NewShardedStore(sc.shards)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(mbrs); i += workers {
+				st.Put(mbrs[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	return int64(sc.puts), time.Since(start)
+}
+
+// benchLoopbackMBR measures the end-to-end data plane: node A pumps MBR
+// publishes at node B over real TCP; B's worker pool indexes each into the
+// sharded store and matches it against live similarity subscriptions.
+// The pool and shard count are sized from the GOMAXPROCS in effect at node
+// construction, so the caller's runtime.GOMAXPROCS setting is the knob.
+func benchLoopbackMBR(sc parScale, seed int64) (int64, time.Duration, error) {
+	space := dht.NewSpace(16)
+	ids := []dht.Key{10_000, 40_000}
+	nodes := make([]*transport.Node, len(ids))
+	for i, id := range ids {
+		tc := transport.DefaultConfig(id, "127.0.0.1:0")
+		tc.Space = space
+		tc.StabilizeEvery = 50_000
+		tc.FixFingersEvery = 50_000
+		tc.QueueLen = 4096
+		n, err := transport.New(tc)
+		if err != nil {
+			return 0, 0, err
+		}
+		defer n.Close()
+		nodes[i] = n
+	}
+	nodes[0].Create()
+	if err := nodes[1].Join(nodes[0].Addr(), 10*time.Second); err != nil {
+		return 0, 0, err
+	}
+	if err := waitConverged(nodes); err != nil {
+		return 0, 0, err
+	}
+
+	ccfg := core.DefaultConfig()
+	ccfg.Space = space
+	ccfg.StoreShards = sc.shards
+	mws := make([]*core.Middleware, len(nodes))
+	for i, n := range nodes {
+		var err error
+		n.Do(func() { mws[i], err = core.New(n, ccfg) })
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+
+	// Live subscriptions for the receiver to match against: similarity
+	// queries with features across the space, radius wide enough that a
+	// fair share of publishes are genuine candidates.
+	rng := rand.New(rand.NewSource(seed + 3))
+	for q := 0; q < sc.queries; q++ {
+		f := summary.Feature{rng.Float64()*2 - 1, rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+		var err error
+		nodes[1].Do(func() {
+			_, err = mws[1].PostSimilarity(ids[1], f, 0.2, sim.Time(1)<<50)
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		subs := 0
+		for i := range nodes {
+			subs += mws[i].DataCenter(ids[i]).SubCount()
+		}
+		if subs >= sc.queries {
+			break
+		}
+		if time.Now().After(deadline) {
+			return 0, 0, fmt.Errorf("only %d of %d subscriptions registered", subs, sc.queries)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	mbrs := randomMBRs(sc.frames, seed+4)
+	target := mws[1].DataCenter(ids[1])
+	basePuts, _ := target.Store().Stats()
+
+	const chunk = 256
+	sent := 0
+	start := time.Now()
+	for sent < len(mbrs) {
+		k := min(chunk, len(mbrs)-sent)
+		lo := sent
+		nodes[0].Do(func() {
+			for i := 0; i < k; i++ {
+				msg := &dht.Message{Kind: core.KindMBR, Payload: core.MBRUpdate{MBR: mbrs[lo+i]}}
+				nodes[0].Send(ids[0], ids[1], msg)
+			}
+		})
+		sent += k
+		// Backpressure: one chunk in flight at a time, so the bounded peer
+		// queue cannot overflow into drops.
+		for {
+			puts, _ := target.Store().Stats()
+			if puts-basePuts >= int64(sent) {
+				break
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	return int64(sc.frames), time.Since(start), nil
+}
+
+// waitConverged blocks until the two-node ring has mutual successor and
+// predecessor pointers.
+func waitConverged(nodes []*transport.Node) error {
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		ok := true
+		for _, n := range nodes {
+			info := n.Ring()
+			if info.Pred == nil || len(info.SuccList) == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("ring did not converge")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -21,6 +21,7 @@
 //	    -> END <count>
 //	RING                                            ring pointers
 //	RINGSTATS                                       ring-maintenance counters
+//	STATS                                           data-plane counters (loop, pool, store)
 //	STREAMS                                         locally sourced streams
 //	QUIT                                            close the connection
 package main
@@ -31,8 +32,11 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -60,18 +64,22 @@ func main() {
 		period  = flag.Duration("period", 200*time.Millisecond, "stream sampling period")
 		push    = flag.Duration("push", 2*time.Second, "push period (notify/response cycle)")
 		seed    = flag.Int64("seed", 1, "seed for stream generators and tick staggering")
+		workers = flag.Int("workers", 0, "data-plane worker goroutines (0: GOMAXPROCS, negative: serialize on the run loop)")
+		shards  = flag.Int("shards", 0, "MBR store shards (0: 4×GOMAXPROCS)")
+		pprofAt = flag.String("pprof", "", "serve net/http/pprof on this address, with mutex and block profiling enabled")
 	)
 	flag.Parse()
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
 	log.SetPrefix("adidas-node ")
 
-	if err := run(*listen, *api, *join, *idFlag, *mBits, *streams, *window, *beta, *period, *push, *seed); err != nil {
+	if err := run(*listen, *api, *join, *idFlag, *mBits, *streams, *window, *beta, *period, *push, *seed,
+		*workers, *shards, *pprofAt); err != nil {
 		log.Fatal(err)
 	}
 }
 
 func run(listen, api, join string, idFlag uint64, mBits uint, streams, window, beta int,
-	period, push time.Duration, seed int64) error {
+	period, push time.Duration, seed int64, workers, shards int, pprofAt string) error {
 	if streams < 0 || window < 2 || beta < 1 || period <= 0 || push <= 0 {
 		return fmt.Errorf("invalid stream/window/beta/period configuration")
 	}
@@ -87,8 +95,22 @@ func run(listen, api, join string, idFlag uint64, mBits uint, streams, window, b
 		}
 	}
 
+	if pprofAt != "" {
+		// Contended-lock and blocked-goroutine profiles are what matter on
+		// the data plane; the default sampling rates disable both.
+		runtime.SetMutexProfileFraction(5)
+		runtime.SetBlockProfileRate(int(time.Millisecond / 4))
+		go func() {
+			log.Printf("pprof on http://%s/debug/pprof/", pprofAt)
+			if err := http.ListenAndServe(pprofAt, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
+
 	tcfg := transport.DefaultConfig(id, listen)
 	tcfg.Space = space
+	tcfg.Workers = workers
 	node, err := transport.New(tcfg)
 	if err != nil {
 		return err
@@ -112,6 +134,12 @@ func run(listen, api, join string, idFlag uint64, mBits uint, streams, window, b
 	ccfg.Beta = beta
 	ccfg.PushPeriod = sim.Time(push / time.Microsecond)
 	ccfg.Seed = seed
+	if shards == 0 {
+		// Several bands per worker keeps the probability of two workers
+		// colliding on one shard lock low even for skewed L₁ distributions.
+		shards = 4 * runtime.GOMAXPROCS(0)
+	}
+	ccfg.StoreShards = shards
 
 	var mw *core.Middleware
 	node.Do(func() { mw, err = core.New(node, ccfg) })
@@ -234,6 +262,31 @@ func serveConn(conn net.Conn, node *transport.Node, mw *core.Middleware) {
 			reply("FINGER-REPAIRS %d", s.FingerRepairs)
 			reply("STALE-FIND-RESPS %d", s.StaleFindResps)
 			reply("FIND-DROPS %d", s.FindDrops)
+			reply("END")
+		case "STATS":
+			// Data-plane health: run-loop queue saturation, worker-pool
+			// throughput/backpressure, and MBR store load.
+			ls := node.LoopStats()
+			reply("LOOP-POSTED %d", ls.Posted)
+			reply("LOOP-DEPTH %d", ls.Depth)
+			reply("LOOP-HIGH-WATER %d", ls.HighWater)
+			reply("LOOP-BLOCKED-POSTS %d", ls.BlockedPosts)
+			reply("LOOP-BLOCKED-NS %d", ls.BlockedNs)
+			ps := node.PoolStats()
+			reply("POOL-WORKERS %d", ps.Workers)
+			reply("POOL-SUBMITTED %d", ps.Submitted)
+			reply("POOL-INLINE %d", ps.Inline)
+			reply("POOL-DEPTH %d", ps.Depth)
+			reply("POOL-HIGH-WATER %d", ps.HighWater)
+			reply("POOL-BLOCKED-SUBS %d", ps.BlockedSubs)
+			reply("POOL-BLOCKED-NS %d", ps.BlockedNanos)
+			dc := mw.DataCenter(node.Self().ID)
+			puts, scanned := dc.Store().Stats()
+			reply("STORE-LEN %d", dc.Store().Len())
+			reply("STORE-PUTS %d", puts)
+			reply("STORE-SCANNED %d", scanned)
+			reply("SUBS %d", dc.SubCount())
+			reply("DROPPED %d", node.Dropped())
 			reply("END")
 		case "STREAMS":
 			var sids []string

@@ -257,3 +257,100 @@ func TestNotifyRule(t *testing.T) {
 		t.Fatalf("closer notify ignored: %d", p.ID)
 	}
 }
+
+// checkViewParity asserts the published View makes exactly the machine's
+// routing decisions (the machines under test never install an alive
+// filter, so unfiltered parity is the contract).
+func checkViewParity(t *testing.T, m *Machine, keys []dht.Key) {
+	t.Helper()
+	v := m.View()
+	if v == nil {
+		t.Fatal("machine never published a view")
+	}
+	if v.Self != m.Self() {
+		t.Fatalf("view self = %+v, machine self = %+v", v.Self, m.Self())
+	}
+	if v.Joined() != m.Joined() {
+		t.Fatalf("view joined = %v, machine joined = %v", v.Joined(), m.Joined())
+	}
+	mp, mok := m.Predecessor()
+	vp, vok := v.Predecessor()
+	if mok != vok || (mok && mp.ID != vp.ID) {
+		t.Fatalf("view pred = %+v/%v, machine pred = %+v/%v", vp, vok, mp, mok)
+	}
+	ms, msok := m.Successor()
+	vs, vsok := v.Successor()
+	if msok != vsok || (msok && ms.ID != vs.ID) {
+		t.Fatalf("view succ = %+v/%v, machine succ = %+v/%v", vs, vsok, ms, msok)
+	}
+	if got, want := len(v.Succs), len(m.SuccessorList()); got != want {
+		t.Fatalf("view succ list len = %d, machine = %d", got, want)
+	}
+	if got, want := len(v.Fingers), m.FingerCount(); got != want {
+		t.Fatalf("view fingers = %d, machine populated = %d", got, want)
+	}
+	for _, k := range keys {
+		if gv, gm := v.Covers(k), m.Covers(k); gv != gm {
+			t.Fatalf("Covers(%d): view %v, machine %v", k, gv, gm)
+		}
+		vh, vhok := v.NextHop(k)
+		mh, mhok := m.NextHop(k)
+		if vhok != mhok || (vhok && vh.ID != mh.ID) {
+			t.Fatalf("NextHop(%d): view %+v/%v, machine %+v/%v", k, vh, vhok, mh, mhok)
+		}
+		vc, vcok := v.ClosestPreceding(k)
+		mc, mcok := m.ClosestPreceding(k)
+		if vcok != mcok || (vcok && vc.ID != mc.ID) {
+			t.Fatalf("ClosestPreceding(%d): view %+v/%v, machine %+v/%v", k, vc, vcok, mc, mcok)
+		}
+	}
+}
+
+// TestViewMirrorsMachine drives a machine through its mutation surfaces —
+// construction, warm start, stabilize adoption, notify, rotation, splices —
+// and checks after each step that the lock-free View routes bit-for-bit
+// like the machine's own accessors.
+func TestViewMirrorsMachine(t *testing.T) {
+	keys := []dht.Key{0, 1, 50, 99, 100, 101, 150, 200, 201, 299, 300, 400, 500, 65535}
+
+	cfg := Config{
+		SuccListLen:    4,
+		StabilizeEvery: 100 * sim.Millisecond,
+		MissThreshold:  2,
+	}
+	m, _, eng := newTestMachine(cfg, 100)
+	checkViewParity(t, m, keys) // fresh, un-joined machine
+
+	pred := Ref{ID: 50}
+	m.InstallRing(&pred, []Ref{{ID: 200}, {ID: 300}}, []Ref{{ID: 200}, {ID: 200}, {ID: 300}})
+	checkViewParity(t, m, keys)
+
+	// Stabilize adoption rebuilds the successor list and finger[0].
+	m.Handle(StabResp{
+		From: Ref{ID: 200}, HasPred: true, Pred: Ref{ID: 150},
+		SuccList: []Ref{{ID: 200}, {ID: 300}, {ID: 400}},
+	})
+	checkViewParity(t, m, keys)
+
+	// Notify moves the predecessor.
+	m.Handle(Notify{From: Ref{ID: 99}})
+	checkViewParity(t, m, keys)
+
+	// Silent rounds rotate the successor and drop the predecessor.
+	m.StartMaintenance()
+	eng.RunFor(250 * sim.Millisecond)
+	checkViewParity(t, m, keys)
+
+	// Graceful-leave splices.
+	m.AdoptPredecessor(Ref{ID: 42})
+	checkViewParity(t, m, keys)
+	m.AdoptSuccessors([]Ref{{ID: 500}, {ID: 42}})
+	checkViewParity(t, m, keys)
+	m.ClearPredecessor()
+	checkViewParity(t, m, keys)
+
+	// Create on a fresh machine publishes the one-node ring.
+	m2, _, _ := newTestMachine(Config{SuccListLen: 4}, 7)
+	m2.Create()
+	checkViewParity(t, m2, keys)
+}

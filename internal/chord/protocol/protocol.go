@@ -29,6 +29,8 @@
 package protocol
 
 import (
+	"sync/atomic"
+
 	"streamdex/internal/clock"
 	"streamdex/internal/dht"
 	"streamdex/internal/metrics"
@@ -116,6 +118,11 @@ type Machine struct {
 	stopped bool
 
 	stats metrics.Ring
+
+	// view is the last published routing snapshot (see View). The machine
+	// republishes it whenever ring state may have changed; readers on other
+	// goroutines load it wait-free.
+	view atomic.Pointer[View]
 }
 
 // New builds a machine for self. send is invoked synchronously (from
@@ -144,18 +151,20 @@ func New(cfg Config, self Ref, clk clock.Clock, send func(to Ref, msg any)) *Mac
 			cfg.JoinRetryEvery = 500 * sim.Millisecond
 		}
 	}
-	m := int(cfg.Space.M)
-	return &Machine{
+	bits := int(cfg.Space.M)
+	m := &Machine{
 		cfg:       cfg,
 		space:     cfg.Space,
 		self:      Ref{ID: cfg.Space.Wrap(self.ID), Addr: self.Addr},
 		clk:       clk,
 		send:      send,
-		finger:    make([]Ref, m),
-		fingerOK:  make([]bool, m),
-		fingerTok: make([]uint64, m),
+		finger:    make([]Ref, bits),
+		fingerOK:  make([]bool, bits),
+		fingerTok: make([]uint64, bits),
 		pendFind:  make(map[uint64]*pendingFind),
 	}
+	m.publishView()
+	return m
 }
 
 // SetAliveFilter installs the routing-time liveness filter (nil clears
@@ -191,6 +200,7 @@ func (m *Machine) Create() {
 	p := m.self
 	m.pred = &p
 	m.succList = []Ref{m.self}
+	m.publishView()
 	m.StartMaintenance()
 }
 
@@ -267,6 +277,7 @@ func (m *Machine) completeJoin(succ Ref) {
 	}
 	m.succList = []Ref{succ}
 	m.pred = nil
+	m.publishView()
 	m.StartMaintenance()
 	if j.onJoined != nil {
 		j.onJoined(succ)
@@ -331,6 +342,7 @@ func (m *Machine) InstallRing(pred *Ref, succList []Ref, fingers []Ref) {
 			}
 		}
 	}
+	m.publishView()
 }
 
 // AdoptPredecessor force-sets the predecessor (graceful-leave splice).
@@ -339,12 +351,14 @@ func (m *Machine) AdoptPredecessor(p Ref) {
 	m.pred = &r
 	m.predSeen = true
 	m.predMisses = 0
+	m.publishView()
 }
 
 // ClearPredecessor force-clears the predecessor (graceful-leave splice).
 func (m *Machine) ClearPredecessor() {
 	m.pred = nil
 	m.predMisses = 0
+	m.publishView()
 }
 
 // AdoptSuccessors force-replaces the successor list (graceful-leave
@@ -352,6 +366,7 @@ func (m *Machine) ClearPredecessor() {
 func (m *Machine) AdoptSuccessors(list []Ref) {
 	m.succList = append(m.succList[:0], list...)
 	m.stabMisses = 0
+	m.publishView()
 }
 
 // --- Message handling ---
@@ -381,6 +396,9 @@ func (m *Machine) Handle(msg any) {
 			m.predSeen = true
 		}
 	}
+	// Any handled message may have moved ring state (adopted successor,
+	// new predecessor, resolved finger lookup); republish the snapshot.
+	m.publishView()
 }
 
 // handleFindReq answers a successor lookup when this node covers the
@@ -521,6 +539,9 @@ func (m *Machine) considerPredecessor(p Ref) {
 // stabilizeTick runs one maintenance round: account the previous round's
 // (non-)responses, then probe the successor and the predecessor.
 func (m *Machine) stabilizeTick() {
+	// The tick can rotate the successor list or drop the predecessor on any
+	// exit path, so republish unconditionally on the way out.
+	defer m.publishView()
 	m.stats.StabilizeRounds++
 	// Successor accounting.
 	succ, ok := m.Successor()
@@ -605,6 +626,9 @@ func (m *Machine) fixNextFinger() {
 		m.finger[i] = succ
 		m.fingerOK[i] = true
 	})
+	// A lookup the machine can answer itself resolves inline, mutating the
+	// finger table before findSuccessor returns — republish either way.
+	m.publishView()
 }
 
 // --- Lookups ---
@@ -779,6 +803,124 @@ func (m *Machine) ClosestPreceding(key dht.Key) (Ref, bool) {
 		}
 	}
 	for _, s := range m.succList {
+		consider(s)
+	}
+	return best, found
+}
+
+// --- Published routing view --------------------------------------------------
+
+// View is an immutable snapshot of the machine's routing state — self,
+// predecessor, successor list, populated fingers — published through an
+// atomic pointer so goroutines outside the loop can make routing decisions
+// (Covers, NextHop) wait-free. The live node's data-plane workers route
+// decoded frames against it without posting to the control loop.
+//
+// The view deliberately omits the alive filter: only the simulator installs
+// one, and the simulator never reads views (its event loop calls the
+// machine directly). View routing therefore mirrors the machine's
+// unfiltered behavior — exactly what the live transport runs.
+type View struct {
+	space dht.Space
+
+	// Self is the owning node.
+	Self Ref
+	// Pred is the predecessor when HasPred.
+	HasPred bool
+	Pred    Ref
+	// Succs is the successor list, nearest first. Empty until the node has
+	// joined a ring.
+	Succs []Ref
+	// Fingers holds the populated finger-table entries in ascending slot
+	// order (unpopulated slots are skipped).
+	Fingers []Ref
+}
+
+// publishView snapshots the current ring state. Loop-only, like every other
+// mutator.
+func (m *Machine) publishView() {
+	v := &View{space: m.space, Self: m.self}
+	if m.pred != nil {
+		v.HasPred, v.Pred = true, *m.pred
+	}
+	if len(m.succList) > 0 {
+		v.Succs = append(make([]Ref, 0, len(m.succList)), m.succList...)
+	}
+	for i, ok := range m.fingerOK {
+		if ok {
+			v.Fingers = append(v.Fingers, m.finger[i])
+		}
+	}
+	m.view.Store(v)
+}
+
+// View returns the most recently published routing snapshot. Safe from any
+// goroutine; never nil.
+func (m *Machine) View() *View { return m.view.Load() }
+
+// Joined reports whether the snapshot has ring state.
+func (v *View) Joined() bool { return len(v.Succs) > 0 }
+
+// Successor returns the head of the successor list.
+func (v *View) Successor() (Ref, bool) {
+	if len(v.Succs) == 0 {
+		return Ref{}, false
+	}
+	return v.Succs[0], true
+}
+
+// Predecessor returns the predecessor pointer.
+func (v *View) Predecessor() (Ref, bool) {
+	return v.Pred, v.HasPred
+}
+
+// Covers mirrors Machine.Covers: key in (pred, self], or exactly self when
+// no predecessor is known.
+func (v *View) Covers(key dht.Key) bool {
+	if !v.HasPred {
+		return key == v.Self.ID
+	}
+	return v.space.BetweenIncl(key, v.Pred.ID, v.Self.ID)
+}
+
+// NextHop mirrors Machine.NextHop without an alive filter: the successor
+// when key lies in (self, succ], otherwise the closest preceding routing
+// entry, falling back to the successor.
+func (v *View) NextHop(key dht.Key) (Ref, bool) {
+	succ, ok := v.Successor()
+	if !ok {
+		return Ref{}, false
+	}
+	if v.space.BetweenIncl(key, v.Self.ID, succ.ID) {
+		return succ, true
+	}
+	if c, ok := v.ClosestPreceding(key); ok {
+		return c, true
+	}
+	return succ, true
+}
+
+// ClosestPreceding mirrors Machine.ClosestPreceding without an alive
+// filter: fingers from the highest populated slot down, then the successor
+// list.
+func (v *View) ClosestPreceding(key dht.Key) (Ref, bool) {
+	best := Ref{}
+	found := false
+	consider := func(c Ref) {
+		if c.ID == v.Self.ID {
+			return
+		}
+		if !v.space.Between(c.ID, v.Self.ID, key) {
+			return
+		}
+		if !found || v.space.Between(best.ID, v.Self.ID, c.ID) {
+			best, found = c, true
+		}
+	}
+	for i := len(v.Fingers) - 1; i >= 0; i-- {
+		consider(v.Fingers[i])
+	}
+	for _, s := range v.Succs {
 		consider(s)
 	}
 	return best, found

@@ -173,4 +173,73 @@ func TestWallDoAndClose(t *testing.T) {
 	}
 }
 
+// TestWallLoopStats drives the task queue to saturation and checks the
+// Post counters: depth/high-water track enqueue pressure, and a Post that
+// finds the queue full is counted with the nanoseconds it spent blocked.
+func TestWallLoopStats(t *testing.T) {
+	w := NewWall()
+	defer w.Close()
+
+	if s := w.LoopStats(); s.Posted != 0 || s.BlockedPosts != 0 || s.BlockedNs != 0 {
+		t.Fatalf("fresh clock stats = %+v", s)
+	}
+
+	// Park the loop on a gated task so nothing drains.
+	gate := make(chan struct{})
+	parked := make(chan struct{})
+	w.Post(func() { close(parked); <-gate })
+	<-parked
+
+	// Fill the queue to capacity without blocking.
+	capacity := cap(w.tasks)
+	for i := 0; i < capacity; i++ {
+		w.Post(func() {})
+	}
+	s := w.LoopStats()
+	if s.Posted != int64(capacity)+1 {
+		t.Fatalf("Posted = %d, want %d", s.Posted, capacity+1)
+	}
+	if s.Depth != capacity || s.HighWater != capacity {
+		t.Fatalf("Depth/HighWater = %d/%d, want %d/%d", s.Depth, s.HighWater, capacity, capacity)
+	}
+	if s.BlockedPosts != 0 {
+		t.Fatalf("BlockedPosts = %d before saturation overflow", s.BlockedPosts)
+	}
+
+	// One more Post must block until the loop drains a slot.
+	unblocked := make(chan struct{})
+	go func() {
+		w.Post(func() {})
+		close(unblocked)
+	}()
+	deadline := time.After(2 * time.Second)
+	for w.LoopStats().BlockedPosts == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("overflow Post was never counted as blocked")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(gate) // release the loop; the queue drains, unblocking the Post
+	<-unblocked
+
+	// BlockedNs is charged when the blocked Post completes.
+	for w.LoopStats().BlockedNs == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("BlockedNs never charged")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	s = w.LoopStats()
+	if s.BlockedPosts != 1 {
+		t.Fatalf("BlockedPosts = %d, want 1", s.BlockedPosts)
+	}
+	if s.Posted != int64(capacity)+2 {
+		t.Fatalf("Posted = %d, want %d", s.Posted, capacity+2)
+	}
+}
+
 func time1ms() sim.Time { return sim.Millisecond }

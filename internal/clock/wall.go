@@ -23,6 +23,48 @@ type Wall struct {
 
 	closing  atomic.Bool
 	quitOnce sync.Once
+
+	// Post saturation counters (atomic; see LoopStats).
+	posted       atomic.Int64
+	highWater    atomic.Int64
+	blockedPosts atomic.Int64
+	blockedNs    atomic.Int64
+}
+
+// LoopStats is a snapshot of the run loop's task-queue health. The queue is
+// 4096 deep and Post blocks silently when it is full; these counters make
+// that saturation observable (surfaced by the node's STATS output through
+// metrics.Loop).
+type LoopStats struct {
+	Posted       int64 // tasks ever enqueued
+	Depth        int   // tasks queued right now
+	HighWater    int   // max queue depth observed at enqueue time
+	BlockedPosts int64 // Post calls that found the queue full and had to wait
+	BlockedNs    int64 // total nanoseconds Post callers spent blocked
+}
+
+// LoopStats returns a snapshot of the queue counters. Safe from any
+// goroutine.
+func (w *Wall) LoopStats() LoopStats {
+	return LoopStats{
+		Posted:       w.posted.Load(),
+		Depth:        len(w.tasks),
+		HighWater:    int(w.highWater.Load()),
+		BlockedPosts: w.blockedPosts.Load(),
+		BlockedNs:    w.blockedNs.Load(),
+	}
+}
+
+// noteEnqueued updates Posted and HighWater after a successful enqueue.
+func (w *Wall) noteEnqueued() {
+	w.posted.Add(1)
+	depth := int64(len(w.tasks))
+	for {
+		hw := w.highWater.Load()
+		if depth <= hw || w.highWater.CompareAndSwap(hw, depth) {
+			return
+		}
+	}
 }
 
 // NewWall creates a wall clock and starts its run loop.
@@ -77,8 +119,22 @@ func (w *Wall) Post(fn func()) bool {
 	if w.closing.Load() {
 		return false
 	}
+	// Fast path: queue has room.
 	select {
 	case w.tasks <- fn:
+		w.noteEnqueued()
+		return true
+	case <-w.quit:
+		return false
+	default:
+	}
+	// Queue full: count the stall and how long it lasts.
+	w.blockedPosts.Add(1)
+	start := time.Now()
+	defer func() { w.blockedNs.Add(time.Since(start).Nanoseconds()) }()
+	select {
+	case w.tasks <- fn:
+		w.noteEnqueued()
 		return true
 	case <-w.quit:
 		return false

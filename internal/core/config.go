@@ -64,6 +64,13 @@ type Config struct {
 
 	// Seed drives all middleware-internal randomness (tick staggering).
 	Seed int64
+
+	// StoreShards is the number of independently locked L₁-band shards the
+	// per-node MBR store is split into. Values ≤ 1 keep the historical
+	// single-shard store — the simulator's configuration, so golden figure
+	// rows are untouched; live nodes set it to a multiple of the core count
+	// so data-plane workers index and match in parallel.
+	StoreShards int
 }
 
 // DefaultConfig returns the Table I configuration: BSPAN 5 s, NPER 2 s, a

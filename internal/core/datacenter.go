@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"streamdex/internal/clock"
 	"streamdex/internal/dht"
@@ -15,21 +16,39 @@ import (
 
 // DataCenter is the middleware instance running on one overlay node — a
 // sensor proxy / base station in the paper's architecture. It implements
-// dht.App; all its state is manipulated exclusively from the simulation
-// event loop.
+// dht.App.
+//
+// Concurrency: under the simulator every method runs on the single event
+// loop and the locks below are uncontended formality. On the live
+// transport the node's worker pool calls the *data plane* concurrently —
+// DeliverData for MBR publishes and query evaluations, ingest closures for
+// stream ticks — while everything else (notify absorption, aggregators,
+// the location service, response pushes) stays confined to the run loop.
+// The shared state those two planes touch is the sharded store (internally
+// locked), the subscription table (subMu), each subscription's detection
+// state (simSub.mu) and each local stream's summary pipeline
+// (localStream.mu).
 type DataCenter struct {
 	id dht.Key
 	mw *Middleware
 
-	// streams this node is the source of.
+	// streams this node is the source of. The map itself is loop-confined
+	// (registration and lookups); each stream's pipeline state is guarded
+	// by its own mutex for pool ingest.
 	streams map[string]*localStream
 
 	// store is the index partition: MBRs this node covers by content.
 	store *Store
 
 	// subs are the similarity subscriptions whose key range covers this
-	// node; aggs the queries for which this node is the middle node.
-	subs map[query.ID]*simSub
+	// node, guarded by subMu: workers register subscriptions and match new
+	// MBRs against them while the loop sweeps and flushes.
+	subMu sync.RWMutex
+	subs  map[query.ID]*simSub
+
+	// aggs are the queries for which this node is the middle node.
+	// Loop-confined: aggregation is control-plane work (notify absorption,
+	// periodic response pushes).
 	aggs map[query.ID]*aggregator
 
 	// ipSubs are inner-product subscriptions on local streams.
@@ -49,19 +68,31 @@ type DataCenter struct {
 	// one further ring hop toward their middle node on the next period.
 	relay []NotifyItem
 
-	// scratch is reused across store candidate walks to avoid a per-query
-	// allocation.
-	scratch []query.Match
+	// matchScratch recycles candidate-walk buffers. Each walk takes its
+	// own, so concurrent query evaluations never share the old single
+	// dc.scratch slice.
+	matchScratch sync.Pool
+
+	// pool is the substrate's data-plane executor (nil under the
+	// simulator); poster posts worker-discovered control work — aggregator
+	// installation — back to the loop.
+	pool   dht.Pool
+	poster interface{ Post(func()) bool }
 
 	ticker clock.Ticker
 }
 
-// localStream is one stream this data center sources.
+// localStream is one stream this data center sources. mu guards the
+// summary pipeline (generator, sliding DFT, batcher): pool ingest advances
+// it while the loop reads windows, features and coefficients.
 type localStream struct {
-	st      stream.Stream
+	st stream.Stream
+
+	mu      sync.Mutex
 	sdft    *dsp.SlidingDFT
 	batcher *summary.Batcher
-	ticker  clock.Ticker
+
+	ticker clock.Ticker
 }
 
 func newDataCenter(id dht.Key, mw *Middleware) *DataCenter {
@@ -69,7 +100,7 @@ func newDataCenter(id dht.Key, mw *Middleware) *DataCenter {
 		id:        id,
 		mw:        mw,
 		streams:   make(map[string]*localStream),
-		store:     NewStore(),
+		store:     NewShardedStore(mw.cfg.StoreShards),
 		subs:      make(map[query.ID]*simSub),
 		aggs:      make(map[query.ID]*aggregator),
 		ipSubs:    make(map[query.ID]*ipSubState),
@@ -87,7 +118,12 @@ func (dc *DataCenter) ID() dht.Key { return dc.id }
 func (dc *DataCenter) Store() *Store { return dc.store }
 
 // SubCount returns the number of similarity subscriptions registered here.
-func (dc *DataCenter) SubCount() int { return len(dc.subs) }
+// Safe from any goroutine.
+func (dc *DataCenter) SubCount() int {
+	dc.subMu.RLock()
+	defer dc.subMu.RUnlock()
+	return len(dc.subs)
+}
 
 // HasAggregator reports whether this node is the middle node of the query.
 func (dc *DataCenter) HasAggregator(id query.ID) bool {
@@ -108,7 +144,12 @@ func (dc *DataCenter) StreamIDs() []string {
 // truth for tests), or nil when unknown or not yet full.
 func (dc *DataCenter) StreamWindow(sid string) []float64 {
 	ls := dc.streams[sid]
-	if ls == nil || !ls.sdft.Full() {
+	if ls == nil {
+		return nil
+	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if !ls.sdft.Full() {
 		return nil
 	}
 	return ls.sdft.Window()
@@ -118,7 +159,12 @@ func (dc *DataCenter) StreamWindow(sid string) []float64 {
 // the window fills.
 func (dc *DataCenter) StreamFeature(sid string) summary.Feature {
 	ls := dc.streams[sid]
-	if ls == nil || !ls.sdft.Full() {
+	if ls == nil {
+		return nil
+	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if !ls.sdft.Full() {
 		return nil
 	}
 	cfg := dc.mw.cfg
@@ -171,19 +217,37 @@ func (dc *DataCenter) RegisterStream(st stream.Stream) error {
 	return nil
 }
 
-// streamTick processes one new stream value.
+// streamTick fires on the loop once per stream period. With a data-plane
+// pool the summary advance runs on a worker (multi-stream ingest becomes
+// parallel); without one — or when the pool is momentarily full — it runs
+// inline, exactly the historical path.
 func (dc *DataCenter) streamTick(ls *localStream) {
 	if !dc.alive() {
 		ls.ticker.Stop()
 		return
 	}
-	ls.sdft.Push(ls.st.Gen.Next())
-	if !ls.sdft.Full() {
+	if dc.pool != nil && dc.pool.TrySubmit(func() { dc.ingest(ls) }) {
 		return
 	}
+	dc.ingest(ls)
+}
+
+// ingest advances one stream by one value: generator, sliding DFT, batcher,
+// and — when a batch closes — MBR publication. The per-stream mutex keeps
+// ingest, inner-product reconstruction and test reads coherent; publishMBR
+// runs outside it (it takes the store and subscription locks).
+func (dc *DataCenter) ingest(ls *localStream) {
 	cfg := dc.mw.cfg
+	ls.mu.Lock()
+	ls.sdft.Push(ls.st.Gen.Next())
+	if !ls.sdft.Full() {
+		ls.mu.Unlock()
+		return
+	}
 	f := summary.FromCoeffs(ls.sdft.NormalizedCoeffs(cfg.Norm), cfg.FeatureDims, cfg.skipDC())
-	if mbr := ls.batcher.Add(f); mbr != nil {
+	mbr := ls.batcher.Add(f)
+	ls.mu.Unlock()
+	if mbr != nil {
 		dc.publishMBR(mbr)
 	}
 }
@@ -208,9 +272,12 @@ func (dc *DataCenter) publishMBR(b *summary.MBR) {
 }
 
 // matchNewMBR tests a just-arrived MBR against every registered
-// subscription.
+// subscription. Runs under the subscription read lock so it can execute on
+// any number of workers at once; simSub.add serializes per subscription.
 func (dc *DataCenter) matchNewMBR(b *summary.MBR) {
 	now := dc.mw.clk.Now()
+	dc.subMu.RLock()
+	defer dc.subMu.RUnlock()
 	for _, sub := range dc.subs {
 		if now >= sub.q.Expiry() {
 			continue
@@ -228,13 +295,13 @@ func (dc *DataCenter) matchNewMBR(b *summary.MBR) {
 }
 
 // Deliver implements dht.App: the application upcall of the content-based
-// routing substrate.
+// routing substrate, on the substrate's loop.
 func (dc *DataCenter) Deliver(self dht.Key, msg *dht.Message) {
 	switch msg.Kind {
 	case KindMBR:
 		dc.onMBR(msg)
 	case KindQuery:
-		dc.onQuery(msg)
+		dc.handleQuery(msg, true)
 	case KindNotify:
 		dc.onNotify(msg)
 	case KindResponse:
@@ -257,8 +324,26 @@ func (dc *DataCenter) Deliver(self dht.Key, msg *dht.Message) {
 	}
 }
 
+// DeliverData implements dht.ConcurrentApp: the data-plane upcall a
+// substrate's worker pool makes. Only the two hot, concurrency-safe kinds
+// are absorbed here; everything else reports false and the substrate posts
+// Deliver onto its loop.
+func (dc *DataCenter) DeliverData(self dht.Key, msg *dht.Message) bool {
+	switch msg.Kind {
+	case KindMBR:
+		dc.onMBR(msg)
+		return true
+	case KindQuery:
+		dc.handleQuery(msg, false)
+		return true
+	}
+	return false
+}
+
 // onMBR stores a replicated summary, matches it, and keeps the range
-// multicast going.
+// multicast going. Safe on loop and workers alike: the store and the
+// subscription table carry their own locks, and range continuation on the
+// live transport routes against the lock-free ring view.
 func (dc *DataCenter) onMBR(msg *dht.Message) {
 	b := msg.Payload.(MBRUpdate).MBR
 	if !b.Expired(dc.mw.clk.Now()) {
@@ -268,28 +353,62 @@ func (dc *DataCenter) onMBR(msg *dht.Message) {
 	dht.ContinueRange(dc.mw.net, dc.id, msg)
 }
 
-// onQuery registers a similarity subscription at a covering node, scans
+// handleQuery registers a similarity subscription at a covering node, scans
 // the local index for immediate candidates, installs the aggregator when
 // this node covers the middle key, and continues the range multicast.
-func (dc *DataCenter) onQuery(msg *dht.Message) {
+// onLoop distinguishes the serialized path (simulator, pool-less node) from
+// a pool worker.
+//
+// Ordering fence: the subscription is registered *before* the store walk,
+// and publishers insert into the store *before* matching subscriptions
+// (publishMBR/onMBR). Any MBR concurrent with this query is therefore seen
+// at least once — by the walk if its Put completed first, by the
+// publisher's matchNewMBR otherwise (which finds the already-registered
+// subscription) — and at most counted once, since simSub.add deduplicates
+// by (stream, seq). The QUERY candidate-set semantics are exactly the
+// serialized ones.
+func (dc *DataCenter) handleQuery(msg *dht.Message, onLoop bool) {
 	p := msg.Payload.(SimQuery)
 	now := dc.mw.clk.Now()
 	if now < p.Q.Expiry() {
-		if _, dup := dc.subs[p.Q.ID]; !dup {
-			sub := newSimSub(p.Q, p.MiddleKey)
-			dc.scratch = dc.store.AppendCandidates(dc.scratch[:0], p.Q.Feature, p.Q.Radius, now, dc.id)
-			for _, m := range dc.scratch {
-				sub.add(m)
-			}
+		dc.subMu.Lock()
+		sub := dc.subs[p.Q.ID]
+		fresh := sub == nil
+		if fresh {
+			sub = newSimSub(p.Q, p.MiddleKey)
 			dc.subs[p.Q.ID] = sub
+		}
+		dc.subMu.Unlock()
+		if fresh {
+			scratch, _ := dc.matchScratch.Get().(*[]query.Match)
+			if scratch == nil {
+				scratch = new([]query.Match)
+			}
+			*scratch = dc.store.AppendCandidates((*scratch)[:0], p.Q.Feature, p.Q.Radius, now, dc.id)
+			sub.addAll(*scratch)
+			dc.matchScratch.Put(scratch)
 			if dc.mw.net.Covers(dc.id, p.MiddleKey) {
-				if _, ok := dc.aggs[p.Q.ID]; !ok {
-					dc.aggs[p.Q.ID] = newAggregator(p.Q.ID, p.Q.Origin, p.Q.Expiry())
+				if onLoop {
+					dc.installAggregator(p.Q.ID, p.Q.Origin, p.Q.Expiry())
+				} else {
+					// Aggregators are loop state; a worker hands the
+					// installation back. If the post races shutdown, the
+					// adaptive path in absorbOrRelay re-creates the
+					// aggregator from the first notify item.
+					dc.poster.Post(func() { dc.installAggregator(p.Q.ID, p.Q.Origin, p.Q.Expiry()) })
 				}
 			}
 		}
 	}
 	dht.ContinueRange(dc.mw.net, dc.id, msg)
+}
+
+// installAggregator makes this node the middle node of the query. Loop
+// context.
+func (dc *DataCenter) installAggregator(id query.ID, client dht.Key, expiry sim.Time) {
+	if _, ok := dc.aggs[id]; !ok {
+		dc.aggs[id] = newAggregator(id, client, expiry)
+	}
 }
 
 // onNotify absorbs items destined for this node's aggregators and buffers
@@ -392,11 +511,13 @@ func (dc *DataCenter) periodTick() {
 // sweep drops expired soft state.
 func (dc *DataCenter) sweep(now sim.Time) {
 	dc.store.Sweep(now)
+	dc.subMu.Lock()
 	for id, sub := range dc.subs {
 		if now >= sub.q.Expiry() {
 			delete(dc.subs, id)
 		}
 	}
+	dc.subMu.Unlock()
 	for id, agg := range dc.aggs {
 		if now >= agg.expiry {
 			delete(dc.aggs, id)
@@ -435,6 +556,9 @@ func (dc *DataCenter) flushNotifies(now sim.Time) {
 	}
 	dc.relay = nil
 
+	// The read lock keeps worker-side registrations out of the iteration;
+	// per-subscription pending sets drain through their own mutex.
+	dc.subMu.RLock()
 	for id, sub := range dc.subs {
 		if now >= sub.q.Expiry() {
 			continue
@@ -466,6 +590,7 @@ func (dc *DataCenter) flushNotifies(now sim.Time) {
 			Matches:   pending,
 		})
 	}
+	dc.subMu.RUnlock()
 
 	if len(toSucc) > 0 || dirSucc {
 		msg := sized(&dht.Message{Kind: KindNotify, Src: dc.id, SentAt: now, Payload: NotifyBatch{Items: toSucc}})
@@ -509,10 +634,18 @@ func (dc *DataCenter) pushResponses(now sim.Time) {
 func (dc *DataCenter) pushInnerProducts(now sim.Time) {
 	for id, st := range dc.ipSubs {
 		ls := dc.streams[st.q.StreamID]
-		if ls == nil || !ls.sdft.Full() {
+		if ls == nil {
+			continue
+		}
+		// Hold the stream lock through reconstruction: Coeffs returns live
+		// pipeline state a pool ingest may be advancing.
+		ls.mu.Lock()
+		if !ls.sdft.Full() {
+			ls.mu.Unlock()
 			continue
 		}
 		approx := dsp.Reconstruct(ls.sdft.Coeffs(), dc.mw.cfg.WindowSize)
+		ls.mu.Unlock()
 		var v float64
 		for j, idx := range st.q.Index {
 			if idx >= len(approx) {

@@ -86,6 +86,17 @@ func (mw *Middleware) AttachNode(id dht.Key) *DataCenter {
 		return dc
 	}
 	dc := newDataCenter(id, mw)
+	// A substrate with a data-plane worker pool (the live transport) gets
+	// the concurrent paths: DeliverData upcalls, pooled ingest, and a way
+	// to post worker-discovered control work back to the loop. The
+	// simulator implements neither interface and stays fully serialized.
+	if pp, ok := mw.net.(dht.PoolProvider); ok {
+		if pool := pp.DataPool(); pool != nil {
+			if poster, ok := mw.clk.(interface{ Post(func()) bool }); ok {
+				dc.pool, dc.poster = pool, poster
+			}
+		}
+	}
 	mw.dcs[id] = dc
 	mw.net.SetApp(id, dc)
 	dc.startTicker()

@@ -77,7 +77,7 @@ func TestMBRsStoredAtContentSuccessor(t *testing.T) {
 	// that intersects its holder's responsibility.
 	for _, id := range ids {
 		dc := mw.DataCenter(id)
-		for _, b := range dc.store.entries {
+		for _, b := range dc.store.allEntries() {
 			lo, hi := b.KeyRange(mw.Mapper())
 			// The holder must cover some key in [lo,hi], or be the
 			// MBR's own source (local copy). A node intersects the

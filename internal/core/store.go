@@ -1,7 +1,10 @@
 package core
 
 import (
+	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"streamdex/internal/dht"
 	"streamdex/internal/query"
@@ -14,45 +17,143 @@ import (
 // order to prevent cluttering of storage space and to eliminate query
 // responses that contain stale information" (§V).
 //
-// Entries are kept sorted by the first-coefficient lower corner L₁. A
-// similarity query (Q, r) can only match MBRs whose first-coefficient
+// The store is sharded by an L₁ band partition so the live node's data
+// plane can run it from many goroutines at once: entry shard =
+// floor(L₁/bandWidth) mod S, each shard independently sorted ascending by
+// the first-coefficient lower corner L₁ and guarded by its own RWMutex.
+// A similarity query (Q, r) can only match MBRs whose first-coefficient
 // interval [L₁, H₁] overlaps [q₁−r, q₁+r] — the same Fourier-locality fact
-// Eq. 6 routes on — so Candidates binary-searches into the sorted order and
-// walks only the overlapping band instead of scanning every entry. maxWidth
-// (an upper bound on H₁−L₁ over live entries) turns the one-sided sort key
-// into a conservative two-sided window.
+// Eq. 6 routes on — so Candidates binary-searches each shard's sorted order
+// under a read lock and walks only the overlapping band. Each shard keeps
+// its own maxWidth (an upper bound on H₁−L₁ over its live entries),
+// turning the one-sided sort key into a conservative two-sided window; the
+// per-shard bound is re-tightened by that shard's sweep, so one wide MBR
+// never inflates the scanned band of the other shards (and stops inflating
+// its own as soon as the shard is swept).
+//
+// Concurrency contract: Put and AppendCandidates may be called from any
+// goroutine. Queries take only read locks; Put's O(n) memmove locks a
+// single shard, shrinking both the critical section and the move to
+// O(n/S). The simulator constructs single-shard stores and calls
+// everything from its event loop, paying one uncontended lock per
+// operation.
 type Store struct {
+	shards    []storeShard
+	bandWidth float64
+
+	// Cumulative data-plane counters (atomic; surfaced via the node's
+	// STATS output and asserted by the stale-width regression test).
+	puts    atomic.Int64
+	scanned atomic.Int64 // entries visited by candidate walks
+}
+
+// storeShard is one independently locked L₁ band of the store.
+type storeShard struct {
+	mu       sync.RWMutex
 	entries  []*summary.MBR // sorted ascending by Lo[0]
 	maxWidth float64        // upper bound on Hi[0]-Lo[0]; tightened on Sweep
 }
 
-// NewStore returns an empty store.
+// defaultBandWidth is the L₁ stripe width of the shard partition. Features
+// are normalized, so first coefficients live in roughly [-1, 1]; a 0.25
+// stripe spreads a typical workload over all shards while keeping a
+// radius-sized query band inside a handful of them.
+const defaultBandWidth = 0.25
+
+// NewStore returns an empty single-shard store — the simulator's
+// configuration, behaviorally identical to the historical unsharded store.
 func NewStore() *Store {
-	return &Store{}
+	return NewShardedStore(1)
+}
+
+// NewShardedStore returns an empty store with the given number of L₁-band
+// shards (values < 1 are treated as 1).
+func NewShardedStore(shards int) *Store {
+	if shards < 1 {
+		shards = 1
+	}
+	return &Store{
+		shards:    make([]storeShard, shards),
+		bandWidth: defaultBandWidth,
+	}
+}
+
+// Shards returns the shard count.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// shardOf maps a first-coefficient lower corner to its shard.
+func (s *Store) shardOf(l1 float64) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	band := int(math.Floor(l1 / s.bandWidth))
+	idx := band % len(s.shards)
+	if idx < 0 {
+		idx += len(s.shards)
+	}
+	return idx
 }
 
 // Len returns the number of MBRs held (lazily dropped expired entries may
 // linger until a Candidates walk or Sweep touches them).
-func (s *Store) Len() int { return len(s.entries) }
-
-// Put inserts an MBR at its sorted position.
-func (s *Store) Put(b *summary.MBR) {
-	l1 := b.Lo[0]
-	i := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].Lo[0] > l1 })
-	s.entries = append(s.entries, nil)
-	copy(s.entries[i+1:], s.entries[i:])
-	s.entries[i] = b
-	if w := b.Hi[0] - b.Lo[0]; w > s.maxWidth {
-		s.maxWidth = w
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.entries)
+		sh.mu.RUnlock()
 	}
+	return n
 }
 
-// Sweep drops expired MBRs and re-tightens the width bound; it returns how
-// many entries were removed.
+// Stats reports cumulative store activity: entries inserted and entries
+// visited by candidate walks. The scanned/put ratio exposes how well the
+// sorted-band pruning and the per-shard width bounds are working.
+func (s *Store) Stats() (puts, scanned int64) {
+	return s.puts.Load(), s.scanned.Load()
+}
+
+// Put inserts an MBR at its sorted position within its L₁-band shard.
+func (s *Store) Put(b *summary.MBR) {
+	l1 := b.Lo[0]
+	sh := &s.shards[s.shardOf(l1)]
+	sh.mu.Lock()
+	i := sort.Search(len(sh.entries), func(i int) bool { return sh.entries[i].Lo[0] > l1 })
+	sh.entries = append(sh.entries, nil)
+	copy(sh.entries[i+1:], sh.entries[i:])
+	sh.entries[i] = b
+	if w := b.Hi[0] - b.Lo[0]; w > sh.maxWidth {
+		sh.maxWidth = w
+	}
+	sh.mu.Unlock()
+	s.puts.Add(1)
+}
+
+// Sweep drops expired MBRs and re-tightens each shard's width bound; it
+// returns how many entries were removed. Each shard is swept under its own
+// lock — there is no store-wide pause.
 func (s *Store) Sweep(now sim.Time) int {
-	kept := s.entries[:0]
+	removed := 0
+	for i := range s.shards {
+		removed += s.sweepShard(&s.shards[i], now)
+	}
+	return removed
+}
+
+// SweepShard sweeps a single shard (identified by index), recomputing its
+// width bound; it returns how many entries were removed. Callers may use
+// it to spread sweep cost over time on huge stores.
+func (s *Store) SweepShard(i int, now sim.Time) int {
+	return s.sweepShard(&s.shards[i], now)
+}
+
+func (s *Store) sweepShard(sh *storeShard, now sim.Time) int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	kept := sh.entries[:0]
 	width := 0.0
-	for _, b := range s.entries {
+	for _, b := range sh.entries {
 		if b.Expired(now) {
 			continue
 		}
@@ -61,45 +162,67 @@ func (s *Store) Sweep(now sim.Time) int {
 		}
 		kept = append(kept, b)
 	}
-	removed := len(s.entries) - len(kept)
-	for i := len(kept); i < len(s.entries); i++ {
-		s.entries[i] = nil
+	removed := len(sh.entries) - len(kept)
+	for i := len(kept); i < len(sh.entries); i++ {
+		sh.entries[i] = nil
 	}
-	s.entries = kept
-	s.maxWidth = width
+	sh.entries = kept
+	sh.maxWidth = width
 	return removed
 }
 
 // Candidates scans the store for MBRs whose minimum distance to the query
 // feature is within the radius — the no-false-dismissal candidate test.
-// Expired entries encountered during the walk are dropped in place, so
-// long-lived nodes do not rescan dead entries while waiting for the next
-// Sweep.
 func (s *Store) Candidates(q summary.Feature, radius float64, now sim.Time, node dht.Key) []query.Match {
 	return s.AppendCandidates(nil, q, radius, now, node)
 }
 
 // AppendCandidates is Candidates appending into dst, for callers that reuse
-// a scratch buffer across queries.
+// a scratch buffer across queries. It takes only read locks, so any number
+// of walks proceed in parallel with each other; shards where the walk
+// encountered expired entries are compacted afterwards under a write lock,
+// so long-lived nodes do not rescan dead entries while waiting for the
+// next Sweep.
 func (s *Store) AppendCandidates(dst []query.Match, q summary.Feature, radius float64, now sim.Time, node dht.Key) []query.Match {
-	if len(s.entries) == 0 {
-		return dst
-	}
 	q1 := q[0]
+	visited := int64(0)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		var expired bool
+		dst, visited, expired = sh.appendCandidates(dst, visited, q, q1, radius, now, node)
+		if expired {
+			sh.compactBand(q1, radius, now)
+		}
+	}
+	if visited > 0 {
+		s.scanned.Add(visited)
+	}
+	return dst
+}
+
+// appendCandidates walks one shard's overlapping band under its read lock.
+// It reports whether any expired entry was seen, so the caller can compact.
+func (sh *storeShard) appendCandidates(dst []query.Match, visited int64, q summary.Feature, q1, radius float64, now sim.Time, node dht.Key) ([]query.Match, int64, bool) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if len(sh.entries) == 0 {
+		return dst, visited, false
+	}
 	// Only entries with Lo[0] in [q1-r-maxWidth, q1+r] can have a
 	// first-coefficient interval overlapping [q1-r, q1+r].
-	lo := q1 - radius - s.maxWidth
+	lo := q1 - radius - sh.maxWidth
 	hi := q1 + radius
-	start := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].Lo[0] >= lo })
-	w := start // write cursor for in-place expiry compaction
-	j := start
-	for ; j < len(s.entries); j++ {
-		b := s.entries[j]
+	start := sort.Search(len(sh.entries), func(i int) bool { return sh.entries[i].Lo[0] >= lo })
+	sawExpired := false
+	for j := start; j < len(sh.entries); j++ {
+		b := sh.entries[j]
 		if b.Lo[0] > hi {
 			break
 		}
+		visited++
 		if b.Expired(now) {
-			continue // dropped: not copied back
+			sawExpired = true
+			continue
 		}
 		if b.Hi[0] >= q1-radius { // cheap interval pre-test before MinDist
 			if d := b.MinDist(q); d <= radius {
@@ -112,17 +235,65 @@ func (s *Store) AppendCandidates(dst []query.Match, q summary.Feature, radius fl
 				})
 			}
 		}
-		s.entries[w] = b
+	}
+	return dst, visited, sawExpired
+}
+
+// compactBand re-walks the band a query just scanned under the write lock
+// and drops the expired entries it contains, in place. It runs only when a
+// read walk actually saw expired entries, which is rare between sweeps, so
+// queries stay read-parallel in steady state.
+func (sh *storeShard) compactBand(q1, radius float64, now sim.Time) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	lo := q1 - radius - sh.maxWidth
+	hi := q1 + radius
+	start := sort.Search(len(sh.entries), func(i int) bool { return sh.entries[i].Lo[0] >= lo })
+	w := start
+	j := start
+	for ; j < len(sh.entries); j++ {
+		b := sh.entries[j]
+		if b.Lo[0] > hi {
+			break
+		}
+		if b.Expired(now) {
+			continue // dropped: not copied back
+		}
+		sh.entries[w] = b
 		w++
 	}
 	if w != j {
-		n := copy(s.entries[w:], s.entries[j:])
-		for k := w + n; k < len(s.entries); k++ {
-			s.entries[k] = nil
+		n := copy(sh.entries[w:], sh.entries[j:])
+		for k := w + n; k < len(sh.entries); k++ {
+			sh.entries[k] = nil
 		}
-		s.entries = s.entries[:w+n]
+		sh.entries = sh.entries[:w+n]
 	}
-	return dst
+}
+
+// shardWidth returns shard i's current width bound (tests).
+func (s *Store) shardWidth(i int) float64 {
+	sh := &s.shards[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.maxWidth
+}
+
+// allEntries returns a copy of every shard's entries (tests).
+func (s *Store) allEntries() []*summary.MBR {
+	var out []*summary.MBR
+	for i := range s.shards {
+		out = append(out, s.shardEntries(i)...)
+	}
+	return out
+}
+
+// shardEntries returns a copy of shard i's entry slice (tests).
+func (s *Store) shardEntries(i int) []*summary.MBR {
+	sh := &s.shards[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return append([]*summary.MBR(nil), sh.entries...)
 }
 
 // MatchMBR tests a single, just-arrived MBR against a query feature.
@@ -131,10 +302,16 @@ func MatchMBR(b *summary.MBR, q summary.Feature, radius float64) (float64, bool)
 	return d, d <= radius
 }
 
-// simSub is one similarity subscription registered at a covering node.
+// simSub is one similarity subscription registered at a covering node. Its
+// detection state (seen, pending) is guarded by mu: on the live node new
+// MBRs are matched against it from data-plane workers while the run loop
+// flushes its pending candidates each push period. The query itself and
+// the middle key are immutable after construction.
 type simSub struct {
 	q         *query.Similarity
 	middleKey dht.Key
+
+	mu sync.Mutex
 	// seen deduplicates candidates per (stream, seq) so a re-stored or
 	// re-matched MBR is reported once by this node.
 	seen map[string]map[uint64]bool
@@ -148,6 +325,8 @@ func newSimSub(q *query.Similarity, middle dht.Key) *simSub {
 
 // add records a candidate unless it was already reported.
 func (s *simSub) add(m query.Match) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	seqs := s.seen[m.StreamID]
 	if seqs == nil {
 		seqs = make(map[uint64]bool)
@@ -161,8 +340,17 @@ func (s *simSub) add(m query.Match) bool {
 	return true
 }
 
+// addAll records a batch of candidates.
+func (s *simSub) addAll(ms []query.Match) {
+	for _, m := range ms {
+		s.add(m)
+	}
+}
+
 // takePending returns and clears the pending candidates.
 func (s *simSub) takePending() []query.Match {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := s.pending
 	s.pending = nil
 	return out
@@ -170,7 +358,8 @@ func (s *simSub) takePending() []query.Match {
 
 // aggregator is the middle-node state of one similarity query: it absorbs
 // candidates funneled along the ring and periodically pushes them to the
-// client (§IV-F).
+// client (§IV-F). Aggregators are run-loop-confined even on the live node
+// (notify absorption and response pushes are control-plane work).
 type aggregator struct {
 	queryID query.ID
 	client  dht.Key

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"streamdex/internal/query"
+	"streamdex/internal/sim"
+	"streamdex/internal/summary"
+)
+
+// sortMatches orders a match set canonically for comparison.
+func sortMatches(ms []query.Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].StreamID != ms[j].StreamID {
+			return ms[i].StreamID < ms[j].StreamID
+		}
+		return ms[i].Seq < ms[j].Seq
+	})
+}
+
+// TestShardedStoreMatchesSingleShard: the sharded store must report exactly
+// the candidate set of the single-shard store over an identical entry
+// population, for many random queries — the shard partition is a pure
+// performance transform.
+func TestShardedStoreMatchesSingleShard(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	oracle := NewStore()
+	sharded := NewShardedStore(8)
+	for i := 0; i < 2000; i++ {
+		l1 := rng.Float64()*3 - 1.5
+		w := rng.Float64() * 0.2
+		expiry := sim.Time(0)
+		if rng.Intn(4) == 0 {
+			expiry = sim.Time(1 + rng.Intn(100))
+		}
+		b := mbrAt(fmt.Sprintf("s%d", i%37), uint64(i), summary.Feature{l1, rng.Float64()},
+			summary.Feature{l1 + w, rng.Float64() + 1}, expiry)
+		oracle.Put(b)
+		sharded.Put(b)
+	}
+	for trial := 0; trial < 200; trial++ {
+		q := summary.Feature{rng.Float64()*3 - 1.5, rng.Float64()}
+		r := rng.Float64() * 0.5
+		now := sim.Time(rng.Intn(120))
+		got := sharded.Candidates(q, r, now, 1)
+		want := oracle.Candidates(q, r, now, 1)
+		sortMatches(got)
+		sortMatches(want)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("trial %d (q=%v r=%v now=%v): sharded %d matches, oracle %d\n%v\n%v",
+				trial, q, r, now, len(got), len(want), got, want)
+		}
+	}
+}
+
+// TestShardedStoreConcurrentOracle hammers one sharded store with
+// concurrent Put / AppendCandidates / Sweep interleavings (run under -race
+// by CI) and afterwards checks the surviving contents against a sequential
+// single-shard oracle fed the same entries.
+func TestShardedStoreConcurrentOracle(t *testing.T) {
+	const (
+		writers   = 4
+		readers   = 4
+		perWriter = 500
+	)
+	s := NewShardedStore(8)
+
+	// Pre-generate each writer's entries so the oracle can replay them.
+	entries := make([][]*summary.MBR, writers)
+	for w := range entries {
+		rng := rand.New(rand.NewSource(int64(100 + w)))
+		entries[w] = make([]*summary.MBR, perWriter)
+		for i := range entries[w] {
+			l1 := rng.Float64()*2 - 1
+			width := rng.Float64() * 0.1
+			expiry := sim.Time(0)
+			if rng.Intn(3) == 0 {
+				expiry = sim.Time(1 + rng.Intn(50)) // expires mid-run
+			}
+			entries[w][i] = mbrAt(fmt.Sprintf("w%d", w), uint64(i),
+				summary.Feature{l1, 0}, summary.Feature{l1 + width, 0.1}, expiry)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, b := range entries[w] {
+				s.Put(b)
+				if i%100 == 99 {
+					s.Sweep(sim.Time(i / 10))
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(900 + r)))
+			dst := make([]query.Match, 0, 256)
+			for i := 0; i < 400; i++ {
+				q := summary.Feature{rng.Float64()*2 - 1, 0.05}
+				dst = s.AppendCandidates(dst[:0], q, 0.2, sim.Time(rng.Intn(60)), 1)
+				for _, m := range dst {
+					if m.StreamID == "" {
+						t.Error("torn match read")
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	// Sequential oracle: same entries, single shard, one final sweep at a
+	// time past every mid-run expiry.
+	oracle := NewStore()
+	for _, batch := range entries {
+		for _, b := range batch {
+			oracle.Put(b)
+		}
+	}
+	const now = 100 * sim.Time(1)
+	oracle.Sweep(now)
+	s.Sweep(now)
+	if got, want := s.Len(), oracle.Len(); got != want {
+		t.Fatalf("after concurrent run: %d entries, oracle has %d", got, want)
+	}
+	// Candidate sets must agree too.
+	for trial := 0; trial < 50; trial++ {
+		q := summary.Feature{float64(trial)/25 - 1, 0.05}
+		got := s.Candidates(q, 0.15, now, 1)
+		want := oracle.Candidates(q, 0.15, now, 1)
+		sortMatches(got)
+		sortMatches(want)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("trial %d: candidate sets diverged:\n%v\n%v", trial, got, want)
+		}
+	}
+}
+
+// TestShardWidthBoundStaysLocal is the stale-width regression test: a wide
+// MBR must inflate only its own shard's scan band, and once it expires and
+// that shard is swept, the shard's width bound must re-tighten so the band
+// shrinks back — under the old store-global bound, one long-gone wide MBR
+// kept every future walk wide until the next full sweep re-tightened it.
+func TestShardWidthBoundStaysLocal(t *testing.T) {
+	s := NewShardedStore(4)
+	// With bandWidth 0.25 and 4 shards: l1 in [0, 0.25) -> shard 0,
+	// [0.25, 0.5) -> shard 1.
+	wideShard := s.shardOf(0.1)
+	narrowShard := s.shardOf(0.3)
+	if wideShard == narrowShard {
+		t.Fatalf("test geometry broken: both bands map to shard %d", wideShard)
+	}
+	// A very wide rectangle in shard 0, expiring at t=1s.
+	s.Put(mbrAt("wide", 0, summary.Feature{0.1, 0}, summary.Feature{2.1, 0}, sim.Second))
+	// A dense strip of narrow entries in shard 1.
+	for i := 0; i < 100; i++ {
+		l1 := 0.25 + float64(i)*0.0025 // [0.25, 0.5)
+		s.Put(mbrAt("narrow", uint64(1+i), summary.Feature{l1, 0}, summary.Feature{l1 + 0.001, 0}, 0))
+	}
+	if w := s.shardWidth(wideShard); w < 1.9 {
+		t.Fatalf("wide shard width bound = %v, want ~2", w)
+	}
+	if w := s.shardWidth(narrowShard); w > 0.01 {
+		t.Fatalf("narrow shard width bound = %v, polluted by the wide MBR", w)
+	}
+
+	// A tight query inside the narrow strip: the wide MBR in the other
+	// shard must not inflate the scanned band. Band is [q1-r-width, q1+r]
+	// ~ 0.02 wide -> ~8 strip entries, not all 100.
+	_, before := s.Stats()
+	got := s.Candidates(summary.Feature{0.375, 0}, 0.01, 2*sim.Second, 1)
+	_, after := s.Stats()
+	if len(got) == 0 {
+		t.Fatal("query matched nothing")
+	}
+	if scanned := after - before; scanned > 20 {
+		t.Fatalf("narrow-band query scanned %d entries; the wide shard's bound leaked", scanned)
+	}
+
+	// The wide MBR has expired: a shard-local sweep must re-tighten the
+	// bound even though no other shard was touched.
+	s.SweepShard(wideShard, 2*sim.Second)
+	if w := s.shardWidth(wideShard); w != 0 {
+		t.Fatalf("wide shard width bound = %v after local sweep, want 0", w)
+	}
+}
+
+// TestShardedStoreZeroAllocWalk extends the alloc guard to the sharded
+// configuration: a multi-shard candidate walk with a reused destination
+// must stay allocation-free.
+func TestShardedStoreZeroAllocWalk(t *testing.T) {
+	s := NewShardedStore(8)
+	for i := 0; i < 512; i++ {
+		l1 := float64(i)/256 - 1
+		s.Put(mbrAt("s", uint64(i), summary.Feature{l1, 0}, summary.Feature{l1 + 0.01, 0.1}, 0))
+	}
+	q := summary.Feature{0.1, 0.05}
+	dst := make([]query.Match, 0, 64)
+	dst = s.AppendCandidates(dst, q, 0.05, 0, 1)
+	if len(dst) == 0 {
+		t.Fatal("query should match some entries")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = s.AppendCandidates(dst[:0], q, 0.05, 0, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("sharded AppendCandidates allocated %.1f objects per run, want 0", allocs)
+	}
+}

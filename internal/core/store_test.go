@@ -30,19 +30,20 @@ func TestStorePutSweep(t *testing.T) {
 	if s.Len() != 1 {
 		t.Fatalf("Len after sweep = %d", s.Len())
 	}
-	if len(s.entries) != 1 || s.entries[0].StreamID != "a" || s.entries[0].Seq != 1 {
-		t.Fatalf("surviving entry = %v", s.entries)
+	if left := s.shardEntries(0); len(left) != 1 || left[0].StreamID != "a" || left[0].Seq != 1 {
+		t.Fatalf("surviving entry = %v", left)
 	}
 }
 
 func TestStoreSortedByFirstCoefficient(t *testing.T) {
 	s := NewStore()
 	for _, l1 := range []float64{0.5, -0.2, 0.9, 0.1, -0.7, 0.1} {
-		s.Put(mbrAt("s", uint64(len(s.entries)), summary.Feature{l1}, summary.Feature{l1 + 0.05}, 0))
+		s.Put(mbrAt("s", uint64(s.Len()), summary.Feature{l1}, summary.Feature{l1 + 0.05}, 0))
 	}
-	for i := 1; i < len(s.entries); i++ {
-		if s.entries[i-1].Lo[0] > s.entries[i].Lo[0] {
-			t.Fatalf("entries out of order at %d: %v > %v", i, s.entries[i-1].Lo[0], s.entries[i].Lo[0])
+	entries := s.shardEntries(0)
+	for i := 1; i < len(entries); i++ {
+		if entries[i-1].Lo[0] > entries[i].Lo[0] {
+			t.Fatalf("entries out of order at %d: %v > %v", i, entries[i-1].Lo[0], entries[i].Lo[0])
 		}
 	}
 	// A query radius only reaches entries whose L1 interval overlaps it.
@@ -72,9 +73,10 @@ func TestStoreCandidatesDropsExpiredInPlace(t *testing.T) {
 	if s.Len() != 3 {
 		t.Fatalf("Len after candidate walk = %d, want 3 (expired dropped in place)", s.Len())
 	}
-	for i := 1; i < len(s.entries); i++ {
-		if s.entries[i-1].Lo[0] > s.entries[i].Lo[0] {
-			t.Fatalf("compaction broke sort order: %v", s.entries)
+	entries := s.shardEntries(0)
+	for i := 1; i < len(entries); i++ {
+		if entries[i-1].Lo[0] > entries[i].Lo[0] {
+			t.Fatalf("compaction broke sort order: %v", entries)
 		}
 	}
 	// The untouched far entry goes on the next sweep.

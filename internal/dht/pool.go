@@ -1,0 +1,38 @@
+package dht
+
+// Pool is a bounded worker pool a substrate exposes to the application so
+// data-plane work (MBR matching, query evaluation, sliding-DFT advances)
+// can run off the node's serialized control loop. Implementations must be
+// safe for use from any goroutine.
+type Pool interface {
+	// Submit enqueues fn and blocks while the pool's queue is full —
+	// blocking the producer (e.g. a socket read loop) is the backpressure
+	// policy. It reports false when the pool is closed (fn is dropped).
+	Submit(fn func()) bool
+	// TrySubmit enqueues fn only if a queue slot is immediately free,
+	// reporting whether it did. Callers that must not block (the control
+	// loop itself) use it and run fn inline on false.
+	TrySubmit(fn func()) bool
+	// Workers returns the pool's worker-goroutine count.
+	Workers() int
+}
+
+// PoolProvider is implemented by substrates that own a data-plane worker
+// pool. The middleware type-asserts for it at attach time; substrates
+// without one (the simulator) simply don't implement it and the
+// application stays loop-confined.
+type PoolProvider interface {
+	DataPool() Pool
+}
+
+// ConcurrentApp is an App that can absorb *data* messages on arbitrary
+// pool goroutines. A substrate with a worker pool type-asserts for it and
+// calls DeliverData from workers; control messages and apps that do not
+// implement it keep the classic loop-serialized Deliver path.
+type ConcurrentApp interface {
+	App
+	// DeliverData handles msg on the calling goroutine if the message kind
+	// is safe for concurrent handling, reporting whether it did. On false
+	// the substrate must fall back to posting Deliver onto its loop.
+	DeliverData(self Key, msg *Message) bool
+}

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"streamdex/internal/dht"
 	"streamdex/internal/sim"
@@ -38,7 +39,11 @@ type Collector struct {
 	hopCount [NumHopClasses]int64
 	hopMax   [NumHopClasses]int
 
-	events [NumEventTypes]int64
+	// events is atomic: on the live node, CountEvent is called from
+	// data-plane workers concurrently with the run loop. Everything else in
+	// the collector is serialized by its caller (the simulator's event loop,
+	// or the transport's locked observer wrapper).
+	events [NumEventTypes]atomic.Int64
 }
 
 // NewCollector creates a collector with the given classifier.
@@ -64,7 +69,9 @@ func (c *Collector) Reset(now sim.Time) {
 	c.hopSum = [NumHopClasses]int64{}
 	c.hopCount = [NumHopClasses]int64{}
 	c.hopMax = [NumHopClasses]int{}
-	c.events = [NumEventTypes]int64{}
+	for i := range c.events {
+		c.events[i].Store(0)
+	}
 }
 
 func counters(m map[dht.Key]*[NumCategories]int64, id dht.Key) *[NumCategories]int64 {
@@ -103,11 +110,11 @@ func (c *Collector) OnDeliver(at dht.Key, msg *dht.Message) {
 }
 
 // CountEvent records one application input event (new MBR, new query, or a
-// response push).
-func (c *Collector) CountEvent(e EventType) { c.events[e]++ }
+// response push). Safe from any goroutine.
+func (c *Collector) CountEvent(e EventType) { c.events[e].Add(1) }
 
 // Events returns the number of recorded events of the given type.
-func (c *Collector) Events(e EventType) int64 { return c.events[e] }
+func (c *Collector) Events(e EventType) int64 { return c.events[e].Load() }
 
 // Report is an immutable snapshot of the collected statistics.
 type Report struct {
@@ -160,7 +167,9 @@ func (c *Collector) Snapshot(now sim.Time, nodes []dht.Key) *Report {
 		Duration: dur,
 		Nodes:    len(nodes),
 		NodeLoad: make(map[dht.Key]float64, len(nodes)),
-		Events:   c.events,
+	}
+	for i := range c.events {
+		r.Events[i] = c.events[i].Load()
 	}
 	secs := dur.Seconds()
 	if secs <= 0 || len(nodes) == 0 {

@@ -1,0 +1,16 @@
+package metrics
+
+import "streamdex/internal/clock"
+
+// Loop is a snapshot of a live node's run-loop task-queue health: how many
+// tasks were posted, how deep the queue is now and at its worst, and how
+// often (and for how long) Post callers were parked on a full queue. It is
+// the control-plane saturation signal: a rising HighWater or nonzero
+// BlockedNs means decoded frames and timer callbacks are arriving faster
+// than the single protocol goroutine can retire them, which is exactly the
+// pressure the data-plane worker pool exists to take off the loop.
+//
+// Loop is an alias for clock.LoopStats (the clock package owns the run loop
+// and therefore the counters; metrics re-exports the type so observability
+// consumers — STATS output, dashboards — need only this package).
+type Loop = clock.LoopStats

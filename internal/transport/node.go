@@ -30,6 +30,7 @@ package transport
 import (
 	"fmt"
 	"net"
+	"sync"
 	"sync/atomic"
 
 	"streamdex/internal/chord/protocol"
@@ -64,6 +65,12 @@ type Config struct {
 	QueueLen int
 	// MaxHops drops routed messages that exceed it (routing-loop guard).
 	MaxHops int
+	// Workers sizes the data-plane worker pool that decoded data frames fan
+	// out to: 0 means GOMAXPROCS, negative disables the pool entirely (all
+	// frames post to the run loop, the pre-pool behavior).
+	Workers int
+	// PoolQueueLen bounds the worker pool's task queue (0 → 64 per worker).
+	PoolQueueLen int
 }
 
 // DefaultConfig returns production-shaped defaults for the given identity.
@@ -95,16 +102,49 @@ type Node struct {
 	peers *peerSet
 
 	// ring is the node's control-plane state machine — the same code the
-	// simulator drives through its event engine. Loop-confined.
+	// simulator drives through its event engine. Its mutators are
+	// loop-confined; routing reads go through the lock-free published View.
 	ring *protocol.Machine
 
-	// Application attachment — loop-confined.
-	app dht.App
-	obs dht.Observer
+	// pool is the data-plane executor decoded data frames fan out to; nil
+	// when Config.Workers < 0 (everything posts to the loop).
+	pool *workerPool
+
+	// Application attachment. Stored atomically (boxed, so differing
+	// concrete types are fine) because data-plane workers read them
+	// concurrently with the loop installing them.
+	app atomic.Value // appBox
+	obs atomic.Value // obsBox
 
 	dropped atomic.Int64
 	closed  atomic.Bool
 	accDone chan struct{}
+}
+
+type appBox struct{ app dht.App }
+type obsBox struct{ obs dht.Observer }
+
+func (n *Node) loadApp() dht.App       { return n.app.Load().(appBox).app }
+func (n *Node) observer() dht.Observer { return n.obs.Load().(obsBox).obs }
+
+// lockedObserver serializes observer callbacks: the metrics collector is a
+// plain single-threaded accumulator, but with a worker pool OnTransmit and
+// OnDeliver fire from many goroutines.
+type lockedObserver struct {
+	mu    sync.Mutex
+	inner dht.Observer
+}
+
+func (o *lockedObserver) OnTransmit(from, to dht.Key, msg *dht.Message) {
+	o.mu.Lock()
+	o.inner.OnTransmit(from, to, msg)
+	o.mu.Unlock()
+}
+
+func (o *lockedObserver) OnDeliver(at dht.Key, msg *dht.Message) {
+	o.mu.Lock()
+	o.inner.OnDeliver(at, msg)
+	o.mu.Unlock()
 }
 
 // New creates a node, binds its listener and starts its event loop. The
@@ -136,9 +176,12 @@ func New(cfg Config) (*Node, error) {
 		self:    Ref{ID: cfg.Space.Wrap(cfg.ID), Addr: ln.Addr().String()},
 		clk:     clock.NewWall(),
 		ln:      ln,
-		app:     dht.AppFunc(func(dht.Key, *dht.Message) {}),
-		obs:     dht.NopObserver{},
 		accDone: make(chan struct{}),
+	}
+	n.app.Store(appBox{dht.AppFunc(func(dht.Key, *dht.Message) {})})
+	n.obs.Store(obsBox{dht.NopObserver{}})
+	if cfg.Workers >= 0 {
+		n.pool = newWorkerPool(cfg.Workers, cfg.PoolQueueLen)
 	}
 	n.peers = newPeerSet(cfg.QueueLen, func() { n.dropped.Add(1) })
 	n.ring = protocol.New(protocol.Config{
@@ -168,6 +211,11 @@ func (n *Node) Close() {
 	}
 	n.ln.Close()
 	<-n.accDone
+	if n.pool != nil {
+		// Drain the data plane first: in-flight workers may still post to
+		// the loop or transmit to peers, both of which are still up.
+		n.pool.close()
+	}
 	n.clk.Do(n.ring.Stop)
 	n.peers.close()
 	n.clk.Close()
@@ -181,21 +229,48 @@ func (n *Node) Clock() clock.Clock { return n.clk }
 // Space implements dht.Network.
 func (n *Node) Space() dht.Space { return n.space }
 
-// SetApp implements dht.Substrate. Loop context required (call inside Do).
+// SetApp implements dht.Substrate.
 func (n *Node) SetApp(id dht.Key, app dht.App) {
 	if id != n.self.ID || app == nil {
 		return
 	}
-	n.app = app
+	n.app.Store(appBox{app})
 }
 
-// SetObserver implements dht.Substrate. Loop context required.
+// SetObserver implements dht.Substrate. With a worker pool the observer is
+// wrapped so its callbacks stay serialized (the collector is a plain
+// accumulator).
 func (n *Node) SetObserver(o dht.Observer) {
 	if o == nil {
-		n.obs = dht.NopObserver{}
+		n.obs.Store(obsBox{dht.NopObserver{}})
 		return
 	}
-	n.obs = o
+	if n.pool != nil {
+		o = &lockedObserver{inner: o}
+	}
+	n.obs.Store(obsBox{o})
+}
+
+// DataPool implements dht.PoolProvider: the executor the application may
+// use for its own data-plane work (ingest ticks). Nil when the pool is
+// disabled.
+func (n *Node) DataPool() dht.Pool {
+	if n.pool == nil {
+		return nil
+	}
+	return n.pool
+}
+
+// LoopStats reports the run loop's task-queue health.
+func (n *Node) LoopStats() clock.LoopStats { return n.clk.LoopStats() }
+
+// PoolStats reports the data-plane pool's counters (zero value when the
+// pool is disabled).
+func (n *Node) PoolStats() PoolStats {
+	if n.pool == nil {
+		return PoolStats{}
+	}
+	return n.pool.stats()
 }
 
 // NodeIDs implements dht.Substrate: the identifiers this process hosts.
@@ -226,11 +301,16 @@ func (n *Node) Forward(from dht.Key, key dht.Key, msg *dht.Message) {
 }
 
 // route executes one routing step at this node: deliver locally when the
-// key is covered, otherwise transmit to the best next hop.
-func (n *Node) route(msg *dht.Message) {
+// key is covered, otherwise transmit to the best next hop. Loop context.
+func (n *Node) route(msg *dht.Message) { n.routeFrom(msg, true) }
+
+// routeFrom is route parameterized by caller context: onLoop is true on
+// the run loop (application sends), false on a pool worker (inbound
+// frames). Routing decisions read the ring's published View in both cases,
+// so loop and workers route identically; only local delivery differs.
+func (n *Node) routeFrom(msg *dht.Message, onLoop bool) {
 	if n.covers(msg.Key) {
-		n.obs.OnDeliver(n.self.ID, msg)
-		n.app.Deliver(n.self.ID, msg)
+		n.deliver(msg, onLoop)
 		return
 	}
 	if msg.Hops >= n.cfg.MaxHops {
@@ -245,6 +325,25 @@ func (n *Node) route(msg *dht.Message) {
 	n.transmitApp(next, msg, frameRouted)
 }
 
+// deliver hands msg to the local application. On the loop it calls Deliver
+// inline, exactly as before the pool existed. On a worker it first offers
+// the message to the app's concurrent path (dht.ConcurrentApp); messages
+// the app wants serialized fall back to a loop post.
+func (n *Node) deliver(msg *dht.Message, onLoop bool) {
+	n.observer().OnDeliver(n.self.ID, msg)
+	app := n.loadApp()
+	if onLoop {
+		app.Deliver(n.self.ID, msg)
+		return
+	}
+	if ca, ok := app.(dht.ConcurrentApp); ok && ca.DeliverData(n.self.ID, msg) {
+		return
+	}
+	if !n.clk.Post(func() { app.Deliver(n.self.ID, msg) }) {
+		n.dropped.Add(1)
+	}
+}
+
 // SendToSuccessor implements dht.Network: one hop clockwise. Loop context.
 func (n *Node) SendToSuccessor(from dht.Key, msg *dht.Message) {
 	succ, ok := n.successor()
@@ -257,7 +356,7 @@ func (n *Node) SendToSuccessor(from dht.Key, msg *dht.Message) {
 
 // SendToPredecessor implements dht.Network: one hop counter-clockwise.
 func (n *Node) SendToPredecessor(from dht.Key, msg *dht.Message) {
-	pred, ok := n.ring.Predecessor()
+	pred, ok := n.ring.View().Predecessor()
 	if !ok || pred.ID == n.self.ID {
 		n.dropped.Add(1)
 		return
@@ -272,17 +371,19 @@ func (n *Node) Covers(id dht.Key, key dht.Key) bool {
 
 // covers reports whether this node is the successor node of key: key in
 // (pred, self]. With no predecessor yet the node conservatively covers
-// only its own identifier, exactly like the simulated Chord node (both
-// delegate to the shared machine).
-func (n *Node) covers(key dht.Key) bool { return n.ring.Covers(key) }
+// only its own identifier, exactly like the simulated Chord node. All
+// routing reads go through the machine's published View — lock-free, safe
+// from pool workers, and on the loop always exactly the machine's current
+// state (the machine republishes synchronously after every mutation).
+func (n *Node) covers(key dht.Key) bool { return n.ring.View().Covers(key) }
 
 // successor returns the head of the successor list.
-func (n *Node) successor() (Ref, bool) { return n.ring.Successor() }
+func (n *Node) successor() (Ref, bool) { return n.ring.View().Successor() }
 
 // nextHop picks the forwarding target for key: the successor when key lies
 // in (self, succ], otherwise the closest preceding node known from fingers
 // and the successor list.
-func (n *Node) nextHop(key dht.Key) (Ref, bool) { return n.ring.NextHop(key) }
+func (n *Node) nextHop(key dht.Key) (Ref, bool) { return n.ring.View().NextHop(key) }
 
 // transmitApp encodes msg straight into a pooled frame buffer and hands it
 // to the peer writer, which recycles the buffer once the bytes are on the
@@ -303,7 +404,7 @@ func (n *Node) transmitApp(to Ref, msg *dht.Message, typ byte) {
 	f.b = body
 	f.finish()
 	msg.Bytes = len(f.b) - frameOverhead
-	n.obs.OnTransmit(n.self.ID, to.ID, msg)
+	n.observer().OnTransmit(n.self.ID, to.ID, msg)
 	n.peers.send(to.Addr, f)
 }
 
@@ -349,6 +450,15 @@ func (n *Node) readLoop(conn net.Conn) {
 				continue
 			}
 			direct := typ == frameDirect
+			if n.pool != nil {
+				// Data plane: fan the frame out to a worker. Submit blocks
+				// when the pool is saturated, which parks this reader — TCP
+				// backpressure toward the sender, never a silent drop.
+				if !n.pool.Submit(func() { n.onDataFrame(msg, direct) }) {
+					n.dropped.Add(1)
+				}
+				continue
+			}
 			if !n.clk.Post(func() { n.onAppFrame(msg, direct) }) {
 				n.dropped.Add(1)
 			}
@@ -369,14 +479,24 @@ func (n *Node) readLoop(conn net.Conn) {
 }
 
 // onAppFrame continues routing (routed frames) or delivers to the local
-// application (direct neighbor frames). Runs on the loop.
+// application (direct neighbor frames). Runs on the loop (pool disabled).
 func (n *Node) onAppFrame(msg *dht.Message, direct bool) {
 	if direct {
-		n.obs.OnDeliver(n.self.ID, msg)
-		n.app.Deliver(n.self.ID, msg)
+		n.deliver(msg, true)
 		return
 	}
-	n.route(msg)
+	n.routeFrom(msg, true)
+}
+
+// onDataFrame is onAppFrame's pool-worker twin: same routing step, but
+// local delivery goes through the app's concurrent path (or a loop post
+// for message kinds the app keeps serialized).
+func (n *Node) onDataFrame(msg *dht.Message, direct bool) {
+	if direct {
+		n.deliver(msg, false)
+		return
+	}
+	n.routeFrom(msg, false)
 }
 
 // RingInfo is a snapshot of the node's ring pointers, for diagnostics and

@@ -1,0 +1,166 @@
+package transport
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// workerPool is the node's data-plane executor: a fixed set of worker
+// goroutines draining one bounded task queue. Decoded data frames (MBR
+// publishes, query evaluations) and ingest ticks run here so the run loop
+// stays a pure control plane.
+//
+// Backpressure policy: the queue is bounded. Submit (used by socket read
+// loops) blocks until a slot frees — parking the reader stops reading the
+// TCP connection, which propagates pressure to the sender's bounded write
+// queue and ultimately drops at the sender, exactly like a slow consumer
+// today. TrySubmit (used by loop callers that must never block) fails fast
+// and the caller runs the task inline. Nothing is silently dropped; every
+// stall is counted.
+type workerPool struct {
+	tasks chan func()
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	workers int
+	closed  atomic.Bool
+
+	submitted    atomic.Int64 // tasks accepted (Submit + TrySubmit)
+	inline       atomic.Int64 // TrySubmit rejections (caller ran inline)
+	highWater    atomic.Int64 // max queue depth observed at enqueue
+	blockedSubs  atomic.Int64 // Submit calls that found the queue full
+	blockedNanos atomic.Int64 // total ns Submit callers spent parked
+}
+
+// PoolStats is a snapshot of the data-plane pool's health, surfaced
+// through the node STATS output next to the run loop's LoopStats.
+type PoolStats struct {
+	Workers      int
+	Depth        int   // tasks queued right now
+	HighWater    int   // max queue depth observed
+	Submitted    int64 // tasks executed on the pool
+	Inline       int64 // TrySubmit fallbacks run on the caller
+	BlockedSubs  int64 // Submits that had to park
+	BlockedNanos int64 // total ns parked
+}
+
+// newWorkerPool starts workers goroutines (0 → GOMAXPROCS) behind a queue
+// of queueLen slots (0 → 64 per worker).
+func newWorkerPool(workers, queueLen int) *workerPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queueLen <= 0 {
+		queueLen = 64 * workers
+	}
+	p := &workerPool{
+		tasks:   make(chan func(), queueLen),
+		quit:    make(chan struct{}),
+		workers: workers,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.run()
+	}
+	return p
+}
+
+func (p *workerPool) run() {
+	defer p.wg.Done()
+	for {
+		select {
+		case fn := <-p.tasks:
+			fn()
+		case <-p.quit:
+			// Drain what is already queued — in-flight data frames finish
+			// rather than vanish — then exit.
+			for {
+				select {
+				case fn := <-p.tasks:
+					fn()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Submit implements dht.Pool: enqueue, parking on a full queue.
+func (p *workerPool) Submit(fn func()) bool {
+	if p.closed.Load() {
+		return false
+	}
+	select {
+	case p.tasks <- fn:
+		p.noteEnqueued()
+		return true
+	case <-p.quit:
+		return false
+	default:
+	}
+	p.blockedSubs.Add(1)
+	start := time.Now()
+	defer func() { p.blockedNanos.Add(time.Since(start).Nanoseconds()) }()
+	select {
+	case p.tasks <- fn:
+		p.noteEnqueued()
+		return true
+	case <-p.quit:
+		return false
+	}
+}
+
+// TrySubmit implements dht.Pool: enqueue only without blocking.
+func (p *workerPool) TrySubmit(fn func()) bool {
+	if p.closed.Load() {
+		return false
+	}
+	select {
+	case p.tasks <- fn:
+		p.noteEnqueued()
+		return true
+	default:
+		p.inline.Add(1)
+		return false
+	}
+}
+
+// Workers implements dht.Pool.
+func (p *workerPool) Workers() int { return p.workers }
+
+func (p *workerPool) noteEnqueued() {
+	p.submitted.Add(1)
+	depth := int64(len(p.tasks))
+	for {
+		hw := p.highWater.Load()
+		if depth <= hw || p.highWater.CompareAndSwap(hw, depth) {
+			return
+		}
+	}
+}
+
+// stats snapshots the counters.
+func (p *workerPool) stats() PoolStats {
+	return PoolStats{
+		Workers:      p.workers,
+		Depth:        len(p.tasks),
+		HighWater:    int(p.highWater.Load()),
+		Submitted:    p.submitted.Load(),
+		Inline:       p.inline.Load(),
+		BlockedSubs:  p.blockedSubs.Load(),
+		BlockedNanos: p.blockedNanos.Load(),
+	}
+}
+
+// close drains: new submissions are refused, parked Submit callers are
+// released, queued tasks finish, then the workers exit. Idempotent.
+func (p *workerPool) close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	close(p.quit)
+	p.wg.Wait()
+}

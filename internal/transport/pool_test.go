@@ -1,0 +1,109 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolRunsEverything checks every submitted task executes exactly once
+// across all workers.
+func TestPoolRunsEverything(t *testing.T) {
+	p := newWorkerPool(4, 8)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 1000; i++ {
+		wg.Add(1)
+		if !p.Submit(func() { ran.Add(1); wg.Done() }) {
+			t.Fatal("Submit refused on an open pool")
+		}
+	}
+	wg.Wait()
+	if ran.Load() != 1000 {
+		t.Fatalf("ran %d tasks, want 1000", ran.Load())
+	}
+	s := p.stats()
+	if s.Submitted != 1000 || s.Workers != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+	p.close()
+	if p.Submit(func() {}) || p.TrySubmit(func() {}) {
+		t.Fatal("submit accepted after close")
+	}
+}
+
+// TestPoolBackpressure saturates the queue and checks Submit parks (and is
+// counted) while TrySubmit fails fast.
+func TestPoolBackpressure(t *testing.T) {
+	p := newWorkerPool(1, 2)
+	defer p.close()
+
+	gate := make(chan struct{})
+	parked := make(chan struct{})
+	p.Submit(func() { close(parked); <-gate })
+	<-parked
+	// Fill the 2-slot queue.
+	p.Submit(func() {})
+	p.Submit(func() {})
+
+	if p.TrySubmit(func() {}) {
+		t.Fatal("TrySubmit succeeded on a full queue")
+	}
+	if got := p.stats().Inline; got != 1 {
+		t.Fatalf("Inline = %d, want 1", got)
+	}
+
+	unblocked := make(chan struct{})
+	go func() {
+		p.Submit(func() {})
+		close(unblocked)
+	}()
+	deadline := time.After(2 * time.Second)
+	for p.stats().BlockedSubs == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("overflow Submit never counted as blocked")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	select {
+	case <-unblocked:
+		t.Fatal("Submit returned while the queue was still full")
+	default:
+	}
+	close(gate)
+	<-unblocked
+	for p.stats().BlockedNanos == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("BlockedNanos never charged")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if s := p.stats(); s.HighWater != 2 {
+		t.Fatalf("HighWater = %d, want 2", s.HighWater)
+	}
+}
+
+// TestPoolCloseDrains: tasks queued before close still run.
+func TestPoolCloseDrains(t *testing.T) {
+	p := newWorkerPool(1, 16)
+	var ran atomic.Int64
+	gate := make(chan struct{})
+	parked := make(chan struct{})
+	p.Submit(func() { close(parked); <-gate })
+	<-parked
+	for i := 0; i < 10; i++ {
+		p.Submit(func() { ran.Add(1) })
+	}
+	done := make(chan struct{})
+	go func() { p.close(); close(done) }()
+	close(gate)
+	<-done
+	if ran.Load() != 10 {
+		t.Fatalf("close drained %d queued tasks, want 10", ran.Load())
+	}
+}

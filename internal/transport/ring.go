@@ -83,7 +83,7 @@ func (n *Node) sendRing(to Ref, payload any) {
 	f.b = body
 	f.finish()
 	msg.Bytes = len(f.b) - frameOverhead
-	n.obs.OnTransmit(n.self.ID, to.ID, msg)
+	n.observer().OnTransmit(n.self.ID, to.ID, msg)
 	n.peers.send(to.Addr, f)
 }
 

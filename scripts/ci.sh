@@ -13,9 +13,16 @@
 #                        (seeded with every payload kind, middleware and
 #                        ring-control alike), catching panics / runaway
 #                        allocations on malformed frames
-#   7. smoke bench     — BENCH_FAST=1 figure benchmarks, one iteration,
+#   7. parallel smoke  — GOMAXPROCS=4 loopback data-plane test under the
+#                        race detector, then the BENCH_3 parallelism rows
+#                        (the 2.5x speedup floor is enforced only on hosts
+#                        with >= 4 real cores)
+#   8. smoke bench     — BENCH_FAST=1 figure benchmarks, one iteration,
 #                        so an accidental O(N) regression in the hot paths
 #                        shows up as a CI timeout / obvious slowdown
+#   9. bench compare   — fresh BENCH_FAST JSON report diffed against the
+#                        committed BENCH_2.json, benchstat-style
+#                        (informational)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -56,10 +63,24 @@ echo "== fuzz smoke (FuzzUnmarshal, 10s) =="
 # panic or round-trip asymmetry fails CI. FUZZ_TIME overrides the budget.
 go test -run '^$' -fuzz 'FuzzUnmarshal' -fuzztime "${FUZZ_TIME:-10s}" ./internal/wire
 
+echo "== parallel data plane: GOMAXPROCS=4 loopback smoke (race) =="
+# Oversubscription is fine: on a single-core host this still drives every
+# shard lock, pool hand-off and completion fence, just without speedup.
+GOMAXPROCS=4 go test -race -count=1 -run 'TestParallelLoopbackSmoke' ./internal/transport
+
+echo "== parallel data plane: BENCH_3 parallelism rows =="
+BENCH_FAST=1 go run ./cmd/adidas-bench -parallel "${TMPDIR:-/tmp}/streamdex-bench3.json" -minspeedup 2.5
+
 echo "== smoke bench (BENCH_FAST=1) =="
 BENCH_FAST=1 go test -run '^$' \
     -bench 'BenchmarkTable1Workload$|BenchmarkFig6aLoad$|BenchmarkFig7aOverhead$|BenchmarkFig8Hops$' \
     -benchmem -benchtime 1x .
 BENCH_FAST=1 go test -run '^$' -bench 'SlidingDFTPush' -benchtime 100x ./internal/dsp
+
+echo "== bench comparison vs committed BENCH_2.json =="
+# Old-vs-new deltas against the committed fast-mode report. Informational:
+# wall-clock noise on shared CI runners is not a merge gate.
+BENCH_FAST=1 go run ./cmd/adidas-bench -bench "${TMPDIR:-/tmp}/streamdex-bench-new.json"
+go run ./cmd/adidas-bench -compare "BENCH_2.json,${TMPDIR:-/tmp}/streamdex-bench-new.json"
 
 echo "CI OK"
