@@ -1,12 +1,17 @@
 package main
 
-// Benchstat-style comparison of two -bench JSON reports:
+// Benchstat-style comparison of two JSON reports:
 //
 //	adidas-bench -compare old.json,new.json
+//	adidas-bench -compare BENCH_3.json,BENCH_4.json -minratio store-match@4=1.3
 //
-// Benchmarks are matched by name; the table shows ns/op, allocs/op and
-// events/sec side by side with the relative delta. The comparison is
-// informational — it never fails the process over a regression — but it
+// Both the -bench schema (streamdex-bench/*) and the -parallel schema
+// (streamdex-parbench/*) are supported; the pair must share one. For
+// -bench reports, benchmarks are matched by name and the table shows
+// ns/op, allocs/op and events/sec side by side with the relative delta.
+// For -parallel reports, rows are matched by (name, gomaxprocs) and
+// compared on ops/sec. The comparison is informational — unless -minratio
+// names rows that must not regress (see runCompareParallel) — but it
 // refuses to compare reports from different schemas or fast/full modes,
 // where the deltas would be meaningless.
 
@@ -14,13 +19,20 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 )
 
-func runCompare(spec string) error {
+func runCompare(spec, minRatio string) error {
 	parts := strings.Split(spec, ",")
 	if len(parts) != 2 {
 		return fmt.Errorf("-compare wants OLD.json,NEW.json")
+	}
+	if isParbench(parts[0]) || isParbench(parts[1]) {
+		return runCompareParallel(parts[0], parts[1], minRatio)
+	}
+	if minRatio != "" {
+		return fmt.Errorf("-minratio applies to -parallel reports (streamdex-parbench/*) only")
 	}
 	oldRep, err := loadReport(parts[0])
 	if err != nil {
@@ -93,4 +105,158 @@ func loadReport(path string) (*benchReport, error) {
 		return nil, fmt.Errorf("%s: schema %q is not a -bench report", path, rep.Schema)
 	}
 	return &rep, nil
+}
+
+// isParbench sniffs a report's schema without failing on read errors —
+// those surface later with proper context.
+func isParbench(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if json.Unmarshal(data, &probe) != nil {
+		return false
+	}
+	return strings.HasPrefix(probe.Schema, "streamdex-parbench/")
+}
+
+func loadParReport(path string) (*parReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep parReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if !strings.HasPrefix(rep.Schema, "streamdex-parbench/") {
+		return nil, fmt.Errorf("%s: schema %q is not a -parallel report", path, rep.Schema)
+	}
+	return &rep, nil
+}
+
+// ratioGate is one parsed -minratio term: the row name@procs must reach
+// ratio times its old ops/sec.
+type ratioGate struct {
+	name  string
+	procs int
+	ratio float64
+}
+
+// parseMinRatio parses "name@procs=ratio[,name@procs=ratio...]", e.g.
+// "store-match@4=1.3".
+func parseMinRatio(spec string) ([]ratioGate, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var gates []ratioGate
+	for _, term := range strings.Split(spec, ",") {
+		at := strings.Index(term, "@")
+		eq := strings.LastIndex(term, "=")
+		if at <= 0 || eq <= at+1 {
+			return nil, fmt.Errorf("-minratio term %q: want name@procs=ratio", term)
+		}
+		procs, err := strconv.Atoi(term[at+1 : eq])
+		if err != nil || procs < 1 {
+			return nil, fmt.Errorf("-minratio term %q: bad procs %q", term, term[at+1:eq])
+		}
+		ratio, err := strconv.ParseFloat(term[eq+1:], 64)
+		if err != nil || ratio <= 0 {
+			return nil, fmt.Errorf("-minratio term %q: bad ratio %q", term, term[eq+1:])
+		}
+		gates = append(gates, ratioGate{name: term[:at], procs: procs, ratio: ratio})
+	}
+	return gates, nil
+}
+
+// runCompareParallel diffs two -parallel reports row by row, keyed on
+// (name, gomaxprocs) and compared on ops/sec. -minratio gates fail the
+// process when new/old falls short — but only where the row's proc count
+// maps to real cores in both reports; an oversubscribed host measures
+// honestly yet cannot speed up, so its gates stand down (and say so),
+// mirroring -parallel's own -minspeedup behavior.
+func runCompareParallel(oldPath, newPath, minRatio string) error {
+	gates, err := parseMinRatio(minRatio)
+	if err != nil {
+		return err
+	}
+	oldRep, err := loadParReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadParReport(newPath)
+	if err != nil {
+		return err
+	}
+	if oldRep.Schema != newRep.Schema {
+		return fmt.Errorf("schema mismatch: %s vs %s", oldRep.Schema, newRep.Schema)
+	}
+	if oldRep.Fast != newRep.Fast {
+		return fmt.Errorf("fast/full mismatch: old fast=%v, new fast=%v — rerun with matching BENCH_FAST", oldRep.Fast, newRep.Fast)
+	}
+
+	type rowKey struct {
+		name  string
+		procs int
+	}
+	oldBy := make(map[rowKey]parRow, len(oldRep.Parallelism.Rows))
+	for _, r := range oldRep.Parallelism.Rows {
+		oldBy[rowKey{r.Name, r.GOMAXPROCS}] = r
+	}
+
+	fmt.Printf("%-14s %6s %14s %14s %9s\n", "name", "procs", "old ops/sec", "new ops/sec", "delta")
+	newBy := make(map[rowKey]parRow, len(newRep.Parallelism.Rows))
+	for _, nr := range newRep.Parallelism.Rows {
+		k := rowKey{nr.Name, nr.GOMAXPROCS}
+		newBy[k] = nr
+		or, ok := oldBy[k]
+		if !ok {
+			fmt.Printf("%-14s %6d %40s\n", nr.Name, nr.GOMAXPROCS, "(new row, no old measurement)")
+			continue
+		}
+		delete(oldBy, k)
+		fmt.Printf("%-14s %6d %14.0f %14.0f %9s\n",
+			nr.Name, nr.GOMAXPROCS, or.OpsPerSec, nr.OpsPerSec, delta(or.OpsPerSec, nr.OpsPerSec))
+	}
+	for k := range oldBy {
+		fmt.Printf("%-14s %6d %40s\n", k.name, k.procs, "(removed row, no new measurement)")
+	}
+	if newRep.Headline != nil {
+		fmt.Printf("headline: %.0f points/sec/node (%s)\n",
+			newRep.Headline.PointsPerSecPerNode, newRep.Headline.Basis)
+	}
+
+	for _, g := range gates {
+		if oldRep.CPUs < g.procs || newRep.CPUs < g.procs {
+			fmt.Printf("minratio %s@%d=%.2f not enforced: host cores (old %d, new %d) below %d procs\n",
+				g.name, g.procs, g.ratio, oldRep.CPUs, newRep.CPUs, g.procs)
+			continue
+		}
+		k := rowKey{g.name, g.procs}
+		// oldBy had its matched rows deleted while printing; search the
+		// report directly for the gated row.
+		var or parRow
+		okOld := false
+		for _, r := range oldRep.Parallelism.Rows {
+			if r.Name == g.name && r.GOMAXPROCS == g.procs {
+				or, okOld = r, true
+				break
+			}
+		}
+		nr, okNew := newBy[k]
+		if !okOld || !okNew {
+			return fmt.Errorf("minratio %s@%d: row missing (old %v, new %v)", g.name, g.procs, okOld, okNew)
+		}
+		if or.OpsPerSec <= 0 {
+			return fmt.Errorf("minratio %s@%d: old ops/sec is %v", g.name, g.procs, or.OpsPerSec)
+		}
+		if got := nr.OpsPerSec / or.OpsPerSec; got < g.ratio {
+			return fmt.Errorf("%s@gomaxprocs=%d is %.2fx the old report, below the %.2fx floor",
+				g.name, g.procs, got, g.ratio)
+		}
+	}
+	return nil
 }

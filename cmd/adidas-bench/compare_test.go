@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseMinRatio(t *testing.T) {
+	gates, err := parseMinRatio("store-match@4=1.3,loopback-mbr@8=1.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ratioGate{
+		{name: "store-match", procs: 4, ratio: 1.3},
+		{name: "loopback-mbr", procs: 8, ratio: 1.1},
+	}
+	if len(gates) != len(want) {
+		t.Fatalf("gates = %v", gates)
+	}
+	for i := range want {
+		if gates[i] != want[i] {
+			t.Fatalf("gate %d = %+v, want %+v", i, gates[i], want[i])
+		}
+	}
+	if g, err := parseMinRatio(""); err != nil || g != nil {
+		t.Fatalf("empty spec: %v, %v", g, err)
+	}
+	for _, bad := range []string{"store-match", "a@b=1", "a@4=", "a@4=-1", "@4=1.3", "a@0=1.3"} {
+		if _, err := parseMinRatio(bad); err == nil {
+			t.Errorf("parseMinRatio(%q) accepted", bad)
+		}
+	}
+}
+
+// writeParReport drops a minimal parbench report to disk for compare tests.
+func writeParReport(t *testing.T, dir, name string, cpus int, matchOpsPerSec float64) string {
+	t.Helper()
+	rep := parReport{
+		Schema: "streamdex-parbench/1",
+		CPUs:   cpus,
+		Parallelism: parSection{
+			Procs: []int{1, 4},
+			Rows: []parRow{
+				{Name: "store-match", GOMAXPROCS: 1, Ops: 100, OpsPerSec: 1000},
+				{Name: "store-match", GOMAXPROCS: 4, Ops: 100, OpsPerSec: matchOpsPerSec},
+			},
+			Speedups: map[string]float64{},
+		},
+	}
+	data, err := json.Marshal(&rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareParallelMinRatio(t *testing.T) {
+	dir := t.TempDir()
+
+	// Gate satisfied: 4-core reports, new is 1.5x old on store-match@4.
+	oldOK := writeParReport(t, dir, "old-ok.json", 4, 2000)
+	newOK := writeParReport(t, dir, "new-ok.json", 4, 3000)
+	if err := runCompareParallel(oldOK, newOK, "store-match@4=1.3"); err != nil {
+		t.Fatalf("passing gate failed: %v", err)
+	}
+
+	// Gate violated: new is only 1.1x old.
+	newSlow := writeParReport(t, dir, "new-slow.json", 4, 2200)
+	err := runCompareParallel(oldOK, newSlow, "store-match@4=1.3")
+	if err == nil || !strings.Contains(err.Error(), "below the 1.30x floor") {
+		t.Fatalf("regressed gate: err = %v", err)
+	}
+
+	// Stand-down: a 1-core host cannot speed up at 4 procs, so the same
+	// regressed numbers pass with the gate explicitly not enforced.
+	old1 := writeParReport(t, dir, "old-1core.json", 1, 2000)
+	new1 := writeParReport(t, dir, "new-1core.json", 1, 2200)
+	if err := runCompareParallel(old1, new1, "store-match@4=1.3"); err != nil {
+		t.Fatalf("1-core stand-down failed: %v", err)
+	}
+
+	// Unknown row in the gate is an error, not a silent pass.
+	if err := runCompareParallel(oldOK, newOK, "no-such-row@4=1.3"); err == nil {
+		t.Fatal("gate on a missing row accepted")
+	}
+}
+
+func TestCompareDispatchBySchema(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeParReport(t, dir, "o.json", 4, 2000)
+	newP := writeParReport(t, dir, "n.json", 4, 3000)
+	// runCompare must route parbench reports to the parallel path, where
+	// -minratio is legal.
+	if err := runCompare(oldP+","+newP, "store-match@4=1.3"); err != nil {
+		t.Fatal(err)
+	}
+	// ...and reject -minratio for plain -bench comparisons.
+	if err := runCompare("a.json,b.json", "store-match@4=1.3"); err == nil ||
+		!strings.Contains(err.Error(), "-minratio") {
+		t.Fatalf("want -minratio rejection, got %v", err)
+	}
+}

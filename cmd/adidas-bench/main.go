@@ -8,8 +8,9 @@
 //	adidas-bench -exp fig7b
 //	adidas-bench -exp ablation-baselines -sizes 50,100 -measure 60
 //	adidas-bench -bench BENCH_1.json     # machine-readable figure benchmarks
-//	adidas-bench -parallel BENCH_3.json  # data-plane parallelism (GOMAXPROCS 1 vs 4)
+//	adidas-bench -parallel BENCH_4.json  # data-plane parallelism (GOMAXPROCS 1/4/8)
 //	adidas-bench -compare old.json,new.json
+//	adidas-bench -compare BENCH_3.json,BENCH_4.json -minratio store-match@4=1.3
 //
 // Experiments: table1, fig3b, fig6a, fig6b, fig7a, fig7b, fig8,
 // ablation-multicast, ablation-baselines, ablation-batch,
@@ -44,12 +45,13 @@ func main() {
 		bench    = flag.String("bench", "", "time the figure pipelines and write JSON results to this path ('-' = stdout)")
 		parallel = flag.String("parallel", "", "measure data-plane parallelism (GOMAXPROCS 1 vs 4) and write JSON to this path ('-' = stdout)")
 		minSpeed = flag.Float64("minspeedup", 0, "with -parallel: fail unless match/loopback speed up by this factor (skipped when the host has fewer cores than procs)")
-		compare  = flag.String("compare", "", "compare two -bench reports, given as OLD.json,NEW.json")
+		compare  = flag.String("compare", "", "compare two -bench or -parallel reports, given as OLD.json,NEW.json")
+		minRatio = flag.String("minratio", "", "with -compare on -parallel reports: fail unless new/old ops/sec meets the floors, e.g. store-match@4=1.3 (rows stand down on hosts with fewer cores than procs)")
 	)
 	flag.Parse()
 
 	if *compare != "" {
-		if err := runCompare(*compare); err != nil {
+		if err := runCompare(*compare, *minRatio); err != nil {
 			fmt.Fprintf(os.Stderr, "adidas-bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,19 +1,26 @@
 package main
 
 // Parallelism benchmark mode. `adidas-bench -parallel out.json` measures the
-// live node's concurrent data plane — the sharded MBR store and the
-// transport worker pool — at GOMAXPROCS 1 versus 4 and writes the rows plus
-// the derived speedups as JSON (the committed BENCH_3.json at the repo
-// root). Three workloads:
+// live node's concurrent data plane — the lock-free snapshot store and the
+// transport worker pool — at GOMAXPROCS 1, 4 and 8 and writes the rows plus
+// the derived speedups as JSON (the committed BENCH_3.json/BENCH_4.json at
+// the repo root). Four workloads:
 //
 //	store-match   parallel candidate walks over a preloaded sharded store
 //	store-ingest  parallel sorted inserts into the sharded store
 //	loopback-mbr  end-to-end MBR publishes between two real TCP nodes, the
 //	              receiver matching each against live similarity
 //	              subscriptions on its data-plane workers
+//	loopback-udp  the same pump with the UDP datagram plane enabled: MBR
+//	              publishes ride fire-and-forget datagrams (ops counts what
+//	              the receiver actually indexed, so loss is visible)
+//
+// The report also derives the headline number: sustained points per second
+// per node, which is the best loopback throughput times beta (each MBR
+// publish summarizes beta stream points).
 //
 // Every row records the GOMAXPROCS it ran under and the report records the
-// host's CPU count: on a single-core host the 4-proc rows are still
+// host's CPU count: on a single-core host the multi-proc rows are still
 // measured honestly, they just cannot beat the 1-proc rows (the "note"
 // field says so). BENCH_FAST=1 shrinks the operation counts for smoke runs.
 
@@ -49,13 +56,22 @@ type parSection struct {
 	Note     string             `json:"note,omitempty"`
 }
 
+// parHeadline is the throughput claim the report backs: how many stream
+// points per second one node sustains end to end.
+type parHeadline struct {
+	PointsPerSecPerNode float64 `json:"points_per_sec_per_node"`
+	Beta                int     `json:"beta"`
+	Basis               string  `json:"basis"`
+}
+
 type parReport struct {
-	Schema      string     `json:"schema"`
-	GoVersion   string     `json:"go_version"`
-	CPUs        int        `json:"cpus"`
-	Fast        bool       `json:"fast"`
-	Seed        int64      `json:"seed"`
-	Parallelism parSection `json:"parallelism"`
+	Schema      string       `json:"schema"`
+	GoVersion   string       `json:"go_version"`
+	CPUs        int          `json:"cpus"`
+	Fast        bool         `json:"fast"`
+	Seed        int64        `json:"seed"`
+	Parallelism parSection   `json:"parallelism"`
+	Headline    *parHeadline `json:"headline,omitempty"`
 }
 
 // parScale holds the operation counts of one -parallel run.
@@ -83,7 +99,7 @@ func runParallelBench(outPath string, seed int64, minSpeedup float64) error {
 		sc = parScale{preload: 2000, walks: 5000, puts: 20000, frames: 4000, queries: 8, shards: 16, loopback: true}
 	}
 
-	procs := []int{1, 4}
+	procs := []int{1, 4, 8}
 	rep := parReport{
 		Schema:    "streamdex-parbench/1",
 		GoVersion: runtime.Version(),
@@ -126,21 +142,56 @@ func runParallelBench(outPath string, seed int64, minSpeedup float64) error {
 		ops, el = benchStoreIngest(sc, p, seed)
 		record("store-ingest", p, ops, el)
 		if sc.loopback {
-			ops, el, err := benchLoopbackMBR(sc, seed)
-			if err != nil {
-				runtime.GOMAXPROCS(prev)
-				return fmt.Errorf("loopback-mbr at gomaxprocs=%d: %w", p, err)
+			for _, lb := range []struct {
+				name string
+				udp  bool
+			}{{"loopback-mbr", false}, {"loopback-udp", true}} {
+				ops, el, err := benchLoopbackMBR(sc, seed, lb.udp)
+				if err != nil {
+					runtime.GOMAXPROCS(prev)
+					return fmt.Errorf("%s at gomaxprocs=%d: %w", lb.name, p, err)
+				}
+				record(lb.name, p, ops, el)
 			}
-			record("loopback-mbr", p, ops, el)
 		}
 		runtime.GOMAXPROCS(prev)
 	}
 
-	last := procs[len(procs)-1]
+	// Speedup is measured at the widest proc count that maps to real cores
+	// (gomaxprocs beyond the host's CPUs only adds scheduling overhead, so
+	// judging by the 8-proc row on a 4-core box would punish the code for
+	// the hardware).
+	last := procs[0]
+	for _, p := range procs {
+		if p <= rep.CPUs && p > last {
+			last = p
+		}
+	}
 	for name, by := range perProc {
 		if base := by[procs[0]]; base > 0 {
 			rep.Parallelism.Speedups[name] = by[last] / base
 		}
+	}
+
+	// Headline: each MBR publish summarizes beta stream points, so the best
+	// end-to-end loopback rate times beta is the points/sec one node
+	// sustains.
+	beta := core.DefaultConfig().Beta
+	best, bestRow := 0.0, ""
+	for _, r := range rep.Parallelism.Rows {
+		if (r.Name == "loopback-mbr" || r.Name == "loopback-udp") && r.OpsPerSec > best {
+			best, bestRow = r.OpsPerSec, fmt.Sprintf("%s@gomaxprocs=%d", r.Name, r.GOMAXPROCS)
+		}
+	}
+	if best > 0 {
+		rep.Headline = &parHeadline{
+			PointsPerSecPerNode: best * float64(beta),
+			Beta:                beta,
+			Basis: fmt.Sprintf("%s × beta=%d (each MBR publish summarizes beta stream points)",
+				bestRow, beta),
+		}
+		fmt.Fprintf(os.Stderr, "headline: %.0f points/sec/node (%s)\n",
+			rep.Headline.PointsPerSecPerNode, rep.Headline.Basis)
 	}
 
 	out, err := json.MarshalIndent(&rep, "", "  ")
@@ -160,8 +211,8 @@ func runParallelBench(outPath string, seed int64, minSpeedup float64) error {
 	// cores; an oversubscribed host records honest rows but cannot speed
 	// up, so the gate stands down (and says so).
 	if minSpeedup > 0 {
-		if rep.CPUs < last {
-			fmt.Fprintf(os.Stderr, "minspeedup %.2f not enforced: %d CPU(s) < %d procs\n", minSpeedup, rep.CPUs, last)
+		if last == procs[0] {
+			fmt.Fprintf(os.Stderr, "minspeedup %.2f not enforced: host has %d CPU(s), no multi-core row to judge\n", minSpeedup, rep.CPUs)
 			return nil
 		}
 		for _, name := range []string{"store-match", "loopback-mbr"} {
@@ -240,11 +291,14 @@ func benchStoreIngest(sc parScale, workers int, seed int64) (int64, time.Duratio
 }
 
 // benchLoopbackMBR measures the end-to-end data plane: node A pumps MBR
-// publishes at node B over real TCP; B's worker pool indexes each into the
-// sharded store and matches it against live similarity subscriptions.
-// The pool and shard count are sized from the GOMAXPROCS in effect at node
-// construction, so the caller's runtime.GOMAXPROCS setting is the knob.
-func benchLoopbackMBR(sc parScale, seed int64) (int64, time.Duration, error) {
+// publishes at node B over real TCP (or, with udp set, as fire-and-forget
+// datagrams); B's worker pool indexes each into the sharded store and
+// matches it against live similarity subscriptions. The pool and shard
+// count are sized from the GOMAXPROCS in effect at node construction, so
+// the caller's runtime.GOMAXPROCS setting is the knob. Returned ops is
+// what the receiver actually indexed — identical to the publish count on
+// TCP, possibly lower on UDP where loss is the designed trade.
+func benchLoopbackMBR(sc parScale, seed int64, udp bool) (int64, time.Duration, error) {
 	space := dht.NewSpace(16)
 	ids := []dht.Key{10_000, 40_000}
 	nodes := make([]*transport.Node, len(ids))
@@ -254,6 +308,10 @@ func benchLoopbackMBR(sc parScale, seed int64) (int64, time.Duration, error) {
 		tc.StabilizeEvery = 50_000
 		tc.FixFingersEvery = 50_000
 		tc.QueueLen = 4096
+		if udp {
+			tc.UDP = true
+			tc.DatagramKinds = []dht.Kind{core.KindMBR}
+		}
 		n, err := transport.New(tc)
 		if err != nil {
 			return 0, 0, err
@@ -328,16 +386,25 @@ func benchLoopbackMBR(sc parScale, seed int64) (int64, time.Duration, error) {
 		})
 		sent += k
 		// Backpressure: one chunk in flight at a time, so the bounded peer
-		// queue cannot overflow into drops.
+		// queue cannot overflow into drops. On UDP a lost datagram would
+		// stall the wait forever, so a stalled count (no progress for a
+		// second) writes the chunk off as lost and moves on.
+		lastPuts, stalled := int64(-1), time.Now()
 		for {
 			puts, _ := target.Store().Stats()
 			if puts-basePuts >= int64(sent) {
 				break
 			}
+			if puts != lastPuts {
+				lastPuts, stalled = puts, time.Now()
+			} else if udp && time.Since(stalled) > time.Second {
+				break
+			}
 			time.Sleep(50 * time.Microsecond)
 		}
 	}
-	return int64(sc.frames), time.Since(start), nil
+	puts, _ := target.Store().Stats()
+	return puts - basePuts, time.Since(start), nil
 }
 
 // waitConverged blocks until the two-node ring has mutual successor and

@@ -1,0 +1,57 @@
+package main
+
+import "fmt"
+
+// Limits for the data-plane sizing flags. Both caps are far above anything
+// a single node can use productively; hitting one almost always means a
+// typo (e.g. -shards 40000 for -shards 40) that would otherwise only show
+// up as mysterious memory use or scheduler thrash.
+const (
+	maxWorkers = 1 << 10 // worker goroutines on the data-plane pool
+	maxShards  = 1 << 16 // MBR store shards
+)
+
+// shardsWarnFactor: beyond this many shards per core the extra shards no
+// longer reduce writer contention, they only shrink each band's occupancy
+// and add per-shard walk overhead.
+const shardsWarnFactor = 16
+
+// validateDataPlane checks the -workers/-shards pair against the host's
+// GOMAXPROCS, returning the resolved shard count, human-readable warnings
+// to log, or an error for values that must be rejected.
+//
+// Accepted worker values: -1 (serialize on the run loop), 0 (one worker
+// per CPU), or an explicit positive count. Other negatives are rejected
+// rather than silently treated as -1. Shards must be non-negative; 0
+// resolves to 4 bands per CPU so two workers rarely contend for the same
+// band writer lock even on skewed L₁ distributions.
+func validateDataPlane(workers, shards, procs int) (resolvedShards int, warnings []string, err error) {
+	if procs < 1 {
+		procs = 1
+	}
+	switch {
+	case workers < -1:
+		return 0, nil, fmt.Errorf("-workers %d: negative counts are ambiguous; use -1 to serialize on the run loop", workers)
+	case workers > maxWorkers:
+		return 0, nil, fmt.Errorf("-workers %d exceeds the %d limit", workers, maxWorkers)
+	}
+	switch {
+	case shards < 0:
+		return 0, nil, fmt.Errorf("-shards %d: shard count cannot be negative (0 selects 4 per CPU)", shards)
+	case shards > maxShards:
+		return 0, nil, fmt.Errorf("-shards %d exceeds the %d limit", shards, maxShards)
+	}
+	resolvedShards = shards
+	if resolvedShards == 0 {
+		resolvedShards = 4 * procs
+	}
+	if workers > 4*procs {
+		warnings = append(warnings,
+			fmt.Sprintf("-workers %d on %d CPUs: more than 4 workers per CPU only adds scheduling overhead", workers, procs))
+	}
+	if resolvedShards > shardsWarnFactor*procs {
+		warnings = append(warnings,
+			fmt.Sprintf("-shards %d on %d CPUs: far more shards than cores thins each band without reducing contention", resolvedShards, procs))
+	}
+	return resolvedShards, warnings, nil
+}

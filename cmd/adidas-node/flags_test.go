@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateDataPlaneRejects(t *testing.T) {
+	cases := []struct {
+		name            string
+		workers, shards int
+		wantErr         string
+	}{
+		{"workers below -1", -2, 0, "-workers -2"},
+		{"workers absurd", maxWorkers + 1, 0, "-workers"},
+		{"shards negative", 0, -1, "-shards -1"},
+		{"shards absurd", 0, maxShards + 1, "-shards"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := validateDataPlane(tc.workers, tc.shards, 4)
+			if err == nil {
+				t.Fatalf("validateDataPlane(%d, %d, 4): want error, got nil", tc.workers, tc.shards)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidateDataPlaneAccepts(t *testing.T) {
+	cases := []struct {
+		name            string
+		workers, shards int
+		procs           int
+		wantShards      int
+	}{
+		{"all defaults", 0, 0, 4, 16},
+		{"serialize", -1, 8, 4, 8},
+		{"explicit", 2, 32, 4, 32},
+		{"procs floor", 0, 0, 0, 4}, // procs clamps to 1 -> 4 shards
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, warnings, err := validateDataPlane(tc.workers, tc.shards, tc.procs)
+			if err != nil {
+				t.Fatalf("validateDataPlane(%d, %d, %d): %v", tc.workers, tc.shards, tc.procs, err)
+			}
+			if got != tc.wantShards {
+				t.Fatalf("resolved shards = %d, want %d", got, tc.wantShards)
+			}
+			if len(warnings) != 0 {
+				t.Fatalf("unexpected warnings: %v", warnings)
+			}
+		})
+	}
+}
+
+func TestValidateDataPlaneWarns(t *testing.T) {
+	// 200 shards on 4 CPUs is 50 per core — well past the 16x advice line.
+	_, warnings, err := validateDataPlane(0, 200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "-shards 200") {
+		t.Fatalf("want one shards warning, got %v", warnings)
+	}
+
+	// 64 workers on 4 CPUs warns too.
+	_, warnings, err = validateDataPlane(64, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "-workers 64") {
+		t.Fatalf("want one workers warning, got %v", warnings)
+	}
+}

@@ -21,7 +21,7 @@
 //	    -> END <count>
 //	RING                                            ring pointers
 //	RINGSTATS                                       ring-maintenance counters
-//	STATS                                           data-plane counters (loop, pool, store)
+//	STATS                                           data-plane counters (loop, pool, store, arenas, UDP)
 //	STREAMS                                         locally sourced streams
 //	QUIT                                            close the connection
 package main
@@ -44,6 +44,7 @@ import (
 
 	"streamdex/internal/core"
 	"streamdex/internal/dht"
+	"streamdex/internal/metrics"
 	"streamdex/internal/query"
 	"streamdex/internal/sim"
 	"streamdex/internal/stream"
@@ -64,8 +65,9 @@ func main() {
 		period  = flag.Duration("period", 200*time.Millisecond, "stream sampling period")
 		push    = flag.Duration("push", 2*time.Second, "push period (notify/response cycle)")
 		seed    = flag.Int64("seed", 1, "seed for stream generators and tick staggering")
-		workers = flag.Int("workers", 0, "data-plane worker goroutines (0: GOMAXPROCS, negative: serialize on the run loop)")
+		workers = flag.Int("workers", 0, "data-plane worker goroutines (0: one per CPU, -1: serialize on the run loop)")
 		shards  = flag.Int("shards", 0, "MBR store shards (0: 4×GOMAXPROCS)")
+		udp     = flag.Bool("udp", false, "publish MBR updates as fire-and-forget UDP datagrams (ring control and queries stay on TCP)")
 		pprofAt = flag.String("pprof", "", "serve net/http/pprof on this address, with mutex and block profiling enabled")
 	)
 	flag.Parse()
@@ -73,15 +75,22 @@ func main() {
 	log.SetPrefix("adidas-node ")
 
 	if err := run(*listen, *api, *join, *idFlag, *mBits, *streams, *window, *beta, *period, *push, *seed,
-		*workers, *shards, *pprofAt); err != nil {
+		*workers, *shards, *udp, *pprofAt); err != nil {
 		log.Fatal(err)
 	}
 }
 
 func run(listen, api, join string, idFlag uint64, mBits uint, streams, window, beta int,
-	period, push time.Duration, seed int64, workers, shards int, pprofAt string) error {
+	period, push time.Duration, seed int64, workers, shards int, udp bool, pprofAt string) error {
 	if streams < 0 || window < 2 || beta < 1 || period <= 0 || push <= 0 {
 		return fmt.Errorf("invalid stream/window/beta/period configuration")
+	}
+	shards, warnings, err := validateDataPlane(workers, shards, runtime.GOMAXPROCS(0))
+	if err != nil {
+		return err
+	}
+	for _, w := range warnings {
+		log.Printf("warning: %s", w)
 	}
 	space := dht.NewSpace(mBits)
 	id := dht.Key(idFlag)
@@ -111,9 +120,16 @@ func run(listen, api, join string, idFlag uint64, mBits uint, streams, window, b
 	tcfg := transport.DefaultConfig(id, listen)
 	tcfg.Space = space
 	tcfg.Workers = workers
+	if udp {
+		tcfg.UDP = true
+		tcfg.DatagramKinds = []dht.Kind{core.KindMBR}
+	}
 	node, err := transport.New(tcfg)
 	if err != nil {
 		return err
+	}
+	if udp {
+		log.Printf("UDP datagram plane enabled for MBR publishes")
 	}
 	defer node.Close()
 	log.Printf("node %d listening on %s", node.Self().ID, node.Addr())
@@ -134,12 +150,7 @@ func run(listen, api, join string, idFlag uint64, mBits uint, streams, window, b
 	ccfg.Beta = beta
 	ccfg.PushPeriod = sim.Time(push / time.Microsecond)
 	ccfg.Seed = seed
-	if shards == 0 {
-		// Several bands per worker keeps the probability of two workers
-		// colliding on one shard lock low even for skewed L₁ distributions.
-		shards = 4 * runtime.GOMAXPROCS(0)
-	}
-	ccfg.StoreShards = shards
+	ccfg.StoreShards = shards // resolved by validateDataPlane
 
 	var mw *core.Middleware
 	node.Do(func() { mw, err = core.New(node, ccfg) })
@@ -285,6 +296,20 @@ func serveConn(conn net.Conn, node *transport.Node, mw *core.Middleware) {
 			reply("STORE-LEN %d", dc.Store().Len())
 			reply("STORE-PUTS %d", puts)
 			reply("STORE-SCANNED %d", scanned)
+			// Lock-free read path: snapshot publications, copy-on-write
+			// volume, decode-arena hit rate, and the UDP datagram plane.
+			dp := gatherDataPlane(node, dc)
+			reply("STORE-EPOCHS %d", dp.StoreEpochs)
+			reply("STORE-COW-COPIED %d", dp.StoreCowCopied)
+			reply("STORE-MERGES %d", dp.StoreMerges)
+			reply("ARENA-CARVES %d", dp.ArenaCarves)
+			reply("ARENA-REFILLS %d", dp.ArenaRefills)
+			reply("ARENA-HIT-RATE %.4f", dp.ArenaHitRate())
+			reply("ARENA-INTERN-HITS %d", dp.ArenaInternHits)
+			reply("ARENA-INTERN-MISSES %d", dp.ArenaInternMisses)
+			reply("UDP-SENT %d", dp.UDPSent)
+			reply("UDP-RECV %d", dp.UDPRecv)
+			reply("UDP-FALLBACK %d", dp.UDPFallback)
 			reply("SUBS %d", dc.SubCount())
 			reply("DROPPED %d", node.Dropped())
 			reply("END")
@@ -301,6 +326,27 @@ func serveConn(conn net.Conn, node *transport.Node, mw *core.Middleware) {
 		default:
 			reply("ERR unknown command %q", fields[0])
 		}
+	}
+}
+
+// gatherDataPlane assembles the read-path counter snapshot from its three
+// sources: the MBR store's snapshot lifecycle, the transport's decode
+// arenas, and the UDP datagram plane.
+func gatherDataPlane(node *transport.Node, dc *core.DataCenter) metrics.DataPlane {
+	ss := dc.Store().SnapStats()
+	as := node.ArenaStats()
+	sent, recv, fb := node.UDPStats()
+	return metrics.DataPlane{
+		StoreEpochs:       ss.Epochs,
+		StoreCowCopied:    ss.CowCopied,
+		StoreMerges:       ss.Merges,
+		ArenaCarves:       as.Carves,
+		ArenaRefills:      as.Refills,
+		ArenaInternHits:   as.InternHits,
+		ArenaInternMisses: as.InternMisses,
+		UDPSent:           sent,
+		UDPRecv:           recv,
+		UDPFallback:       fb,
 	}
 }
 

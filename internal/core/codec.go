@@ -39,25 +39,78 @@ const (
 )
 
 func init() {
-	wire.RegisterPackedPayload(tagMBRUpdate, MBRUpdate{}, codecFuncs{encMBRUpdate, decMBRUpdate})
-	wire.RegisterPackedPayload(tagSimQuery, SimQuery{}, codecFuncs{encSimQuery, decSimQuery})
-	wire.RegisterPackedPayload(tagNotifyBatch, NotifyBatch{}, codecFuncs{encNotifyBatch, decNotifyBatch})
-	wire.RegisterPackedPayload(tagResponseMsg, ResponseMsg{}, codecFuncs{encResponseMsg, decResponseMsg})
-	wire.RegisterPackedPayload(tagLocPut, LocPut{}, codecFuncs{encLocPut, decLocPut})
-	wire.RegisterPackedPayload(tagLocGet, LocGet{}, codecFuncs{encLocGet, decLocGet})
-	wire.RegisterPackedPayload(tagLocReply, LocReply{}, codecFuncs{encLocReply, decLocReply})
-	wire.RegisterPackedPayload(tagIPSub, IPSub{}, codecFuncs{encIPSub, decIPSub})
-	wire.RegisterPackedPayload(tagIPResp, IPResp{}, codecFuncs{encIPResp, decIPResp})
+	wire.RegisterPackedPayload(tagMBRUpdate, MBRUpdate{}, codecFuncs{encMBRUpdate, decMBRUpdate, decMBRUpdateArena})
+	wire.RegisterPackedPayload(tagSimQuery, SimQuery{}, codecFuncs{encSimQuery, decSimQuery, decSimQueryArena})
+	wire.RegisterPackedPayload(tagNotifyBatch, NotifyBatch{}, codecFuncs{enc: encNotifyBatch, dec: decNotifyBatch})
+	wire.RegisterPackedPayload(tagResponseMsg, ResponseMsg{}, codecFuncs{enc: encResponseMsg, dec: decResponseMsg})
+	wire.RegisterPackedPayload(tagLocPut, LocPut{}, codecFuncs{enc: encLocPut, dec: decLocPut})
+	wire.RegisterPackedPayload(tagLocGet, LocGet{}, codecFuncs{enc: encLocGet, dec: decLocGet})
+	wire.RegisterPackedPayload(tagLocReply, LocReply{}, codecFuncs{enc: encLocReply, dec: decLocReply})
+	wire.RegisterPackedPayload(tagIPSub, IPSub{}, codecFuncs{enc: encIPSub, dec: decIPSub})
+	wire.RegisterPackedPayload(tagIPResp, IPResp{}, codecFuncs{enc: encIPResp, dec: decIPResp})
 }
 
-// codecFuncs adapts an encode/decode function pair to wire.PayloadCodec.
+// codecFuncs adapts an encode/decode function pair to wire.PayloadCodec,
+// with an optional arena-carving decoder (wire.ArenaDecoder) for the
+// data-plane kinds whose decode rate justifies one.
 type codecFuncs struct {
-	enc func(dst []byte, p any) ([]byte, error)
-	dec func(data []byte) (any, error)
+	enc  func(dst []byte, p any) ([]byte, error)
+	dec  func(data []byte) (any, error)
+	decA func(data []byte, a *wire.Arena) (any, error)
 }
 
 func (c codecFuncs) Append(dst []byte, p any) ([]byte, error) { return c.enc(dst, p) }
 func (c codecFuncs) Decode(data []byte) (any, error)          { return c.dec(data) }
+
+func (c codecFuncs) DecodeArena(data []byte, a *wire.Arena) (any, error) {
+	if c.decA == nil {
+		return c.dec(data)
+	}
+	return c.decA(data, a)
+}
+
+// coreSlabs is the core-owned extension slab hung off a decode arena
+// (wire.Arena.Ext): bump-carved blocks of the fixed-size structs the
+// data-plane kinds decode into. Like the arena's own chunks they are
+// carved forward and never reused, so decoded objects may live as long as
+// they like (MBRs sit in the store for BSPAN, queries for their lifespan).
+type coreSlabs struct {
+	mbrs []summary.MBR
+	sims []query.Similarity
+}
+
+const coreSlabChunk = 256
+
+func slabsOf(a *wire.Arena) *coreSlabs {
+	s, _ := a.Ext.(*coreSlabs)
+	if s == nil {
+		s = &coreSlabs{}
+		a.Ext = s
+	}
+	return s
+}
+
+func (s *coreSlabs) mbr(a *wire.Arena) *summary.MBR {
+	a.Stats().Carves.Add(1)
+	if len(s.mbrs) == 0 {
+		s.mbrs = make([]summary.MBR, coreSlabChunk)
+		a.Stats().Refills.Add(1)
+	}
+	b := &s.mbrs[0]
+	s.mbrs = s.mbrs[1:]
+	return b
+}
+
+func (s *coreSlabs) sim(a *wire.Arena) *query.Similarity {
+	a.Stats().Carves.Add(1)
+	if len(s.sims) == 0 {
+		s.sims = make([]query.Similarity, coreSlabChunk)
+		a.Stats().Refills.Add(1)
+	}
+	q := &s.sims[0]
+	s.sims = s.sims[1:]
+	return q
+}
 
 // errType reports a payload handed to the wrong codec — only possible
 // through a registration bug, but cheap to defend against.
@@ -114,6 +167,33 @@ func decMBRUpdate(data []byte) (any, error) {
 	return MBRUpdate{MBR: b}, nil
 }
 
+// decMBRUpdateArena is decMBRUpdate carving the rectangle, its corner
+// slices and (interned) stream id out of the arena — the hot ingest path.
+func decMBRUpdateArena(data []byte, a *wire.Arena) (any, error) {
+	r := wire.NewReader(data)
+	if !r.Bool() {
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return MBRUpdate{}, nil
+	}
+	b := slabsOf(a).mbr(a)
+	b.StreamID = r.StringArena(a)
+	b.Seq = r.Uvarint()
+	b.Count = int(r.Varint())
+	b.Created = sim.Time(r.Varint())
+	b.Expiry = sim.Time(r.Varint())
+	b.Lo = summary.Feature(r.FloatsArena(a))
+	b.Hi = summary.Feature(r.FloatsArena(a))
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	if len(b.Lo) != len(b.Hi) {
+		return nil, fmt.Errorf("core: MBR with %d-dim lo, %d-dim hi", len(b.Lo), len(b.Hi))
+	}
+	return MBRUpdate{MBR: b}, nil
+}
+
 // --- KindQuery: SimQuery ---
 // middleKey(uvar) | present(bool) | id(uvar) | origin(uvar) |
 // feature(floats) | radius(f64) | norm(var) | posted(var) | lifespan(var)
@@ -152,6 +232,32 @@ func decSimQuery(data []byte) (any, error) {
 	q.ID = query.ID(r.Uvarint())
 	q.Origin = dht.Key(r.Uvarint())
 	q.Feature = summary.Feature(r.Floats())
+	q.Radius = r.Float64()
+	q.Norm = dsp.Mode(r.Varint())
+	q.Posted = sim.Time(r.Varint())
+	q.Lifespan = sim.Time(r.Varint())
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	u.Q = q
+	return u, nil
+}
+
+// decSimQueryArena is decSimQuery carving the query and its feature vector
+// out of the arena.
+func decSimQueryArena(data []byte, a *wire.Arena) (any, error) {
+	r := wire.NewReader(data)
+	u := SimQuery{MiddleKey: dht.Key(r.Uvarint())}
+	if !r.Bool() {
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return u, nil
+	}
+	q := slabsOf(a).sim(a)
+	q.ID = query.ID(r.Uvarint())
+	q.Origin = dht.Key(r.Uvarint())
+	q.Feature = summary.Feature(r.FloatsArena(a))
 	q.Radius = r.Float64()
 	q.Norm = dsp.Mode(r.Varint())
 	q.Posted = sim.Time(r.Varint())

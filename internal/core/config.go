@@ -65,11 +65,12 @@ type Config struct {
 	// Seed drives all middleware-internal randomness (tick staggering).
 	Seed int64
 
-	// StoreShards is the number of independently locked L₁-band shards the
-	// per-node MBR store is split into. Values ≤ 1 keep the historical
-	// single-shard store — the simulator's configuration, so golden figure
-	// rows are untouched; live nodes set it to a multiple of the core count
-	// so data-plane workers index and match in parallel.
+	// StoreShards is the number of independently mutated L₁-band shards the
+	// per-node MBR store is split into on substrates with a concurrent data
+	// plane; live nodes set it to a multiple of the core count so workers
+	// index and match in parallel. The simulator ignores it: its
+	// single-threaded event loop uses the exclusive in-place store, which
+	// reproduces the historical walk order (and golden figure rows) exactly.
 	StoreShards int
 }
 

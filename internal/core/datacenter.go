@@ -96,11 +96,20 @@ type localStream struct {
 }
 
 func newDataCenter(id dht.Key, mw *Middleware) *DataCenter {
+	// A substrate without a data-plane pool (the simulator) runs every
+	// store access on one goroutine, so it gets the exclusive in-place
+	// store — no copy-on-write churn in virtual-time runs. Substrates that
+	// can run data frames concurrently (the live transport, even when
+	// configured to serialize) get lock-free published snapshots.
+	store := NewStore()
+	if _, ok := mw.net.(dht.PoolProvider); ok {
+		store = NewShardedStore(mw.cfg.StoreShards)
+	}
 	return &DataCenter{
 		id:        id,
 		mw:        mw,
 		streams:   make(map[string]*localStream),
-		store:     NewShardedStore(mw.cfg.StoreShards),
+		store:     store,
 		subs:      make(map[query.ID]*simSub),
 		aggs:      make(map[query.ID]*aggregator),
 		ipSubs:    make(map[query.ID]*ipSubState),

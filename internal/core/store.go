@@ -19,39 +19,106 @@ import (
 //
 // The store is sharded by an L₁ band partition so the live node's data
 // plane can run it from many goroutines at once: entry shard =
-// floor(L₁/bandWidth) mod S, each shard independently sorted ascending by
-// the first-coefficient lower corner L₁ and guarded by its own RWMutex.
-// A similarity query (Q, r) can only match MBRs whose first-coefficient
-// interval [L₁, H₁] overlaps [q₁−r, q₁+r] — the same Fourier-locality fact
-// Eq. 6 routes on — so Candidates binary-searches each shard's sorted order
-// under a read lock and walks only the overlapping band. Each shard keeps
-// its own maxWidth (an upper bound on H₁−L₁ over its live entries),
-// turning the one-sided sort key into a conservative two-sided window; the
-// per-shard bound is re-tightened by that shard's sweep, so one wide MBR
-// never inflates the scanned band of the other shards (and stops inflating
-// its own as soon as the shard is swept).
+// floor(L₁/bandWidth) mod S. Within a shard the index is published as an
+// immutable snapshot behind an atomic pointer — the same trick the Chord
+// protocol machine uses for its routing View — so candidate walks are
+// lock-free: a reader loads the current snapshot pointer (acquire), walks
+// it, and never blocks a writer or another reader. Writers (Put, Sweep,
+// band compaction) serialize on a per-shard mutation mutex, build the next
+// snapshot copy-on-write, bump its epoch, and publish it with an atomic
+// store (release).
 //
-// Concurrency contract: Put and AppendCandidates may be called from any
-// goroutine. Queries take only read locks; Put's O(n) memmove locks a
-// single shard, shrinking both the critical section and the move to
-// O(n/S). The simulator constructs single-shard stores and calls
-// everything from its event loop, paying one uncontended lock per
-// operation.
+// A snapshot is laid out structure-of-arrays: flat []float64 slices carry
+// the first-coefficient bounds (lo1/hi1), an []sim.Time slice the expiries,
+// and — when every entry shares one dimensionality — a flattened corner
+// array, with a parallel []*summary.MBR id slice consulted only when an
+// entry actually matches. A similarity query (Q, r) can only match MBRs
+// whose first-coefficient interval [L₁, H₁] overlaps [q₁−r, q₁+r] — the
+// same Fourier-locality fact Eq. 6 routes on — so the walk binary-searches
+// the sorted base for the overlapping band and scans it branch-light over
+// the flat arrays, touching no per-entry pointers until a match is found.
+//
+// To keep Put cheap, a snapshot is a sorted base plus a small unsorted
+// tail of at most tailMax recent inserts. Put appends to the tail —
+// in place when the shared backing arrays have room (older snapshots only
+// ever see their shorter prefix), copy-on-write otherwise — and merges the
+// tail into the base when it fills, so the O(n) re-sort cost is paid once
+// per tailMax inserts instead of on every one.
+//
+// The simulator's store (NewStore) instead runs in exclusive mode: its
+// event loop is single-threaded, so immutability buys nothing and
+// copy-on-write would charge every virtual-time figure run real
+// allocation churn. An exclusive store mutates its snapshot in place —
+// the historical sorted insert-after-equals memmove over the same SoA
+// arrays — which keeps the walk order (and golden figure rows) bitwise
+// identical to the historical store at the historical cost.
+//
+// Concurrency contract: on stores from NewShardedStore, Put and
+// AppendCandidates may be called from any goroutine. Steady-state walks
+// acquire no locks and perform no allocations (beyond growing the
+// caller's destination slice); only when a walk observes expired entries
+// does it take the shard's writer mutex afterwards to compact them out,
+// mirroring the historical lazy-expiry behavior. Stores from NewStore
+// are confined to one goroutine at a time by contract.
 type Store struct {
 	shards    []storeShard
 	bandWidth float64
+	tailMax   int
+	// exclusive marks a single-goroutine store (NewStore): Put mutates the
+	// snapshot in place instead of copy-on-write publishing.
+	exclusive bool
 
 	// Cumulative data-plane counters (atomic; surfaced via the node's
 	// STATS output and asserted by the stale-width regression test).
 	puts    atomic.Int64
 	scanned atomic.Int64 // entries visited by candidate walks
+
+	// Snapshot-protocol counters (SnapStats).
+	epochs    atomic.Int64 // snapshot publications across all shards
+	cowCopied atomic.Int64 // entries copied while building new snapshots
+	merges    atomic.Int64 // tail-into-base merges
 }
 
-// storeShard is one independently locked L₁ band of the store.
+// storeShard is one independently mutated L₁ band of the store. snap is
+// the current immutable snapshot; mu serializes writers only.
 type storeShard struct {
-	mu       sync.RWMutex
-	entries  []*summary.MBR // sorted ascending by Lo[0]
-	maxWidth float64        // upper bound on Hi[0]-Lo[0]; tightened on Sweep
+	mu   sync.Mutex
+	snap atomic.Pointer[shardSnap]
+}
+
+// shardSnap is one immutable published snapshot of a shard. All slices are
+// frozen at publication: readers walk them without synchronization. The
+// tail backing arrays are append-shared across consecutive snapshots — a
+// writer may extend them past this snapshot's length, never within it.
+type shardSnap struct {
+	// Sorted base, ascending by lo1 (ties in insertion order).
+	lo1, hi1 []float64
+	exp      []sim.Time
+	crd      []float64 // flattened corners [lo…, hi…] per entry; nil if dims mixed
+	refs     []*summary.MBR
+
+	// Unsorted tail of recent inserts, bounded by Store.tailMax.
+	tLo1, tHi1 []float64
+	tExp       []sim.Time
+	tCrd       []float64
+	tRefs      []*summary.MBR
+
+	dims     int     // uniform dimensionality; 0 = mixed, -1 = empty
+	maxWidth float64 // upper bound on Hi[0]-Lo[0]; tightened on Sweep
+	epoch    uint64  // bumped on every publication of this shard
+}
+
+// SnapStats reports the snapshot protocol's cumulative activity.
+type SnapStats struct {
+	// Epochs counts snapshot publications summed over all shards — every
+	// Put, Sweep and expiry compaction bumps it by one per shard touched.
+	Epochs int64
+	// CowCopied counts entries copied while building new snapshots
+	// (tail copy-on-write, merges, sweeps, compactions). The ratio to
+	// Epochs exposes how well the append-in-place fast path is working.
+	CowCopied int64
+	// Merges counts tail-into-base merge publications.
+	Merges int64
 }
 
 // defaultBandWidth is the L₁ stripe width of the shard partition. Features
@@ -60,22 +127,53 @@ type storeShard struct {
 // radius-sized query band inside a handful of them.
 const defaultBandWidth = 0.25
 
+// storeTailMax bounds the unsorted tail of a live shard snapshot. The
+// trade is tail-scan work on reads against merge (and its allocation/GC)
+// work on writes: a walk skips an out-of-band tail entry on two flat
+// float64 compares, so even a full tail costs well under a microsecond,
+// while every doubling of the tail halves the copy-on-write merge volume.
+// 256 keeps the scan trivial and the write amplification ~n/256.
+const storeTailMax = 256
+
+// emptySnap is the shared initial snapshot of every shard.
+var emptySnap = &shardSnap{dims: -1}
+
 // NewStore returns an empty single-shard store — the simulator's
-// configuration, behaviorally identical to the historical unsharded store.
+// configuration, behaviorally identical to the historical unsharded store:
+// exclusive mode inserts in place with no insert tail, so the walk order
+// is exactly the historical sorted insertion order. The caller must
+// confine the store to one goroutine at a time; concurrent data planes
+// use NewShardedStore.
 func NewStore() *Store {
-	return NewShardedStore(1)
+	s := newStore(1)
+	s.tailMax = 0
+	s.exclusive = true
+	// An exclusive store mutates its snapshot, so it must not share the
+	// global emptySnap.
+	s.shards[0].snap.Store(&shardSnap{dims: -1})
+	return s
 }
 
 // NewShardedStore returns an empty store with the given number of L₁-band
-// shards (values < 1 are treated as 1).
+// shards (values < 1 are treated as 1), configured for the live data
+// plane: snapshots carry an unsorted insert tail so Put stays cheap.
 func NewShardedStore(shards int) *Store {
+	return newStore(shards)
+}
+
+func newStore(shards int) *Store {
 	if shards < 1 {
 		shards = 1
 	}
-	return &Store{
+	s := &Store{
 		shards:    make([]storeShard, shards),
 		bandWidth: defaultBandWidth,
+		tailMax:   storeTailMax,
 	}
+	for i := range s.shards {
+		s.shards[i].snap.Store(emptySnap)
+	}
+	return s
 }
 
 // Shards returns the shard count.
@@ -95,14 +193,12 @@ func (s *Store) shardOf(l1 float64) int {
 }
 
 // Len returns the number of MBRs held (lazily dropped expired entries may
-// linger until a Candidates walk or Sweep touches them).
+// linger until a Candidates walk or Sweep touches them). Lock-free.
 func (s *Store) Len() int {
 	n := 0
 	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		n += len(sh.entries)
-		sh.mu.RUnlock()
+		p := s.shards[i].snap.Load()
+		n += len(p.lo1) + len(p.tLo1)
 	}
 	return n
 }
@@ -114,25 +210,361 @@ func (s *Store) Stats() (puts, scanned int64) {
 	return s.puts.Load(), s.scanned.Load()
 }
 
-// Put inserts an MBR at its sorted position within its L₁-band shard.
+// SnapStats reports the snapshot protocol's cumulative counters.
+func (s *Store) SnapStats() SnapStats {
+	return SnapStats{
+		Epochs:    s.epochs.Load(),
+		CowCopied: s.cowCopied.Load(),
+		Merges:    s.merges.Load(),
+	}
+}
+
+// ShardEpoch returns shard i's current snapshot epoch (tests, stats).
+func (s *Store) ShardEpoch(i int) uint64 {
+	return s.shards[i].snap.Load().epoch
+}
+
+// foldDims combines a snapshot dims state with one entry's dimensionality.
+func foldDims(dims, k int) int {
+	switch {
+	case dims == -1:
+		return k
+	case dims == k:
+		return dims
+	default:
+		return 0
+	}
+}
+
+// appendCorners appends b's corners to dst in flat [lo…, hi…] layout.
+func appendCorners(dst []float64, b *summary.MBR) []float64 {
+	dst = append(dst, b.Lo...)
+	return append(dst, b.Hi...)
+}
+
+// Put inserts an MBR into its L₁-band shard and publishes the new
+// snapshot before returning, so a candidate walk that starts after Put
+// returns is guaranteed to see the entry (the ordering fence the
+// handleQuery/publishMBR protocol relies on).
 func (s *Store) Put(b *summary.MBR) {
 	l1 := b.Lo[0]
 	sh := &s.shards[s.shardOf(l1)]
 	sh.mu.Lock()
-	i := sort.Search(len(sh.entries), func(i int) bool { return sh.entries[i].Lo[0] > l1 })
-	sh.entries = append(sh.entries, nil)
-	copy(sh.entries[i+1:], sh.entries[i:])
-	sh.entries[i] = b
-	if w := b.Hi[0] - b.Lo[0]; w > sh.maxWidth {
-		sh.maxWidth = w
+	cur := sh.snap.Load()
+	dims := foldDims(cur.dims, len(b.Lo))
+	switch {
+	case s.exclusive:
+		s.insertInPlace(cur, b, dims)
+	case len(cur.tLo1) < s.tailMax && !(dims == 0 && cur.dims > 0):
+		sh.snap.Store(s.tailAppend(cur, b, dims))
+	default:
+		sh.snap.Store(s.mergePut(cur, b, dims))
 	}
 	sh.mu.Unlock()
 	s.puts.Add(1)
 }
 
-// Sweep drops expired MBRs and re-tightens each shard's width bound; it
-// returns how many entries were removed. Each shard is swept under its own
-// lock — there is no store-wide pause.
+// tailAppend publishes cur plus b appended to the insert tail. When the
+// shared tail backing arrays have spare capacity the new entry is written
+// in place past every published snapshot's length — older snapshots only
+// ever read their own shorter prefix — otherwise the tail is copied into
+// fresh arrays sized for tailMax entries.
+func (s *Store) tailAppend(cur *shardSnap, b *summary.MBR, dims int) *shardSnap {
+	next := &shardSnap{
+		lo1: cur.lo1, hi1: cur.hi1, exp: cur.exp, crd: cur.crd, refs: cur.refs,
+		dims:     dims,
+		maxWidth: cur.maxWidth,
+		epoch:    cur.epoch + 1,
+	}
+	if w := b.Hi[0] - b.Lo[0]; w > next.maxWidth {
+		next.maxWidth = w
+	}
+	n := len(cur.tLo1)
+	flat := dims > 0 && (n == 0 || cur.tCrd != nil)
+	inPlace := n < cap(cur.tLo1)
+	if inPlace && flat && (n+1)*2*dims > cap(cur.tCrd) {
+		inPlace = false
+	}
+	if inPlace {
+		// In-place append on the shared backing: the write lands past
+		// every published snapshot's length, so no reader can see it
+		// until this snapshot is published.
+		next.tLo1 = append(cur.tLo1, b.Lo[0])
+		next.tHi1 = append(cur.tHi1, b.Hi[0])
+		next.tExp = append(cur.tExp, b.Expiry)
+		next.tRefs = append(cur.tRefs, b)
+		if flat {
+			next.tCrd = appendCorners(cur.tCrd, b)
+		}
+		s.epochs.Add(1)
+		return next
+	}
+	// Copy-on-write into fresh backing with room for a full tail.
+	next.tLo1 = append(make([]float64, 0, s.tailMax), cur.tLo1...)
+	next.tHi1 = append(make([]float64, 0, s.tailMax), cur.tHi1...)
+	next.tExp = append(make([]sim.Time, 0, s.tailMax), cur.tExp...)
+	next.tRefs = append(make([]*summary.MBR, 0, s.tailMax), cur.tRefs...)
+	next.tLo1 = append(next.tLo1, b.Lo[0])
+	next.tHi1 = append(next.tHi1, b.Hi[0])
+	next.tExp = append(next.tExp, b.Expiry)
+	next.tRefs = append(next.tRefs, b)
+	if flat {
+		next.tCrd = appendCorners(append(make([]float64, 0, s.tailMax*2*dims), cur.tCrd...), b)
+	}
+	s.cowCopied.Add(int64(n))
+	s.epochs.Add(1)
+	return next
+}
+
+// mergePut merges cur's base, tail and the new entry b into one sorted
+// base, reproducing the historical insertion order: ascending lo1, with an
+// insert landing after every existing entry of equal lo1. The base is
+// already sorted, so only the bounded tail is sorted (stably, preserving
+// insertion order on equal keys) before a linear two-run merge — the
+// amortized cost per put is O(n/tailMax) bulk copies, not a re-sort.
+func (s *Store) mergePut(cur *shardSnap, b *summary.MBR, dims int) *shardSnap {
+	var next *shardSnap
+	if dims > 0 && (len(cur.refs) == 0 || cur.crd != nil) && (len(cur.tRefs) == 0 || cur.tCrd != nil) {
+		// Uniform dims with flat corners everywhere: merge the SoA arrays
+		// directly, bulk-copying base segments between tail insertions.
+		next = s.mergeFlat(cur, b, dims)
+	} else {
+		// Mixed dims: rebuild through the entry pointers.
+		tail := make([]*summary.MBR, 0, len(cur.tRefs)+1)
+		tail = append(tail, cur.tRefs...)
+		tail = append(tail, b)
+		sort.SliceStable(tail, func(i, j int) bool { return tail[i].Lo[0] < tail[j].Lo[0] })
+		next = buildSnap(mergeRuns(cur.refs, tail), dims, s.tailMax)
+	}
+	next.maxWidth = cur.maxWidth
+	if w := b.Hi[0] - b.Lo[0]; w > next.maxWidth {
+		next.maxWidth = w
+	}
+	next.epoch = cur.epoch + 1
+	s.cowCopied.Add(int64(len(next.refs)))
+	s.merges.Add(1)
+	s.epochs.Add(1)
+	return next
+}
+
+// mergeFlat merges the bounded tail plus b into the sorted base by
+// copying whole SoA segments: the base splits into at most tail+1 runs at
+// the insertion points, and every copy is a bulk memmove of flat arrays —
+// no per-entry pointer chasing. All entries share dims k and carry flat
+// corners. Order on equal lo1 is insert-after-equals: a tail entry lands
+// after every base entry of equal key (all of which predate it) and after
+// earlier-inserted tail entries (the stable order sort).
+func (s *Store) mergeFlat(cur *shardSnap, b *summary.MBR, k int) *shardSnap {
+	nt := len(cur.tRefs)
+	lo1At := func(i int) float64 {
+		if i == nt {
+			return b.Lo[0]
+		}
+		return cur.tLo1[i]
+	}
+	order := make([]int, nt+1)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return lo1At(order[i]) < lo1At(order[j]) })
+
+	n := len(cur.lo1)
+	total := n + nt + 1
+	next := &shardSnap{
+		lo1:  make([]float64, 0, total),
+		hi1:  make([]float64, 0, total),
+		exp:  make([]sim.Time, 0, total),
+		crd:  make([]float64, 0, total*2*k),
+		refs: make([]*summary.MBR, 0, total),
+		dims: k,
+	}
+	copyBase := func(lo, hi int) {
+		next.lo1 = append(next.lo1, cur.lo1[lo:hi]...)
+		next.hi1 = append(next.hi1, cur.hi1[lo:hi]...)
+		next.exp = append(next.exp, cur.exp[lo:hi]...)
+		next.crd = append(next.crd, cur.crd[lo*2*k:hi*2*k]...)
+		next.refs = append(next.refs, cur.refs[lo:hi]...)
+	}
+	pos := 0
+	for _, ti := range order {
+		key := lo1At(ti)
+		cut := pos + sort.Search(n-pos, func(j int) bool { return cur.lo1[pos+j] > key })
+		copyBase(pos, cut)
+		pos = cut
+		if ti == nt {
+			next.lo1 = append(next.lo1, b.Lo[0])
+			next.hi1 = append(next.hi1, b.Hi[0])
+			next.exp = append(next.exp, b.Expiry)
+			next.crd = appendCorners(next.crd, b)
+			next.refs = append(next.refs, b)
+		} else {
+			next.lo1 = append(next.lo1, cur.tLo1[ti])
+			next.hi1 = append(next.hi1, cur.tHi1[ti])
+			next.exp = append(next.exp, cur.tExp[ti])
+			next.crd = append(next.crd, cur.tCrd[ti*2*k:(ti+1)*2*k]...)
+			next.refs = append(next.refs, cur.tRefs[ti])
+		}
+	}
+	copyBase(pos, n)
+	if s.tailMax > 0 {
+		next.tLo1 = make([]float64, 0, s.tailMax)
+		next.tHi1 = make([]float64, 0, s.tailMax)
+		next.tExp = make([]sim.Time, 0, s.tailMax)
+		next.tRefs = make([]*summary.MBR, 0, s.tailMax)
+		next.tCrd = make([]float64, 0, s.tailMax*2*k)
+	}
+	return next
+}
+
+// insertAt opens a gap at index i and writes v, growing s by one.
+func insertAt[T any](s []T, i int, v T) []T {
+	var zero T
+	s = append(s, zero)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// insertInPlace mutates an exclusive store's snapshot directly: the
+// historical sorted insert-after-equals memmove, applied to the SoA
+// arrays. No copy-on-write, no tail — the snapshot pointer never changes,
+// only its epoch. Reachable only from NewStore stores, whose contract
+// confines all access to one goroutine at a time.
+func (s *Store) insertInPlace(cur *shardSnap, b *summary.MBR, dims int) {
+	n := len(cur.lo1)
+	key := b.Lo[0]
+	i := sort.Search(n, func(j int) bool { return cur.lo1[j] > key })
+	cur.lo1 = insertAt(cur.lo1, i, key)
+	cur.hi1 = insertAt(cur.hi1, i, b.Hi[0])
+	cur.exp = insertAt(cur.exp, i, b.Expiry)
+	cur.refs = insertAt(cur.refs, i, b)
+	if dims > 0 && (n == 0 || cur.crd != nil) {
+		k := dims
+		// Grow by one corner block, shift the suffix, write b's corners.
+		cur.crd = append(cur.crd, b.Lo...)
+		cur.crd = append(cur.crd, b.Hi...)
+		copy(cur.crd[(i+1)*2*k:], cur.crd[i*2*k:n*2*k])
+		copy(cur.crd[i*2*k:], b.Lo)
+		copy(cur.crd[i*2*k+k:], b.Hi)
+	} else {
+		cur.crd = nil // mixed dims: walks fall back to the entry pointers
+	}
+	cur.dims = dims
+	if w := b.Hi[0] - b.Lo[0]; w > cur.maxWidth {
+		cur.maxWidth = w
+	}
+	cur.epoch++
+	s.epochs.Add(1)
+}
+
+// filterInPlace compacts an exclusive snapshot's arrays, dropping entries
+// for which drop returns true, and reports how many were removed. The
+// caller owns dims/maxWidth/epoch bookkeeping.
+func filterInPlace(cur *shardSnap, drop func(*summary.MBR) bool) int {
+	n := len(cur.refs)
+	k := 0 // corner stride; 0 when there is no flat corner array
+	if cur.crd != nil && cur.dims > 0 {
+		k = 2 * cur.dims
+	}
+	w := 0
+	for i := 0; i < n; i++ {
+		b := cur.refs[i]
+		if drop(b) {
+			continue
+		}
+		if w != i {
+			cur.lo1[w], cur.hi1[w], cur.exp[w], cur.refs[w] = cur.lo1[i], cur.hi1[i], cur.exp[i], b
+			if k > 0 {
+				copy(cur.crd[w*k:(w+1)*k], cur.crd[i*k:(i+1)*k])
+			}
+		}
+		w++
+	}
+	clear(cur.refs[w:n]) // release dropped entries to the GC
+	cur.lo1, cur.hi1, cur.exp, cur.refs = cur.lo1[:w], cur.hi1[:w], cur.exp[:w], cur.refs[:w]
+	if k > 0 {
+		cur.crd = cur.crd[:w*k]
+	}
+	return n - w
+}
+
+// gatherEntries collects cur's entries in walk order (base, then tail in
+// insertion order), appending b if non-nil.
+func gatherEntries(cur *shardSnap, b *summary.MBR) []*summary.MBR {
+	entries := make([]*summary.MBR, 0, len(cur.refs)+len(cur.tRefs)+1)
+	entries = append(entries, cur.refs...)
+	entries = append(entries, cur.tRefs...)
+	if b != nil {
+		entries = append(entries, b)
+	}
+	return entries
+}
+
+// mergeRuns merges two lo1-sorted runs, taking from base on equal keys so
+// base entries precede tail entries of the same lo1 — together with the
+// tail's stable insertion-order sort this reproduces the historical
+// insert-after-equals sort.Search order.
+func mergeRuns(base, tail []*summary.MBR) []*summary.MBR {
+	if len(tail) == 0 {
+		return append(make([]*summary.MBR, 0, len(base)), base...)
+	}
+	out := make([]*summary.MBR, 0, len(base)+len(tail))
+	i, j := 0, 0
+	for i < len(base) && j < len(tail) {
+		if base[i].Lo[0] <= tail[j].Lo[0] {
+			out = append(out, base[i])
+			i++
+		} else {
+			out = append(out, tail[j])
+			j++
+		}
+	}
+	out = append(out, base[i:]...)
+	return append(out, tail[j:]...)
+}
+
+// buildSnap lays lo1-sorted entries out as a sorted-base snapshot with an
+// empty tail.
+func buildSnap(entries []*summary.MBR, dims, tailMax int) *shardSnap {
+	n := len(entries)
+	next := &shardSnap{
+		lo1:  make([]float64, n),
+		hi1:  make([]float64, n),
+		exp:  make([]sim.Time, n),
+		refs: entries,
+		dims: dims,
+	}
+	if n == 0 {
+		next.dims = -1
+		next.refs = nil
+	}
+	if dims > 0 && n > 0 {
+		next.crd = make([]float64, 0, n*2*dims)
+	}
+	for i, e := range entries {
+		next.lo1[i] = e.Lo[0]
+		next.hi1[i] = e.Hi[0]
+		next.exp[i] = e.Expiry
+		if next.crd != nil {
+			next.crd = appendCorners(next.crd, e)
+		}
+	}
+	if tailMax > 0 && n > 0 {
+		next.tLo1 = make([]float64, 0, tailMax)
+		next.tHi1 = make([]float64, 0, tailMax)
+		next.tExp = make([]sim.Time, 0, tailMax)
+		next.tRefs = make([]*summary.MBR, 0, tailMax)
+		if dims > 0 {
+			next.tCrd = make([]float64, 0, tailMax*2*dims)
+		}
+	}
+	return next
+}
+
+// Sweep drops expired MBRs, re-tightens each shard's width bound and
+// merges the insert tail into the base; it returns how many entries were
+// removed. Each shard is rebuilt under its own writer mutex — walks in
+// flight keep reading the previous snapshot, there is no store-wide pause.
 func (s *Store) Sweep(now sim.Time) int {
 	removed := 0
 	for i := range s.shards {
@@ -151,23 +583,54 @@ func (s *Store) SweepShard(i int, now sim.Time) int {
 func (s *Store) sweepShard(sh *storeShard, now sim.Time) int {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	kept := sh.entries[:0]
+	cur := sh.snap.Load()
+	dims := -1
 	width := 0.0
-	for _, b := range sh.entries {
-		if b.Expired(now) {
-			continue
-		}
-		if w := b.Hi[0] - b.Lo[0]; w > width {
-			width = w
-		}
-		kept = append(kept, b)
+	if s.exclusive {
+		// Exclusive stores (no tail) filter their arrays in place.
+		removed := filterInPlace(cur, func(b *summary.MBR) bool {
+			if b.Expired(now) {
+				return true
+			}
+			dims = foldDims(dims, len(b.Lo))
+			if w := b.Hi[0] - b.Lo[0]; w > width {
+				width = w
+			}
+			return false
+		})
+		cur.dims = dims
+		cur.maxWidth = width
+		cur.epoch++
+		s.epochs.Add(1)
+		return removed
 	}
-	removed := len(sh.entries) - len(kept)
-	for i := len(kept); i < len(sh.entries); i++ {
-		sh.entries[i] = nil
+	keep := func(dst []*summary.MBR, src []*summary.MBR) []*summary.MBR {
+		for _, b := range src {
+			if b.Expired(now) {
+				continue
+			}
+			dims = foldDims(dims, len(b.Lo))
+			if w := b.Hi[0] - b.Lo[0]; w > width {
+				width = w
+			}
+			dst = append(dst, b)
+		}
+		return dst
 	}
-	sh.entries = kept
-	sh.maxWidth = width
+	// Filter the sorted base and the insertion-order tail separately:
+	// dropping entries preserves each run's order, so one tail sort plus a
+	// linear merge rebuilds the sorted base.
+	keptBase := keep(make([]*summary.MBR, 0, len(cur.refs)), cur.refs)
+	keptTail := keep(make([]*summary.MBR, 0, len(cur.tRefs)), cur.tRefs)
+	sort.SliceStable(keptTail, func(i, j int) bool { return keptTail[i].Lo[0] < keptTail[j].Lo[0] })
+	kept := mergeRuns(keptBase, keptTail)
+	removed := len(cur.refs) + len(cur.tRefs) - len(kept)
+	next := buildSnap(kept, dims, s.tailMax)
+	next.maxWidth = width
+	next.epoch = cur.epoch + 1
+	sh.snap.Store(next)
+	s.cowCopied.Add(int64(len(kept)))
+	s.epochs.Add(1)
 	return removed
 }
 
@@ -178,20 +641,22 @@ func (s *Store) Candidates(q summary.Feature, radius float64, now sim.Time, node
 }
 
 // AppendCandidates is Candidates appending into dst, for callers that reuse
-// a scratch buffer across queries. It takes only read locks, so any number
-// of walks proceed in parallel with each other; shards where the walk
-// encountered expired entries are compacted afterwards under a write lock,
-// so long-lived nodes do not rescan dead entries while waiting for the
-// next Sweep.
+// a scratch buffer across queries. The walk itself is lock-free: it loads
+// each shard's current snapshot with one atomic pointer read and scans the
+// flat arrays, so any number of walks proceed in parallel with each other
+// and with writers. Shards where the walk encountered expired entries are
+// compacted afterwards under the writer mutex, so long-lived nodes do not
+// rescan dead entries while waiting for the next Sweep.
 func (s *Store) AppendCandidates(dst []query.Match, q summary.Feature, radius float64, now sim.Time, node dht.Key) []query.Match {
 	q1 := q[0]
 	visited := int64(0)
 	for i := range s.shards {
 		sh := &s.shards[i]
+		p := sh.snap.Load()
 		var expired bool
-		dst, visited, expired = sh.appendCandidates(dst, visited, q, q1, radius, now, node)
+		dst, visited, expired = p.appendCandidates(dst, visited, q, q1, radius, now, node)
 		if expired {
-			sh.compactBand(q1, radius, now)
+			s.compactBand(sh, q1, radius, now)
 		}
 	}
 	if visited > 0 {
@@ -200,32 +665,89 @@ func (s *Store) AppendCandidates(dst []query.Match, q summary.Feature, radius fl
 	return dst
 }
 
-// appendCandidates walks one shard's overlapping band under its read lock.
+// minDistFlat is summary.MBR.MinDist over a flat [lo…, hi…] corner block,
+// kept operation-for-operation identical so flat and pointer walks produce
+// bitwise-equal distances.
+func minDistFlat(crd []float64, q summary.Feature, k int) float64 {
+	var sum float64
+	for d := 0; d < k; d++ {
+		switch {
+		case q[d] < crd[d]:
+			diff := crd[d] - q[d]
+			sum += diff * diff
+		case q[d] > crd[k+d]:
+			diff := q[d] - crd[k+d]
+			sum += diff * diff
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// appendCandidates walks one snapshot's overlapping band without locks.
 // It reports whether any expired entry was seen, so the caller can compact.
-func (sh *storeShard) appendCandidates(dst []query.Match, visited int64, q summary.Feature, q1, radius float64, now sim.Time, node dht.Key) ([]query.Match, int64, bool) {
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	if len(sh.entries) == 0 {
+func (p *shardSnap) appendCandidates(dst []query.Match, visited int64, q summary.Feature, q1, radius float64, now sim.Time, node dht.Key) ([]query.Match, int64, bool) {
+	if len(p.lo1) == 0 && len(p.tLo1) == 0 {
 		return dst, visited, false
 	}
 	// Only entries with Lo[0] in [q1-r-maxWidth, q1+r] can have a
 	// first-coefficient interval overlapping [q1-r, q1+r].
-	lo := q1 - radius - sh.maxWidth
+	lo := q1 - radius - p.maxWidth
 	hi := q1 + radius
-	start := sort.Search(len(sh.entries), func(i int) bool { return sh.entries[i].Lo[0] >= lo })
+	qlo := q1 - radius
+	k := p.dims
+	flat := k == len(q) && p.crd != nil
 	sawExpired := false
-	for j := start; j < len(sh.entries); j++ {
-		b := sh.entries[j]
-		if b.Lo[0] > hi {
+
+	start := sort.Search(len(p.lo1), func(i int) bool { return p.lo1[i] >= lo })
+	for j := start; j < len(p.lo1); j++ {
+		if p.lo1[j] > hi {
 			break
 		}
 		visited++
-		if b.Expired(now) {
+		if e := p.exp[j]; e != 0 && now >= e {
 			sawExpired = true
 			continue
 		}
-		if b.Hi[0] >= q1-radius { // cheap interval pre-test before MinDist
-			if d := b.MinDist(q); d <= radius {
+		if p.hi1[j] >= qlo { // cheap interval pre-test before MinDist
+			var d float64
+			if flat {
+				d = minDistFlat(p.crd[j*2*k:(j+1)*2*k], q, k)
+			} else {
+				d = p.refs[j].MinDist(q)
+			}
+			if d <= radius {
+				b := p.refs[j]
+				dst = append(dst, query.Match{
+					StreamID: b.StreamID,
+					Seq:      b.Seq,
+					DistLB:   d,
+					FoundAt:  now,
+					Node:     node,
+				})
+			}
+		}
+	}
+
+	tflat := k == len(q) && p.tCrd != nil
+	for j := 0; j < len(p.tLo1); j++ {
+		l1 := p.tLo1[j]
+		if l1 < lo || l1 > hi {
+			continue
+		}
+		visited++
+		if e := p.tExp[j]; e != 0 && now >= e {
+			sawExpired = true
+			continue
+		}
+		if p.tHi1[j] >= qlo {
+			var d float64
+			if tflat {
+				d = minDistFlat(p.tCrd[j*2*k:(j+1)*2*k], q, k)
+			} else {
+				d = p.tRefs[j].MinDist(q)
+			}
+			if d <= radius {
+				b := p.tRefs[j]
 				dst = append(dst, query.Match{
 					StreamID: b.StreamID,
 					Seq:      b.Seq,
@@ -239,44 +761,108 @@ func (sh *storeShard) appendCandidates(dst []query.Match, visited int64, q summa
 	return dst, visited, sawExpired
 }
 
-// compactBand re-walks the band a query just scanned under the write lock
-// and drops the expired entries it contains, in place. It runs only when a
-// read walk actually saw expired entries, which is rare between sweeps, so
-// queries stay read-parallel in steady state.
-func (sh *storeShard) compactBand(q1, radius float64, now sim.Time) {
+// compactBand rebuilds the shard without the expired entries of the band a
+// query just scanned, under the writer mutex. It runs only when a walk
+// actually saw expired entries, which is rare between sweeps, so
+// steady-state walks never touch the mutex.
+func (s *Store) compactBand(sh *storeShard, q1, radius float64, now sim.Time) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	lo := q1 - radius - sh.maxWidth
+	cur := sh.snap.Load()
+	lo := q1 - radius - cur.maxWidth
 	hi := q1 + radius
-	start := sort.Search(len(sh.entries), func(i int) bool { return sh.entries[i].Lo[0] >= lo })
-	w := start
-	j := start
-	for ; j < len(sh.entries); j++ {
-		b := sh.entries[j]
-		if b.Lo[0] > hi {
-			break
-		}
-		if b.Expired(now) {
-			continue // dropped: not copied back
-		}
-		sh.entries[w] = b
-		w++
+	inBandExpired := func(b *summary.MBR) bool {
+		l1 := b.Lo[0]
+		return l1 >= lo && l1 <= hi && b.Expired(now)
 	}
-	if w != j {
-		n := copy(sh.entries[w:], sh.entries[j:])
-		for k := w + n; k < len(sh.entries); k++ {
-			sh.entries[k] = nil
+	if s.exclusive {
+		if removed := filterInPlace(cur, inBandExpired); removed > 0 {
+			if len(cur.refs) == 0 {
+				cur.dims = -1
+			}
+			cur.epoch++
+			s.epochs.Add(1)
 		}
-		sh.entries = sh.entries[:w+n]
+		return
 	}
+	dropped := 0
+	for _, b := range cur.refs {
+		if inBandExpired(b) {
+			dropped++
+		}
+	}
+	for _, b := range cur.tRefs {
+		if inBandExpired(b) {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		return // another walk already compacted this band
+	}
+	next := &shardSnap{
+		dims:     cur.dims,
+		maxWidth: cur.maxWidth,
+		epoch:    cur.epoch + 1,
+	}
+	n := len(cur.refs) - dropped // upper bound; tail survivors counted below
+	if n < 0 {
+		n = 0
+	}
+	next.lo1 = make([]float64, 0, n)
+	next.hi1 = make([]float64, 0, n)
+	next.exp = make([]sim.Time, 0, n)
+	next.refs = make([]*summary.MBR, 0, n)
+	if cur.crd != nil && cur.dims > 0 {
+		next.crd = make([]float64, 0, n*2*cur.dims)
+	}
+	for i, b := range cur.refs {
+		if inBandExpired(b) {
+			continue
+		}
+		next.lo1 = append(next.lo1, cur.lo1[i])
+		next.hi1 = append(next.hi1, cur.hi1[i])
+		next.exp = append(next.exp, cur.exp[i])
+		next.refs = append(next.refs, b)
+		if next.crd != nil {
+			next.crd = appendCorners(next.crd, b)
+		}
+	}
+	if s.tailMax > 0 {
+		next.tLo1 = make([]float64, 0, s.tailMax)
+		next.tHi1 = make([]float64, 0, s.tailMax)
+		next.tExp = make([]sim.Time, 0, s.tailMax)
+		next.tRefs = make([]*summary.MBR, 0, s.tailMax)
+		if cur.dims > 0 {
+			next.tCrd = make([]float64, 0, s.tailMax*2*cur.dims)
+		}
+		for i, b := range cur.tRefs {
+			if inBandExpired(b) {
+				continue
+			}
+			next.tLo1 = append(next.tLo1, cur.tLo1[i])
+			next.tHi1 = append(next.tHi1, cur.tHi1[i])
+			next.tExp = append(next.tExp, cur.tExp[i])
+			next.tRefs = append(next.tRefs, b)
+			if next.tCrd != nil && cur.tCrd != nil {
+				next.tCrd = appendCorners(next.tCrd, b)
+			}
+		}
+		if len(next.tRefs) > 0 && next.tCrd != nil && cur.tCrd == nil {
+			// Mixed provenance: tail had no corner array to copy from.
+			next.tCrd = nil
+		}
+	}
+	if len(next.refs) == 0 && len(next.tRefs) == 0 {
+		next.dims = -1
+	}
+	sh.snap.Store(next)
+	s.cowCopied.Add(int64(len(next.refs) + len(next.tRefs)))
+	s.epochs.Add(1)
 }
 
 // shardWidth returns shard i's current width bound (tests).
 func (s *Store) shardWidth(i int) float64 {
-	sh := &s.shards[i]
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	return sh.maxWidth
+	return s.shards[i].snap.Load().maxWidth
 }
 
 // allEntries returns a copy of every shard's entries (tests).
@@ -288,12 +874,10 @@ func (s *Store) allEntries() []*summary.MBR {
 	return out
 }
 
-// shardEntries returns a copy of shard i's entry slice (tests).
+// shardEntries returns a copy of shard i's entries in walk order: sorted
+// base first, then the insert tail in insertion order (tests).
 func (s *Store) shardEntries(i int) []*summary.MBR {
-	sh := &s.shards[i]
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	return append([]*summary.MBR(nil), sh.entries...)
+	return gatherEntries(s.shards[i].snap.Load(), nil)
 }
 
 // MatchMBR tests a single, just-arrived MBR against a query feature.

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"streamdex/internal/query"
+	"streamdex/internal/sim"
+	"streamdex/internal/summary"
+)
+
+// TestSnapshotPutVisibleImmediately pins the publication fence the
+// data-plane correctness argument rests on: Put publishes the new snapshot
+// before returning, so a candidate walk that starts after Put returns must
+// see the entry — even from the same goroutine, even while other
+// goroutines are putting and sweeping concurrently.
+func TestSnapshotPutVisibleImmediately(t *testing.T) {
+	s := NewShardedStore(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			dst := make([]query.Match, 0, 8)
+			for i := 0; i < 300; i++ {
+				l1 := rng.Float64()*2 - 1
+				b := mbrAt(fmt.Sprintf("w%d", w), uint64(i),
+					summary.Feature{l1, 0}, summary.Feature{l1 + 0.01, 0.1}, 0)
+				s.Put(b)
+				q := summary.Feature{l1, 0.05}
+				dst = s.AppendCandidates(dst[:0], q, 0.06, 0, 1)
+				found := false
+				for _, m := range dst {
+					if m.StreamID == b.StreamID && m.Seq == b.Seq {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("writer %d: entry %d not visible immediately after Put", w, i)
+					return
+				}
+				if i%50 == 49 {
+					s.Sweep(0)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestSnapshotConcurrentIngestExpiryMatch is the randomized snapshot
+// publication test: writers ingest entries with mid-run expiries, a
+// sweeper expires them, and readers walk candidates the whole time, all
+// under -race in CI. Readers check walk-level invariants in flight (every
+// match corresponds to a real put, epochs never run backwards), and the
+// final surviving state is compared against a sequential single-shard
+// oracle fed the same entries.
+func TestSnapshotConcurrentIngestExpiryMatch(t *testing.T) {
+	const (
+		writers   = 4
+		perWriter = 400
+		readers   = 3
+	)
+	s := NewShardedStore(8)
+
+	entries := make([][]*summary.MBR, writers)
+	valid := make(map[string]map[uint64]bool)
+	for w := range entries {
+		rng := rand.New(rand.NewSource(int64(7000 + w)))
+		entries[w] = make([]*summary.MBR, perWriter)
+		sid := fmt.Sprintf("snap%d", w)
+		valid[sid] = make(map[uint64]bool)
+		for i := range entries[w] {
+			l1 := rng.Float64()*2 - 1
+			width := rng.Float64() * 0.1
+			expiry := sim.Time(0)
+			if rng.Intn(3) == 0 {
+				expiry = sim.Time(1 + rng.Intn(50))
+			}
+			entries[w][i] = mbrAt(sid, uint64(i),
+				summary.Feature{l1, 0}, summary.Feature{l1 + width, 0.1}, expiry)
+			valid[sid][uint64(i)] = true
+		}
+	}
+
+	var stop atomic.Bool
+	var writeWG, readWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i, b := range entries[w] {
+				s.Put(b)
+				if i%97 == 96 {
+					s.Sweep(sim.Time(i / 8))
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		readWG.Add(1)
+		go func(r int) {
+			defer readWG.Done()
+			rng := rand.New(rand.NewSource(int64(7900 + r)))
+			dst := make([]query.Match, 0, 256)
+			lastEpoch := make([]uint64, s.Shards())
+			for !stop.Load() {
+				q := summary.Feature{rng.Float64()*2 - 1, 0.05}
+				now := sim.Time(rng.Intn(60))
+				dst = s.AppendCandidates(dst[:0], q, 0.2, now, 1)
+				for _, m := range dst {
+					if !valid[m.StreamID][m.Seq] {
+						t.Errorf("match (%s,%d) does not correspond to any put entry", m.StreamID, m.Seq)
+						return
+					}
+					if m.FoundAt != now || m.Node != 1 {
+						t.Errorf("match metadata torn: %+v", m)
+						return
+					}
+				}
+				for i := range lastEpoch {
+					e := s.ShardEpoch(i)
+					if e < lastEpoch[i] {
+						t.Errorf("shard %d epoch ran backwards: %d -> %d", i, lastEpoch[i], e)
+						return
+					}
+					lastEpoch[i] = e
+				}
+			}
+		}(r)
+	}
+	writeWG.Wait()
+	stop.Store(true)
+	readWG.Wait()
+
+	oracle := NewStore()
+	for _, batch := range entries {
+		for _, b := range batch {
+			oracle.Put(b)
+		}
+	}
+	const now = 100 * sim.Time(1)
+	oracle.Sweep(now)
+	s.Sweep(now)
+	if got, want := s.Len(), oracle.Len(); got != want {
+		t.Fatalf("after concurrent run: %d entries, oracle has %d", got, want)
+	}
+	for trial := 0; trial < 60; trial++ {
+		q := summary.Feature{float64(trial)/30 - 1, 0.05}
+		got := s.Candidates(q, 0.15, now, 1)
+		want := oracle.Candidates(q, 0.15, now, 1)
+		sortMatches(got)
+		sortMatches(want)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("trial %d: candidate sets diverged:\n%v\n%v", trial, got, want)
+		}
+	}
+	st := s.SnapStats()
+	if st.Epochs == 0 || st.CowCopied == 0 {
+		t.Fatalf("snapshot counters never moved: %+v", st)
+	}
+}
+
+// TestSnapshotStaleReadIsImmutable is the stale-epoch regression test: a
+// snapshot pointer captured before a burst of mutations must keep
+// describing exactly the state it was published with. This guards the
+// in-place tail-append invariant — a writer may extend the shared tail
+// backing past a published snapshot's length, but must never write inside
+// it. A bug there would show up here as the stale walk seeing entries (or
+// corner coordinates) from the future.
+func TestSnapshotStaleReadIsImmutable(t *testing.T) {
+	s := NewShardedStore(1)
+	for i := 0; i < 10; i++ {
+		l1 := float64(i) * 0.01
+		s.Put(mbrAt("old", uint64(i), summary.Feature{l1, 0}, summary.Feature{l1 + 0.005, 0.1}, 0))
+	}
+	sh := &s.shards[0]
+	stale := sh.snap.Load()
+	staleEpoch := stale.epoch
+	wantLen := len(stale.lo1) + len(stale.tLo1)
+	if wantLen != 10 {
+		t.Fatalf("stale snapshot holds %d entries, want 10", wantLen)
+	}
+	q := summary.Feature{0.04, 0.05}
+	wantMatches, _, _ := stale.appendCandidates(nil, 0, q, q[0], 0.1, 0, 1)
+
+	// Mutate heavily: more puts into the same band (in-place tail appends
+	// and merges), an expiring entry plus a walk to trigger compaction,
+	// and a sweep.
+	for i := 0; i < 200; i++ {
+		l1 := float64(i%20) * 0.005
+		s.Put(mbrAt("new", uint64(i), summary.Feature{l1, 0}, summary.Feature{l1 + 0.005, 0.1}, 0))
+	}
+	s.Put(mbrAt("dying", 0, summary.Feature{0.04, 0}, summary.Feature{0.05, 0.1}, sim.Second))
+	s.Candidates(q, 0.1, 2*sim.Second, 1) // sees the expired entry -> compacts
+	s.Sweep(2 * sim.Second)
+
+	if e := sh.snap.Load().epoch; e <= staleEpoch {
+		t.Fatalf("epoch did not advance under mutation: %d -> %d", staleEpoch, e)
+	}
+	if got := len(stale.lo1) + len(stale.tLo1); got != wantLen {
+		t.Fatalf("stale snapshot length changed under mutation: %d -> %d", wantLen, got)
+	}
+	gotMatches, _, _ := stale.appendCandidates(nil, 0, q, q[0], 0.1, 0, 1)
+	sortMatches(wantMatches)
+	sortMatches(gotMatches)
+	if fmt.Sprint(gotMatches) != fmt.Sprint(wantMatches) {
+		t.Fatalf("stale snapshot walk changed under mutation:\nbefore %v\nafter  %v", wantMatches, gotMatches)
+	}
+	for _, m := range gotMatches {
+		if m.StreamID != "old" {
+			t.Fatalf("stale walk surfaced an entry from the future: %+v", m)
+		}
+	}
+}
+
+// TestSnapshotEpochAndCowCounters sanity-checks the SnapStats surface the
+// node exposes over STATS: every Put publishes (epoch bump), merges happen
+// every tailMax inserts on the live store, while the exclusive simulator
+// store inserts in place — no merges, no COW, no tail.
+func TestSnapshotEpochAndCowCounters(t *testing.T) {
+	live := NewShardedStore(1)
+	// A merge fires on the put that finds the tail full: after
+	// 2*tailMax+2 puts exactly two tails have filled and merged.
+	n := 2*storeTailMax + 2
+	for i := 0; i < n; i++ {
+		live.Put(mbrAt("s", uint64(i), summary.Feature{0.1}, summary.Feature{0.2}, 0))
+	}
+	st := live.SnapStats()
+	if st.Epochs != int64(n) {
+		t.Fatalf("live Epochs = %d, want %d", st.Epochs, n)
+	}
+	if st.Merges != 2 {
+		t.Fatalf("live Merges = %d, want 2 (one per full tail)", st.Merges)
+	}
+
+	simStore := NewStore()
+	for i := 0; i < 5; i++ {
+		simStore.Put(mbrAt("s", uint64(i), summary.Feature{0.1}, summary.Feature{0.2}, 0))
+	}
+	st = simStore.SnapStats()
+	if st.Epochs != 5 {
+		t.Fatalf("sim Epochs = %d, want 5 (one per Put)", st.Epochs)
+	}
+	if st.Merges != 0 || st.CowCopied != 0 {
+		t.Fatalf("sim store copied on write (merges %d, cow %d); exclusive mode must insert in place", st.Merges, st.CowCopied)
+	}
+	if n := len(simStore.shards[0].snap.Load().tLo1); n != 0 {
+		t.Fatalf("sim store deferred %d entries to a tail; order fidelity requires none", n)
+	}
+}

@@ -1,0 +1,43 @@
+package metrics
+
+import "testing"
+
+func TestDataPlaneArenaHitRate(t *testing.T) {
+	cases := []struct {
+		carves, refills int64
+		want            float64
+	}{
+		{0, 0, 1},
+		{100, 0, 1},
+		{100, 1, 0.99},
+		{100, 100, 0},
+	}
+	for _, tc := range cases {
+		d := DataPlane{ArenaCarves: tc.carves, ArenaRefills: tc.refills}
+		if got := d.ArenaHitRate(); got != tc.want {
+			t.Errorf("hit rate with %d carves / %d refills = %v, want %v",
+				tc.carves, tc.refills, got, tc.want)
+		}
+	}
+}
+
+func TestDataPlaneSub(t *testing.T) {
+	now := DataPlane{
+		StoreEpochs: 10, StoreCowCopied: 20, StoreMerges: 3,
+		ArenaCarves: 100, ArenaRefills: 2, ArenaInternHits: 50, ArenaInternMisses: 5,
+		UDPSent: 7, UDPRecv: 6, UDPFallback: 1,
+	}
+	prev := DataPlane{
+		StoreEpochs: 4, StoreCowCopied: 8, StoreMerges: 1,
+		ArenaCarves: 40, ArenaRefills: 1, ArenaInternHits: 20, ArenaInternMisses: 2,
+		UDPSent: 3, UDPRecv: 2, UDPFallback: 0,
+	}
+	want := DataPlane{
+		StoreEpochs: 6, StoreCowCopied: 12, StoreMerges: 2,
+		ArenaCarves: 60, ArenaRefills: 1, ArenaInternHits: 30, ArenaInternMisses: 3,
+		UDPSent: 4, UDPRecv: 4, UDPFallback: 1,
+	}
+	if got := now.Sub(prev); got != want {
+		t.Fatalf("Sub = %+v, want %+v", got, want)
+	}
+}

@@ -71,6 +71,14 @@ type Config struct {
 	Workers int
 	// PoolQueueLen bounds the worker pool's task queue (0 → 64 per worker).
 	PoolQueueLen int
+	// UDP enables the fire-and-forget datagram plane (udp.go): a UDP
+	// socket bound to the TCP listener's port, used for frames whose kind
+	// appears in DatagramKinds and that fit in one datagram.
+	UDP bool
+	// DatagramKinds nominates the message kinds eligible for datagram
+	// transport. Only loss-tolerant soft state belongs here (the
+	// middleware nominates KindMBR); everything else stays on TCP.
+	DatagramKinds []dht.Kind
 }
 
 // DefaultConfig returns production-shaped defaults for the given identity.
@@ -110,11 +118,20 @@ type Node struct {
 	// when Config.Workers < 0 (everything posts to the loop).
 	pool *workerPool
 
+	// udp is the optional datagram plane (udp.go); nil unless Config.UDP.
+	// udpKinds is frozen at construction, read lock-free by senders.
+	udp      *udpPlane
+	udpKinds map[dht.Kind]bool
+
 	// Application attachment. Stored atomically (boxed, so differing
 	// concrete types are fine) because data-plane workers read them
 	// concurrently with the loop installing them.
 	app atomic.Value // appBox
 	obs atomic.Value // obsBox
+
+	// arenaStats aggregates decode-arena activity across every reader's
+	// arena (and the UDP read loop's).
+	arenaStats wire.ArenaStats
 
 	dropped atomic.Int64
 	closed  atomic.Bool
@@ -190,6 +207,19 @@ func New(cfg Config) (*Node, error) {
 		StabilizeEvery:  sim.Time(cfg.StabilizeEvery),
 		FixFingersEvery: sim.Time(cfg.FixFingersEvery),
 	}, n.self, n.clk, n.sendRing)
+	// The datagram plane starts last: its receive loop routes through the
+	// ring view, so every field above must be published before the first
+	// datagram can arrive.
+	if cfg.UDP {
+		n.udpKinds = make(map[dht.Kind]bool, len(cfg.DatagramKinds))
+		for _, k := range cfg.DatagramKinds {
+			n.udpKinds[k] = true
+		}
+		if err := n.startUDP(); err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("transport: udp on %s: %w", n.self.Addr, err)
+		}
+	}
 	go n.acceptLoop()
 	return n, nil
 }
@@ -211,6 +241,7 @@ func (n *Node) Close() {
 	}
 	n.ln.Close()
 	<-n.accDone
+	n.stopUDP()
 	if n.pool != nil {
 		// Drain the data plane first: in-flight workers may still post to
 		// the loop or transmit to peers, both of which are still up.
@@ -405,6 +436,9 @@ func (n *Node) transmitApp(to Ref, msg *dht.Message, typ byte) {
 	f.finish()
 	msg.Bytes = len(f.b) - frameOverhead
 	n.observer().OnTransmit(n.self.ID, to.ID, msg)
+	if n.datagramEligible(msg.Kind) && n.sendDatagram(to, f) {
+		return
+	}
 	n.peers.send(to.Addr, f)
 }
 
@@ -414,6 +448,10 @@ func (n *Node) transmitApp(to Ref, msg *dht.Message, typ byte) {
 func (n *Node) WriteStats() (frames, flushes int64) {
 	return n.peers.stats.frames.Load(), n.peers.stats.flushes.Load()
 }
+
+// ArenaStats reports the decode arenas' cumulative carve/refill and
+// string-intern counters, aggregated over all reader loops.
+func (n *Node) ArenaStats() wire.ArenaStatsSnapshot { return n.arenaStats.Load() }
 
 // --- inbound ---
 
@@ -433,10 +471,14 @@ func (n *Node) acceptLoop() {
 // objects, no shared state); all interpretation happens on-loop. The
 // reader reuses one buffered reader and one body buffer for the whole
 // connection — decoders copy what they keep, so the buffer is free again
-// by the next frame.
+// by the next frame. Data-plane decodes carve their objects out of a
+// per-connection arena (wire.UnmarshalArena): bump-pointer copies into
+// chunked storage instead of per-frame heap objects, retiring the
+// per-frame body-copy allocations while keeping the no-aliasing contract.
 func (n *Node) readLoop(conn net.Conn) {
 	defer conn.Close()
 	fr := newFrameReader(conn)
+	ar := wire.NewArena(&n.arenaStats)
 	for {
 		typ, body, err := fr.next()
 		if err != nil {
@@ -444,7 +486,7 @@ func (n *Node) readLoop(conn net.Conn) {
 		}
 		switch typ {
 		case frameRouted, frameDirect:
-			msg, err := wire.Unmarshal(body)
+			msg, err := wire.UnmarshalArena(body, ar)
 			if err != nil {
 				n.dropped.Add(1)
 				continue

@@ -10,13 +10,17 @@
 package transport_test
 
 import (
+	"bytes"
 	"math/rand"
 	"runtime"
+	"runtime/pprof"
+	"strings"
 	"testing"
 	"time"
 
 	"streamdex/internal/core"
 	"streamdex/internal/dht"
+	"streamdex/internal/query"
 	"streamdex/internal/sim"
 	"streamdex/internal/summary"
 	"streamdex/internal/transport"
@@ -28,6 +32,11 @@ func TestParallelLoopbackSmoke(t *testing.T) {
 	}
 	prev := runtime.GOMAXPROCS(4)
 	defer runtime.GOMAXPROCS(prev)
+
+	// Record every lock-contention event while the test runs: the match
+	// walk is asserted lock-free below by grepping the mutex profile.
+	prevMutex := runtime.SetMutexProfileFraction(1)
+	defer runtime.SetMutexProfileFraction(prevMutex)
 
 	space := dht.NewSpace(16)
 	ids := []dht.Key{10_000, 40_000}
@@ -88,6 +97,29 @@ func TestParallelLoopbackSmoke(t *testing.T) {
 	const nFrames = 2000
 	target := mws[1].DataCenter(ids[1])
 	basePuts, _ := target.Store().Stats()
+
+	// Hammer the lock-free match walk concurrently with ingest for the
+	// whole pump: these walks must never block on a shard mutex, which the
+	// mutex profile verifies after the fact. None of the pumped MBRs ever
+	// expire, so the compact-on-expired writer path stays silent too.
+	stopMatch := make(chan struct{})
+	matchWalks := make(chan int64, 1)
+	go func() {
+		var scratch []query.Match
+		var walks int64
+		probe := summary.Feature{0, 0, 0}
+		for {
+			select {
+			case <-stopMatch:
+				matchWalks <- walks
+				return
+			default:
+			}
+			scratch = target.Store().AppendCandidates(scratch[:0], probe, 0.25, 1, ids[1])
+			walks++
+		}
+	}()
+
 	sent := 0
 	for sent < nFrames {
 		k := 256
@@ -124,6 +156,42 @@ func TestParallelLoopbackSmoke(t *testing.T) {
 	}
 	if ps.Submitted < nFrames {
 		t.Fatalf("pool ran %d tasks, want at least the %d data frames", ps.Submitted, nFrames)
+	}
+
+	close(stopMatch)
+	if walks := <-matchWalks; walks == 0 {
+		t.Fatal("match goroutine never completed a walk")
+	}
+
+	// The walk is lock-free: no AppendCandidates (or its compact helper)
+	// frame may appear in the contention profile, no matter how hard the
+	// writers hammered the store meanwhile.
+	var buf bytes.Buffer
+	if err := pprof.Lookup("mutex").WriteTo(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	prof := buf.String()
+	for _, frame := range []string{"AppendCandidates", "appendCandidates", "compactBand"} {
+		if strings.Contains(prof, frame) {
+			t.Fatalf("mutex profile shows lock contention on the match walk (%s):\n%s", frame, prof)
+		}
+	}
+
+	// Every Put publishes a snapshot epoch; the receiver decoded every
+	// frame through its connection arena, so carves amortize to a high
+	// pool hit rate and the shared stream id interns after the first miss.
+	if ss := target.Store().SnapStats(); ss.Epochs < nFrames {
+		t.Fatalf("store published %d epochs, want at least the %d puts", ss.Epochs, nFrames)
+	}
+	as := nodes[1].ArenaStats()
+	if as.Carves == 0 {
+		t.Fatal("receiver decoded no frames through arenas")
+	}
+	if hr := as.HitRate(); hr < 0.9 {
+		t.Fatalf("arena pool hit rate %.3f, want >= 0.9 (stats %+v)", hr, as)
+	}
+	if as.InternHits == 0 {
+		t.Fatal("shared stream id never hit the intern table")
 	}
 }
 

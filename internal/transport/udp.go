@@ -1,0 +1,171 @@
+package transport
+
+// Optional UDP datagram plane for fire-and-forget publishes.
+//
+// The paper's MBR replication is soft state: every rectangle is re-derived
+// from the stream within beta vectors and expires after BSPAN anyway, so a
+// lost publish costs a transient recall dip, not correctness — exactly the
+// trade Kademlia makes by running its whole protocol over UDP. With -udp
+// enabled, frames whose message kind the application nominated as
+// datagram-eligible (adidas-node nominates KindMBR) and that fit in one
+// MTU-safe datagram skip the TCP stream entirely: no queue, no head-of-
+// line blocking behind large query responses, no writev scheduling — one
+// sendto per publish. Everything else — ring control, queries, notifies,
+// responses, oversized MBRs — stays on TCP, where loss would hurt.
+//
+// A datagram is the TCP frame minus the length prefix:
+//
+//	1 byte frame type | wire.Marshal body
+//
+// and is received on the same port the node's TCP listener is bound to, so
+// a peer's dial address identifies both planes. The receive loop decodes
+// into a per-loop arena (UnmarshalArena) like any TCP reader; decoded
+// objects never alias the packet buffer, and the read path applies the
+// kernel's natural backpressure: if the data-plane pool is saturated the
+// loop parks and excess datagrams die in the socket buffer — the designed
+// loss mode, counted by the kernel, never a corrupted frame.
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"streamdex/internal/dht"
+	"streamdex/internal/wire"
+)
+
+// maxDatagramBody caps the frame body (type byte + wire body) a node will
+// send as one datagram: conservative single-MTU payload so the kernel
+// never fragments. Larger eligible frames silently fall back to TCP.
+const maxDatagramBody = 1400
+
+// udpPlane is the node's datagram side: one socket bound to the TCP
+// listener's port, a resolved-address cache keyed by dial address, and
+// delivery counters.
+type udpPlane struct {
+	conn  *net.UDPConn
+	addrs sync.Map // string dial addr -> *net.UDPAddr
+
+	sent     atomic.Int64 // datagrams written
+	recv     atomic.Int64 // datagrams received and dispatched
+	fallback atomic.Int64 // eligible frames sent over TCP (size/resolve)
+
+	done chan struct{}
+}
+
+// UDPStats reports the datagram plane's counters (zeros when disabled):
+// datagrams sent, received, and eligible frames that fell back to TCP.
+func (n *Node) UDPStats() (sent, recv, fallback int64) {
+	if n.udp == nil {
+		return 0, 0, 0
+	}
+	return n.udp.sent.Load(), n.udp.recv.Load(), n.udp.fallback.Load()
+}
+
+// startUDP binds the datagram socket to the node's resolved listen port
+// and starts the receive loop.
+func (n *Node) startUDP() error {
+	addr, err := net.ResolveUDPAddr("udp", n.self.Addr)
+	if err != nil {
+		return err
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return err
+	}
+	n.udp = &udpPlane{conn: conn, done: make(chan struct{})}
+	go n.udpReadLoop()
+	return nil
+}
+
+// stopUDP closes the socket and waits for the receive loop to exit.
+func (n *Node) stopUDP() {
+	if n.udp == nil {
+		return
+	}
+	n.udp.conn.Close()
+	<-n.udp.done
+}
+
+// datagramEligible reports whether a frame of this kind may travel as a
+// datagram (the application nominated the kind and UDP is up).
+func (n *Node) datagramEligible(kind dht.Kind) bool {
+	return n.udp != nil && n.udpKinds[kind]
+}
+
+// sendDatagram attempts to put an encoded frame on the wire as one
+// datagram: f.b is the pooled TCP frame (length prefix + type + body); the
+// datagram drops the 4-byte length prefix. Returns false — caller falls
+// back to TCP — when the body exceeds the MTU budget or the address does
+// not resolve. The frame buffer is recycled on success.
+func (n *Node) sendDatagram(to Ref, f *frameBuf) bool {
+	body := f.b[4:] // type byte + wire body
+	if len(body) > maxDatagramBody {
+		n.udp.fallback.Add(1)
+		return false
+	}
+	var addr *net.UDPAddr
+	if v, ok := n.udp.addrs.Load(to.Addr); ok {
+		addr = v.(*net.UDPAddr)
+	} else {
+		resolved, err := net.ResolveUDPAddr("udp", to.Addr)
+		if err != nil {
+			n.udp.fallback.Add(1)
+			return false
+		}
+		n.udp.addrs.Store(to.Addr, resolved)
+		addr = resolved
+	}
+	// Fire and forget: a send error (e.g. ICMP-reported unreachable) is
+	// indistinguishable from in-flight loss for soft state; don't retry
+	// over TCP, the next publish supersedes this one anyway.
+	n.udp.conn.WriteToUDP(body, addr)
+	n.udp.sent.Add(1)
+	f.recycle()
+	return true
+}
+
+// udpReadLoop receives datagrams and dispatches them exactly like a TCP
+// reader dispatches frames: decode off-loop into a per-loop arena, then
+// hand data frames to the worker pool (or the run loop).
+func (n *Node) udpReadLoop() {
+	defer close(n.udp.done)
+	buf := make([]byte, 64<<10)
+	ar := wire.NewArena(&n.arenaStats)
+	for {
+		sz, _, err := n.udp.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		if sz < 1 {
+			continue
+		}
+		if n.dispatchDatagram(buf[0], buf[1:sz], ar) {
+			n.udp.recv.Add(1)
+		} else {
+			n.dropped.Add(1)
+		}
+	}
+}
+
+// dispatchDatagram decodes and routes one datagram body. Split out (and
+// returning success) so the fuzz harness can drive the exact receive path
+// without a socket.
+func (n *Node) dispatchDatagram(typ byte, body []byte, ar *wire.Arena) bool {
+	switch typ {
+	case frameRouted, frameDirect:
+		msg, err := wire.UnmarshalArena(body, ar)
+		if err != nil {
+			return false
+		}
+		direct := typ == frameDirect
+		if n.pool != nil {
+			return n.pool.Submit(func() { n.onDataFrame(msg, direct) })
+		}
+		return n.clk.Post(func() { n.onAppFrame(msg, direct) })
+	default:
+		// Control frames never travel over UDP (loss there would stall
+		// ring convergence); unknown types are skipped like on TCP.
+		return false
+	}
+}

@@ -1,0 +1,84 @@
+package transport
+
+import (
+	"testing"
+
+	"streamdex/internal/core"
+	"streamdex/internal/dht"
+	"streamdex/internal/query"
+	"streamdex/internal/summary"
+	"streamdex/internal/wire"
+)
+
+// fuzzSeedMessages covers every packed data-plane payload kind, so the
+// fuzzer starts from well-formed frames of all nine codecs and mutates
+// from there.
+func fuzzSeedMessages() []*dht.Message {
+	mbr := &summary.MBR{
+		Lo: summary.Feature{0.1, -0.2, 0.3}, Hi: summary.Feature{0.2, -0.1, 0.4},
+		StreamID: "fuzz-stream", Seq: 9, Count: 25, Created: 100, Expiry: 5_000_100,
+	}
+	match := query.Match{StreamID: "fuzz-stream", Seq: 3, DistLB: 0.5, FoundAt: 7, Node: 11}
+	return []*dht.Message{
+		{Kind: core.KindMBR, Key: 1, Src: 2, Payload: core.MBRUpdate{MBR: mbr}},
+		{Kind: core.KindQuery, Key: 1, Src: 2, Payload: core.SimQuery{
+			MiddleKey: 42,
+			Q: &query.Similarity{ID: 5, Origin: 2, Feature: summary.Feature{0.5, 0.25},
+				Radius: 0.1, Posted: 1, Lifespan: 1000},
+		}},
+		{Kind: core.KindNotify, Key: 1, Src: 2, Payload: core.NotifyBatch{
+			Items: []core.NotifyItem{{QueryID: 5, MiddleKey: 42, ClientKey: 2,
+				Expiry: 9999, Matches: []query.Match{match}}},
+		}},
+		{Kind: core.KindResponse, Key: 1, Src: 2, Payload: core.ResponseMsg{
+			QueryID: 5, Matches: []query.Match{match},
+		}},
+		{Kind: core.KindLocPut, Key: 1, Src: 2, Payload: core.LocPut{StreamID: "fuzz-stream", Source: 2}},
+		{Kind: core.KindLocGet, Key: 1, Src: 2, Payload: core.LocGet{StreamID: "fuzz-stream", Requester: 2}},
+		{Kind: core.KindLocReply, Key: 1, Src: 2, Payload: core.LocReply{
+			StreamID: "fuzz-stream", Source: 2, Found: true,
+		}},
+		{Kind: core.KindIPSub, Key: 1, Src: 2, Payload: core.IPSub{
+			Q: &query.InnerProduct{ID: 6, Origin: 2, StreamID: "fuzz-stream",
+				Index: []int{0, 2}, Weights: []float64{0.5, -0.5}, Posted: 1, Lifespan: 1000},
+		}},
+		{Kind: core.KindIPResp, Key: 1, Src: 2, Payload: core.IPResp{
+			QueryID: 6, Value: query.IPValue{Value: 1.5, At: 9, Approx: true},
+		}},
+	}
+}
+
+// FuzzDatagramDecode drives the exact UDP receive path — frame-type
+// dispatch, arena unmarshal, pool hand-off — on one live node with
+// arbitrary datagram bytes. The invariant is simply "never panic, never
+// corrupt": malformed datagrams must be rejected (return false) or decode
+// into a well-formed message; either way the node stays up.
+func FuzzDatagramDecode(f *testing.F) {
+	cfg := DefaultConfig(1, "127.0.0.1:0")
+	cfg.Space = dht.NewSpace(16)
+	n, err := New(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(n.Close)
+
+	for _, msg := range fuzzSeedMessages() {
+		body, err := wire.Marshal(msg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(append([]byte{frameRouted}, body...))
+		f.Add(append([]byte{frameDirect}, body...))
+	}
+	f.Add([]byte{frameControl, 1, 2, 3}) // control never travels UDP: rejected
+	f.Add([]byte{0})
+	f.Add([]byte{frameRouted})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return // a zero-size datagram never reaches dispatch
+		}
+		ar := wire.NewArena(nil)
+		n.dispatchDatagram(data[0], data[1:], ar)
+	})
+}

@@ -1,0 +1,103 @@
+// Integration test of the optional UDP datagram plane: two real nodes,
+// MBR publishes riding datagrams while ring control and everything else
+// stays on TCP.
+package transport_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"streamdex/internal/core"
+	"streamdex/internal/dht"
+	"streamdex/internal/sim"
+	"streamdex/internal/summary"
+	"streamdex/internal/transport"
+)
+
+func TestUDPLoopbackIngest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second wall-clock integration test")
+	}
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	space := dht.NewSpace(16)
+	ids := []dht.Key{10_000, 40_000}
+	nodes := make([]*transport.Node, len(ids))
+	for i, id := range ids {
+		tc := transport.DefaultConfig(id, "127.0.0.1:0")
+		tc.Space = space
+		tc.QueueLen = 4096
+		tc.Workers = 2
+		tc.UDP = true
+		tc.DatagramKinds = []dht.Kind{core.KindMBR}
+		n, err := transport.New(tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		nodes[i] = n
+	}
+	// Ring formation runs entirely over TCP: datagrams carry only the
+	// nominated data kind, so join/stabilize must converge as always.
+	nodes[0].Create()
+	if err := nodes[1].Join(nodes[0].Addr(), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitRingConverged(t, nodes, ids)
+
+	ccfg := core.DefaultConfig()
+	ccfg.Space = space
+	ccfg.StoreShards = 4
+	mws := make([]*core.Middleware, len(nodes))
+	for i, n := range nodes {
+		var err error
+		n.Do(func() { mws[i], err = core.New(n, ccfg) })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Publish MBRs at the receiver's identifier. Datagram delivery is
+	// fire-and-forget — loss under socket-buffer overflow is the designed
+	// trade — so the assertion is loss-tolerant: at least 80% of the
+	// publishes must be indexed. On loopback, actual loss is rare.
+	const nFrames = 500
+	target := mws[1].DataCenter(ids[1])
+	basePuts, _ := target.Store().Stats()
+	for lo := 0; lo < nFrames; lo += 100 {
+		k := 100
+		lo := lo
+		nodes[0].Do(func() {
+			for i := 0; i < k; i++ {
+				f := summary.Feature{0.25, -0.5, 0.75}
+				b := summary.NewMBR("udp-smoke", uint64(lo+i), f)
+				b.Expiry = sim.Time(1) << 60
+				msg := &dht.Message{Kind: core.KindMBR, Payload: core.MBRUpdate{MBR: b}}
+				nodes[0].Send(ids[0], ids[1], msg)
+			}
+		})
+		time.Sleep(5 * time.Millisecond) // let the socket buffer drain
+	}
+	waitFor(t, 15*time.Second, "80% of UDP publishes to be indexed", func() bool {
+		puts, _ := target.Store().Stats()
+		return puts-basePuts >= nFrames*8/10
+	})
+
+	sent, _, fallback := nodes[0].UDPStats()
+	if sent == 0 {
+		t.Fatal("sender put no MBR publishes on the datagram plane")
+	}
+	_, recv, _ := nodes[1].UDPStats()
+	if recv == 0 {
+		t.Fatal("receiver dispatched no datagrams")
+	}
+	// Every publish fits one MTU and both addresses resolve, so nothing
+	// eligible should have fallen back to TCP.
+	if fallback != 0 {
+		t.Fatalf("%d eligible frames fell back to TCP", fallback)
+	}
+	t.Logf("udp: sent=%d recv=%d (loss %.1f%%)", sent, recv,
+		100*(1-float64(recv)/float64(sent)))
+}

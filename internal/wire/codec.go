@@ -155,10 +155,28 @@ func AppendMarshal(dst []byte, msg *dht.Message) ([]byte, error) {
 // is not retained: packed codecs and gob both copy what they keep, so
 // callers may reuse the buffer for the next frame.
 func Unmarshal(frame []byte) (*dht.Message, error) {
+	return unmarshal(frame, nil)
+}
+
+// UnmarshalArena is Unmarshal carving the decoded message — and, for
+// codecs implementing ArenaDecoder, its payload objects — out of the given
+// arena. Wire behavior is identical; only where the copies live changes.
+// The frame slice is still never aliased.
+func UnmarshalArena(frame []byte, a *Arena) (*dht.Message, error) {
+	return unmarshal(frame, a)
+}
+
+func unmarshal(frame []byte, a *Arena) (*dht.Message, error) {
 	if len(frame) < HeaderBytes {
 		return nil, fmt.Errorf("wire: frame of %d bytes, envelope needs %d", len(frame), HeaderBytes)
 	}
-	msg := &dht.Message{
+	var msg *dht.Message
+	if a != nil {
+		msg = a.Msg()
+	} else {
+		msg = &dht.Message{}
+	}
+	*msg = dht.Message{
 		Kind:       dht.Kind(frame[0]),
 		Key:        dht.Key(binary.BigEndian.Uint64(frame[1:9])),
 		Src:        dht.Key(binary.BigEndian.Uint64(frame[9:17])),
@@ -203,7 +221,13 @@ func Unmarshal(frame []byte) (*dht.Message, error) {
 		if codec == nil {
 			return nil, fmt.Errorf("wire: no codec registered for packed payload tag %d", tag)
 		}
-		p, err := codec.Decode(body[1:])
+		var p any
+		var err error
+		if ad, ok := codec.(ArenaDecoder); ok && a != nil {
+			p, err = ad.DecodeArena(body[1:], a)
+		} else {
+			p, err = codec.Decode(body[1:])
+		}
 		if err != nil {
 			return nil, fmt.Errorf("wire: decoding packed payload of kind %d: %w", msg.Kind, err)
 		}

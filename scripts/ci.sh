@@ -17,12 +17,21 @@
 #                        race detector, then the BENCH_3 parallelism rows
 #                        (the 2.5x speedup floor is enforced only on hosts
 #                        with >= 4 real cores)
-#   8. smoke bench     — BENCH_FAST=1 figure benchmarks, one iteration,
+#   8. udp fuzz smoke  — short native-fuzz run of the UDP datagram decode
+#                        path (type byte + wire body, no length prefix),
+#                        seeded with every packed payload kind
+#   9. zero-alloc guards — the lock-free snapshot walk, the candidate
+#                        append and the arena decode must stay
+#                        allocation-free on their steady state
+#  10. smoke bench     — BENCH_FAST=1 figure benchmarks, one iteration,
 #                        so an accidental O(N) regression in the hot paths
 #                        shows up as a CI timeout / obvious slowdown
-#   9. bench compare   — fresh BENCH_FAST JSON report diffed against the
+#  11. bench compare   — fresh BENCH_FAST JSON report diffed against the
 #                        committed BENCH_2.json, benchstat-style
-#                        (informational)
+#                        (informational), then the committed BENCH_3 vs
+#                        BENCH_4 parallelism reports with a 1.3x
+#                        store-match@4 floor (enforced only on hosts with
+#                        >= 4 real cores in both reports)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -71,6 +80,19 @@ GOMAXPROCS=4 go test -race -count=1 -run 'TestParallelLoopbackSmoke' ./internal/
 echo "== parallel data plane: BENCH_3 parallelism rows =="
 BENCH_FAST=1 go run ./cmd/adidas-bench -parallel "${TMPDIR:-/tmp}/streamdex-bench3.json" -minspeedup 2.5
 
+echo "== udp fuzz smoke (FuzzDatagramDecode, 10s) =="
+# Mutate raw datagrams (type byte + body) against the connectionless
+# decode path. Seeds cover every packed payload kind over both app frame
+# types plus control/unknown shapes that must be rejected, not crash.
+go test -run '^$' -fuzz 'FuzzDatagramDecode' -fuzztime "${FUZZ_TIME:-10s}" ./internal/transport
+
+echo "== zero-alloc guards (snapshot walk, candidate append, arena decode) =="
+# The lock-free read path is only lock-free if it also stays off the
+# allocator: a single alloc in the walk re-introduces GC coordination.
+go test -count=1 \
+    -run 'TestShardedStoreZeroAllocWalk|TestAppendCandidatesZeroAllocs|TestArenaDecodeZeroAllocAmortized' \
+    ./internal/core
+
 echo "== smoke bench (BENCH_FAST=1) =="
 BENCH_FAST=1 go test -run '^$' \
     -bench 'BenchmarkTable1Workload$|BenchmarkFig6aLoad$|BenchmarkFig7aOverhead$|BenchmarkFig8Hops$' \
@@ -82,5 +104,11 @@ echo "== bench comparison vs committed BENCH_2.json =="
 # wall-clock noise on shared CI runners is not a merge gate.
 BENCH_FAST=1 go run ./cmd/adidas-bench -bench "${TMPDIR:-/tmp}/streamdex-bench-new.json"
 go run ./cmd/adidas-bench -compare "BENCH_2.json,${TMPDIR:-/tmp}/streamdex-bench-new.json"
+
+echo "== parallelism comparison: BENCH_3 vs BENCH_4 =="
+# The committed multi-core reports, diffed row by row. The 1.3x
+# store-match@4 floor only binds when both reports come from hosts with
+# >= 4 real cores; under-cored runs print the table and stand down.
+go run ./cmd/adidas-bench -compare "BENCH_3.json,BENCH_4.json" -minratio store-match@4=1.3
 
 echo "CI OK"
