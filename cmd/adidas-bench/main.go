@@ -9,10 +9,11 @@
 //	adidas-bench -exp ablation-baselines -sizes 50,100 -measure 60
 //	adidas-bench -bench BENCH_1.json     # machine-readable figure benchmarks
 //	adidas-bench -parallel BENCH_4.json  # data-plane parallelism (GOMAXPROCS 1/4/8)
+//	adidas-bench -ops BENCH_5.json       # continuous-query operator throughput
 //	adidas-bench -compare old.json,new.json
 //	adidas-bench -compare BENCH_3.json,BENCH_4.json -minratio store-match@4=1.3
 //
-// Experiments: table1, fig3b, fig6a, fig6b, fig7a, fig7b, fig8,
+// Experiments: table1, fig3b, fig6a, fig6b, fig7a, fig7b, fig8, cqe,
 // ablation-multicast, ablation-baselines, ablation-batch,
 // ablation-adaptive, ablation-hierarchy, ablation-resilience,
 // ablation-treehops, ablation-bandwidth, ablation-substrates, all.
@@ -44,6 +45,7 @@ func main() {
 		radius   = flag.Float64("radius", 0.1, "similarity query radius for load/hop experiments")
 		bench    = flag.String("bench", "", "time the figure pipelines and write JSON results to this path ('-' = stdout)")
 		parallel = flag.String("parallel", "", "measure data-plane parallelism (GOMAXPROCS 1 vs 4) and write JSON to this path ('-' = stdout)")
+		opsBench = flag.String("ops", "", "measure continuous-query operator throughput (sub-match, sketch-fold, loopback-sub) and write JSON to this path ('-' = stdout)")
 		minSpeed = flag.Float64("minspeedup", 0, "with -parallel: fail unless match/loopback speed up by this factor (skipped when the host has fewer cores than procs)")
 		compare  = flag.String("compare", "", "compare two -bench or -parallel reports, given as OLD.json,NEW.json")
 		minRatio = flag.String("minratio", "", "with -compare on -parallel reports: fail unless new/old ops/sec meets the floors, e.g. store-match@4=1.3 (rows stand down on hosts with fewer cores than procs)")
@@ -59,6 +61,13 @@ func main() {
 	}
 	if *parallel != "" {
 		if err := runParallelBench(*parallel, *seed, *minSpeed); err != nil {
+			fmt.Fprintf(os.Stderr, "adidas-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *opsBench != "" {
+		if err := runOpsBench(*opsBench, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "adidas-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -148,6 +157,14 @@ func run(exp, sizesFlag string, base workload.Config, workers int) error {
 			return err
 		}
 		show(experiments.Fig8(rows))
+		ran = true
+	}
+	if want("cqe") {
+		rows, err := experiments.CQELoad(overheadSizes, base, workers)
+		if err != nil {
+			return err
+		}
+		show(experiments.FigCQE(rows))
 		ran = true
 	}
 	if want("ablation-multicast") {

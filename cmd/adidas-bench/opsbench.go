@@ -1,0 +1,298 @@
+package main
+
+// Operator benchmark mode. `adidas-bench -ops out.json` measures the
+// continuous-query engine's data plane at GOMAXPROCS 1, 4 and 8 and writes
+// the rows as JSON in the same streamdex-parbench schema as -parallel, so
+// `-compare BENCH_4.json,BENCH_5.json` diffs the shared store rows and
+// shows the operator rows alongside (the committed BENCH_5.json at the
+// repo root). Five workloads:
+//
+//	store-match   parallel candidate walks (identical harness to -parallel,
+//	              so the compare floor proves the operator hooks did not
+//	              tax the similarity path)
+//	store-ingest  parallel sorted inserts (same rationale)
+//	sub-match     parallel overlap walks over a preloaded store — the
+//	              standing subscription's registration recovery scan
+//	sketch-fold   windowed-sketch ingestion plus periodic merge, the
+//	              aggregate operator's absorb path
+//	loopback-sub  end-to-end MBR publishes between two real TCP nodes, the
+//	              receiver matching each against live standing
+//	              subscriptions on its data-plane workers
+//
+// BENCH_FAST=1 shrinks the operation counts for smoke runs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"streamdex/internal/core"
+	"streamdex/internal/cqe"
+	"streamdex/internal/dht"
+	"streamdex/internal/query"
+	"streamdex/internal/sim"
+	"streamdex/internal/summary"
+	"streamdex/internal/transport"
+)
+
+func runOpsBench(outPath string, seed int64) error {
+	if outPath != "-" {
+		f, err := os.OpenFile(outPath, os.O_WRONLY|os.O_CREATE, 0o644)
+		if err != nil {
+			return err
+		}
+		f.Close()
+	}
+	fast := os.Getenv("BENCH_FAST") != ""
+	sc := parScale{preload: 20000, walks: 50000, puts: 200000, frames: 30000, queries: 32, shards: 16, loopback: true}
+	if fast {
+		sc = parScale{preload: 2000, walks: 5000, puts: 20000, frames: 4000, queries: 8, shards: 16, loopback: true}
+	}
+
+	procs := []int{1, 4, 8}
+	rep := parReport{
+		Schema:    "streamdex-parbench/1",
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		Fast:      fast,
+		Seed:      seed,
+		Parallelism: parSection{
+			Procs:    procs,
+			Speedups: make(map[string]float64),
+		},
+	}
+	if rep.CPUs < procs[len(procs)-1] {
+		rep.Parallelism.Note = fmt.Sprintf(
+			"host has %d CPU(s): rows above gomaxprocs=%d share cores, so their speedup cannot exceed 1",
+			rep.CPUs, rep.CPUs)
+	}
+
+	perProc := make(map[string]map[int]float64)
+	record := func(name string, p int, ops int64, elapsed time.Duration) {
+		r := parRow{Name: name, GOMAXPROCS: p, Ops: ops}
+		if ops > 0 {
+			r.NsPerOp = float64(elapsed.Nanoseconds()) / float64(ops)
+		}
+		if s := elapsed.Seconds(); s > 0 {
+			r.OpsPerSec = float64(ops) / s
+		}
+		rep.Parallelism.Rows = append(rep.Parallelism.Rows, r)
+		if perProc[name] == nil {
+			perProc[name] = make(map[int]float64)
+		}
+		perProc[name][p] = r.OpsPerSec
+		fmt.Fprintf(os.Stderr, "%-14s gomaxprocs=%d %12.0f ns/op %12.0f ops/sec\n",
+			name, p, r.NsPerOp, r.OpsPerSec)
+	}
+
+	for _, p := range procs {
+		prev := runtime.GOMAXPROCS(p)
+		ops, el := benchStoreMatch(sc, p, seed)
+		record("store-match", p, ops, el)
+		ops, el = benchStoreIngest(sc, p, seed)
+		record("store-ingest", p, ops, el)
+		ops, el = benchSubMatch(sc, p, seed)
+		record("sub-match", p, ops, el)
+		ops, el = benchSketchFold(sc, p, seed)
+		record("sketch-fold", p, ops, el)
+		if sc.loopback {
+			ops, el, err := benchLoopbackSub(sc, seed)
+			if err != nil {
+				runtime.GOMAXPROCS(prev)
+				return fmt.Errorf("loopback-sub at gomaxprocs=%d: %w", p, err)
+			}
+			record("loopback-sub", p, ops, el)
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+
+	last := procs[0]
+	for _, p := range procs {
+		if p <= rep.CPUs && p > last {
+			last = p
+		}
+	}
+	for name, by := range perProc {
+		if base := by[procs[0]]; base > 0 {
+			rep.Parallelism.Speedups[name] = by[last] / base
+		}
+	}
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if outPath == "-" {
+		_, err := os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(outPath, out, 0o644)
+}
+
+// benchSubMatch runs parallel overlap walks — the scan a standing
+// subscription performs on registration to recover already-stored MBRs —
+// over a preloaded sharded store, one goroutine per proc with reused
+// scratch buffers.
+func benchSubMatch(sc parScale, workers int, seed int64) (int64, time.Duration) {
+	st := core.NewShardedStore(sc.shards)
+	for _, b := range randomMBRs(sc.preload, seed) {
+		st.Put(b)
+	}
+	rng := rand.New(rand.NewSource(seed + 5))
+	type box struct{ lo, hi summary.Feature }
+	boxes := make([]box, sc.walks)
+	for i := range boxes {
+		lo := summary.Feature{rng.Float64()*2 - 1, rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+		w := rng.Float64()*0.2 + 0.05
+		boxes[i] = box{lo: lo, hi: summary.Feature{lo[0] + w, lo[1] + w, lo[2] + w}}
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var buf []query.Match
+			for i := w; i < len(boxes); i += workers {
+				buf = st.AppendOverlapping(buf[:0], boxes[i].lo, boxes[i].hi, 1, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return int64(sc.walks), time.Since(start)
+}
+
+// benchSketchFold times the aggregate operator's numeric path: windowed
+// sketch ingestion with a periodic clone-and-fold, per-goroutine state
+// exactly like per-stream sketches on the live node. Ops counts adds.
+func benchSketchFold(sc parScale, workers int, seed int64) (int64, time.Duration) {
+	adds := sc.puts
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + 6 + int64(w)))
+			sk := summary.NewSketch(5*sim.Second, 4, 8, 0, 1000)
+			fold := cqe.NewSketchFold()
+			seq := uint64(0)
+			for i := w; i < adds; i += workers {
+				sk.Add(sim.Time(i)*sim.Millisecond, rng.Float64()*1000)
+				if i%1024 == 0 {
+					seq++
+					fold.Absorb("s", seq, sk.Clone())
+					fold.Count(sim.Time(i) * sim.Millisecond)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return int64(adds), time.Since(start)
+}
+
+// benchLoopbackSub measures the end-to-end operator data plane: node A
+// pumps MBR publishes at node B over real TCP; B's worker pool indexes
+// each and matches it against live standing subscriptions (the pub/sub
+// operator's per-MBR hook). Ops is what the receiver indexed.
+func benchLoopbackSub(sc parScale, seed int64) (int64, time.Duration, error) {
+	space := dht.NewSpace(16)
+	ids := []dht.Key{10_000, 40_000}
+	nodes := make([]*transport.Node, len(ids))
+	for i, id := range ids {
+		tc := transport.DefaultConfig(id, "127.0.0.1:0")
+		tc.Space = space
+		tc.StabilizeEvery = 50_000
+		tc.FixFingersEvery = 50_000
+		tc.QueueLen = 4096
+		n, err := transport.New(tc)
+		if err != nil {
+			return 0, 0, err
+		}
+		defer n.Close()
+		nodes[i] = n
+	}
+	nodes[0].Create()
+	if err := nodes[1].Join(nodes[0].Addr(), 10*time.Second); err != nil {
+		return 0, 0, err
+	}
+	if err := waitConverged(nodes); err != nil {
+		return 0, 0, err
+	}
+
+	ccfg := core.DefaultConfig()
+	ccfg.Space = space
+	ccfg.StoreShards = sc.shards
+	mws := make([]*core.Middleware, len(nodes))
+	for i, n := range nodes {
+		var err error
+		n.Do(func() { mws[i], err = core.New(n, ccfg) })
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+
+	// Standing subscriptions for the receiver to match against: feature
+	// boxes across the space, wide enough that a fair share of publishes
+	// are genuine overlaps.
+	rng := rand.New(rand.NewSource(seed + 7))
+	for q := 0; q < sc.queries; q++ {
+		lo := summary.Feature{rng.Float64()*2 - 1, rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+		hi := summary.Feature{lo[0] + 0.4, lo[1] + 0.4, lo[2] + 0.4}
+		var err error
+		nodes[1].Do(func() {
+			_, err = mws[1].PostSubscription(ids[1], lo, hi, sim.Time(1)<<50)
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		subs := 0
+		for i := range nodes {
+			subs += mws[i].DataCenter(ids[i]).StandingSubCount()
+		}
+		if subs >= sc.queries {
+			break
+		}
+		if time.Now().After(deadline) {
+			return 0, 0, fmt.Errorf("only %d of %d standing subscriptions registered", subs, sc.queries)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	mbrs := randomMBRs(sc.frames, seed+8)
+	target := mws[1].DataCenter(ids[1])
+	basePuts, _ := target.Store().Stats()
+
+	const chunk = 256
+	sent := 0
+	start := time.Now()
+	for sent < len(mbrs) {
+		k := min(chunk, len(mbrs)-sent)
+		lo := sent
+		nodes[0].Do(func() {
+			for i := 0; i < k; i++ {
+				msg := &dht.Message{Kind: core.KindMBR, Payload: core.MBRUpdate{MBR: mbrs[lo+i]}}
+				nodes[0].Send(ids[0], ids[1], msg)
+			}
+		})
+		sent += k
+		for {
+			puts, _ := target.Store().Stats()
+			if puts-basePuts >= int64(sent) {
+				break
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	puts, _ := target.Store().Stats()
+	return puts - basePuts, time.Since(start), nil
+}

@@ -19,6 +19,16 @@
 //	MATCHES <query-id>                              matches received so far
 //	    -> MATCH <stream> <seq> <distLB>  (repeated)
 //	    -> END <count>
+//	SUB <lifespan-seconds> <lo1,...> <hi1,...>      standing predicate subscription
+//	    -> OK <sub-id>
+//	UNSUB <sub-id>                                  cancel a subscription
+//	SUBMATCHES <sub-id>                             matches pushed so far
+//	AGG <lo> <hi> <lifespan-seconds>                windowed aggregate over [lo, hi]
+//	    -> OK <agg-id>
+//	AGGRESULT <agg-id>                              merged count/median/streams
+//	TOPK <k> <lo> <hi> <lifespan-seconds>           top-k MBR frequency monitor
+//	    -> OK <topk-id>
+//	TOPKRESULT <topk-id>                            current ranking
 //	RING                                            ring pointers
 //	RINGSTATS                                       ring-maintenance counters
 //	STATS                                           data-plane counters (loop, pool, store, arenas, UDP)
@@ -44,44 +54,42 @@ import (
 
 	"streamdex/internal/core"
 	"streamdex/internal/dht"
-	"streamdex/internal/metrics"
-	"streamdex/internal/query"
 	"streamdex/internal/sim"
 	"streamdex/internal/stream"
-	"streamdex/internal/summary"
 	"streamdex/internal/transport"
 )
 
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:7001", "transport listen address")
-		api     = flag.String("api", "", "client API listen address (default: transport port + 1000)")
-		join    = flag.String("join", "", "bootstrap address of a running node (empty: create a new ring)")
-		idFlag  = flag.Uint64("id", 0, "ring identifier (default: hash of the listen address)")
-		mBits   = flag.Uint("m", 32, "identifier bits of the ring (must match across the cluster)")
-		streams = flag.Int("streams", 1, "number of random-walk streams to source locally")
-		window  = flag.Int("window", 256, "sliding window size (points)")
-		beta    = flag.Int("beta", 10, "MBR batching factor")
-		period  = flag.Duration("period", 200*time.Millisecond, "stream sampling period")
-		push    = flag.Duration("push", 2*time.Second, "push period (notify/response cycle)")
-		seed    = flag.Int64("seed", 1, "seed for stream generators and tick staggering")
-		workers = flag.Int("workers", 0, "data-plane worker goroutines (0: one per CPU, -1: serialize on the run loop)")
-		shards  = flag.Int("shards", 0, "MBR store shards (0: 4×GOMAXPROCS)")
-		udp     = flag.Bool("udp", false, "publish MBR updates as fire-and-forget UDP datagrams (ring control and queries stay on TCP)")
-		pprofAt = flag.String("pprof", "", "serve net/http/pprof on this address, with mutex and block profiling enabled")
+		listen   = flag.String("listen", "127.0.0.1:7001", "transport listen address")
+		api      = flag.String("api", "", "client API listen address (default: transport port + 1000)")
+		join     = flag.String("join", "", "bootstrap address of a running node (empty: create a new ring)")
+		idFlag   = flag.Uint64("id", 0, "ring identifier (default: hash of the listen address)")
+		mBits    = flag.Uint("m", 32, "identifier bits of the ring (must match across the cluster)")
+		streams  = flag.Int("streams", 1, "number of random-walk streams to source locally")
+		window   = flag.Int("window", 256, "sliding window size (points)")
+		beta     = flag.Int("beta", 10, "MBR batching factor")
+		period   = flag.Duration("period", 200*time.Millisecond, "stream sampling period")
+		push     = flag.Duration("push", 2*time.Second, "push period (notify/response cycle)")
+		seed     = flag.Int64("seed", 1, "seed for stream generators and tick staggering")
+		workers  = flag.Int("workers", 0, "data-plane worker goroutines (0: one per CPU, -1: serialize on the run loop)")
+		shards   = flag.Int("shards", 0, "MBR store shards (0: 4×GOMAXPROCS)")
+		udp      = flag.Bool("udp", false, "publish MBR updates as fire-and-forget UDP datagrams (ring control and queries stay on TCP)")
+		sketches = flag.Bool("sketches", true, "maintain windowed sketches per stream (required for AGG queries)")
+		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this address, with mutex and block profiling enabled")
 	)
 	flag.Parse()
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
 	log.SetPrefix("adidas-node ")
 
 	if err := run(*listen, *api, *join, *idFlag, *mBits, *streams, *window, *beta, *period, *push, *seed,
-		*workers, *shards, *udp, *pprofAt); err != nil {
+		*workers, *shards, *udp, *sketches, *pprofAt); err != nil {
 		log.Fatal(err)
 	}
 }
 
 func run(listen, api, join string, idFlag uint64, mBits uint, streams, window, beta int,
-	period, push time.Duration, seed int64, workers, shards int, udp bool, pprofAt string) error {
+	period, push time.Duration, seed int64, workers, shards int, udp, sketches bool, pprofAt string) error {
 	if streams < 0 || window < 2 || beta < 1 || period <= 0 || push <= 0 {
 		return fmt.Errorf("invalid stream/window/beta/period configuration")
 	}
@@ -151,6 +159,7 @@ func run(listen, api, join string, idFlag uint64, mBits uint, streams, window, b
 	ccfg.PushPeriod = sim.Time(push / time.Microsecond)
 	ccfg.Seed = seed
 	ccfg.StoreShards = shards // resolved by validateDataPlane
+	ccfg.Sketches = sketches
 
 	var mw *core.Middleware
 	node.Do(func() { mw, err = core.New(node, ccfg) })
@@ -215,6 +224,7 @@ func serveAPI(ln net.Listener, node *transport.Node, mw *core.Middleware) {
 
 func serveConn(conn net.Conn, node *transport.Node, mw *core.Middleware) {
 	defer conn.Close()
+	sess := &apiSession{mw: mw, self: node.Self().ID, do: node.Do, node: node}
 	sc := bufio.NewScanner(conn)
 	w := bufio.NewWriter(conn)
 	reply := func(format string, args ...any) {
@@ -226,159 +236,8 @@ func serveConn(conn net.Conn, node *transport.Node, mw *core.Middleware) {
 		if len(fields) == 0 {
 			continue
 		}
-		switch strings.ToUpper(fields[0]) {
-		case "QUERY":
-			id, err := handleQuery(node, mw, fields[1:])
-			if err != nil {
-				reply("ERR %v", err)
-				continue
-			}
-			reply("OK %d", id)
-		case "MATCHES":
-			if len(fields) != 2 {
-				reply("ERR usage: MATCHES <query-id>")
-				continue
-			}
-			qid, err := strconv.ParseUint(fields[1], 10, 64)
-			if err != nil {
-				reply("ERR bad query id %q", fields[1])
-				continue
-			}
-			var matches []query.Match
-			node.Do(func() { matches = mw.SimilarityMatches(query.ID(qid)) })
-			for _, m := range matches {
-				reply("MATCH %s %d %g", m.StreamID, m.Seq, m.DistLB)
-			}
-			reply("END %d", len(matches))
-		case "RING":
-			info := node.Ring()
-			reply("SELF %d %s", info.Self.ID, info.Self.Addr)
-			if info.Pred != nil {
-				reply("PRED %d %s", info.Pred.ID, info.Pred.Addr)
-			}
-			for _, s := range info.SuccList {
-				reply("SUCC %d %s", s.ID, s.Addr)
-			}
-			reply("END")
-		case "RINGSTATS":
-			// Control-plane health: how hard maintenance is working and
-			// what it has had to repair (stabilize rounds/misses, successor
-			// rotations, predecessor drops, finger repairs, stale or
-			// TTL-dropped lookups).
-			s := node.RingStats()
-			reply("STABILIZE-ROUNDS %d", s.StabilizeRounds)
-			reply("STABILIZE-MISSES %d", s.StabilizeMisses)
-			reply("SUCC-ROTATIONS %d", s.SuccRotations)
-			reply("PRED-DROPS %d", s.PredDrops)
-			reply("FINGER-REPAIRS %d", s.FingerRepairs)
-			reply("STALE-FIND-RESPS %d", s.StaleFindResps)
-			reply("FIND-DROPS %d", s.FindDrops)
-			reply("END")
-		case "STATS":
-			// Data-plane health: run-loop queue saturation, worker-pool
-			// throughput/backpressure, and MBR store load.
-			ls := node.LoopStats()
-			reply("LOOP-POSTED %d", ls.Posted)
-			reply("LOOP-DEPTH %d", ls.Depth)
-			reply("LOOP-HIGH-WATER %d", ls.HighWater)
-			reply("LOOP-BLOCKED-POSTS %d", ls.BlockedPosts)
-			reply("LOOP-BLOCKED-NS %d", ls.BlockedNs)
-			ps := node.PoolStats()
-			reply("POOL-WORKERS %d", ps.Workers)
-			reply("POOL-SUBMITTED %d", ps.Submitted)
-			reply("POOL-INLINE %d", ps.Inline)
-			reply("POOL-DEPTH %d", ps.Depth)
-			reply("POOL-HIGH-WATER %d", ps.HighWater)
-			reply("POOL-BLOCKED-SUBS %d", ps.BlockedSubs)
-			reply("POOL-BLOCKED-NS %d", ps.BlockedNanos)
-			dc := mw.DataCenter(node.Self().ID)
-			puts, scanned := dc.Store().Stats()
-			reply("STORE-LEN %d", dc.Store().Len())
-			reply("STORE-PUTS %d", puts)
-			reply("STORE-SCANNED %d", scanned)
-			// Lock-free read path: snapshot publications, copy-on-write
-			// volume, decode-arena hit rate, and the UDP datagram plane.
-			dp := gatherDataPlane(node, dc)
-			reply("STORE-EPOCHS %d", dp.StoreEpochs)
-			reply("STORE-COW-COPIED %d", dp.StoreCowCopied)
-			reply("STORE-MERGES %d", dp.StoreMerges)
-			reply("ARENA-CARVES %d", dp.ArenaCarves)
-			reply("ARENA-REFILLS %d", dp.ArenaRefills)
-			reply("ARENA-HIT-RATE %.4f", dp.ArenaHitRate())
-			reply("ARENA-INTERN-HITS %d", dp.ArenaInternHits)
-			reply("ARENA-INTERN-MISSES %d", dp.ArenaInternMisses)
-			reply("UDP-SENT %d", dp.UDPSent)
-			reply("UDP-RECV %d", dp.UDPRecv)
-			reply("UDP-FALLBACK %d", dp.UDPFallback)
-			reply("SUBS %d", dc.SubCount())
-			reply("DROPPED %d", node.Dropped())
-			reply("END")
-		case "STREAMS":
-			var sids []string
-			node.Do(func() { sids = mw.DataCenter(node.Self().ID).StreamIDs() })
-			for _, sid := range sids {
-				reply("STREAM %s", sid)
-			}
-			reply("END %d", len(sids))
-		case "QUIT":
-			reply("BYE")
+		if sess.handle(reply, fields) {
 			return
-		default:
-			reply("ERR unknown command %q", fields[0])
 		}
 	}
-}
-
-// gatherDataPlane assembles the read-path counter snapshot from its three
-// sources: the MBR store's snapshot lifecycle, the transport's decode
-// arenas, and the UDP datagram plane.
-func gatherDataPlane(node *transport.Node, dc *core.DataCenter) metrics.DataPlane {
-	ss := dc.Store().SnapStats()
-	as := node.ArenaStats()
-	sent, recv, fb := node.UDPStats()
-	return metrics.DataPlane{
-		StoreEpochs:       ss.Epochs,
-		StoreCowCopied:    ss.CowCopied,
-		StoreMerges:       ss.Merges,
-		ArenaCarves:       as.Carves,
-		ArenaRefills:      as.Refills,
-		ArenaInternHits:   as.InternHits,
-		ArenaInternMisses: as.InternMisses,
-		UDPSent:           sent,
-		UDPRecv:           recv,
-		UDPFallback:       fb,
-	}
-}
-
-// handleQuery parses "QUERY <radius> <lifespan-seconds> <v1,v2,...>" and
-// posts the similarity query at this node.
-func handleQuery(node *transport.Node, mw *core.Middleware, args []string) (query.ID, error) {
-	if len(args) != 3 {
-		return 0, fmt.Errorf("usage: QUERY <radius> <lifespan-seconds> <v1,v2,...>")
-	}
-	radius, err := strconv.ParseFloat(args[0], 64)
-	if err != nil {
-		return 0, fmt.Errorf("bad radius %q", args[0])
-	}
-	lifeSecs, err := strconv.ParseFloat(args[1], 64)
-	if err != nil || lifeSecs <= 0 {
-		return 0, fmt.Errorf("bad lifespan %q", args[1])
-	}
-	parts := strings.Split(args[2], ",")
-	dims := mw.Config().FeatureDims
-	if len(parts) != dims {
-		return 0, fmt.Errorf("feature has %d dims, middleware uses %d", len(parts), dims)
-	}
-	f := make(summary.Feature, dims)
-	for i, p := range parts {
-		if f[i], err = strconv.ParseFloat(strings.TrimSpace(p), 64); err != nil {
-			return 0, fmt.Errorf("bad feature coordinate %q", p)
-		}
-	}
-	var qid query.ID
-	var qerr error
-	node.Do(func() {
-		qid, qerr = mw.PostSimilarity(node.Self().ID, f, radius, sim.Time(lifeSecs*float64(sim.Second)))
-	})
-	return qid, qerr
 }

@@ -277,6 +277,43 @@ func TestRangeMulticastWholeRing(t *testing.T) {
 	}
 }
 
+// TestRangeMulticastFullRingAlignedBoundary covers the degenerate arc the
+// continuous-query operators produce for an unbounded coordinate range
+// (mapper.Range clamps to [0, 2^m-1]): both boundaries fall inside the
+// SAME node's interval — the one wrapping through zero — so a stop
+// condition of "this node covers the high boundary" would end the walk at
+// its very first node. Every node must still be reached; the boundary
+// node may legitimately see the message twice (delivery is idempotent).
+func TestRangeMulticastFullRingAlignedBoundary(t *testing.T) {
+	for _, mode := range []dht.RangeMode{dht.RangeSequential, dht.RangeBidirectional, dht.RangeTree} {
+		eng, net := paperRing(t)
+		visited := map[dht.Key]int{}
+		for _, id := range net.NodeIDs() {
+			net.SetApp(id, dht.AppFunc(func(self dht.Key, msg *dht.Message) {
+				visited[self]++
+				dht.ContinueRange(net, self, msg)
+			}))
+		}
+		// [0, 31] on the m=5 ring: node 1 covers (23, 1] and therefore
+		// holds both boundaries.
+		dht.SendRange(net, 8, 0, 31, &dht.Message{}, mode)
+		eng.Run()
+		if len(visited) != net.Len() {
+			t.Fatalf("%v: visited %d nodes, want all %d", mode, len(visited), net.Len())
+		}
+		total := 0
+		for id, c := range visited {
+			total += c
+			if c > 2 {
+				t.Fatalf("%v: node %d delivered %d times", mode, id, c)
+			}
+		}
+		if total > net.Len()+2 {
+			t.Fatalf("%v: %d deliveries for %d nodes", mode, total, net.Len())
+		}
+	}
+}
+
 func TestBidirectionalHalvesPropagationTime(t *testing.T) {
 	eng := sim.NewEngine()
 	cfg := Config{Space: dht.NewSpace(16), HopDelay: 50 * sim.Millisecond, SuccListLen: 4}

@@ -288,6 +288,17 @@ func (net *Network) SetApp(id dht.Key, app dht.App) {
 	n.app = app
 }
 
+// WatchNeighbors implements dht.NeighborWatcher: fn fires on the event loop
+// whenever the node's predecessor or first successor changes (the protocol
+// machine publishes a view at every ring-state mutation).
+func (net *Network) WatchNeighbors(id dht.Key, fn func()) {
+	n := net.nodes[id]
+	if n == nil {
+		panic(fmt.Sprintf("chord: WatchNeighbors on unknown node %d", id))
+	}
+	n.m.SetNeighborWatch(fn)
+}
+
 // --- Data plane -----------------------------------------------------------
 
 // Send implements dht.Network: it initializes bookkeeping and routes msg

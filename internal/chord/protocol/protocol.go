@@ -123,6 +123,12 @@ type Machine struct {
 	// republishes it whenever ring state may have changed; readers on other
 	// goroutines load it wait-free.
 	view atomic.Pointer[View]
+
+	// neighborWatch, when set, is invoked (synchronously, in machine
+	// context) after a view publication that changed the node's immediate
+	// neighborhood — predecessor or first successor. It is the churn signal
+	// standing continuous-query registrations re-home on.
+	neighborWatch func()
 }
 
 // New builds a machine for self. send is invoked synchronously (from
@@ -172,6 +178,13 @@ func New(cfg Config, self Ref, clk clock.Clock, send func(to Ref, msg any)) *Mac
 // protocol never does, so filtered and unfiltered machines converge
 // through the same message exchanges.
 func (m *Machine) SetAliveFilter(alive func(dht.Key) bool) { m.alive = alive }
+
+// SetNeighborWatch installs (or clears, with nil) the neighborhood-change
+// callback. It fires in machine context — the substrate's event loop — every
+// time a published view carries a different predecessor or first successor
+// than the previous one, including the first publication that establishes
+// them. Callbacks may send messages but must not re-enter the machine.
+func (m *Machine) SetNeighborWatch(fn func()) { m.neighborWatch = fn }
 
 // SetPhases fixes the initial delay of the two maintenance tickers
 // (normally the full period). Substrates use it to stagger nodes so they
@@ -851,7 +864,25 @@ func (m *Machine) publishView() {
 			v.Fingers = append(v.Fingers, m.finger[i])
 		}
 	}
+	prev := m.view.Load()
 	m.view.Store(v)
+	if m.neighborWatch != nil && neighborhoodChanged(prev, v) {
+		m.neighborWatch()
+	}
+}
+
+// neighborhoodChanged reports whether the predecessor or first successor
+// differs between two views.
+func neighborhoodChanged(prev, cur *View) bool {
+	if prev == nil {
+		return cur.HasPred || len(cur.Succs) > 0
+	}
+	if prev.HasPred != cur.HasPred || (cur.HasPred && prev.Pred.ID != cur.Pred.ID) {
+		return true
+	}
+	ps, pok := prev.Successor()
+	cs, cok := cur.Successor()
+	return pok != cok || (cok && ps.ID != cs.ID)
 }
 
 // View returns the most recently published routing snapshot. Safe from any

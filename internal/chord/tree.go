@@ -51,6 +51,10 @@ func (net *Network) DelegateRange(self dht.Key, msg *dht.Message) int {
 		}
 		c := msg.Clone()
 		c.Dir = +1
+		// Advance the covered-arc marker (see dht.ContinueRange) so a
+		// range wrapping the whole ring terminates at the successor
+		// instead of starting a second sequential lap.
+		c.RangeStart = net.space.Add(self, 1)
 		net.SendToSuccessor(self, c)
 		return 1
 	}
@@ -61,6 +65,7 @@ func (net *Network) DelegateRange(self dht.Key, msg *dht.Message) int {
 	for j, kid := range kids {
 		c := msg.Clone()
 		c.Dir = +1
+		c.RangeStart = net.space.Add(self, 1)
 		if j+1 < len(kids) {
 			// This child's subtree ends just before the next child and
 			// never owns the tail.

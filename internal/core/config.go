@@ -72,6 +72,49 @@ type Config struct {
 	// single-threaded event loop uses the exclusive in-place store, which
 	// reproduces the historical walk order (and golden figure rows) exactly.
 	StoreShards int
+
+	// Sketches enables the continuous-query engine's windowed aggregates:
+	// every locally sourced stream maintains an ECM-style exponential-
+	// histogram sketch of its raw values, published over the key range of
+	// each finished MBR. Off by default — sketch traffic only flows for
+	// deployments that opt in, so the paper's evaluation workloads are
+	// unchanged.
+	Sketches bool
+	// SketchWindow is the sliding-window span of the sketches (defaults to
+	// MBRLifespan when zero: the same soft-state horizon as the MBRs).
+	SketchWindow sim.Time
+	// SketchK is the exponential-histogram error parameter (at most K+1
+	// buckets per size class; defaults to 4, ~25% relative error).
+	SketchK int
+	// SketchBands is how many equal-width value sub-ranges of
+	// [SketchLo, SketchHi) the quantile bank tracks (defaults to 8).
+	SketchBands int
+	// SketchLo and SketchHi delimit the raw-value range the quantile bank
+	// buckets (defaults to [0, 1000): the bounded random-walk range of the
+	// workload generator). Out-of-range values clamp into the edge bands.
+	SketchLo, SketchHi float64
+}
+
+// sketchParams returns the effective sketch parameterization with defaults
+// applied.
+func (c Config) sketchParams() (window sim.Time, k, bands int, lo, hi float64) {
+	window = c.SketchWindow
+	if window <= 0 {
+		window = c.MBRLifespan
+	}
+	k = c.SketchK
+	if k < 1 {
+		k = 4
+	}
+	bands = c.SketchBands
+	if bands < 1 {
+		bands = 8
+	}
+	lo, hi = c.SketchLo, c.SketchHi
+	if !(lo < hi) {
+		lo, hi = 0, 1000
+	}
+	return window, k, bands, lo, hi
 }
 
 // DefaultConfig returns the Table I configuration: BSPAN 5 s, NPER 2 s, a

@@ -1,0 +1,381 @@
+package core
+
+// Hand-packed wire codecs for the continuous-query-engine payload kinds.
+// Tags continue after the ring control tags (16-22); like the original nine
+// they are protocol: never renumber, only append.
+
+import (
+	"fmt"
+
+	"streamdex/internal/cqe"
+	"streamdex/internal/dht"
+	"streamdex/internal/query"
+	"streamdex/internal/sim"
+	"streamdex/internal/summary"
+	"streamdex/internal/wire"
+)
+
+const (
+	tagSketchUpdate uint8 = iota + 23
+	tagSubMsg
+	tagSubMatchMsg
+	tagAggQueryMsg
+	tagAggReplyMsg
+	tagTopKMsg
+	tagTopKReportMsg
+)
+
+func init() {
+	wire.RegisterPackedPayload(tagSketchUpdate, SketchUpdate{}, codecFuncs{enc: encSketchUpdate, dec: decSketchUpdate})
+	wire.RegisterPackedPayload(tagSubMsg, SubMsg{}, codecFuncs{enc: encSubMsg, dec: decSubMsg})
+	wire.RegisterPackedPayload(tagSubMatchMsg, SubMatchMsg{}, codecFuncs{enc: encSubMatchMsg, dec: decSubMatchMsg})
+	wire.RegisterPackedPayload(tagAggQueryMsg, AggQueryMsg{}, codecFuncs{enc: encAggQueryMsg, dec: decAggQueryMsg})
+	wire.RegisterPackedPayload(tagAggReplyMsg, AggReplyMsg{}, codecFuncs{enc: encAggReplyMsg, dec: decAggReplyMsg})
+	wire.RegisterPackedPayload(tagTopKMsg, TopKMsg{}, codecFuncs{enc: encTopKMsg, dec: decTopKMsg})
+	wire.RegisterPackedPayload(tagTopKReportMsg, TopKReportMsg{}, codecFuncs{enc: encTopKReportMsg, dec: decTopKReportMsg})
+}
+
+// --- sketch, shared by KindSketch and KindAggReply ---
+// present(bool) | window(var) | k(uvar) | lo(f64) | hi(f64) | bands(uvar),
+// then per band: buckets(uvar), then per bucket: end(var) | size(uvar)
+
+func appendSketch(dst []byte, s *summary.Sketch) []byte {
+	if s == nil {
+		return wire.AppendBool(dst, false)
+	}
+	dst = wire.AppendBool(dst, true)
+	dst = wire.AppendVarint(dst, int64(s.Window))
+	dst = wire.AppendUvarint(dst, uint64(s.K))
+	dst = wire.AppendFloat64(dst, s.Lo)
+	dst = wire.AppendFloat64(dst, s.Hi)
+	dst = wire.AppendUvarint(dst, uint64(len(s.Bands)))
+	for _, h := range s.Bands {
+		dst = wire.AppendUvarint(dst, uint64(len(h.Buckets)))
+		for _, b := range h.Buckets {
+			dst = wire.AppendVarint(dst, int64(b.End))
+			dst = wire.AppendUvarint(dst, b.Size)
+		}
+	}
+	return dst
+}
+
+func readSketch(r *wire.Reader) *summary.Sketch {
+	if !r.Bool() {
+		return nil
+	}
+	s := &summary.Sketch{
+		Window: sim.Time(r.Varint()),
+		K:      int(r.Uvarint()),
+		Lo:     r.Float64(),
+		Hi:     r.Float64(),
+	}
+	nb := r.Uvarint()
+	if r.Err() != nil {
+		return nil
+	}
+	// Every band costs at least its bucket-count byte; reject a corrupt
+	// count before allocating.
+	if nb > uint64(r.Len()) {
+		r.Failf("core: sketch with %d bands, %d bytes remaining", nb, r.Len())
+		return nil
+	}
+	s.Bands = make([]*summary.EH, nb)
+	for i := range s.Bands {
+		h := &summary.EH{Window: s.Window, K: s.K}
+		nbk := r.Uvarint()
+		if r.Err() != nil {
+			return nil
+		}
+		if nbk > uint64(r.Len()) {
+			r.Failf("core: sketch band with %d buckets, %d bytes remaining", nbk, r.Len())
+			return nil
+		}
+		if nbk > 0 {
+			h.Buckets = make([]summary.EHBucket, nbk)
+			for j := range h.Buckets {
+				h.Buckets[j].End = sim.Time(r.Varint())
+				h.Buckets[j].Size = r.Uvarint()
+			}
+		}
+		s.Bands[i] = h
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	return s
+}
+
+// --- KindSketch: SketchUpdate ---
+// streamID | seq(uvar) | expiry(var) | lo(f64) | hi(f64) | sketch
+
+func encSketchUpdate(dst []byte, p any) ([]byte, error) {
+	u, ok := p.(SketchUpdate)
+	if !ok {
+		return nil, errType("SketchUpdate", p)
+	}
+	dst = wire.AppendString(dst, u.StreamID)
+	dst = wire.AppendUvarint(dst, u.Seq)
+	dst = wire.AppendVarint(dst, u.Expiry)
+	dst = wire.AppendFloat64(dst, u.Lo)
+	dst = wire.AppendFloat64(dst, u.Hi)
+	return appendSketch(dst, u.Sketch), nil
+}
+
+func decSketchUpdate(data []byte) (any, error) {
+	r := wire.NewReader(data)
+	u := SketchUpdate{}
+	u.StreamID = r.String()
+	u.Seq = r.Uvarint()
+	u.Expiry = r.Varint()
+	u.Lo = r.Float64()
+	u.Hi = r.Float64()
+	u.Sketch = readSketch(&r)
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// --- KindSub: SubMsg ---
+// cancel(bool) | present(bool) | id(uvar) | origin(uvar) | lo(floats) |
+// hi(floats) | posted(var) | lifespan(var)
+
+func encSubMsg(dst []byte, p any) ([]byte, error) {
+	u, ok := p.(SubMsg)
+	if !ok {
+		return nil, errType("SubMsg", p)
+	}
+	dst = wire.AppendBool(dst, u.Cancel)
+	if u.P == nil {
+		return wire.AppendBool(dst, false), nil
+	}
+	q := u.P
+	dst = wire.AppendBool(dst, true)
+	dst = wire.AppendUvarint(dst, uint64(q.ID))
+	dst = wire.AppendUvarint(dst, uint64(q.Origin))
+	dst = wire.AppendFloats(dst, q.Lo)
+	dst = wire.AppendFloats(dst, q.Hi)
+	dst = wire.AppendVarint(dst, int64(q.Posted))
+	dst = wire.AppendVarint(dst, int64(q.Lifespan))
+	return dst, nil
+}
+
+func decSubMsg(data []byte) (any, error) {
+	r := wire.NewReader(data)
+	u := SubMsg{Cancel: r.Bool()}
+	if !r.Bool() {
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return u, nil
+	}
+	q := &query.Predicate{}
+	q.ID = query.ID(r.Uvarint())
+	q.Origin = dht.Key(r.Uvarint())
+	q.Lo = summary.Feature(r.Floats())
+	q.Hi = summary.Feature(r.Floats())
+	q.Posted = sim.Time(r.Varint())
+	q.Lifespan = sim.Time(r.Varint())
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	if len(q.Lo) != len(q.Hi) {
+		return nil, fmt.Errorf("core: predicate with %d-dim lo, %d-dim hi", len(q.Lo), len(q.Hi))
+	}
+	u.P = q
+	return u, nil
+}
+
+// --- KindSubMatch: SubMatchMsg ---
+// subID(uvar) | matches
+
+func encSubMatchMsg(dst []byte, p any) ([]byte, error) {
+	u, ok := p.(SubMatchMsg)
+	if !ok {
+		return nil, errType("SubMatchMsg", p)
+	}
+	dst = wire.AppendUvarint(dst, uint64(u.SubID))
+	return appendMatches(dst, u.Matches), nil
+}
+
+func decSubMatchMsg(data []byte) (any, error) {
+	r := wire.NewReader(data)
+	u := SubMatchMsg{SubID: query.ID(r.Uvarint())}
+	u.Matches = readMatches(&r)
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// --- KindAggQuery: AggQueryMsg ---
+// present(bool) | id(uvar) | origin(uvar) | lo(f64) | hi(f64) |
+// posted(var) | lifespan(var)
+
+func encAggQueryMsg(dst []byte, p any) ([]byte, error) {
+	u, ok := p.(AggQueryMsg)
+	if !ok {
+		return nil, errType("AggQueryMsg", p)
+	}
+	if u.Q == nil {
+		return wire.AppendBool(dst, false), nil
+	}
+	q := u.Q
+	dst = wire.AppendBool(dst, true)
+	dst = wire.AppendUvarint(dst, uint64(q.ID))
+	dst = wire.AppendUvarint(dst, uint64(q.Origin))
+	dst = wire.AppendFloat64(dst, q.Lo)
+	dst = wire.AppendFloat64(dst, q.Hi)
+	dst = wire.AppendVarint(dst, int64(q.Posted))
+	dst = wire.AppendVarint(dst, int64(q.Lifespan))
+	return dst, nil
+}
+
+func decAggQueryMsg(data []byte) (any, error) {
+	r := wire.NewReader(data)
+	if !r.Bool() {
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return AggQueryMsg{}, nil
+	}
+	q := &query.Aggregate{}
+	q.ID = query.ID(r.Uvarint())
+	q.Origin = dht.Key(r.Uvarint())
+	q.Lo = r.Float64()
+	q.Hi = r.Float64()
+	q.Posted = sim.Time(r.Varint())
+	q.Lifespan = sim.Time(r.Varint())
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return AggQueryMsg{Q: q}, nil
+}
+
+// --- KindAggReply: AggReplyMsg ---
+// queryID(uvar) | count(uvar), then per item: streamID | seq(uvar) | sketch
+
+func encAggReplyMsg(dst []byte, p any) ([]byte, error) {
+	u, ok := p.(AggReplyMsg)
+	if !ok {
+		return nil, errType("AggReplyMsg", p)
+	}
+	dst = wire.AppendUvarint(dst, uint64(u.QueryID))
+	dst = wire.AppendUvarint(dst, uint64(len(u.Items)))
+	for i := range u.Items {
+		it := &u.Items[i]
+		dst = wire.AppendString(dst, it.StreamID)
+		dst = wire.AppendUvarint(dst, it.Seq)
+		dst = appendSketch(dst, it.Sketch)
+	}
+	return dst, nil
+}
+
+func decAggReplyMsg(data []byte) (any, error) {
+	r := wire.NewReader(data)
+	u := AggReplyMsg{QueryID: query.ID(r.Uvarint())}
+	n := r.Uvarint()
+	if r.Err() == nil && n > 0 {
+		if n > uint64(r.Len()) {
+			r.Failf("core: %d report items with %d bytes remaining", n, r.Len())
+		} else {
+			u.Items = make([]StreamSketch, n)
+			for i := range u.Items {
+				it := &u.Items[i]
+				it.StreamID = r.String()
+				it.Seq = r.Uvarint()
+				it.Sketch = readSketch(&r)
+			}
+		}
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// --- KindTopK: TopKMsg ---
+// present(bool) | id(uvar) | origin(uvar) | k(uvar) | lo(f64) | hi(f64) |
+// posted(var) | lifespan(var)
+
+func encTopKMsg(dst []byte, p any) ([]byte, error) {
+	u, ok := p.(TopKMsg)
+	if !ok {
+		return nil, errType("TopKMsg", p)
+	}
+	if u.Q == nil {
+		return wire.AppendBool(dst, false), nil
+	}
+	q := u.Q
+	dst = wire.AppendBool(dst, true)
+	dst = wire.AppendUvarint(dst, uint64(q.ID))
+	dst = wire.AppendUvarint(dst, uint64(q.Origin))
+	dst = wire.AppendUvarint(dst, uint64(q.K))
+	dst = wire.AppendFloat64(dst, q.Lo)
+	dst = wire.AppendFloat64(dst, q.Hi)
+	dst = wire.AppendVarint(dst, int64(q.Posted))
+	dst = wire.AppendVarint(dst, int64(q.Lifespan))
+	return dst, nil
+}
+
+func decTopKMsg(data []byte) (any, error) {
+	r := wire.NewReader(data)
+	if !r.Bool() {
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return TopKMsg{}, nil
+	}
+	q := &query.TopK{}
+	q.ID = query.ID(r.Uvarint())
+	q.Origin = dht.Key(r.Uvarint())
+	q.K = int(r.Uvarint())
+	q.Lo = r.Float64()
+	q.Hi = r.Float64()
+	q.Posted = sim.Time(r.Varint())
+	q.Lifespan = sim.Time(r.Varint())
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return TopKMsg{Q: q}, nil
+}
+
+// --- KindTopKReport: TopKReportMsg ---
+// queryID(uvar) | node(uvar) | count(uvar), then per entry:
+// streamID | count(uvar)
+
+func encTopKReportMsg(dst []byte, p any) ([]byte, error) {
+	u, ok := p.(TopKReportMsg)
+	if !ok {
+		return nil, errType("TopKReportMsg", p)
+	}
+	dst = wire.AppendUvarint(dst, uint64(u.QueryID))
+	dst = wire.AppendUvarint(dst, uint64(u.Node))
+	dst = wire.AppendUvarint(dst, uint64(len(u.Counts)))
+	for i := range u.Counts {
+		dst = wire.AppendString(dst, u.Counts[i].StreamID)
+		dst = wire.AppendUvarint(dst, u.Counts[i].Count)
+	}
+	return dst, nil
+}
+
+func decTopKReportMsg(data []byte) (any, error) {
+	r := wire.NewReader(data)
+	u := TopKReportMsg{QueryID: query.ID(r.Uvarint()), Node: dht.Key(r.Uvarint())}
+	n := r.Uvarint()
+	if r.Err() == nil && n > 0 {
+		if n > uint64(r.Len()) {
+			r.Failf("core: %d frequency entries with %d bytes remaining", n, r.Len())
+		} else {
+			u.Counts = make([]cqe.StreamCount, n)
+			for i := range u.Counts {
+				u.Counts[i].StreamID = r.String()
+				u.Counts[i].Count = r.Uvarint()
+			}
+		}
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}

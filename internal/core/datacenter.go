@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"streamdex/internal/clock"
+	"streamdex/internal/cqe"
 	"streamdex/internal/dht"
 	"streamdex/internal/dsp"
 	"streamdex/internal/metrics"
@@ -79,6 +80,17 @@ type DataCenter struct {
 	pool   dht.Pool
 	poster interface{ Post(func()) bool }
 
+	// engine is the continuous-query operator registry all non-MBR
+	// message kinds dispatch through; the typed references let the
+	// middleware reach operator-specific entry points (registration,
+	// sketch publication) without downcasts.
+	engine *cqe.Engine
+	opSim  *simOp
+	opIP   *ipOp
+	opSub  *subOp
+	opAgg  *aggOp
+	opTopK *topkOp
+
 	ticker clock.Ticker
 }
 
@@ -91,6 +103,10 @@ type localStream struct {
 	mu      sync.Mutex
 	sdft    *dsp.SlidingDFT
 	batcher *summary.Batcher
+	// sketch is the stream's windowed value sketch (nil unless
+	// Config.Sketches), advanced by ingest and snapshotted at each MBR
+	// publication.
+	sketch *summary.Sketch
 
 	ticker clock.Ticker
 }
@@ -105,7 +121,7 @@ func newDataCenter(id dht.Key, mw *Middleware) *DataCenter {
 	if _, ok := mw.net.(dht.PoolProvider); ok {
 		store = NewShardedStore(mw.cfg.StoreShards)
 	}
-	return &DataCenter{
+	dc := &DataCenter{
 		id:        id,
 		mw:        mw,
 		streams:   make(map[string]*localStream),
@@ -117,6 +133,8 @@ func newDataCenter(id dht.Key, mw *Middleware) *DataCenter {
 		locCache:  make(map[string]dht.Key),
 		pendingIP: make(map[string][]*query.InnerProduct),
 	}
+	dc.engine = newEngine(dc)
+	return dc
 }
 
 // ID returns the data center's overlay identifier.
@@ -202,6 +220,10 @@ func (dc *DataCenter) RegisterStream(st stream.Stream) error {
 		sdft:    dsp.NewSlidingDFT(cfg.WindowSize, cfg.Coeffs),
 		batcher: summary.NewBatcher(st.ID, cfg.Beta),
 	}
+	if cfg.Sketches {
+		window, k, bands, lo, hi := cfg.sketchParams()
+		ls.sketch = summary.NewSketch(window, k, bands, lo, hi)
+	}
 	dc.streams[st.ID] = ls
 	if st.Prefill {
 		// Prime the window with pre-deployment history; summaries are
@@ -248,16 +270,27 @@ func (dc *DataCenter) streamTick(ls *localStream) {
 func (dc *DataCenter) ingest(ls *localStream) {
 	cfg := dc.mw.cfg
 	ls.mu.Lock()
-	ls.sdft.Push(ls.st.Gen.Next())
+	v := ls.st.Gen.Next()
+	ls.sdft.Push(v)
+	if ls.sketch != nil {
+		ls.sketch.Add(dc.mw.clk.Now(), v)
+	}
 	if !ls.sdft.Full() {
 		ls.mu.Unlock()
 		return
 	}
 	f := summary.FromCoeffs(ls.sdft.NormalizedCoeffs(cfg.Norm), cfg.FeatureDims, cfg.skipDC())
 	mbr := ls.batcher.Add(f)
+	var sk *summary.Sketch
+	if mbr != nil && ls.sketch != nil {
+		sk = ls.sketch.Clone()
+	}
 	ls.mu.Unlock()
 	if mbr != nil {
 		dc.publishMBR(mbr)
+		if sk != nil {
+			dc.opAgg.publishLocal(ls.st.ID, mbr, sk)
+		}
 	}
 }
 
@@ -270,10 +303,11 @@ func (dc *DataCenter) publishMBR(b *summary.MBR) {
 	b.Expiry = now + dc.mw.cfg.MBRLifespan
 	dc.mw.col.CountEvent(metrics.EventMBR)
 
-	// The summary is also stored locally (§IV-A) and matched against
-	// subscriptions this node already covers.
+	// The summary is also stored locally (§IV-A) and fanned out to the
+	// operators registered on this node (similarity matching, predicate
+	// subscriptions, frequency monitors).
 	dc.store.Put(b)
-	dc.matchNewMBR(b)
+	dc.engine.OnMBR(dc, b)
 
 	lo, hi := b.KeyRange(dc.mw.mapper)
 	msg := sized(&dht.Message{Kind: KindMBR, Payload: MBRUpdate{MBR: b}})
@@ -304,49 +338,29 @@ func (dc *DataCenter) matchNewMBR(b *summary.MBR) {
 }
 
 // Deliver implements dht.App: the application upcall of the content-based
-// routing substrate, on the substrate's loop.
+// routing substrate, on the substrate's loop. KindMBR — the index write
+// path every operator observes — is handled natively; every other kind
+// dispatches through the operator registry.
 func (dc *DataCenter) Deliver(self dht.Key, msg *dht.Message) {
-	switch msg.Kind {
-	case KindMBR:
+	if msg.Kind == KindMBR {
 		dc.onMBR(msg)
-	case KindQuery:
-		dc.handleQuery(msg, true)
-	case KindNotify:
-		dc.onNotify(msg)
-	case KindResponse:
-		p := msg.Payload.(ResponseMsg)
-		dc.mw.deliverSimilarity(dc.id, p)
-	case KindLocPut:
-		p := msg.Payload.(LocPut)
-		dc.locTable[p.StreamID] = p.Source
-	case KindLocGet:
-		dc.onLocGet(msg)
-	case KindLocReply:
-		dc.onLocReply(msg)
-	case KindIPSub:
-		dc.onIPSub(msg)
-	case KindIPResp:
-		p := msg.Payload.(IPResp)
-		dc.mw.deliverIP(dc.id, p)
-	default:
+		return
+	}
+	if !dc.engine.Deliver(dc, msg) {
 		dc.mw.unclassified++
 	}
 }
 
 // DeliverData implements dht.ConcurrentApp: the data-plane upcall a
-// substrate's worker pool makes. Only the two hot, concurrency-safe kinds
-// are absorbed here; everything else reports false and the substrate posts
-// Deliver onto its loop.
+// substrate's worker pool makes. MBR publishes are absorbed natively;
+// each operator decides which of its kinds are worker-safe. Anything
+// declined reports false and the substrate posts Deliver onto its loop.
 func (dc *DataCenter) DeliverData(self dht.Key, msg *dht.Message) bool {
-	switch msg.Kind {
-	case KindMBR:
+	if msg.Kind == KindMBR {
 		dc.onMBR(msg)
 		return true
-	case KindQuery:
-		dc.handleQuery(msg, false)
-		return true
 	}
-	return false
+	return dc.engine.DeliverData(dc, msg)
 }
 
 // onMBR stores a replicated summary, matches it, and keeps the range
@@ -357,7 +371,7 @@ func (dc *DataCenter) onMBR(msg *dht.Message) {
 	b := msg.Payload.(MBRUpdate).MBR
 	if !b.Expired(dc.mw.clk.Now()) {
 		dc.store.Put(b)
-		dc.matchNewMBR(b)
+		dc.engine.OnMBR(dc, b)
 	}
 	dht.ContinueRange(dc.mw.net, dc.id, msg)
 }
@@ -502,41 +516,19 @@ func (dc *DataCenter) startTicker() {
 	dc.ticker = dc.mw.clk.EveryAfter(phase, period, dc.periodTick)
 }
 
-// periodTick runs once per push period: sweep soft state, funnel
-// similarity information one hop toward middle nodes, push aggregated
-// responses to clients, and push inner-product values.
+// periodTick runs once per push period: sweep the store, then run every
+// operator's periodic slice — sweeping its soft state, funneling
+// similarity information one hop toward middle nodes, pushing aggregated
+// responses, inner-product values, subscription matches, sketch reports
+// and frequency tables, and refreshing standing registrations.
 func (dc *DataCenter) periodTick() {
 	if !dc.alive() {
 		dc.ticker.Stop()
 		return
 	}
 	now := dc.mw.clk.Now()
-	dc.sweep(now)
-	dc.flushNotifies(now)
-	dc.pushResponses(now)
-	dc.pushInnerProducts(now)
-}
-
-// sweep drops expired soft state.
-func (dc *DataCenter) sweep(now sim.Time) {
 	dc.store.Sweep(now)
-	dc.subMu.Lock()
-	for id, sub := range dc.subs {
-		if now >= sub.q.Expiry() {
-			delete(dc.subs, id)
-		}
-	}
-	dc.subMu.Unlock()
-	for id, agg := range dc.aggs {
-		if now >= agg.expiry {
-			delete(dc.aggs, id)
-		}
-	}
-	for id, st := range dc.ipSubs {
-		if now >= st.q.Expiry() {
-			delete(dc.ipSubs, id)
-		}
-	}
+	dc.engine.Tick(dc, now)
 }
 
 // flushNotifies sends at most one KindNotify per ring direction, carrying

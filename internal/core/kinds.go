@@ -34,6 +34,31 @@ const (
 	KindIPSub
 	// KindIPResp carries a periodic inner-product value to the client.
 	KindIPResp
+
+	// Continuous-query-engine kinds (PR 7). Appended after the original
+	// nine; codec tags for them start at 23 (after the ring tags 16-22).
+
+	// KindSketch replicates a stream's windowed sketch over the key range
+	// of the MBR it rides along with.
+	KindSketch
+	// KindSub registers (or cancels) a standing pub/sub predicate at the
+	// nodes covering its key range.
+	KindSub
+	// KindSubMatch pushes predicate matches from a covering node to the
+	// subscriber as data-plane frames.
+	KindSubMatch
+	// KindAggQuery registers a windowed-aggregate query at the nodes
+	// covering its key range.
+	KindAggQuery
+	// KindAggReply carries a covering node's per-stream sketch report to
+	// the querying node, where reports are deduplicated and merged.
+	KindAggReply
+	// KindTopK registers a top-k frequency monitor at the nodes covering
+	// its key range.
+	KindTopK
+	// KindTopKReport carries a covering node's cumulative frequency table
+	// to the monitoring node.
+	KindTopKReport
 )
 
 // Payload types carried by the messages above. Every type is registered
@@ -156,6 +181,12 @@ func (classifier) Classify(from dht.Key, msg *dht.Message) metrics.Category {
 		return metrics.Location
 	case KindIPSub, KindIPResp:
 		return metrics.InnerProduct
+	case KindSketch, KindAggQuery, KindAggReply:
+		return metrics.Sketch
+	case KindSub, KindSubMatch:
+		return metrics.Subscription
+	case KindTopK, KindTopKReport:
+		return metrics.TopKFreq
 	default:
 		return metrics.Other
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"streamdex/internal/clock"
+	"streamdex/internal/cqe"
 	"streamdex/internal/dht"
 	"streamdex/internal/dsp"
 	"streamdex/internal/metrics"
@@ -34,6 +35,15 @@ type Middleware struct {
 	simResponse map[query.ID]int
 	ipValues    map[query.ID][]query.IPValue
 	ipFailed    map[query.ID]bool
+
+	// Continuous-query-engine client state: subscription detections
+	// (deduplicated like similarity results), aggregate sketch folds, and
+	// top-k report tables.
+	subMatches map[query.ID][]query.Match
+	subSeen    map[query.ID]map[string]map[uint64]bool
+	aggFolds   map[query.ID]*cqe.SketchFold
+	topkTables map[query.ID]*cqe.TopKTable
+	topkK      map[query.ID]int
 
 	// OnSimilarity, when non-nil, is invoked at each response delivery
 	// with the newly reported matches (possibly none).
@@ -70,6 +80,11 @@ func New(net dht.Substrate, cfg Config) (*Middleware, error) {
 		simResponse: make(map[query.ID]int),
 		ipValues:    make(map[query.ID][]query.IPValue),
 		ipFailed:    make(map[query.ID]bool),
+		subMatches:  make(map[query.ID][]query.Match),
+		subSeen:     make(map[query.ID]map[string]map[uint64]bool),
+		aggFolds:    make(map[query.ID]*cqe.SketchFold),
+		topkTables:  make(map[query.ID]*cqe.TopKTable),
+		topkK:       make(map[query.ID]int),
 	}
 	net.SetObserver(mw.col)
 	for _, id := range net.NodeIDs() {
@@ -99,6 +114,13 @@ func (mw *Middleware) AttachNode(id dht.Key) *DataCenter {
 	}
 	mw.dcs[id] = dc
 	mw.net.SetApp(id, dc)
+	// Substrates that report neighborhood changes drive the engine's
+	// eager churn re-registration; everywhere else the periodic refresh
+	// in each operator's Tick re-homes standing registrations within one
+	// push period.
+	if nw, ok := mw.net.(dht.NeighborWatcher); ok {
+		nw.WatchNeighbors(id, func() { dc.engine.OnRingChange(dc) })
+	}
 	dc.startTicker()
 	return dc
 }

@@ -1,0 +1,76 @@
+package core
+
+// simOp is the continuous similarity-query path (§IV-E/F) expressed as a
+// cqe.Operator: query dissemination, per-MBR matching, the periodic
+// neighbor funnel toward middle nodes, and response pushes. The mechanics
+// stay on DataCenter (they predate the engine); the operator is the
+// dispatch surface.
+
+import (
+	"streamdex/internal/cqe"
+	"streamdex/internal/dht"
+	"streamdex/internal/sim"
+	"streamdex/internal/summary"
+)
+
+type simOp struct {
+	dc *DataCenter
+}
+
+// Name implements cqe.Operator.
+func (o *simOp) Name() string { return "similarity" }
+
+// Kinds implements cqe.Operator.
+func (o *simOp) Kinds() []dht.Kind { return []dht.Kind{KindQuery, KindNotify, KindResponse} }
+
+// Deliver implements cqe.Operator (loop context).
+func (o *simOp) Deliver(h cqe.Host, msg *dht.Message) {
+	switch msg.Kind {
+	case KindQuery:
+		o.dc.handleQuery(msg, true)
+	case KindNotify:
+		o.dc.onNotify(msg)
+	case KindResponse:
+		o.dc.mw.deliverSimilarity(o.dc.id, msg.Payload.(ResponseMsg))
+	}
+}
+
+// DeliverData implements cqe.Operator: query evaluation is worker-safe
+// (the ordering fence in handleQuery), the control kinds are not.
+func (o *simOp) DeliverData(h cqe.Host, msg *dht.Message) bool {
+	if msg.Kind == KindQuery {
+		o.dc.handleQuery(msg, false)
+		return true
+	}
+	return false
+}
+
+// OnMBR implements cqe.Operator: match the new summary against every
+// registered subscription (worker-safe; see matchNewMBR).
+func (o *simOp) OnMBR(h cqe.Host, b *summary.MBR) { o.dc.matchNewMBR(b) }
+
+// Tick implements cqe.Operator: the similarity slice of the historical
+// periodTick — sweep subscriptions and aggregators, funnel detected
+// similarities one ring hop, push aggregated responses to clients.
+func (o *simOp) Tick(h cqe.Host, now sim.Time) {
+	dc := o.dc
+	dc.subMu.Lock()
+	for id, sub := range dc.subs {
+		if now >= sub.q.Expiry() {
+			delete(dc.subs, id)
+		}
+	}
+	dc.subMu.Unlock()
+	for id, agg := range dc.aggs {
+		if now >= agg.expiry {
+			delete(dc.aggs, id)
+		}
+	}
+	dc.flushNotifies(now)
+	dc.pushResponses(now)
+}
+
+// OnRingChange implements cqe.Operator. Similarity soft state already
+// survives churn adaptively (absorbOrRelay re-creates aggregators from
+// notify items), so no eager action is needed.
+func (o *simOp) OnRingChange(h cqe.Host) {}

@@ -1,0 +1,185 @@
+package core
+
+// topkOp implements distributed top-k maintenance over publication
+// frequencies: a monitor registers at every node covering a
+// routing-coordinate range; each covering node counts the MBR
+// publications landing in the range — counting a publication only at the
+// single node owning the key of its low coordinate, so range replication
+// never double-counts — and pushes its cumulative frequency table to the
+// monitoring node every period. Tables replace the node's previous report
+// at the origin (cqe.TopKTable), so retransmissions after churn are
+// idempotent; the origin's top-k is the sum across reporting nodes.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"streamdex/internal/cqe"
+	"streamdex/internal/dht"
+	"streamdex/internal/query"
+	"streamdex/internal/sim"
+	"streamdex/internal/summary"
+)
+
+// topkMonitor is one registered frequency monitor at a covering node.
+type topkMonitor struct {
+	q *query.TopK
+
+	mu     sync.Mutex
+	counts map[string]uint64
+}
+
+type topkOp struct {
+	dc *DataCenter
+
+	// mu guards mons: workers register monitors and count publications
+	// while the loop sweeps and reports; n short-circuits the per-MBR hook
+	// when no monitor is registered.
+	mu   sync.RWMutex
+	mons map[query.ID]*topkMonitor
+	n    atomic.Int32
+
+	// mine are the monitors this node originated. Loop-confined.
+	mine map[query.ID]*query.TopK
+}
+
+func newTopKOp(dc *DataCenter) *topkOp {
+	return &topkOp{
+		dc:   dc,
+		mons: make(map[query.ID]*topkMonitor),
+		mine: make(map[query.ID]*query.TopK),
+	}
+}
+
+// Name implements cqe.Operator.
+func (o *topkOp) Name() string { return "top-k" }
+
+// Kinds implements cqe.Operator.
+func (o *topkOp) Kinds() []dht.Kind { return []dht.Kind{KindTopK, KindTopKReport} }
+
+// Deliver implements cqe.Operator (loop context).
+func (o *topkOp) Deliver(h cqe.Host, msg *dht.Message) {
+	switch msg.Kind {
+	case KindTopK:
+		o.onTopK(h, msg)
+	case KindTopKReport:
+		o.dc.mw.deliverTopKReport(msg.Payload.(TopKReportMsg))
+	}
+}
+
+// DeliverData implements cqe.Operator: monitor registration is
+// worker-safe (own lock); report folding is loop state.
+func (o *topkOp) DeliverData(h cqe.Host, msg *dht.Message) bool {
+	if msg.Kind == KindTopK {
+		o.onTopK(h, msg)
+		return true
+	}
+	return false
+}
+
+// onTopK registers a monitor and keeps the range multicast going.
+// Counting starts at registration — frequency monitors observe the
+// publication stream, not the stored history.
+func (o *topkOp) onTopK(h cqe.Host, msg *dht.Message) {
+	p := msg.Payload.(TopKMsg)
+	if q := p.Q; q != nil && h.Now() < q.Expiry() {
+		o.mu.Lock()
+		if _, known := o.mons[q.ID]; !known {
+			o.mons[q.ID] = &topkMonitor{q: q, counts: make(map[string]uint64)}
+			o.n.Store(int32(len(o.mons)))
+		}
+		o.mu.Unlock()
+	}
+	h.ContinueRange(msg)
+}
+
+// OnMBR implements cqe.Operator: count the publication at exactly one
+// node — the owner of the key of its low routing coordinate — for every
+// monitor whose range contains that coordinate.
+func (o *topkOp) OnMBR(h cqe.Host, b *summary.MBR) {
+	if o.n.Load() == 0 {
+		return
+	}
+	v := b.Lo[0]
+	if !h.Covers(o.dc.mw.mapper.KeyOf(v)) {
+		return
+	}
+	now := h.Now()
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	for _, mon := range o.mons {
+		if now >= mon.q.Expiry() || v < mon.q.Lo || v > mon.q.Hi {
+			continue
+		}
+		mon.mu.Lock()
+		mon.counts[b.StreamID]++
+		mon.mu.Unlock()
+	}
+}
+
+// Tick implements cqe.Operator: sweep expired monitors, push the
+// cumulative frequency tables, and refresh this node's own monitors.
+func (o *topkOp) Tick(h cqe.Host, now sim.Time) {
+	type push struct {
+		origin dht.Key
+		p      TopKReportMsg
+	}
+	var pushes []push
+	o.mu.Lock()
+	for id, mon := range o.mons {
+		if now >= mon.q.Expiry() {
+			delete(o.mons, id)
+			continue
+		}
+		mon.mu.Lock()
+		if len(mon.counts) == 0 {
+			mon.mu.Unlock()
+			continue
+		}
+		counts := make([]cqe.StreamCount, 0, len(mon.counts))
+		for sid, c := range mon.counts {
+			counts = append(counts, cqe.StreamCount{StreamID: sid, Count: c})
+		}
+		mon.mu.Unlock()
+		sort.Slice(counts, func(i, j int) bool { return counts[i].StreamID < counts[j].StreamID })
+		pushes = append(pushes, push{mon.q.Origin, TopKReportMsg{QueryID: id, Node: o.dc.id, Counts: counts}})
+	}
+	o.n.Store(int32(len(o.mons)))
+	o.mu.Unlock()
+	for _, ps := range pushes {
+		if ps.origin == o.dc.id {
+			o.dc.mw.deliverTopKReport(ps.p)
+			continue
+		}
+		h.Send(ps.origin, &dht.Message{Kind: KindTopKReport, Payload: ps.p})
+	}
+	for id, q := range o.mine {
+		if now >= q.Expiry() {
+			delete(o.mine, id)
+			continue
+		}
+		o.multicast(h, q)
+	}
+}
+
+// OnRingChange implements cqe.Operator: re-home immediately.
+func (o *topkOp) OnRingChange(h cqe.Host) {
+	now := h.Now()
+	for _, q := range o.mine {
+		if now < q.Expiry() {
+			o.multicast(h, q)
+		}
+	}
+}
+
+func (o *topkOp) multicast(h cqe.Host, q *query.TopK) {
+	lo, hi := o.dc.mw.mapper.Range(q.Lo, q.Hi)
+	h.SendRange(lo, hi, &dht.Message{Kind: KindTopK, Payload: TopKMsg{Q: q}})
+}
+
+// register originates a frequency monitor from this node.
+func (o *topkOp) register(h cqe.Host, q *query.TopK) {
+	o.mine[q.ID] = q
+	o.multicast(h, q)
+}

@@ -983,3 +983,64 @@ func (a *aggregator) takePending() []query.Match {
 type ipSubState struct {
 	q *query.InnerProduct
 }
+
+// AppendOverlapping appends a match for every live stored MBR whose
+// rectangle intersects [lo, hi] — the store walk behind standing pub/sub
+// predicates. Like AppendCandidates it is lock-free: each shard's snapshot
+// is loaded with one atomic read and scanned flat, with the same
+// L₁ band pruning (an entry can only overlap if its first-coefficient
+// interval does).
+func (s *Store) AppendOverlapping(dst []query.Match, lo, hi summary.Feature, now sim.Time, node dht.Key) []query.Match {
+	l1lo, l1hi := lo[0], hi[0]
+	visited := int64(0)
+	for i := range s.shards {
+		p := s.shards[i].snap.Load()
+		if len(p.lo1) == 0 && len(p.tLo1) == 0 {
+			continue
+		}
+		from := l1lo - p.maxWidth
+		start := sort.Search(len(p.lo1), func(j int) bool { return p.lo1[j] >= from })
+		for j := start; j < len(p.lo1); j++ {
+			if p.lo1[j] > l1hi {
+				break
+			}
+			visited++
+			if e := p.exp[j]; e != 0 && now >= e {
+				continue
+			}
+			if b := p.refs[j]; rectOverlaps(b, lo, hi) {
+				dst = append(dst, query.Match{StreamID: b.StreamID, Seq: b.Seq, FoundAt: now, Node: node})
+			}
+		}
+		for j := 0; j < len(p.tLo1); j++ {
+			l1 := p.tLo1[j]
+			if l1 < from || l1 > l1hi {
+				continue
+			}
+			visited++
+			if e := p.tExp[j]; e != 0 && now >= e {
+				continue
+			}
+			if b := p.tRefs[j]; rectOverlaps(b, lo, hi) {
+				dst = append(dst, query.Match{StreamID: b.StreamID, Seq: b.Seq, FoundAt: now, Node: node})
+			}
+		}
+	}
+	if visited > 0 {
+		s.scanned.Add(visited)
+	}
+	return dst
+}
+
+// rectOverlaps reports whether the MBR intersects the rectangle [lo, hi].
+func rectOverlaps(b *summary.MBR, lo, hi summary.Feature) bool {
+	if len(lo) != len(b.Lo) {
+		return false
+	}
+	for d := range lo {
+		if b.Hi[d] < lo[d] || b.Lo[d] > hi[d] {
+			return false
+		}
+	}
+	return true
+}

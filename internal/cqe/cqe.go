@@ -1,0 +1,161 @@
+// Package cqe is the continuous-query engine: a registry of operator
+// implementations the middleware's message dispatch, periodic maintenance
+// and churn handling fan out through. Every query shape the index serves —
+// the paper's similarity and inner-product paths as much as the windowed
+// aggregates, standing subscriptions and top-k monitors layered on later —
+// is one Operator: it owns a set of message kinds, decodes and encodes its
+// payloads through the codec-v2 tags registered for those kinds, matches
+// against store snapshots (on the worker pool where the kind allows it),
+// and folds partial results at the querying node.
+//
+// The engine itself is substrate-agnostic: operators talk to their node
+// through the Host interface, so the same operator code runs on the
+// virtual-time simulator and the live TCP transport.
+package cqe
+
+import (
+	"fmt"
+
+	"streamdex/internal/dht"
+	"streamdex/internal/sim"
+	"streamdex/internal/summary"
+)
+
+// Host is the node-side environment an operator runs in: identity, clock,
+// ring coverage, and message transmission. The middleware's per-node
+// DataCenter implements it.
+type Host interface {
+	// ID returns the node's overlay identifier.
+	ID() dht.Key
+	// Now returns the current time on the substrate's clock.
+	Now() sim.Time
+	// Covers reports whether this node currently covers the key.
+	Covers(key dht.Key) bool
+	// Send routes a message to the node covering the key. The message is
+	// size-stamped before transmission.
+	Send(to dht.Key, msg *dht.Message)
+	// SendRange disseminates a message over every node covering a key in
+	// [lo, hi] using the configured range-multicast mode.
+	SendRange(lo, hi dht.Key, msg *dht.Message)
+	// ContinueRange keeps a received range multicast going and returns the
+	// number of continuation legs sent.
+	ContinueRange(msg *dht.Message) int
+	// PostToLoop hands control-plane work discovered on a worker back to
+	// the node's serialized loop; it runs the function inline when the
+	// node has no concurrent data plane.
+	PostToLoop(fn func())
+}
+
+// Operator is one continuous-query implementation plugged into the engine.
+//
+// Lifecycle: the engine routes every delivered message of the operator's
+// kinds to Deliver (substrate loop) or DeliverData (worker pool; the
+// operator opts in per message by returning true, anything refused is
+// re-posted to the loop as Deliver). OnMBR runs for every summary entering
+// the local store — on workers under the live transport, so implementations
+// must be internally synchronized and cheap when idle. Tick runs once per
+// push period on the loop for sweeping soft state, pushing partial results
+// toward the querying node, and refreshing standing registrations.
+// OnRingChange fires on the loop when the node's covering arc moved
+// (predecessor or successor changed) so standing state can be re-homed
+// immediately instead of waiting out a push period.
+type Operator interface {
+	// Name identifies the operator in diagnostics and registration
+	// conflicts.
+	Name() string
+	// Kinds lists the message kinds the operator owns.
+	Kinds() []dht.Kind
+	// Deliver handles one message of an owned kind on the loop.
+	Deliver(h Host, msg *dht.Message)
+	// DeliverData optionally absorbs a message on a data-plane worker;
+	// returning false sends it to Deliver on the loop instead.
+	DeliverData(h Host, msg *dht.Message) bool
+	// OnMBR observes a summary entering the local store.
+	OnMBR(h Host, b *summary.MBR)
+	// Tick runs the operator's periodic maintenance.
+	Tick(h Host, now sim.Time)
+	// OnRingChange reacts to a change of the node's ring neighborhood.
+	OnRingChange(h Host)
+}
+
+// Engine is the operator registry of one node: message kinds map to
+// exactly one operator, and periodic/churn upcalls fan out to all of them
+// in registration order.
+type Engine struct {
+	ops    []Operator
+	byKind map[dht.Kind]Operator
+}
+
+// NewEngine returns an empty registry.
+func NewEngine() *Engine {
+	return &Engine{byKind: make(map[dht.Kind]Operator)}
+}
+
+// Register adds an operator. Registering a kind twice is a wiring bug and
+// panics naming both operators.
+func (e *Engine) Register(op Operator) {
+	for _, k := range op.Kinds() {
+		if prev, ok := e.byKind[k]; ok {
+			panic(fmt.Sprintf("cqe: kind %d registered by both %q and %q", k, prev.Name(), op.Name()))
+		}
+		e.byKind[k] = op
+	}
+	e.ops = append(e.ops, op)
+}
+
+// Operator returns the operator owning a kind, if any.
+func (e *Engine) Operator(k dht.Kind) (Operator, bool) {
+	op, ok := e.byKind[k]
+	return op, ok
+}
+
+// Names lists the registered operators in registration order.
+func (e *Engine) Names() []string {
+	out := make([]string, len(e.ops))
+	for i, op := range e.ops {
+		out[i] = op.Name()
+	}
+	return out
+}
+
+// Deliver dispatches a loop delivery to the owning operator, reporting
+// whether one was registered for the kind.
+func (e *Engine) Deliver(h Host, msg *dht.Message) bool {
+	op, ok := e.byKind[msg.Kind]
+	if !ok {
+		return false
+	}
+	op.Deliver(h, msg)
+	return true
+}
+
+// DeliverData dispatches a worker delivery; false means the substrate must
+// re-post the message to the loop (unowned kind or operator refusal).
+func (e *Engine) DeliverData(h Host, msg *dht.Message) bool {
+	op, ok := e.byKind[msg.Kind]
+	if !ok {
+		return false
+	}
+	return op.DeliverData(h, msg)
+}
+
+// OnMBR fans a newly stored summary out to every operator.
+func (e *Engine) OnMBR(h Host, b *summary.MBR) {
+	for _, op := range e.ops {
+		op.OnMBR(h, b)
+	}
+}
+
+// Tick runs every operator's periodic maintenance in registration order.
+func (e *Engine) Tick(h Host, now sim.Time) {
+	for _, op := range e.ops {
+		op.Tick(h, now)
+	}
+}
+
+// OnRingChange notifies every operator of a ring-neighborhood change.
+func (e *Engine) OnRingChange(h Host) {
+	for _, op := range e.ops {
+		op.OnRingChange(h)
+	}
+}

@@ -47,19 +47,32 @@ func ContinueRange(net Network, self Key, msg *Message) int {
 	if !msg.HasRange {
 		return 0
 	}
+	s := net.Space()
+	// The clockwise walk is done once the high boundary lies inside the
+	// arc covered so far, [RangeStart, self]. "Covers(self, RangeEnd)"
+	// alone is not a sufficient stop condition: on a range wrapping
+	// (nearly) the whole ring the node covering the low boundary holds
+	// the high boundary in its interval too, and the walk would end at
+	// its first node with everything in between unvisited. Each hop
+	// therefore advances RangeStart past the sender's interval so the
+	// covered arc is explicit. (The last node may be delivered twice on a
+	// full-circle range; delivery is idempotent everywhere by the
+	// store/registration dedup rules.)
+	doneHigh := s.Distance(msg.RangeStart, msg.RangeEnd) <= s.Distance(msg.RangeStart, self)
 	// Tree dissemination: delegate the remaining arc to the node's
 	// long-range links when the substrate supports it.
-	if msg.Mode == RangeTree && !net.Covers(self, msg.RangeEnd) {
+	if msg.Mode == RangeTree && !doneHigh {
 		if d, ok := net.(RangeDelegator); ok {
 			return d.DelegateRange(self, msg)
 		}
 		// Fallback: sequential walk.
 	}
 	legs := 0
-	// Walk toward the high boundary unless this node already covers it.
-	if msg.Dir >= 0 && !net.Covers(self, msg.RangeEnd) {
+	// Walk toward the high boundary unless the arc is already covered.
+	if msg.Dir >= 0 && !doneHigh {
 		c := msg.Clone()
 		c.Dir = +1
+		c.RangeStart = s.Add(self, 1)
 		net.SendToSuccessor(self, c)
 		legs++
 	}

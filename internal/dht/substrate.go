@@ -33,3 +33,12 @@ type Substrate interface {
 	// Dropped returns the number of data-plane messages lost so far.
 	Dropped() int64
 }
+
+// NeighborWatcher is optionally implemented by substrates that can report
+// ring-neighborhood changes (predecessor or first successor of a node
+// moved) — the churn signal the continuous-query engine re-homes standing
+// registrations on. The callback runs on the substrate's serialized loop
+// and may send messages.
+type NeighborWatcher interface {
+	WatchNeighbors(id Key, fn func())
+}

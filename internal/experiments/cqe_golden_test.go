@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"streamdex/internal/sim"
+)
+
+// cqeLines runs the scaled-down operator workload and formats every field
+// at full precision, mirroring figureLines: any bitwise divergence in the
+// operator data plane (sketch publication, subscription matching, top-k
+// reporting) shows up as a golden diff.
+func cqeLines(t *testing.T, workers int) []string {
+	t.Helper()
+	cfg := goldenConfig()
+	cfg.Ops = true
+	cfg.OpsGap = 1 * sim.Second
+	rows, err := CQELoad([]int{12, 20}, cfg, workers)
+	if err != nil {
+		t.Fatalf("CQELoad: %v", err)
+	}
+	var lines []string
+	for _, r := range rows {
+		lines = append(lines, fmt.Sprintf(
+			"cqe n=%d sketch=%.17g sub=%.17g topk=%.17g sketchMsgs=%d subMsgs=%d topkMsgs=%d",
+			r.Nodes, r.Sketch, r.Subscription, r.TopK,
+			r.SketchMsgs, r.SubMsgs, r.TopKMsgs))
+	}
+	return lines
+}
+
+// TestCQERowsGolden pins the operator-workload figure rows for a fixed
+// seed, the continuous-query analogue of TestFigureRowsGolden. The golden
+// also proves the operators generate traffic at all: a row of zeros would
+// mean registrations never reach covering nodes.
+func TestCQERowsGolden(t *testing.T) {
+	lines := cqeLines(t, 1)
+	for _, l := range lines {
+		if strings.Contains(l, "sketchMsgs=0") || strings.Contains(l, "subMsgs=0") ||
+			strings.Contains(l, "topkMsgs=0") {
+			t.Fatalf("operator class generated no traffic: %s", l)
+		}
+	}
+	got := strings.Join(lines, "\n") + "\n"
+	path := filepath.Join("testdata", "cqe_rows.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d lines)", path, strings.Count(got, "\n"))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("cqe rows diverged from golden:\n%s", diffLines(string(want), got))
+	}
+}
+
+// TestCQESerialParallelDeterminism: sweeping the operator workload across
+// the worker pool must not change any row.
+func TestCQESerialParallelDeterminism(t *testing.T) {
+	serial := cqeLines(t, 1)
+	parallel := cqeLines(t, 4)
+	if len(serial) != len(parallel) {
+		t.Fatalf("row counts differ: serial=%d parallel=%d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("row %d differs:\nserial:   %s\nparallel: %s", i, serial[i], parallel[i])
+		}
+	}
+}

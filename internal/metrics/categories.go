@@ -54,6 +54,14 @@ const (
 	// InnerProduct: inner-product subscriptions and periodic result
 	// pushes.
 	InnerProduct
+	// Sketch: windowed-sketch publications, aggregate-query registrations
+	// and periodic sketch reports of the continuous-query engine.
+	Sketch
+	// Subscription: standing pub/sub predicate registrations and match
+	// pushes.
+	Subscription
+	// TopKFreq: top-k monitor registrations and frequency-table reports.
+	TopKFreq
 	// Other: anything unclassified.
 	Other
 
@@ -86,6 +94,12 @@ func (c Category) String() string {
 		return "location"
 	case InnerProduct:
 		return "inner-product"
+	case Sketch:
+		return "sketch"
+	case Subscription:
+		return "subscription"
+	case TopKFreq:
+		return "top-k"
 	case Other:
 		return "other"
 	default:

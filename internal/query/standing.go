@@ -1,0 +1,128 @@
+// Standing-query shapes served by the continuous-query engine: pub/sub
+// predicates, windowed aggregates, and top-k monitors. Like the paper's two
+// query categories they are continuous — posed once, active for a lifespan —
+// and they are disseminated over the key range their content maps to, so
+// the covering nodes of the MBR index serve them without extra routing
+// state.
+package query
+
+import (
+	"fmt"
+
+	"streamdex/internal/dht"
+	"streamdex/internal/sim"
+	"streamdex/internal/summary"
+)
+
+// Predicate is a standing pub/sub subscription: every MBR whose rectangle
+// intersects [Lo, Hi] during the lifespan is reported to the subscriber
+// (Chen et al.'s predicate subscriptions mapped onto the feature space).
+type Predicate struct {
+	ID     ID
+	Origin dht.Key
+	// Lo and Hi are the corner points of the subscribed feature-space
+	// rectangle.
+	Lo, Hi summary.Feature
+	// Posted and Lifespan delimit the subscription's activity window.
+	Posted   sim.Time
+	Lifespan sim.Time
+}
+
+// Expiry returns the instant the subscription stops being active.
+func (p *Predicate) Expiry() sim.Time { return p.Posted + p.Lifespan }
+
+// KeyRange returns the key range the subscription is disseminated over:
+// the image of its routing-coordinate extent under the mapping function.
+func (p *Predicate) KeyRange(m summary.Mapper) (lo, hi dht.Key) {
+	return m.Range(p.Lo[0], p.Hi[0])
+}
+
+// Overlaps reports whether an MBR given by its corner points intersects the
+// subscribed rectangle.
+func (p *Predicate) Overlaps(lo, hi summary.Feature) bool {
+	if len(lo) != len(p.Lo) {
+		return false
+	}
+	for d := range p.Lo {
+		if hi[d] < p.Lo[d] || lo[d] > p.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate reports a malformed subscription.
+func (p *Predicate) Validate() error {
+	if len(p.Lo) == 0 || len(p.Lo) != len(p.Hi) {
+		return fmt.Errorf("predicate %d: corner dims %d/%d", p.ID, len(p.Lo), len(p.Hi))
+	}
+	for d := range p.Lo {
+		if p.Lo[d] > p.Hi[d] {
+			return fmt.Errorf("predicate %d: inverted rectangle in dim %d", p.ID, d)
+		}
+	}
+	if p.Lifespan <= 0 {
+		return fmt.Errorf("predicate %d: non-positive lifespan", p.ID)
+	}
+	return nil
+}
+
+// Aggregate is a continuous windowed-aggregate query over the streams whose
+// routing coordinate falls in [Lo, Hi]: every covering node pushes its
+// per-stream window sketches to the origin each push period, where they are
+// deduplicated and merged into count/quantile estimates.
+type Aggregate struct {
+	ID     ID
+	Origin dht.Key
+	// Lo and Hi delimit the monitored routing-coordinate range in the
+	// unit feature space.
+	Lo, Hi   float64
+	Posted   sim.Time
+	Lifespan sim.Time
+}
+
+// Expiry returns the instant the query stops being active.
+func (q *Aggregate) Expiry() sim.Time { return q.Posted + q.Lifespan }
+
+// Validate reports a malformed query.
+func (q *Aggregate) Validate() error {
+	if q.Lo > q.Hi {
+		return fmt.Errorf("aggregate %d: inverted range [%g, %g]", q.ID, q.Lo, q.Hi)
+	}
+	if q.Lifespan <= 0 {
+		return fmt.Errorf("aggregate %d: non-positive lifespan", q.ID)
+	}
+	return nil
+}
+
+// TopK is a continuous top-k monitor: covering nodes count how often each
+// stream publishes an MBR into the monitored routing-coordinate range and
+// push their frequency tables to the origin, which maintains the global
+// top-k by summing per-node counts.
+type TopK struct {
+	ID     ID
+	Origin dht.Key
+	// K is how many streams the client wants ranked.
+	K int
+	// Lo and Hi delimit the monitored routing-coordinate range.
+	Lo, Hi   float64
+	Posted   sim.Time
+	Lifespan sim.Time
+}
+
+// Expiry returns the instant the monitor stops being active.
+func (q *TopK) Expiry() sim.Time { return q.Posted + q.Lifespan }
+
+// Validate reports a malformed monitor.
+func (q *TopK) Validate() error {
+	if q.K < 1 {
+		return fmt.Errorf("top-k %d: k = %d", q.ID, q.K)
+	}
+	if q.Lo > q.Hi {
+		return fmt.Errorf("top-k %d: inverted range [%g, %g]", q.ID, q.Lo, q.Hi)
+	}
+	if q.Lifespan <= 0 {
+		return fmt.Errorf("top-k %d: non-positive lifespan", q.ID)
+	}
+	return nil
+}

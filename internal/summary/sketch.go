@@ -1,0 +1,298 @@
+package summary
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"streamdex/internal/sim"
+)
+
+// This file implements the ECM-style windowed sketches the continuous-query
+// engine maintains next to the DFT summaries (Papapetrou et al.,
+// "Sketch-based Querying of Distributed Sliding-Window Data Streams"): an
+// exponential histogram (EH) estimating the number of items in a sliding
+// time window, and a bank of EHs over value sub-ranges that additionally
+// yields approximate quantiles. Both support the approximate merge the
+// distributed aggregation path relies on: covering nodes ship their
+// per-stream sketches to the querying node, which merges them.
+
+// EHBucket is one exponential-histogram bucket: Size items whose newest
+// arrival was at End.
+type EHBucket struct {
+	End  sim.Time
+	Size uint64
+}
+
+// EH is an exponential histogram over a sliding time window (Datar et al.):
+// item arrivals are folded into exponentially growing buckets, keeping at
+// most K+1 buckets per size class, so the in-window count is estimated
+// within a relative error of about 1/K from O(K log n) buckets.
+//
+// The zero value is not usable; construct with NewEH. EH is not
+// goroutine-safe; callers serialize access (the middleware guards each
+// stream's sketch with the stream mutex).
+type EH struct {
+	// Window is the sliding-window span the estimate covers.
+	Window sim.Time
+	// K is the error parameter: at most K+1 buckets per size class.
+	K int
+	// Buckets is the canonical bucket list, oldest first.
+	Buckets []EHBucket
+}
+
+// NewEH returns an empty exponential histogram.
+func NewEH(window sim.Time, k int) *EH {
+	if window <= 0 || k < 1 {
+		panic(fmt.Sprintf("summary: EH with window %d, k %d", window, k))
+	}
+	return &EH{Window: window, K: k}
+}
+
+// Add records one item arriving at time now (non-decreasing across calls).
+func (h *EH) Add(now sim.Time) {
+	h.expire(now)
+	h.Buckets = append(h.Buckets, EHBucket{End: now, Size: 1})
+	h.compact()
+}
+
+// expire drops buckets whose newest item already left the window.
+func (h *EH) expire(now sim.Time) {
+	cut := now - h.Window
+	i := 0
+	for i < len(h.Buckets) && h.Buckets[i].End < cut {
+		i++
+	}
+	if i > 0 {
+		h.Buckets = append(h.Buckets[:0], h.Buckets[i:]...)
+	}
+}
+
+// sizeClass buckets sizes by floor(log2): after merges bucket sizes are not
+// always powers of two, so the K+1 invariant is enforced per class.
+func sizeClass(size uint64) int { return bits.Len64(size) - 1 }
+
+// compact restores the invariant of at most K+1 buckets per size class by
+// merging the two oldest buckets of an over-full class, cascading upward.
+func (h *EH) compact() {
+	for {
+		merged := false
+		// Find the smallest over-full class and merge its two oldest.
+		counts := make(map[int]int, 8)
+		first := make(map[int]int, 8) // class -> oldest index
+		for i, b := range h.Buckets {
+			c := sizeClass(b.Size)
+			if counts[c] == 0 {
+				first[c] = i
+			}
+			counts[c]++
+		}
+		classes := make([]int, 0, len(counts))
+		for c := range counts {
+			classes = append(classes, c)
+		}
+		sort.Ints(classes)
+		for _, c := range classes {
+			if counts[c] <= h.K+1 {
+				continue
+			}
+			// Merge the class's two oldest buckets (they are adjacent in
+			// the list restricted to the class, but not necessarily in the
+			// full list after an approximate merge).
+			i := first[c]
+			j := i + 1
+			for j < len(h.Buckets) && sizeClass(h.Buckets[j].Size) != c {
+				j++
+			}
+			h.Buckets[j].Size += h.Buckets[i].Size
+			h.Buckets = append(h.Buckets[:i], h.Buckets[i+1:]...)
+			merged = true
+			break
+		}
+		if !merged {
+			return
+		}
+	}
+}
+
+// Estimate returns the approximate number of items in (now-Window, now]:
+// the full size of every bucket but the oldest, plus half the oldest
+// (which may straddle the window boundary).
+func (h *EH) Estimate(now sim.Time) uint64 {
+	cut := now - h.Window
+	var total uint64
+	oldest := uint64(0)
+	seen := false
+	for _, b := range h.Buckets {
+		if b.End < cut {
+			continue
+		}
+		total += b.Size
+		if !seen {
+			oldest = b.Size
+			seen = true
+		}
+	}
+	if !seen {
+		return 0
+	}
+	if total == oldest {
+		// A single live bucket: report it fully (its End is in-window and
+		// halving would zero out singletons).
+		return total
+	}
+	return total - oldest + (oldest+1)/2
+}
+
+// Merge folds o's buckets into h (the ECM approximate merge): bucket lists
+// are interleaved by end time and re-compacted. The merged estimate keeps
+// the per-sketch error bounds only approximately — exactly the trade the
+// distributed aggregation accepts.
+func (h *EH) Merge(o *EH) {
+	if o == nil || len(o.Buckets) == 0 {
+		return
+	}
+	h.Buckets = append(h.Buckets, o.Buckets...)
+	sort.SliceStable(h.Buckets, func(i, j int) bool { return h.Buckets[i].End < h.Buckets[j].End })
+	h.compact()
+}
+
+// Clone returns an independent copy.
+func (h *EH) Clone() *EH {
+	c := &EH{Window: h.Window, K: h.K}
+	c.Buckets = append([]EHBucket(nil), h.Buckets...)
+	return c
+}
+
+// Sketch is the per-stream windowed sketch: a bank of Bands exponential
+// histograms, one per equal-width value sub-range of [Lo, Hi]. The bank
+// estimates the number of in-window items (Count) and, from the cumulative
+// band counts, approximate quantiles of the in-window value distribution.
+type Sketch struct {
+	// Window and K parameterize every band histogram.
+	Window sim.Time
+	K      int
+	// Lo and Hi delimit the value range; values outside are clamped into
+	// the edge bands.
+	Lo, Hi float64
+	// Bands holds one EH per value sub-range, low to high.
+	Bands []*EH
+}
+
+// NewSketch returns an empty sketch with bands equal-width sub-ranges of
+// [lo, hi).
+func NewSketch(window sim.Time, k, bands int, lo, hi float64) *Sketch {
+	if bands < 1 || !(lo < hi) {
+		panic(fmt.Sprintf("summary: sketch with %d bands over [%g, %g)", bands, lo, hi))
+	}
+	s := &Sketch{Window: window, K: k, Lo: lo, Hi: hi, Bands: make([]*EH, bands)}
+	for i := range s.Bands {
+		s.Bands[i] = NewEH(window, k)
+	}
+	return s
+}
+
+// bandOf maps a value to its band index, clamping out-of-range values.
+func (s *Sketch) bandOf(v float64) int {
+	if math.IsNaN(v) || v <= s.Lo {
+		return 0
+	}
+	if v >= s.Hi {
+		return len(s.Bands) - 1
+	}
+	i := int(float64(len(s.Bands)) * (v - s.Lo) / (s.Hi - s.Lo))
+	if i >= len(s.Bands) {
+		i = len(s.Bands) - 1
+	}
+	return i
+}
+
+// Add records one stream value arriving at time now.
+func (s *Sketch) Add(now sim.Time, v float64) {
+	s.Bands[s.bandOf(v)].Add(now)
+}
+
+// Count estimates the number of items in the sliding window at time now.
+func (s *Sketch) Count(now sim.Time) uint64 {
+	var total uint64
+	for _, h := range s.Bands {
+		total += h.Estimate(now)
+	}
+	return total
+}
+
+// Quantile estimates the phi-quantile (phi in [0, 1]) of the in-window
+// value distribution at time now, returning the midpoint of the band the
+// cumulative count crosses phi in. With no in-window items it returns Lo.
+func (s *Sketch) Quantile(now sim.Time, phi float64) float64 {
+	total := s.Count(now)
+	if total == 0 {
+		return s.Lo
+	}
+	if phi < 0 {
+		phi = 0
+	}
+	if phi > 1 {
+		phi = 1
+	}
+	target := phi * float64(total)
+	width := (s.Hi - s.Lo) / float64(len(s.Bands))
+	cum := 0.0
+	for i, h := range s.Bands {
+		cum += float64(h.Estimate(now))
+		if cum >= target {
+			return s.Lo + (float64(i)+0.5)*width
+		}
+	}
+	return s.Hi - width/2
+}
+
+// Congruent reports whether o has the same shape (window, K, range, band
+// count), the precondition for Merge.
+func (s *Sketch) Congruent(o *Sketch) bool {
+	return o != nil && s.Window == o.Window && s.K == o.K &&
+		s.Lo == o.Lo && s.Hi == o.Hi && len(s.Bands) == len(o.Bands)
+}
+
+// Merge folds o into s band by band (approximate merge). Incongruent
+// sketches are rejected with an error so a malformed remote report cannot
+// corrupt the fold.
+func (s *Sketch) Merge(o *Sketch) error {
+	if !s.Congruent(o) {
+		return fmt.Errorf("summary: merging incongruent sketches")
+	}
+	for i, h := range s.Bands {
+		h.Merge(o.Bands[i])
+	}
+	return nil
+}
+
+// Clone returns an independent deep copy.
+func (s *Sketch) Clone() *Sketch {
+	c := &Sketch{Window: s.Window, K: s.K, Lo: s.Lo, Hi: s.Hi, Bands: make([]*EH, len(s.Bands))}
+	for i, h := range s.Bands {
+		c.Bands[i] = h.Clone()
+	}
+	return c
+}
+
+// Validate reports a structurally broken sketch (a decoded remote report
+// is validated before entering a fold).
+func (s *Sketch) Validate() error {
+	if s.Window <= 0 || s.K < 1 {
+		return fmt.Errorf("summary: sketch window %d, k %d", s.Window, s.K)
+	}
+	if len(s.Bands) < 1 {
+		return fmt.Errorf("summary: sketch without bands")
+	}
+	if !(s.Lo < s.Hi) {
+		return fmt.Errorf("summary: sketch value range [%g, %g)", s.Lo, s.Hi)
+	}
+	for _, h := range s.Bands {
+		if h == nil {
+			return fmt.Errorf("summary: sketch with nil band")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package summary
+
+import (
+	"math"
+	"testing"
+
+	"streamdex/internal/sim"
+)
+
+func TestEHExactSmallCounts(t *testing.T) {
+	h := NewEH(100*sim.Second, 4)
+	now := sim.Time(0)
+	for i := 0; i < 5; i++ {
+		now += sim.Second
+		h.Add(now)
+	}
+	if got := h.Estimate(now); got != 5 {
+		t.Fatalf("estimate %d after 5 adds, want 5 (few buckets stay exact)", got)
+	}
+}
+
+func TestEHRelativeErrorBound(t *testing.T) {
+	const n = 2000
+	h := NewEH(sim.Time(n)*sim.Second, 4)
+	now := sim.Time(0)
+	for i := 0; i < n; i++ {
+		now += sim.Second
+		h.Add(now)
+	}
+	got := float64(h.Estimate(now))
+	if err := math.Abs(got-n) / n; err > 0.5 {
+		t.Fatalf("estimate %g for true count %d: relative error %.2f too large", got, n, err)
+	}
+	// Bucket count stays logarithmic.
+	if len(h.Buckets) > (h.K+2)*16 {
+		t.Fatalf("%d buckets retained for %d items", len(h.Buckets), n)
+	}
+}
+
+func TestEHWindowExpiry(t *testing.T) {
+	h := NewEH(10*sim.Second, 4)
+	for i := 1; i <= 100; i++ {
+		h.Add(sim.Time(i) * sim.Second)
+	}
+	// Jump far past the window: everything must age out.
+	if got := h.Estimate(1000 * sim.Second); got != 0 {
+		t.Fatalf("estimate %d long after the window emptied, want 0", got)
+	}
+}
+
+func TestEHMergeApproximatesSum(t *testing.T) {
+	w := 1000 * sim.Second
+	a, b := NewEH(w, 4), NewEH(w, 4)
+	now := sim.Time(0)
+	for i := 0; i < 300; i++ {
+		now += sim.Second
+		a.Add(now)
+		b.Add(now)
+	}
+	a.Merge(b)
+	got := float64(a.Estimate(now))
+	if err := math.Abs(got-600) / 600; err > 0.5 {
+		t.Fatalf("merged estimate %g for true count 600: relative error %.2f", got, err)
+	}
+}
+
+func TestSketchCountAndQuantile(t *testing.T) {
+	s := NewSketch(1000*sim.Second, 4, 10, 0, 100)
+	now := sim.Time(0)
+	// Uniform spread 0..99: median should land near 50.
+	for i := 0; i < 400; i++ {
+		now += sim.Second
+		s.Add(now, float64(i%100))
+	}
+	count := float64(s.Count(now))
+	if math.Abs(count-400)/400 > 0.5 {
+		t.Fatalf("count %g, want ~400", count)
+	}
+	med := s.Quantile(now, 0.5)
+	if med < 25 || med > 75 {
+		t.Fatalf("median %g for uniform 0..99", med)
+	}
+	if q := s.Quantile(now, 0); q < 0 || q > 20 {
+		t.Fatalf("0-quantile %g", q)
+	}
+	if q := s.Quantile(now, 1); q < 80 || q > 100 {
+		t.Fatalf("1-quantile %g", q)
+	}
+}
+
+func TestSketchClampsOutOfRange(t *testing.T) {
+	s := NewSketch(100*sim.Second, 4, 4, 0, 10)
+	s.Add(sim.Second, -5)
+	s.Add(sim.Second, 15)
+	s.Add(sim.Second, math.NaN())
+	if got := s.Count(sim.Second); got != 3 {
+		t.Fatalf("count %d after clamped adds, want 3", got)
+	}
+}
+
+func TestSketchMergeRejectsIncongruent(t *testing.T) {
+	a := NewSketch(100*sim.Second, 4, 4, 0, 10)
+	b := NewSketch(100*sim.Second, 4, 8, 0, 10)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging incongruent sketches succeeded")
+	}
+	c := a.Clone()
+	if err := a.Merge(c); err != nil {
+		t.Fatalf("merging congruent clone: %v", err)
+	}
+}
+
+func TestSketchCloneIsIndependent(t *testing.T) {
+	a := NewSketch(100*sim.Second, 4, 4, 0, 10)
+	a.Add(sim.Second, 5)
+	b := a.Clone()
+	b.Add(2*sim.Second, 5)
+	if ac, bc := a.Count(2*sim.Second), b.Count(2*sim.Second); ac != 1 || bc != 2 {
+		t.Fatalf("clone not independent: a=%d b=%d", ac, bc)
+	}
+}
+
+func TestSketchValidate(t *testing.T) {
+	good := NewSketch(100*sim.Second, 4, 4, 0, 10)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid sketch rejected: %v", err)
+	}
+	bad := &Sketch{Window: 100, K: 4, Lo: 10, Hi: 0, Bands: good.Bands}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("inverted value range accepted")
+	}
+	bad2 := &Sketch{Window: 100, K: 4, Lo: 0, Hi: 10, Bands: []*EH{nil}}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("nil band accepted")
+	}
+}

@@ -1,0 +1,183 @@
+package transport_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"streamdex/internal/chord"
+	"streamdex/internal/core"
+	"streamdex/internal/cqe"
+	"streamdex/internal/dht"
+	"streamdex/internal/query"
+	"streamdex/internal/sim"
+	"streamdex/internal/summary"
+)
+
+// Sim-vs-live parity for the three continuous-query operators, on the
+// same timing-independent workload as the loopback similarity test:
+//
+//   - subscription: the box [-0.3, 0.3]^dims contains exactly the
+//     out-of-band streams. Their feature is identically zero, so every
+//     summary they publish is inside the box; in-band features rotate on
+//     a circle of norm ≈ 1, and both bin-1 coordinates simultaneously
+//     below 0.3 would need a norm under 0.43 — impossible. The matched
+//     set is a function of the data alone.
+//   - aggregate and top-k: posted over the whole routing coordinate
+//     range, so every stream's sketches and publications are visible and
+//     the stream *sets* (not the time-dependent counts) must agree.
+type cqeSets struct {
+	sub, agg, topk []string
+}
+
+func (s cqeSets) String() string {
+	return fmt.Sprintf("sub=%v agg=%v topk=%v", s.sub, s.agg, s.topk)
+}
+
+func topkStreams(entries []cqe.StreamCount) []string {
+	out := make([]string, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e.StreamID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func subBox(dims int) (summary.Feature, summary.Feature) {
+	lo := make(summary.Feature, dims)
+	hi := make(summary.Feature, dims)
+	for d := range lo {
+		lo[d], hi[d] = -0.3, 0.3
+	}
+	return lo, hi
+}
+
+// simCQESets runs the cluster workload on the simulator, posts the three
+// operators at node 0, and returns their sorted stream sets.
+func simCQESets(t *testing.T, cfg core.Config) cqeSets {
+	t.Helper()
+	eng := sim.NewEngine()
+	net := chord.New(eng, chord.Config{
+		Space:       cfg.Space,
+		HopDelay:    50 * sim.Millisecond,
+		SuccListLen: 4,
+	})
+	ids := nodeIDs(cfg.Space)
+	sorted := append([]dht.Key(nil), ids...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	net.BuildStable(sorted, nil)
+	mw, err := core.New(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range clusterStreams() {
+		if err := mw.DataCenter(ids[i%nNodes]).RegisterStream(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.RunFor(2 * sim.Second)
+
+	lo, hi := subBox(cfg.FeatureDims)
+	subID, err := mw.PostSubscription(ids[0], lo, hi, 60*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggID, err := mw.PostAggregate(ids[0], -10, 10, 60*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topkID, err := mw.PostTopK(ids[0], nStreams, -10, 10, 60*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(10 * sim.Second)
+
+	if mw.AggCount(aggID) == 0 {
+		t.Fatal("simulator aggregate folded zero points")
+	}
+	sets := cqeSets{
+		sub:  mw.SubscribedStreams(subID),
+		agg:  mw.AggStreams(aggID),
+		topk: topkStreams(mw.TopK(topkID)),
+	}
+	sort.Strings(sets.sub)
+	sort.Strings(sets.agg)
+	return sets
+}
+
+func TestOperatorParitySimVsLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second wall-clock integration test")
+	}
+	cfg := clusterConfig()
+	cfg.Sketches = true
+
+	want := cqeSets{sub: wantMatched(), agg: allStreams(), topk: allStreams()}
+	simSet := simCQESets(t, cfg)
+	if simSet.String() != want.String() {
+		t.Fatalf("simulator operators saw %v, want %v (workload invariant broken)", simSet, want)
+	}
+
+	nodes, mws := liveCluster(t, cfg)
+	ids := nodeIDs(cfg.Space)
+	for i, st := range clusterStreams() {
+		idx := i % nNodes
+		var err error
+		nodes[idx].Do(func() {
+			err = mws[idx].DataCenter(ids[idx]).RegisterStream(st)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Windows fill in WindowSize*Period = 320 ms; leave margin.
+	time.Sleep(1 * time.Second)
+
+	lo, hi := subBox(cfg.FeatureDims)
+	var subID, aggID, topkID query.ID
+	var err error
+	nodes[0].Do(func() {
+		if subID, err = mws[0].PostSubscription(ids[0], lo, hi, 60*sim.Second); err != nil {
+			return
+		}
+		if aggID, err = mws[0].PostAggregate(ids[0], -10, 10, 60*sim.Second); err != nil {
+			return
+		}
+		topkID, err = mws[0].PostTopK(ids[0], nStreams, -10, 10, 60*sim.Second)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(20 * time.Second)
+	var got cqeSets
+	var aggCount uint64
+	for {
+		nodes[0].Do(func() {
+			got = cqeSets{
+				sub:  mws[0].SubscribedStreams(subID),
+				agg:  mws[0].AggStreams(aggID),
+				topk: topkStreams(mws[0].TopK(topkID)),
+			}
+			aggCount = mws[0].AggCount(aggID)
+		})
+		sort.Strings(got.sub)
+		sort.Strings(got.agg)
+		if got.String() == simSet.String() && aggCount > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("live cluster saw %v (agg count %d), simulator saw %v", got, aggCount, simSet)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func allStreams() []string {
+	out := make([]string, nStreams)
+	for i := range out {
+		out[i] = fmt.Sprintf("s%d", i)
+	}
+	return out
+}

@@ -282,6 +282,17 @@ func (n *Node) SetObserver(o dht.Observer) {
 	n.obs.Store(obsBox{o})
 }
 
+// WatchNeighbors implements dht.NeighborWatcher: fn fires on the run loop
+// whenever the ring machine publishes a view with a changed predecessor or
+// first successor. Loop context required (the middleware installs it from
+// AttachNode, which runs under Do).
+func (n *Node) WatchNeighbors(id dht.Key, fn func()) {
+	if id != n.self.ID {
+		return
+	}
+	n.ring.SetNeighborWatch(fn)
+}
+
 // DataPool implements dht.PoolProvider: the executor the application may
 // use for its own data-plane work (ingest ticks). Nil when the pool is
 // disabled.

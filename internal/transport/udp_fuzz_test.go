@@ -4,21 +4,27 @@ import (
 	"testing"
 
 	"streamdex/internal/core"
+	"streamdex/internal/cqe"
 	"streamdex/internal/dht"
 	"streamdex/internal/query"
+	"streamdex/internal/sim"
 	"streamdex/internal/summary"
 	"streamdex/internal/wire"
 )
 
-// fuzzSeedMessages covers every packed data-plane payload kind, so the
-// fuzzer starts from well-formed frames of all nine codecs and mutates
-// from there.
+// fuzzSeedMessages covers every packed data-plane payload kind — the
+// original nine plus the seven continuous-query-engine codecs — so the
+// fuzzer starts from well-formed frames of each and mutates from there.
 func fuzzSeedMessages() []*dht.Message {
 	mbr := &summary.MBR{
 		Lo: summary.Feature{0.1, -0.2, 0.3}, Hi: summary.Feature{0.2, -0.1, 0.4},
 		StreamID: "fuzz-stream", Seq: 9, Count: 25, Created: 100, Expiry: 5_000_100,
 	}
 	match := query.Match{StreamID: "fuzz-stream", Seq: 3, DistLB: 0.5, FoundAt: 7, Node: 11}
+	sk := summary.NewSketch(5_000_000, 2, 3, 0, 90)
+	for i := 0; i < 30; i++ {
+		sk.Add(sim.Time(i)*100_000, float64(i*3))
+	}
 	return []*dht.Message{
 		{Kind: core.KindMBR, Key: 1, Src: 2, Payload: core.MBRUpdate{MBR: mbr}},
 		{Kind: core.KindQuery, Key: 1, Src: 2, Payload: core.SimQuery{
@@ -44,6 +50,28 @@ func fuzzSeedMessages() []*dht.Message {
 		}},
 		{Kind: core.KindIPResp, Key: 1, Src: 2, Payload: core.IPResp{
 			QueryID: 6, Value: query.IPValue{Value: 1.5, At: 9, Approx: true},
+		}},
+		{Kind: core.KindSketch, Key: 1, Src: 2, Payload: core.SketchUpdate{
+			StreamID: "fuzz-stream", Seq: 9, Expiry: 9_000_000, Lo: 0.1, Hi: 0.2, Sketch: sk,
+		}},
+		{Kind: core.KindSub, Key: 1, Src: 2, Payload: core.SubMsg{
+			P: &query.Predicate{ID: 7, Origin: 2, Lo: summary.Feature{-0.2, -0.1},
+				Hi: summary.Feature{0.2, 0.1}, Posted: 1, Lifespan: 1000},
+		}},
+		{Kind: core.KindSubMatch, Key: 1, Src: 2, Payload: core.SubMatchMsg{
+			SubID: 7, Matches: []query.Match{match},
+		}},
+		{Kind: core.KindAggQuery, Key: 1, Src: 2, Payload: core.AggQueryMsg{
+			Q: &query.Aggregate{ID: 8, Origin: 2, Lo: -0.4, Hi: 0.4, Posted: 1, Lifespan: 1000},
+		}},
+		{Kind: core.KindAggReply, Key: 1, Src: 2, Payload: core.AggReplyMsg{
+			QueryID: 8, Items: []core.StreamSketch{{StreamID: "fuzz-stream", Seq: 9, Sketch: sk}},
+		}},
+		{Kind: core.KindTopK, Key: 1, Src: 2, Payload: core.TopKMsg{
+			Q: &query.TopK{ID: 9, Origin: 2, K: 3, Lo: -0.5, Hi: 0.5, Posted: 1, Lifespan: 1000},
+		}},
+		{Kind: core.KindTopKReport, Key: 1, Src: 2, Payload: core.TopKReportMsg{
+			QueryID: 9, Node: 1, Counts: []cqe.StreamCount{{StreamID: "fuzz-stream", Count: 12}},
 		}},
 	}
 }

@@ -74,6 +74,16 @@ func TestUnmarshalAllocBounds(t *testing.T) {
 		"core.LocReply":    3,
 		"core.IPSub":       5, // msg + InnerProduct + string + index + weights
 		"core.IPResp":      2, // msg + box
+		// Continuous-query-engine payloads. A decoded sketch costs the
+		// Sketch struct, its band slice, and one EH plus one bucket slice
+		// per band (the fixtures carry 3 populated bands).
+		"core.SketchUpdate":  11, // msg + box + streamID + sketch objects (8)
+		"core.SubMsg":        6,  // msg + box + Predicate + lo + hi (+1 slack)
+		"core.SubMatchMsg":   7,  // msg + box + matches + 2 strings (+2 slack)
+		"core.AggQueryMsg":   4,  // msg + box + Aggregate (+1 slack)
+		"core.AggReplyMsg":   23, // msg + box + items + 2×(string + sketch objects)
+		"core.TopKMsg":       4,  // msg + box + TopK (+1 slack)
+		"core.TopKReportMsg": 6,  // msg + box + counts + 2 strings (+1 slack)
 		// Ring-control payloads: a Ref decodes to at most one string (its
 		// address), everything else is inline.
 		"protocol.FindReq":  4, // msg + box + 2 addr strings

@@ -6,8 +6,10 @@ import (
 
 	"streamdex/internal/chord/protocol"
 	"streamdex/internal/core"
+	"streamdex/internal/cqe"
 	"streamdex/internal/dht"
 	"streamdex/internal/query"
+	"streamdex/internal/sim"
 	"streamdex/internal/summary"
 	"streamdex/internal/wire"
 )
@@ -25,6 +27,16 @@ func mbr() *summary.MBR {
 	b.Created = 1_000_000
 	b.Expiry = 6_000_000
 	return b
+}
+
+// sketch builds a windowed value sketch with every band populated, so the
+// nested EH bucket encoding is exercised.
+func sketch() *summary.Sketch {
+	s := summary.NewSketch(5_000_000, 2, 3, 0, 90)
+	for i := 0; i < 40; i++ {
+		s.Add(sim.Time(i)*100_000, float64(i*2))
+	}
+	return s
 }
 
 func matches() []query.Match {
@@ -89,6 +101,67 @@ func roundTripCases() []*dht.Message {
 		{
 			Kind: core.KindIPResp, Key: 30, Src: 12, Hops: 4, SentAt: 800_000,
 			Payload: core.IPResp{QueryID: 21, Value: query.IPValue{Value: 3.5, At: 790_000, Approx: true}},
+		},
+		// Continuous-query-engine kinds (PR 7).
+		{
+			Kind: core.KindSketch, Key: 50, Src: 7, Hops: 2, SentAt: 4_000_000,
+			RangeStart: 40, RangeEnd: 80, HasRange: true, Mode: dht.RangeSequential, Dir: 1,
+			Payload: core.SketchUpdate{
+				StreamID: "s-42", Seq: 7, Expiry: 9_000_000, Lo: 0.12, Hi: 0.2, Sketch: sketch(),
+			},
+		},
+		// A sketch-less update: the nil sketch is elided on the wire.
+		{
+			Kind: core.KindSketch, Key: 50, Src: 7, Hops: 1, SentAt: 4_100_000,
+			Payload: core.SketchUpdate{StreamID: "s-43", Seq: 8, Expiry: 9_100_000, Lo: -0.3, Hi: -0.25},
+		},
+		{
+			Kind: core.KindSub, Key: 60, Src: 5, Hops: 1, SentAt: 4_200_000,
+			RangeStart: 55, RangeEnd: 75, HasRange: true, Mode: dht.RangeBidirectional, Dir: -1,
+			Payload: core.SubMsg{P: &query.Predicate{
+				ID: 31, Origin: 5,
+				Lo: summary.Feature{-0.2, -0.1, 0.0, 0.1}, Hi: summary.Feature{0.2, 0.3, 0.4, 0.5},
+				Posted: 4_000_000, Lifespan: 60_000_000,
+			}},
+		},
+		{
+			Kind: core.KindSub, Key: 60, Src: 5, Hops: 1, SentAt: 4_250_000,
+			Payload: core.SubMsg{P: &query.Predicate{
+				ID: 31, Origin: 5,
+				Lo: summary.Feature{-0.2}, Hi: summary.Feature{0.2},
+				Posted: 4_000_000, Lifespan: 60_000_000,
+			}, Cancel: true},
+		},
+		{
+			Kind: core.KindSubMatch, Key: 5, Src: 60, Hops: 3, SentAt: 4_300_000,
+			Payload: core.SubMatchMsg{SubID: 31, Matches: matches()},
+		},
+		{
+			Kind: core.KindAggQuery, Key: 70, Src: 5, Hops: 2, SentAt: 4_400_000,
+			RangeStart: 65, RangeEnd: 85, HasRange: true, Mode: dht.RangeSequential,
+			Payload: core.AggQueryMsg{Q: &query.Aggregate{
+				ID: 33, Origin: 5, Lo: -0.4, Hi: 0.4, Posted: 4_300_000, Lifespan: 45_000_000,
+			}},
+		},
+		{
+			Kind: core.KindAggReply, Key: 5, Src: 70, Hops: 4, SentAt: 4_500_000,
+			Payload: core.AggReplyMsg{QueryID: 33, Items: []core.StreamSketch{
+				{StreamID: "s-1", Seq: 4, Sketch: sketch()},
+				{StreamID: "s-9", Seq: 2, Sketch: sketch()},
+			}},
+		},
+		{
+			Kind: core.KindTopK, Key: 80, Src: 5, Hops: 1, SentAt: 4_600_000,
+			RangeStart: 75, RangeEnd: 95, HasRange: true, Mode: dht.RangeTree,
+			Payload: core.TopKMsg{Q: &query.TopK{
+				ID: 35, Origin: 5, K: 3, Lo: -0.5, Hi: 0.5, Posted: 4_500_000, Lifespan: 50_000_000,
+			}},
+		},
+		{
+			Kind: core.KindTopKReport, Key: 5, Src: 80, Hops: 2, SentAt: 4_700_000,
+			Payload: core.TopKReportMsg{QueryID: 35, Node: 80, Counts: []cqe.StreamCount{
+				{StreamID: "s-1", Count: 12}, {StreamID: "s-9", Count: 4},
+			}},
 		},
 		// Envelope-only frame: the routing layer may carry payload-less
 		// control messages.

@@ -44,6 +44,11 @@ var (
 	packedMu     sync.Mutex
 	packedByType = map[reflect.Type]packedEntry{}
 	packedByTag  = map[uint8]PayloadCodec{}
+	// packedTagOwner remembers which concrete type claimed each tag, so a
+	// duplicate registration can name both colliders — a tag collision is
+	// a cross-package coordination bug, and "tag 23 registered twice" is
+	// undebuggable without knowing who holds it.
+	packedTagOwner = map[uint8]reflect.Type{}
 )
 
 // RegisterPackedPayload records a hand-packed codec for the concrete type
@@ -62,12 +67,13 @@ func RegisterPackedPayload(tag uint8, prototype any, codec PayloadCodec) {
 	packedMu.Lock()
 	defer packedMu.Unlock()
 	if _, dup := packedByTag[tag]; dup {
-		panic(fmt.Sprintf("wire: packed payload tag %d registered twice", tag))
+		panic(fmt.Sprintf("wire: packed payload tag %d registered by both %v and %v", tag, packedTagOwner[tag], t))
 	}
-	if _, dup := packedByType[t]; dup {
-		panic(fmt.Sprintf("wire: packed payload type %v registered twice", t))
+	if prev, dup := packedByType[t]; dup {
+		panic(fmt.Sprintf("wire: packed payload type %v registered twice (tags %d and %d)", t, prev.tag, tag))
 	}
 	packedByTag[tag] = codec
+	packedTagOwner[tag] = t
 	packedByType[t] = packedEntry{tag: tag, codec: codec}
 }
 

@@ -1,0 +1,64 @@
+package wire_test
+
+import (
+	"strings"
+	"testing"
+
+	"streamdex/internal/wire"
+)
+
+// Throwaway payload types for registry collision tests. High tags keep
+// them clear of the real protocol allocations (core 1-15 data kinds use
+// tags 1-9 and 23-29, ring control 16-22).
+type packedProbeA struct{ X int }
+
+type packedProbeB struct{ Y int }
+
+type probeCodec struct{}
+
+func (probeCodec) Append(dst []byte, payload any) ([]byte, error) { return dst, nil }
+func (probeCodec) Decode(data []byte) (any, error)                { return packedProbeA{}, nil }
+
+// TestRegisterPackedPayloadDuplicateTagNamesBoth: a tag collision is a
+// cross-package coordination bug, so the panic must identify both
+// claimants — the type already holding the tag and the type trying to
+// take it — not just the tag number.
+func TestRegisterPackedPayloadDuplicateTagNamesBoth(t *testing.T) {
+	wire.RegisterPackedPayload(200, packedProbeA{}, probeCodec{})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("duplicate tag registration did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string", r)
+		}
+		for _, want := range []string{"200", "packedProbeA", "packedProbeB"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("panic %q does not name %q", msg, want)
+			}
+		}
+	}()
+	wire.RegisterPackedPayload(200, packedProbeB{}, probeCodec{})
+}
+
+// TestRegisterPackedPayloadDuplicateTypePanics: re-registering the same
+// concrete type under a different tag is equally a bug; the panic names
+// the type and both tags.
+func TestRegisterPackedPayloadDuplicateTypePanics(t *testing.T) {
+	wire.RegisterPackedPayload(210, packedProbeB{}, probeCodec{})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("duplicate type registration did not panic")
+		}
+		msg, _ := r.(string)
+		for _, want := range []string{"packedProbeB", "210", "211"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("panic %q does not name %q", msg, want)
+			}
+		}
+	}()
+	wire.RegisterPackedPayload(211, packedProbeB{}, probeCodec{})
+}

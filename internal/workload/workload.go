@@ -70,6 +70,16 @@ type Config struct {
 	// chord substrate with maintenance, which is enabled automatically.
 	FailAt    sim.Time
 	FailCount int
+
+	// Ops enables the continuous-query-engine workload riding alongside
+	// the similarity queries: standing subscriptions, windowed
+	// aggregates and top-k monitors arrive as one Poisson process (mean
+	// gap OpsGap), round-robin across the three operator kinds.
+	// Subscriptions use random feature boxes, aggregates and top-k
+	// monitors random sub-ranges of the stream value / feature space.
+	// Implies per-stream sketches.
+	Ops    bool
+	OpsGap sim.Time
 }
 
 // DefaultConfig returns the Table I workload at the given system size.
@@ -87,6 +97,7 @@ func DefaultConfig(nodes int) Config {
 		HopDelay: 50 * sim.Millisecond,
 		Core:     core.DefaultConfig(),
 		Seed:     1,
+		OpsGap:   2 * sim.Second,
 	}
 }
 
@@ -121,6 +132,9 @@ func (c Config) Validate() error {
 	if c.FailAt > 0 && c.FailCount <= 0 {
 		return fmt.Errorf("workload: FailAt set without FailCount")
 	}
+	if c.Ops && c.OpsGap <= 0 {
+		return fmt.Errorf("workload: Ops set with non-positive OpsGap")
+	}
 	return c.Core.Validate()
 }
 
@@ -136,6 +150,7 @@ type Run struct {
 	Failed []dht.Key
 
 	queries *sim.PoissonProc
+	ops     *sim.PoissonProc
 }
 
 // Build constructs the overlay, middleware, streams and query process, but
@@ -145,6 +160,9 @@ func Build(cfg Config) (*Run, error) {
 		return nil, err
 	}
 	cfg.Core.Seed = cfg.Seed
+	if cfg.Ops {
+		cfg.Core.Sketches = true // aggregates need the windowed sketches
+	}
 	eng := sim.NewEngine()
 	var ids []dht.Key
 	if cfg.Equidistant {
@@ -239,6 +257,47 @@ func Build(cfg Config) (*Run, error) {
 			panic(fmt.Sprintf("workload: generated query rejected: %v", err))
 		}
 	})
+
+	// Continuous-query operators: one Poisson process, round-robin over
+	// subscription / aggregate / top-k so every operator kind sees
+	// arrivals at a third of the rate.
+	if cfg.Ops {
+		opsRng := root.Fork("ops")
+		dims := cfg.Core.FeatureDims
+		kind := 0
+		r.ops = eng.Poisson(opsRng, cfg.OpsGap, func() {
+			origin := ids[opsRng.Intn(len(ids))]
+			life := opsRng.UniformTime(cfg.QMin, cfg.QMax)
+			var err error
+			switch kind % 3 {
+			case 0:
+				// Random feature box: center anywhere in the normalized
+				// coefficient range, half-width 0.05-0.3 per dimension.
+				lo := make(summary.Feature, dims)
+				hi := make(summary.Feature, dims)
+				for d := range lo {
+					c := opsRng.Uniform(-1, 1)
+					w := opsRng.Uniform(0.05, 0.3)
+					lo[d], hi[d] = c-w, c+w
+				}
+				_, err = mw.PostSubscription(origin, lo, hi, life)
+			case 1:
+				// Random routing-coordinate sub-range: sketches are
+				// replicated over their MBR's coordinate range, so the
+				// query range lives in the same normalized space.
+				lo := opsRng.Uniform(-1, 0.7)
+				_, err = mw.PostAggregate(origin, lo, lo+opsRng.Uniform(0.1, 0.3), life)
+			case 2:
+				// Random feature sub-range for the frequency monitor.
+				lo := opsRng.Uniform(-1, 0.5)
+				_, err = mw.PostTopK(origin, 1+opsRng.Intn(5), lo, lo+opsRng.Uniform(0.2, 0.5), life)
+			}
+			if err != nil {
+				panic(fmt.Sprintf("workload: generated operator rejected: %v", err))
+			}
+			kind++
+		})
+	}
 	return r, nil
 }
 
@@ -255,10 +314,24 @@ func (r *Run) Execute() *metrics.Report {
 
 // Stop halts the query arrival process (used when a caller wants to keep
 // simulating without new queries).
-func (r *Run) Stop() { r.queries.Stop() }
+func (r *Run) Stop() {
+	r.queries.Stop()
+	if r.ops != nil {
+		r.ops.Stop()
+	}
+}
 
 // Queries returns the number of queries posted so far.
 func (r *Run) Queries() uint64 { return r.queries.Fires() }
+
+// CQEOps returns the number of continuous-query operators posted so far
+// (zero when the Ops workload is disabled).
+func (r *Run) CQEOps() uint64 {
+	if r.ops == nil {
+		return 0
+	}
+	return r.ops.Fires()
+}
 
 // RunOnce builds and executes a workload in one call.
 func RunOnce(cfg Config) (*metrics.Report, error) {

@@ -20,18 +20,27 @@
 #   8. udp fuzz smoke  — short native-fuzz run of the UDP datagram decode
 #                        path (type byte + wire body, no length prefix),
 #                        seeded with every packed payload kind
-#   9. zero-alloc guards — the lock-free snapshot walk, the candidate
+#   9. operator parity (race) — the three continuous-query operators
+#                        (subscription, aggregate, top-k) on a live 5-node
+#                        TCP cluster must reproduce the simulator's answer
+#                        sets, and a subscription must survive the scripted
+#                        crash of every covering node
+#  10. zero-alloc guards — the lock-free snapshot walk, the candidate
 #                        append and the arena decode must stay
 #                        allocation-free on their steady state
-#  10. smoke bench     — BENCH_FAST=1 figure benchmarks, one iteration,
+#  11. smoke bench     — BENCH_FAST=1 figure benchmarks, one iteration,
 #                        so an accidental O(N) regression in the hot paths
 #                        shows up as a CI timeout / obvious slowdown
-#  11. bench compare   — fresh BENCH_FAST JSON report diffed against the
+#  12. bench compare   — fresh BENCH_FAST JSON report diffed against the
 #                        committed BENCH_2.json, benchstat-style
 #                        (informational), then the committed BENCH_3 vs
 #                        BENCH_4 parallelism reports with a 1.3x
-#                        store-match@4 floor (enforced only on hosts with
-#                        >= 4 real cores in both reports)
+#                        store-match@4 floor, then the committed BENCH_4 vs
+#                        BENCH_5 operator reports with a 0.9x
+#                        store-match@4 floor proving the operator hooks
+#                        did not tax the similarity path (ratio floors are
+#                        enforced only on hosts with >= 4 real cores in
+#                        both reports)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -68,8 +77,10 @@ go test -race -count=1 -run 'TestLoopbackClusterMatchesSimulator|TestRingConverg
 
 echo "== fuzz smoke (FuzzUnmarshal, 10s) =="
 # Mutate frames against the codec v2 decoder for a few seconds. The corpus
-# seeds every registered packed payload kind plus malformed shapes; any
-# panic or round-trip asymmetry fails CI. FUZZ_TIME overrides the budget.
+# seeds every registered packed payload kind — including the continuous-
+# query engine's sketch/subscription/aggregate/top-k payloads — plus
+# malformed shapes; any panic or round-trip asymmetry fails CI. FUZZ_TIME
+# overrides the budget.
 go test -run '^$' -fuzz 'FuzzUnmarshal' -fuzztime "${FUZZ_TIME:-10s}" ./internal/wire
 
 echo "== parallel data plane: GOMAXPROCS=4 loopback smoke (race) =="
@@ -82,9 +93,18 @@ BENCH_FAST=1 go run ./cmd/adidas-bench -parallel "${TMPDIR:-/tmp}/streamdex-benc
 
 echo "== udp fuzz smoke (FuzzDatagramDecode, 10s) =="
 # Mutate raw datagrams (type byte + body) against the connectionless
-# decode path. Seeds cover every packed payload kind over both app frame
-# types plus control/unknown shapes that must be rejected, not crash.
+# decode path. Seeds cover every packed payload kind (CQE payloads
+# included) over both app frame types plus control/unknown shapes that
+# must be rejected, not crash.
 go test -run '^$' -fuzz 'FuzzDatagramDecode' -fuzztime "${FUZZ_TIME:-10s}" ./internal/transport
+
+echo "== continuous-query operator parity (race) =="
+# Sim-vs-live parity for the subscription, aggregate and top-k operators
+# on a real 5-node TCP cluster, plus the scripted churn test: crash every
+# node covering a standing subscription and require detections to resume
+# from freshly re-homed registrations.
+go test -race -count=1 -run 'TestOperatorParitySimVsLive' ./internal/transport
+go test -race -count=1 -run 'TestSubscriptionSurvivesCoveringNodeCrash' ./internal/core
 
 echo "== zero-alloc guards (snapshot walk, candidate append, arena decode) =="
 # The lock-free read path is only lock-free if it also stays off the
@@ -110,5 +130,13 @@ echo "== parallelism comparison: BENCH_3 vs BENCH_4 =="
 # store-match@4 floor only binds when both reports come from hosts with
 # >= 4 real cores; under-cored runs print the table and stand down.
 go run ./cmd/adidas-bench -compare "BENCH_3.json,BENCH_4.json" -minratio store-match@4=1.3
+
+echo "== operator bench comparison: BENCH_4 vs BENCH_5 =="
+# The committed data-plane report against the committed operator report.
+# The shared store rows prove the CQE hooks (per-MBR predicate fan-out,
+# sketch publication) did not tax the similarity path: a 0.9x floor on
+# store-match@4 allows noise but fails a real regression. The floor only
+# binds when both reports come from hosts with >= 4 real cores.
+go run ./cmd/adidas-bench -compare "BENCH_4.json,BENCH_5.json" -minratio store-match@4=0.9
 
 echo "CI OK"
