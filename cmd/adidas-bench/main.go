@@ -10,10 +10,11 @@
 //	adidas-bench -bench BENCH_1.json     # machine-readable figure benchmarks
 //	adidas-bench -parallel BENCH_4.json  # data-plane parallelism (GOMAXPROCS 1/4/8)
 //	adidas-bench -ops BENCH_5.json       # continuous-query operator throughput
+//	adidas-bench -loadskew BENCH_6.json -maxskew 3  # load spread under Zipf skew
 //	adidas-bench -compare old.json,new.json
 //	adidas-bench -compare BENCH_3.json,BENCH_4.json -minratio store-match@4=1.3
 //
-// Experiments: table1, fig3b, fig6a, fig6b, fig7a, fig7b, fig8, cqe,
+// Experiments: table1, fig3b, fig6a, fig6b, fig7a, fig7b, fig8, cqe, loadskew,
 // ablation-multicast, ablation-baselines, ablation-batch,
 // ablation-adaptive, ablation-hierarchy, ablation-resilience,
 // ablation-treehops, ablation-bandwidth, ablation-substrates, all.
@@ -46,6 +47,8 @@ func main() {
 		bench    = flag.String("bench", "", "time the figure pipelines and write JSON results to this path ('-' = stdout)")
 		parallel = flag.String("parallel", "", "measure data-plane parallelism (GOMAXPROCS 1 vs 4) and write JSON to this path ('-' = stdout)")
 		opsBench = flag.String("ops", "", "measure continuous-query operator throughput (sub-match, sketch-fold, loopback-sub) and write JSON to this path ('-' = stdout)")
+		skewOut  = flag.String("loadskew", "", "measure per-node load spread under Zipf query skew, machinery off vs on, and write JSON to this path ('-' = stdout)")
+		maxSkew  = flag.Float64("maxskew", 0, "with -loadskew: fail unless the machinery-on p99/mean load ratio at the smallest size is at most this")
 		minSpeed = flag.Float64("minspeedup", 0, "with -parallel: fail unless match/loopback speed up by this factor (skipped when the host has fewer cores than procs)")
 		compare  = flag.String("compare", "", "compare two -bench or -parallel reports, given as OLD.json,NEW.json")
 		minRatio = flag.String("minratio", "", "with -compare on -parallel reports: fail unless new/old ops/sec meets the floors, e.g. store-match@4=1.3 (rows stand down on hosts with fewer cores than procs)")
@@ -68,6 +71,13 @@ func main() {
 	}
 	if *opsBench != "" {
 		if err := runOpsBench(*opsBench, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "adidas-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *skewOut != "" {
+		if err := runSkewBench(*skewOut, *seed, *maxSkew, *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "adidas-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -165,6 +175,14 @@ func run(exp, sizesFlag string, base workload.Config, workers int) error {
 			return err
 		}
 		show(experiments.FigCQE(rows))
+		ran = true
+	}
+	if want("loadskew") {
+		rows, err := experiments.LoadSkew(paperSizes, base, experiments.DefaultSkew, workers)
+		if err != nil {
+			return err
+		}
+		show(experiments.FigLoadSkew(experiments.DefaultSkew, rows))
 		ran = true
 	}
 	if want("ablation-multicast") {

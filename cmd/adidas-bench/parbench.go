@@ -72,6 +72,8 @@ type parReport struct {
 	Seed        int64        `json:"seed"`
 	Parallelism parSection   `json:"parallelism"`
 	Headline    *parHeadline `json:"headline,omitempty"`
+	// Skew carries the -loadskew rows; absent from -parallel/-ops reports.
+	Skew *skewSection `json:"loadskew,omitempty"`
 }
 
 // parScale holds the operation counts of one -parallel run.

@@ -1,0 +1,190 @@
+package main
+
+// Load-skew benchmark mode. `adidas-bench -loadskew out.json` runs the
+// Zipf(1.1) worst-case workload at each paper size, with the balancing
+// machinery (virtual nodes + covering-range replication with read
+// fan-out) off and on, and writes the per-physical-node load spread as
+// JSON in the streamdex-parbench schema (the committed BENCH_6.json at
+// the repo root). The report repeats the store-match/store-ingest rows of
+// -parallel/-ops, so `-compare BENCH_5.json,BENCH_6.json` proves the
+// replication hooks did not tax the similarity path, and carries the skew
+// rows in a "loadskew" section the compare prints alongside.
+//
+// `-maxskew X` turns the smallest-size machinery-on row into a hard gate:
+// the run fails unless its p99/mean load ratio is at most X (and the
+// machinery actually helped, i.e. the on-ratio does not exceed the
+// off-ratio). BENCH_FAST=1 shrinks the sweep to the 50-node tier with a
+// short measurement interval for smoke runs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"streamdex/internal/experiments"
+	"streamdex/internal/sim"
+	"streamdex/internal/workload"
+)
+
+// skewJSONRow is one per-size, per-arm row of the loadskew section.
+type skewJSONRow struct {
+	Nodes    int     `json:"nodes"`
+	VNodes   int     `json:"vnodes"`
+	Replicas int     `json:"replicas"`
+	Mean     float64 `json:"mean"`
+	P99      float64 `json:"p99"`
+	Max      float64 `json:"max"`
+	Gini     float64 `json:"gini"`
+	Ratio    float64 `json:"p99_over_mean"`
+}
+
+// skewSection is the loadskew extension of the parbench report.
+type skewSection struct {
+	Zipf float64       `json:"zipf"`
+	Rows []skewJSONRow `json:"rows"`
+}
+
+func runSkewBench(outPath string, seed int64, maxSkew float64, workers int) error {
+	if outPath != "-" {
+		f, err := os.OpenFile(outPath, os.O_WRONLY|os.O_CREATE, 0o644)
+		if err != nil {
+			return err
+		}
+		f.Close()
+	}
+	fast := os.Getenv("BENCH_FAST") != ""
+	sc := parScale{preload: 20000, walks: 50000, puts: 200000, shards: 16}
+	sizes := experiments.PaperSizes
+	base := workload.DefaultConfig(0)
+	base.Seed = seed
+	if fast {
+		sc = parScale{preload: 2000, walks: 5000, puts: 20000, shards: 16}
+		sizes = []int{50}
+		base.Measure = 30 * sim.Second
+	}
+
+	procs := []int{1, 4, 8}
+	rep := parReport{
+		Schema:    "streamdex-parbench/1",
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		Fast:      fast,
+		Seed:      seed,
+		Parallelism: parSection{
+			Procs:    procs,
+			Speedups: make(map[string]float64),
+		},
+	}
+	if rep.CPUs < procs[len(procs)-1] {
+		rep.Parallelism.Note = fmt.Sprintf(
+			"host has %d CPU(s): rows above gomaxprocs=%d share cores, so their speedup cannot exceed 1",
+			rep.CPUs, rep.CPUs)
+	}
+
+	// The shared store rows: identical harness to -parallel/-ops, so the
+	// BENCH_5 vs BENCH_6 compare floor judges the replication hooks on the
+	// same similarity path.
+	perProc := make(map[string]map[int]float64)
+	record := func(name string, p int, ops int64, elapsed time.Duration) {
+		r := parRow{Name: name, GOMAXPROCS: p, Ops: ops}
+		if ops > 0 {
+			r.NsPerOp = float64(elapsed.Nanoseconds()) / float64(ops)
+		}
+		if s := elapsed.Seconds(); s > 0 {
+			r.OpsPerSec = float64(ops) / s
+		}
+		rep.Parallelism.Rows = append(rep.Parallelism.Rows, r)
+		if perProc[name] == nil {
+			perProc[name] = make(map[int]float64)
+		}
+		perProc[name][p] = r.OpsPerSec
+		fmt.Fprintf(os.Stderr, "%-14s gomaxprocs=%d %12.0f ns/op %12.0f ops/sec\n",
+			name, p, r.NsPerOp, r.OpsPerSec)
+	}
+	for _, p := range procs {
+		prev := runtime.GOMAXPROCS(p)
+		ops, el := benchStoreMatch(sc, p, seed)
+		record("store-match", p, ops, el)
+		ops, el = benchStoreIngest(sc, p, seed)
+		record("store-ingest", p, ops, el)
+		runtime.GOMAXPROCS(prev)
+	}
+	last := procs[0]
+	for _, p := range procs {
+		if p <= rep.CPUs && p > last {
+			last = p
+		}
+	}
+	for name, by := range perProc {
+		if b0 := by[procs[0]]; b0 > 0 {
+			rep.Parallelism.Speedups[name] = by[last] / b0
+		}
+	}
+
+	// The skew sweep itself: off/on row pairs per size.
+	rows, err := experiments.LoadSkew(sizes, base, experiments.DefaultSkew, workers)
+	if err != nil {
+		return err
+	}
+	sec := &skewSection{Zipf: experiments.DefaultSkew}
+	for _, r := range rows {
+		sec.Rows = append(sec.Rows, skewJSONRow{
+			Nodes: r.Nodes, VNodes: r.VNodes, Replicas: r.Replicas,
+			Mean: r.Mean, P99: r.P99, Max: r.Max, Gini: r.Gini, Ratio: r.Ratio,
+		})
+		arm := "off"
+		if r.Replicas > 1 {
+			arm = "on"
+		}
+		fmt.Fprintf(os.Stderr, "loadskew %4d nodes %-3s mean=%.2f p99=%.2f max=%.2f gini=%.3f p99/mean=%.2f\n",
+			r.Nodes, arm, r.Mean, r.P99, r.Max, r.Gini, r.Ratio)
+	}
+	rep.Skew = sec
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if outPath == "-" {
+		if _, err := os.Stdout.Write(out); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(outPath, out, 0o644); err != nil {
+		return err
+	}
+
+	// The hard gate: at the smallest size, the machinery-on arm must hold
+	// the p99/mean ratio under the ceiling and must not be worse than the
+	// plain ring.
+	if maxSkew > 0 {
+		var off, on *skewJSONRow
+		for i := range sec.Rows {
+			r := &sec.Rows[i]
+			if r.Nodes != sizes[0] {
+				continue
+			}
+			if r.Replicas > 1 {
+				on = r
+			} else {
+				off = r
+			}
+		}
+		if on == nil || off == nil {
+			return fmt.Errorf("maxskew: no off/on row pair at %d nodes", sizes[0])
+		}
+		if on.Ratio > maxSkew {
+			return fmt.Errorf("p99/mean load ratio %.2f at %d nodes (vnodes=%d replicas=%d) exceeds the %.2f ceiling",
+				on.Ratio, on.Nodes, on.VNodes, on.Replicas, maxSkew)
+		}
+		if off.Ratio > 0 && on.Ratio > off.Ratio {
+			return fmt.Errorf("balancing made skew worse at %d nodes: p99/mean %.2f on vs %.2f off",
+				sizes[0], on.Ratio, off.Ratio)
+		}
+		fmt.Fprintf(os.Stderr, "maxskew ok: p99/mean %.2f <= %.2f at %d nodes (off arm: %.2f)\n",
+			on.Ratio, maxSkew, sizes[0], off.Ratio)
+	}
+	return nil
+}

@@ -205,6 +205,7 @@ func (s *apiSession) handle(reply func(format string, args ...any), fields []str
 		reply("UDP-SENT %d", dp.UDPSent)
 		reply("UDP-RECV %d", dp.UDPRecv)
 		reply("UDP-FALLBACK %d", dp.UDPFallback)
+		reply("ADMIT-SHED %d", dp.AdmitShed)
 		reply("SUBS %d", dc.SubCount())
 		reply("STANDING-SUBS %d", dc.StandingSubCount())
 		reply("DROPPED %d", s.node.Dropped())
@@ -384,5 +385,6 @@ func gatherDataPlane(node *transport.Node, dc *core.DataCenter) metrics.DataPlan
 		UDPSent:           sent,
 		UDPRecv:           recv,
 		UDPFallback:       fb,
+		AdmitShed:         dc.AdmitShedCount(),
 	}
 }

@@ -16,6 +16,35 @@ const (
 // and add per-shard walk overhead.
 const shardsWarnFactor = 16
 
+// vnodeWarnTotal: past this many total ring positions (vnodes × expected
+// ring size) the per-position control traffic (stabilization, load
+// gossip, republish fan-out) starts to rival the data plane it is meant
+// to balance.
+const vnodeWarnTotal = 4096
+
+// validateLoadBalance checks the -vnodes/-replicas pair against the
+// expected ring size, returning human-readable warnings or an error for
+// values that must be rejected. ringHint is the operator's estimate of
+// the cluster size (0 = unknown): replication cannot usefully exceed the
+// node count, so a replicas value above the hint is almost always a typo
+// for a different knob.
+func validateLoadBalance(vnodes, replicas, ringHint int) (warnings []string, err error) {
+	if vnodes < 1 {
+		return nil, fmt.Errorf("-vnodes %d: must be at least 1 (1 = a single ring position)", vnodes)
+	}
+	if replicas < 1 {
+		return nil, fmt.Errorf("-replicas %d: must be at least 1 (1 = no replication)", replicas)
+	}
+	if ringHint > 0 && replicas > ringHint {
+		return nil, fmt.Errorf("-replicas %d exceeds the expected ring size %d: a covering range cannot spread over more nodes than the ring holds", replicas, ringHint)
+	}
+	if ringHint > 0 && vnodes*ringHint > vnodeWarnTotal {
+		warnings = append(warnings,
+			fmt.Sprintf("-vnodes %d on an expected %d-node ring is %d ring positions: control traffic grows with positions, not nodes", vnodes, ringHint, vnodes*ringHint))
+	}
+	return warnings, nil
+}
+
 // validateDataPlane checks the -workers/-shards pair against the host's
 // GOMAXPROCS, returning the resolved shard count, human-readable warnings
 // to log, or an error for values that must be rejected.

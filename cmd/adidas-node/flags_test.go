@@ -57,6 +57,74 @@ func TestValidateDataPlaneAccepts(t *testing.T) {
 	}
 }
 
+func TestValidateLoadBalanceRejects(t *testing.T) {
+	cases := []struct {
+		name                       string
+		vnodes, replicas, ringHint int
+		wantErr                    string
+	}{
+		{"vnodes zero", 0, 1, 0, "-vnodes 0"},
+		{"vnodes negative", -3, 1, 0, "-vnodes -3"},
+		{"replicas zero", 1, 0, 0, "-replicas 0"},
+		{"replicas negative", 1, -2, 0, "-replicas -2"},
+		{"replicas beyond ring", 1, 10, 5, "-replicas 10"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := validateLoadBalance(tc.vnodes, tc.replicas, tc.ringHint)
+			if err == nil {
+				t.Fatalf("validateLoadBalance(%d, %d, %d): want error, got nil", tc.vnodes, tc.replicas, tc.ringHint)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidateLoadBalanceAccepts(t *testing.T) {
+	cases := []struct {
+		name                       string
+		vnodes, replicas, ringHint int
+	}{
+		{"defaults", 1, 1, 0},
+		{"replication on", 1, 3, 0},
+		{"replicas at ring size", 1, 5, 5},
+		{"no hint no ceiling", 1, 1000, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			warnings, err := validateLoadBalance(tc.vnodes, tc.replicas, tc.ringHint)
+			if err != nil {
+				t.Fatalf("validateLoadBalance(%d, %d, %d): %v", tc.vnodes, tc.replicas, tc.ringHint, err)
+			}
+			if len(warnings) != 0 {
+				t.Fatalf("unexpected warnings: %v", warnings)
+			}
+		})
+	}
+}
+
+func TestValidateLoadBalanceWarnsOnPositionBlowup(t *testing.T) {
+	// 16 vnodes on an expected 500-node ring is 8000 ring positions —
+	// past the 4096 advice line.
+	warnings, err := validateLoadBalance(16, 3, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "-vnodes 16") {
+		t.Fatalf("want one vnodes warning, got %v", warnings)
+	}
+	// 4 vnodes on 500 nodes is 2000 positions — under the line, no warning.
+	warnings, err = validateLoadBalance(4, 3, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("unexpected warnings: %v", warnings)
+	}
+}
+
 func TestValidateDataPlaneWarns(t *testing.T) {
 	// 200 shards on 4 CPUs is 50 per core — well past the 16x advice line.
 	_, warnings, err := validateDataPlane(0, 200, 4)

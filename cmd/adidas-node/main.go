@@ -77,19 +77,25 @@ func main() {
 		udp      = flag.Bool("udp", false, "publish MBR updates as fire-and-forget UDP datagrams (ring control and queries stay on TCP)")
 		sketches = flag.Bool("sketches", true, "maintain windowed sketches per stream (required for AGG queries)")
 		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this address, with mutex and block profiling enabled")
+		vnodes   = flag.Int("vnodes", 1, "ring positions per node (live deployments run one process per position; >1 is rejected)")
+		replicas = flag.Int("replicas", 1, "covering-range replication factor (1 = no replication)")
+		ringHint = flag.Int("ring-hint", 0, "expected cluster size, used to sanity-check -vnodes/-replicas (0 = unknown)")
+		admRate  = flag.Float64("admit-rate", 0, "admission control: MBR stores allowed per second (0 = unlimited)")
+		admBurst = flag.Float64("admit-burst", 0, "admission control: token-bucket burst capacity (required with -admit-rate)")
 	)
 	flag.Parse()
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
 	log.SetPrefix("adidas-node ")
 
 	if err := run(*listen, *api, *join, *idFlag, *mBits, *streams, *window, *beta, *period, *push, *seed,
-		*workers, *shards, *udp, *sketches, *pprofAt); err != nil {
+		*workers, *shards, *vnodes, *replicas, *ringHint, *admRate, *admBurst, *udp, *sketches, *pprofAt); err != nil {
 		log.Fatal(err)
 	}
 }
 
 func run(listen, api, join string, idFlag uint64, mBits uint, streams, window, beta int,
-	period, push time.Duration, seed int64, workers, shards int, udp, sketches bool, pprofAt string) error {
+	period, push time.Duration, seed int64, workers, shards, vnodes, replicas, ringHint int,
+	admRate, admBurst float64, udp, sketches bool, pprofAt string) error {
 	if streams < 0 || window < 2 || beta < 1 || period <= 0 || push <= 0 {
 		return fmt.Errorf("invalid stream/window/beta/period configuration")
 	}
@@ -97,6 +103,22 @@ func run(listen, api, join string, idFlag uint64, mBits uint, streams, window, b
 	if err != nil {
 		return err
 	}
+	lbWarnings, err := validateLoadBalance(vnodes, replicas, ringHint)
+	if err != nil {
+		return err
+	}
+	if vnodes > 1 {
+		// The simulator multiplexes many ring positions onto one process; a
+		// live deployment gets the same effect by starting more processes.
+		return fmt.Errorf("-vnodes %d: a live node is one process per ring position; start %d processes with distinct -id values instead", vnodes, vnodes)
+	}
+	if admRate < 0 || admBurst < 0 {
+		return fmt.Errorf("-admit-rate/-admit-burst cannot be negative")
+	}
+	if admRate > 0 && admBurst <= 0 {
+		return fmt.Errorf("-admit-rate %g needs a positive -admit-burst", admRate)
+	}
+	warnings = append(warnings, lbWarnings...)
 	for _, w := range warnings {
 		log.Printf("warning: %s", w)
 	}
@@ -160,6 +182,12 @@ func run(listen, api, join string, idFlag uint64, mBits uint, streams, window, b
 	ccfg.Seed = seed
 	ccfg.StoreShards = shards // resolved by validateDataPlane
 	ccfg.Sketches = sketches
+	ccfg.Replicas = replicas
+	ccfg.AdmitRate = admRate
+	ccfg.AdmitBurst = admBurst
+	if replicas > 1 {
+		log.Printf("covering-range replication: %d copies per MBR range", replicas)
+	}
 
 	var mw *core.Middleware
 	node.Do(func() { mw, err = core.New(node, ccfg) })

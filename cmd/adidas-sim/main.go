@@ -32,6 +32,9 @@ func main() {
 		window    = flag.Int("window", 4096, "sliding window size")
 		rangeMode = flag.String("range-mode", "seq", "range multicast: seq, bidi or tree")
 		substrate = flag.String("substrate", "chord", "routing substrate: chord or pastry")
+		vnodes    = flag.Int("vnodes", 0, "virtual ring positions per node (0/1 = one)")
+		replicas  = flag.Int("replicas", 0, "covering-range replication factor (0/1 = off)")
+		skew      = flag.Float64("skew", 0, "Zipf exponent for query targeting (0 = uniform)")
 		verbose   = flag.Bool("v", false, "print the per-node load distribution")
 	)
 	flag.Parse()
@@ -62,6 +65,15 @@ func main() {
 	default:
 		fail("unknown substrate %q (want chord or pastry)", *substrate)
 	}
+	if *vnodes < 0 {
+		fail("-vnodes must be non-negative, got %d", *vnodes)
+	}
+	if *replicas < 0 {
+		fail("-replicas must be non-negative, got %d", *replicas)
+	}
+	if *skew < 0 {
+		fail("-skew must be non-negative, got %g", *skew)
+	}
 
 	cfg := workload.DefaultConfig(*nodes)
 	cfg.Seed = *seed
@@ -71,6 +83,9 @@ func main() {
 	cfg.Core.Beta = *beta
 	cfg.Core.WindowSize = *window
 	cfg.Substrate = *substrate
+	cfg.VNodes = *vnodes
+	cfg.Core.Replicas = *replicas
+	cfg.Skew = *skew
 	switch *rangeMode {
 	case "seq":
 		cfg.Core.RangeMode = dht.RangeSequential

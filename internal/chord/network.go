@@ -394,3 +394,39 @@ func (net *Network) Covers(id dht.Key, key dht.Key) bool {
 	n := net.nodes[id]
 	return n != nil && n.alive && n.covers(net.space.Wrap(key))
 }
+
+// Successors implements dht.RingNeighbors: up to n live successors of id,
+// nearest first, from the node's protocol successor list. The list stops
+// at the first self-reference (a ring smaller than the list wraps around),
+// so callers see each neighbor at most once.
+func (net *Network) Successors(id dht.Key, n int) []dht.Key {
+	nd := net.nodes[id]
+	if nd == nil || !nd.alive || n <= 0 {
+		return nil
+	}
+	out := make([]dht.Key, 0, n)
+	for _, ref := range nd.m.SuccessorList() {
+		if ref.ID == id {
+			break
+		}
+		if !net.isAlive(ref.ID) {
+			continue
+		}
+		out = append(out, ref.ID)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+// SendToNode implements dht.RingNeighbors: one direct traversal to a known
+// ring neighbor, charged and delivered exactly like a successor hop.
+func (net *Network) SendToNode(from, to dht.Key, msg *dht.Message) {
+	n := net.nodes[from]
+	if n == nil || !n.alive || from == to {
+		net.dropped++
+		return
+	}
+	net.transmit(from, to, msg, false)
+}

@@ -93,6 +93,28 @@ type Config struct {
 	// buckets (defaults to [0, 1000): the bounded random-walk range of the
 	// workload generator). Out-of-range values clamp into the edge bands.
 	SketchLo, SketchHi float64
+
+	// Replicas is the hot-range replication factor: every stored MBR is
+	// additionally walked down Replicas-1 ring successors of each natural
+	// coverer, point queries stride over the covering range and pick one
+	// replica by power-of-two-choices over gossiped load reports, and
+	// origins republish their live MBRs each push period so replica sets
+	// re-home after churn. Values <= 1 disable the machinery entirely
+	// (the default): no replica traffic, no load gossip, and the exact
+	// historical message schedule — golden figure rows are bitwise
+	// unchanged.
+	Replicas int
+
+	// AdmitRate and AdmitBurst parameterize per-node admission control on
+	// data-plane ingest: a token bucket refilled at AdmitRate tokens/s
+	// with capacity AdmitBurst, charged one token per MBR/replica store
+	// operation. When the bucket is empty the store operation is shed
+	// (counted in metrics.DataPlane.AdmitShed) while forwarding still
+	// proceeds, so overload degrades to bounded staleness on the
+	// overloaded node instead of unbounded queue growth. AdmitRate <= 0
+	// disables admission control (the default).
+	AdmitRate  float64
+	AdmitBurst float64
 }
 
 // sketchParams returns the effective sketch parameterization with defaults
@@ -168,6 +190,12 @@ func (c Config) Validate() error {
 	}
 	if c.MBRLifespan <= 0 || c.PushPeriod <= 0 {
 		return fmt.Errorf("core: non-positive lifespan/period")
+	}
+	if c.Replicas < 0 {
+		return fmt.Errorf("core: negative replication factor %d", c.Replicas)
+	}
+	if c.AdmitRate > 0 && c.AdmitBurst <= 0 {
+		return fmt.Errorf("core: admission rate %g with non-positive burst %g", c.AdmitRate, c.AdmitBurst)
 	}
 	return nil
 }

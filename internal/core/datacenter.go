@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"streamdex/internal/clock"
 	"streamdex/internal/cqe"
@@ -90,6 +91,20 @@ type DataCenter struct {
 	opSub  *subOp
 	opAgg  *aggOp
 	opTopK *topkOp
+	opRep  *repOp
+
+	// delivered counts every data-plane upcall at this node; the replica
+	// operator samples it per push period into the load rate it gossips.
+	delivered atomic.Int64
+
+	// Admission control (Config.AdmitRate > 0): a token bucket charged one
+	// token per MBR/replica store operation. admitShed counts sheds for
+	// metrics.DataPlane.
+	admitMu     sync.Mutex
+	admitTokens float64
+	admitLast   sim.Time
+	admitSeeded bool
+	admitShed   atomic.Int64
 
 	ticker clock.Ticker
 }
@@ -308,6 +323,11 @@ func (dc *DataCenter) publishMBR(b *summary.MBR) {
 	// subscriptions, frequency monitors).
 	dc.store.Put(b)
 	dc.engine.OnMBR(dc, b)
+	if dc.mw.cfg.Replicas > 1 {
+		// Remember the live summary for periodic republish: replica sets
+		// re-home after churn within one push period.
+		dc.opRep.noteLocal(b)
+	}
 
 	lo, hi := b.KeyRange(dc.mw.mapper)
 	msg := sized(&dht.Message{Kind: KindMBR, Payload: MBRUpdate{MBR: b}})
@@ -342,6 +362,7 @@ func (dc *DataCenter) matchNewMBR(b *summary.MBR) {
 // path every operator observes — is handled natively; every other kind
 // dispatches through the operator registry.
 func (dc *DataCenter) Deliver(self dht.Key, msg *dht.Message) {
+	dc.delivered.Add(1)
 	if msg.Kind == KindMBR {
 		dc.onMBR(msg)
 		return
@@ -356,6 +377,7 @@ func (dc *DataCenter) Deliver(self dht.Key, msg *dht.Message) {
 // each operator decides which of its kinds are worker-safe. Anything
 // declined reports false and the substrate posts Deliver onto its loop.
 func (dc *DataCenter) DeliverData(self dht.Key, msg *dht.Message) bool {
+	dc.delivered.Add(1)
 	if msg.Kind == KindMBR {
 		dc.onMBR(msg)
 		return true
@@ -369,12 +391,58 @@ func (dc *DataCenter) DeliverData(self dht.Key, msg *dht.Message) bool {
 // live transport routes against the lock-free ring view.
 func (dc *DataCenter) onMBR(msg *dht.Message) {
 	b := msg.Payload.(MBRUpdate).MBR
-	if !b.Expired(dc.mw.clk.Now()) {
+	live := !b.Expired(dc.mw.clk.Now())
+	if live && dc.admit() {
 		dc.store.Put(b)
 		dc.engine.OnMBR(dc, b)
 	}
-	dht.ContinueRange(dc.mw.net, dc.id, msg)
+	legs := dht.ContinueRange(dc.mw.net, dc.id, msg)
+	// Replica tail: the last natural coverer of a sequential-mode range
+	// (no forward continuation left) walks the summary down Replicas-1
+	// further successors, so every stored MBR is held by R ring-adjacent
+	// nodes and the strided query walk sees it (§ DESIGN.md 15).
+	if live && legs == 0 && dc.mw.cfg.Replicas > 1 &&
+		msg.Mode == dht.RangeSequential && msg.Dir >= 0 {
+		dc.opRep.sendTail(b)
+	}
 }
+
+// admit charges the admission token bucket for one data-plane store
+// operation. Always true with admission control off (the default). Sheds
+// are counted, never blocked on: soft state repairs itself on the next
+// republish cycle.
+func (dc *DataCenter) admit() bool {
+	cfg := dc.mw.cfg
+	if cfg.AdmitRate <= 0 {
+		return true
+	}
+	now := dc.mw.clk.Now()
+	dc.admitMu.Lock()
+	if !dc.admitSeeded {
+		dc.admitTokens = cfg.AdmitBurst
+		dc.admitLast = now
+		dc.admitSeeded = true
+	}
+	if now > dc.admitLast {
+		dc.admitTokens += cfg.AdmitRate * (float64(now-dc.admitLast) / float64(sim.Second))
+		if dc.admitTokens > cfg.AdmitBurst {
+			dc.admitTokens = cfg.AdmitBurst
+		}
+		dc.admitLast = now
+	}
+	if dc.admitTokens >= 1 {
+		dc.admitTokens--
+		dc.admitMu.Unlock()
+		return true
+	}
+	dc.admitMu.Unlock()
+	dc.admitShed.Add(1)
+	return false
+}
+
+// AdmitShedCount returns the number of ingest operations shed by admission
+// control since node start. Safe from any goroutine.
+func (dc *DataCenter) AdmitShedCount() int64 { return dc.admitShed.Load() }
 
 // handleQuery registers a similarity subscription at a covering node, scans
 // the local index for immediate candidates, installs the aggregator when
@@ -392,6 +460,32 @@ func (dc *DataCenter) onMBR(msg *dht.Message) {
 // serialized ones.
 func (dc *DataCenter) handleQuery(msg *dht.Message, onLoop bool) {
 	p := msg.Payload.(SimQuery)
+	r := dc.mw.cfg.Replicas
+	// Replica-aware read balancing: the first coverer of a query range
+	// picks one of the R replicas by power-of-two-choices over the
+	// gossiped load view and hands the query — middle key rewritten to the
+	// chosen node so registration, aggregation and response pushes all
+	// move with it — directly to that ring neighbor. A rewritten middle
+	// key equal to the receiving node's own id marks the choice as already
+	// made, so the handoff is applied at most once.
+	if r > 1 && msg.Dir == 0 && msg.Mode == dht.RangeSequential && p.MiddleKey != dc.id {
+		if rn, ok := dc.mw.net.(dht.RingNeighbors); ok {
+			if off := dc.opRep.pickOffset(uint64(p.Q.ID)); off > 0 {
+				if succs := rn.Successors(dc.id, off); len(succs) >= off {
+					target := succs[off-1]
+					c := msg.Clone()
+					c.Payload = SimQuery{Q: p.Q, MiddleKey: target}
+					rn.SendToNode(dc.id, target, sized(c))
+					return
+				}
+			}
+			// Offset 0 (or a successor list too short to jump): this node
+			// is the chosen replica and aggregates locally.
+			p = SimQuery{Q: p.Q, MiddleKey: dc.id}
+			msg.Payload = p
+			sized(msg)
+		}
+	}
 	now := dc.mw.clk.Now()
 	if now < p.Q.Expiry() {
 		dc.subMu.Lock()
@@ -422,6 +516,12 @@ func (dc *DataCenter) handleQuery(msg *dht.Message, onLoop bool) {
 				}
 			}
 		}
+	}
+	if r > 1 {
+		// Replicated deployment: stride over the covering range — each
+		// landing holds the skipped nodes' summaries as replicas.
+		dht.ContinueRangeStrided(dc.mw.net, dc.id, msg, r)
+		return
 	}
 	dht.ContinueRange(dc.mw.net, dc.id, msg)
 }

@@ -49,7 +49,9 @@ func (dc *DataCenter) PostToLoop(fn func()) {
 // newEngine builds this data center's operator registry. Registration
 // order is the Tick/OnMBR fan-out order and is part of the simulator's
 // deterministic schedule: similarity and inner-product first (the
-// historical periodTick order), then the PR-7 operators.
+// historical periodTick order), then the PR-7 operators, then the replica
+// operator last — with Config.Replicas at its default its hooks are inert
+// no-ops, keeping the historical schedule intact.
 func newEngine(dc *DataCenter) *cqe.Engine {
 	e := cqe.NewEngine()
 	dc.opSim = &simOp{dc: dc}
@@ -57,10 +59,12 @@ func newEngine(dc *DataCenter) *cqe.Engine {
 	dc.opSub = newSubOp(dc)
 	dc.opAgg = newAggOp(dc)
 	dc.opTopK = newTopKOp(dc)
+	dc.opRep = newRepOp(dc)
 	e.Register(dc.opSim)
 	e.Register(dc.opIP)
 	e.Register(dc.opSub)
 	e.Register(dc.opAgg)
 	e.Register(dc.opTopK)
+	e.Register(dc.opRep)
 	return e
 }

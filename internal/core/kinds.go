@@ -59,6 +59,17 @@ const (
 	// KindTopKReport carries a covering node's cumulative frequency table
 	// to the monitoring node.
 	KindTopKReport
+
+	// Load-balancing kinds (PR 8). Codec tags 30-31.
+
+	// KindReplica walks an MBR copy down the covering node's successor
+	// tail so the summary is held at up to Config.Replicas ring-adjacent
+	// nodes (hot-range read replication).
+	KindReplica
+	// KindLoad gossips a node's recent data-plane message rate (and the
+	// rates it learned from its own successors) one hop to its ring
+	// predecessor, feeding the power-of-two-choices read balancer.
+	KindLoad
 )
 
 // Payload types carried by the messages above. Every type is registered
@@ -75,6 +86,8 @@ func init() {
 	wire.RegisterPayload(LocReply{})
 	wire.RegisterPayload(IPSub{})
 	wire.RegisterPayload(IPResp{})
+	wire.RegisterPayload(ReplicaMsg{})
+	wire.RegisterPayload(LoadMsg{})
 }
 
 // MBRUpdate is the payload of KindMBR.
@@ -142,6 +155,23 @@ type IPResp struct {
 	Value   query.IPValue
 }
 
+// ReplicaMsg is the payload of KindReplica: an MBR copy walking the
+// covering node's successor tail. TTL counts the remaining hops; the
+// receiver stores the copy and forwards with TTL-1 while TTL > 1.
+type ReplicaMsg struct {
+	MBR *summary.MBR
+	TTL int
+}
+
+// LoadMsg is the payload of KindLoad. Loads[0] is the sender's own
+// data-plane message rate (messages/s) over the last push period;
+// Loads[i] is the rate the sender learned for its i-th successor, i
+// periods stale. The receiver (the sender's predecessor) shifts the
+// vector into its successor-load table.
+type LoadMsg struct {
+	Loads []float64
+}
+
 // classifier maps middleware messages onto the evaluation's traffic
 // categories and hop classes. It implements metrics.Classifier.
 type classifier struct{}
@@ -187,6 +217,10 @@ func (classifier) Classify(from dht.Key, msg *dht.Message) metrics.Category {
 		return metrics.Subscription
 	case KindTopK, KindTopKReport:
 		return metrics.TopKFreq
+	case KindReplica:
+		return metrics.Replica
+	case KindLoad:
+		return metrics.LoadReport
 	default:
 		return metrics.Other
 	}

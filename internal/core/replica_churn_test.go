@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+
+	"streamdex/internal/dht"
+	"streamdex/internal/sim"
+	"streamdex/internal/summary"
+)
+
+// holdersOf returns the set of live nodes whose stores hold a non-expired
+// MBR of the given stream.
+func holdersOf(mw *Middleware, ids []dht.Key, stream string, now sim.Time) map[dht.Key]bool {
+	out := make(map[dht.Key]bool)
+	for _, id := range ids {
+		for _, b := range mw.DataCenter(id).store.allEntries() {
+			if b.StreamID == stream && !b.Expired(now) {
+				out[id] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TestQueriesSurvivePrimaryCovererCrash scripts the churn scenario the
+// covering-range replication targets: a hot key's natural first coverer —
+// the node every un-replicated query for that key lands on — is crashed,
+// and point queries posted right after must keep answering from the
+// surviving replicas while the ring heals and the origin's republish
+// re-homes the range. Extends the TestSubscriptionSurvivesCoveringNodeCrash
+// pattern to the MBR read path.
+func TestQueriesSurvivePrimaryCovererCrash(t *testing.T) {
+	cfg := testConfig()
+	cfg.Replicas = 3
+	eng, net, mw, ids := testCluster(t, 16, cfg, true)
+	eng.RunFor(10 * sim.Second) // windows fill, MBRs + replica tails circulate
+
+	// succOf finds a key's natural first coverer on the (sorted) ring.
+	succOf := func(k dht.Key) dht.Key {
+		for _, id := range ids {
+			if id >= k {
+				return id
+			}
+		}
+		return ids[0]
+	}
+
+	// Pick a hot stream whose primary coverer is a third node: not the
+	// stream's own source (crashing that would stop fresh publishes and
+	// test routing, not replication) and not the query origin.
+	origin := ids[0]
+	var target string
+	var primary dht.Key
+	for i, id := range ids {
+		f := mw.DataCenter(id).StreamFeature(streamName(i))
+		if f == nil {
+			continue
+		}
+		lo, _ := mw.Mapper().QueryRange(f.Routing(), 0.15)
+		if p := succOf(lo); p != id && p != origin {
+			target, primary = streamName(i), p
+			break
+		}
+	}
+	if target == "" {
+		t.Fatal("no stream with a distinct primary coverer this seed; adjust seed")
+	}
+
+	// The replica invariant before any churn: the hot stream's summary is
+	// held beyond its natural coverer — the tail put it on the coverer's
+	// successors.
+	pre := holdersOf(mw, ids, target, eng.Now())
+	if len(pre) < cfg.Replicas {
+		t.Fatalf("stream %s held by %d nodes before the crash, want >= %d (replica tail missing)",
+			target, len(pre), cfg.Replicas)
+	}
+	if !pre[primary] {
+		t.Fatalf("primary coverer %d does not hold stream %s; holder set %v", primary, target, keys(pre))
+	}
+
+	// Sanity: the hot key answers before the crash.
+	var f summary.Feature
+	for i, id := range ids {
+		if streamName(i) == target {
+			f = mw.DataCenter(id).StreamFeature(target)
+		}
+	}
+	if f == nil {
+		t.Fatalf("stream %s feature not ready", target)
+	}
+	q1, err := mw.PostSimilarity(origin, f, 0.15, 5*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(3 * sim.Second)
+	found := false
+	for _, sid := range mw.MatchedStreams(q1) {
+		if sid == target {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stream %s not matched before the crash; matched = %v", target, mw.MatchedStreams(q1))
+	}
+
+	// Crash the primary coverer and query again immediately: the strided
+	// read path must answer from a surviving replica.
+	net.Fail(primary)
+	eng.RunFor(2 * sim.Second)
+	q2, err := mw.PostSimilarity(origin, f, 0.15, 8*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(6 * sim.Second)
+	found = false
+	for _, sid := range mw.MatchedStreams(q2) {
+		if sid == target {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stream %s not matched after its primary coverer crashed; matched = %v",
+			target, mw.MatchedStreams(q2))
+	}
+
+	// Re-homing: after stabilization and a few push periods the replica
+	// set must be back at full strength without the dead primary — the
+	// republished range walked the healed ring and re-launched its tail,
+	// so fresh summaries have Replicas live holders again. (A brand-new
+	// holder is not required: the node inheriting the vacated arc was
+	// usually already carrying a tail copy — that is the point of the
+	// tail.)
+	post := holdersOf(mw, ids, target, eng.Now())
+	for id := range post {
+		if !net.Alive(id) {
+			delete(post, id) // a dead node's store is unreachable
+		}
+	}
+	if len(post) < cfg.Replicas {
+		t.Fatalf("stream %s held by %d live nodes after the crash, want >= %d (replica set never regenerated); holders %v",
+			target, len(post), cfg.Replicas, keys(post))
+	}
+}

@@ -112,6 +112,23 @@ type RangeDelegator interface {
 	DelegateRange(self Key, msg *Message) int
 }
 
+// RingNeighbors is optionally implemented by substrates that expose a
+// node's successor list beyond the immediate successor and can transmit a
+// message directly to a known ring neighbor (one traversal, no routing).
+// Replica-aware query dissemination uses it to stride over the covering
+// range and to hand a point query to the replica chosen by the read
+// balancer; substrates without it degrade to the plain sequential walk.
+type RingNeighbors interface {
+	// Successors returns up to n live successors of id, nearest first.
+	// The slice may be shorter than n (small rings, partial lists) and
+	// must not be retained by the caller past the current upcall.
+	Successors(id Key, n int) []Key
+	// SendToNode transmits msg one traversal from `from` directly to the
+	// ring neighbor `to`, preserving cumulative hop count. `to` must have
+	// been obtained from Successors; unknown targets may be dropped.
+	SendToNode(from, to Key, msg *Message)
+}
+
 // App is the application upcall: the routing layer invokes Deliver on the
 // node covering the destination key ("deliver operation that invokes an
 // application upcall upon message delivery").

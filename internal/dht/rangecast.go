@@ -87,3 +87,50 @@ func ContinueRange(net Network, self Key, msg *Message) int {
 	}
 	return legs
 }
+
+// ContinueRangeStrided is ContinueRange for a replica-aware walk: instead
+// of visiting every covering node, the continuation jumps `stride` nodes
+// ahead, so a range replicated at each node's next stride-1 successors is
+// still fully observed while touching only ~1/stride of the coverers.
+//
+// Coverage argument: the walk lands on nodes n_o, n_{o+stride},
+// n_{o+2*stride}, ... of the covering sequence (o < stride is the caller's
+// starting offset). An MBR stored at n_i is replicated on
+// n_i..n_{i+stride-1}, so every window of stride consecutive coverers
+// contains one landing and every stored MBR is seen exactly once. The walk
+// stops at the first landing whose interval contains the high boundary —
+// by the same RangeStart-advancing rule as the sequential walk — which is
+// at or past the last natural coverer, so no window is skipped.
+//
+// Falls back to ContinueRange when stride <= 1, the message is not a
+// sequential-mode forward walk, or the substrate lacks RingNeighbors.
+// Returns the number of continuation legs sent (0 or 1).
+func ContinueRangeStrided(net Network, self Key, msg *Message, stride int) int {
+	if stride <= 1 || !msg.HasRange || msg.Mode != RangeSequential || msg.Dir < 0 {
+		return ContinueRange(net, self, msg)
+	}
+	rn, ok := net.(RingNeighbors)
+	if !ok {
+		return ContinueRange(net, self, msg)
+	}
+	s := net.Space()
+	doneHigh := s.Distance(msg.RangeStart, msg.RangeEnd) <= s.Distance(msg.RangeStart, self)
+	if doneHigh {
+		return 0
+	}
+	succs := rn.Successors(self, stride)
+	if len(succs) < stride {
+		// Ring smaller than the stride (or truncated list): the plain
+		// successor walk is always safe.
+		return ContinueRange(net, self, msg)
+	}
+	c := msg.Clone()
+	c.Dir = +1
+	// Advance the covered arc past self only — the skipped nodes' arc is
+	// then part of [RangeStart, landing] at the next stop-rule check, so a
+	// range ending inside a skipped interval still terminates the walk at
+	// the first landing past it.
+	c.RangeStart = s.Add(self, 1)
+	rn.SendToNode(self, succs[stride-1], c)
+	return 1
+}

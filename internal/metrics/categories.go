@@ -62,6 +62,12 @@ const (
 	Subscription
 	// TopKFreq: top-k monitor registrations and frequency-table reports.
 	TopKFreq
+	// Replica: MBR replica-publish messages walked along the covering
+	// range's successor tail and their soft-state republications.
+	Replica
+	// LoadReport: per-node load reports gossiped to ring predecessors for
+	// the replica-aware read balancer.
+	LoadReport
 	// Other: anything unclassified.
 	Other
 
@@ -100,6 +106,10 @@ func (c Category) String() string {
 		return "subscription"
 	case TopKFreq:
 		return "top-k"
+	case Replica:
+		return "replica"
+	case LoadReport:
+		return "load-report"
 	case Other:
 		return "other"
 	default:

@@ -304,3 +304,27 @@ func (r *Report) MaxLoadNode() (dht.Key, float64) {
 	}
 	return bestID, best
 }
+
+// Gini returns the Gini coefficient of the load sample: 0 for a perfectly
+// flat distribution, approaching 1 as the load concentrates on one node.
+// The load-skew experiment reports it alongside p99/mean as a single-number
+// inequality summary. Empty or all-zero samples yield 0.
+func Gini(loads []float64) float64 {
+	n := len(loads)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, loads)
+	sort.Float64s(sorted)
+	var sum, weighted float64
+	for i, l := range sorted {
+		sum += l
+		weighted += float64(i+1) * l
+	}
+	if sum == 0 {
+		return 0
+	}
+	// G = (2*Σ i*x_i)/(n*Σ x_i) - (n+1)/n, with x ascending and i 1-based.
+	return 2*weighted/(float64(n)*sum) - float64(n+1)/float64(n)
+}

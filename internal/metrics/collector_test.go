@@ -270,3 +270,38 @@ func TestLoadQuantilesEmptyReport(t *testing.T) {
 		}
 	}
 }
+
+func TestGini(t *testing.T) {
+	cases := []struct {
+		name  string
+		loads []float64
+		want  float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 0},
+		{"all equal", []float64{3, 3, 3, 3}, 0},
+		{"all zero", []float64{0, 0, 0}, 0},
+		{"one hot", []float64{0, 0, 0, 1}, 0.75}, // (n-1)/n
+		{"linear ramp", []float64{1, 2, 3, 4}, 0.25},
+		{"order independent", []float64{4, 1, 3, 2}, 0.25},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Gini(tc.loads)
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("Gini(%v) = %v, want %v", tc.loads, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestGiniDoesNotMutateInput(t *testing.T) {
+	loads := []float64{4, 1, 3, 2}
+	Gini(loads)
+	want := []float64{4, 1, 3, 2}
+	for i := range loads {
+		if loads[i] != want[i] {
+			t.Fatalf("input mutated: %v", loads)
+		}
+	}
+}

@@ -27,6 +27,12 @@ type DataPlane struct {
 	UDPSent     int64
 	UDPRecv     int64
 	UDPFallback int64
+
+	// AdmitShed counts data-plane ingest messages dropped by the
+	// admission-control token bucket (zero when admission is off). Sheds
+	// degrade soft-state freshness, not correctness: the next republish
+	// cycle repairs the gap.
+	AdmitShed int64
 }
 
 // ArenaHitRate is the fraction of arena carves served from an existing
@@ -53,5 +59,6 @@ func (d DataPlane) Sub(prev DataPlane) DataPlane {
 		UDPSent:           d.UDPSent - prev.UDPSent,
 		UDPRecv:           d.UDPRecv - prev.UDPRecv,
 		UDPFallback:       d.UDPFallback - prev.UDPFallback,
+		AdmitShed:         d.AdmitShed - prev.AdmitShed,
 	}
 }

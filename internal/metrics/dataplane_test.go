@@ -25,17 +25,17 @@ func TestDataPlaneSub(t *testing.T) {
 	now := DataPlane{
 		StoreEpochs: 10, StoreCowCopied: 20, StoreMerges: 3,
 		ArenaCarves: 100, ArenaRefills: 2, ArenaInternHits: 50, ArenaInternMisses: 5,
-		UDPSent: 7, UDPRecv: 6, UDPFallback: 1,
+		UDPSent: 7, UDPRecv: 6, UDPFallback: 1, AdmitShed: 9,
 	}
 	prev := DataPlane{
 		StoreEpochs: 4, StoreCowCopied: 8, StoreMerges: 1,
 		ArenaCarves: 40, ArenaRefills: 1, ArenaInternHits: 20, ArenaInternMisses: 2,
-		UDPSent: 3, UDPRecv: 2, UDPFallback: 0,
+		UDPSent: 3, UDPRecv: 2, UDPFallback: 0, AdmitShed: 4,
 	}
 	want := DataPlane{
 		StoreEpochs: 6, StoreCowCopied: 12, StoreMerges: 2,
 		ArenaCarves: 60, ArenaRefills: 1, ArenaInternHits: 30, ArenaInternMisses: 3,
-		UDPSent: 4, UDPRecv: 4, UDPFallback: 1,
+		UDPSent: 4, UDPRecv: 4, UDPFallback: 1, AdmitShed: 5,
 	}
 	if got := now.Sub(prev); got != want {
 		t.Fatalf("Sub = %+v, want %+v", got, want)

@@ -411,6 +411,47 @@ func (n *Node) Covers(id dht.Key, key dht.Key) bool {
 	return id == n.self.ID && n.covers(n.space.Wrap(key))
 }
 
+// Successors implements dht.RingNeighbors: up to count successors of the
+// hosted node from the ring's published View, nearest first, stopping at
+// the first self-reference (small rings wrap). Lock-free; safe from pool
+// workers.
+func (n *Node) Successors(id dht.Key, count int) []dht.Key {
+	if id != n.self.ID || count <= 0 {
+		return nil
+	}
+	out := make([]dht.Key, 0, count)
+	for _, ref := range n.ring.View().Succs {
+		if ref.ID == n.self.ID {
+			break
+		}
+		out = append(out, ref.ID)
+		if len(out) == count {
+			break
+		}
+	}
+	return out
+}
+
+// SendToNode implements dht.RingNeighbors: one direct traversal to a ring
+// neighbor known from the successor list. If the view shifted and the
+// target is no longer listed, the message is routed toward the target's
+// own identifier instead — one extra hop beats a drop for the replica-
+// aware query handoff this serves.
+func (n *Node) SendToNode(from, to dht.Key, msg *dht.Message) {
+	if to == n.self.ID {
+		n.dropped.Add(1)
+		return
+	}
+	for _, ref := range n.ring.View().Succs {
+		if ref.ID == to {
+			n.transmitApp(ref, msg, frameDirect)
+			return
+		}
+	}
+	msg.Key = n.space.Wrap(to)
+	n.routeFrom(msg, false)
+}
+
 // covers reports whether this node is the successor node of key: key in
 // (pred, self]. With no predecessor yet the node conservatively covers
 // only its own identifier, exactly like the simulated Chord node. All

@@ -13,8 +13,9 @@ import (
 )
 
 // fuzzSeedMessages covers every packed data-plane payload kind — the
-// original nine plus the seven continuous-query-engine codecs — so the
-// fuzzer starts from well-formed frames of each and mutates from there.
+// original nine, the seven continuous-query-engine codecs, and the two
+// load-balancing codecs (replica tail, load gossip) — so the fuzzer
+// starts from well-formed frames of each and mutates from there.
 func fuzzSeedMessages() []*dht.Message {
 	mbr := &summary.MBR{
 		Lo: summary.Feature{0.1, -0.2, 0.3}, Hi: summary.Feature{0.2, -0.1, 0.4},
@@ -73,6 +74,8 @@ func fuzzSeedMessages() []*dht.Message {
 		{Kind: core.KindTopKReport, Key: 1, Src: 2, Payload: core.TopKReportMsg{
 			QueryID: 9, Node: 1, Counts: []cqe.StreamCount{{StreamID: "fuzz-stream", Count: 12}},
 		}},
+		{Kind: core.KindReplica, Key: 1, Src: 2, Payload: core.ReplicaMsg{MBR: mbr, TTL: 2}},
+		{Kind: core.KindLoad, Key: 1, Src: 2, Payload: core.LoadMsg{Loads: []float64{7.5, 1.25}}},
 	}
 }
 

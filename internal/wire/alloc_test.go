@@ -84,6 +84,10 @@ func TestUnmarshalAllocBounds(t *testing.T) {
 		"core.AggReplyMsg":   23, // msg + box + items + 2×(string + sketch objects)
 		"core.TopKMsg":       4,  // msg + box + TopK (+1 slack)
 		"core.TopKReportMsg": 6,  // msg + box + counts + 2 strings (+1 slack)
+		// Load-balancing payloads: a replica frame decodes like an MBR
+		// update plus its box; a load report is one float slice.
+		"core.ReplicaMsg": 6, // msg + box + MBR + streamID + lo + hi
+		"core.LoadMsg":    3, // msg + box + loads
 		// Ring-control payloads: a Ref decodes to at most one string (its
 		// address), everything else is inline.
 		"protocol.FindReq":  4, // msg + box + 2 addr strings

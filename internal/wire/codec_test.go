@@ -163,6 +163,26 @@ func roundTripCases() []*dht.Message {
 				{StreamID: "s-1", Count: 12}, {StreamID: "s-9", Count: 4},
 			}},
 		},
+		// Load-balancing kinds (PR 8): the replica tail walk and the
+		// per-node load gossip.
+		{
+			Kind: core.KindReplica, Key: 90, Src: 50, Hops: 1, SentAt: 4_800_000,
+			Payload: core.ReplicaMsg{MBR: mbr(), TTL: 2},
+		},
+		// An MBR-less replica frame: the nil MBR is elided on the wire.
+		{
+			Kind: core.KindReplica, Key: 90, Src: 50, Hops: 2, SentAt: 4_850_000,
+			Payload: core.ReplicaMsg{TTL: 1},
+		},
+		{
+			Kind: core.KindLoad, Key: 40, Src: 50, Hops: 1, SentAt: 4_900_000,
+			Payload: core.LoadMsg{Loads: []float64{12.5, 3.25, 0}},
+		},
+		// An empty load report must round-trip too.
+		{
+			Kind: core.KindLoad, Key: 40, Src: 50, Hops: 1, SentAt: 4_950_000,
+			Payload: core.LoadMsg{},
+		},
 		// Envelope-only frame: the routing layer may carry payload-less
 		// control messages.
 		{Kind: core.KindResponse, Key: 1, Src: 2, Hops: 1, SentAt: 1},

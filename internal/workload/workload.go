@@ -80,6 +80,23 @@ type Config struct {
 	// Implies per-stream sketches.
 	Ops    bool
 	OpsGap sim.Time
+
+	// VNodes is the number of ring positions each physical node owns
+	// (virtual nodes). Every position is a full overlay node; streams and
+	// query origins attach to one primary position per physical node, and
+	// Run.PhysOf maps every ring id back to its physical owner so load
+	// reports can be aggregated per machine. Values <= 1 reproduce the
+	// historical one-id-per-node runs exactly.
+	VNodes int
+
+	// Skew, when positive, switches query targeting from uniform to a
+	// Zipf(Skew) rank-frequency distribution over SkewRanks hot routing
+	// coordinates — the skewed millions-of-users workload of the loadskew
+	// experiment. Zero (the default) keeps the Table I uniform draws,
+	// bitwise unchanged.
+	Skew float64
+	// SkewRanks is the number of distinct hot targets (default 1024).
+	SkewRanks int
 }
 
 // DefaultConfig returns the Table I workload at the given system size.
@@ -135,6 +152,15 @@ func (c Config) Validate() error {
 	if c.Ops && c.OpsGap <= 0 {
 		return fmt.Errorf("workload: Ops set with non-positive OpsGap")
 	}
+	if c.VNodes < 0 {
+		return fmt.Errorf("workload: negative virtual-node count %d", c.VNodes)
+	}
+	if c.Skew < 0 {
+		return fmt.Errorf("workload: negative skew exponent %v", c.Skew)
+	}
+	if c.SkewRanks < 0 {
+		return fmt.Errorf("workload: negative skew rank count %d", c.SkewRanks)
+	}
 	return c.Core.Validate()
 }
 
@@ -145,6 +171,13 @@ type Run struct {
 	Net dht.Substrate
 	MW  *core.Middleware
 	IDs []dht.Key
+
+	// Primaries holds one ring id per physical node (sorted): the
+	// position its stream attaches to and queries originate from. Equal
+	// to IDs when VNodes <= 1.
+	Primaries []dht.Key
+	// PhysOf maps every ring id to its physical node index [0, Nodes).
+	PhysOf map[dht.Key]int
 
 	// Failed lists the nodes crashed by the failure-injection schedule.
 	Failed []dht.Key
@@ -164,12 +197,38 @@ func Build(cfg Config) (*Run, error) {
 		cfg.Core.Sketches = true // aggregates need the windowed sketches
 	}
 	eng := sim.NewEngine()
+	vn := cfg.VNodes
+	if vn < 1 {
+		vn = 1
+	}
+	total := cfg.Nodes * vn
+	// Physical ownership is assigned in generation order, round-robin, so
+	// each physical node's vn ring positions interleave around the ring;
+	// the first Nodes generated ids become the primaries (stream homes and
+	// query origins). With vn == 1 every id is its own primary and the
+	// construction reduces bitwise to the historical one.
+	physOf := make(map[dht.Key]int, total)
+	primaries := make([]dht.Key, cfg.Nodes)
 	var ids []dht.Key
 	if cfg.Equidistant {
-		ids = chord.EquidistantIDs(cfg.Core.Space, cfg.Nodes)
+		ids = chord.EquidistantIDs(cfg.Core.Space, total)
+		for i, id := range ids {
+			if i < cfg.Nodes {
+				primaries[i] = id
+			}
+			physOf[id] = i % cfg.Nodes
+		}
 	} else {
-		ids = chord.SortKeys(chord.UniformIDs(cfg.Core.Space, cfg.Nodes))
+		raw := chord.UniformIDs(cfg.Core.Space, total)
+		for i, id := range raw {
+			if i < cfg.Nodes {
+				primaries[i] = id
+			}
+			physOf[id] = i % cfg.Nodes
+		}
+		ids = chord.SortKeys(raw)
 	}
+	chord.SortKeys(primaries)
 	var net dht.Substrate
 	var chordNet *chord.Network
 	switch cfg.Substrate {
@@ -206,9 +265,9 @@ func Build(cfg Config) (*Run, error) {
 	root := sim.NewRand(cfg.Seed)
 	streamRng := root.Fork("streams")
 	periodRng := root.Fork("periods")
-	// One stream per node (§V: "each node is a source of exactly one
-	// stream").
-	for i, id := range ids {
+	// One stream per physical node (§V: "each node is a source of exactly
+	// one stream"), attached to its primary ring position.
+	for i, id := range primaries {
 		gen := stream.DefaultRandomWalk(streamRng.Fork(fmt.Sprintf("walk-%d", i)))
 		st := stream.Stream{
 			ID:      fmt.Sprintf("stream-%d", i),
@@ -221,7 +280,7 @@ func Build(cfg Config) (*Run, error) {
 		}
 	}
 
-	r := &Run{Cfg: cfg, Eng: eng, Net: net, MW: mw, IDs: ids}
+	r := &Run{Cfg: cfg, Eng: eng, Net: net, MW: mw, IDs: ids, Primaries: primaries, PhysOf: physOf}
 
 	// Failure injection: crash FailCount random nodes at warm-up +
 	// FailAt; the ring repairs itself through stabilization while the
@@ -241,13 +300,27 @@ func Build(cfg Config) (*Run, error) {
 		})
 	}
 
-	// Query process: Poisson arrivals at random nodes with uniform
-	// feature vectors and uniform lifespans.
+	// Query process: Poisson arrivals at random physical nodes with
+	// uniform lifespans. The routing coordinate is uniform by default; a
+	// positive Skew draws it from a Zipf rank-frequency distribution over
+	// a fixed set of hot coordinates instead.
+	var zipf *Zipf
+	if cfg.Skew > 0 {
+		ranks := cfg.SkewRanks
+		if ranks <= 0 {
+			ranks = DefaultSkewRanks
+		}
+		zipf = NewZipf(cfg.Skew, ranks)
+	}
 	queryRng := root.Fork("queries")
 	r.queries = eng.Poisson(queryRng, cfg.QueryGap, func() {
-		origin := ids[queryRng.Intn(len(ids))]
+		origin := primaries[queryRng.Intn(len(primaries))]
 		f := make(summary.Feature, cfg.Core.FeatureDims)
-		f[0] = queryRng.Uniform(-1, 1)
+		if zipf != nil {
+			f[0] = zipf.Coord(zipf.Sample(queryRng))
+		} else {
+			f[0] = queryRng.Uniform(-1, 1)
+		}
 		for d := 1; d < len(f); d++ {
 			f[d] = queryRng.Uniform(-0.3, 0.3)
 		}
@@ -266,7 +339,7 @@ func Build(cfg Config) (*Run, error) {
 		dims := cfg.Core.FeatureDims
 		kind := 0
 		r.ops = eng.Poisson(opsRng, cfg.OpsGap, func() {
-			origin := ids[opsRng.Intn(len(ids))]
+			origin := primaries[opsRng.Intn(len(primaries))]
 			life := opsRng.UniformTime(cfg.QMin, cfg.QMax)
 			var err error
 			switch kind % 3 {

@@ -1,0 +1,68 @@
+package workload
+
+// Zipf query targeting for the load-skew experiment: query routing
+// coordinates are drawn from a fixed set of ranked hot spots whose
+// frequencies follow a power law P(rank) ∝ rank^-s — the classic
+// millions-of-users popularity curve (s ≈ 1.1 for web-object traces).
+// Because the paper's mapping h is locality-preserving, a popular
+// coordinate concentrates query traffic on the few nodes covering its key
+// range; this sampler makes that worst case reproducible.
+
+import (
+	"math"
+	"sort"
+
+	"streamdex/internal/sim"
+)
+
+// DefaultSkewRanks is the hot-target set size when Config.SkewRanks is 0.
+const DefaultSkewRanks = 1024
+
+// Zipf samples ranks 1..N with P(r) ∝ r^-s by inversion over the
+// precomputed cumulative distribution. Sampling costs one uniform draw
+// plus a binary search, and two samplers built with the same parameters
+// are identical — determinism under seed is inherited entirely from the
+// caller's rng.
+type Zipf struct {
+	s   float64
+	cum []float64 // cum[i] = P(rank <= i+1), cum[N-1] == 1
+}
+
+// NewZipf builds a sampler over ranks 1..ranks with exponent s > 0.
+func NewZipf(s float64, ranks int) *Zipf {
+	if s <= 0 || ranks < 1 {
+		panic("workload: Zipf needs s > 0 and ranks >= 1")
+	}
+	cum := make([]float64, ranks)
+	total := 0.0
+	for r := 1; r <= ranks; r++ {
+		total += math.Pow(float64(r), -s)
+		cum[r-1] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	cum[ranks-1] = 1 // guard against rounding
+	return &Zipf{s: s, cum: cum}
+}
+
+// Ranks returns the size of the hot-target set.
+func (z *Zipf) Ranks() int { return len(z.cum) }
+
+// Sample draws one rank in [1, Ranks] using a single uniform variate from
+// rng.
+func (z *Zipf) Sample(rng *sim.Rand) int {
+	u := rng.Uniform(0, 1)
+	return 1 + sort.SearchFloat64s(z.cum, u)
+}
+
+// Coord maps a rank to its routing coordinate in (-1, 1). The golden-ratio
+// scramble spreads consecutive ranks maximally apart on the coordinate
+// axis, so the hottest targets do not cluster on adjacent nodes and the
+// skew stresses independent ring regions — the hardest case for purely
+// local balancing.
+func (z *Zipf) Coord(rank int) float64 {
+	const phi = 0.6180339887498949 // 1/golden ratio
+	_, frac := math.Modf(float64(rank) * phi)
+	return 2*frac - 1
+}

@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"streamdex/internal/sim"
+)
+
+// TestZipfSlope draws a large sample and fits the log-log rank-frequency
+// line: for P(r) ∝ r^-s the slope over the well-populated head ranks must
+// come back ≈ -s.
+func TestZipfSlope(t *testing.T) {
+	const (
+		s       = 1.1
+		ranks   = 1024
+		samples = 400000
+	)
+	z := NewZipf(s, ranks)
+	rng := sim.NewRand(7)
+	counts := make([]int, ranks+1)
+	for i := 0; i < samples; i++ {
+		r := z.Sample(rng)
+		if r < 1 || r > ranks {
+			t.Fatalf("sample %d out of [1, %d]", r, ranks)
+		}
+		counts[r]++
+	}
+	// Least-squares fit of log(count) vs log(rank) over the head, where
+	// every rank has enough mass for the log to be stable.
+	var n, sx, sy, sxx, sxy float64
+	for r := 1; r <= 64; r++ {
+		if counts[r] == 0 {
+			t.Fatalf("head rank %d drew no samples", r)
+		}
+		x := math.Log(float64(r))
+		y := math.Log(float64(counts[r]))
+		n++
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	slope := (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	if math.Abs(slope+s) > 0.1 {
+		t.Fatalf("fitted rank-frequency slope %.3f, want about %.1f", slope, -s)
+	}
+}
+
+// TestZipfDeterminism: two samplers with the same parameters driven by
+// identically seeded rngs must produce identical sequences, and the
+// sampler itself must hold no hidden state.
+func TestZipfDeterminism(t *testing.T) {
+	a, b := NewZipf(1.1, 512), NewZipf(1.1, 512)
+	ra, rb := sim.NewRand(42), sim.NewRand(42)
+	for i := 0; i < 10000; i++ {
+		if sa, sb := a.Sample(ra), b.Sample(rb); sa != sb {
+			t.Fatalf("sample %d diverged: %d vs %d", i, sa, sb)
+		}
+	}
+}
+
+// TestZipfCoordRange: every rank must map to a routing coordinate
+// strictly inside the stream feature range, and distinct head ranks must
+// not collide (the golden-ratio scramble is injective over small sets).
+func TestZipfCoordRange(t *testing.T) {
+	z := NewZipf(1.1, DefaultSkewRanks)
+	seen := make(map[float64]int)
+	for r := 1; r <= z.Ranks(); r++ {
+		c := z.Coord(r)
+		if c < -1 || c >= 1 {
+			t.Fatalf("rank %d coordinate %v outside [-1, 1)", r, c)
+		}
+		if prev, dup := seen[c]; dup {
+			t.Fatalf("ranks %d and %d map to the same coordinate %v", prev, r, c)
+		}
+		seen[c] = r
+	}
+}

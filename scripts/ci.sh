@@ -41,6 +41,13 @@
 #                        did not tax the similarity path (ratio floors are
 #                        enforced only on hosts with >= 4 real cores in
 #                        both reports)
+#  13. loadskew gate   — fast-tier Zipf(1.1) load-skew run; the balanced
+#                        arm (vnodes + covering-range replication) must
+#                        keep p99/mean per-node load under the bound AND
+#                        beat the unbalanced arm, then the committed
+#                        BENCH_5 vs BENCH_6 reports with a 0.9x
+#                        store-match@4 floor proving the load-balancing
+#                        hooks did not tax the un-replicated data plane
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -138,5 +145,19 @@ echo "== operator bench comparison: BENCH_4 vs BENCH_5 =="
 # store-match@4 allows noise but fails a real regression. The floor only
 # binds when both reports come from hosts with >= 4 real cores.
 go run ./cmd/adidas-bench -compare "BENCH_4.json,BENCH_5.json" -minratio store-match@4=0.9
+
+echo "== load-skew gate: fast-tier Zipf(1.1) p99/mean bound =="
+# Deterministic (seeded virtual-time) 50-node Zipf(1.1) run of both arms.
+# -maxskew fails CI if the balanced arm (vnodes=4, replicas=3) exceeds
+# 2x p99/mean per-node load or fails to improve on the unbalanced arm.
+BENCH_FAST=1 go run ./cmd/adidas-bench -loadskew "${TMPDIR:-/tmp}/streamdex-bench6.json" -maxskew 2
+
+echo "== load-balancing bench comparison: BENCH_5 vs BENCH_6 =="
+# The committed operator report against the committed load-skew report.
+# The shared store rows prove the default-off balancing hooks (replica
+# tail, load gossip, admission check) did not tax the un-replicated
+# similarity path. The floor only binds when both reports come from
+# hosts with >= 4 real cores.
+go run ./cmd/adidas-bench -compare "BENCH_5.json,BENCH_6.json" -minratio store-match@4=0.9
 
 echo "CI OK"
