@@ -11,13 +11,15 @@
 //	adidas-bench -parallel BENCH_4.json  # data-plane parallelism (GOMAXPROCS 1/4/8)
 //	adidas-bench -ops BENCH_5.json       # continuous-query operator throughput
 //	adidas-bench -loadskew BENCH_6.json -maxskew 3  # load spread under Zipf skew
+//	adidas-bench -substrates BENCH_7.json -maxhopsratio 1  # chord vs koorde head-to-head
 //	adidas-bench -compare old.json,new.json
 //	adidas-bench -compare BENCH_3.json,BENCH_4.json -minratio store-match@4=1.3
 //
 // Experiments: table1, fig3b, fig6a, fig6b, fig7a, fig7b, fig8, cqe, loadskew,
 // ablation-multicast, ablation-baselines, ablation-batch,
 // ablation-adaptive, ablation-hierarchy, ablation-resilience,
-// ablation-treehops, ablation-bandwidth, ablation-substrates, all.
+// ablation-treehops, ablation-bandwidth, ablation-substrates,
+// headtohead, all.
 //
 // Every experiment is deterministic for a fixed -seed. Sweeps run one
 // simulation per parameter point, in parallel across -workers goroutines.
@@ -49,6 +51,8 @@ func main() {
 		opsBench = flag.String("ops", "", "measure continuous-query operator throughput (sub-match, sketch-fold, loopback-sub) and write JSON to this path ('-' = stdout)")
 		skewOut  = flag.String("loadskew", "", "measure per-node load spread under Zipf query skew, machinery off vs on, and write JSON to this path ('-' = stdout)")
 		maxSkew  = flag.Float64("maxskew", 0, "with -loadskew: fail unless the machinery-on p99/mean load ratio at the smallest size is at most this")
+		subsOut  = flag.String("substrates", "", "run the chord-vs-koorde routing-machine head-to-head and write JSON to this path ('-' = stdout)")
+		maxHops  = flag.Float64("maxhopsratio", 0, "with -substrates: fail unless koorde's mean lookup hops are strictly below this ratio of chord's at the largest size")
 		minSpeed = flag.Float64("minspeedup", 0, "with -parallel: fail unless match/loopback speed up by this factor (skipped when the host has fewer cores than procs)")
 		compare  = flag.String("compare", "", "compare two -bench or -parallel reports, given as OLD.json,NEW.json")
 		minRatio = flag.String("minratio", "", "with -compare on -parallel reports: fail unless new/old ops/sec meets the floors, e.g. store-match@4=1.3 (rows stand down on hosts with fewer cores than procs)")
@@ -78,6 +82,13 @@ func main() {
 	}
 	if *skewOut != "" {
 		if err := runSkewBench(*skewOut, *seed, *maxSkew, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "adidas-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *subsOut != "" {
+		if err := runSubstratesBench(*subsOut, *seed, *maxHops, *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "adidas-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -245,6 +256,14 @@ func run(exp, sizesFlag string, base workload.Config, workers int) error {
 			return err
 		}
 		show(experiments.AblationSubstrates(rows))
+		ran = true
+	}
+	if want("headtohead") {
+		rows, err := experiments.HeadToHead(paperSizes, base.Seed, 0, workers)
+		if err != nil {
+			return err
+		}
+		show(experiments.HeadToHeadTable(rows))
 		ran = true
 	}
 	if !ran {

@@ -74,6 +74,9 @@ type parReport struct {
 	Headline    *parHeadline `json:"headline,omitempty"`
 	// Skew carries the -loadskew rows; absent from -parallel/-ops reports.
 	Skew *skewSection `json:"loadskew,omitempty"`
+	// Substrates carries the -substrates head-to-head rows; absent from
+	// the other report modes.
+	Substrates *substratesSection `json:"substrates,omitempty"`
 }
 
 // parScale holds the operation counts of one -parallel run.

@@ -157,6 +157,7 @@ func (s *apiSession) handle(reply func(format string, args ...any), fields []str
 		// rotations, predecessor drops, finger repairs, stale or
 		// TTL-dropped lookups).
 		rs := s.node.RingStats()
+		reply("MACHINE %s", rs.Machine)
 		reply("STABILIZE-ROUNDS %d", rs.StabilizeRounds)
 		reply("STABILIZE-MISSES %d", rs.StabilizeMisses)
 		reply("SUCC-ROTATIONS %d", rs.SuccRotations)

@@ -11,6 +11,7 @@ import (
 	"streamdex/internal/dht"
 	"streamdex/internal/sim"
 	"streamdex/internal/stream"
+	"streamdex/internal/transport"
 )
 
 // newSimSession builds an apiSession over a simulated 4-node overlay with
@@ -70,6 +71,37 @@ func okID(t *testing.T, replies []string) string {
 		t.Fatalf("OK reply carries non-numeric id %q", id)
 	}
 	return id
+}
+
+// TestRingStatsNamesMachine runs RINGSTATS against live transport nodes
+// of both registered machine families and requires the first line to
+// identify the routing machine, so operators can tell at a glance which
+// control plane a node is running.
+func TestRingStatsNamesMachine(t *testing.T) {
+	for _, machine := range []string{"chord", "koorde"} {
+		t.Run(machine, func(t *testing.T) {
+			tcfg := transport.DefaultConfig(42, "127.0.0.1:0")
+			tcfg.Space = dht.NewSpace(16)
+			tcfg.Machine = machine
+			node, err := transport.New(tcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer node.Close()
+			node.Create()
+			s := &apiSession{self: node.Self().ID, do: node.Do, node: node}
+			replies, quit := runCmd(s, "RINGSTATS")
+			if quit {
+				t.Fatal("RINGSTATS closed the session")
+			}
+			if len(replies) == 0 || replies[0] != "MACHINE "+machine {
+				t.Fatalf("want first reply %q, got %q", "MACHINE "+machine, replies)
+			}
+			if replies[len(replies)-1] != "END" {
+				t.Fatalf("RINGSTATS reply not END-terminated: %q", replies)
+			}
+		})
+	}
 }
 
 func TestUnknownCommandErrWithoutDrop(t *testing.T) {

@@ -1,6 +1,11 @@
 package main
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+
+	"streamdex/internal/overlay"
+)
 
 // Limits for the data-plane sizing flags. Both caps are far above anything
 // a single node can use productively; hitting one almost always means a
@@ -43,6 +48,22 @@ func validateLoadBalance(vnodes, replicas, ringHint int) (warnings []string, err
 			fmt.Sprintf("-vnodes %d on an expected %d-node ring is %d ring positions: control traffic grows with positions, not nodes", vnodes, ringHint, vnodes*ringHint))
 	}
 	return warnings, nil
+}
+
+// validateSubstrate resolves the -substrate flag against the overlay
+// machine registry: empty selects the default ("chord"), anything else
+// must be a registered routing machine. Every node of a cluster must run
+// the same machine — the message kinds are disjoint on the wire, so a
+// mixed cluster fails at decode rather than converging by accident.
+func validateSubstrate(name string) (resolved string, err error) {
+	if name == "" {
+		name = "chord"
+	}
+	if _, ok := overlay.Lookup(name); !ok {
+		return "", fmt.Errorf("-substrate %q: unknown routing machine (registered: %s)",
+			name, strings.Join(overlay.Names(), ", "))
+	}
+	return name, nil
 }
 
 // validateDataPlane checks the -workers/-shards pair against the host's

@@ -125,6 +125,35 @@ func TestValidateLoadBalanceWarnsOnPositionBlowup(t *testing.T) {
 	}
 }
 
+func TestValidateSubstrate(t *testing.T) {
+	// Empty resolves to the default machine; every registered machine is
+	// accepted as-is.
+	for _, tc := range []struct{ in, want string }{
+		{"", "chord"},
+		{"chord", "chord"},
+		{"koorde", "koorde"},
+	} {
+		got, err := validateSubstrate(tc.in)
+		if err != nil {
+			t.Fatalf("validateSubstrate(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Fatalf("validateSubstrate(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	// Unknown names are rejected with the registered machines listed, so
+	// the operator can see what the binary actually supports.
+	for _, bad := range []string{"pastry", "kademlia", "Chord"} {
+		_, err := validateSubstrate(bad)
+		if err == nil {
+			t.Fatalf("validateSubstrate(%q): want error, got nil", bad)
+		}
+		if !strings.Contains(err.Error(), bad) || !strings.Contains(err.Error(), "chord") || !strings.Contains(err.Error(), "koorde") {
+			t.Fatalf("error %q should name the bad value and list registered machines", err)
+		}
+	}
+}
+
 func TestValidateDataPlaneWarns(t *testing.T) {
 	// 200 shards on 4 CPUs is 50 per core — well past the 16x advice line.
 	_, warnings, err := validateDataPlane(0, 200, 4)

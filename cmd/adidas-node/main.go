@@ -54,6 +54,7 @@ import (
 
 	"streamdex/internal/core"
 	"streamdex/internal/dht"
+	_ "streamdex/internal/koorde" // register the koorde routing machine
 	"streamdex/internal/sim"
 	"streamdex/internal/stream"
 	"streamdex/internal/transport"
@@ -61,45 +62,50 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:7001", "transport listen address")
-		api      = flag.String("api", "", "client API listen address (default: transport port + 1000)")
-		join     = flag.String("join", "", "bootstrap address of a running node (empty: create a new ring)")
-		idFlag   = flag.Uint64("id", 0, "ring identifier (default: hash of the listen address)")
-		mBits    = flag.Uint("m", 32, "identifier bits of the ring (must match across the cluster)")
-		streams  = flag.Int("streams", 1, "number of random-walk streams to source locally")
-		window   = flag.Int("window", 256, "sliding window size (points)")
-		beta     = flag.Int("beta", 10, "MBR batching factor")
-		period   = flag.Duration("period", 200*time.Millisecond, "stream sampling period")
-		push     = flag.Duration("push", 2*time.Second, "push period (notify/response cycle)")
-		seed     = flag.Int64("seed", 1, "seed for stream generators and tick staggering")
-		workers  = flag.Int("workers", 0, "data-plane worker goroutines (0: one per CPU, -1: serialize on the run loop)")
-		shards   = flag.Int("shards", 0, "MBR store shards (0: 4×GOMAXPROCS)")
-		udp      = flag.Bool("udp", false, "publish MBR updates as fire-and-forget UDP datagrams (ring control and queries stay on TCP)")
-		sketches = flag.Bool("sketches", true, "maintain windowed sketches per stream (required for AGG queries)")
-		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this address, with mutex and block profiling enabled")
-		vnodes   = flag.Int("vnodes", 1, "ring positions per node (live deployments run one process per position; >1 is rejected)")
-		replicas = flag.Int("replicas", 1, "covering-range replication factor (1 = no replication)")
-		ringHint = flag.Int("ring-hint", 0, "expected cluster size, used to sanity-check -vnodes/-replicas (0 = unknown)")
-		admRate  = flag.Float64("admit-rate", 0, "admission control: MBR stores allowed per second (0 = unlimited)")
-		admBurst = flag.Float64("admit-burst", 0, "admission control: token-bucket burst capacity (required with -admit-rate)")
+		listen    = flag.String("listen", "127.0.0.1:7001", "transport listen address")
+		api       = flag.String("api", "", "client API listen address (default: transport port + 1000)")
+		join      = flag.String("join", "", "bootstrap address of a running node (empty: create a new ring)")
+		idFlag    = flag.Uint64("id", 0, "ring identifier (default: hash of the listen address)")
+		mBits     = flag.Uint("m", 32, "identifier bits of the ring (must match across the cluster)")
+		streams   = flag.Int("streams", 1, "number of random-walk streams to source locally")
+		window    = flag.Int("window", 256, "sliding window size (points)")
+		beta      = flag.Int("beta", 10, "MBR batching factor")
+		period    = flag.Duration("period", 200*time.Millisecond, "stream sampling period")
+		push      = flag.Duration("push", 2*time.Second, "push period (notify/response cycle)")
+		seed      = flag.Int64("seed", 1, "seed for stream generators and tick staggering")
+		workers   = flag.Int("workers", 0, "data-plane worker goroutines (0: one per CPU, -1: serialize on the run loop)")
+		shards    = flag.Int("shards", 0, "MBR store shards (0: 4×GOMAXPROCS)")
+		udp       = flag.Bool("udp", false, "publish MBR updates as fire-and-forget UDP datagrams (ring control and queries stay on TCP)")
+		sketches  = flag.Bool("sketches", true, "maintain windowed sketches per stream (required for AGG queries)")
+		pprofAt   = flag.String("pprof", "", "serve net/http/pprof on this address, with mutex and block profiling enabled")
+		vnodes    = flag.Int("vnodes", 1, "ring positions per node (live deployments run one process per position; >1 is rejected)")
+		replicas  = flag.Int("replicas", 1, "covering-range replication factor (1 = no replication)")
+		ringHint  = flag.Int("ring-hint", 0, "expected cluster size, used to sanity-check -vnodes/-replicas (0 = unknown)")
+		admRate   = flag.Float64("admit-rate", 0, "admission control: MBR stores allowed per second (0 = unlimited)")
+		admBurst  = flag.Float64("admit-burst", 0, "admission control: token-bucket burst capacity (required with -admit-rate)")
+		substrate = flag.String("substrate", "chord", "routing machine for the control plane (chord or koorde; must match across the cluster)")
 	)
 	flag.Parse()
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
 	log.SetPrefix("adidas-node ")
 
-	if err := run(*listen, *api, *join, *idFlag, *mBits, *streams, *window, *beta, *period, *push, *seed,
+	if err := run(*listen, *api, *join, *substrate, *idFlag, *mBits, *streams, *window, *beta, *period, *push, *seed,
 		*workers, *shards, *vnodes, *replicas, *ringHint, *admRate, *admBurst, *udp, *sketches, *pprofAt); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(listen, api, join string, idFlag uint64, mBits uint, streams, window, beta int,
+func run(listen, api, join, substrate string, idFlag uint64, mBits uint, streams, window, beta int,
 	period, push time.Duration, seed int64, workers, shards, vnodes, replicas, ringHint int,
 	admRate, admBurst float64, udp, sketches bool, pprofAt string) error {
 	if streams < 0 || window < 2 || beta < 1 || period <= 0 || push <= 0 {
 		return fmt.Errorf("invalid stream/window/beta/period configuration")
 	}
 	shards, warnings, err := validateDataPlane(workers, shards, runtime.GOMAXPROCS(0))
+	if err != nil {
+		return err
+	}
+	substrate, err = validateSubstrate(substrate)
 	if err != nil {
 		return err
 	}
@@ -150,6 +156,7 @@ func run(listen, api, join string, idFlag uint64, mBits uint, streams, window, b
 	tcfg := transport.DefaultConfig(id, listen)
 	tcfg.Space = space
 	tcfg.Workers = workers
+	tcfg.Machine = substrate
 	if udp {
 		tcfg.UDP = true
 		tcfg.DatagramKinds = []dht.Kind{core.KindMBR}
@@ -162,7 +169,7 @@ func run(listen, api, join string, idFlag uint64, mBits uint, streams, window, b
 		log.Printf("UDP datagram plane enabled for MBR publishes")
 	}
 	defer node.Close()
-	log.Printf("node %d listening on %s", node.Self().ID, node.Addr())
+	log.Printf("node %d listening on %s (routing machine: %s)", node.Self().ID, node.Addr(), substrate)
 
 	if join == "" {
 		node.Create()

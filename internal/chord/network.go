@@ -3,10 +3,13 @@ package chord
 import (
 	"fmt"
 	"sort"
+	"strings"
 
-	"streamdex/internal/chord/protocol"
+	// Registers the default "chord" machine with the overlay registry.
+	_ "streamdex/internal/chord/protocol"
 	"streamdex/internal/clock"
 	"streamdex/internal/dht"
+	"streamdex/internal/overlay"
 	"streamdex/internal/sim"
 	"streamdex/internal/wire"
 )
@@ -30,6 +33,10 @@ type Config struct {
 	// is refreshed per firing. Defaults to StabilizeEvery when zero and
 	// stabilization is enabled.
 	FixFingersEvery sim.Time
+	// Machine selects the routing machine from the overlay registry
+	// ("chord", "koorde"). Empty means "chord", the historical default;
+	// every other parameter applies unchanged to any machine.
+	Machine string
 }
 
 // DefaultConfig returns the evaluation configuration: a 32-bit ring and the
@@ -53,6 +60,7 @@ type Network struct {
 	clk   clock.Clock
 	cfg   Config
 	space dht.Space
+	fac   overlay.Factory
 
 	nodes map[dht.Key]*Node
 	// aliveSorted caches the sorted identifiers of live nodes; it backs
@@ -78,10 +86,19 @@ func New(eng *sim.Engine, cfg Config) *Network {
 	if cfg.StabilizeEvery > 0 && cfg.FixFingersEvery == 0 {
 		cfg.FixFingersEvery = cfg.StabilizeEvery
 	}
+	if cfg.Machine == "" {
+		cfg.Machine = "chord"
+	}
+	fac, ok := overlay.Lookup(cfg.Machine)
+	if !ok {
+		panic(fmt.Sprintf("chord: unknown routing machine %q (registered: %s)",
+			cfg.Machine, strings.Join(overlay.Names(), ", ")))
+	}
 	return &Network{
 		clk:   clock.Virtual(eng),
 		cfg:   cfg,
 		space: cfg.Space,
+		fac:   fac,
 		nodes: make(map[dht.Key]*Node),
 		obs:   dht.NopObserver{},
 	}
@@ -131,7 +148,7 @@ func (net *Network) isAlive(id dht.Key) bool {
 func (net *Network) Alive(id dht.Key) bool { return net.isAlive(id) }
 
 // addNode registers a fresh node object (not yet wired into the ring) and
-// builds its protocol machine on the shared event-engine clock.
+// builds its routing machine on the shared event-engine clock.
 func (net *Network) addNode(id dht.Key, app dht.App) *Node {
 	id = net.space.Wrap(id)
 	if _, exists := net.nodes[id]; exists {
@@ -143,12 +160,12 @@ func (net *Network) addNode(id dht.Key, app dht.App) *Node {
 		app:   app,
 		alive: true,
 	}
-	n.m = protocol.New(protocol.Config{
+	n.m = net.fac.New(overlay.Config{
 		Space:           net.space,
 		SuccListLen:     net.cfg.SuccListLen,
 		StabilizeEvery:  net.cfg.StabilizeEvery,
 		FixFingersEvery: net.cfg.FixFingersEvery,
-	}, protocol.Ref{ID: id}, net.clk, func(to protocol.Ref, payload any) {
+	}, overlay.Ref{ID: id}, net.clk, func(to overlay.Ref, payload any) {
 		net.transmitControl(n, to, payload)
 	})
 	// Routing (not the maintenance protocol) may skip entries the
@@ -166,9 +183,9 @@ func (net *Network) addNode(id dht.Key, app dht.App) *Node {
 // toward dead nodes are silently lost; the sender's miss accounting is
 // what notices, just as on a real network. Control losses do not count
 // into Dropped, which tracks the data plane the evaluation measures.
-func (net *Network) transmitControl(from *Node, to protocol.Ref, payload any) {
+func (net *Network) transmitControl(from *Node, to overlay.Ref, payload any) {
 	msg := &dht.Message{
-		Kind:   protocol.KindRing,
+		Kind:   overlay.KindRing,
 		Key:    to.ID,
 		Src:    from.id,
 		Bytes:  wire.Sizeof(payload),
@@ -255,27 +272,26 @@ func (net *Network) rewireNode(n *Node) {
 		panic("chord: rewire of unregistered node")
 	}
 	// Successor list.
-	succList := make([]protocol.Ref, 0, net.cfg.SuccListLen)
+	succList := make([]overlay.Ref, 0, net.cfg.SuccListLen)
 	for k := 1; k <= net.cfg.SuccListLen && k < sz+1; k++ {
 		s := ring[(pos+k)%sz]
 		if s == n.id {
 			break
 		}
-		succList = append(succList, protocol.Ref{ID: s})
+		succList = append(succList, overlay.Ref{ID: s})
 	}
 	if len(succList) == 0 {
-		succList = append(succList, protocol.Ref{ID: n.id})
+		succList = append(succList, overlay.Ref{ID: n.id})
 	}
 	// Predecessor.
-	pred := protocol.Ref{ID: ring[(pos-1+sz)%sz]}
-	// Fingers: finger[i] = successor(id + 2^i).
-	fingers := make([]protocol.Ref, net.space.M)
-	for i := range fingers {
-		target := net.space.Add(n.id, 1<<uint(i))
-		s, _ := net.OracleSuccessor(target)
-		fingers[i] = protocol.Ref{ID: s}
+	pred := overlay.Ref{ID: ring[(pos-1+sz)%sz]}
+	// Long-distance links (fingers on Chord, de Bruijn pointers on
+	// Koorde), computed by the machine family's own warm-start rule.
+	var longlinks []overlay.Ref
+	if net.fac.Longlinks != nil {
+		longlinks = net.fac.Longlinks(overlay.Config{Space: net.space, SuccListLen: net.cfg.SuccListLen}, ring, n.id)
 	}
-	n.m.InstallRing(&pred, succList, fingers)
+	n.m.InstallRing(&pred, succList, longlinks)
 }
 
 // SetApp replaces the application of an existing node (used by middleware

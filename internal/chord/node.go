@@ -30,10 +30,11 @@ import (
 	"streamdex/internal/chord/protocol"
 	"streamdex/internal/dht"
 	"streamdex/internal/metrics"
+	"streamdex/internal/overlay"
 )
 
-// Node is one simulated Chord node (a data center / sensor proxy in the
-// paper's architecture). Its ring state lives in the embedded protocol
+// Node is one simulated overlay node (a data center / sensor proxy in the
+// paper's architecture). Its ring state lives in the embedded routing
 // machine; the Node itself carries only simulation plumbing.
 type Node struct {
 	id  dht.Key
@@ -43,8 +44,9 @@ type Node struct {
 	alive bool
 
 	// m is the node's control-plane state machine — the same code a live
-	// transport node runs, driven here through the event engine.
-	m *protocol.Machine
+	// transport node runs, driven here through the event engine. Which
+	// machine family it is comes from Config.Machine.
+	m overlay.Machine
 }
 
 // ID returns the node's ring identifier.
@@ -53,9 +55,13 @@ func (n *Node) ID() dht.Key { return n.id }
 // Alive reports whether the node is up.
 func (n *Node) Alive() bool { return n.alive }
 
-// Protocol exposes the node's control-plane state machine for tests and
+// Machine exposes the node's control-plane state machine for tests and
 // tools (e.g. the sim-vs-live parity harness).
-func (n *Node) Protocol() *protocol.Machine { return n.m }
+func (n *Node) Machine() overlay.Machine { return n.m }
+
+// Protocol exposes the Chord machine. It panics when the network runs a
+// different substrate — callers that work on any machine use Machine.
+func (n *Node) Protocol() *protocol.Machine { return n.m.(*protocol.Machine) }
 
 // RingStats returns a snapshot of the node's control-plane maintenance
 // counters — the same metrics a live transport node reports.
@@ -77,10 +83,10 @@ func (n *Node) Predecessor() (dht.Key, bool) {
 	return 0, false
 }
 
-// Finger returns entry i of the finger table (the successor of id + 2^i)
-// and whether it has been populated.
+// Finger returns entry i of the Chord finger table (the successor of
+// id + 2^i) and whether it has been populated. Chord-only, like Protocol.
 func (n *Node) Finger(i int) (dht.Key, bool) {
-	if f, ok := n.m.Finger(i); ok {
+	if f, ok := n.Protocol().Finger(i); ok {
 		return f.ID, true
 	}
 	return 0, false

@@ -1,0 +1,67 @@
+package protocol
+
+// Registration of the Chord machine with the substrate-neutral overlay
+// registry, plus the few adapter methods that complete overlay.Machine.
+// The machine itself predates the registry; nothing here changes its
+// behavior — the factory must construct exactly what the simulator and
+// transport historically constructed by hand, so the golden figures stay
+// bitwise identical.
+
+import (
+	"streamdex/internal/clock"
+	"streamdex/internal/dht"
+	"streamdex/internal/overlay"
+)
+
+// MachineName is the registry key of the Chord machine.
+const MachineName = "chord"
+
+func init() {
+	overlay.Register(overlay.Factory{
+		Name:      MachineName,
+		New:       newMachine,
+		Longlinks: Longlinks,
+	})
+}
+
+func newMachine(cfg overlay.Config, self Ref, clk clock.Clock, send func(to Ref, msg any)) overlay.Machine {
+	return New(Config{
+		Space:           cfg.Space,
+		SuccListLen:     cfg.SuccListLen,
+		StabilizeEvery:  cfg.StabilizeEvery,
+		FixFingersEvery: cfg.FixFingersEvery,
+		JoinRetryEvery:  cfg.JoinRetryEvery,
+		MissThreshold:   cfg.MissThreshold,
+		FindTTL:         cfg.FindTTL,
+	}, self, clk, send)
+}
+
+// Longlinks computes the perfect finger table for a warm start:
+// finger[i] = successor(self + 2^i) over the sorted live ring. This is the
+// historical BuildStable computation, hoisted behind the factory so the
+// simulator stays substrate-blind.
+func Longlinks(cfg overlay.Config, ring []dht.Key, self dht.Key) []Ref {
+	fingers := make([]Ref, cfg.Space.M)
+	for i := range fingers {
+		target := cfg.Space.Add(self, 1<<uint(i))
+		s, _ := overlay.SuccessorOnRing(cfg.Space, ring, target)
+		fingers[i] = Ref{ID: s}
+	}
+	return fingers
+}
+
+// Name implements overlay.Machine.
+func (m *Machine) Name() string { return MachineName }
+
+// Tick implements overlay.Machine: one stabilize round plus one finger
+// repair, synchronously (deterministic harnesses without tickers).
+func (m *Machine) Tick() {
+	if m.stopped {
+		return
+	}
+	m.stabilizeTick()
+	m.fixNextFinger()
+}
+
+// LonglinkCount implements overlay.Machine: populated finger entries.
+func (m *Machine) LonglinkCount() int { return m.FingerCount() }

@@ -263,7 +263,7 @@ func TestNotifyRule(t *testing.T) {
 // filter, so unfiltered parity is the contract).
 func checkViewParity(t *testing.T, m *Machine, keys []dht.Key) {
 	t.Helper()
-	v := m.View()
+	v, _ := m.View().(*View)
 	if v == nil {
 		t.Fatal("machine never published a view")
 	}

@@ -21,22 +21,21 @@ import (
 	"fmt"
 
 	"streamdex/internal/dht"
+	"streamdex/internal/overlay"
 	"streamdex/internal/wire"
 )
 
 // KindRing is the dht.Kind under which all ring-maintenance payloads
-// travel. The middleware's metrics classifier files it under the catch-all
-// category, so maintenance traffic is observable and chargeable without
-// perturbing the per-kind accounting of the paper's figures.
-const KindRing dht.Kind = 200
+// travel — shared by every routing machine (see overlay.KindRing). The
+// middleware's metrics classifier files it under the catch-all category,
+// so maintenance traffic is observable and chargeable without perturbing
+// the per-kind accounting of the paper's figures.
+const KindRing = overlay.KindRing
 
 // Ref identifies a remote node: its ring identifier plus a substrate
 // address. The state machine compares refs by ID only; the simulator
 // leaves Addr empty and routes by ID, the TCP transport dials Addr.
-type Ref struct {
-	ID   dht.Key
-	Addr string
-}
+type Ref = overlay.Ref
 
 // FindReq asks the ring for the successor node of Target. It is routed
 // greedily (TTL-bounded); whoever covers the target replies to ReplyTo

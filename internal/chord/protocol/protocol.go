@@ -34,6 +34,7 @@ import (
 	"streamdex/internal/clock"
 	"streamdex/internal/dht"
 	"streamdex/internal/metrics"
+	"streamdex/internal/overlay"
 	"streamdex/internal/sim"
 )
 
@@ -159,6 +160,7 @@ func New(cfg Config, self Ref, clk clock.Clock, send func(to Ref, msg any)) *Mac
 	}
 	bits := int(cfg.Space.M)
 	m := &Machine{
+		stats:     metrics.Ring{Machine: MachineName},
 		cfg:       cfg,
 		space:     cfg.Space,
 		self:      Ref{ID: cfg.Space.Wrap(self.ID), Addr: self.Addr},
@@ -886,11 +888,19 @@ func neighborhoodChanged(prev, cur *View) bool {
 }
 
 // View returns the most recently published routing snapshot. Safe from any
-// goroutine; never nil.
-func (m *Machine) View() *View { return m.view.Load() }
+// goroutine; never nil. The static type is the substrate-neutral
+// overlay.View; the dynamic type is always *View.
+func (m *Machine) View() overlay.View { return m.view.Load() }
 
 // Joined reports whether the snapshot has ring state.
 func (v *View) Joined() bool { return len(v.Succs) > 0 }
+
+// Owner returns the node the snapshot belongs to.
+func (v *View) Owner() Ref { return v.Self }
+
+// SuccRefs returns the successor list (the snapshot's own slice; views are
+// immutable, so callers must not mutate it).
+func (v *View) SuccRefs() []Ref { return v.Succs }
 
 // Successor returns the head of the successor list.
 func (v *View) Successor() (Ref, bool) {

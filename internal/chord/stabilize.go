@@ -3,8 +3,8 @@ package chord
 import (
 	"fmt"
 
-	"streamdex/internal/chord/protocol"
 	"streamdex/internal/dht"
+	"streamdex/internal/overlay"
 	"streamdex/internal/sim"
 )
 
@@ -38,7 +38,7 @@ func (net *Network) Join(id dht.Key, app dht.App, bootstrap dht.Key) (*Node, err
 	id = net.space.Wrap(id)
 	n := net.addNode(id, app)
 	net.setPhases(n, sim.NewRand(int64(id)^0x9e3779b9))
-	n.m.Join(protocol.Ref{ID: bootstrap}, nil)
+	n.m.Join(overlay.Ref{ID: bootstrap}, nil)
 	return n, nil
 }
 
@@ -71,7 +71,7 @@ func (net *Network) Leave(id dht.Key) {
 			s.m.AdoptPredecessor(pred)
 			p := net.nodes[pred.ID]
 			// Splice the successor list of the predecessor.
-			list := append([]protocol.Ref{succ},
+			list := append([]overlay.Ref{succ},
 				trimSelfRefs(s.m.SuccessorList(), pred.ID, net.cfg.SuccListLen-1)...)
 			p.m.AdoptSuccessors(list)
 		} else {
@@ -97,8 +97,8 @@ func (net *Network) deactivate(n *Node) {
 	net.removeAlive(n.id)
 }
 
-func trimSelfRefs(list []protocol.Ref, self dht.Key, max int) []protocol.Ref {
-	out := make([]protocol.Ref, 0, max)
+func trimSelfRefs(list []overlay.Ref, self dht.Key, max int) []overlay.Ref {
+	out := make([]overlay.Ref, 0, max)
 	for _, r := range list {
 		if r.ID == self {
 			break

@@ -3,23 +3,25 @@ package chord
 import (
 	"sort"
 
-	"streamdex/internal/chord/protocol"
 	"streamdex/internal/dht"
+	"streamdex/internal/overlay"
 )
 
 // DelegateRange implements dht.RangeDelegator: tree-structured range
-// dissemination over the finger table (in the style of structured-overlay
-// broadcast), providing the "efficient native support of multicast to a
-// range of keys" the paper identifies as the cure for the linear
-// propagation delay of sequential range coverage (§IV-C, §VI-B).
+// dissemination over the machine's long-distance routing entries (in the
+// style of structured-overlay broadcast), providing the "efficient native
+// support of multicast to a range of keys" the paper identifies as the
+// cure for the linear propagation delay of sequential range coverage
+// (§IV-C, §VI-B).
 //
 // The node splits its remaining arc (self, RangeEnd] among its live
-// fingers inside the arc: each finger receives the message together with
-// a sub-range ending just before the next finger, and recurses. Because
-// fingers are exponentially spaced, the dissemination depth is
-// O(log(covered nodes)) while the total message count stays one per
-// covered node — the same cost as the sequential walk at a fraction of
-// the delay (measured by ablation A1).
+// routing entries inside the arc — Chord fingers or Koorde de Bruijn
+// pointers, whatever EachRoutingEntry yields: each child receives the
+// message together with a sub-range ending just before the next child,
+// and recurses. Because the entries are spread across the arc, the
+// dissemination depth stays logarithmic in the covered nodes while the
+// total message count stays one per covered node — the same cost as the
+// sequential walk at a fraction of the delay (measured by ablation A1).
 func (net *Network) DelegateRange(self dht.Key, msg *dht.Message) int {
 	n := net.nodes[self]
 	if n == nil || !n.alive {
@@ -30,7 +32,7 @@ func (net *Network) DelegateRange(self dht.Key, msg *dht.Message) int {
 	// Collect the distinct live routing-state entries inside (self, hi].
 	seen := make(map[dht.Key]bool)
 	var kids []dht.Key
-	n.m.EachRoutingEntry(func(r protocol.Ref) {
+	n.m.EachRoutingEntry(func(r overlay.Ref) {
 		c := r.ID
 		if c == self || seen[c] || !net.isAlive(c) {
 			return

@@ -1,0 +1,228 @@
+package koorde
+
+import (
+	"sort"
+	"testing"
+
+	"streamdex/internal/clock"
+	"streamdex/internal/dht"
+	"streamdex/internal/overlay"
+	"streamdex/internal/sim"
+)
+
+// bus is the same minimal deterministic substrate the Chord machine's
+// churn test uses: machines wired over a fixed-delay channel driven by
+// the virtual clock, with crashed nodes silently eating deliveries.
+type bus struct {
+	eng   *sim.Engine
+	clk   clock.Clock
+	delay sim.Time
+	cfg   overlay.Config
+	nodes map[dht.Key]*Machine
+	down  map[dht.Key]bool
+}
+
+func newBus(eng *sim.Engine, cfg overlay.Config, delay sim.Time) *bus {
+	return &bus{
+		eng:   eng,
+		clk:   clock.Virtual(eng),
+		delay: delay,
+		cfg:   cfg,
+		nodes: make(map[dht.Key]*Machine),
+		down:  make(map[dht.Key]bool),
+	}
+}
+
+func (b *bus) add(id dht.Key) *Machine {
+	m := New(b.cfg, Ref{ID: id}, b.clk, func(to Ref, msg any) {
+		tid := to.ID
+		b.clk.Schedule(b.delay, func() {
+			if tgt := b.nodes[tid]; tgt != nil && !b.down[tid] {
+				tgt.Handle(msg)
+			}
+		})
+	})
+	m.SetAliveFilter(func(id dht.Key) bool { return b.nodes[id] != nil && !b.down[id] })
+	b.nodes[id] = m
+	return m
+}
+
+func (b *bus) leave(id dht.Key) {
+	m := b.nodes[id]
+	succ, okS := m.LiveSuccessor()
+	pred, okP := m.LivePredecessor()
+	if okS && succ.ID != id {
+		s := b.nodes[succ.ID]
+		if okP && pred.ID != id {
+			s.AdoptPredecessor(pred)
+			rest := []Ref{succ}
+			for _, r := range m.SuccessorList() {
+				if r.ID != id && r.ID != succ.ID {
+					rest = append(rest, r)
+				}
+			}
+			b.nodes[pred.ID].AdoptSuccessors(rest)
+		} else {
+			s.ClearPredecessor()
+		}
+	}
+	m.Stop()
+	b.down[id] = true
+}
+
+func (b *bus) crash(id dht.Key) {
+	b.nodes[id].Stop()
+	b.down[id] = true
+}
+
+func (b *bus) live() []dht.Key {
+	var ids []dht.Key
+	for id := range b.nodes {
+		if !b.down[id] {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (b *bus) oracleChain(id dht.Key, n int) []dht.Key {
+	live := b.live()
+	at := sort.Search(len(live), func(i int) bool { return live[i] > id })
+	chain := make([]dht.Key, 0, n)
+	for k := 0; k < n; k++ {
+		chain = append(chain, live[(at+k)%len(live)])
+	}
+	return chain
+}
+
+// assertConverged demands the Chord-grade ring invariants (successor
+// lists and predecessors exactly matching the live-membership oracle,
+// every key covered exactly once) plus the Koorde-specific ones: every
+// de Bruijn pointer names a live node, and every lookup routed purely
+// through NextHop reaches the oracle owner within the de Bruijn hop
+// bound.
+func (b *bus) assertConverged(t *testing.T, when string) {
+	t.Helper()
+	live := b.live()
+	want := b.cfg.SuccListLen
+	if want > len(live)-1 {
+		want = len(live) - 1
+	}
+	for _, id := range live {
+		m := b.nodes[id]
+		chain := b.oracleChain(id, want)
+		got := m.SuccessorList()
+		if len(got) != len(chain) {
+			t.Fatalf("%s: node %d successor list %v, oracle %v", when, id, refIDs(got), chain)
+		}
+		for i, r := range got {
+			if r.ID != chain[i] {
+				t.Fatalf("%s: node %d successor list %v, oracle %v", when, id, refIDs(got), chain)
+			}
+		}
+		at := sort.Search(len(live), func(i int) bool { return live[i] >= id })
+		wantPred := live[(at-1+len(live))%len(live)]
+		if p, ok := m.Predecessor(); !ok || p.ID != wantPred {
+			t.Fatalf("%s: node %d predecessor %v (ok=%v), oracle %d", when, id, p, ok, wantPred)
+		}
+		for _, r := range m.DeBruijnList() {
+			if b.nodes[r.ID] == nil || b.down[r.ID] {
+				t.Fatalf("%s: node %d de Bruijn pointer names dead node %d", when, id, r.ID)
+			}
+		}
+	}
+	// Key ownership, exactly once, by the oracle's owner.
+	var probes []dht.Key
+	for i := 0; i < 64; i++ {
+		probes = append(probes, dht.Key((i*997)%(1<<16)))
+	}
+	for _, id := range live {
+		probes = append(probes, id, b.cfg.Space.Add(id, 1), b.cfg.Space.Add(id, 1<<16-1))
+	}
+	for _, key := range probes {
+		owner := b.oracleChain(b.cfg.Space.Add(key, 1<<16-1), 1)[0]
+		covered := 0
+		for _, id := range live {
+			if b.nodes[id].Covers(key) {
+				covered++
+				if id != owner {
+					t.Fatalf("%s: key %d covered by %d, oracle owner %d", when, key, id, owner)
+				}
+			}
+		}
+		if covered != 1 {
+			t.Fatalf("%s: key %d covered by %d nodes, want exactly 1 (owner %d)", when, key, covered, owner)
+		}
+	}
+	// Routability: from every live node, every probe key must reach its
+	// oracle owner hop by hop.
+	for _, start := range live {
+		for _, key := range probes {
+			owner := b.oracleChain(b.cfg.Space.Add(key, 1<<16-1), 1)[0]
+			cur := start
+			hops := 0
+			for !b.nodes[cur].Covers(key) {
+				next, ok := b.nodes[cur].NextHop(key)
+				if !ok || next.ID == cur {
+					t.Fatalf("%s: walk from %d for key %d stuck at %d", when, start, key, cur)
+				}
+				cur = next.ID
+				if hops++; hops > 24 {
+					t.Fatalf("%s: walk from %d for key %d did not terminate", when, start, key)
+				}
+			}
+			if cur != owner {
+				t.Fatalf("%s: key %d from %d delivered to %d, oracle owner %d", when, key, start, cur, owner)
+			}
+		}
+	}
+}
+
+func refIDs(rs []Ref) []dht.Key {
+	ids := make([]dht.Key, len(rs))
+	for i, r := range rs {
+		ids[i] = r.ID
+	}
+	return ids
+}
+
+// TestKoordeChurnReconverges scripts the same churn scenario as the Chord
+// machine's churn test — incremental joins, a graceful leave, two
+// adjacent crashes, a late join — and asserts after each phase that both
+// the ring substrate AND the de Bruijn pointer chains re-converge to the
+// live-membership oracle, with every key still routable from every node.
+// Runs under -race in CI.
+func TestKoordeChurnReconverges(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := overlay.Config{
+		Space:           dht.NewSpace(16),
+		SuccListLen:     4,
+		StabilizeEvery:  200 * sim.Millisecond,
+		FixFingersEvery: 100 * sim.Millisecond,
+	}
+	b := newBus(eng, cfg, 50*sim.Millisecond)
+
+	ids := []dht.Key{1000, 9000, 17000, 25000, 33000, 41000, 49000, 57000}
+	b.add(ids[0]).Create()
+	eng.RunFor(sim.Second)
+	for _, id := range ids[1:] {
+		b.add(id).Join(Ref{ID: ids[0]}, nil)
+		eng.RunFor(2 * sim.Second)
+	}
+	eng.RunFor(5 * sim.Second)
+	b.assertConverged(t, "after joins")
+
+	b.leave(ids[2])
+	eng.RunFor(5 * sim.Second)
+	b.assertConverged(t, "after graceful leave")
+
+	b.crash(ids[5])
+	b.crash(ids[6])
+	eng.RunFor(12 * sim.Second)
+	b.assertConverged(t, "after adjacent crashes")
+
+	b.add(21000).Join(Ref{ID: ids[7]}, nil)
+	eng.RunFor(8 * sim.Second)
+	b.assertConverged(t, "after late join")
+}

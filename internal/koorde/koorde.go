@@ -1,0 +1,1084 @@
+// Package koorde implements the Koorde control plane (Kaashoek & Karger,
+// IPTPS 2003): a de Bruijn DHT embedded in the Chord identifier circle, as
+// one pure, message-driven state machine behind the substrate-neutral
+// overlay.Machine contract — the same contract the Chord machine
+// (internal/chord/protocol) implements, driven unchanged by the
+// discrete-event simulator and the live TCP transport.
+//
+// The ring substrate is deliberately identical to Chord's: successor
+// lists, stabilize/notify, miss-based failure detection, predecessor
+// pings. What changes is the long-distance routing state. Where Chord
+// keeps m fingers (successor(self+2^i)) and takes ~½·log2(N) hops per
+// lookup, Koorde keeps a constant-degree window of pointers around
+// k·self (k = 2^digitBits) — node self's image under the degree-k
+// de Bruijn graph — and routes by digit injection: each hop shifts
+// digitBits bits of the target key into an imaginary de Bruijn address
+// hosted on the current arc, taking ~log_k(N) + O(1) hops. At the paper's
+// 500-node scale with k = 16 that is ~3 hops against Chord's ~5, with 18
+// pointers per node against Chord's 32 fingers.
+//
+// Lookups (KFindReq) carry the de Bruijn walk state in the message, as in
+// the paper: the imaginary node I being forwarded toward and the number
+// of key digits still to inject. The node hosting I injects the next
+// digit (I ← k·I + digit); whenever a hop's own arc offers a strictly
+// shorter alignment it re-anchors the walk, which both starts fresh
+// lookups and heals stale state, and makes the digit count monotonically
+// decreasing — the walk provably terminates, with a TTL as backstop.
+// The stateless data-plane NextHop (per-message routing of application
+// traffic, where no walk state travels) is instead the monotone greedy
+// closest-preceding step over the constant-degree state; stateless
+// per-hop recomputation of the de Bruijn alignment can cycle after an
+// undershoot hop, so it is reserved for the stateful lookup path.
+//
+// All methods must be called from the substrate's single event-loop
+// context (the engine goroutine in simulation, the clock.Wall loop live);
+// the machine does no locking of its own.
+package koorde
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"streamdex/internal/clock"
+	"streamdex/internal/dht"
+	"streamdex/internal/metrics"
+	"streamdex/internal/overlay"
+	"streamdex/internal/sim"
+)
+
+// MachineName is the registry key of the Koorde machine.
+const MachineName = "koorde"
+
+// digitBits is the number of key bits consumed per de Bruijn hop; the
+// graph degree is 2^digitBits. 4 bits (degree 16) is the constant-degree
+// sweet spot the Koorde paper suggests for O(log n / log log n) hops.
+const digitBits = 4
+
+// Degree is the de Bruijn graph degree k = 2^digitBits.
+const Degree = 1 << digitBits
+
+// pointerWindow is how many nodes the warm-start de Bruijn chain holds:
+// pred(k·self) plus the clockwise successors covering the image arc
+// (k·self, k·succ] — about Degree nodes on a balanced ring — with one
+// spare.
+const pointerWindow = Degree + 2
+
+func init() {
+	overlay.Register(overlay.Factory{
+		Name:      MachineName,
+		New:       newMachine,
+		Longlinks: Longlinks,
+	})
+}
+
+func newMachine(cfg overlay.Config, self Ref, clk clock.Clock, send func(to Ref, msg any)) overlay.Machine {
+	return New(cfg, self, clk, send)
+}
+
+// Longlinks computes the perfect de Bruijn pointer chain for a warm
+// start: the node preceding k·self, then the next pointerWindow-1 nodes
+// clockwise — together they host the whole image arc of (self, succ]
+// under digit injection, so every aligned hop finds its target in the
+// chain.
+func Longlinks(cfg overlay.Config, ring []dht.Key, self dht.Key) []Ref {
+	n := len(ring)
+	if n == 0 {
+		return nil
+	}
+	target := cfg.Space.Wrap(self << digitBits)
+	pos := sort.Search(n, func(i int) bool { return ring[i] >= target })
+	if pos == n {
+		pos = 0
+	}
+	out := make([]Ref, 0, pointerWindow)
+	seen := make(map[dht.Key]bool, pointerWindow)
+	for k := 0; k < n && len(out) < pointerWindow; k++ {
+		id := ring[((pos-1+k)%n+n)%n] // start at pred(k·self)
+		if id == self || seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, Ref{ID: id})
+	}
+	return out
+}
+
+// pendingFind tracks an outstanding successor lookup.
+type pendingFind struct {
+	onResp func(Ref)
+	timer  clock.Timer
+}
+
+// joinState tracks an in-flight join attempt.
+type joinState struct {
+	bootstrap Ref
+	token     uint64
+	retry     clock.Ticker
+	onJoined  func(Ref)
+}
+
+// Machine is one node's Koorde control-plane state machine.
+type Machine struct {
+	cfg   overlay.Config
+	space dht.Space
+	self  Ref
+	clk   clock.Clock
+	send  func(to Ref, msg any)
+
+	// alive is the optional routing-time liveness filter; nil trusts the
+	// message-learned state (the live transport's situation).
+	alive func(dht.Key) bool
+
+	// Ring state. debruijn is the pointer chain around k·self, kept in
+	// clockwise order from pred(k·self).
+	pred     *Ref
+	succList []Ref
+	debruijn []Ref
+
+	// Miss accounting (identical to the Chord machine's).
+	stabSeen   bool
+	stabMisses int
+	predSeen   bool
+	predMisses int
+
+	// Outstanding lookups.
+	nextToken uint64
+	pendFind  map[uint64]*pendingFind
+
+	join *joinState
+
+	tickers  []clock.Ticker
+	phaseSet bool
+	stabPh   sim.Time
+	fixPh    sim.Time
+
+	stopped bool
+
+	stats metrics.Ring
+
+	view atomic.Pointer[view]
+
+	neighborWatch func()
+}
+
+// New builds a machine for self. send is invoked synchronously (from
+// Handle and from timer callbacks) for every outgoing control message; the
+// substrate adapter owns delivery. Defaults mirror the Chord machine's.
+func New(cfg overlay.Config, self Ref, clk clock.Clock, send func(to Ref, msg any)) *Machine {
+	if cfg.Space.M == 0 {
+		panic("koorde: config without identifier space")
+	}
+	if clk == nil || send == nil {
+		panic("koorde: machine without clock or send hook")
+	}
+	if cfg.SuccListLen <= 0 {
+		cfg.SuccListLen = 8
+	}
+	if cfg.MissThreshold <= 0 {
+		cfg.MissThreshold = 3
+	}
+	if cfg.FindTTL <= 0 {
+		cfg.FindTTL = 64
+	}
+	if cfg.JoinRetryEvery <= 0 {
+		if cfg.StabilizeEvery > 0 {
+			cfg.JoinRetryEvery = cfg.StabilizeEvery
+		} else {
+			cfg.JoinRetryEvery = 500 * sim.Millisecond
+		}
+	}
+	m := &Machine{
+		stats:    metrics.Ring{Machine: MachineName},
+		cfg:      cfg,
+		space:    cfg.Space,
+		self:     Ref{ID: cfg.Space.Wrap(self.ID), Addr: self.Addr},
+		clk:      clk,
+		send:     send,
+		pendFind: make(map[uint64]*pendingFind),
+	}
+	m.publishView()
+	return m
+}
+
+// SetAliveFilter installs the routing-time liveness filter (nil clears
+// it). Only next-hop candidate selection consults it; the maintenance
+// protocol never does.
+func (m *Machine) SetAliveFilter(alive func(dht.Key) bool) { m.alive = alive }
+
+// SetNeighborWatch installs (or clears, with nil) the neighborhood-change
+// callback, fired in machine context when a published view carries a
+// different predecessor or first successor than the previous one.
+func (m *Machine) SetNeighborWatch(fn func()) { m.neighborWatch = fn }
+
+// SetPhases fixes the initial delay of the two maintenance tickers.
+// Call before StartMaintenance.
+func (m *Machine) SetPhases(stabilize, repair sim.Time) {
+	m.phaseSet = true
+	m.stabPh, m.fixPh = stabilize, repair
+}
+
+// Name implements overlay.Machine.
+func (m *Machine) Name() string { return MachineName }
+
+// Self returns the machine's own ref.
+func (m *Machine) Self() Ref { return m.self }
+
+// Joined reports whether the machine has ring state (a successor list).
+func (m *Machine) Joined() bool { return len(m.succList) > 0 }
+
+// Stats returns a snapshot of the maintenance counters. FingerRepairs
+// counts de Bruijn pointer-chain rebuilds that changed the chain.
+func (m *Machine) Stats() metrics.Ring { return m.stats }
+
+// --- Lifecycle ---
+
+// Create bootstraps a brand-new one-node ring and starts maintenance.
+func (m *Machine) Create() {
+	if m.stopped {
+		return
+	}
+	p := m.self
+	m.pred = &p
+	m.succList = []Ref{m.self}
+	m.publishView()
+	m.StartMaintenance()
+}
+
+// Join enters an existing ring through bootstrap, retrying unanswered
+// lookups every JoinRetryEvery exactly like the Chord machine.
+func (m *Machine) Join(bootstrap Ref, onJoined func(Ref)) {
+	if m.stopped || m.Joined() || m.join != nil {
+		return
+	}
+	m.join = &joinState{bootstrap: bootstrap, onJoined: onJoined}
+	m.sendJoinFind()
+	m.join.retry = m.clk.EveryAfter(m.cfg.JoinRetryEvery, m.cfg.JoinRetryEvery, m.retryJoin)
+}
+
+// AbandonJoin cancels an in-flight join attempt (caller-side timeout).
+func (m *Machine) AbandonJoin() {
+	j := m.join
+	if j == nil {
+		return
+	}
+	m.join = nil
+	if j.retry != nil {
+		j.retry.Stop()
+	}
+	m.cancelFind(j.token)
+}
+
+func (m *Machine) sendJoinFind() {
+	j := m.join
+	m.cancelFind(j.token)
+	tok := m.newToken()
+	pf := &pendingFind{onResp: m.completeJoin}
+	pf.timer = m.clk.Schedule(m.findExpiry(), func() { delete(m.pendFind, tok) })
+	m.pendFind[tok] = pf
+	j.token = tok
+	m.send(j.bootstrap, KFindReq{
+		From: m.self, Token: tok, Target: m.self.ID, TTL: m.cfg.FindTTL,
+		ReplyTo: m.self, Shift: ShiftNone,
+	})
+}
+
+func (m *Machine) retryJoin() {
+	if m.join == nil {
+		return
+	}
+	if _, pending := m.pendFind[m.join.token]; pending {
+		// The previous attempt is still inside its expiry window; retry
+		// only once the lookup has provably expired (see the Chord machine
+		// for the rationale).
+		return
+	}
+	m.sendJoinFind()
+}
+
+func (m *Machine) completeJoin(succ Ref) {
+	j := m.join
+	if j == nil {
+		return
+	}
+	m.join = nil
+	if j.retry != nil {
+		j.retry.Stop()
+	}
+	if succ.ID == m.self.ID {
+		succ = m.self
+	}
+	m.succList = []Ref{succ}
+	m.pred = nil
+	m.publishView()
+	m.StartMaintenance()
+	if j.onJoined != nil {
+		j.onJoined(succ)
+	}
+}
+
+// StartMaintenance launches the periodic stabilize and pointer-repair
+// tasks. Idempotent; a no-op when StabilizeEvery is zero.
+func (m *Machine) StartMaintenance() {
+	if m.stopped || len(m.tickers) > 0 || m.cfg.StabilizeEvery <= 0 {
+		return
+	}
+	stabPh, fixPh := m.cfg.StabilizeEvery, m.cfg.FixFingersEvery
+	if m.phaseSet {
+		stabPh, fixPh = m.stabPh, m.fixPh
+	}
+	m.tickers = append(m.tickers, m.clk.EveryAfter(stabPh, m.cfg.StabilizeEvery, m.stabilizeTick))
+	if m.cfg.FixFingersEvery > 0 {
+		m.tickers = append(m.tickers, m.clk.EveryAfter(fixPh, m.cfg.FixFingersEvery, m.fixPointers))
+	}
+}
+
+// Tick implements overlay.Machine: one stabilize round plus one pointer
+// repair, synchronously.
+func (m *Machine) Tick() {
+	if m.stopped {
+		return
+	}
+	m.stabilizeTick()
+	m.fixPointers()
+}
+
+// Stop halts maintenance and cancels outstanding lookups; the machine
+// ignores all further messages.
+func (m *Machine) Stop() {
+	m.stopped = true
+	for _, t := range m.tickers {
+		t.Stop()
+	}
+	m.tickers = nil
+	for tok, pf := range m.pendFind {
+		pf.timer.Cancel()
+		delete(m.pendFind, tok)
+	}
+	if m.join != nil && m.join.retry != nil {
+		m.join.retry.Stop()
+	}
+	m.join = nil
+}
+
+// --- Warm-start and splice mutators ---
+
+// InstallRing overwrites the machine's ring state wholesale: predecessor
+// (nil clears it), successor list, and — when longlinks is non-nil — the
+// de Bruijn pointer chain.
+func (m *Machine) InstallRing(pred *Ref, succList []Ref, longlinks []Ref) {
+	if pred != nil {
+		p := *pred
+		m.pred = &p
+	} else {
+		m.pred = nil
+	}
+	m.succList = append(m.succList[:0], succList...)
+	if longlinks != nil {
+		m.debruijn = append(m.debruijn[:0], longlinks...)
+	}
+	m.publishView()
+}
+
+// AdoptPredecessor force-sets the predecessor (graceful-leave splice).
+func (m *Machine) AdoptPredecessor(p Ref) {
+	r := p
+	m.pred = &r
+	m.predSeen = true
+	m.predMisses = 0
+	m.publishView()
+}
+
+// ClearPredecessor force-clears the predecessor (graceful-leave splice).
+func (m *Machine) ClearPredecessor() {
+	m.pred = nil
+	m.predMisses = 0
+	m.publishView()
+}
+
+// AdoptSuccessors force-replaces the successor list (graceful-leave
+// splice).
+func (m *Machine) AdoptSuccessors(list []Ref) {
+	m.succList = append(m.succList[:0], list...)
+	m.stabMisses = 0
+	m.publishView()
+}
+
+// --- Message handling ---
+
+// Handle consumes one decoded control message.
+func (m *Machine) Handle(msg any) {
+	if m.stopped {
+		return
+	}
+	switch c := msg.(type) {
+	case KFindReq:
+		m.handleFindReq(c)
+	case KFindResp:
+		m.handleFindResp(c)
+	case KStabReq:
+		m.handleStabReq(c)
+	case KStabResp:
+		m.handleStabResp(c)
+	case KNotify:
+		m.considerPredecessor(c.From)
+	case KPingReq:
+		m.send(c.From, KPingResp{From: m.self})
+	case KPingResp:
+		if m.pred != nil && c.From.ID == m.pred.ID {
+			m.predSeen = true
+		}
+	case KDListReq:
+		m.handleDListReq(c)
+	case KDListResp:
+		m.handleDListResp(c)
+	}
+	m.publishView()
+}
+
+// handleFindReq answers a successor lookup when the target falls on this
+// node's arc, otherwise advances the stateful de Bruijn walk: inject
+// digits while we host the imaginary node, re-anchor when our own arc
+// aligns strictly closer, then forward toward the imaginary node (or,
+// once every digit is spent, toward the target itself).
+func (m *Machine) handleFindReq(c KFindReq) {
+	if c.TTL <= 0 {
+		m.stats.FindDrops++
+		return
+	}
+	succ, ok := m.liveSuccessor()
+	if !ok {
+		return // not in a ring yet
+	}
+	if succ.ID == m.self.ID || m.space.BetweenIncl(c.Target, m.self.ID, succ.ID) {
+		answer := succ
+		if succ.ID == m.self.ID {
+			answer = m.self
+		}
+		if c.ReplyTo.ID == m.self.ID {
+			m.resolveFind(c.Token, answer)
+			return
+		}
+		m.send(c.ReplyTo, KFindResp{From: m.self, Token: c.Token, Succ: answer})
+		return
+	}
+	if c.TTL <= 1 {
+		m.stats.FindDrops++
+		return
+	}
+	// Inject digits for as long as the imaginary node sits on our arc.
+	// (Bounded by Shift ≤ maxT; usually at most one digit per hop.)
+	for c.Shift != ShiftNone && c.Shift > 0 && m.space.BetweenIncl(c.I, m.self.ID, succ.ID) {
+		digit := (c.Target >> (digitBits * uint(c.Shift-1))) & (Degree - 1)
+		c.I = m.space.Wrap(c.I<<digitBits | digit)
+		c.Shift--
+	}
+	// Re-anchor when our arc aligns with the target in strictly fewer
+	// digits than the carried walk still needs (ShiftNone compares
+	// greater than any real digit count).
+	if i1, left, ok := debruijnStep(m.space, m.self.ID, succ.ID, c.Target); ok && left < c.Shift {
+		c.I, c.Shift = i1, left
+	}
+	goal := c.Target
+	if c.Shift != ShiftNone && c.Shift > 0 {
+		goal = c.I
+	}
+	next, ok := m.hopToward(goal, c.Target, succ)
+	if !ok || next.ID == m.self.ID {
+		m.stats.FindDrops++
+		return
+	}
+	c.TTL--
+	c.From = m.self
+	m.send(next, c)
+}
+
+// hopToward picks the forwarding node for a walk headed at goal (an
+// imaginary de Bruijn address or, once exhausted, the target): the
+// closest known live node strictly before goal, then the greedy
+// closest-preceding step toward the final target, then the successor.
+func (m *Machine) hopToward(goal, target dht.Key, succ Ref) (Ref, bool) {
+	if hop, ok := m.closestTo(goal); ok {
+		return hop, true
+	}
+	if hop, ok := m.ClosestPreceding(target); ok {
+		return hop, true
+	}
+	return succ, succ.ID != m.self.ID
+}
+
+func (m *Machine) handleFindResp(c KFindResp) {
+	if !m.resolveFind(c.Token, c.Succ) {
+		m.stats.StaleFindResps++
+	}
+}
+
+func (m *Machine) resolveFind(tok uint64, succ Ref) bool {
+	pf := m.pendFind[tok]
+	if pf == nil {
+		return false
+	}
+	delete(m.pendFind, tok)
+	pf.timer.Cancel()
+	pf.onResp(succ)
+	return true
+}
+
+func (m *Machine) handleStabReq(c KStabReq) {
+	resp := KStabResp{From: m.self, SuccList: append([]Ref(nil), m.succList...)}
+	if m.pred != nil {
+		resp.HasPred, resp.Pred = true, *m.pred
+	}
+	m.send(c.From, resp)
+	m.considerPredecessor(c.From)
+}
+
+func (m *Machine) handleStabResp(c KStabResp) {
+	succ, ok := m.Successor()
+	if !ok || c.From.ID != succ.ID {
+		return // stale response from a node no longer our successor
+	}
+	m.stabSeen = true
+	if c.HasPred && c.Pred.ID != m.self.ID && m.space.Between(c.Pred.ID, m.self.ID, succ.ID) {
+		succ = c.Pred
+	}
+	list := make([]Ref, 0, m.cfg.SuccListLen)
+	list = append(list, succ)
+	for _, r := range c.SuccList {
+		if r.ID == m.self.ID {
+			break
+		}
+		dup := false
+		for _, have := range list {
+			if have.ID == r.ID {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			list = append(list, r)
+		}
+		if len(list) == m.cfg.SuccListLen {
+			break
+		}
+	}
+	m.succList = list
+	m.send(succ, KNotify{From: m.self})
+}
+
+func (m *Machine) considerPredecessor(p Ref) {
+	if p.ID == m.self.ID {
+		return
+	}
+	if m.pred == nil || m.pred.ID == m.self.ID || m.space.Between(p.ID, m.pred.ID, m.self.ID) {
+		r := p
+		m.pred = &r
+		m.predSeen = true
+		m.predMisses = 0
+	}
+}
+
+// handleDListReq reports our neighborhood to a node rebuilding its
+// de Bruijn pointer chain (we host its k·self).
+func (m *Machine) handleDListReq(c KDListReq) {
+	resp := KDListResp{From: m.self, SuccList: append([]Ref(nil), m.succList...)}
+	if m.pred != nil {
+		resp.HasPred, resp.Pred = true, *m.pred
+	}
+	m.send(c.From, resp)
+}
+
+// handleDListResp rebuilds the pointer chain from the k·self host's
+// neighborhood: its predecessor (the true pred(k·self)), itself, then its
+// successor list — clockwise coverage of the image arc.
+func (m *Machine) handleDListResp(c KDListResp) {
+	chain := make([]Ref, 0, pointerWindow)
+	seen := make(map[dht.Key]bool, pointerWindow)
+	add := func(r Ref) {
+		if r.ID == m.self.ID || seen[r.ID] || len(chain) == pointerWindow {
+			return
+		}
+		seen[r.ID] = true
+		chain = append(chain, r)
+	}
+	if c.HasPred {
+		add(c.Pred)
+	}
+	add(c.From)
+	for _, r := range c.SuccList {
+		add(r)
+	}
+	if !refsEqual(m.debruijn, chain) {
+		m.stats.FingerRepairs++
+	}
+	m.debruijn = chain
+}
+
+func refsEqual(a, b []Ref) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Periodic maintenance ---
+
+// stabilizeTick is byte-for-byte the Chord machine's round over the K*
+// message types: account the previous round's (non-)responses, rotate or
+// drop presumed-dead neighbors, then probe successor and predecessor.
+func (m *Machine) stabilizeTick() {
+	defer m.publishView()
+	m.stats.StabilizeRounds++
+	succ, ok := m.Successor()
+	if ok && succ.ID != m.self.ID {
+		if m.stabSeen {
+			m.stabMisses = 0
+		} else {
+			m.stabMisses++
+			m.stats.StabilizeMisses++
+			if m.stabMisses >= m.cfg.MissThreshold {
+				m.stabMisses = 0
+				m.stats.SuccRotations++
+				if len(m.succList) > 1 {
+					m.succList = m.succList[1:]
+				} else if m.pred != nil && m.pred.ID != m.self.ID {
+					m.succList = []Ref{*m.pred}
+				} else {
+					m.succList = []Ref{m.self}
+				}
+				succ, _ = m.Successor()
+			}
+		}
+	}
+	m.stabSeen = false
+
+	if m.pred != nil && m.pred.ID != m.self.ID {
+		if m.predSeen {
+			m.predMisses = 0
+		} else {
+			m.predMisses++
+			if m.predMisses >= m.cfg.MissThreshold {
+				m.pred = nil
+				m.predMisses = 0
+				m.stats.PredDrops++
+			}
+		}
+	}
+	m.predSeen = false
+
+	if !ok {
+		return // not in a ring yet (join still in flight)
+	}
+	if succ.ID == m.self.ID {
+		if m.pred != nil && m.pred.ID != m.self.ID {
+			m.succList = []Ref{*m.pred}
+			succ = m.succList[0]
+		} else {
+			return // genuinely alone
+		}
+	}
+	m.send(succ, KStabReq{From: m.self})
+	if m.pred != nil && m.pred.ID != m.self.ID {
+		m.send(*m.pred, KPingReq{From: m.self})
+	}
+}
+
+// fixPointers repairs the de Bruijn chain: resolve the node hosting
+// k·self, then ask it for its neighborhood (KDListReq). One lookup per
+// firing — the Koorde analogue of fix_fingers, with the whole chain
+// refreshed at once since it is one contiguous window.
+func (m *Machine) fixPointers() {
+	if !m.Joined() {
+		return
+	}
+	succ, _ := m.Successor()
+	if succ.ID == m.self.ID {
+		// Alone: the image arc is ours too; no pointers needed.
+		m.debruijn = m.debruijn[:0]
+		m.publishView()
+		return
+	}
+	target := m.space.Wrap(m.self.ID << digitBits)
+	m.findSuccessor(target, func(host Ref) {
+		if host.ID == m.self.ID {
+			// We host k·self ourselves: the chain starts at our own
+			// neighborhood.
+			m.handleDListResp(KDListResp{
+				From:     m.self,
+				HasPred:  m.pred != nil,
+				Pred:     derefOr(m.pred, m.self),
+				SuccList: append([]Ref(nil), m.succList...),
+			})
+			m.publishView()
+			return
+		}
+		m.send(host, KDListReq{From: m.self})
+	})
+	m.publishView()
+}
+
+func derefOr(p *Ref, def Ref) Ref {
+	if p == nil {
+		return def
+	}
+	return *p
+}
+
+// --- Lookups ---
+
+// FindSuccessor resolves the successor node of key and calls onResp on
+// the substrate's loop context. Unanswered lookups expire silently.
+func (m *Machine) FindSuccessor(key dht.Key, onResp func(Ref)) {
+	m.findSuccessor(m.space.Wrap(key), onResp)
+}
+
+func (m *Machine) findSuccessor(key dht.Key, onResp func(Ref)) uint64 {
+	tok := m.newToken()
+	pf := &pendingFind{onResp: onResp}
+	pf.timer = m.clk.Schedule(m.findExpiry(), func() { delete(m.pendFind, tok) })
+	m.pendFind[tok] = pf
+	m.handleFindReq(KFindReq{
+		From: m.self, Token: tok, Target: key, TTL: m.cfg.FindTTL,
+		ReplyTo: m.self, Shift: ShiftNone,
+	})
+	return tok
+}
+
+func (m *Machine) cancelFind(tok uint64) {
+	if pf := m.pendFind[tok]; pf != nil {
+		delete(m.pendFind, tok)
+		pf.timer.Cancel()
+	}
+}
+
+func (m *Machine) newToken() uint64 {
+	m.nextToken++
+	return m.nextToken
+}
+
+func (m *Machine) findExpiry() sim.Time {
+	p := m.cfg.StabilizeEvery
+	if p <= 0 {
+		p = m.cfg.JoinRetryEvery
+	}
+	return p * sim.Time(m.cfg.MissThreshold)
+}
+
+// --- Routing state accessors ---
+
+// Successor returns the raw head of the successor list.
+func (m *Machine) Successor() (Ref, bool) {
+	if len(m.succList) == 0 {
+		return Ref{}, false
+	}
+	return m.succList[0], true
+}
+
+// LiveSuccessor returns the first successor-list entry passing the alive
+// filter.
+func (m *Machine) LiveSuccessor() (Ref, bool) { return m.liveSuccessor() }
+
+func (m *Machine) liveSuccessor() (Ref, bool) {
+	for _, s := range m.succList {
+		if m.alive == nil || m.alive(s.ID) {
+			return s, true
+		}
+	}
+	return Ref{}, false
+}
+
+// Predecessor returns the raw predecessor pointer.
+func (m *Machine) Predecessor() (Ref, bool) {
+	if m.pred == nil {
+		return Ref{}, false
+	}
+	return *m.pred, true
+}
+
+// LivePredecessor returns the predecessor if known and passing the alive
+// filter.
+func (m *Machine) LivePredecessor() (Ref, bool) {
+	if m.pred == nil || (m.alive != nil && !m.alive(m.pred.ID)) {
+		return Ref{}, false
+	}
+	return *m.pred, true
+}
+
+// SuccessorList returns a copy of the successor list.
+func (m *Machine) SuccessorList() []Ref {
+	return append([]Ref(nil), m.succList...)
+}
+
+// DeBruijnList returns a copy of the de Bruijn pointer chain (for tests
+// and the parity harness).
+func (m *Machine) DeBruijnList() []Ref {
+	return append([]Ref(nil), m.debruijn...)
+}
+
+// LonglinkCount implements overlay.Machine: installed de Bruijn pointers.
+func (m *Machine) LonglinkCount() int { return len(m.debruijn) }
+
+// EachRoutingEntry calls fn for every routing-state entry: the de Bruijn
+// chain first, then the successor list. Entries may repeat; callers dedup.
+func (m *Machine) EachRoutingEntry(fn func(Ref)) {
+	for _, d := range m.debruijn {
+		fn(d)
+	}
+	for _, s := range m.succList {
+		fn(s)
+	}
+}
+
+// Covers reports whether this node is the successor node of key: key in
+// (pred, self].
+func (m *Machine) Covers(key dht.Key) bool {
+	if m.pred == nil {
+		return key == m.self.ID
+	}
+	return m.space.BetweenIncl(key, m.pred.ID, m.self.ID)
+}
+
+// NextHop picks the forwarding target for key: the successor when key
+// lies in (self, succ]; otherwise the greedy closest-preceding entry
+// from the constant-degree routing state (de Bruijn chain + successor
+// list). Per-message data-plane routing carries no walk state, and the
+// de Bruijn alignment recomputed statelessly at each hop can cycle, so
+// the stateful walk is reserved for KFindReq lookups; the greedy step is
+// strictly clockwise and therefore always terminates.
+func (m *Machine) NextHop(key dht.Key) (Ref, bool) {
+	succ, ok := m.liveSuccessor()
+	if !ok {
+		return Ref{}, false
+	}
+	if m.space.BetweenIncl(key, m.self.ID, succ.ID) {
+		return succ, true
+	}
+	if c, ok := m.ClosestPreceding(key); ok {
+		return c, true
+	}
+	return succ, true
+}
+
+// ClosestPreceding returns the routing-state entry that most immediately
+// precedes key — the greedy fallback step, hardened against entries
+// rejected by the alive filter. Candidates are the de Bruijn chain and
+// the successor list.
+func (m *Machine) ClosestPreceding(key dht.Key) (Ref, bool) {
+	best := Ref{}
+	found := false
+	consider := func(c Ref) {
+		if c.ID == m.self.ID || (m.alive != nil && !m.alive(c.ID)) {
+			return
+		}
+		if !m.space.Between(c.ID, m.self.ID, key) {
+			return
+		}
+		if !found || m.space.Between(best.ID, m.self.ID, c.ID) {
+			best, found = c, true
+		}
+	}
+	for _, d := range m.debruijn {
+		consider(d)
+	}
+	for _, s := range m.succList {
+		consider(s)
+	}
+	return best, found
+}
+
+// closestTo returns the best known live node in (self, i1) — the real
+// node hosting (or most closely trailing) the imaginary address i1. The
+// interval is open on both ends: the host of an imaginary address is its
+// ring predecessor (i1 lies in (host, succ(host)]), so a real node
+// sitting exactly at i1 is one step too far. Used only by the stateful
+// lookup walk (hopToward).
+func (m *Machine) closestTo(i1 dht.Key) (Ref, bool) {
+	best := Ref{}
+	bestDist := uint64(0)
+	found := false
+	consider := func(c Ref) {
+		if m.alive != nil && !m.alive(c.ID) {
+			return
+		}
+		if !m.space.Between(c.ID, m.self.ID, i1) {
+			return
+		}
+		d := m.space.Distance(m.self.ID, c.ID)
+		if !found || d > bestDist {
+			best, bestDist, found = c, d, true
+		}
+	}
+	for _, d := range m.debruijn {
+		consider(d)
+	}
+	for _, s := range m.succList {
+		consider(s)
+	}
+	return best, found
+}
+
+// debruijnStep anchors a de Bruijn walk on this node's arc: find the
+// smallest t ≥ 1 such that some imaginary address i0 in (self, succ]
+// agrees with the top b−digitBits·t bits of key (i0 ≡ key >> digitBits·t
+// modulo 2^(b−digitBits·t)), inject the next digit of key, and return
+// i1 = i0·2^digitBits + digit — the imaginary node the walk forwards
+// toward — together with the number of key digits still left to inject
+// after i1 (t−1). At t = 1, i1 is the key itself. Returns false only when
+// the node has no arc (succ == self).
+func debruijnStep(space dht.Space, self, succ, key dht.Key) (dht.Key, uint8, bool) {
+	if succ == self {
+		return 0, 0, false
+	}
+	b := uint(space.M)
+	maxT := (b + digitBits - 1) / digitBits
+	for t := uint(1); t <= maxT; t++ {
+		shift := digitBits * t
+		var i0 dht.Key
+		if shift >= b {
+			// No alignment constraint left: the first address of our arc.
+			i0 = space.Add(self, 1)
+		} else {
+			low := b - shift
+			mod := dht.Key(1) << low
+			base := (key >> shift) & (mod - 1)
+			// The first address > self in the right residue class.
+			x := self&^(mod-1) | base
+			if x <= self {
+				x += mod
+			}
+			i0 = space.Wrap(x)
+			if !space.BetweenIncl(i0, self, succ) {
+				continue
+			}
+		}
+		digit := (key >> (digitBits * (t - 1))) & (Degree - 1)
+		return space.Wrap(i0<<digitBits | digit), uint8(t - 1), true
+	}
+	return 0, 0, false
+}
+
+// --- Published routing view -------------------------------------------------
+
+// view is the immutable snapshot published for lock-free data-plane
+// routing, mirroring the machine's unfiltered decisions.
+type view struct {
+	space    dht.Space
+	self     Ref
+	hasPred  bool
+	pred     Ref
+	succs    []Ref
+	debruijn []Ref
+}
+
+func (m *Machine) publishView() {
+	v := &view{space: m.space, self: m.self}
+	if m.pred != nil {
+		v.hasPred, v.pred = true, *m.pred
+	}
+	if len(m.succList) > 0 {
+		v.succs = append(make([]Ref, 0, len(m.succList)), m.succList...)
+	}
+	if len(m.debruijn) > 0 {
+		v.debruijn = append(make([]Ref, 0, len(m.debruijn)), m.debruijn...)
+	}
+	prev := m.view.Load()
+	m.view.Store(v)
+	if m.neighborWatch != nil && neighborhoodChanged(prev, v) {
+		m.neighborWatch()
+	}
+}
+
+func neighborhoodChanged(prev, cur *view) bool {
+	if prev == nil {
+		return cur.hasPred || len(cur.succs) > 0
+	}
+	if prev.hasPred != cur.hasPred || (cur.hasPred && prev.pred.ID != cur.pred.ID) {
+		return true
+	}
+	ps, pok := prev.Successor()
+	cs, cok := cur.Successor()
+	return pok != cok || (cok && ps.ID != cs.ID)
+}
+
+// View returns the most recently published routing snapshot. Safe from
+// any goroutine; never nil.
+func (m *Machine) View() overlay.View { return m.view.Load() }
+
+// Joined reports whether the snapshot has ring state.
+func (v *view) Joined() bool { return len(v.succs) > 0 }
+
+// Owner returns the node the snapshot belongs to.
+func (v *view) Owner() Ref { return v.self }
+
+// Successor returns the head of the successor list.
+func (v *view) Successor() (Ref, bool) {
+	if len(v.succs) == 0 {
+		return Ref{}, false
+	}
+	return v.succs[0], true
+}
+
+// Predecessor returns the predecessor pointer.
+func (v *view) Predecessor() (Ref, bool) { return v.pred, v.hasPred }
+
+// SuccRefs returns the successor list (the snapshot's own slice; views
+// are immutable, so callers must not mutate it).
+func (v *view) SuccRefs() []Ref { return v.succs }
+
+// Covers mirrors Machine.Covers.
+func (v *view) Covers(key dht.Key) bool {
+	if !v.hasPred {
+		return key == v.self.ID
+	}
+	return v.space.BetweenIncl(key, v.pred.ID, v.self.ID)
+}
+
+// NextHop mirrors Machine.NextHop without an alive filter.
+func (v *view) NextHop(key dht.Key) (Ref, bool) {
+	succ, ok := v.Successor()
+	if !ok {
+		return Ref{}, false
+	}
+	if v.space.BetweenIncl(key, v.self.ID, succ.ID) {
+		return succ, true
+	}
+	if c, ok := v.ClosestPreceding(key); ok {
+		return c, true
+	}
+	return succ, true
+}
+
+// ClosestPreceding mirrors Machine.ClosestPreceding without an alive
+// filter.
+func (v *view) ClosestPreceding(key dht.Key) (Ref, bool) {
+	best := Ref{}
+	found := false
+	consider := func(c Ref) {
+		if c.ID == v.self.ID {
+			return
+		}
+		if !v.space.Between(c.ID, v.self.ID, key) {
+			return
+		}
+		if !found || v.space.Between(best.ID, v.self.ID, c.ID) {
+			best, found = c, true
+		}
+	}
+	for _, d := range v.debruijn {
+		consider(d)
+	}
+	for _, s := range v.succs {
+		consider(s)
+	}
+	return best, found
+}
+
+// Compile-time contract checks.
+var (
+	_ overlay.Machine = (*Machine)(nil)
+	_ overlay.View    = (*view)(nil)
+)

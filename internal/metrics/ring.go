@@ -1,12 +1,17 @@
 package metrics
 
-// Ring counts one node's control-plane maintenance activity. The Chord
-// protocol machine (internal/chord/protocol) increments these as it runs;
-// they quantify how hard the overlay is working to stay converged —
-// near-zero misses/rotations on a quiet ring, bursts under churn — and
-// surface through the adidas-node query API (RINGSTATS) for live
-// clusters.
+// Ring counts one node's control-plane maintenance activity. The routing
+// machines (internal/chord/protocol, internal/koorde) increment these as
+// they run; they quantify how hard the overlay is working to stay
+// converged — near-zero misses/rotations on a quiet ring, bursts under
+// churn — and surface through the adidas-node query API (RINGSTATS) for
+// live clusters.
 type Ring struct {
+	// Machine names the routing substrate the counters belong to
+	// ("chord", "koorde"), so a RINGSTATS reader knows which machine
+	// family's semantics apply (FingerRepairs counts de Bruijn pointer
+	// repairs on Koorde).
+	Machine string
 	// StabilizeRounds is the number of stabilize ticks executed.
 	StabilizeRounds uint64
 	// StabilizeMisses counts rounds in which the successor did not answer

@@ -8,6 +8,7 @@ import (
 	"streamdex/internal/chord/protocol"
 	"streamdex/internal/dht"
 	"streamdex/internal/metrics"
+	"streamdex/internal/overlay"
 	"streamdex/internal/sim"
 )
 
@@ -107,7 +108,7 @@ func TestControlPlaneParitySimVsLive(t *testing.T) {
 
 	probes := []dht.Key{0, 101, 8999, 9000, 21000, 21001, 39999, 52000, 61001, 65535}
 	type snap struct{ pred, succ, hops, covers string }
-	take := func(m *protocol.Machine) snap {
+	take := func(m overlay.Machine) snap {
 		var s snap
 		if p, ok := m.Predecessor(); ok {
 			s.pred = fmt.Sprint(p.ID)

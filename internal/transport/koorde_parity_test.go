@@ -1,0 +1,180 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+
+	"streamdex/internal/chord"
+	"streamdex/internal/dht"
+	"streamdex/internal/koorde"
+	"streamdex/internal/metrics"
+	"streamdex/internal/overlay"
+	"streamdex/internal/sim"
+)
+
+// TestKoordeParitySimVsLive is the substrate-neutrality acceptance test
+// for the second routing machine: a simulated Koorde node and a live
+// transport node are two adapters around the same koorde.Machine, so when
+// both start from the identical ring snapshot (successor list,
+// predecessor, de Bruijn pointer chain) and consume the identical
+// control-message trace — including stateful KFindReq walks and KDList
+// pointer repair — they must make bit-for-bit identical routing
+// decisions after every single message. Runs under -race in CI.
+func TestKoordeParitySimVsLive(t *testing.T) {
+	space := dht.NewSpace(16)
+	ids := []dht.Key{100, 9000, 21000, 40000, 61000}
+
+	// Simulated side: a converged 5-node Koorde ring built by the generic
+	// substrate; we adopt the middle node's machine. The engine is never
+	// run, so the trace below is its sole stimulus.
+	eng := sim.NewEngine()
+	net := chord.New(eng, chord.Config{
+		Space: space, HopDelay: sim.Millisecond, SuccListLen: 4, Machine: koorde.MachineName,
+	})
+	net.BuildStable(ids, nil)
+	simM, ok := net.Node(ids[2]).Machine().(*koorde.Machine)
+	if !ok {
+		t.Fatalf("substrate %q did not build koorde machines", koorde.MachineName)
+	}
+
+	// Live side: one real transport node with the same identifier and
+	// machine family, given the same ring snapshot.
+	node, err := New(Config{
+		ID: ids[2], Listen: "127.0.0.1:0", Space: space,
+		StabilizeEvery: 500_000, FixFingersEvery: 250_000, SuccListLen: 4,
+		Machine: koorde.MachineName,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	var pred *koorde.Ref
+	if p, ok := simM.Predecessor(); ok {
+		pp := p
+		pred = &pp
+	}
+	succList := simM.SuccessorList()
+	chain := simM.DeBruijnList()
+	if len(chain) == 0 {
+		t.Fatal("sim de Bruijn chain unpopulated after BuildStable")
+	}
+	node.Do(func() { node.ring.InstallRing(pred, succList, chain) })
+
+	// Deterministic trace over ring-member refs: stateful lookups (fresh,
+	// mid-walk and exhausted states, including TTL exhaustion), stale find
+	// answers, stabilize exchanges, notifies, pings, and de Bruijn pointer
+	// repair in both directions.
+	members := make([]koorde.Ref, len(ids))
+	for i, id := range ids {
+		members[i] = koorde.Ref{ID: id}
+	}
+	rnd := uint64(0x9e3779b97f4a7c15)
+	next := func(n uint64) uint64 {
+		rnd = rnd*6364136223846793005 + 1442695040888963407
+		return (rnd >> 33) % n
+	}
+	var trace []any
+	for i := 0; i < 200; i++ {
+		switch next(7) {
+		case 0:
+			req := koorde.KFindReq{
+				From: members[next(5)], Token: 1000 + uint64(i),
+				Target: dht.Key(next(1 << 16)), TTL: int(next(8)), ReplyTo: members[next(5)],
+			}
+			switch next(3) {
+			case 0:
+				req.Shift = koorde.ShiftNone // unanchored
+			case 1:
+				req.I, req.Shift = dht.Key(next(1<<16)), uint8(next(4)) // mid-walk
+			case 2:
+				req.I, req.Shift = req.Target, 0 // exhausted
+			}
+			trace = append(trace, req)
+		case 1:
+			trace = append(trace, koorde.KFindResp{From: members[next(5)], Token: next(2000), Succ: members[next(5)]})
+		case 2:
+			trace = append(trace, koorde.KStabReq{From: members[next(5)]})
+		case 3:
+			sr := koorde.KStabResp{
+				From:     members[next(5)],
+				SuccList: []koorde.Ref{members[next(5)], members[next(5)], members[next(5)]},
+			}
+			if next(2) == 0 {
+				sr.HasPred, sr.Pred = true, members[next(5)]
+			}
+			trace = append(trace, sr)
+		case 4:
+			trace = append(trace, koorde.KNotify{From: members[next(5)]})
+		case 5:
+			if next(2) == 0 {
+				trace = append(trace, koorde.KPingReq{From: members[next(5)]})
+			} else {
+				trace = append(trace, koorde.KPingResp{From: members[next(5)]})
+			}
+		case 6:
+			if next(2) == 0 {
+				trace = append(trace, koorde.KDListReq{From: members[next(5)]})
+			} else {
+				dr := koorde.KDListResp{
+					From:     members[next(5)],
+					SuccList: []koorde.Ref{members[next(5)], members[next(5)], members[next(5)]},
+				}
+				if next(2) == 0 {
+					dr.HasPred, dr.Pred = true, members[next(5)]
+				}
+				trace = append(trace, dr)
+			}
+		}
+	}
+
+	probes := []dht.Key{0, 101, 8999, 9000, 21000, 21001, 39999, 52000, 61001, 65535}
+	type snap struct{ pred, succ, chain, hops, covers string }
+	take := func(m overlay.Machine) snap {
+		var s snap
+		if p, ok := m.Predecessor(); ok {
+			s.pred = fmt.Sprint(p.ID)
+		}
+		for _, r := range m.SuccessorList() {
+			s.succ += fmt.Sprint(r.ID, ",")
+		}
+		for _, r := range m.(*koorde.Machine).DeBruijnList() {
+			s.chain += fmt.Sprint(r.ID, ",")
+		}
+		for _, k := range probes {
+			if h, ok := m.NextHop(k); ok {
+				s.hops += fmt.Sprint(h.ID, ",")
+			} else {
+				s.hops += "-,"
+			}
+			s.covers += fmt.Sprint(m.Covers(k), ",")
+		}
+		return s
+	}
+
+	for i, msg := range trace {
+		simM.Handle(msg)
+		var liveSnap snap
+		m := msg
+		node.Do(func() {
+			node.ring.Handle(m)
+			liveSnap = take(node.ring)
+		})
+		if simSnap := take(simM); simSnap != liveSnap {
+			t.Fatalf("divergence after message %d (%T):\n sim  %+v\n live %+v", i, msg, simSnap, liveSnap)
+		}
+	}
+
+	// The maintenance counters the trace exercised must agree too.
+	var liveStats metrics.Ring
+	node.Do(func() { liveStats = node.ring.Stats() })
+	if simStats := simM.Stats(); simStats != liveStats {
+		t.Fatalf("stats diverged:\n sim  %+v\n live %+v", simStats, liveStats)
+	}
+	if liveStats.Machine != koorde.MachineName {
+		t.Fatalf("stats carry machine %q, want %q", liveStats.Machine, koorde.MachineName)
+	}
+	if liveStats.StaleFindResps == 0 || liveStats.FindDrops == 0 || liveStats.FingerRepairs == 0 {
+		t.Fatalf("trace failed to exercise stale answers, TTL drops and pointer repairs: %+v", liveStats)
+	}
+}

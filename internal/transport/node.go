@@ -30,20 +30,24 @@ package transport
 import (
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 
-	"streamdex/internal/chord/protocol"
+	// Registers the default "chord" machine (and its wire codecs) with the
+	// overlay registry.
+	_ "streamdex/internal/chord/protocol"
 	"streamdex/internal/clock"
 	"streamdex/internal/dht"
+	"streamdex/internal/overlay"
 	"streamdex/internal/sim"
 	"streamdex/internal/wire"
 )
 
 // Ref identifies a remote node: its ring identifier and dial address. It
-// is the protocol package's ref type — the transport routes control sends
+// is the overlay package's ref type — the transport routes control sends
 // by Addr, the simulator by ID.
-type Ref = protocol.Ref
+type Ref = overlay.Ref
 
 // Config parameterizes one transport node.
 type Config struct {
@@ -79,6 +83,11 @@ type Config struct {
 	// transport. Only loss-tolerant soft state belongs here (the
 	// middleware nominates KindMBR); everything else stays on TCP.
 	DatagramKinds []dht.Kind
+	// Machine selects the routing machine from the overlay registry
+	// ("chord", "koorde"). Empty means "chord", the historical default.
+	// All nodes of one cluster must run the same machine: the control
+	// plane's message kinds are per-family.
+	Machine string
 }
 
 // DefaultConfig returns production-shaped defaults for the given identity.
@@ -110,9 +119,10 @@ type Node struct {
 	peers *peerSet
 
 	// ring is the node's control-plane state machine — the same code the
-	// simulator drives through its event engine. Its mutators are
-	// loop-confined; routing reads go through the lock-free published View.
-	ring *protocol.Machine
+	// simulator drives through its event engine. Which machine family it
+	// is comes from Config.Machine. Its mutators are loop-confined;
+	// routing reads go through the lock-free published View.
+	ring overlay.Machine
 
 	// pool is the data-plane executor decoded data frames fan out to; nil
 	// when Config.Workers < 0 (everything posts to the loop).
@@ -201,7 +211,17 @@ func New(cfg Config) (*Node, error) {
 		n.pool = newWorkerPool(cfg.Workers, cfg.PoolQueueLen)
 	}
 	n.peers = newPeerSet(cfg.QueueLen, func() { n.dropped.Add(1) })
-	n.ring = protocol.New(protocol.Config{
+	machine := cfg.Machine
+	if machine == "" {
+		machine = "chord"
+	}
+	fac, ok := overlay.Lookup(machine)
+	if !ok {
+		ln.Close()
+		return nil, fmt.Errorf("transport: unknown routing machine %q (registered: %s)",
+			machine, strings.Join(overlay.Names(), ", "))
+	}
+	n.ring = fac.New(overlay.Config{
 		Space:           cfg.Space,
 		SuccListLen:     cfg.SuccListLen,
 		StabilizeEvery:  sim.Time(cfg.StabilizeEvery),
@@ -420,7 +440,7 @@ func (n *Node) Successors(id dht.Key, count int) []dht.Key {
 		return nil
 	}
 	out := make([]dht.Key, 0, count)
-	for _, ref := range n.ring.View().Succs {
+	for _, ref := range n.ring.View().SuccRefs() {
 		if ref.ID == n.self.ID {
 			break
 		}
@@ -442,7 +462,7 @@ func (n *Node) SendToNode(from, to dht.Key, msg *dht.Message) {
 		n.dropped.Add(1)
 		return
 	}
-	for _, ref := range n.ring.View().Succs {
+	for _, ref := range n.ring.View().SuccRefs() {
 		if ref.ID == to {
 			n.transmitApp(ref, msg, frameDirect)
 			return
@@ -558,7 +578,7 @@ func (n *Node) readLoop(conn net.Conn) {
 			}
 		case frameControl:
 			msg, err := wire.Unmarshal(body)
-			if err != nil || msg.Kind != protocol.KindRing {
+			if err != nil || msg.Kind != overlay.KindRing {
 				n.dropped.Add(1)
 				continue
 			}
@@ -611,7 +631,7 @@ func (n *Node) Ring() RingInfo {
 			info.Pred = &p
 		}
 		info.SuccList = n.ring.SuccessorList()
-		info.Fingers = n.ring.FingerCount()
+		info.Fingers = n.ring.LonglinkCount()
 	})
 	return info
 }

@@ -4,26 +4,27 @@ import (
 	"fmt"
 	"time"
 
-	"streamdex/internal/chord/protocol"
 	"streamdex/internal/dht"
 	"streamdex/internal/metrics"
+	"streamdex/internal/overlay"
 	"streamdex/internal/wire"
 )
 
 // Ring maintenance adapter.
 //
-// The Chord control plane itself — join, find_successor routing,
-// stabilize/notify, successor-list rotation, finger repair, predecessor
-// liveness — lives in the shared protocol state machine
-// (internal/chord/protocol), the exact code the simulator drives through
-// its event engine. This file only adapts it to sockets: outgoing
-// (dest, message) pairs are framed with the packed wire codec v2 and
-// handed to the peer writers; inbound control frames are decoded off-loop
-// and fed to Machine.Handle on the loop. There is no transport-private
-// control record (the old gob `control` union is gone): what travels is
-// the protocol package's message types under protocol.KindRing, so the
-// bytes charged to the simulator's observer for a maintenance message are
-// the bytes a live socket carries.
+// The control plane itself — join, find_successor routing,
+// stabilize/notify, successor-list rotation, long-link repair,
+// predecessor liveness — lives in the shared routing machine selected by
+// Config.Machine (internal/chord/protocol or internal/koorde), the exact
+// code the simulator drives through its event engine. This file only
+// adapts it to sockets: outgoing (dest, message) pairs are framed with
+// the packed wire codec v2 and handed to the peer writers; inbound
+// control frames are decoded off-loop and fed to Machine.Handle on the
+// loop. There is no transport-private control record (the old gob
+// `control` union is gone): what travels is the machine family's own
+// message types under overlay.KindRing, so the bytes charged to the
+// simulator's observer for a maintenance message are the bytes a live
+// socket carries.
 
 // Create bootstraps a brand-new one-node ring.
 func (n *Node) Create() {
@@ -37,7 +38,7 @@ func (n *Node) Create() {
 // tokens); Join blocks until the successor is known or the timeout
 // elapses.
 func (n *Node) Join(bootstrapAddr string, timeout time.Duration) error {
-	found := make(chan protocol.Ref, 1)
+	found := make(chan Ref, 1)
 	n.clk.Do(func() {
 		n.ring.Join(Ref{Addr: bootstrapAddr}, func(succ Ref) {
 			select {
@@ -66,7 +67,7 @@ func (n *Node) sendRing(to Ref, payload any) {
 		return
 	}
 	msg := &dht.Message{
-		Kind:    protocol.KindRing,
+		Kind:    overlay.KindRing,
 		Key:     to.ID,
 		Src:     n.self.ID,
 		Payload: payload,

@@ -6,6 +6,8 @@ import (
 	"streamdex/internal/core"
 	"streamdex/internal/cqe"
 	"streamdex/internal/dht"
+	"streamdex/internal/koorde"
+	"streamdex/internal/overlay"
 	"streamdex/internal/query"
 	"streamdex/internal/sim"
 	"streamdex/internal/summary"
@@ -76,7 +78,35 @@ func fuzzSeedMessages() []*dht.Message {
 		}},
 		{Kind: core.KindReplica, Key: 1, Src: 2, Payload: core.ReplicaMsg{MBR: mbr, TTL: 2}},
 		{Kind: core.KindLoad, Key: 1, Src: 2, Payload: core.LoadMsg{Loads: []float64{7.5, 1.25}}},
+		// Koorde control payloads. Control frames never travel UDP, but the
+		// datagram dispatcher must reject (not trust) whatever arrives, so
+		// the corpus seeds every registered codec, walk state included.
+		{Kind: overlay.KindRing, Key: 1, Src: 2, Payload: koorde.KFindReq{
+			From: kref(2), Token: 3, Target: 77, TTL: 64, ReplyTo: kref(2), Shift: koorde.ShiftNone,
+		}},
+		{Kind: overlay.KindRing, Key: 1, Src: 2, Payload: koorde.KFindReq{
+			From: kref(2), Token: 3, Target: 77, TTL: 60, ReplyTo: kref(2), I: 4_123, Shift: 1,
+		}},
+		{Kind: overlay.KindRing, Key: 2, Src: 1, Payload: koorde.KFindResp{
+			From: kref(1), Token: 3, Succ: kref(80),
+		}},
+		{Kind: overlay.KindRing, Key: 1, Src: 2, Payload: koorde.KStabReq{From: kref(2)}},
+		{Kind: overlay.KindRing, Key: 2, Src: 1, Payload: koorde.KStabResp{
+			From: kref(1), HasPred: true, Pred: kref(2), SuccList: []overlay.Ref{kref(2), kref(80)},
+		}},
+		{Kind: overlay.KindRing, Key: 1, Src: 2, Payload: koorde.KNotify{From: kref(2)}},
+		{Kind: overlay.KindRing, Key: 1, Src: 2, Payload: koorde.KPingReq{From: kref(2)}},
+		{Kind: overlay.KindRing, Key: 2, Src: 1, Payload: koorde.KPingResp{From: kref(1)}},
+		{Kind: overlay.KindRing, Key: 1, Src: 2, Payload: koorde.KDListReq{From: kref(2)}},
+		{Kind: overlay.KindRing, Key: 2, Src: 1, Payload: koorde.KDListResp{
+			From: kref(1), HasPred: true, Pred: kref(80), SuccList: []overlay.Ref{kref(2)},
+		}},
 	}
+}
+
+// kref builds an addressed overlay node reference for the koorde seeds.
+func kref(id dht.Key) overlay.Ref {
+	return overlay.Ref{ID: id, Addr: "127.0.0.1:7002"}
 }
 
 // FuzzDatagramDecode drives the exact UDP receive path — frame-type

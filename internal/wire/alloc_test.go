@@ -97,6 +97,18 @@ func TestUnmarshalAllocBounds(t *testing.T) {
 		"protocol.Notify":   3,
 		"protocol.PingReq":  3,
 		"protocol.PingResp": 3,
+		// Koorde ring-control payloads decode with the same cost model as
+		// their Chord counterparts: the walk state in KFindReq is two
+		// inline varints and allocates nothing extra.
+		"koorde.KFindReq":   4, // msg + box + 2 addr strings
+		"koorde.KFindResp":  4,
+		"koorde.KStabReq":   3,
+		"koorde.KStabResp":  8, // msg + box + list + 5 addr strings (largest fixture)
+		"koorde.KNotify":    3,
+		"koorde.KPingReq":   3,
+		"koorde.KPingResp":  3,
+		"koorde.KDListReq":  3,
+		"koorde.KDListResp": 8,
 	}
 	for _, msg := range roundTripCases() {
 		frame, err := wire.Marshal(msg)

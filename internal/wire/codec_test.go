@@ -8,6 +8,7 @@ import (
 	"streamdex/internal/core"
 	"streamdex/internal/cqe"
 	"streamdex/internal/dht"
+	"streamdex/internal/koorde"
 	"streamdex/internal/query"
 	"streamdex/internal/sim"
 	"streamdex/internal/summary"
@@ -225,6 +226,72 @@ func roundTripCases() []*dht.Message {
 		{
 			Kind: protocol.KindRing, Key: 100, Src: 300, Hops: 1, SentAt: 970_000,
 			Payload: protocol.PingResp{From: ref(300)},
+		},
+		// Koorde control plane: same KindRing envelope, disjoint payload
+		// tags. A KFindReq carries the de Bruijn walk state (I, Shift), so
+		// all three walk phases must round-trip: unanchored (ShiftNone),
+		// mid-walk, and digit-exhausted.
+		{
+			Kind: protocol.KindRing, Key: 200, Src: 100, Hops: 1, SentAt: 980_000,
+			Payload: koorde.KFindReq{From: ref(100), Token: 11, Target: 450, TTL: 64,
+				ReplyTo: ref(100), Shift: koorde.ShiftNone},
+		},
+		{
+			Kind: protocol.KindRing, Key: 300, Src: 200, Hops: 2, SentAt: 981_000,
+			Payload: koorde.KFindReq{From: ref(200), Token: 11, Target: 450, TTL: 62,
+				ReplyTo: ref(100), I: 7_200, Shift: 2},
+		},
+		{
+			Kind: protocol.KindRing, Key: 440, Src: 300, Hops: 3, SentAt: 982_000,
+			Payload: koorde.KFindReq{From: ref(300), Token: 11, Target: 450, TTL: 60,
+				ReplyTo: ref(100), I: 450, Shift: 0},
+		},
+		{
+			Kind: protocol.KindRing, Key: 100, Src: 440, Hops: 1, SentAt: 983_000,
+			Payload: koorde.KFindResp{From: ref(440), Token: 11, Succ: ref(500)},
+		},
+		{
+			Kind: protocol.KindRing, Key: 500, Src: 100, Hops: 1, SentAt: 984_000,
+			Payload: koorde.KStabReq{From: ref(100)},
+		},
+		{
+			Kind: protocol.KindRing, Key: 100, Src: 500, Hops: 1, SentAt: 985_000,
+			Payload: koorde.KStabResp{
+				From: ref(500), HasPred: true, Pred: ref(100),
+				SuccList: []protocol.Ref{ref(700), ref(900), ref(100)},
+			},
+		},
+		// Predecessor-less KStabResp: the Pred field is elided on the wire.
+		{
+			Kind: protocol.KindRing, Key: 100, Src: 500, Hops: 1, SentAt: 986_000,
+			Payload: koorde.KStabResp{From: ref(500), SuccList: []protocol.Ref{ref(700)}},
+		},
+		{
+			Kind: protocol.KindRing, Key: 500, Src: 100, Hops: 1, SentAt: 987_000,
+			Payload: koorde.KNotify{From: ref(100)},
+		},
+		{
+			Kind: protocol.KindRing, Key: 300, Src: 100, Hops: 1, SentAt: 988_000,
+			Payload: koorde.KPingReq{From: ref(100)},
+		},
+		{
+			Kind: protocol.KindRing, Key: 100, Src: 300, Hops: 1, SentAt: 989_000,
+			Payload: koorde.KPingResp{From: ref(300)},
+		},
+		{
+			Kind: protocol.KindRing, Key: 700, Src: 100, Hops: 1, SentAt: 990_000,
+			Payload: koorde.KDListReq{From: ref(100)},
+		},
+		{
+			Kind: protocol.KindRing, Key: 100, Src: 700, Hops: 1, SentAt: 991_000,
+			Payload: koorde.KDListResp{
+				From: ref(700), HasPred: true, Pred: ref(500),
+				SuccList: []protocol.Ref{ref(900), ref(100), ref(300)},
+			},
+		},
+		{
+			Kind: protocol.KindRing, Key: 100, Src: 700, Hops: 1, SentAt: 992_000,
+			Payload: koorde.KDListResp{From: ref(700), SuccList: []protocol.Ref{ref(900)}},
 		},
 	}
 }

@@ -10,9 +10,10 @@ import (
 // FuzzUnmarshal hammers the frame decoder — envelope parsing, the packed
 // payload codecs behind every registered tag, and the gob fallback — with
 // mutated frames. The corpus seeds cover all nine middleware payload kinds
-// and all seven ring-control payloads of the unified Chord control plane
-// (via roundTripCases) plus malformed shapes, so the fuzzer starts from
-// every codec's happy path and mutates from there.
+// and the ring-control payloads of every routing machine — the seven Chord
+// types and the nine Koorde types, including all three de Bruijn walk
+// phases of a KFindReq — (via roundTripCases) plus malformed shapes, so
+// the fuzzer starts from every codec's happy path and mutates from there.
 //
 // Properties checked on any input the decoder accepts:
 //   - re-marshalling the decoded message succeeds (a decoded message is

@@ -16,11 +16,14 @@ package workload
 
 import (
 	"fmt"
+	"strings"
 
 	"streamdex/internal/chord"
 	"streamdex/internal/core"
 	"streamdex/internal/dht"
+	_ "streamdex/internal/koorde" // register the koorde routing machine
 	"streamdex/internal/metrics"
+	"streamdex/internal/overlay"
 	"streamdex/internal/pastry"
 	"streamdex/internal/sim"
 	"streamdex/internal/stream"
@@ -60,9 +63,11 @@ type Config struct {
 	// (default), true = idealized equidistant identifiers.
 	Equidistant bool
 
-	// Substrate selects the routing layer: "chord" (default) or
-	// "pastry" — the middleware runs unmodified on either (§II-B: the
-	// solution "can use virtually any P2P routing protocol").
+	// Substrate selects the routing layer: any machine registered with
+	// internal/overlay — "chord" (default) or "koorde" — or "pastry",
+	// which is a separate substrate rather than a ring machine. The
+	// middleware runs unmodified on all of them (§II-B: the solution
+	// "can use virtually any P2P routing protocol").
 	Substrate string
 
 	// FailAt, when positive, crashes FailCount random nodes at that
@@ -139,12 +144,15 @@ func (c Config) Validate() error {
 		return fmt.Errorf("workload: warmup/measure intervals")
 	}
 	switch c.Substrate {
-	case "", "chord", "pastry":
+	case "", "pastry":
 	default:
-		return fmt.Errorf("workload: unknown substrate %q", c.Substrate)
+		if _, ok := overlay.Lookup(c.Substrate); !ok {
+			return fmt.Errorf("workload: unknown substrate %q (registered machines: %s; also: pastry)",
+				c.Substrate, strings.Join(overlay.Names(), ", "))
+		}
 	}
 	if c.FailAt > 0 && c.Substrate == "pastry" {
-		return fmt.Errorf("workload: failure injection requires the chord substrate")
+		return fmt.Errorf("workload: failure injection requires a ring substrate with maintenance")
 	}
 	if c.FailAt > 0 && c.FailCount <= 0 {
 		return fmt.Errorf("workload: FailAt set without FailCount")
@@ -232,11 +240,12 @@ func Build(cfg Config) (*Run, error) {
 	var net dht.Substrate
 	var chordNet *chord.Network
 	switch cfg.Substrate {
-	case "", "chord":
+	default: // any registered ring machine over the generic substrate
 		ccfg := chord.Config{
 			Space:       cfg.Core.Space,
 			HopDelay:    cfg.HopDelay,
 			SuccListLen: 8,
+			Machine:     cfg.Substrate,
 			// Static experiments run without maintenance so every
 			// simulated event is accounted traffic; failure injection
 			// turns the self-repair protocol on.

@@ -48,6 +48,17 @@
 #                        BENCH_5 vs BENCH_6 reports with a 0.9x
 #                        store-match@4 floor proving the load-balancing
 #                        hooks did not tax the un-replicated data plane
+#  14. koorde churn + parity (race) — deterministic scripted churn of the
+#                        Koorde de Bruijn machine (joins, leave, crashes,
+#                        late join must re-converge to the oracle), and
+#                        sim-vs-live parity of the same machine on a real
+#                        TCP cluster, both under the race detector
+#  15. substrates gate  — fast-tier chord-vs-koorde head-to-head; Koorde's
+#                        mean lookup hops must be strictly below Chord's
+#                        at the largest size (the de Bruijn claim), then
+#                        the committed BENCH_6 vs BENCH_7 reports with a
+#                        0.9x store-match@4 floor proving the substrate-
+#                        neutral control plane did not tax the data plane
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -159,5 +170,29 @@ echo "== load-balancing bench comparison: BENCH_5 vs BENCH_6 =="
 # similarity path. The floor only binds when both reports come from
 # hosts with >= 4 real cores.
 go run ./cmd/adidas-bench -compare "BENCH_5.json,BENCH_6.json" -minratio store-match@4=0.9
+
+echo "== koorde churn + sim-vs-live parity (race) =="
+# The second routing machine through the same wringer as Chord:
+# deterministic scripted churn (joins, a graceful leave, adjacent
+# crashes, a late join) must re-converge the de Bruijn pointers to the
+# live-membership oracle, and the live TCP cluster must agree with the
+# simulator on every successor resolution.
+go test -race -count=1 -run 'TestKoordeChurnReconverges' ./internal/koorde
+go test -race -count=1 -run 'TestKoordeParitySimVsLive' ./internal/transport
+
+echo "== substrates gate: fast-tier chord-vs-koorde lookup hops =="
+# Deterministic (seeded virtual-time) head-to-head of the two registered
+# ring machines. -maxhopsratio 1.0 fails CI unless Koorde's mean lookup
+# hops are strictly below Chord's at the largest size — the de Bruijn
+# fewer-hops-per-table-entry claim, held as a hard gate.
+BENCH_FAST=1 go run ./cmd/adidas-bench -substrates "${TMPDIR:-/tmp}/streamdex-bench7.json" -maxhopsratio 1.0
+
+echo "== substrates bench comparison: BENCH_6 vs BENCH_7 =="
+# The committed load-skew report against the committed substrates report.
+# The shared store rows prove the overlay indirection (machine registry,
+# interface dispatch on the control plane) did not tax the similarity
+# path. The floor only binds when both reports come from hosts with
+# >= 4 real cores.
+go run ./cmd/adidas-bench -compare "BENCH_6.json,BENCH_7.json" -minratio store-match@4=0.9
 
 echo "CI OK"
