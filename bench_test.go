@@ -164,11 +164,11 @@ func BenchmarkAblationRangeMulticast(b *testing.B) {
 	widths := []int{2, 4, 8, 16, 32, 64}
 	var rows []experiments.MulticastRow
 	for i := 0; i < b.N; i++ {
-		rows = experiments.RangeMulticast(256, widths)
+		rows = experiments.RangeMulticast("", 256, widths)
 	}
 	last := rows[len(rows)-1]
 	b.ReportMetric(float64(last.SeqDelay)/float64(last.BidiDelay), "seq/bidi-delay")
-	b.Log("\n" + experiments.AblationMulticast(256, widths).String())
+	b.Log("\n" + experiments.AblationMulticast("", 256, widths).String())
 }
 
 // BenchmarkAblationBaselines regenerates ablation A2: the distributed
@@ -208,7 +208,7 @@ func BenchmarkAblationAdaptive(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows = experiments.AdaptiveComparison(32, 0.1, 1)
 	}
-	b.Log("\n" + experiments.AblationAdaptive(rows, 0.1).String())
+	b.Log("\n" + experiments.AblationAdaptive("", rows, 0.1).String())
 }
 
 // BenchmarkAblationHierarchy regenerates ablation A5: flat range multicast
@@ -221,7 +221,7 @@ func BenchmarkAblationHierarchy(b *testing.B) {
 	}
 	last := rows[len(rows)-1]
 	b.ReportMetric(float64(last.FlatMsgs)/float64(max(1, last.HierMsgs)), "flat/hier-msgs@r0.8")
-	b.Log("\n" + experiments.AblationHierarchy(512, rows).String())
+	b.Log("\n" + experiments.AblationHierarchy("", 512, rows).String())
 }
 
 func max(a, b int) int {

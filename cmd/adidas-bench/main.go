@@ -12,6 +12,8 @@
 //	adidas-bench -ops BENCH_5.json       # continuous-query operator throughput
 //	adidas-bench -loadskew BENCH_6.json -maxskew 3  # load spread under Zipf skew
 //	adidas-bench -substrates BENCH_7.json -maxhopsratio 1  # chord vs koorde head-to-head
+//	adidas-bench -substrates BENCH_8.json -maxhopsratio 1 -maxmaintratio 1.3 -maxtailratio 1.15
+//	adidas-bench -exp fig6a -substrate koorde            # figure rows on another ring machine
 //	adidas-bench -compare old.json,new.json
 //	adidas-bench -compare BENCH_3.json,BENCH_4.json -minratio store-match@4=1.3
 //
@@ -53,6 +55,9 @@ func main() {
 		maxSkew  = flag.Float64("maxskew", 0, "with -loadskew: fail unless the machinery-on p99/mean load ratio at the smallest size is at most this")
 		subsOut  = flag.String("substrates", "", "run the chord-vs-koorde routing-machine head-to-head and write JSON to this path ('-' = stdout)")
 		maxHops  = flag.Float64("maxhopsratio", 0, "with -substrates: fail unless koorde's mean lookup hops are strictly below this ratio of chord's at the largest size")
+		maxMaint = flag.Float64("maxmaintratio", 0, "with -substrates: fail if koorde's maintenance bandwidth exceeds this ratio of chord's at the largest size")
+		maxTail  = flag.Float64("maxtailratio", 0, "with -substrates: fail if koorde's multicast last-delivery time exceeds this ratio of chord's at the largest size")
+		machine  = flag.String("substrate", "", "routing substrate for the figure experiments: a registered ring machine (chord, koorde) or pastry; empty = chord")
 		minSpeed = flag.Float64("minspeedup", 0, "with -parallel: fail unless match/loopback speed up by this factor (skipped when the host has fewer cores than procs)")
 		compare  = flag.String("compare", "", "compare two -bench or -parallel reports, given as OLD.json,NEW.json")
 		minRatio = flag.String("minratio", "", "with -compare on -parallel reports: fail unless new/old ops/sec meets the floors, e.g. store-match@4=1.3 (rows stand down on hosts with fewer cores than procs)")
@@ -88,7 +93,7 @@ func main() {
 		return
 	}
 	if *subsOut != "" {
-		if err := runSubstratesBench(*subsOut, *seed, *maxHops, *workers); err != nil {
+		if err := runSubstratesBench(*subsOut, *seed, *maxHops, *maxMaint, *maxTail, *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "adidas-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -107,6 +112,7 @@ func main() {
 	base.Warmup = sim.Time(*warmup) * sim.Second
 	base.Measure = sim.Time(*measure) * sim.Second
 	base.Radius = *radius
+	base.Substrate = *machine
 
 	if err := run(*exp, *sizes, base, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "adidas-bench: %v\n", err)
@@ -197,7 +203,7 @@ func run(exp, sizesFlag string, base workload.Config, workers int) error {
 		ran = true
 	}
 	if want("ablation-multicast") {
-		show(experiments.AblationMulticast(256, []int{2, 4, 8, 16, 32, 64}))
+		show(experiments.AblationMulticast(base.Substrate, 256, []int{2, 4, 8, 16, 32, 64}))
 		ran = true
 	}
 	if want("ablation-baselines") {
@@ -217,12 +223,12 @@ func run(exp, sizesFlag string, base workload.Config, workers int) error {
 		ran = true
 	}
 	if want("ablation-adaptive") {
-		show(experiments.AblationAdaptive(experiments.AdaptiveComparison(32, base.Radius, base.Seed), base.Radius))
+		show(experiments.AblationAdaptive(base.Substrate, experiments.AdaptiveComparison(32, base.Radius, base.Seed), base.Radius))
 		ran = true
 	}
 	if want("ablation-hierarchy") {
 		radii := []float64{0.05, 0.1, 0.2, 0.4, 0.8}
-		show(experiments.AblationHierarchy(512, experiments.HierarchyComparison(512, radii, 16)))
+		show(experiments.AblationHierarchy(base.Substrate, 512, experiments.HierarchyComparison(512, radii, 16)))
 		ran = true
 	}
 	if want("ablation-resilience") {

@@ -39,6 +39,8 @@ type substrateJSONRow struct {
 	MaintBytes     float64 `json:"maint_bytes_per_node_sec"`
 	MulticastMsgs  float64 `json:"multicast_msgs"`
 	MulticastLast  float64 `json:"multicast_last_ms"`
+	ChurnBytes     float64 `json:"churn_repair_bytes_per_node_sec,omitempty"`
+	ChurnLookupOK  float64 `json:"churn_lookup_ok,omitempty"`
 }
 
 // substratesSection is the head-to-head extension of the parbench report.
@@ -47,7 +49,7 @@ type substratesSection struct {
 	Rows     []substrateJSONRow `json:"rows"`
 }
 
-func runSubstratesBench(outPath string, seed int64, maxHopsRatio float64, workers int) error {
+func runSubstratesBench(outPath string, seed int64, maxHopsRatio, maxMaintRatio, maxTailRatio float64, workers int) error {
 	if outPath != "-" {
 		f, err := os.OpenFile(outPath, os.O_WRONLY|os.O_CREATE, 0o644)
 		if err != nil {
@@ -134,11 +136,12 @@ func runSubstratesBench(outPath string, seed int64, maxHopsRatio float64, worker
 			LookupMeanHops: r.LookupMeanHops, LookupP99Hops: r.LookupP99Hops,
 			Longlinks: r.Longlinks, MaintBytes: r.MaintBytesPerNodeSec,
 			MulticastMsgs: r.MulticastMsgs, MulticastLast: r.MulticastLastMs,
+			ChurnBytes: r.ChurnRepairBytesPerNodeSec, ChurnLookupOK: r.ChurnLookupOK,
 		})
 		fmt.Fprintf(os.Stderr,
-			"substrates %4d nodes %-6s hops=%.2f p99=%.0f longlinks=%.0f maint=%.0fB/node/s mcast last=%.0fms\n",
+			"substrates %4d nodes %-6s hops=%.2f p99=%.0f longlinks=%.0f maint=%.0fB/node/s mcast last=%.0fms churn=%.0fB/node/s ok=%.3f\n",
 			r.Nodes, r.Machine, r.LookupMeanHops, r.LookupP99Hops, r.Longlinks,
-			r.MaintBytesPerNodeSec, r.MulticastLastMs)
+			r.MaintBytesPerNodeSec, r.MulticastLastMs, r.ChurnRepairBytesPerNodeSec, r.ChurnLookupOK)
 	}
 	rep.Substrates = sec
 
@@ -155,11 +158,10 @@ func runSubstratesBench(outPath string, seed int64, maxHopsRatio float64, worker
 		return err
 	}
 
-	// The hard gate: at the largest size, Koorde's mean lookup hops must be
-	// strictly below maxHopsRatio times Chord's.
-	if maxHopsRatio > 0 {
-		largest := sizes[len(sizes)-1]
-		var chordMean, koordeMean float64
+	// The hard gates all judge the largest-size row pair: Koorde against
+	// Chord on the same substrate at the paper's biggest ring.
+	largest := sizes[len(sizes)-1]
+	pair := func(gate string, get func(substrateJSONRow) float64) (chordV, koordeV float64, err error) {
 		found := 0
 		for _, r := range sec.Rows {
 			if r.Nodes != largest {
@@ -167,16 +169,26 @@ func runSubstratesBench(outPath string, seed int64, maxHopsRatio float64, worker
 			}
 			switch r.Machine {
 			case "chord":
-				chordMean, found = r.LookupMeanHops, found+1
+				chordV, found = get(r), found+1
 			case "koorde":
-				koordeMean, found = r.LookupMeanHops, found+1
+				koordeV, found = get(r), found+1
 			}
 		}
 		if found != 2 {
-			return fmt.Errorf("maxhopsratio: no chord/koorde row pair at %d nodes", largest)
+			return 0, 0, fmt.Errorf("%s: no chord/koorde row pair at %d nodes", gate, largest)
 		}
-		if chordMean <= 0 {
-			return fmt.Errorf("maxhopsratio: chord mean hops is %v at %d nodes", chordMean, largest)
+		if chordV <= 0 {
+			return 0, 0, fmt.Errorf("%s: chord value is %v at %d nodes", gate, chordV, largest)
+		}
+		return chordV, koordeV, nil
+	}
+
+	// -maxhopsratio: Koorde's mean lookup hops must be strictly below the
+	// ceiling times Chord's — the de Bruijn claim itself.
+	if maxHopsRatio > 0 {
+		chordMean, koordeMean, err := pair("maxhopsratio", func(r substrateJSONRow) float64 { return r.LookupMeanHops })
+		if err != nil {
+			return err
 		}
 		if ratio := koordeMean / chordMean; ratio >= maxHopsRatio {
 			return fmt.Errorf("koorde mean lookup hops %.3f at %d nodes is %.3fx chord's %.3f, not below the %.2fx ceiling",
@@ -184,6 +196,37 @@ func runSubstratesBench(outPath string, seed int64, maxHopsRatio float64, worker
 		}
 		fmt.Fprintf(os.Stderr, "maxhopsratio ok: koorde %.3f < chord %.3f mean hops at %d nodes (%.3fx < %.2fx)\n",
 			koordeMean, chordMean, largest, koordeMean/chordMean, maxHopsRatio)
+	}
+
+	// -maxmaintratio: with piggybacked pointer repair, Koorde's steady-state
+	// maintenance bandwidth must stay within the ceiling times Chord's.
+	if maxMaintRatio > 0 {
+		chordB, koordeB, err := pair("maxmaintratio", func(r substrateJSONRow) float64 { return r.MaintBytes })
+		if err != nil {
+			return err
+		}
+		if ratio := koordeB / chordB; ratio > maxMaintRatio {
+			return fmt.Errorf("koorde maintenance %.1f B/node/s at %d nodes is %.3fx chord's %.1f, above the %.2fx ceiling",
+				koordeB, largest, ratio, chordB, maxMaintRatio)
+		}
+		fmt.Fprintf(os.Stderr, "maxmaintratio ok: koorde %.1f vs chord %.1f B/node/s at %d nodes (%.3fx <= %.2fx)\n",
+			koordeB, chordB, largest, koordeB/chordB, maxMaintRatio)
+	}
+
+	// -maxtailratio: with de Bruijn-aware arc splits, Koorde's tree-mode
+	// multicast must reach its last delivery within the ceiling times
+	// Chord's time.
+	if maxTailRatio > 0 {
+		chordMs, koordeMs, err := pair("maxtailratio", func(r substrateJSONRow) float64 { return r.MulticastLast })
+		if err != nil {
+			return err
+		}
+		if ratio := koordeMs / chordMs; ratio > maxTailRatio {
+			return fmt.Errorf("koorde multicast tail %.1f ms at %d nodes is %.3fx chord's %.1f, above the %.2fx ceiling",
+				koordeMs, largest, ratio, chordMs, maxTailRatio)
+		}
+		fmt.Fprintf(os.Stderr, "maxtailratio ok: koorde %.1f vs chord %.1f ms at %d nodes (%.3fx <= %.2fx)\n",
+			koordeMs, chordMs, largest, koordeMs/chordMs, maxTailRatio)
 	}
 	return nil
 }

@@ -318,13 +318,55 @@ func (net *Network) WatchNeighbors(id dht.Key, fn func()) {
 // --- Data plane -----------------------------------------------------------
 
 // Send implements dht.Network: it initializes bookkeeping and routes msg
-// from node `from` to the node covering `key`.
+// from node `from` to the node covering `key`. A tree-mode range
+// multicast whose origin machine wants the arc split (overlay.ArcSplitter
+// — Koorde, whose contiguous de Bruijn window cannot subdivide a distant
+// arc) leaves as independent routed sub-range legs instead of one walk.
 func (net *Network) Send(from dht.Key, key dht.Key, msg *dht.Message) {
 	msg.Src = from
 	msg.Key = net.space.Wrap(key)
 	msg.Hops = 0
 	msg.SentAt = net.clk.Now()
+	if msg.HasRange && msg.Mode == dht.RangeTree && !msg.Split {
+		if n := net.nodes[from]; n != nil && n.alive {
+			if sp, ok := n.m.(overlay.ArcSplitter); ok {
+				if heads := sp.SplitHeads(msg.RangeStart, msg.RangeEnd); len(heads) >= 2 {
+					net.sendSplitLegs(from, msg, heads)
+					return
+				}
+			}
+		}
+	}
 	net.process(from, msg)
+}
+
+// splitTTL is the hop backstop of a split leg's stateful walk; past it
+// the leg degrades to the greedy step, which is strictly clockwise and
+// always terminates.
+const splitTTL = 64
+
+// sendSplitLegs fans a tree-mode ranged message out of `from` as one
+// routed leg per sub-arc: leg j is addressed to heads[j] and carries the
+// sub-range [heads[j], heads[j+1]-1] (the last leg keeps the original
+// high boundary and the tail ownership). Every leg starts an unanchored
+// stateful walk (dht.SplitShiftNone); exactly-once delivery holds
+// because the sub-ranges partition the arc and each leg's delegation
+// only ever reaches nodes inside its own sub-range.
+func (net *Network) sendSplitLegs(from dht.Key, msg *dht.Message, heads []dht.Key) int {
+	for j, h := range heads {
+		c := msg.Clone()
+		c.Key = h
+		c.RangeStart = h
+		if j+1 < len(heads) {
+			c.RangeEnd = net.space.Add(heads[j+1], net.space.Size()-1)
+			c.RangeTail = false
+		}
+		c.Split = true
+		c.SplitImg = 0
+		c.SplitShift = dht.SplitShiftNone
+		net.process(from, c)
+	}
+	return len(heads)
 }
 
 // Forward implements dht.Network: it re-routes an in-flight message toward
@@ -342,9 +384,31 @@ func (net *Network) process(at dht.Key, msg *dht.Message) {
 		return
 	}
 	if n.covers(msg.Key) {
+		clearSplit(msg)
 		net.obs.OnDeliver(at, msg)
 		n.app.Deliver(at, msg)
 		return
+	}
+	if msg.Split {
+		if succ, ok := n.liveSuccessor(); ok && succ != at && net.space.BetweenIncl(msg.Key, at, succ) {
+			// The walk reached the sub-arc's ring predecessor: its
+			// successor list spans the (deliberately small) sub-arc, so
+			// fan out from here — one level shallower than first hopping
+			// to the head's coverer and delegating there. This node is
+			// before the sub-range and is not delivered itself.
+			clearSplit(msg)
+			net.DelegateRange(at, msg)
+			return
+		}
+		if dr, ok := n.m.(overlay.DigitRouter); ok && msg.Hops < splitTTL {
+			if next, img, shift, ok := dr.DigitHop(msg.Key, msg.SplitImg, msg.SplitShift); ok && next.ID != at {
+				msg.SplitImg, msg.SplitShift = img, shift
+				net.transmit(at, next.ID, msg, true)
+				return
+			}
+		}
+		// No digit router (or walk exhausted): the greedy step below
+		// routes the leg; it is strictly clockwise and terminates.
 	}
 	next, ok := n.nextHop(msg.Key)
 	if !ok || next == at {
@@ -352,6 +416,17 @@ func (net *Network) process(at dht.Key, msg *dht.Message) {
 		return
 	}
 	net.transmit(at, next, msg, true)
+}
+
+// clearSplit strips the routed-leg walk state before a message is
+// delivered or delegated; applications never see split bookkeeping.
+func clearSplit(msg *dht.Message) {
+	if !msg.Split {
+		return
+	}
+	msg.Split = false
+	msg.SplitImg = 0
+	msg.SplitShift = 0
 }
 
 // transmit delivers msg to `to` after the hop delay. When route is true the

@@ -29,6 +29,17 @@ func (net *Network) DelegateRange(self dht.Key, msg *dht.Message) int {
 		return 0
 	}
 	hi := msg.RangeEnd
+	// Machines whose routing entries cannot subdivide the remaining arc
+	// (overlay.ArcSplitter — Koorde) re-split it into routed sub-range
+	// legs instead; each leg's sub-arc is small enough to finish in one
+	// successor-list fan-out, so depth stays logarithmic where the kid
+	// walk below would degrade to a successor pipeline. Every split at
+	// least halves the arc, so the recursion terminates.
+	if sp, ok := n.m.(overlay.ArcSplitter); ok {
+		if heads := sp.SplitHeads(net.space.Add(self, 1), hi); len(heads) >= 2 {
+			return net.sendSplitLegs(self, msg, heads)
+		}
+	}
 	// Collect the distinct live routing-state entries inside (self, hi].
 	seen := make(map[dht.Key]bool)
 	var kids []dht.Key

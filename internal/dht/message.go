@@ -52,7 +52,24 @@ type Message struct {
 	// +1 toward the successor, -1 toward the predecessor, 0 for the
 	// initial routed leg.
 	Dir int
+
+	// Split marks a routed sub-range head of an arc-split tree multicast:
+	// the message is in flight toward the node preceding Key, which fans
+	// the sub-range [RangeStart, RangeEnd] out of its successor list
+	// instead of walking it. SplitImg and SplitShift carry the routing
+	// machine's stateful walk (the imaginary de Bruijn address and the
+	// digits left to inject on Koorde); substrates without a DigitRouter
+	// machine route split legs greedily. All three fields are cleared
+	// before the message is delivered or delegated.
+	Split      bool
+	SplitImg   Key
+	SplitShift uint8
 }
+
+// SplitShiftNone is the SplitShift sentinel for "walk not anchored yet":
+// the first DigitRouter hop computes the alignment. It matches the
+// ShiftNone sentinel of the Koorde lookup walk.
+const SplitShiftNone uint8 = 0xff
 
 // Clone returns a shallow copy (Payload is shared). Range-multicast
 // forwarding clones the delivered message for the continuation leg so hop

@@ -201,7 +201,7 @@ func TestFullEvaluationSharesSweep(t *testing.T) {
 }
 
 func TestRangeMulticastAblation(t *testing.T) {
-	rows := RangeMulticast(64, []int{2, 16, 32})
+	rows := RangeMulticast("", 64, []int{2, 16, 32})
 	if len(rows) != 3 {
 		t.Fatal("row count")
 	}
@@ -219,7 +219,7 @@ func TestRangeMulticastAblation(t *testing.T) {
 	if wide.BidiMsgs > wide.SeqMsgs+2 {
 		t.Fatalf("bidirectional costs %d msgs vs %d sequential", wide.BidiMsgs, wide.SeqMsgs)
 	}
-	if !strings.Contains(AblationMulticast(64, []int{2}).String(), "Ablation A1") {
+	if !strings.Contains(AblationMulticast("", 64, []int{2}).String(), "Ablation A1") {
 		t.Fatal("A1 table missing title")
 	}
 }
@@ -290,7 +290,7 @@ func TestAdaptiveAblation(t *testing.T) {
 	if adapt.MBRCount >= tight.MBRCount {
 		t.Fatalf("adaptive sent %d MBRs, not below tight fixed %d", adapt.MBRCount, tight.MBRCount)
 	}
-	if !strings.Contains(AblationAdaptive(rows, 0.1).String(), "Ablation A4") {
+	if !strings.Contains(AblationAdaptive("", rows, 0.1).String(), "Ablation A4") {
 		t.Fatal("A4 table missing title")
 	}
 }
@@ -308,7 +308,7 @@ func TestHierarchyAblation(t *testing.T) {
 	if rows[3].HierMsgs >= rows[3].FlatMsgs {
 		t.Fatalf("hierarchy %d msgs vs flat %d for radius 0.8", rows[3].HierMsgs, rows[3].FlatMsgs)
 	}
-	if !strings.Contains(AblationHierarchy(512, rows).String(), "Ablation A5") {
+	if !strings.Contains(AblationHierarchy("", 512, rows).String(), "Ablation A5") {
 		t.Fatal("A5 table missing title")
 	}
 }

@@ -62,6 +62,15 @@ type HeadToHeadRow struct {
 	// (fingers on Chord, de Bruijn chain on Koorde) — the table-size side
 	// of the hops-per-state trade.
 	Longlinks float64
+	// ChurnRepairBytesPerNodeSec is KindRing bytes per surviving node per
+	// virtual second while the ring reconverges after one tenth of the
+	// nodes crash simultaneously — the repair-traffic side of the
+	// piggybacked pointer-repair trade.
+	ChurnRepairBytesPerNodeSec float64
+	// ChurnLookupOK is the fraction of lookups issued during that
+	// convergence window that resolved to the live membership oracle's
+	// owner within their step of the window.
+	ChurnLookupOK float64
 }
 
 // ringObserver counts control-plane traffic and data-plane deliveries.
@@ -251,6 +260,65 @@ func headToHeadOne(n int, machine string, seed int64, lookups int) (HeadToHeadRo
 		row.MulticastMsgs = msgs / casts
 		row.MulticastLastMs = lastMs / casts
 	}
+
+	// Phase 4: scripted churn. One tenth of the ring crashes at once on a
+	// converged, maintained ring; the convergence window then measures the
+	// machine's repair traffic and its lookup availability while pointers
+	// heal. Lookups interleave with the repair tasks in virtual time, so a
+	// machine that floods repairs or one that leaves its chain stale both
+	// show up — the first in bytes, the second in failed lookups.
+	{
+		cfg := quiet
+		cfg.StabilizeEvery = 500 * sim.Millisecond
+		cfg.FixFingersEvery = 250 * sim.Millisecond
+		eng := sim.NewEngine()
+		net := chord.New(eng, cfg)
+		obs := &ringObserver{now: eng.Now, probeKind: headToHeadProbe}
+		net.SetObserver(obs)
+		net.BuildStable(ids, nil)
+		eng.RunUntil(5 * sim.Second) // settle the staggered tickers
+
+		alive := make([]dht.Key, 0, len(ids))
+		for i, id := range ids {
+			if i%10 == 5 {
+				net.Fail(id)
+			} else {
+				alive = append(alive, id)
+			}
+		}
+		base := obs.ringBytes
+		rng := uint64(seed)*0x9e3779b97f4a7c15 + 0x7f4a7c159e3779b9
+		next := func() uint64 {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			return rng >> 11
+		}
+		const (
+			churnWindow  = 20 * sim.Second
+			churnLookups = 32
+		)
+		ok := 0
+		for i := 0; i < churnLookups; i++ {
+			origin := alive[next()%uint64(len(alive))]
+			target := space.Wrap(dht.Key(next()))
+			resolved := false
+			var got dht.Key
+			net.Node(origin).Machine().FindSuccessor(target, func(s overlay.Ref) {
+				resolved = true
+				got = s.ID
+			})
+			// Let the lookup race the repair traffic for its slice of the
+			// window; 625 ms of virtual time is a dozen 50 ms hops, so a
+			// lookup that cannot finish is an availability failure too.
+			eng.RunFor(churnWindow / churnLookups)
+			want, _ := net.OracleSuccessor(target)
+			if resolved && got == want {
+				ok++
+			}
+		}
+		secs := float64(churnWindow) / float64(sim.Second)
+		row.ChurnRepairBytesPerNodeSec = float64(obs.ringBytes-base) / float64(len(alive)) / secs
+		row.ChurnLookupOK = float64(ok) / churnLookups
+	}
 	return row, nil
 }
 
@@ -286,13 +354,17 @@ func percentile(xs []float64, p float64) float64 {
 // HeadToHeadTable renders the comparison for the -exp text mode.
 func HeadToHeadTable(rows []HeadToHeadRow) *Table {
 	t := NewTable("Routing machines head to head: Chord fingers vs. Koorde de Bruijn walk",
-		"nodes", "machine", "lookup-hops", "p99", "longlinks", "maint-B/node/s", "mcast-msgs", "mcast-last-ms")
+		"nodes", "machine", "lookup-hops", "p99", "longlinks", "maint-B/node/s", "mcast-msgs", "mcast-last-ms",
+		"churn-B/node/s", "churn-lookup-ok")
 	for _, r := range rows {
 		t.AddRow(r.Nodes, r.Machine, r.LookupMeanHops, r.LookupP99Hops, r.Longlinks,
-			r.MaintBytesPerNodeSec, r.MulticastMsgs, r.MulticastLastMs)
+			r.MaintBytesPerNodeSec, r.MulticastMsgs, r.MulticastLastMs,
+			r.ChurnRepairBytesPerNodeSec, r.ChurnLookupOK)
 	}
 	t.AddNote("lookup-hops counts control-plane request forwards per resolved FindSuccessor on a warm ring;")
 	t.AddNote("Koorde resolves in ~log16(N) digit injections vs. Chord's ~log2(N)/2 finger strides, at")
-	t.AddNote("similar long-link state; both machines run the identical stabilize/notify ring substrate")
+	t.AddNote("similar long-link state; both machines run the identical stabilize/notify ring substrate.")
+	t.AddNote("churn columns: repair bytes and lookup availability while the ring reconverges after a")
+	t.AddNote("simultaneous crash of one tenth of the nodes")
 	return t
 }

@@ -91,13 +91,23 @@ func Longlinks(cfg overlay.Config, ring []dht.Key, self dht.Key) []Ref {
 		pos = 0
 	}
 	out := make([]Ref, 0, pointerWindow)
-	seen := make(map[dht.Key]bool, pointerWindow)
 	for k := 0; k < n && len(out) < pointerWindow; k++ {
 		id := ring[((pos-1+k)%n+n)%n] // start at pred(k·self)
-		if id == self || seen[id] {
+		if id == self {
 			continue
 		}
-		seen[id] = true
+		// The window is at most pointerWindow entries: a linear scan
+		// dedups without the per-call map the rebuild path used to pay.
+		dup := false
+		for _, have := range out {
+			if have.ID == id {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
 		out = append(out, Ref{ID: id})
 	}
 	return out
@@ -140,6 +150,22 @@ type Machine struct {
 	stabMisses int
 	predSeen   bool
 	predMisses int
+
+	// Piggybacked chain-repair state. The chain head (debruijn[0], the
+	// believed pred(k·self) host) is probed on the stabilize round with a
+	// Chain-flagged KStabReq; misses rotate it out like a dead successor,
+	// and chainDirty requests the full KDListReq rebuild fallback.
+	anchorSeen    bool
+	anchorProbing bool
+	anchorMisses  int
+	chainDirty    bool
+	// chainScratch is the spare chain buffer: every rebuild or patch
+	// writes into it and swaps it with debruijn, so steady-state repair
+	// stays off the allocator.
+	chainScratch []Ref
+	// winScratch holds the responder's clockwise window while the patch
+	// path brackets the image inside it.
+	winScratch []Ref
 
 	// Outstanding lookups.
 	nextToken uint64
@@ -524,15 +550,26 @@ func (m *Machine) resolveFind(tok uint64, succ Ref) bool {
 }
 
 func (m *Machine) handleStabReq(c KStabReq) {
-	resp := KStabResp{From: m.self, SuccList: append([]Ref(nil), m.succList...)}
+	resp := KStabResp{
+		From: m.self, Chain: c.Chain, Image: c.Image,
+		SuccList: append([]Ref(nil), m.succList...),
+	}
 	if m.pred != nil {
 		resp.HasPred, resp.Pred = true, *m.pred
 	}
 	m.send(c.From, resp)
-	m.considerPredecessor(c.From)
+	if !c.Chain {
+		// A chain probe comes from whoever we host the image for —
+		// usually a far-away node that must not become our predecessor.
+		m.considerPredecessor(c.From)
+	}
 }
 
 func (m *Machine) handleStabResp(c KStabResp) {
+	if c.Chain {
+		m.handleChainResp(c)
+		return
+	}
 	succ, ok := m.Successor()
 	if !ok || c.From.ID != succ.ID {
 		return // stale response from a node no longer our successor
@@ -577,6 +614,94 @@ func (m *Machine) considerPredecessor(p Ref) {
 	}
 }
 
+// handleChainResp patches the de Bruijn chain from the anchor's
+// neighborhood, piggybacked on the stabilize round. The responder's
+// window — predecessor, itself, successor list — is clockwise; the link
+// of that window whose arc holds the image is the true chain head, and
+// the window from there on is the fresh chain. When the image escaped
+// the window entirely the ring moved too far for incremental patching
+// and the full KDListReq rebuild takes over.
+func (m *Machine) handleChainResp(c KStabResp) {
+	if c.Image != m.space.Wrap(m.self.ID<<digitBits) {
+		return // stale probe for an image we no longer chase
+	}
+	m.anchorSeen = true
+	m.anchorMisses = 0
+	win := m.winScratch[:0]
+	if c.HasPred {
+		win = append(win, c.Pred)
+	}
+	win = append(win, c.From)
+	win = append(win, c.SuccList...)
+	m.winScratch = win
+	start := -1
+	for i := 0; i+1 < len(win); i++ {
+		if m.space.BetweenIncl(c.Image, win[i].ID, win[i+1].ID) {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		// Divergence: the believed anchor no longer borders the image.
+		m.chainDirty = true
+		m.fixPointers()
+		return
+	}
+	chain := m.chainScratch[:0]
+	for _, r := range win[start:] {
+		if r.ID == m.self.ID || len(chain) == pointerWindow {
+			continue
+		}
+		dup := false
+		for _, have := range chain {
+			if have.ID == r.ID {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			chain = append(chain, r)
+		}
+	}
+	if len(chain) == 0 {
+		m.chainDirty = true
+		m.fixPointers()
+		return
+	}
+	if !refsEqual(m.debruijn, chain) {
+		m.stats.FingerRepairs++
+	}
+	m.debruijn, m.chainScratch = chain, m.debruijn[:0]
+}
+
+// chainProbe piggybacks pointer repair on the stabilize round: account
+// the previous probe, rotate out a dead anchor after MissThreshold
+// silent rounds, then ask the current chain head for its neighborhood.
+func (m *Machine) chainProbe() {
+	if len(m.debruijn) == 0 {
+		m.chainDirty = true
+		m.anchorProbing = false
+		return
+	}
+	if m.anchorProbing && !m.anchorSeen {
+		m.anchorMisses++
+		if m.anchorMisses >= m.cfg.MissThreshold {
+			m.anchorMisses = 0
+			m.debruijn = m.debruijn[1:]
+			if len(m.debruijn) == 0 {
+				m.chainDirty = true
+				m.anchorProbing = false
+				return
+			}
+		}
+	}
+	m.anchorSeen = false
+	m.anchorProbing = true
+	m.send(m.debruijn[0], KStabReq{
+		From: m.self, Chain: true, Image: m.space.Wrap(m.self.ID << digitBits),
+	})
+}
+
 // handleDListReq reports our neighborhood to a node rebuilding its
 // de Bruijn pointer chain (we host its k·self).
 func (m *Machine) handleDListReq(c KDListReq) {
@@ -591,13 +716,16 @@ func (m *Machine) handleDListReq(c KDListReq) {
 // neighborhood: its predecessor (the true pred(k·self)), itself, then its
 // successor list — clockwise coverage of the image arc.
 func (m *Machine) handleDListResp(c KDListResp) {
-	chain := make([]Ref, 0, pointerWindow)
-	seen := make(map[dht.Key]bool, pointerWindow)
+	chain := m.chainScratch[:0]
 	add := func(r Ref) {
-		if r.ID == m.self.ID || seen[r.ID] || len(chain) == pointerWindow {
+		if r.ID == m.self.ID || len(chain) == pointerWindow {
 			return
 		}
-		seen[r.ID] = true
+		for _, have := range chain {
+			if have.ID == r.ID {
+				return
+			}
+		}
 		chain = append(chain, r)
 	}
 	if c.HasPred {
@@ -610,7 +738,9 @@ func (m *Machine) handleDListResp(c KDListResp) {
 	if !refsEqual(m.debruijn, chain) {
 		m.stats.FingerRepairs++
 	}
-	m.debruijn = chain
+	m.debruijn, m.chainScratch = chain, m.debruijn[:0]
+	m.anchorMisses = 0
+	m.anchorProbing = false
 }
 
 func refsEqual(a, b []Ref) bool {
@@ -685,12 +815,15 @@ func (m *Machine) stabilizeTick() {
 	if m.pred != nil && m.pred.ID != m.self.ID {
 		m.send(*m.pred, KPingReq{From: m.self})
 	}
+	m.chainProbe()
 }
 
-// fixPointers repairs the de Bruijn chain: resolve the node hosting
-// k·self, then ask it for its neighborhood (KDListReq). One lookup per
-// firing — the Koorde analogue of fix_fingers, with the whole chain
-// refreshed at once since it is one contiguous window.
+// fixPointers is the chain-repair fallback: resolve the node hosting
+// k·self with a full lookup, then ask it for its neighborhood
+// (KDListReq). In steady state the piggybacked probe on the stabilize
+// round keeps the chain fresh and this is a no-op; the full rebuild
+// runs only while the chain is empty (fresh join, every pointer rotated
+// out dead) or flagged dirty (the image escaped the anchor's window).
 func (m *Machine) fixPointers() {
 	if !m.Joined() {
 		return
@@ -702,6 +835,10 @@ func (m *Machine) fixPointers() {
 		m.publishView()
 		return
 	}
+	if len(m.debruijn) > 0 && !m.chainDirty {
+		return
+	}
+	m.chainDirty = false
 	target := m.space.Wrap(m.self.ID << digitBits)
 	m.findSuccessor(target, func(host Ref) {
 		if host.ID == m.self.ID {
@@ -888,6 +1025,88 @@ func (m *Machine) ClosestPreceding(key dht.Key) (Ref, bool) {
 		consider(s)
 	}
 	return best, found
+}
+
+// splitLeafNodes is the sub-arc size (in estimated covered nodes) the
+// multicast arc split aims for: small enough that the sub-arc fits the
+// delegating predecessor's successor list, so each routed leg finishes
+// in a single fan-out level.
+const splitLeafNodes = 4
+
+// SplitHeads implements overlay.ArcSplitter: partition [lo, hi] into up
+// to Degree sub-arcs of about splitLeafNodes covered nodes each. The de
+// Bruijn chain is one contiguous window near k·self, so unlike Chord
+// fingers it cannot subdivide a distant arc; routing an independent leg
+// toward each sub-arc head keeps the dissemination depth logarithmic
+// where plain kid delegation degrades to a successor-list pipeline. The
+// node count is estimated from the successor-list density — the only
+// membership information a Koorde node holds.
+func (m *Machine) SplitHeads(lo, hi dht.Key) []dht.Key {
+	last := len(m.succList) - 1
+	if last < 0 || m.succList[last].ID == m.self.ID {
+		return nil
+	}
+	span := m.space.Distance(m.self.ID, m.succList[last].ID)
+	gap := span / uint64(last+1)
+	if gap == 0 {
+		return nil
+	}
+	estN := m.space.Distance(lo, hi) / gap
+	if estN <= uint64(2*m.cfg.SuccListLen) {
+		// Shallow enough already: the kid delegation covers the arc in
+		// one or two successor-list levels.
+		return nil
+	}
+	s := (estN + splitLeafNodes - 1) / splitLeafNodes
+	if s > Degree {
+		s = Degree
+	}
+	if s < 2 {
+		return nil
+	}
+	step := m.space.Distance(lo, hi) / s
+	if step == 0 {
+		return nil
+	}
+	heads := make([]dht.Key, 0, s)
+	for j := uint64(0); j < s; j++ {
+		heads = append(heads, m.space.Add(lo, step*j))
+	}
+	return heads
+}
+
+// DigitHop implements overlay.DigitRouter: one hop of the stateful
+// de Bruijn walk for a routed data-plane leg, mirroring the KFindReq
+// walk — inject digits while the imaginary address img sits on our arc,
+// re-anchor when our own arc aligns in strictly fewer digits, then
+// forward toward the imaginary node (or the target once every digit is
+// spent). The walk state travels in the message (dht.Message.SplitImg /
+// SplitShift), never in the machine.
+func (m *Machine) DigitHop(target, img dht.Key, shift uint8) (Ref, dht.Key, uint8, bool) {
+	succ, ok := m.liveSuccessor()
+	if !ok || succ.ID == m.self.ID {
+		return Ref{}, 0, 0, false
+	}
+	if m.space.BetweenIncl(target, m.self.ID, succ.ID) {
+		return succ, img, shift, true
+	}
+	for shift != ShiftNone && shift > 0 && m.space.BetweenIncl(img, m.self.ID, succ.ID) {
+		digit := (target >> (digitBits * uint(shift-1))) & (Degree - 1)
+		img = m.space.Wrap(img<<digitBits | digit)
+		shift--
+	}
+	if i1, left, ok := debruijnStep(m.space, m.self.ID, succ.ID, target); ok && left < shift {
+		img, shift = i1, left
+	}
+	goal := target
+	if shift != ShiftNone && shift > 0 {
+		goal = img
+	}
+	next, ok := m.hopToward(goal, target, succ)
+	if !ok || next.ID == m.self.ID {
+		return Ref{}, 0, 0, false
+	}
+	return next, img, shift, true
 }
 
 // closestTo returns the best known live node in (self, i1) — the real
@@ -1079,6 +1298,12 @@ func (v *view) ClosestPreceding(key dht.Key) (Ref, bool) {
 
 // Compile-time contract checks.
 var (
-	_ overlay.Machine = (*Machine)(nil)
-	_ overlay.View    = (*view)(nil)
+	_ overlay.Machine     = (*Machine)(nil)
+	_ overlay.View        = (*view)(nil)
+	_ overlay.ArcSplitter = (*Machine)(nil)
+	_ overlay.DigitRouter = (*Machine)(nil)
 )
+
+// The walk sentinel carried in split messages must agree with the lookup
+// walk's: a non-zero array length here breaks the build if they drift.
+var _ [1]struct{} = [1 + int(ShiftNone) - int(dht.SplitShiftNone)]struct{}{}

@@ -66,18 +66,28 @@ type KFindResp struct {
 }
 
 // KStabReq asks the receiver — the sender's believed successor — for its
-// predecessor and successor list.
+// predecessor and successor list. With Chain set it is instead the
+// piggybacked de Bruijn repair probe: the receiver is the sender's chain
+// head (its believed pred(k·self) host), Image carries k·self, and the
+// receiver must answer with the same neighborhood shape but without
+// treating the far-away requester as a predecessor candidate.
 type KStabReq struct {
-	From Ref
+	From  Ref
+	Chain bool
+	Image dht.Key
 }
 
 // KStabResp is the successor's view: its predecessor (when known) and its
-// successor list, from which the requester refreshes its own.
+// successor list, from which the requester refreshes its own. Chain and
+// Image echo the request so the requester can patch its pointer chain
+// (Chain set) instead of its successor list.
 type KStabResp struct {
 	From     Ref
 	HasPred  bool
 	Pred     Ref
 	SuccList []Ref
+	Chain    bool
+	Image    dht.Key
 }
 
 // KNotify tells the receiver the sender might be its predecessor.
@@ -272,26 +282,35 @@ func decKFindResp(data []byte) (any, error) {
 	return c, nil
 }
 
-// --- KStabReq: from(ref) ---
+// --- KStabReq: from(ref) | chain(bool) | [image(uvar)] ---
 
 func encKStabReq(dst []byte, p any) ([]byte, error) {
 	c, ok := p.(KStabReq)
 	if !ok {
 		return nil, errType("KStabReq", p)
 	}
-	return appendRef(dst, c.From), nil
+	dst = appendRef(dst, c.From)
+	dst = wire.AppendBool(dst, c.Chain)
+	if c.Chain {
+		dst = wire.AppendUvarint(dst, uint64(c.Image))
+	}
+	return dst, nil
 }
 
 func decKStabReq(data []byte) (any, error) {
 	r := wire.NewReader(data)
 	c := KStabReq{From: readRef(&r)}
+	c.Chain = r.Bool()
+	if c.Chain {
+		c.Image = dht.Key(r.Uvarint())
+	}
 	if err := r.Done(); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-// --- KStabResp: from(ref) | neighborhood ---
+// --- KStabResp: from(ref) | neighborhood | chain(bool) | [image(uvar)] ---
 
 func encKStabResp(dst []byte, p any) ([]byte, error) {
 	c, ok := p.(KStabResp)
@@ -299,7 +318,12 @@ func encKStabResp(dst []byte, p any) ([]byte, error) {
 		return nil, errType("KStabResp", p)
 	}
 	dst = appendRef(dst, c.From)
-	return appendNeighborhood(dst, c.HasPred, c.Pred, c.SuccList), nil
+	dst = appendNeighborhood(dst, c.HasPred, c.Pred, c.SuccList)
+	dst = wire.AppendBool(dst, c.Chain)
+	if c.Chain {
+		dst = wire.AppendUvarint(dst, uint64(c.Image))
+	}
+	return dst, nil
 }
 
 func decKStabResp(data []byte) (any, error) {
@@ -307,6 +331,10 @@ func decKStabResp(data []byte) (any, error) {
 	var c KStabResp
 	c.From = readRef(&r)
 	c.HasPred, c.Pred, c.SuccList = readNeighborhood(&r)
+	c.Chain = r.Bool()
+	if c.Chain {
+		c.Image = dht.Key(r.Uvarint())
+	}
 	if err := r.Done(); err != nil {
 		return nil, err
 	}

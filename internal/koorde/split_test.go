@@ -1,0 +1,100 @@
+package koorde
+
+import (
+	"testing"
+
+	"streamdex/internal/dht"
+)
+
+// TestSplitHeadsInvariants pins the arc-splitter contract the multicast
+// layer relies on: either nil (plain delegation is fine) or at least two
+// heads, the first of which is the arc's low end, the rest strictly
+// clockwise inside (lo, hi], so the sub-ranges partition [lo, hi].
+func TestSplitHeadsInvariants(t *testing.T) {
+	space := dht.NewSpace(16)
+	ids := uniformIDs(space, 256, 0x5eed)
+	nodes := buildRing(space, ids, 8)
+	arcs := []struct{ lo, hi dht.Key }{
+		{0, space.Mask()},                            // full keyspace
+		{ids[10] + 1, ids[200]},                      // wide arc
+		{ids[250] + 1, ids[40]},                      // wrapped arc
+		{ids[10] + 1, ids[12]},                       // narrow two-node arc
+		{space.Wrap(ids[7] + 1), space.Wrap(ids[7])}, // whole-ring wrap
+	}
+	for _, self := range ids {
+		m := nodes[self]
+		for _, arc := range arcs {
+			heads := m.SplitHeads(arc.lo, arc.hi)
+			if heads == nil {
+				continue
+			}
+			if len(heads) < 2 || len(heads) > Degree {
+				t.Fatalf("node %d arc [%d,%d]: %d heads, want 2..%d", self, arc.lo, arc.hi, len(heads), Degree)
+			}
+			if heads[0] != arc.lo {
+				t.Fatalf("node %d arc [%d,%d]: first head %d, want lo", self, arc.lo, arc.hi, heads[0])
+			}
+			prev := arc.lo
+			for _, h := range heads[1:] {
+				if !space.BetweenIncl(h, prev, arc.hi) {
+					t.Fatalf("node %d arc [%d,%d]: head %d not clockwise inside (%d,%d]", self, arc.lo, arc.hi, h, prev, arc.hi)
+				}
+				prev = h
+			}
+		}
+	}
+	// An arc spanning only a handful of keys can never clear the
+	// estimated-population threshold, whatever the local density reads.
+	for _, self := range ids {
+		if h := nodes[self].SplitHeads(ids[10]+1, ids[10]+4); h != nil {
+			t.Fatalf("node %d split a four-key arc into %d heads", self, len(h))
+		}
+	}
+}
+
+// TestDigitHopWalkTerminates routes split legs hop by hop on a warm
+// oracle ring: from any origin to any target head, iterating DigitHop
+// must land on the target's ring predecessor (the node whose immediate
+// successor covers it) within the de Bruijn digit budget plus the greedy
+// slack — the property the multicast's per-leg depth bound rests on.
+func TestDigitHopWalkTerminates(t *testing.T) {
+	space := dht.NewSpace(16)
+	ids := uniformIDs(space, 256, 0xca11)
+	nodes := buildRing(space, ids, 8)
+	maxHops := int(space.M)/digitBits + pointerWindow // digits + greedy slack
+	targets := []dht.Key{ids[0], ids[77] + 3, ids[200] - 1, space.Mask()}
+	for _, origin := range []dht.Key{ids[5], ids[100], ids[255]} {
+		for _, target := range targets {
+			at := origin
+			img := at
+			shift := ShiftNone
+			hops := 0
+			for {
+				m := nodes[at]
+				succ, ok := m.LiveSuccessor()
+				if !ok {
+					t.Fatalf("node %d lost its successor", at)
+				}
+				if space.BetweenIncl(target, at, succ.ID) {
+					break // at is the target's ring predecessor
+				}
+				next, nimg, nshift, ok := m.DigitHop(target, img, shift)
+				if !ok {
+					t.Fatalf("DigitHop stuck at %d toward %d after %d hops", at, target, hops)
+				}
+				if next.ID == at {
+					t.Fatalf("DigitHop self-loop at %d toward %d", at, target)
+				}
+				at, img, shift = next.ID, nimg, nshift
+				if hops++; hops > maxHops {
+					t.Fatalf("walk %d→%d exceeded %d hops", origin, target, maxHops)
+				}
+			}
+			// The stop node's successor must be the oracle owner of target.
+			owner := oracleOwner(ids, target)
+			if succ, _ := nodes[at].LiveSuccessor(); succ.ID != owner && at != owner {
+				t.Fatalf("walk %d→%d stopped at %d whose successor %d is not owner %d", origin, target, at, succ.ID, owner)
+			}
+		}
+	}
+}

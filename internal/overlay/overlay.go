@@ -152,6 +152,33 @@ type Machine interface {
 	View() View
 }
 
+// ArcSplitter is optionally implemented by machines whose routing state
+// cannot subdivide a distant arc (Koorde's de Bruijn chain is a single
+// contiguous window near k·self, unlike Chord's exponentially spaced
+// fingers). SplitHeads proposes the low keys of sub-arcs a tree-mode
+// range multicast should route independent legs toward, so the fan-out
+// depth stays logarithmic; a nil result means the machine's plain
+// routing-entry delegation is already shallow enough.
+type ArcSplitter interface {
+	// SplitHeads partitions the arc [lo, hi] into sub-arcs and returns
+	// their low keys in clockwise order, heads[0] == lo. It returns nil
+	// (never a single head) when splitting would not help.
+	SplitHeads(lo, hi dht.Key) []dht.Key
+}
+
+// DigitRouter is optionally implemented by machines with a stateful
+// routed walk (Koorde's digit injection): one hop of a walk toward
+// target whose state — the imaginary address img and the number of key
+// digits left, dht.SplitShiftNone before anchoring — travels in the
+// message. Substrates fall back to the greedy NextHop step when the
+// machine lacks the interface or returns ok == false.
+type DigitRouter interface {
+	// DigitHop advances the walk one hop: inject digits while the
+	// imaginary address sits on this node's arc, re-anchor when the own
+	// arc aligns strictly closer, and pick the forwarding node.
+	DigitHop(target, img dht.Key, shift uint8) (next Ref, nimg dht.Key, nshift uint8, ok bool)
+}
+
 // Factory constructs machines of one substrate family.
 type Factory struct {
 	// Name is the registry key ("chord", "koorde").

@@ -91,9 +91,21 @@ func fuzzSeedMessages() []*dht.Message {
 			From: kref(1), Token: 3, Succ: kref(80),
 		}},
 		{Kind: overlay.KindRing, Key: 1, Src: 2, Payload: koorde.KStabReq{From: kref(2)}},
+		{Kind: overlay.KindRing, Key: 1, Src: 2, Payload: koorde.KStabReq{
+			From: kref(2), Chain: true, Image: 32,
+		}},
 		{Kind: overlay.KindRing, Key: 2, Src: 1, Payload: koorde.KStabResp{
 			From: kref(1), HasPred: true, Pred: kref(2), SuccList: []overlay.Ref{kref(2), kref(80)},
 		}},
+		{Kind: overlay.KindRing, Key: 2, Src: 1, Payload: koorde.KStabResp{
+			From: kref(1), HasPred: true, Pred: kref(2), Chain: true, Image: 32,
+			SuccList: []overlay.Ref{kref(2), kref(80)},
+		}},
+		// A split leg of a tree multicast: the Mode==3 envelope encoding
+		// with the de Bruijn walk-state extension.
+		{Kind: core.KindMBR, Key: 1, Src: 2, RangeStart: 1, RangeEnd: 200,
+			HasRange: true, Mode: dht.RangeTree, Split: true, SplitImg: 48, SplitShift: 2,
+			Payload: core.MBRUpdate{MBR: mbr}},
 		{Kind: overlay.KindRing, Key: 1, Src: 2, Payload: koorde.KNotify{From: kref(2)}},
 		{Kind: overlay.KindRing, Key: 1, Src: 2, Payload: koorde.KPingReq{From: kref(2)}},
 		{Kind: overlay.KindRing, Key: 2, Src: 1, Payload: koorde.KPingResp{From: kref(1)}},

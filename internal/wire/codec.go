@@ -34,6 +34,13 @@ import (
 //	 34   3 Hops (unsigned, saturating)
 //	 37   8 SentAt
 //
+// Mode has three real values (0-2); the reserved encoding 3 marks a
+// tree-mode (Mode == RangeTree) split leg: the envelope is followed by a
+// 9-byte split extension — SplitImg (8) and SplitShift (1) — before the
+// payload encoding. Non-split frames carry no extension, so the historic
+// layout (and every byte the bandwidth evaluation has ever charged) is
+// unchanged.
+//
 // Bytes is not transmitted: the receiver recomputes it as len(frame), which
 // is also what the sender's observer should charge.
 
@@ -46,6 +53,12 @@ const (
 	flagPacked    = 1 << 7
 	maxHops       = 1<<24 - 1
 )
+
+// SplitExtBytes is the split-leg extension following the envelope when
+// the Mode bits read 3: SplitImg (8) + SplitShift (1). Exported so byte
+// accounting on top of Sizeof — a payload-only measure — can add the
+// extension for split legs; receivers always charge len(frame) directly.
+const SplitExtBytes = 9
 
 // payloadBox wraps the message payload so gob encodes the dynamic type
 // through a single interface-typed field. Payload types without a packed
@@ -102,10 +115,17 @@ func AppendMarshal(dst []byte, msg *dht.Message) ([]byte, error) {
 	if packed {
 		flags |= flagPacked
 	}
-	if msg.Mode < 0 || msg.Mode > 3 {
+	if msg.Mode < 0 || msg.Mode > 2 {
+		// Mode 3 is the split-leg marker on the wire, never a real mode.
 		return nil, fmt.Errorf("wire: range mode %d out of envelope bounds", msg.Mode)
 	}
 	flags |= byte(msg.Mode) << modeShift
+	if msg.Split {
+		if !msg.HasRange || msg.Mode != dht.RangeTree {
+			return nil, fmt.Errorf("wire: split leg outside a tree-mode range multicast")
+		}
+		flags |= 3 << modeShift
+	}
 	switch msg.Dir {
 	case 0:
 	case 1:
@@ -130,6 +150,12 @@ func AppendMarshal(dst []byte, msg *dht.Message) ([]byte, error) {
 	binary.BigEndian.PutUint64(env[37:45], uint64(msg.SentAt))
 
 	dst = append(dst, env[:]...)
+	if msg.Split {
+		var ext [SplitExtBytes]byte
+		binary.BigEndian.PutUint64(ext[0:8], uint64(msg.SplitImg))
+		ext[8] = msg.SplitShift
+		dst = append(dst, ext[:]...)
+	}
 	switch {
 	case msg.Payload == nil:
 	case packed:
@@ -188,6 +214,15 @@ func unmarshal(frame []byte, a *Arena) (*dht.Message, error) {
 	msg.HasRange = flags&flagHasRange != 0
 	msg.RangeTail = flags&flagRangeTail != 0
 	msg.Mode = dht.RangeMode(flags >> modeShift & 3)
+	if msg.Mode == 3 {
+		// Reserved mode encoding: a tree-mode split leg with a trailing
+		// extension.
+		msg.Mode = dht.RangeTree
+		msg.Split = true
+		if !msg.HasRange {
+			return nil, fmt.Errorf("wire: split leg without a range")
+		}
+	}
 	switch flags >> dirShift & 3 {
 	case 0:
 		msg.Dir = 0
@@ -203,6 +238,14 @@ func unmarshal(frame []byte, a *Arena) (*dht.Message, error) {
 
 	hasPayload := flags&flagPayload != 0
 	body := frame[HeaderBytes:]
+	if msg.Split {
+		if len(body) < SplitExtBytes {
+			return nil, fmt.Errorf("wire: split leg frame of %d bytes, extension needs %d", len(frame), HeaderBytes+SplitExtBytes)
+		}
+		msg.SplitImg = dht.Key(binary.BigEndian.Uint64(body[0:8]))
+		msg.SplitShift = body[8]
+		body = body[SplitExtBytes:]
+	}
 	if !hasPayload {
 		if flags&flagPacked != 0 {
 			return nil, fmt.Errorf("wire: packed flag on a payload-less frame")

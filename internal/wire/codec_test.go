@@ -254,10 +254,25 @@ func roundTripCases() []*dht.Message {
 			Kind: protocol.KindRing, Key: 500, Src: 100, Hops: 1, SentAt: 984_000,
 			Payload: koorde.KStabReq{From: ref(100)},
 		},
+		// A chain probe: the stabilize request repurposed for piggybacked
+		// pointer repair carries the Chain flag and the k·self image.
+		{
+			Kind: protocol.KindRing, Key: 500, Src: 100, Hops: 1, SentAt: 984_500,
+			Payload: koorde.KStabReq{From: ref(100), Chain: true, Image: 1_600},
+		},
 		{
 			Kind: protocol.KindRing, Key: 100, Src: 500, Hops: 1, SentAt: 985_000,
 			Payload: koorde.KStabResp{
 				From: ref(500), HasPred: true, Pred: ref(100),
+				SuccList: []protocol.Ref{ref(700), ref(900), ref(100)},
+			},
+		},
+		// The chain-probe reply echoes Chain and Image so the requester
+		// patches its pointer chain instead of its successor list.
+		{
+			Kind: protocol.KindRing, Key: 100, Src: 500, Hops: 1, SentAt: 985_500,
+			Payload: koorde.KStabResp{
+				From: ref(500), HasPred: true, Pred: ref(100), Chain: true, Image: 1_600,
 				SuccList: []protocol.Ref{ref(700), ref(900), ref(100)},
 			},
 		},
@@ -292,6 +307,34 @@ func roundTripCases() []*dht.Message {
 		{
 			Kind: protocol.KindRing, Key: 100, Src: 700, Hops: 1, SentAt: 992_000,
 			Payload: koorde.KDListResp{From: ref(700), SuccList: []protocol.Ref{ref(900)}},
+		},
+		// Split legs of a de Bruijn-aware tree multicast: the reserved
+		// Mode==3 envelope encoding with the 9-byte walk-state extension.
+		// All three walk phases: unanchored (ShiftNone), mid-walk, and
+		// digit-exhausted; with and without a payload; tail and interior.
+		{
+			Kind: core.KindMBR, Key: 320, Src: 3, Hops: 2, SentAt: 5_000_000,
+			RangeStart: 320, RangeEnd: 470, HasRange: true, Mode: dht.RangeTree,
+			Split: true, SplitImg: 0, SplitShift: dht.SplitShiftNone,
+			Payload: core.MBRUpdate{MBR: mbr()},
+		},
+		{
+			Kind: core.KindMBR, Key: 480, Src: 3, Hops: 4, SentAt: 5_001_000,
+			RangeStart: 480, RangeEnd: 630, HasRange: true, Mode: dht.RangeTree,
+			Split: true, SplitImg: 7_777, SplitShift: 2,
+			Payload: core.MBRUpdate{MBR: mbr()},
+		},
+		{
+			Kind: core.KindSketch, Key: 640, Src: 3, Hops: 6, SentAt: 5_002_000,
+			RangeStart: 640, RangeEnd: 800, HasRange: true, Mode: dht.RangeTree, RangeTail: true,
+			Split: true, SplitImg: 790, SplitShift: 0,
+			Payload: core.SketchUpdate{StreamID: "s-44", Seq: 9, Expiry: 9_200_000, Lo: 0.1, Hi: 0.3},
+		},
+		// A payload-less split leg: envelope plus extension, nothing else.
+		{
+			Kind: 240, Key: 640, Src: 3, Hops: 1, SentAt: 5_003_000,
+			RangeStart: 640, RangeEnd: 800, HasRange: true, Mode: dht.RangeTree,
+			Split: true, SplitImg: 655, SplitShift: 1,
 		},
 	}
 }
@@ -339,6 +382,47 @@ func TestUnmarshalRejectsMalformed(t *testing.T) {
 	bad := &dht.Message{Kind: core.KindMBR, Dir: 2}
 	if _, err := wire.Marshal(bad); err == nil {
 		t.Error("out-of-range Dir: want error")
+	}
+	if _, err := wire.Marshal(&dht.Message{Kind: core.KindMBR, Mode: 3}); err == nil {
+		t.Error("reserved Mode 3: want error")
+	}
+}
+
+// TestSplitLegWireValidation pins the split-extension error surface: a
+// split leg is only encodable inside a tree-mode range multicast, and a
+// Mode==3 frame must carry both the range flag and the full 9-byte
+// extension to decode.
+func TestSplitLegWireValidation(t *testing.T) {
+	if _, err := wire.Marshal(&dht.Message{Kind: 240, Split: true}); err == nil {
+		t.Error("split leg without a range: want Marshal error")
+	}
+	if _, err := wire.Marshal(&dht.Message{
+		Kind: 240, Split: true, HasRange: true, RangeStart: 1, RangeEnd: 9, Mode: dht.RangeSequential,
+	}); err == nil {
+		t.Error("split leg in sequential mode: want Marshal error")
+	}
+	frame, err := wire.Marshal(&dht.Message{
+		Kind: 240, Key: 5, Src: 2, RangeStart: 1, RangeEnd: 9,
+		HasRange: true, Mode: dht.RangeTree, Split: true, SplitImg: 7, SplitShift: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) != wire.HeaderBytes+9 {
+		t.Fatalf("payload-less split leg is %d bytes, want HeaderBytes+9=%d", len(frame), wire.HeaderBytes+9)
+	}
+	// Truncating the extension must be rejected, not mis-decoded.
+	for cut := wire.HeaderBytes; cut < len(frame); cut++ {
+		if _, err := wire.Unmarshal(frame[:cut]); err == nil {
+			t.Errorf("split leg truncated to %d bytes: want error", cut)
+		}
+	}
+	// Clearing the range flag while leaving the Mode bits at 3 must be
+	// rejected: a split leg without a range is not a message.
+	mangled := append([]byte(nil), frame...)
+	mangled[33] &^= 1 // flagHasRange
+	if _, err := wire.Unmarshal(mangled); err == nil {
+		t.Error("mode-3 frame without the range flag: want error")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"streamdex/internal/dht"
 	"streamdex/internal/wire"
 )
 
@@ -12,8 +13,10 @@ import (
 // mutated frames. The corpus seeds cover all nine middleware payload kinds
 // and the ring-control payloads of every routing machine — the seven Chord
 // types and the nine Koorde types, including all three de Bruijn walk
-// phases of a KFindReq — (via roundTripCases) plus malformed shapes, so
-// the fuzzer starts from every codec's happy path and mutates from there.
+// phases of a KFindReq and the chain-probe piggyback of KStabReq/Resp —
+// (via roundTripCases) plus the Mode==3 split-leg extension in all three
+// walk phases and malformed shapes, so the fuzzer starts from every
+// codec's happy path and mutates from there.
 //
 // Properties checked on any input the decoder accepts:
 //   - re-marshalling the decoded message succeeds (a decoded message is
@@ -40,6 +43,15 @@ func FuzzUnmarshal(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, wire.HeaderBytes+3))
 	f.Add(make([]byte, wire.HeaderBytes-1))
+	// A split leg with its extension truncated: the Mode==3 error path.
+	splitFrame, err := wire.Marshal(&dht.Message{
+		Kind: 240, Key: 5, Src: 2, RangeStart: 1, RangeEnd: 9,
+		HasRange: true, Mode: dht.RangeTree, Split: true, SplitImg: 7, SplitShift: 3,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(splitFrame[:wire.HeaderBytes+4])
 
 	f.Fuzz(func(t *testing.T, frame []byte) {
 		msg, err := wire.Unmarshal(frame)

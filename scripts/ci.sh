@@ -55,10 +55,18 @@
 #                        TCP cluster, both under the race detector
 #  15. substrates gate  — fast-tier chord-vs-koorde head-to-head; Koorde's
 #                        mean lookup hops must be strictly below Chord's
-#                        at the largest size (the de Bruijn claim), then
-#                        the committed BENCH_6 vs BENCH_7 reports with a
-#                        0.9x store-match@4 floor proving the substrate-
+#                        at the largest size (the de Bruijn claim), its
+#                        maintenance bandwidth within 1.3x Chord's
+#                        (piggybacked pointer repair), and its tree-
+#                        multicast last delivery within 1.15x Chord's
+#                        (de Bruijn-aware arc splits), then the committed
+#                        BENCH_6 vs BENCH_7 reports with a 0.9x
+#                        store-match@4 floor proving the substrate-
 #                        neutral control plane did not tax the data plane
+#  16. koorde fast path — the committed BENCH_7 vs BENCH_8 reports with a
+#                        0.9x store-match@4 floor proving the fast-path
+#                        work (repair piggyback, split multicast) did not
+#                        tax the data plane either
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -180,12 +188,17 @@ echo "== koorde churn + sim-vs-live parity (race) =="
 go test -race -count=1 -run 'TestKoordeChurnReconverges' ./internal/koorde
 go test -race -count=1 -run 'TestKoordeParitySimVsLive' ./internal/transport
 
-echo "== substrates gate: fast-tier chord-vs-koorde lookup hops =="
+echo "== substrates gate: fast-tier chord-vs-koorde hops/maint/tail =="
 # Deterministic (seeded virtual-time) head-to-head of the two registered
-# ring machines. -maxhopsratio 1.0 fails CI unless Koorde's mean lookup
-# hops are strictly below Chord's at the largest size — the de Bruijn
-# fewer-hops-per-table-entry claim, held as a hard gate.
-BENCH_FAST=1 go run ./cmd/adidas-bench -substrates "${TMPDIR:-/tmp}/streamdex-bench7.json" -maxhopsratio 1.0
+# ring machines, churn phase included. Three hard gates at the largest
+# size: -maxhopsratio 1.0 (Koorde's mean lookup hops strictly below
+# Chord's — the de Bruijn fewer-hops-per-table-entry claim),
+# -maxmaintratio 1.3 (piggybacked pointer repair keeps Koorde's
+# maintenance bandwidth within 1.3x Chord's), and -maxtailratio 1.15
+# (de Bruijn-aware arc splits keep the tree-multicast last delivery
+# within 1.15x Chord's).
+BENCH_FAST=1 go run ./cmd/adidas-bench -substrates "${TMPDIR:-/tmp}/streamdex-bench8.json" \
+    -maxhopsratio 1.0 -maxmaintratio 1.3 -maxtailratio 1.15
 
 echo "== substrates bench comparison: BENCH_6 vs BENCH_7 =="
 # The committed load-skew report against the committed substrates report.
@@ -194,5 +207,12 @@ echo "== substrates bench comparison: BENCH_6 vs BENCH_7 =="
 # path. The floor only binds when both reports come from hosts with
 # >= 4 real cores.
 go run ./cmd/adidas-bench -compare "BENCH_6.json,BENCH_7.json" -minratio store-match@4=0.9
+
+echo "== koorde fast-path bench comparison: BENCH_7 vs BENCH_8 =="
+# The committed substrates report against the committed fast-path report.
+# The shared store rows prove the repair piggyback and split-multicast
+# work did not tax the similarity path. The floor only binds when both
+# reports come from hosts with >= 4 real cores.
+go run ./cmd/adidas-bench -compare "BENCH_7.json,BENCH_8.json" -minratio store-match@4=0.9
 
 echo "CI OK"
